@@ -1,0 +1,126 @@
+//! Criterion wrappers over scaled-down versions of each paper experiment,
+//! so `cargo bench --workspace` exercises the whole harness. The full-size
+//! tables are produced by the `fig*` binaries (see `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mg_bench::Prep;
+use mg_core::{select_domain, Policy, RewriteStyle};
+use mg_uarch::SimConfig;
+use mg_workloads::{by_name, Input};
+
+const QUICK_OPS: u64 = 20_000;
+
+fn quick(mut cfg: SimConfig) -> SimConfig {
+    cfg.max_ops = QUICK_OPS;
+    cfg
+}
+
+fn prep_pair() -> (Prep, Prep) {
+    let a = Prep::new(&by_name("crc32").expect("registered"), &Input::tiny());
+    let b = Prep::new(&by_name("rgba.conv").expect("registered"), &Input::tiny());
+    (a, b)
+}
+
+/// Figure 5: coverage sweep (capacity × size, both policies).
+fn bench_fig5(c: &mut Criterion) {
+    let (p, _) = prep_pair();
+    c.bench_function("fig5/coverage_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cap in [32usize, 512] {
+                for sz in [2usize, 4] {
+                    for pol in [Policy::integer(), Policy::integer_memory()] {
+                        let sel = p.select(&pol.with_capacity(cap).with_max_size(sz));
+                        acc += sel.coverage(p.total_dyn);
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+/// Figure 6: baseline vs integer-memory mini-graph timing simulation.
+fn bench_fig6(c: &mut Criterion) {
+    let (p, _) = prep_pair();
+    let sel = p.select(&Policy::integer_memory());
+    c.bench_function("fig6/baseline_vs_mg", |b| {
+        b.iter(|| {
+            let base = p.run_baseline(&quick(SimConfig::baseline()));
+            let mg = p.run_selection(
+                &sel,
+                RewriteStyle::NopPadded,
+                &quick(SimConfig::mg_integer_memory()),
+            );
+            (base.cycles, mg.cycles)
+        })
+    });
+}
+
+/// Figure 7: policy-restricted selection.
+fn bench_fig7(c: &mut Criterion) {
+    let (p, _) = prep_pair();
+    c.bench_function("fig7/policy_ablation", |b| {
+        b.iter(|| {
+            let restricted = Policy {
+                allow_external_serial: false,
+                allow_internal_parallel: false,
+                allow_interior_loads: false,
+                ..Policy::integer_memory()
+            };
+            let s1 = p.select(&Policy::integer_memory());
+            let s2 = p.select(&restricted);
+            (s1.saved_slots(), s2.saved_slots())
+        })
+    });
+}
+
+/// Figure 8: reduced register file and narrow machine.
+fn bench_fig8(c: &mut Criterion) {
+    let (_, p) = prep_pair();
+    let sel = p.select(&Policy::integer_memory());
+    c.bench_function("fig8/reduced_resources", |b| {
+        b.iter(|| {
+            let small = p.run_selection(
+                &sel,
+                RewriteStyle::NopPadded,
+                &quick(SimConfig::mg_integer_memory().with_phys_regs(104)),
+            );
+            let narrow = p.run_baseline(&quick(SimConfig::baseline().with_front_width(4)));
+            (small.cycles, narrow.cycles)
+        })
+    });
+}
+
+/// §6.1 domain-specific selection across two programs.
+fn bench_domain(c: &mut Criterion) {
+    let (a, b2) = prep_pair();
+    c.bench_function("fig5/domain_selection", |b| {
+        b.iter(|| {
+            let (sels, catalog) = select_domain(
+                &[a.candidates.clone(), b2.candidates.clone()],
+                &Policy::integer_memory().with_capacity(128),
+            );
+            (sels.len(), catalog.len())
+        })
+    });
+}
+
+/// §6.2 compressed-image rewriting.
+fn bench_icache(c: &mut Criterion) {
+    let (p, _) = prep_pair();
+    let sel = p.select(&Policy::integer_memory());
+    c.bench_function("icache/compressed_rewrite", |b| {
+        b.iter(|| {
+            let rw = mg_core::rewrite(&p.prog, &sel, RewriteStyle::Compressed);
+            rw.program.len()
+        })
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_domain, bench_icache
+);
+criterion_main!(experiments);

@@ -1,0 +1,76 @@
+//! Figure 5 — mini-graph coverage.
+//!
+//! Regenerates all three panels: application-specific integer coverage
+//! (top), application-specific integer-memory coverage (middle), and
+//! domain-specific integer-memory coverage (bottom), sweeping the MGT
+//! capacity (32/128/512/2048 entries) and maximum mini-graph size
+//! (2/3/4/8 instructions). Coverage is the paper's metric: the fraction of
+//! dynamic instructions removed from the pipeline, `Σ (n-1)·f / total`.
+
+use mg_bench::{by_suite, gmean, Prep, Table};
+use mg_core::{select_domain, Policy};
+use mg_workloads::Input;
+
+const CAPACITIES: [usize; 4] = [32, 128, 512, 2048];
+const SIZES: [usize; 4] = [2, 3, 4, 8];
+
+fn panel(preps: &[Prep], base: Policy, title: &str) {
+    println!("\n== Figure 5 ({title}): coverage % by MGT entries (rows) x max size (cols) ==");
+    for (suite, members) in by_suite(preps) {
+        println!("\n-- {suite} --");
+        let mut t = Table::new(&["benchmark", "entries", "sz2", "sz3", "sz4", "sz8"]);
+        for p in &members {
+            for cap in CAPACITIES {
+                let mut cells = vec![p.name.to_string(), cap.to_string()];
+                for sz in SIZES {
+                    let policy = base.clone().with_capacity(cap).with_max_size(sz);
+                    let sel = p.select(&policy);
+                    cells.push(format!("{:.1}", 100.0 * sel.coverage(p.total_dyn)));
+                }
+                t.row(cells);
+            }
+        }
+        // Suite mean at the paper's headline point (512 entries, size 4).
+        let cov: Vec<f64> = members
+            .iter()
+            .map(|p| {
+                let policy = base.clone().with_capacity(512).with_max_size(4);
+                p.select(&policy).coverage(p.total_dyn).max(1e-9)
+            })
+            .collect();
+        print!("{}", t.render());
+        println!("suite mean @512/sz4: {:.1}%", 100.0 * gmean(&cov));
+    }
+}
+
+fn domain_panel(preps: &[Prep]) {
+    println!("\n== Figure 5 (bottom): domain-specific integer-memory coverage ==");
+    for (suite, members) in by_suite(preps) {
+        println!("\n-- {suite} (one shared MGT per suite) --");
+        let mut t = Table::new(&["entries", "mean-cov%", "templates"]);
+        for cap in CAPACITIES {
+            let policy = Policy::integer_memory().with_capacity(cap).with_max_size(4);
+            let per_prog: Vec<Vec<mg_core::MiniGraph>> =
+                members.iter().map(|p| p.candidates.clone()).collect();
+            let (sels, catalog) = select_domain(&per_prog, &policy);
+            let cov: Vec<f64> = sels
+                .iter()
+                .zip(&members)
+                .map(|(s, p)| s.coverage(p.total_dyn).max(1e-9))
+                .collect();
+            t.row(vec![
+                cap.to_string(),
+                format!("{:.1}", 100.0 * gmean(&cov)),
+                catalog.len().to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+}
+
+fn main() {
+    let preps = Prep::all(&Input::reference());
+    panel(&preps, Policy::integer(), "top: application-specific integer");
+    panel(&preps, Policy::integer_memory(), "middle: application-specific integer-memory");
+    domain_panel(&preps);
+}

@@ -1,0 +1,61 @@
+//! Figure 6 — performance of mini-graph processing.
+//!
+//! For every benchmark: baseline IPC, then speedups of the four
+//! mini-graph configurations over the baseline — integer mini-graphs on
+//! ALU pipelines, integer-memory mini-graphs with a sliding-window
+//! scheduler, each with plain and pair-wise collapsing ALU pipelines
+//! (the solid and striped bars of the paper's Figure 6). The MGT holds
+//! 512 application-specific mini-graphs of up to 4 instructions (§6.1).
+
+use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_core::{Policy, RewriteStyle};
+use mg_uarch::SimConfig;
+use mg_workloads::Input;
+
+fn main() {
+    let quick = quick_mode();
+    let preps = Prep::all(&Input::reference());
+    let mut base_cfg = SimConfig::baseline();
+    apply_quick(&mut base_cfg, quick);
+
+    println!("== Figure 6: speedup over 6-wide baseline (512-entry MGT, max size 4) ==");
+    for (suite, members) in by_suite(&preps) {
+        println!("\n-- {suite} --");
+        let mut t = Table::new(&[
+            "benchmark", "baseIPC", "int", "int+coll", "intmem", "intmem+coll", "cov%",
+        ]);
+        let mut sp = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for p in &members {
+            let base = p.run_baseline(&base_cfg);
+            let sel_int = p.select(&Policy::integer());
+            let sel_mem = p.select(&Policy::integer_memory());
+
+            let configs = [
+                (SimConfig::mg_integer(), &sel_int),
+                (SimConfig::mg_integer().with_collapsing(), &sel_int),
+                (SimConfig::mg_integer_memory(), &sel_mem),
+                (SimConfig::mg_integer_memory().with_collapsing(), &sel_mem),
+            ];
+            let mut cells =
+                vec![p.name.to_string(), format!("{:.2}", base.ipc())];
+            for (i, (cfg, sel)) in configs.iter().enumerate() {
+                let mut cfg = cfg.clone();
+                apply_quick(&mut cfg, quick);
+                let s = p.run_selection(sel, RewriteStyle::NopPadded, &cfg);
+                let x = speedup(&base, &s);
+                sp[i].push(x);
+                cells.push(format!("{x:.3}"));
+            }
+            cells.push(format!("{:.1}", 100.0 * sel_mem.coverage(p.total_dyn)));
+            t.row(cells);
+        }
+        print!("{}", t.render());
+        println!(
+            "gmean speedups: int {:.3}  int+coll {:.3}  intmem {:.3}  intmem+coll {:.3}",
+            gmean(&sp[0]),
+            gmean(&sp[1]),
+            gmean(&sp[2]),
+            gmean(&sp[3]),
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 7 — isolating serialization effects.
+//!
+//! Re-runs the paper's ablation: integer mini-graphs with and without
+//! externally serial graphs, internally parallel graphs, and both; and
+//! integer-memory mini-graphs additionally without replay-vulnerable
+//! graphs (loads in non-terminal positions). The paper uses six
+//! benchmarks; we use our analogues of the same behavioural classes plus
+//! the suite means. With `--best`, also reports the per-benchmark best
+//! policy combination (§6.2: average gains rise to 3/14/9/11%).
+
+use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_core::{Policy, RewriteStyle};
+use mg_uarch::SimConfig;
+use mg_workloads::Input;
+
+fn int_policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("int", Policy::integer()),
+        (
+            "int -ext",
+            Policy { allow_external_serial: false, ..Policy::integer() },
+        ),
+        (
+            "int -int",
+            Policy { allow_internal_parallel: false, ..Policy::integer() },
+        ),
+        (
+            "int -both",
+            Policy {
+                allow_external_serial: false,
+                allow_internal_parallel: false,
+                ..Policy::integer()
+            },
+        ),
+    ]
+}
+
+fn mem_policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("intmem", Policy::integer_memory()),
+        (
+            "intmem -serial",
+            Policy {
+                allow_external_serial: false,
+                allow_internal_parallel: false,
+                ..Policy::integer_memory()
+            },
+        ),
+        (
+            "intmem -serial -replay",
+            Policy {
+                allow_external_serial: false,
+                allow_internal_parallel: false,
+                allow_interior_loads: false,
+                ..Policy::integer_memory()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let best_mode = std::env::args().any(|a| a == "--best");
+    // The paper's six focus benchmarks, by behavioural analogue.
+    let focus = ["gsm.toast", "mpeg2.idct", "reed.enc", "mcf.netw", "sha.rounds", "adpcm.enc"];
+    let preps = Prep::all(&Input::reference());
+    let mut base_cfg = SimConfig::baseline();
+    apply_quick(&mut base_cfg, quick);
+
+    println!("== Figure 7: serialization and replay ablation (speedup over baseline) ==");
+    let mut t = Table::new(&[
+        "benchmark",
+        "int",
+        "-ext",
+        "-int",
+        "-both",
+        "intmem",
+        "-serial",
+        "-ser-rep",
+    ]);
+    for name in focus {
+        let p = preps.iter().find(|p| p.name == name).expect("focus benchmark exists");
+        let base = p.run_baseline(&base_cfg);
+        let mut cells = vec![p.name.to_string()];
+        for (_, policy) in int_policies() {
+            let sel = p.select(&policy);
+            let mut cfg = SimConfig::mg_integer();
+            apply_quick(&mut cfg, quick);
+            let s = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
+            cells.push(format!("{:.3}", speedup(&base, &s)));
+        }
+        for (_, policy) in mem_policies() {
+            let sel = p.select(&policy);
+            let mut cfg = SimConfig::mg_integer_memory();
+            apply_quick(&mut cfg, quick);
+            let s = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
+            cells.push(format!("{:.3}", speedup(&base, &s)));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    if best_mode {
+        println!("\n== §6.2: best policy combination per benchmark (suite gmeans) ==");
+        let mut table = Table::new(&["suite", "unrestricted", "best-per-bench"]);
+        for (suite, members) in by_suite(&preps) {
+            let mut unrestricted = Vec::new();
+            let mut best = Vec::new();
+            for p in &members {
+                let base = p.run_baseline(&base_cfg);
+                let mut all_policies = int_policies();
+                all_policies.extend(mem_policies());
+                let mut best_x = f64::MIN;
+                let mut unres_x = 1.0;
+                for (name, policy) in &all_policies {
+                    let is_mem = name.starts_with("intmem");
+                    let mut cfg = if is_mem {
+                        SimConfig::mg_integer_memory()
+                    } else {
+                        SimConfig::mg_integer()
+                    };
+                    apply_quick(&mut cfg, quick);
+                    let sel = p.select(policy);
+                    let s = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
+                    let x = speedup(&base, &s);
+                    if *name == "intmem" {
+                        unres_x = x;
+                    }
+                    best_x = best_x.max(x);
+                }
+                unrestricted.push(unres_x);
+                best.push(best_x);
+            }
+            table.row(vec![
+                suite.to_string(),
+                format!("{:.3}", gmean(&unrestricted)),
+                format!("{:.3}", gmean(&best)),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+}

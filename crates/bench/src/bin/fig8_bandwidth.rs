@@ -1,0 +1,90 @@
+//! Figure 8 (bottom) — bandwidth and scheduling-loop latency.
+//!
+//! Compares, relative to the 6-wide/1-cycle-scheduler baseline:
+//! the 6-wide machine with integer-memory mini-graphs; a 4-wide machine
+//! (fetch/rename/retire and execute all narrowed, 1 load port) with and
+//! without mini-graphs; a 4-wide front end with 6-wide execution (2 load
+//! ports) with and without mini-graphs; and a 2-cycle (pipelined)
+//! scheduler with and without mini-graphs.
+
+use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_core::{Policy, RewriteStyle};
+use mg_uarch::SimConfig;
+use mg_workloads::Input;
+
+fn four_wide() -> SimConfig {
+    let mut c = SimConfig::baseline().with_front_width(4);
+    c.issue_width = 4;
+    c.load_ports = 1;
+    c
+}
+
+fn four_wide_six_exec() -> SimConfig {
+    // "can execute 6 instructions per cycle, including 2 loads".
+    SimConfig::baseline().with_front_width(4)
+}
+
+fn two_cycle_sched() -> SimConfig {
+    let mut c = SimConfig::baseline();
+    c.sched_loop = 2;
+    c
+}
+
+fn with_mg(mut cfg: SimConfig) -> SimConfig {
+    cfg.mg = mg_uarch::MgSupport::IntegerMemory;
+    cfg
+}
+
+fn main() {
+    let quick = quick_mode();
+    let preps = Prep::all(&Input::reference());
+    let mut ref_cfg = SimConfig::baseline();
+    apply_quick(&mut ref_cfg, quick);
+
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("6w", SimConfig::baseline()),
+        ("6w+mg", with_mg(SimConfig::baseline())),
+        ("4w", four_wide()),
+        ("4w+mg", with_mg(four_wide())),
+        ("4w6x", four_wide_six_exec()),
+        ("4w6x+mg", with_mg(four_wide_six_exec())),
+        ("2cyc", two_cycle_sched()),
+        ("2cyc+mg", with_mg(two_cycle_sched())),
+    ];
+
+    println!("== Figure 8 (bottom): bandwidth / scheduler-latency reductions ==");
+    println!("   (all numbers relative to the 6-wide, 1-cycle-scheduler baseline)");
+    for (suite, members) in by_suite(&preps) {
+        println!("\n-- {suite} --");
+        let names: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+        let mut header = vec!["benchmark"];
+        header.extend(names.iter());
+        let mut t = Table::new(&header);
+        let mut means = vec![Vec::new(); variants.len()];
+        for p in &members {
+            let reference = p.run_baseline(&ref_cfg);
+            let sel = p.select(&Policy::integer_memory());
+            let mut cells = vec![p.name.to_string()];
+            for (vi, (name, cfg)) in variants.iter().enumerate() {
+                let mut cfg = cfg.clone();
+                apply_quick(&mut cfg, quick);
+                let s = if name.ends_with("+mg") {
+                    p.run_selection(&sel, RewriteStyle::NopPadded, &cfg)
+                } else {
+                    p.run_baseline(&cfg)
+                };
+                let x = speedup(&reference, &s);
+                means[vi].push(x);
+                cells.push(format!("{x:.3}"));
+            }
+            t.row(cells);
+        }
+        print!("{}", t.render());
+        let summary: Vec<String> = variants
+            .iter()
+            .zip(&means)
+            .map(|((n, _), xs)| format!("{n} {:.3}", gmean(xs)))
+            .collect();
+        println!("gmean: {}", summary.join("  "));
+    }
+}

@@ -1,0 +1,58 @@
+//! §6.3 — scheduler (issue queue) capacity.
+//!
+//! The paper states (without a figure) that "mini-graph processing can
+//! similarly deal with reductions in the number of scheduler entries";
+//! this experiment quantifies it: baseline and integer-memory mini-graph
+//! configurations at 50/40/30/20 issue-queue entries, relative to the
+//! 50-entry baseline.
+
+use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_core::{Policy, RewriteStyle};
+use mg_uarch::SimConfig;
+use mg_workloads::Input;
+
+const SIZES: [usize; 4] = [50, 40, 30, 20];
+
+fn main() {
+    let quick = quick_mode();
+    let preps = Prep::all(&Input::reference());
+    let mut ref_cfg = SimConfig::baseline();
+    apply_quick(&mut ref_cfg, quick);
+
+    println!("== §6.3: performance vs issue-queue size (relative to 50-entry baseline) ==");
+    for (suite, members) in by_suite(&preps) {
+        println!("\n-- {suite} --");
+        let mut t = Table::new(&["benchmark", "iq", "baseline", "intmem"]);
+        let mut means: Vec<(usize, Vec<f64>, Vec<f64>)> =
+            SIZES.iter().map(|&s| (s, Vec::new(), Vec::new())).collect();
+        for p in &members {
+            let reference = p.run_baseline(&ref_cfg);
+            let sel = p.select(&Policy::integer_memory());
+            for (si, &iq) in SIZES.iter().enumerate() {
+                let mut b_cfg = SimConfig::baseline();
+                b_cfg.iq_size = iq;
+                let mut m_cfg = SimConfig::mg_integer_memory();
+                m_cfg.iq_size = iq;
+                apply_quick(&mut b_cfg, quick);
+                apply_quick(&mut m_cfg, quick);
+                let b = speedup(&reference, &p.run_baseline(&b_cfg));
+                let m = speedup(
+                    &reference,
+                    &p.run_selection(&sel, RewriteStyle::NopPadded, &m_cfg),
+                );
+                means[si].1.push(b);
+                means[si].2.push(m);
+                t.row(vec![
+                    p.name.to_string(),
+                    iq.to_string(),
+                    format!("{b:.3}"),
+                    format!("{m:.3}"),
+                ]);
+            }
+        }
+        print!("{}", t.render());
+        for (iq, b, m) in &means {
+            println!("gmean @{iq}: baseline {:.3}  intmem {:.3}", gmean(b), gmean(m));
+        }
+    }
+}

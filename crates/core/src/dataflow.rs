@@ -1,0 +1,145 @@
+//! Intra-block register dataflow analysis.
+
+use mg_isa::{Program, Reg};
+use mg_profile::BasicBlock;
+
+/// Register def-use information for one basic block.
+///
+/// For every instruction in the block this records its (up to two) source
+/// registers, its destination register, and — per source operand — the
+/// *producer*: the latest in-block instruction that defines that register
+/// before the reader. Sources with no in-block producer are live-in.
+#[derive(Clone, Debug)]
+pub struct BlockDataflow {
+    start: usize,
+    srcs: Vec<[Option<Reg>; 2]>,
+    defs: Vec<Option<Reg>>,
+    producers: Vec<[Option<usize>; 2]>,
+}
+
+impl BlockDataflow {
+    /// Analyzes `block` of `prog`.
+    pub fn new(prog: &Program, block: &BasicBlock) -> BlockDataflow {
+        let n = block.len();
+        let mut srcs = Vec::with_capacity(n);
+        let mut defs = Vec::with_capacity(n);
+        let mut producers = Vec::with_capacity(n);
+        let mut last_def: [Option<usize>; 32] = [None; 32];
+        for i in block.indices() {
+            let inst = &prog.insts[i];
+            let s = inst.src_regs();
+            let mut p = [None, None];
+            for (k, sr) in s.iter().enumerate() {
+                if let Some(r) = sr {
+                    p[k] = last_def[r.index()];
+                }
+            }
+            let d = inst.dest_reg();
+            if let Some(r) = d {
+                last_def[r.index()] = Some(i);
+            }
+            srcs.push(s);
+            defs.push(d);
+            producers.push(p);
+        }
+        BlockDataflow { start: block.start, srcs, defs, producers }
+    }
+
+    /// Source registers of the instruction at absolute index `i`.
+    pub fn srcs(&self, i: usize) -> [Option<Reg>; 2] {
+        self.srcs[i - self.start]
+    }
+
+    /// Destination register of the instruction at absolute index `i`.
+    pub fn def(&self, i: usize) -> Option<Reg> {
+        self.defs[i - self.start]
+    }
+
+    /// Producer (absolute index) of source operand `slot` of instruction
+    /// `i`, or `None` if the value is live-in to the block.
+    pub fn producer(&self, i: usize, slot: usize) -> Option<usize> {
+        self.producers[i - self.start][slot]
+    }
+
+    /// All in-block dataflow neighbours of `i`: its producers and its
+    /// consumers (instructions whose producer is `i`).
+    pub fn neighbours(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for slot in 0..2 {
+            if let Some(p) = self.producer(i, slot) {
+                out.push(p);
+            }
+        }
+        for (off, prods) in self.producers.iter().enumerate() {
+            if prods.iter().any(|&p| p == Some(i)) {
+                out.push(self.start + off);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether instruction `j` reads register `r` (in any slot).
+    pub fn reads(&self, j: usize, r: Reg) -> bool {
+        self.srcs(j).iter().any(|&s| s == Some(r))
+    }
+
+    /// Whether instruction `j` defines register `r`.
+    pub fn defines(&self, j: usize, r: Reg) -> bool {
+        self.def(j) == Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm};
+    use mg_profile::build_cfg;
+
+    fn paper_block() -> (Program, BasicBlock) {
+        // The gcc snippet from the paper's Figure 1 (left).
+        let mut a = Asm::new();
+        a.addl(reg(18), 2, reg(18)); // 0
+        a.lda(reg(6), 2, reg(6)); // 1
+        a.s8addl(reg(7), reg(0), reg(7)); // 2
+        a.cmplt(reg(18), reg(5), reg(7)); // 3
+        a.bne(reg(7), 0usize); // 4
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let b = cfg.blocks[0];
+        (p, b)
+    }
+
+    #[test]
+    fn producers_resolve_within_block() {
+        let (p, b) = paper_block();
+        let df = BlockDataflow::new(&p, &b);
+        // cmplt reads r18 produced by addl (index 0) and live-in r5.
+        assert_eq!(df.producer(3, 0), Some(0));
+        assert_eq!(df.producer(3, 1), None);
+        // bne reads r7 produced by cmplt (index 3), not by s8addl (index 2).
+        assert_eq!(df.producer(4, 0), Some(3));
+    }
+
+    #[test]
+    fn neighbours_are_symmetric() {
+        let (p, b) = paper_block();
+        let df = BlockDataflow::new(&p, &b);
+        assert_eq!(df.neighbours(0), vec![3], "addl feeds cmplt");
+        assert_eq!(df.neighbours(3), vec![0, 4]);
+        assert_eq!(df.neighbours(4), vec![3]);
+        assert!(df.neighbours(1).is_empty(), "lda r6 is isolated");
+    }
+
+    #[test]
+    fn reads_and_defines() {
+        let (p, b) = paper_block();
+        let df = BlockDataflow::new(&p, &b);
+        assert!(df.reads(3, reg(18)));
+        assert!(df.reads(3, reg(5)));
+        assert!(!df.reads(3, reg(7)));
+        assert!(df.defines(3, reg(7)));
+        assert!(df.defines(2, reg(7)), "s8addl also defines r7 (overwritten)");
+    }
+}

@@ -1,0 +1,202 @@
+//! Enumeration of legal mini-graph candidates.
+//!
+//! As in the paper (§3.2), "we analyze the static executable and enumerate
+//! all possible legal mini-graphs. Enumeration is exponential in the number
+//! of instructions considered, but since mini-graphs are restricted to
+//! basic blocks, the number of instructions under consideration at any time
+//! is typically small." We enumerate connected subgraphs of each block's
+//! dataflow graph using the ESU ("extension") algorithm, which produces
+//! each connected vertex set exactly once.
+
+use crate::dataflow::BlockDataflow;
+use crate::liveness::{compute_liveness, RegSet};
+use crate::minigraph::{analyze, MiniGraph};
+use mg_profile::{BlockProfile, Cfg};
+use mg_isa::Program;
+
+/// Hard cap on candidate sets examined per block; guards against
+/// pathologically dense blocks (never reached by the bundled workloads).
+const MAX_SETS_PER_BLOCK: usize = 100_000;
+
+/// Enumerates all legal mini-graph candidates of `prog` with at most
+/// `max_size` instructions each, attaching block frequencies from `prof`.
+pub fn enumerate_candidates(
+    prog: &Program,
+    cfg: &Cfg,
+    prof: &BlockProfile,
+    max_size: usize,
+) -> Vec<MiniGraph> {
+    let mut out = Vec::new();
+    let lv = compute_liveness(prog, cfg);
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let freq = prof.block_count(block);
+        if freq == 0 {
+            continue; // never executed: no coverage benefit
+        }
+        let live_out = lv.live_out[bi];
+        let df = BlockDataflow::new(prog, block);
+
+        // Dataflow adjacency restricted to mini-graph-eligible members.
+        let nodes: Vec<usize> = block
+            .indices()
+            .filter(|&i| prog.insts[i].op.is_mini_graph_eligible())
+            .collect();
+        let eligible = |i: usize| prog.insts[i].op.is_mini_graph_eligible();
+
+        let mut budget = MAX_SETS_PER_BLOCK;
+        for &v in &nodes {
+            let ext: Vec<usize> = df
+                .neighbours(v)
+                .into_iter()
+                .filter(|&u| u > v && eligible(u))
+                .collect();
+            let mut set = vec![v];
+            extend(
+                prog, block, &df, &eligible, v, &mut set, ext, max_size, &mut out, freq,
+                live_out, &mut budget,
+            );
+            if budget == 0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    prog: &Program,
+    block: &mg_profile::BasicBlock,
+    df: &BlockDataflow,
+    eligible: &dyn Fn(usize) -> bool,
+    root: usize,
+    set: &mut Vec<usize>,
+    ext: Vec<usize>,
+    max_size: usize,
+    out: &mut Vec<MiniGraph>,
+    freq: u64,
+    live_out: RegSet,
+    budget: &mut usize,
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    if set.len() >= 2 {
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        if let Ok(mg) = analyze(prog, block, df, &sorted, freq, live_out) {
+            out.push(mg);
+        }
+    }
+    if set.len() == max_size {
+        return;
+    }
+    for (k, &u) in ext.iter().enumerate() {
+        // Extension set for the recursive call: the remaining candidates
+        // after u, plus u's exclusive new neighbours.
+        let mut next_ext: Vec<usize> = ext[k + 1..].to_vec();
+        for w in df.neighbours(u) {
+            if w > root && w != u && eligible(w) && !set.contains(&w) && !ext.contains(&w) {
+                next_ext.push(w);
+            }
+        }
+        set.push(u);
+        extend(
+            prog, block, df, eligible, root, set, next_ext, max_size, out, freq, live_out,
+            budget,
+        );
+        set.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm, Memory};
+    use mg_profile::{build_cfg, profile_program};
+
+    fn candidates_of(prog: &Program, max_size: usize) -> Vec<MiniGraph> {
+        let cfg = build_cfg(prog);
+        let prof = profile_program(prog, &mut Memory::new(), None, 1_000_000).unwrap();
+        enumerate_candidates(prog, &cfg, &prof, max_size)
+    }
+
+    #[test]
+    fn paper_block_yields_expected_candidates() {
+        // addl r18,2,r18 ; cmplt r18,r5,r7 ; bne r7 — executed in a loop.
+        let mut a = Asm::new();
+        a.li(reg(18), 0);
+        a.li(reg(5), 6);
+        a.label("top");
+        a.addl(reg(18), 2, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.bne(reg(7), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cands = candidates_of(&p, 4);
+        // Legal: {addl,cmplt}, {cmplt,bne}, {addl,cmplt,bne}.
+        // {addl, bne} is not connected. Note {addl,cmplt} leaves r7 AND r18
+        // live (two outputs) => illegal, so expect exactly 2.
+        let sizes: Vec<usize> = cands.iter().map(|c| c.size()).collect();
+        assert!(cands.iter().any(|c| c.size() == 3), "full chain found: {sizes:?}");
+        assert!(
+            cands.iter().all(|c| c.members != vec![2, 3]),
+            "two-output pair must be rejected"
+        );
+    }
+
+    #[test]
+    fn max_size_respected() {
+        let mut a = Asm::new();
+        a.li(reg(1), 1);
+        a.label("top");
+        a.addq(reg(1), 1, reg(1));
+        a.addq(reg(1), 1, reg(1));
+        a.addq(reg(1), 1, reg(1));
+        a.addq(reg(1), 1, reg(1));
+        a.subq(reg(1), 8, reg(2));
+        a.blt(reg(2), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        for max in 2..=5 {
+            let cands = candidates_of(&p, max);
+            assert!(cands.iter().all(|c| c.size() <= max));
+            assert!(!cands.is_empty());
+        }
+    }
+
+    #[test]
+    fn unexecuted_blocks_skipped() {
+        let mut a = Asm::new();
+        a.br("end");
+        a.addq(reg(1), 1, reg(2)); // dead code
+        a.addq(reg(2), 1, reg(2));
+        a.label("end");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cands = candidates_of(&p, 4);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_member_sets() {
+        let mut a = Asm::new();
+        a.li(reg(1), 3);
+        a.li(reg(4), 100);
+        a.label("top");
+        a.addq(reg(1), reg(4), reg(2));
+        a.addq(reg(2), 1, reg(2));
+        a.xor(reg(2), reg(4), reg(2));
+        a.subq(reg(1), 1, reg(1));
+        a.bne(reg(1), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cands = candidates_of(&p, 4);
+        let mut sets: Vec<Vec<usize>> = cands.iter().map(|c| c.members.clone()).collect();
+        let n = sets.len();
+        sets.sort();
+        sets.dedup();
+        assert_eq!(sets.len(), n, "ESU enumeration must not duplicate sets");
+    }
+}

@@ -1,0 +1,98 @@
+//! Mini-graph extraction, selection, MGT construction, and binary
+//! rewriting — the primary contribution of *Dataflow Mini-Graphs:
+//! Amplifying Superscalar Capacity and Bandwidth* (MICRO-37, 2004).
+//!
+//! A mini-graph is a connected dataflow graph confined to a basic block
+//! with the interface of a singleton instruction: at most two register
+//! inputs, one register output, one memory operation, and one (terminal)
+//! control transfer. This crate:
+//!
+//! 1. enumerates all legal mini-graph candidates of a program
+//!    ([`enumerate_candidates`]), checking interface, composition, anchor
+//!    and register/memory interference rules (§3.1–3.2 of the paper);
+//! 2. selects among them greedily by estimated coverage `(n-1)·f` under a
+//!    configurable [`Policy`] and MGT capacity ([`select`], and
+//!    [`select_domain`] for suite-wide domain-specific MGTs);
+//! 3. rewrites the binary, planting `mg` handles ([`rewrite`], nop-padded
+//!    or compressed);
+//! 4. packs the timing-level MGT — MGHT headers (`FU0`, `FUBMP`, `LAT`)
+//!    and MGST banks — for the execution core ([`MgTable`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mg_isa::{Asm, reg, Memory};
+//! use mg_core::{extract, Policy, rewrite, RewriteStyle};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new();
+//! a.li(reg(18), 0);
+//! a.li(reg(5), 20);
+//! a.label("top");
+//! a.addl(reg(18), 2, reg(18));
+//! a.cmplt(reg(18), reg(5), reg(7));
+//! a.bne(reg(7), "top");
+//! a.halt();
+//! let prog = a.finish()?;
+//!
+//! let ex = extract(&prog, &mut Memory::new(), &Policy::default(), 100_000)?;
+//! assert!(ex.selection.coverage(ex.total_dyn_insts) > 0.5);
+//!
+//! let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+//! assert!(rw.handles >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dataflow;
+pub mod enumerate;
+pub mod liveness;
+pub mod minigraph;
+pub mod mgt;
+pub mod policy;
+pub mod rewrite;
+pub mod select;
+
+pub use dataflow::BlockDataflow;
+pub use enumerate::enumerate_candidates;
+pub use liveness::{compute_liveness, Liveness, RegSet};
+pub use minigraph::{analyze, choose_anchor, Illegal, MiniGraph};
+pub use mgt::{build_schedule, FuReq, MgSchedule, MgSlot, MgTable, MgtConfig};
+pub use policy::Policy;
+pub use rewrite::{rewrite, Rewritten, RewriteStyle};
+pub use select::{select, select_domain, ChosenInstance, Selection};
+
+use mg_isa::exec::ExecError;
+use mg_isa::{Memory, Program};
+use mg_profile::build_cfg;
+
+/// The combined product of profiling + enumeration + selection.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// The selection (instances + catalog).
+    pub selection: Selection,
+    /// All legal candidates considered (before policy filtering).
+    pub candidates: Vec<MiniGraph>,
+    /// Total dynamic instructions in the profiling run (coverage
+    /// denominator).
+    pub total_dyn_insts: u64,
+}
+
+/// Profiles `prog` functionally (mutating `mem` as the program would),
+/// enumerates legal candidates, and selects under `policy`.
+///
+/// # Errors
+///
+/// Propagates functional-execution errors from the profiling run.
+pub fn extract(
+    prog: &Program,
+    mem: &mut Memory,
+    policy: &Policy,
+    max_steps: u64,
+) -> Result<Extraction, ExecError> {
+    let cfg = build_cfg(prog);
+    let prof = mg_profile::profile_program(prog, mem, None, max_steps)?;
+    let candidates = enumerate_candidates(prog, &cfg, &prof, policy.max_size);
+    let selection = select(&candidates, policy);
+    Ok(Extraction { selection, candidates, total_dyn_insts: prof.total })
+}

@@ -1,0 +1,205 @@
+//! Global register liveness analysis.
+//!
+//! Mini-graph interior values must be *transient*: "we use static analysis
+//! to identify these values" (paper §1). A register defined inside a
+//! candidate only escapes (and therefore counts against the one-output
+//! interface limit) if it is read by a non-member later in the block or is
+//! live out of the block. This module computes classic backward
+//! may-liveness over the basic-block CFG.
+//!
+//! Conservatism: blocks ending in indirect control (`jmp`/`jsr`/`ret`) get
+//! fully-live out-sets (their targets are not statically known); `bsr`
+//! flows to both its target and its fall-through; `halt` is fully dead.
+
+use mg_isa::{OpClass, Program, Reg};
+use mg_profile::Cfg;
+
+/// A set of architectural registers as a bitmask (bit *i* = `r<i>`; the
+/// zero register never appears).
+pub type RegSet = u32;
+
+/// Whether `set` contains `r`.
+pub fn contains(set: RegSet, r: Reg) -> bool {
+    set & (1u32 << r.index()) != 0
+}
+
+/// Per-block liveness sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<RegSet>,
+}
+
+fn reg_bit(r: Reg) -> RegSet {
+    if r.is_zero() {
+        0
+    } else {
+        1u32 << r.index()
+    }
+}
+
+enum Succ {
+    Known(Vec<usize>),
+    All,
+}
+
+fn successors(prog: &Program, cfg: &Cfg, b: usize) -> Succ {
+    let block = &cfg.blocks[b];
+    let last = &prog.insts[block.end - 1];
+    let next_block = (b + 1 < cfg.blocks.len()).then_some(b + 1);
+    let block_of = |i: usize| cfg.block_index_of(i);
+    match last.op.class() {
+        OpClass::CondBranch => {
+            let mut s = Vec::new();
+            if let Some(t) = last.static_target().and_then(block_of) {
+                s.push(t);
+            }
+            if let Some(n) = next_block {
+                s.push(n);
+            }
+            Succ::Known(s)
+        }
+        OpClass::UncondBranch => {
+            let mut s = Vec::new();
+            if let Some(t) = last.static_target().and_then(block_of) {
+                s.push(t);
+            }
+            // bsr eventually returns to the fall-through.
+            if last.op == mg_isa::Opcode::Bsr {
+                if let Some(n) = next_block {
+                    s.push(n);
+                }
+            }
+            Succ::Known(s)
+        }
+        OpClass::Jump => Succ::All,
+        OpClass::Halt => Succ::Known(Vec::new()),
+        OpClass::Handle => {
+            let mut s = Vec::new();
+            if let Some(t) = last.handle_branch_target().and_then(block_of) {
+                s.push(t);
+            }
+            if let Some(n) = next_block {
+                s.push(n);
+            }
+            Succ::Known(s)
+        }
+        _ => Succ::Known(next_block.into_iter().collect()),
+    }
+}
+
+/// Computes global liveness for `prog` over `cfg`.
+pub fn compute_liveness(prog: &Program, cfg: &Cfg) -> Liveness {
+    let nb = cfg.blocks.len();
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    let mut gen = vec![0u32; nb];
+    let mut kill = vec![0u32; nb];
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let mut defined = 0u32;
+        for i in block.indices() {
+            let inst = &prog.insts[i];
+            for s in inst.src_regs().into_iter().flatten() {
+                let bit = reg_bit(s);
+                if defined & bit == 0 {
+                    gen[bi] |= bit;
+                }
+            }
+            if let Some(d) = inst.dest_reg() {
+                defined |= reg_bit(d);
+            }
+        }
+        kill[bi] = defined;
+    }
+
+    let succs: Vec<Succ> = (0..nb).map(|b| successors(prog, cfg, b)).collect();
+    let mut live_in = vec![0u32; nb];
+    let mut live_out = vec![0u32; nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nb).rev() {
+            let out = match &succs[b] {
+                Succ::All => !0u32 & !(1u32 << 31),
+                Succ::Known(list) => list.iter().fold(0u32, |acc, &s| acc | live_in[s]),
+            };
+            let inn = gen[b] | (out & !kill[b]);
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm};
+    use mg_profile::build_cfg;
+
+    #[test]
+    fn compare_temp_is_dead_after_loop_branch() {
+        let mut a = Asm::new();
+        a.li(reg(18), 0); // block 0
+        a.li(reg(5), 10);
+        a.label("top"); // block 1
+        a.addl(reg(18), 1, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.bne(reg(7), "top");
+        a.halt(); // block 2
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let lv = compute_liveness(&p, &cfg);
+        let body = cfg.block_index_of(p.label("top").unwrap()).unwrap();
+        assert!(contains(lv.live_in[body], reg(18)));
+        assert!(contains(lv.live_in[body], reg(5)));
+        assert!(!contains(lv.live_in[body], reg(7)), "r7 is re-computed each iteration");
+        assert!(contains(lv.live_out[body], reg(18)), "r18 carried around the loop");
+        assert!(!contains(lv.live_out[body], reg(7)), "r7 dies at the branch");
+    }
+
+    #[test]
+    fn halt_block_is_fully_dead() {
+        let mut a = Asm::new();
+        a.li(reg(1), 1);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let lv = compute_liveness(&p, &cfg);
+        assert_eq!(lv.live_out[cfg.blocks.len() - 1], 0);
+    }
+
+    #[test]
+    fn indirect_jump_is_fully_live() {
+        let mut a = Asm::new();
+        a.li(reg(1), 0);
+        a.jmp(reg(1));
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let lv = compute_liveness(&p, &cfg);
+        let last = cfg.blocks.len() - 1;
+        assert!(contains(lv.live_out[last], reg(0)));
+        assert!(contains(lv.live_out[last], reg(30)));
+        assert!(!contains(lv.live_out[last], Reg::ZERO));
+    }
+
+    #[test]
+    fn value_live_across_blocks() {
+        let mut a = Asm::new();
+        a.li(reg(4), 7); // block 0: defines r4
+        a.beq(reg(9), "skip");
+        a.nop(); // block 1
+        a.label("skip");
+        a.addq(reg(4), 1, reg(5)); // block 2 reads r4
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let lv = compute_liveness(&p, &cfg);
+        assert!(contains(lv.live_out[0], reg(4)));
+        assert!(contains(lv.live_out[1], reg(4)), "r4 flows through the nop block");
+    }
+}

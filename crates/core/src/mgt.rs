@@ -1,0 +1,349 @@
+//! The mini-graph table: MGHT (header) and MGST (sequencing) content.
+//!
+//! The MGT maps MGIDs to mini-graph definitions (paper §4.1). The header
+//! table carries what the *scheduler* needs — first functional unit
+//! (`FU0`), downstream FU reservations (`FUBMP`), and register-output
+//! latency (`LAT`) — while the sequencing table carries per-cycle execution
+//! directives, one bank per mini-graph execution cycle ("integer
+//! mini-graph instructions are arranged in consecutive banks, but
+//! multi-cycle operations like loads require that subsequent banks be left
+//! empty").
+//!
+//! Schedules are parameterized by an [`MgtConfig`] because bank packing
+//! depends on the machine (load latency, ALU-pipeline availability, and
+//! whether pair-wise collapsing ALU pipelines are fitted, §6.2).
+
+use mg_isa::{HandleCatalog, MgTemplate, OpClass};
+use std::fmt;
+
+/// Machine parameters that shape MGST bank packing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MgtConfig {
+    /// Cycles a load occupies before its value is available to the next
+    /// bank (the paper's Figure 2 uses 2).
+    pub load_latency: u32,
+    /// Whether ALU pipelines are fitted (integer graphs execute on them).
+    pub have_alu_pipe: bool,
+    /// Depth of the ALU pipelines (the paper evaluates 4-stage pipes).
+    pub alu_pipe_depth: u32,
+    /// Pair-wise collapsing ALU pipelines: two chained single-cycle ops
+    /// execute per cycle ("two instruction integer mini-graphs execute in
+    /// one cycle; three and four instruction graphs execute in two").
+    pub collapsing: bool,
+}
+
+impl Default for MgtConfig {
+    fn default() -> MgtConfig {
+        MgtConfig { load_latency: 2, have_alu_pipe: true, alu_pipe_depth: 4, collapsing: false }
+    }
+}
+
+/// The functional-unit resource one constituent occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuReq {
+    /// Entry slot of an ALU pipeline (single-entry: reserved only at the
+    /// cycle the chain enters; subsequent chained ops flow through stages).
+    AluPipeEntry,
+    /// A discrete integer ALU.
+    Alu,
+    /// A load port.
+    LoadPort,
+    /// A store port.
+    StorePort,
+}
+
+impl fmt::Display for FuReq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuReq::AluPipeEntry => f.write_str("AP"),
+            FuReq::Alu => f.write_str("ALU"),
+            FuReq::LoadPort => f.write_str("LD"),
+            FuReq::StorePort => f.write_str("ST"),
+        }
+    }
+}
+
+/// One constituent's slot in the schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MgSlot {
+    /// Cycle offset (from execution start) at which the constituent begins.
+    pub cycle: u32,
+    /// FU reservation this constituent needs, or `None` when it flows
+    /// through an already-entered ALU pipeline.
+    pub fu: Option<FuReq>,
+    /// Execution latency of the constituent (loads use the configured
+    /// load latency).
+    pub latency: u32,
+}
+
+/// A fully packed schedule for one template: the union of the MGHT entry
+/// and the MGST banks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MgSchedule {
+    /// Per-constituent slots, in template order.
+    pub slots: Vec<MgSlot>,
+    /// MGHT `FU0`: resource needed at issue.
+    pub fu0: FuReq,
+    /// MGHT `LAT`: cycle offset at which the interface output register is
+    /// written (reserves the write port), if the graph has an output.
+    pub out_latency: Option<u32>,
+    /// Total execution latency (completion of the last constituent).
+    pub total_latency: u32,
+    /// Whether the whole graph runs on an ALU pipeline.
+    pub on_alu_pipe: bool,
+}
+
+impl MgSchedule {
+    /// MGHT `FUBMP`: downstream reservations `(cycle, fu)` for constituents
+    /// after the first, used by the sliding-window scheduler (§4.3).
+    pub fn fubmp(&self) -> impl Iterator<Item = (u32, FuReq)> + '_ {
+        self.slots.iter().skip(1).filter_map(|s| s.fu.map(|f| (s.cycle, f)))
+    }
+
+    /// Renders the MGST banks (one line per cycle) for inspection.
+    pub fn banks(&self, t: &MgTemplate) -> String {
+        let mut out = String::new();
+        for c in 0..self.total_latency {
+            let ops: Vec<String> = t
+                .ops
+                .iter()
+                .zip(&self.slots)
+                .filter(|(_, s)| s.cycle == c)
+                .map(|(o, s)| match s.fu {
+                    Some(f) => format!("{f} {o}"),
+                    None => format!("APx {o}"),
+                })
+                .collect();
+            out.push_str(&format!("MGST.{c}: {}\n", ops.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Packs the schedule for `t` under `cfg`.
+pub fn build_schedule(t: &MgTemplate, cfg: &MgtConfig) -> MgSchedule {
+    let all_integer = t.is_integer_only();
+    let on_ap =
+        cfg.have_alu_pipe && all_integer && t.len() as u32 <= cfg.alu_pipe_depth;
+
+    let mut slots = Vec::with_capacity(t.len());
+    let mut next = 0u32;
+    // With collapsing pipes, an un-paired ALU op is "open" at this cycle.
+    let mut open_pair: Option<u32> = None;
+    // Whether the previous constituent was part of an in-flight ALU chain
+    // (so this ALU op needs no new FU entry when running on an AP).
+    let mut in_alu_run = false;
+
+    for op in &t.ops {
+        let class = op.op.class();
+        let is_aluish = matches!(
+            class,
+            OpClass::IntAlu | OpClass::CondBranch | OpClass::UncondBranch
+        );
+        if is_aluish {
+            let collapsing_here = cfg.collapsing && (on_ap || cfg.have_alu_pipe);
+            let cycle = if collapsing_here {
+                if let Some(pc) = open_pair.take() {
+                    next = pc + 1;
+                    pc
+                } else {
+                    let c = next;
+                    open_pair = Some(c);
+                    next = c + 1;
+                    c
+                }
+            } else {
+                let c = next;
+                next = c + 1;
+                c
+            };
+            let fu = if on_ap {
+                if in_alu_run {
+                    None
+                } else {
+                    Some(FuReq::AluPipeEntry)
+                }
+            } else if cfg.have_alu_pipe && in_alu_run {
+                // Mixed graph: trailing ALU runs execute on an ALU pipeline
+                // entered at the run head (the paper's alternative template
+                // for mini-graph 34).
+                None
+            } else if cfg.have_alu_pipe {
+                Some(FuReq::AluPipeEntry)
+            } else {
+                Some(FuReq::Alu)
+            };
+            slots.push(MgSlot { cycle, fu, latency: 1 });
+            in_alu_run = true;
+        } else {
+            open_pair = None;
+            in_alu_run = false;
+            let (fu, lat) = if class == OpClass::Load {
+                (FuReq::LoadPort, cfg.load_latency)
+            } else {
+                (FuReq::StorePort, 1)
+            };
+            let c = next;
+            next = c + lat;
+            slots.push(MgSlot { cycle: c, fu: Some(fu), latency: lat });
+        }
+    }
+
+    let total_latency = slots
+        .iter()
+        .map(|s| s.cycle + s.latency)
+        .max()
+        .unwrap_or(0);
+    let out_latency = t.out.map(|o| {
+        let s = &slots[o as usize];
+        s.cycle + s.latency
+    });
+    let fu0 = slots.first().and_then(|s| s.fu).unwrap_or(FuReq::Alu);
+
+    MgSchedule { slots, fu0, out_latency, total_latency, on_alu_pipe: on_ap }
+}
+
+/// Packed schedules for every template of a catalog, indexed by MGID — the
+/// physical MGT image a `mg-uarch` core loads.
+#[derive(Clone, Debug, Default)]
+pub struct MgTable {
+    schedules: Vec<MgSchedule>,
+}
+
+impl MgTable {
+    /// Builds the table for `catalog` under `cfg`.
+    pub fn from_catalog(catalog: &HandleCatalog, cfg: &MgtConfig) -> MgTable {
+        MgTable {
+            schedules: catalog.iter().map(|(_, t)| build_schedule(t, cfg)).collect(),
+        }
+    }
+
+    /// Schedule for an MGID.
+    pub fn get(&self, mgid: u32) -> Option<&MgSchedule> {
+        self.schedules.get(mgid as usize)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{Opcode, TmplInst, TmplOperand};
+
+    fn mg12() -> MgTemplate {
+        MgTemplate {
+            ops: vec![
+                TmplInst { op: Opcode::Addl, a: TmplOperand::E0, b: TmplOperand::Imm(2), disp: 0 },
+                TmplInst { op: Opcode::Cmplt, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
+                TmplInst { op: Opcode::Bne, a: TmplOperand::M(1), b: TmplOperand::Imm(0), disp: -3 },
+            ],
+            out: Some(0),
+        }
+    }
+
+    fn mg34() -> MgTemplate {
+        MgTemplate {
+            ops: vec![
+                TmplInst { op: Opcode::Ldq, a: TmplOperand::E0, b: TmplOperand::Imm(0), disp: 16 },
+                TmplInst { op: Opcode::Srl, a: TmplOperand::M(0), b: TmplOperand::Imm(14), disp: 0 },
+                TmplInst { op: Opcode::And, a: TmplOperand::M(1), b: TmplOperand::Imm(1), disp: 0 },
+            ],
+            out: Some(2),
+        }
+    }
+
+    #[test]
+    fn paper_figure2_mght_row_12() {
+        // Integer graph on an AP: LAT 1 (output produced by first op),
+        // FUBMP empty, one-per-cycle banks.
+        let s = build_schedule(&mg12(), &MgtConfig::default());
+        assert!(s.on_alu_pipe);
+        assert_eq!(s.fu0, FuReq::AluPipeEntry);
+        assert_eq!(s.out_latency, Some(1), "paper: LAT = 1");
+        assert_eq!(s.total_latency, 3);
+        assert_eq!(s.fubmp().count(), 0, "paper: FUBMP empty for mini-graph 12");
+        assert_eq!(s.slots.iter().map(|x| x.cycle).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn paper_figure2_mght_row_34() {
+        // Load-lead graph: ldq in bank 0, bank 1 empty (load latency 2),
+        // srl in bank 2, and in bank 3; LAT = 4.
+        let s = build_schedule(&mg34(), &MgtConfig::default());
+        assert!(!s.on_alu_pipe);
+        assert_eq!(s.fu0, FuReq::LoadPort);
+        assert_eq!(s.slots.iter().map(|x| x.cycle).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(s.out_latency, Some(4), "paper: LAT = 4");
+        assert_eq!(s.total_latency, 4);
+        // Alternative template: trailing ALU run enters an AP once.
+        let reservations: Vec<(u32, FuReq)> = s.fubmp().collect();
+        assert_eq!(reservations, vec![(2, FuReq::AluPipeEntry)]);
+    }
+
+    #[test]
+    fn collapsing_halves_integer_graphs() {
+        let cfg = MgtConfig { collapsing: true, ..MgtConfig::default() };
+        let s = build_schedule(&mg12(), &cfg);
+        // 3 ops -> cycles 0,0,1: total 2 ("three and four instruction
+        // graphs execute in two cycles").
+        assert_eq!(s.slots.iter().map(|x| x.cycle).collect::<Vec<_>>(), vec![0, 0, 1]);
+        assert_eq!(s.total_latency, 2);
+
+        let two = MgTemplate { ops: mg12().ops[..2].to_vec(), out: Some(1) };
+        let s2 = build_schedule(&two, &cfg);
+        assert_eq!(s2.total_latency, 1, "two-instruction graphs execute in one cycle");
+    }
+
+    #[test]
+    fn no_alu_pipe_means_discrete_alus() {
+        let cfg = MgtConfig { have_alu_pipe: false, ..MgtConfig::default() };
+        let s = build_schedule(&mg12(), &cfg);
+        assert!(!s.on_alu_pipe);
+        assert!(s.slots.iter().all(|x| x.fu == Some(FuReq::Alu)));
+        assert_eq!(s.fubmp().count(), 2, "each downstream op reserves an ALU");
+    }
+
+    #[test]
+    fn store_terminated_schedule() {
+        let t = MgTemplate {
+            ops: vec![
+                TmplInst { op: Opcode::Addq, a: TmplOperand::E0, b: TmplOperand::E1, disp: 0 },
+                TmplInst { op: Opcode::Stq, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
+            ],
+            out: None,
+        };
+        let s = build_schedule(&t, &MgtConfig::default());
+        assert_eq!(s.out_latency, None);
+        assert_eq!(s.slots[1].fu, Some(FuReq::StorePort));
+        assert_eq!(s.total_latency, 2);
+    }
+
+    #[test]
+    fn banks_rendering_mentions_empty_bank() {
+        let s = build_schedule(&mg34(), &MgtConfig::default());
+        let banks = s.banks(&mg34());
+        assert!(banks.contains("MGST.1: \n"), "bank 1 left empty after the load:\n{banks}");
+        assert!(banks.contains("MGST.0: LD ldq 16(E0)"), "{banks}");
+    }
+
+    #[test]
+    fn table_lookup() {
+        let mut cat = HandleCatalog::new();
+        cat.add(mg12());
+        cat.add(mg34());
+        let table = MgTable::from_catalog(&cat, &MgtConfig::default());
+        assert_eq!(table.len(), 2);
+        assert!(table.get(0).unwrap().on_alu_pipe);
+        assert!(!table.get(1).unwrap().on_alu_pipe);
+        assert!(table.get(2).is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Mini-graph selection policies.
+
+use crate::minigraph::MiniGraph;
+
+/// Which kinds of mini-graphs selection may choose.
+///
+/// The defaults correspond to the paper's main configuration: unrestricted
+/// integer-memory mini-graphs of up to 4 instructions in a 512-entry MGT
+/// (§6.1: "All subsequent experiments use an MGT that holds 512
+/// application-specific mini-graphs with a maximum size of 4 instructions").
+///
+/// The restriction flags implement the Figure 7 ablations: disallowing
+/// externally serial graphs, internally parallel graphs, and
+/// replay-vulnerable graphs (loads in non-terminal positions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Policy {
+    /// Maximum instructions per mini-graph (the paper studies 2, 3, 4, 8).
+    pub max_size: usize,
+    /// MGT capacity in templates (the paper studies 32, 128, 512, 2048).
+    pub capacity: usize,
+    /// Allow memory operations (integer-memory vs pure integer graphs).
+    pub allow_memory: bool,
+    /// Allow store operations (subset switch of `allow_memory`).
+    pub allow_stores: bool,
+    /// Allow terminal control transfers.
+    pub allow_branches: bool,
+    /// Allow externally serial graphs: graphs with interface inputs
+    /// consumed by instructions other than the first.
+    pub allow_external_serial: bool,
+    /// Allow internally parallel graphs (graphs that are not pure serial
+    /// dependence chains and therefore suffer internal serialization).
+    pub allow_internal_parallel: bool,
+    /// Allow loads in non-terminal positions (vulnerable to whole-graph
+    /// cache-miss replay).
+    pub allow_interior_loads: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            max_size: 4,
+            capacity: 512,
+            allow_memory: true,
+            allow_stores: true,
+            allow_branches: true,
+            allow_external_serial: true,
+            allow_internal_parallel: true,
+            allow_interior_loads: true,
+        }
+    }
+}
+
+impl Policy {
+    /// The paper's integer mini-graph configuration (no memory ops).
+    pub fn integer() -> Policy {
+        Policy { allow_memory: false, allow_stores: false, ..Policy::default() }
+    }
+
+    /// The paper's integer-memory mini-graph configuration.
+    pub fn integer_memory() -> Policy {
+        Policy::default()
+    }
+
+    /// Returns this policy with a different MGT capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Policy {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Returns this policy with a different maximum graph size.
+    pub fn with_max_size(mut self, max_size: usize) -> Policy {
+        self.max_size = max_size;
+        self
+    }
+
+    /// Whether a candidate satisfies this policy.
+    pub fn admits(&self, mg: &MiniGraph) -> bool {
+        let t = &mg.template;
+        if mg.size() > self.max_size {
+            return false;
+        }
+        if !self.allow_memory && t.mem_op().is_some() {
+            return false;
+        }
+        if !self.allow_stores && t.ops.iter().any(|o| o.op.is_store()) {
+            return false;
+        }
+        if !self.allow_branches && t.terminal_branch().is_some() {
+            return false;
+        }
+        if !self.allow_external_serial && t.is_externally_serial() {
+            return false;
+        }
+        if !self.allow_internal_parallel && !t.is_serial_chain() {
+            return false;
+        }
+        if !self.allow_interior_loads && t.has_interior_load() {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::BlockDataflow;
+    use crate::minigraph::analyze;
+    use mg_isa::{reg, Asm};
+    use mg_profile::build_cfg;
+
+    fn mg_with_interior_load() -> MiniGraph {
+        let mut a = Asm::new();
+        a.ldq(reg(2), 16, reg(4));
+        a.srl(reg(2), 14, reg(17));
+        a.and(reg(17), 1, reg(17));
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let b = cfg.blocks[0];
+        let df = BlockDataflow::new(&p, &b);
+        analyze(&p, &b, &df, &[0, 1, 2], 10, 0).unwrap()
+    }
+
+    #[test]
+    fn integer_policy_rejects_memory() {
+        let mg = mg_with_interior_load();
+        assert!(!Policy::integer().admits(&mg));
+        assert!(Policy::integer_memory().admits(&mg));
+    }
+
+    #[test]
+    fn interior_load_filter() {
+        let mg = mg_with_interior_load();
+        let p = Policy { allow_interior_loads: false, ..Policy::default() };
+        assert!(!p.admits(&mg));
+    }
+
+    #[test]
+    fn size_filter() {
+        let mg = mg_with_interior_load();
+        assert!(!Policy::default().with_max_size(2).admits(&mg));
+        assert!(Policy::default().with_max_size(3).admits(&mg));
+    }
+
+    #[test]
+    fn builder_style() {
+        let p = Policy::integer().with_capacity(128).with_max_size(8);
+        assert_eq!(p.capacity, 128);
+        assert_eq!(p.max_size, 8);
+        assert!(!p.allow_memory);
+    }
+}

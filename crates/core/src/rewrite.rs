@@ -1,0 +1,219 @@
+//! Binary rewriting: replacing selected mini-graphs with handles.
+//!
+//! The paper's binary-rewriting tool "statically replaces dataflow graphs
+//! that satisfy mini-graph criteria with handles". Two image styles are
+//! produced:
+//!
+//! * [`RewriteStyle::NopPadded`] — non-anchor members become `nop`s, so the
+//!   code layout (and thus instruction-cache behaviour) is unchanged. This
+//!   is the paper's default ("none of our figures show the compression
+//!   effect — we replace mini-graph interior instructions with nops",
+//!   §6.2).
+//! * [`RewriteStyle::Compressed`] — the nops are removed and all control
+//!   targets remapped, exposing the instruction-cache capacity
+//!   amplification studied in §6.2 ("Instruction cache effects").
+
+use crate::select::Selection;
+use mg_isa::{Inst, Opcode, Program};
+
+/// How handle images are laid out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RewriteStyle {
+    /// Keep original layout; collapsed slots become `nop`s.
+    NopPadded,
+    /// Remove collapsed slots and remap control-flow targets.
+    Compressed,
+}
+
+/// The product of rewriting: the handle-bearing image and its catalog.
+#[derive(Clone, Debug)]
+pub struct Rewritten {
+    /// The rewritten program.
+    pub program: Program,
+    /// Static instructions eliminated by compression (0 for nop-padded).
+    pub removed: usize,
+    /// Number of handle instances planted.
+    pub handles: usize,
+}
+
+/// Rewrites `prog` according to `selection`.
+///
+/// The returned program must be executed with `selection.catalog` (see
+/// [`mg_isa::exec::step`]).
+///
+/// # Panics
+///
+/// Panics if the selection's instances overlap (cannot happen for
+/// selections produced by [`crate::select::select`]).
+pub fn rewrite(prog: &Program, selection: &Selection, style: RewriteStyle) -> Rewritten {
+    let mut insts = prog.insts.clone();
+    let mut is_pad = vec![false; insts.len()];
+
+    for c in &selection.chosen {
+        for &m in &c.graph.members {
+            assert!(
+                !is_pad[m] && insts[m].op != Opcode::Mg,
+                "overlapping mini-graph selection at {m}"
+            );
+            if m == c.graph.anchor {
+                insts[m] = c.graph.handle_inst(c.mgid);
+            } else {
+                insts[m] = Inst::pad();
+                is_pad[m] = true;
+            }
+        }
+    }
+
+    match style {
+        RewriteStyle::NopPadded => Rewritten {
+            program: Program {
+                insts,
+                entry: prog.entry,
+                labels: prog.labels.clone(),
+                base_addr: prog.base_addr,
+            },
+            removed: 0,
+            handles: selection.chosen.len(),
+        },
+        RewriteStyle::Compressed => {
+            let n = insts.len();
+            // forward[i]: new index of old instruction i if kept; removed
+            // instructions map to the next kept instruction (targets into a
+            // collapsed region land on whatever of the block remains).
+            let mut forward = vec![0usize; n + 1];
+            let mut next = 0usize;
+            for i in 0..n {
+                forward[i] = next;
+                if !is_pad[i] {
+                    next += 1;
+                }
+            }
+            forward[n] = next;
+
+            let mut out = Vec::with_capacity(next);
+            for (i, inst) in insts.into_iter().enumerate() {
+                if is_pad[i] {
+                    continue;
+                }
+                let mut inst = inst;
+                if let Some(t) = inst.static_target() {
+                    inst.disp = forward[t.min(n)] as i64;
+                }
+                if inst.op == Opcode::Mg && inst.aux >= 0 {
+                    inst.aux = forward[(inst.aux as usize).min(n)] as i64;
+                }
+                out.push(inst);
+            }
+            let labels = prog
+                .labels
+                .iter()
+                .map(|(k, &v)| (k.clone(), forward[v.min(n)]))
+                .collect();
+            Rewritten {
+                program: Program {
+                    insts: out,
+                    entry: forward[prog.entry.min(n)],
+                    labels,
+                    base_addr: prog.base_addr,
+                },
+                removed: n - next,
+                handles: selection.chosen.len(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_candidates;
+    use crate::policy::Policy;
+    use crate::select::select;
+    use mg_isa::exec::CpuState;
+    use mg_isa::{reg, Asm, Memory};
+    use mg_profile::{build_cfg, profile_program, run_program};
+
+    fn demo_program() -> Program {
+        let mut a = Asm::new();
+        a.li(reg(18), 0);
+        a.li(reg(5), 40);
+        a.li(reg(9), 0x8000);
+        a.label("top");
+        a.addl(reg(18), 2, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.stq(reg(18), 0, reg(9));
+        a.bne(reg(7), "top");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn select_all(p: &Program, policy: &Policy) -> Selection {
+        let cfg = build_cfg(p);
+        let prof = profile_program(p, &mut Memory::new(), None, 1_000_000).unwrap();
+        let cands = enumerate_candidates(p, &cfg, &prof, policy.max_size);
+        select(&cands, policy)
+    }
+
+    #[test]
+    fn nop_padded_preserves_layout_and_semantics() {
+        let p = demo_program();
+        let sel = select_all(&p, &Policy::default());
+        assert!(!sel.chosen.is_empty());
+        let rw = rewrite(&p, &sel, RewriteStyle::NopPadded);
+        assert_eq!(rw.program.len(), p.len(), "layout unchanged");
+        assert_eq!(rw.removed, 0);
+
+        let mut mem_a = Memory::new();
+        let mut mem_b = Memory::new();
+        let orig = run_program(&p, &mut mem_a, None, 100_000).unwrap();
+        let new =
+            run_program(&rw.program, &mut mem_b, Some(&sel.catalog), 100_000).unwrap();
+        assert_eq!(orig.cpu.regs, new.cpu.regs, "architectural state must match");
+        assert_eq!(orig.insts, new.insts, "represented instruction counts match");
+        assert_eq!(mem_a.read_u64(0x8000), mem_b.read_u64(0x8000));
+    }
+
+    #[test]
+    fn compressed_preserves_semantics_with_remapped_targets() {
+        let p = demo_program();
+        let sel = select_all(&p, &Policy::default());
+        let rw = rewrite(&p, &sel, RewriteStyle::Compressed);
+        assert!(rw.removed > 0, "compression removes pad slots");
+        assert!(rw.program.len() < p.len());
+
+        let mut mem_a = Memory::new();
+        let mut mem_b = Memory::new();
+        let orig = run_program(&p, &mut mem_a, None, 100_000).unwrap();
+        let new =
+            run_program(&rw.program, &mut mem_b, Some(&sel.catalog), 100_000).unwrap();
+        assert_eq!(orig.cpu.regs, new.cpu.regs);
+        assert_eq!(mem_a.read_u64(0x8000), mem_b.read_u64(0x8000));
+    }
+
+    #[test]
+    fn handle_count_reported() {
+        let p = demo_program();
+        let sel = select_all(&p, &Policy::default());
+        let rw = rewrite(&p, &sel, RewriteStyle::NopPadded);
+        assert_eq!(rw.handles, sel.chosen.len());
+        let planted = rw.program.insts.iter().filter(|i| i.op == Opcode::Mg).count();
+        assert_eq!(planted, rw.handles);
+    }
+
+    #[test]
+    fn functional_equivalence_via_cpustate() {
+        // Run both images step-by-step for a while; PCs differ but
+        // architectural register state at halt must agree.
+        let p = demo_program();
+        let sel = select_all(&p, &Policy::integer());
+        let rw = rewrite(&p, &sel, RewriteStyle::NopPadded);
+        let mut ca = CpuState::new(p.entry);
+        let mut cb = CpuState::new(rw.program.entry);
+        let mut ma = Memory::new();
+        let mut mb = Memory::new();
+        mg_isa::exec::run_to_halt(&p, &mut ca, &mut ma, None, 100_000).unwrap();
+        mg_isa::exec::run_to_halt(&rw.program, &mut cb, &mut mb, Some(&sel.catalog), 100_000)
+            .unwrap();
+        assert_eq!(ca.regs, cb.regs);
+    }
+}

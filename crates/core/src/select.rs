@@ -1,0 +1,305 @@
+//! Greedy coverage-ranked mini-graph selection (paper §3.2).
+//!
+//! Candidates are coalesced by canonical template ("we consider static
+//! mini-graphs with identical dataflows and immediate operands as
+//! equivalent"), ranked by estimated coverage `Σ (n-1)·f` over their still-
+//! available instances, and picked greedily. Selecting a mini-graph marks
+//! its static instructions as used, which may invalidate overlapping
+//! candidates; weights are re-adjusted every iteration. The process stops
+//! when the candidate list is exhausted or the MGT capacity (template
+//! limit) is reached.
+
+use crate::minigraph::MiniGraph;
+use crate::policy::Policy;
+use mg_isa::{HandleCatalog, MgTemplate};
+use std::collections::HashMap;
+
+/// One selected mini-graph instance with its assigned MGID.
+#[derive(Clone, Debug)]
+pub struct ChosenInstance {
+    /// The candidate.
+    pub graph: MiniGraph,
+    /// Index of the instance's template in the catalog.
+    pub mgid: u32,
+}
+
+/// The outcome of selection for one program.
+#[derive(Clone, Debug, Default)]
+pub struct Selection {
+    /// Selected instances (non-overlapping).
+    pub chosen: Vec<ChosenInstance>,
+    /// The MGT content: one entry per distinct template.
+    pub catalog: HandleCatalog,
+}
+
+impl Selection {
+    /// Dynamic instructions that are members of selected mini-graphs:
+    /// `Σ n·f`.
+    pub fn covered_insts(&self) -> u64 {
+        self.chosen.iter().map(|c| c.graph.size() as u64 * c.graph.freq).sum()
+    }
+
+    /// Dynamic pipeline slots saved: `Σ (n-1)·f` — the paper's coverage
+    /// metric ("the fraction of dynamic instructions it removes from the
+    /// pipeline", §3.2, relative to the total).
+    pub fn saved_slots(&self) -> u64 {
+        self.chosen.iter().map(|c| c.graph.benefit()).sum()
+    }
+
+    /// The paper's coverage metric, as a fraction of `total_dyn_insts`.
+    pub fn coverage(&self, total_dyn_insts: u64) -> f64 {
+        if total_dyn_insts == 0 {
+            return 0.0;
+        }
+        self.saved_slots() as f64 / total_dyn_insts as f64
+    }
+}
+
+/// Selects mini-graphs for one program from `candidates` under `policy`.
+pub fn select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
+    let instances: Vec<&MiniGraph> =
+        candidates.iter().filter(|c| policy.admits(c)).collect();
+    let groups = group_by_template(&instances);
+
+    let mut taken_insts: HashMap<usize, ()> = HashMap::new();
+    let mut selection = Selection::default();
+    let mut mgid_of: HashMap<&MgTemplate, u32> = HashMap::new();
+    let mut remaining: Vec<&TemplateGroup> = groups.iter().collect();
+
+    while selection.catalog.len() < policy.capacity {
+        // Re-adjust weights: benefit over still-available instances.
+        let mut best: Option<(usize, u64)> = None;
+        for (gi, g) in remaining.iter().enumerate() {
+            let b: u64 = g
+                .instances
+                .iter()
+                .filter(|inst| inst.members.iter().all(|m| !taken_insts.contains_key(m)))
+                .map(|inst| inst.benefit())
+                .sum();
+            if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
+                best = Some((gi, b));
+            }
+        }
+        let Some((gi, _)) = best else { break };
+        let group = remaining.swap_remove(gi);
+
+        let mgid = *mgid_of
+            .entry(&group.template)
+            .or_insert_with(|| selection.catalog.add(group.template.clone()));
+        for inst in &group.instances {
+            if inst.members.iter().any(|m| taken_insts.contains_key(m)) {
+                continue;
+            }
+            for &m in &inst.members {
+                taken_insts.insert(m, ());
+            }
+            selection.chosen.push(ChosenInstance { graph: (*inst).clone(), mgid });
+        }
+    }
+    selection
+}
+
+/// Selects one *domain-specific* MGT shared by several programs
+/// (paper Figure 5 bottom): templates are pooled across programs, benefits
+/// summed, and capacity shared; per-program selections are returned in
+/// input order alongside the shared catalog.
+pub fn select_domain(
+    per_program_candidates: &[Vec<MiniGraph>],
+    policy: &Policy,
+) -> (Vec<Selection>, HandleCatalog) {
+    struct Tagged<'a> {
+        prog: usize,
+        inst: &'a MiniGraph,
+    }
+    let mut all: Vec<Tagged<'_>> = Vec::new();
+    for (pi, cands) in per_program_candidates.iter().enumerate() {
+        for c in cands.iter().filter(|c| policy.admits(c)) {
+            all.push(Tagged { prog: pi, inst: c });
+        }
+    }
+    // Group across programs by template.
+    let mut index: HashMap<&MgTemplate, Vec<usize>> = HashMap::new();
+    for (i, t) in all.iter().enumerate() {
+        index.entry(&t.inst.template).or_default().push(i);
+    }
+    let groups: Vec<(&MgTemplate, Vec<usize>)> = index.into_iter().collect();
+
+    let mut taken: Vec<HashMap<usize, ()>> =
+        vec![HashMap::new(); per_program_candidates.len()];
+    let mut catalog = HandleCatalog::new();
+    let mut selections: Vec<Selection> =
+        vec![Selection::default(); per_program_candidates.len()];
+    let mut remaining: Vec<&(&MgTemplate, Vec<usize>)> = groups.iter().collect();
+
+    while catalog.len() < policy.capacity {
+        let mut best: Option<(usize, u64)> = None;
+        for (gi, (_, members)) in remaining.iter().enumerate() {
+            let b: u64 = members
+                .iter()
+                .map(|&i| &all[i])
+                .filter(|t| {
+                    t.inst.members.iter().all(|m| !taken[t.prog].contains_key(m))
+                })
+                .map(|t| t.inst.benefit())
+                .sum();
+            if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
+                best = Some((gi, b));
+            }
+        }
+        let Some((gi, _)) = best else { break };
+        let (template, members) = remaining.swap_remove(gi);
+        let mgid = catalog.add((*template).clone());
+        for &i in members {
+            let t = &all[i];
+            if t.inst.members.iter().any(|m| taken[t.prog].contains_key(m)) {
+                continue;
+            }
+            for &m in &t.inst.members {
+                taken[t.prog].insert(m, ());
+            }
+            selections[t.prog]
+                .chosen
+                .push(ChosenInstance { graph: t.inst.clone(), mgid });
+        }
+    }
+    // Each per-program selection shares the pooled catalog.
+    for s in &mut selections {
+        s.catalog = catalog.clone();
+    }
+    (selections, catalog)
+}
+
+struct TemplateGroup {
+    template: MgTemplate,
+    instances: Vec<MiniGraph>,
+}
+
+fn group_by_template(instances: &[&MiniGraph]) -> Vec<TemplateGroup> {
+    let mut map: HashMap<&MgTemplate, Vec<MiniGraph>> = HashMap::new();
+    for &inst in instances {
+        map.entry(&inst.template).or_default().push(inst.clone());
+    }
+    map.into_iter()
+        .map(|(t, instances)| TemplateGroup { template: t.clone(), instances })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_candidates;
+    use mg_isa::{reg, Asm, Memory, Program};
+    use mg_profile::{build_cfg, profile_program};
+
+    fn candidates_for(p: &Program) -> (Vec<MiniGraph>, u64) {
+        let cfg = build_cfg(p);
+        let prof = profile_program(p, &mut Memory::new(), None, 1_000_000).unwrap();
+        (enumerate_candidates(p, &cfg, &prof, 4), prof.total)
+    }
+
+    fn loop_program(iters: i64) -> Program {
+        let mut a = Asm::new();
+        a.li(reg(18), 0);
+        a.li(reg(5), iters);
+        a.label("top");
+        a.addl(reg(18), 1, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.bne(reg(7), "top");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn greedy_picks_largest_benefit() {
+        let p = loop_program(100);
+        let (cands, total) = candidates_for(&p);
+        let sel = select(&cands, &Policy::default());
+        assert_eq!(sel.catalog.len(), 1, "one 3-inst template wins");
+        assert_eq!(sel.chosen.len(), 1);
+        assert_eq!(sel.chosen[0].graph.size(), 3);
+        // Coverage: loop body (3 insts) runs 100 times; saves 2 slots each.
+        assert_eq!(sel.saved_slots(), 200);
+        assert!(sel.coverage(total) > 0.6);
+    }
+
+    #[test]
+    fn members_never_overlap() {
+        let p = loop_program(50);
+        let (cands, _) = candidates_for(&p);
+        let sel = select(&cands, &Policy::default());
+        let mut seen = std::collections::HashSet::new();
+        for c in &sel.chosen {
+            for &m in &c.graph.members {
+                assert!(seen.insert(m), "instruction {m} selected twice");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_limits_templates() {
+        // Two distinct hot idioms; capacity 1 keeps only the better one.
+        let mut a = Asm::new();
+        a.li(reg(1), 200);
+        a.li(reg(9), 0);
+        a.label("top");
+        a.addq(reg(9), 3, reg(9)); // idiom A (higher frequency via size)
+        a.srl(reg(9), 1, reg(9));
+        a.xor(reg(9), 5, reg(9));
+        a.subq(reg(1), 1, reg(1));
+        a.bne(reg(1), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let (cands, _) = candidates_for(&p);
+        let full = select(&cands, &Policy::default());
+        let capped = select(&cands, &Policy::default().with_capacity(1));
+        assert!(capped.catalog.len() <= 1);
+        assert!(capped.saved_slots() <= full.saved_slots());
+        assert!(full.catalog.len() >= 1);
+    }
+
+    #[test]
+    fn identical_idioms_share_one_template() {
+        // The same add/shift pair appears in two places.
+        let mut a = Asm::new();
+        a.li(reg(1), 30);
+        a.label("top");
+        a.addq(reg(2), 7, reg(3));
+        a.sll(reg(3), 2, reg(3));
+        a.stq(reg(3), 0, reg(28)); // keep r3 dead afterwards
+        a.addq(reg(2), 7, reg(4));
+        a.sll(reg(4), 2, reg(4));
+        a.stq(reg(4), 8, reg(28));
+        a.subq(reg(1), 1, reg(1));
+        a.bne(reg(1), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let (cands, _) = candidates_for(&p);
+        let sel = select(&cands, &Policy::integer());
+        let pair_instances: Vec<_> = sel
+            .chosen
+            .iter()
+            .filter(|c| c.graph.size() == 2 && c.graph.template.mem_op().is_none())
+            .collect();
+        if pair_instances.len() >= 2 {
+            assert_eq!(
+                pair_instances[0].mgid, pair_instances[1].mgid,
+                "identical dataflow + immediates coalesce to one MGT entry"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_selection_shares_capacity() {
+        let p1 = loop_program(100);
+        let p2 = loop_program(80); // identical idiom, different program
+        let (c1, _) = candidates_for(&p1);
+        let (c2, _) = candidates_for(&p2);
+        let (sels, catalog) =
+            select_domain(&[c1, c2], &Policy::default().with_capacity(4));
+        assert!(catalog.len() <= 4);
+        assert!(!sels[0].chosen.is_empty());
+        assert!(!sels[1].chosen.is_empty());
+        // The shared idiom maps to the same MGID in both programs.
+        assert_eq!(sels[0].chosen[0].mgid, sels[1].chosen[0].mgid);
+    }
+}

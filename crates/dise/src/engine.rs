@@ -1,0 +1,192 @@
+//! The DISE engine: decode-time instruction-stream editing.
+
+use crate::production::{InstantiateError, Production, ReplItem};
+use mg_isa::{Inst, Program, Reg};
+
+/// A dynamic instruction stream editor.
+///
+/// The engine holds active productions and the DISE-private register set
+/// (`$d0..`). Our model maps DISE registers onto architectural scratch
+/// registers supplied at construction; the caller guarantees they are dead
+/// at every expansion site (the paper gives DISE a physically separate
+/// register file, which a 32-register architectural model cannot express).
+#[derive(Clone, Debug, Default)]
+pub struct DiseEngine {
+    productions: Vec<Production>,
+    dise_regs: Vec<Reg>,
+}
+
+impl DiseEngine {
+    /// Creates an engine with no productions.
+    pub fn new(dise_regs: Vec<Reg>) -> DiseEngine {
+        DiseEngine { productions: Vec::new(), dise_regs }
+    }
+
+    /// Adds a production (later productions have lower priority; the first
+    /// matching pattern wins).
+    pub fn add(&mut self, p: Production) -> &mut Self {
+        self.productions.push(p);
+        self
+    }
+
+    /// Number of active productions.
+    pub fn len(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// Whether the engine has no productions.
+    pub fn is_empty(&self) -> bool {
+        self.productions.is_empty()
+    }
+
+    /// Expands one fetched instruction: returns the replacement sequence
+    /// if a production matches, or `None` to pass the instruction through
+    /// unmodified.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstantiateError`] if a matching replacement cannot be
+    /// instantiated (e.g. `$d` register out of range).
+    pub fn expand(&self, inst: &Inst) -> Result<Option<Vec<Inst>>, InstantiateError> {
+        let Some(p) = self.productions.iter().find(|p| p.pattern.matches(inst)) else {
+            return Ok(None);
+        };
+        let mut out = Vec::with_capacity(p.replacement.len());
+        for item in &p.replacement {
+            match item {
+                ReplItem::Original => out.push(*inst),
+                ReplItem::Inst(r) => out.push(r.instantiate(inst, &self.dise_regs)?),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Statically expands a whole program image, remapping control-flow
+    /// targets across the length changes. This models a processor that
+    /// does not support some codewords and lets DISE splice replacement
+    /// sequences in-line (paper §5: "a processor can always expand a
+    /// mini-graph it doesn't understand").
+    ///
+    /// # Errors
+    ///
+    /// Propagates instantiation errors.
+    pub fn expand_image(&self, prog: &Program) -> Result<Program, InstantiateError> {
+        let n = prog.insts.len();
+        let mut groups: Vec<Vec<Inst>> = Vec::with_capacity(n);
+        for inst in &prog.insts {
+            match self.expand(inst)? {
+                Some(seq) => groups.push(seq),
+                None => groups.push(vec![*inst]),
+            }
+        }
+        // Prefix sums for target remapping.
+        let mut forward = vec![0usize; n + 1];
+        let mut next = 0usize;
+        for (i, g) in groups.iter().enumerate() {
+            forward[i] = next;
+            next += g.len();
+        }
+        forward[n] = next;
+
+        let mut insts = Vec::with_capacity(next);
+        for g in &groups {
+            for inst in g {
+                let mut inst = *inst;
+                if let Some(t) = inst.static_target() {
+                    inst.disp = forward[t.min(n)] as i64;
+                }
+                if inst.op == mg_isa::Opcode::Mg && inst.aux >= 0 {
+                    inst.aux = forward[(inst.aux as usize).min(n)] as i64;
+                }
+                insts.push(inst);
+            }
+        }
+        let labels =
+            prog.labels.iter().map(|(k, &v)| (k.clone(), forward[v.min(n)])).collect();
+        Ok(Program {
+            insts,
+            entry: forward[prog.entry.min(n)],
+            labels,
+            base_addr: prog.base_addr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::production::{DispParam, Pattern, ReplInst, ReplOperand};
+    use mg_isa::{reg, Asm, Memory, OpClass, Opcode};
+    use mg_profile::run_program;
+
+    /// A transparent profiling utility: count every executed load in r27.
+    fn load_counting_engine() -> DiseEngine {
+        let mut e = DiseEngine::new(vec![reg(25), reg(26)]);
+        e.add(Production {
+            pattern: Pattern::class(OpClass::Load),
+            replacement: vec![
+                ReplItem::Original,
+                ReplItem::Inst(ReplInst {
+                    op: Opcode::Addq,
+                    a: ReplOperand::Reg(reg(27)),
+                    b: ReplOperand::Imm(1),
+                    c: ReplOperand::Reg(reg(27)),
+                    disp: DispParam::Lit(0),
+                }),
+            ],
+        });
+        e
+    }
+
+    #[test]
+    fn transparent_utility_counts_loads() {
+        let mut a = Asm::new();
+        a.li(reg(20), 0x9000);
+        a.li(reg(30), 10);
+        a.label("top");
+        a.ldq(reg(1), 0, reg(20));
+        a.ldq(reg(2), 8, reg(20));
+        a.subq(reg(30), 1, reg(30));
+        a.bne(reg(30), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+
+        let expanded = load_counting_engine().expand_image(&p).unwrap();
+        assert_eq!(expanded.len(), p.len() + 2, "two loads gained one inst each");
+        let r = run_program(&expanded, &mut Memory::new(), None, 10_000).unwrap();
+        assert_eq!(r.cpu.regs[27], 20, "2 loads x 10 iterations counted");
+    }
+
+    #[test]
+    fn expansion_remaps_branch_targets() {
+        let mut a = Asm::new();
+        a.li(reg(20), 0x9000);
+        a.beq(mg_isa::Reg::ZERO, "skip"); // always taken, over the load
+        a.ldq(reg(1), 0, reg(20));
+        a.label("skip");
+        a.halt();
+        let p = a.finish().unwrap();
+        let expanded = load_counting_engine().expand_image(&p).unwrap();
+        // The branch must still skip the (now larger) load group.
+        let r = run_program(&expanded, &mut Memory::new(), None, 100).unwrap();
+        assert_eq!(r.cpu.regs[27], 0, "skipped load not counted");
+    }
+
+    #[test]
+    fn first_matching_production_wins() {
+        let mut e = DiseEngine::new(vec![]);
+        e.add(Production {
+            pattern: Pattern::opcode(Opcode::Addq),
+            replacement: vec![ReplItem::Original, ReplItem::Original],
+        });
+        e.add(Production {
+            pattern: Pattern::class(OpClass::IntAlu),
+            replacement: vec![],
+        });
+        let add = Inst::op3(Opcode::Addq, reg(1), 1i64, reg(1));
+        let sub = Inst::op3(Opcode::Subq, reg(1), 1i64, reg(1));
+        assert_eq!(e.expand(&add).unwrap().unwrap().len(), 2);
+        assert_eq!(e.expand(&sub).unwrap().unwrap().len(), 0, "class pattern deletes");
+        assert!(e.expand(&Inst::nop()).unwrap().is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! DISE — a model of the dynamic instruction stream editor (Corliss,
+//! Lewis & Roth, ISCA-30) as used by the paper's §5 to supply
+//! application-specific mini-graphs.
+//!
+//! DISE translates fetched instructions into instruction sequences at
+//! decode time according to programmable *productions*. Mini-graph
+//! processing is an *aware* utility: handles are DISE codewords (the `mg`
+//! opcode), the MGT becomes a cache whose tags live in the [`Mgtt`], and
+//! the mini-graph pre-processor ([`mgpp`]) compiles replacement sequences
+//! into MGT format, approving only those that satisfy the mini-graph
+//! interface rules. A processor that does not recognise a handle simply
+//! expands it back into singletons ([`DiseEngine::expand_image`]) —
+//! preserving correctness and portability.
+//!
+//! # Example: round-tripping a mini-graph definition
+//!
+//! ```
+//! use mg_dise::{handle_production, mgpp, DiseEngine, Mgtt, MgttDecision};
+//! use mg_isa::{MgTemplate, Opcode, TmplInst, TmplOperand, reg};
+//!
+//! // The paper's mini-graph 34: ldq 16(E0) ; srl M0,14 ; and M1,1.
+//! let template = MgTemplate {
+//!     ops: vec![
+//!         TmplInst { op: Opcode::Ldq, a: TmplOperand::E0, b: TmplOperand::Imm(0), disp: 16 },
+//!         TmplInst { op: Opcode::Srl, a: TmplOperand::M(0), b: TmplOperand::Imm(14), disp: 0 },
+//!         TmplInst { op: Opcode::And, a: TmplOperand::M(1), b: TmplOperand::Imm(1), disp: 0 },
+//!     ],
+//!     out: Some(2),
+//! };
+//!
+//! // Express it as a DISE production, compile it with the MGPP, and
+//! // confirm the MGT row comes back identical.
+//! let production = handle_production(34, &template);
+//! let compiled = mgpp::compile(&production.replacement).expect("MGPP approves");
+//! assert_eq!(compiled, template);
+//!
+//! // The MGTT then keeps such handles un-expanded.
+//! let mut tags = Mgtt::new(512);
+//! tags.install(34);
+//! tags.set_approved(34, true);
+//! assert_eq!(tags.lookup(34), MgttDecision::KeepHandle);
+//! ```
+
+pub mod engine;
+pub mod mgpp;
+pub mod mgtt;
+pub mod production;
+
+pub use engine::DiseEngine;
+pub use mgpp::{compile as mgpp_compile, Reject};
+pub use mgtt::{Mgtt, MgttDecision, MgttEntry};
+pub use production::{
+    DispParam, InstantiateError, Pattern, Production, ReplInst, ReplItem, ReplOperand,
+};
+
+use mg_isa::{MgTemplate, OpClass, TmplOperand};
+
+fn repl_operand(o: TmplOperand, out: Option<u8>) -> ReplOperand {
+    match o {
+        TmplOperand::E0 => ReplOperand::Rs1,
+        TmplOperand::E1 => ReplOperand::Rs2,
+        TmplOperand::M(i) if Some(i) == out => ReplOperand::Rd,
+        TmplOperand::M(i) => ReplOperand::Dise(i),
+        TmplOperand::Imm(v) => ReplOperand::Imm(v),
+    }
+}
+
+/// Builds the DISE production for a mini-graph handle: the pattern matches
+/// the `mg` codeword with the given `mgid`; the replacement is the
+/// template expressed with `T.RS1`/`T.RS2`/`T.RD`/`$d` parameters —
+/// exactly the form the OS loads from an executable's `.dise` section.
+pub fn handle_production(mgid: u32, template: &MgTemplate) -> Production {
+    let out = template.out;
+    let mut replacement = Vec::with_capacity(template.len());
+    for (i, t) in template.ops.iter().enumerate() {
+        let dest = if Some(i as u8) == out {
+            ReplOperand::Rd
+        } else {
+            ReplOperand::Dise(i as u8)
+        };
+        let item = match t.op.class() {
+            OpClass::Load => ReplInst {
+                op: t.op,
+                a: repl_operand(t.a, out),
+                b: ReplOperand::Imm(0),
+                c: dest,
+                disp: DispParam::Lit(t.disp),
+            },
+            // Template stores are (a = data, b = base); ReplInst mirrors
+            // Inst layout (a = base, b = data).
+            OpClass::Store => ReplInst {
+                op: t.op,
+                a: repl_operand(t.b, out),
+                b: repl_operand(t.a, out),
+                c: ReplOperand::Reg(mg_isa::Reg::ZERO),
+                disp: DispParam::Lit(t.disp),
+            },
+            OpClass::CondBranch | OpClass::UncondBranch => ReplInst {
+                op: t.op,
+                a: repl_operand(t.a, out),
+                b: ReplOperand::Imm(0),
+                c: ReplOperand::Reg(mg_isa::Reg::ZERO),
+                // The executed target comes from the matched handle.
+                disp: DispParam::FromMatch,
+            },
+            _ => ReplInst {
+                op: t.op,
+                a: repl_operand(t.a, out),
+                b: repl_operand(t.b, out),
+                c: dest,
+                disp: DispParam::Lit(0),
+            },
+        };
+        replacement.push(ReplItem::Inst(item));
+    }
+    Production { pattern: Pattern::codeword(mgid), replacement }
+}
+
+/// Builds an engine that expands *every* handle of `catalog` back into
+/// singleton sequences — the behaviour of a processor with no mini-graph
+/// support, or of DISE when the MGTT rejects a definition.
+pub fn expansion_engine(
+    catalog: &mg_isa::HandleCatalog,
+    dise_regs: Vec<mg_isa::Reg>,
+) -> DiseEngine {
+    let mut e = DiseEngine::new(dise_regs);
+    for (mgid, t) in catalog.iter() {
+        e.add(handle_production(mgid, t));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Opcode, TmplInst};
+
+    fn mg12() -> MgTemplate {
+        MgTemplate {
+            ops: vec![
+                TmplInst { op: Opcode::Addl, a: TmplOperand::E0, b: TmplOperand::Imm(2), disp: 0 },
+                TmplInst { op: Opcode::Cmplt, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
+                TmplInst { op: Opcode::Bne, a: TmplOperand::M(1), b: TmplOperand::Imm(0), disp: -3 },
+            ],
+            out: Some(0),
+        }
+    }
+
+    #[test]
+    fn production_round_trips_through_mgpp() {
+        let t = mg12();
+        let p = handle_production(12, &t);
+        let compiled = mgpp::compile(&p.replacement).expect("approved");
+        // Branch displacement is carried by the handle (FromMatch), so the
+        // compiled row differs only in the terminal disp.
+        assert_eq!(compiled.out, t.out);
+        assert_eq!(compiled.ops.len(), t.ops.len());
+        assert_eq!(compiled.ops[0], t.ops[0]);
+        assert_eq!(compiled.ops[1], t.ops[1]);
+        assert_eq!(compiled.ops[2].op, Opcode::Bne);
+    }
+
+    #[test]
+    fn expansion_engine_covers_catalog() {
+        let mut cat = mg_isa::HandleCatalog::new();
+        cat.add(mg12());
+        let e = expansion_engine(&cat, vec![reg(25), reg(26), reg(27)]);
+        assert_eq!(e.len(), 1);
+        let h = mg_isa::Inst::handle(reg(18), reg(5), reg(18), 0, Some(9));
+        let seq = e.expand(&h).unwrap().expect("handle matches");
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0].to_string(), "addl r18,2,r18");
+        assert_eq!(seq[1].to_string(), "cmplt r18,r5,r26", "interior uses scratch");
+        assert_eq!(seq[2].static_target(), Some(9), "branch target from handle aux");
+    }
+}

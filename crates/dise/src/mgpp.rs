@@ -1,0 +1,312 @@
+//! The mini-graph pre-processor (MGPP).
+//!
+//! A small state machine that "scans DISE replacement sequences and
+//! compiles them to internal MGT format" (paper §5), approving the
+//! mini-graph if the sequence satisfies the interface rules (two register
+//! inputs via `T.RS1`/`T.RS2`, one output via `T.RD`, interior dataflow
+//! only through `$d` registers, at most one memory operation, at most one
+//! terminal control transfer).
+
+use crate::production::{DispParam, ReplItem, ReplOperand};
+use mg_isa::{MgTemplate, OpClass, TmplInst, TmplOperand};
+
+/// Why the MGPP rejected a replacement sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// Sequence is empty or a single instruction.
+    TooSmall,
+    /// Sequence longer than the MGT's per-row instruction capacity.
+    TooLong,
+    /// An opcode that may not appear inside a mini-graph.
+    IneligibleOpcode,
+    /// More than one memory operation.
+    TooManyMemOps,
+    /// A control transfer that is not the final instruction.
+    NonTerminalBranch,
+    /// A `$d` register is read before any instruction wrote it.
+    UndefinedDiseReg,
+    /// More than one instruction targets `T.RD`, or a `T.RD` write is
+    /// followed by uses that should have gone through `$d` registers.
+    MultipleOutputs,
+    /// `T.INSN` items cannot appear in mini-graph definitions.
+    OriginalNotAllowed,
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Reject::TooSmall => "sequence too small",
+            Reject::TooLong => "sequence exceeds MGT row capacity",
+            Reject::IneligibleOpcode => "ineligible opcode",
+            Reject::TooManyMemOps => "more than one memory operation",
+            Reject::NonTerminalBranch => "non-terminal control transfer",
+            Reject::UndefinedDiseReg => "read of an unwritten $d register",
+            Reject::MultipleOutputs => "more than one interface output",
+            Reject::OriginalNotAllowed => "T.INSN not allowed in mini-graph definitions",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// Maximum constituent instructions per MGT row accepted by the MGPP.
+pub const MAX_ROW: usize = 8;
+
+fn operand(
+    o: ReplOperand,
+    dise_writer: &[Option<u8>; 16],
+    rd_writer: Option<u8>,
+) -> Result<TmplOperand, Reject> {
+    match o {
+        ReplOperand::Rs1 => Ok(TmplOperand::E0),
+        ReplOperand::Rs2 => Ok(TmplOperand::E1),
+        ReplOperand::Dise(n) => dise_writer
+            .get(n as usize)
+            .copied()
+            .flatten()
+            .map(TmplOperand::M)
+            .ok_or(Reject::UndefinedDiseReg),
+        ReplOperand::Imm(v) => Ok(TmplOperand::Imm(v)),
+        ReplOperand::Reg(r) if r.is_zero() => Ok(TmplOperand::Imm(0)),
+        // Literal architectural registers would be hidden interface inputs.
+        ReplOperand::Reg(_) => Err(Reject::IneligibleOpcode),
+        // T.RD as a source names the interior value the output-producing
+        // instruction created (the paper's mg 12 reads T.RD in its cmplt).
+        ReplOperand::Rd => rd_writer.map(TmplOperand::M).ok_or(Reject::UndefinedDiseReg),
+        ReplOperand::ImmParam => Ok(TmplOperand::Imm(0)),
+    }
+}
+
+/// Compiles a replacement sequence into an [`MgTemplate`], validating the
+/// mini-graph interface rules.
+///
+/// # Errors
+///
+/// Returns a [`Reject`] describing the first violated rule.
+pub fn compile(seq: &[ReplItem]) -> Result<MgTemplate, Reject> {
+    if seq.len() < 2 {
+        return Err(Reject::TooSmall);
+    }
+    if seq.len() > MAX_ROW {
+        return Err(Reject::TooLong);
+    }
+    let mut ops: Vec<TmplInst> = Vec::with_capacity(seq.len());
+    let mut dise_writer: [Option<u8>; 16] = [None; 16];
+    let mut out: Option<u8> = None;
+    let mut mem_ops = 0;
+
+    for (i, item) in seq.iter().enumerate() {
+        let ReplItem::Inst(r) = item else { return Err(Reject::OriginalNotAllowed) };
+        if !r.op.is_mini_graph_eligible() {
+            return Err(Reject::IneligibleOpcode);
+        }
+        let class = r.op.class();
+        if class.is_mem() {
+            mem_ops += 1;
+            if mem_ops > 1 {
+                return Err(Reject::TooManyMemOps);
+            }
+        }
+        if class.is_control() && i + 1 != seq.len() {
+            return Err(Reject::NonTerminalBranch);
+        }
+        let disp = match r.disp {
+            DispParam::Lit(v) => v,
+            DispParam::FromMatch => 0,
+        };
+        let t = match class {
+            OpClass::IntAlu => TmplInst {
+                op: r.op,
+                a: operand(r.a, &dise_writer, out)?,
+                b: operand(r.b, &dise_writer, out)?,
+                disp,
+            },
+            OpClass::Load => TmplInst {
+                op: r.op,
+                a: operand(r.a, &dise_writer, out)?,
+                b: TmplOperand::Imm(0),
+                disp,
+            },
+            // Store replacement layout mirrors Inst: a = base, b = data;
+            // template layout is a = data, b = base.
+            OpClass::Store => TmplInst {
+                op: r.op,
+                a: operand(r.b, &dise_writer, out)?,
+                b: operand(r.a, &dise_writer, out)?,
+                disp,
+            },
+            OpClass::CondBranch => TmplInst {
+                op: r.op,
+                a: operand(r.a, &dise_writer, out)?,
+                b: TmplOperand::Imm(0),
+                disp,
+            },
+            OpClass::UncondBranch => TmplInst {
+                op: r.op,
+                a: TmplOperand::Imm(0),
+                b: TmplOperand::Imm(0),
+                disp,
+            },
+            _ => return Err(Reject::IneligibleOpcode),
+        };
+        ops.push(t);
+
+        // Destination bookkeeping.
+        match r.c {
+            ReplOperand::Dise(n) => {
+                if (n as usize) < dise_writer.len() {
+                    dise_writer[n as usize] = Some(i as u8);
+                } else {
+                    return Err(Reject::UndefinedDiseReg);
+                }
+            }
+            ReplOperand::Rd => {
+                if out.is_some() {
+                    return Err(Reject::MultipleOutputs);
+                }
+                out = Some(i as u8);
+            }
+            ReplOperand::Reg(r) if r.is_zero() => {}
+            _ if class == OpClass::Store || class.is_control() => {}
+            _ => return Err(Reject::MultipleOutputs),
+        }
+    }
+    Ok(MgTemplate { ops, out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::production::ReplInst;
+    use mg_isa::{Opcode, Reg};
+
+    fn ri(
+        op: Opcode,
+        a: ReplOperand,
+        b: ReplOperand,
+        c: ReplOperand,
+        disp: i64,
+    ) -> ReplItem {
+        ReplItem::Inst(ReplInst { op, a, b, c, disp: DispParam::Lit(disp) })
+    }
+
+    /// The paper's replacement for mini-graph 12:
+    /// `<addl T.RS1,2,T.RD ; cmplt T.RD,T.RS2,$d0 ; bne $d0,0xa>`.
+    fn mg12_items() -> Vec<ReplItem> {
+        vec![
+            ri(Opcode::Addl, ReplOperand::Rs1, ReplOperand::Imm(2), ReplOperand::Rd, 0),
+            ri(Opcode::Cmplt, ReplOperand::Rd, ReplOperand::Rs2, ReplOperand::Dise(0), 0),
+            ri(
+                Opcode::Bne,
+                ReplOperand::Dise(0),
+                ReplOperand::Imm(0),
+                ReplOperand::Reg(Reg::ZERO),
+                -3,
+            ),
+        ]
+    }
+
+    #[test]
+    fn compiles_paper_example_12() {
+        let t = compile(&mg12_items()).unwrap();
+        assert_eq!(t.out, Some(0), "paper: OUT field is 0");
+        assert_eq!(t.ops[1].a, TmplOperand::M(0), "T.RD source maps to M0");
+        assert_eq!(t.ops[1].b, TmplOperand::E1);
+        assert_eq!(t.ops[2].a, TmplOperand::M(1));
+        assert!(t.is_integer_only());
+    }
+
+    #[test]
+    fn compiles_paper_example_34() {
+        // <ldq $d0,16(T.RS2) ; srl $d0,14,$d0 ; and $d0,1,T.RD>
+        let items = vec![
+            ri(Opcode::Ldq, ReplOperand::Rs2, ReplOperand::Imm(0), ReplOperand::Dise(0), 16),
+            ri(Opcode::Srl, ReplOperand::Dise(0), ReplOperand::Imm(14), ReplOperand::Dise(0), 0),
+            ri(Opcode::And, ReplOperand::Dise(0), ReplOperand::Imm(1), ReplOperand::Rd, 0),
+        ];
+        let t = compile(&items).unwrap();
+        assert_eq!(t.out, Some(2));
+        assert_eq!(t.ops[0].a, TmplOperand::E1);
+        assert_eq!(t.ops[1].a, TmplOperand::M(0));
+        assert_eq!(t.ops[2].a, TmplOperand::M(1), "$d0 rebinds to the latest writer");
+        assert!(t.has_interior_load());
+    }
+
+    #[test]
+    fn rejects_undefined_dise_register() {
+        let mut items = mg12_items();
+        // Break the chain: bne now reads $d3 which nothing wrote.
+        items[2] = ri(
+            Opcode::Bne,
+            ReplOperand::Dise(3),
+            ReplOperand::Imm(0),
+            ReplOperand::Reg(Reg::ZERO),
+            -3,
+        );
+        assert_eq!(compile(&items).unwrap_err(), Reject::UndefinedDiseReg);
+    }
+
+    #[test]
+    fn rejects_rd_read_before_write() {
+        let items = vec![
+            ri(Opcode::Cmplt, ReplOperand::Rd, ReplOperand::Rs2, ReplOperand::Dise(0), 0),
+            ri(Opcode::Addq, ReplOperand::Dise(0), ReplOperand::Imm(1), ReplOperand::Rd, 0),
+        ];
+        assert_eq!(compile(&items).unwrap_err(), Reject::UndefinedDiseReg);
+    }
+
+    #[test]
+    fn rejects_two_memory_ops() {
+        let items = vec![
+            ri(Opcode::Ldq, ReplOperand::Rs1, ReplOperand::Imm(0), ReplOperand::Dise(0), 0),
+            ri(Opcode::Ldq, ReplOperand::Rs2, ReplOperand::Imm(0), ReplOperand::Rd, 8),
+        ];
+        // Second op is also a load, but first already used the memory slot…
+        // both are loads: the second read is the violation.
+        assert_eq!(compile(&items).unwrap_err(), Reject::TooManyMemOps);
+    }
+
+    #[test]
+    fn rejects_non_terminal_branch() {
+        let items = vec![
+            ri(
+                Opcode::Bne,
+                ReplOperand::Rs1,
+                ReplOperand::Imm(0),
+                ReplOperand::Reg(Reg::ZERO),
+                4,
+            ),
+            ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Rd, 0),
+        ];
+        assert_eq!(compile(&items).unwrap_err(), Reject::NonTerminalBranch);
+    }
+
+    #[test]
+    fn rejects_multiple_outputs() {
+        let items = vec![
+            ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Rd, 0),
+            ri(Opcode::Subq, ReplOperand::Rs2, ReplOperand::Imm(1), ReplOperand::Rd, 0),
+        ];
+        assert_eq!(compile(&items).unwrap_err(), Reject::MultipleOutputs);
+    }
+
+    #[test]
+    fn rejects_singleton_and_oversized() {
+        let one = vec![ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Rd, 0)];
+        assert_eq!(compile(&one).unwrap_err(), Reject::TooSmall);
+        let many: Vec<ReplItem> = (0..9)
+            .map(|_| ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Dise(0), 0))
+            .collect();
+        assert_eq!(compile(&many).unwrap_err(), Reject::TooLong);
+    }
+
+    #[test]
+    fn rejects_ineligible_opcode() {
+        let items = vec![
+            ri(Opcode::Mulq, ReplOperand::Rs1, ReplOperand::Rs2, ReplOperand::Dise(0), 0),
+            ri(Opcode::Addq, ReplOperand::Dise(0), ReplOperand::Imm(1), ReplOperand::Rd, 0),
+        ];
+        assert_eq!(compile(&items).unwrap_err(), Reject::IneligibleOpcode);
+    }
+}

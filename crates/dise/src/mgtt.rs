@@ -1,0 +1,127 @@
+//! The mini-graph tag table (MGTT).
+//!
+//! When the MGT acts as a cache of DISE-supplied mini-graph definitions,
+//! the MGTT holds its tags. Each entry carries two valid bits (paper §5):
+//! the first says the tag is not garbage and the mini-graph has been seen
+//! by the pre-processor; the second says the MGPP *approved* it, so the
+//! handle should stay un-expanded at decode. On a miss, DISE expands the
+//! replacement sequence (the pipeline keeps running) and sends a copy to
+//! the MGPP for inspection.
+
+/// One MGTT entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MgttEntry {
+    /// The tag.
+    pub mgid: u32,
+    /// First valid bit: the entry is live and pre-processing has begun.
+    pub seen: bool,
+    /// Second valid bit: the MGPP approved the mini-graph; keep the handle
+    /// un-expanded.
+    pub approved: bool,
+}
+
+/// The decision the decode stage takes for a fetched handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MgttDecision {
+    /// Tag present and approved: execute as a handle.
+    KeepHandle,
+    /// Tag present but rejected (or still in flight): expand.
+    Expand,
+    /// Tag absent: expand, and send the definition to the MGPP.
+    MissAndPreprocess,
+}
+
+/// A capacity-limited tag table with FIFO replacement.
+#[derive(Clone, Debug)]
+pub struct Mgtt {
+    entries: Vec<MgttEntry>,
+    capacity: usize,
+}
+
+impl Mgtt {
+    /// Creates a tag table for `capacity` mini-graphs.
+    pub fn new(capacity: usize) -> Mgtt {
+        Mgtt { entries: Vec::new(), capacity }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decode-time lookup.
+    pub fn lookup(&self, mgid: u32) -> MgttDecision {
+        match self.entries.iter().find(|e| e.mgid == mgid) {
+            Some(e) if e.seen && e.approved => MgttDecision::KeepHandle,
+            Some(_) => MgttDecision::Expand,
+            None => MgttDecision::MissAndPreprocess,
+        }
+    }
+
+    /// Installs a tag in the "seen, not yet approved" state (the MGPP has
+    /// the definition). Evicts the oldest entry if full.
+    pub fn install(&mut self, mgid: u32) {
+        if self.entries.iter().any(|e| e.mgid == mgid) {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(MgttEntry { mgid, seen: true, approved: false });
+    }
+
+    /// Marks the MGPP verdict for a tag.
+    pub fn set_approved(&mut self, mgid: u32, approved: bool) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.mgid == mgid) {
+            e.approved = approved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_install_then_approve() {
+        let mut t = Mgtt::new(4);
+        assert_eq!(t.lookup(12), MgttDecision::MissAndPreprocess);
+        t.install(12);
+        assert_eq!(t.lookup(12), MgttDecision::Expand, "seen but not approved yet");
+        t.set_approved(12, true);
+        assert_eq!(t.lookup(12), MgttDecision::KeepHandle);
+    }
+
+    #[test]
+    fn rejected_definitions_stay_expanded() {
+        let mut t = Mgtt::new(4);
+        t.install(7);
+        t.set_approved(7, false);
+        assert_eq!(t.lookup(7), MgttDecision::Expand);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut t = Mgtt::new(2);
+        t.install(1);
+        t.install(2);
+        t.install(3); // evicts 1
+        assert_eq!(t.lookup(1), MgttDecision::MissAndPreprocess);
+        assert_eq!(t.lookup(2), MgttDecision::Expand);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn reinstall_is_idempotent() {
+        let mut t = Mgtt::new(2);
+        t.install(5);
+        t.set_approved(5, true);
+        t.install(5);
+        assert_eq!(t.lookup(5), MgttDecision::KeepHandle, "approval survives");
+    }
+}

@@ -1,0 +1,294 @@
+//! DISE productions: `<pattern : replacement sequence>` pairs.
+//!
+//! A pattern matches aspects of a single fetched instruction (opcode,
+//! register names, immediate). A replacement is a parameterized
+//! instruction sequence whose "holes" (`T.RS1`, `T.RS2`, `T.RD`, `T.IMM`,
+//! `T.INSN`) are filled from the matching instruction; `$d<n>` registers
+//! name the DISE-private register set used for replacement-internal
+//! dataflow (paper §5).
+
+use mg_isa::{Inst, OpClass, Opcode, Operand, Reg};
+
+/// A pattern over one instruction. `None` fields match anything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Pattern {
+    /// Match a specific opcode.
+    pub op: Option<Opcode>,
+    /// Match a whole opcode class (e.g. every load).
+    pub class: Option<OpClass>,
+    /// Match the `ra` register.
+    pub ra: Option<Reg>,
+    /// Match the `rc` register.
+    pub rc: Option<Reg>,
+    /// Match the immediate/displacement (for `mg` codewords: the MGID).
+    pub imm: Option<i64>,
+}
+
+impl Pattern {
+    /// A pattern matching one opcode.
+    pub fn opcode(op: Opcode) -> Pattern {
+        Pattern { op: Some(op), ..Pattern::default() }
+    }
+
+    /// A pattern matching an opcode class.
+    pub fn class(class: OpClass) -> Pattern {
+        Pattern { class: Some(class), ..Pattern::default() }
+    }
+
+    /// A pattern matching the DISE codeword (`mg`) with a specific index.
+    pub fn codeword(mgid: u32) -> Pattern {
+        Pattern { op: Some(Opcode::Mg), imm: Some(mgid as i64), ..Pattern::default() }
+    }
+
+    /// Whether `inst` matches.
+    pub fn matches(&self, inst: &Inst) -> bool {
+        if let Some(op) = self.op {
+            if inst.op != op {
+                return false;
+            }
+        }
+        if let Some(c) = self.class {
+            if inst.op.class() != c {
+                return false;
+            }
+        }
+        if let Some(r) = self.ra {
+            if inst.ra != r {
+                return false;
+            }
+        }
+        if let Some(r) = self.rc {
+            if inst.rc != r {
+                return false;
+            }
+        }
+        if let Some(i) = self.imm {
+            if inst.disp != i {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A register-position operand of a replacement instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplOperand {
+    /// A literal register.
+    Reg(Reg),
+    /// The matching instruction's `ra` (`T.RS1`).
+    Rs1,
+    /// The matching instruction's `rb` register (`T.RS2`).
+    Rs2,
+    /// The matching instruction's destination (`T.RD`).
+    Rd,
+    /// DISE-private register `$d<n>`.
+    Dise(u8),
+    /// A literal immediate (only meaningful in `rb` position).
+    Imm(i64),
+    /// The matching instruction's immediate operand (`T.IMM`).
+    ImmParam,
+}
+
+/// A displacement parameter of a replacement instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispParam {
+    /// A literal displacement.
+    Lit(i64),
+    /// The matching instruction's displacement (`T.DISP`); for codewords
+    /// whose mini-graph ends in a branch this resolves to the handle's
+    /// terminal-branch target.
+    FromMatch,
+}
+
+/// One parameterized replacement instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplInst {
+    /// Opcode of the emitted instruction.
+    pub op: Opcode,
+    /// `ra`-position operand (must resolve to a register).
+    pub a: ReplOperand,
+    /// `rb`-position operand.
+    pub b: ReplOperand,
+    /// `rc`-position operand (destination; must resolve to a register).
+    pub c: ReplOperand,
+    /// Displacement.
+    pub disp: DispParam,
+}
+
+/// One element of a replacement sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplItem {
+    /// Emit the matching instruction unchanged (`T.INSN`).
+    Original,
+    /// Emit a parameterized instruction.
+    Inst(ReplInst),
+}
+
+/// A complete production.
+#[derive(Clone, Debug)]
+pub struct Production {
+    /// The pattern side.
+    pub pattern: Pattern,
+    /// The replacement sequence.
+    pub replacement: Vec<ReplItem>,
+}
+
+/// Errors raised when instantiating a replacement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstantiateError {
+    /// A `$d<n>` register index exceeded the engine's DISE register file.
+    DiseRegOutOfRange(u8),
+    /// A register-position operand resolved to an immediate.
+    RegisterExpected,
+}
+
+impl std::fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstantiateError::DiseRegOutOfRange(n) => {
+                write!(f, "DISE register $d{n} out of range")
+            }
+            InstantiateError::RegisterExpected => {
+                f.write_str("register-position operand resolved to an immediate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+fn resolve_reg(
+    o: ReplOperand,
+    matched: &Inst,
+    dise_regs: &[Reg],
+) -> Result<Reg, InstantiateError> {
+    match o {
+        ReplOperand::Reg(r) => Ok(r),
+        ReplOperand::Rs1 => Ok(matched.ra),
+        ReplOperand::Rs2 => match matched.rb {
+            Operand::Reg(r) => Ok(r),
+            Operand::Imm(_) => Err(InstantiateError::RegisterExpected),
+        },
+        ReplOperand::Rd => Ok(matched.rc),
+        ReplOperand::Dise(n) => dise_regs
+            .get(n as usize)
+            .copied()
+            .ok_or(InstantiateError::DiseRegOutOfRange(n)),
+        // A zero immediate in a register position is the zero register
+        // (templates canonicalize `r31` sources to `Imm(0)`).
+        ReplOperand::Imm(0) => Ok(Reg::ZERO),
+        ReplOperand::Imm(_) | ReplOperand::ImmParam => Err(InstantiateError::RegisterExpected),
+    }
+}
+
+fn resolve_rb(
+    o: ReplOperand,
+    matched: &Inst,
+    dise_regs: &[Reg],
+) -> Result<Operand, InstantiateError> {
+    match o {
+        ReplOperand::Imm(i) => Ok(Operand::Imm(i)),
+        ReplOperand::ImmParam => Ok(match matched.rb {
+            Operand::Imm(i) => Operand::Imm(i),
+            Operand::Reg(r) => Operand::Reg(r),
+        }),
+        other => Ok(Operand::Reg(resolve_reg(other, matched, dise_regs)?)),
+    }
+}
+
+impl ReplInst {
+    /// Instantiates this replacement instruction against `matched`, using
+    /// `dise_regs` as the DISE-private register set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstantiateError`] on unresolvable operands.
+    pub fn instantiate(&self, matched: &Inst, dise_regs: &[Reg]) -> Result<Inst, InstantiateError> {
+        let disp = match self.disp {
+            DispParam::Lit(v) => v,
+            DispParam::FromMatch => {
+                if matched.op == Opcode::Mg && self.op.is_control() {
+                    matched.aux
+                } else {
+                    matched.disp
+                }
+            }
+        };
+        let ra = resolve_reg(self.a, matched, dise_regs)?;
+        let rb = resolve_rb(self.b, matched, dise_regs)?;
+        let rc = resolve_reg(self.c, matched, dise_regs)?;
+        Ok(Inst { op: self.op, ra, rb, rc, disp, aux: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::reg;
+
+    #[test]
+    fn pattern_matching_axes() {
+        let add = Inst::op3(Opcode::Addq, reg(2), reg(4), reg(2));
+        assert!(Pattern::opcode(Opcode::Addq).matches(&add));
+        assert!(!Pattern::opcode(Opcode::Subq).matches(&add));
+        assert!(Pattern::class(OpClass::IntAlu).matches(&add));
+        assert!(Pattern { ra: Some(reg(2)), ..Pattern::default() }.matches(&add));
+        assert!(!Pattern { rc: Some(reg(9)), ..Pattern::default() }.matches(&add));
+    }
+
+    #[test]
+    fn codeword_pattern_keys_on_mgid() {
+        let h = Inst::handle(reg(1), reg(2), reg(3), 34, None);
+        assert!(Pattern::codeword(34).matches(&h));
+        assert!(!Pattern::codeword(12).matches(&h));
+        assert!(!Pattern::codeword(34).matches(&Inst::nop()));
+    }
+
+    #[test]
+    fn instantiation_fills_template_holes() {
+        // The paper's toy production: <add : T.INSN ; andi T.RD,0xff,T.RD>.
+        let matched = Inst::op3(Opcode::Addq, reg(2), reg(4), reg(2));
+        let andi = ReplInst {
+            op: Opcode::And,
+            a: ReplOperand::Rd,
+            b: ReplOperand::Imm(0xff),
+            c: ReplOperand::Rd,
+            disp: DispParam::Lit(0),
+        };
+        let inst = andi.instantiate(&matched, &[]).unwrap();
+        assert_eq!(inst.to_string(), "and r2,255,r2");
+    }
+
+    #[test]
+    fn dise_registers_resolve_from_engine_set() {
+        let matched = Inst::op3(Opcode::Addq, reg(2), reg(4), reg(2));
+        let r = ReplInst {
+            op: Opcode::Cmplt,
+            a: ReplOperand::Rd,
+            b: ReplOperand::Rs2,
+            c: ReplOperand::Dise(0),
+            disp: DispParam::Lit(0),
+        };
+        let inst = r.instantiate(&matched, &[reg(25)]).unwrap();
+        assert_eq!(inst.to_string(), "cmplt r2,r4,r25");
+        assert_eq!(
+            r.instantiate(&matched, &[]).unwrap_err(),
+            InstantiateError::DiseRegOutOfRange(0)
+        );
+    }
+
+    #[test]
+    fn from_match_disp_uses_handle_branch_target() {
+        let h = Inst::handle(reg(1), reg(2), reg(3), 12, Some(42));
+        let b = ReplInst {
+            op: Opcode::Bne,
+            a: ReplOperand::Dise(0),
+            b: ReplOperand::Imm(0),
+            c: ReplOperand::Reg(Reg::ZERO),
+            disp: DispParam::FromMatch,
+        };
+        let inst = b.instantiate(&h, &[reg(25)]).unwrap();
+        assert_eq!(inst.static_target(), Some(42));
+    }
+}

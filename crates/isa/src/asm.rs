@@ -1,0 +1,313 @@
+//! A builder-style assembler with label fix-ups.
+
+use crate::inst::{Inst, Operand};
+use crate::opcode::Opcode;
+use crate::program::{Program, DEFAULT_BASE_ADDR};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A branch target: a named label or an absolute instruction index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// A label to be resolved at [`Asm::finish`] time.
+    Label(String),
+    /// An absolute instruction index.
+    Abs(usize),
+}
+
+impl From<&str> for Target {
+    fn from(s: &str) -> Target {
+        Target::Label(s.to_string())
+    }
+}
+
+impl From<String> for Target {
+    fn from(s: String) -> Target {
+        Target::Label(s)
+    }
+}
+
+impl From<usize> for Target {
+    fn from(i: usize) -> Target {
+        Target::Abs(i)
+    }
+}
+
+/// Errors produced by [`Asm::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+macro_rules! operate_methods {
+    ($($name:ident => $op:ident),+ $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " ra,rb,rc` (`rc = ra ",
+                stringify!($name), " rb`).")]
+            pub fn $name(&mut self, ra: Reg, rb: impl Into<Operand>, rc: Reg) -> &mut Self {
+                self.push(Inst::op3(Opcode::$op, ra, rb, rc))
+            }
+        )+
+    };
+}
+
+macro_rules! load_methods {
+    ($($name:ident => $op:ident),+ $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " rc,disp(base)`.")]
+            pub fn $name(&mut self, rc: Reg, disp: i64, base: Reg) -> &mut Self {
+                self.push(Inst::load(Opcode::$op, rc, disp, base))
+            }
+        )+
+    };
+}
+
+macro_rules! store_methods {
+    ($($name:ident => $op:ident),+ $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " data,disp(base)`.")]
+            pub fn $name(&mut self, data: Reg, disp: i64, base: Reg) -> &mut Self {
+                self.push(Inst::store(Opcode::$op, data, disp, base))
+            }
+        )+
+    };
+}
+
+macro_rules! branch_methods {
+    ($($name:ident => $op:ident),+ $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name),
+                " ra,target` (target is a label or absolute index).")]
+            pub fn $name(&mut self, ra: Reg, target: impl Into<Target>) -> &mut Self {
+                let t = self.resolve_or_fixup(target.into());
+                self.push(Inst::branch(Opcode::$op, ra, t))
+            }
+        )+
+    };
+}
+
+/// A builder-style assembler.
+///
+/// Labels may be referenced before they are defined; [`Asm::finish`]
+/// resolves all fix-ups and produces a [`Program`].
+///
+/// ```
+/// use mg_isa::{Asm, reg};
+/// # fn main() -> Result<(), mg_isa::AsmError> {
+/// let mut a = Asm::new();
+/// a.li(reg(1), 3);
+/// a.label("top");
+/// a.subq(reg(1), 1, reg(1));
+/// a.bne(reg(1), "top");
+/// a.halt();
+/// let p = a.finish()?;
+/// assert_eq!(p.label("top"), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    duplicate: Option<String>,
+    base_addr: u64,
+}
+
+impl Asm {
+    /// Creates an empty assembler at the default base address.
+    pub fn new() -> Asm {
+        Asm { base_addr: DEFAULT_BASE_ADDR, ..Asm::default() }
+    }
+
+    /// Index the next emitted instruction will occupy.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.insts.len()).is_some() {
+            self.duplicate.get_or_insert_with(|| name.to_string());
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn resolve_or_fixup(&mut self, t: Target) -> i64 {
+        match t {
+            Target::Abs(i) => i as i64,
+            Target::Label(l) => {
+                self.fixups.push((self.insts.len(), l));
+                0
+            }
+        }
+    }
+
+    operate_methods! {
+        addl => Addl, addq => Addq, subl => Subl, subq => Subq,
+        s4addl => S4addl, s8addl => S8addl, s4addq => S4addq, s8addq => S8addq,
+        mull => Mull, mulq => Mulq,
+        and => And, bis => Bis, xor => Xor, bic => Bic, ornot => Ornot, eqv => Eqv,
+        sll => Sll, srl => Srl, sra => Sra,
+        cmpeq => Cmpeq, cmplt => Cmplt, cmple => Cmple, cmpult => Cmpult, cmpule => Cmpule,
+        zapnot => Zapnot, extbl => Extbl, sextb => Sextb, sextw => Sextw,
+    }
+
+    /// Emits `lda ra,imm,rc` (`rc = ra + imm`).
+    pub fn lda(&mut self, ra: Reg, imm: i64, rc: Reg) -> &mut Self {
+        self.push(Inst::op3(Opcode::Lda, ra, imm, rc))
+    }
+
+    /// Loads an arbitrary 64-bit immediate into `rc` (single `lda` from the
+    /// zero register; this simulator permits wide immediates).
+    pub fn li(&mut self, rc: Reg, value: i64) -> &mut Self {
+        self.lda(Reg::ZERO, value, rc)
+    }
+
+    /// Emits `mov ra -> rc` as `bis r31,ra,rc`.
+    pub fn mov(&mut self, ra: Reg, rc: Reg) -> &mut Self {
+        self.push(Inst::op3(Opcode::Bis, Reg::ZERO, ra, rc))
+    }
+
+    load_methods! { ldq => Ldq, ldl => Ldl, ldwu => Ldwu, ldbu => Ldbu }
+    store_methods! { stq => Stq, stl => Stl, stw => Stw, stb => Stb }
+    branch_methods! { beq => Beq, bne => Bne, blt => Blt, ble => Ble, bgt => Bgt, bge => Bge }
+
+    /// Emits an unconditional `br target`.
+    pub fn br(&mut self, target: impl Into<Target>) -> &mut Self {
+        let t = self.resolve_or_fixup(target.into());
+        self.push(Inst::ubranch(Opcode::Br, Reg::ZERO, t))
+    }
+
+    /// Emits `bsr rc,target` (call; return address in `rc`).
+    pub fn bsr(&mut self, rc: Reg, target: impl Into<Target>) -> &mut Self {
+        let t = self.resolve_or_fixup(target.into());
+        self.push(Inst::ubranch(Opcode::Bsr, rc, t))
+    }
+
+    /// Emits an indirect `jmp (ra)`.
+    pub fn jmp(&mut self, ra: Reg) -> &mut Self {
+        self.push(Inst::jump(Opcode::Jmp, ra, Reg::ZERO))
+    }
+
+    /// Emits `jsr rc,(ra)` (indirect call).
+    pub fn jsr(&mut self, rc: Reg, ra: Reg) -> &mut Self {
+        self.push(Inst::jump(Opcode::Jsr, ra, rc))
+    }
+
+    /// Emits `ret (ra)`.
+    pub fn ret(&mut self, ra: Reg) -> &mut Self {
+        self.push(Inst::jump(Opcode::Ret, ra, Reg::ZERO))
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::nop())
+    }
+
+    /// Emits a `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::halt())
+    }
+
+    /// Resolves all fix-ups and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a referenced label was never
+    /// defined, or [`AsmError::DuplicateLabel`] if a label was defined more
+    /// than once.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(d) = self.duplicate.take() {
+            return Err(AsmError::DuplicateLabel(d));
+        }
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            let Some(&idx) = self.labels.get(&label) else {
+                return Err(AsmError::UndefinedLabel(label));
+            };
+            self.insts[at].disp = idx as i64;
+        }
+        Ok(Program {
+            insts: self.insts,
+            entry: 0,
+            labels: self.labels,
+            base_addr: self.base_addr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::reg;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        a.beq(reg(1), "end"); // forward reference
+        a.label("top");
+        a.subq(reg(1), 1, reg(1));
+        a.bne(reg(1), "top"); // backward reference
+        a.label("end");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.insts[0].disp, 3, "forward label resolves past the loop");
+        assert_eq!(p.insts[2].disp, 1, "backward label resolves to loop head");
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new();
+        a.br("nowhere");
+        assert_eq!(a.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn chained_building() {
+        let mut a = Asm::new();
+        a.li(reg(1), 5).addq(reg(1), 1, reg(2)).halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.insts[1].to_string(), "addq r1,1,r2");
+    }
+
+    #[test]
+    fn absolute_targets() {
+        let mut a = Asm::new();
+        a.nop();
+        a.br(0usize);
+        let p = a.finish().unwrap();
+        assert_eq!(p.insts[1].static_target(), Some(0));
+    }
+}

@@ -1,0 +1,66 @@
+//! An Alpha-flavoured 64-bit RISC instruction set, assembler, sparse memory,
+//! and functional execution semantics.
+//!
+//! This crate is the ISA substrate for the reproduction of *Dataflow
+//! Mini-Graphs: Amplifying Superscalar Capacity and Bandwidth* (MICRO-37,
+//! 2004). The paper evaluates on Alpha AXP binaries; we define a compact
+//! Alpha-like ISA carrying the same opcode families the paper's examples use
+//! (`addl`, `s8addl`, `cmplt`, `bne`, `ldq`, `srl`, `and`, `bis`, `lda`, …)
+//! plus the reserved `mg` handle opcode that stands in for an entire
+//! mini-graph.
+//!
+//! # Layout
+//!
+//! * [`Reg`] — architectural integer registers `r0..r31` (`r31` reads zero).
+//! * [`Opcode`] / [`OpClass`] — operations and their pipeline classes.
+//! * [`Inst`] — a decoded instruction; uniform 3-operand layout.
+//! * [`Program`] — a code image with labels and a base address.
+//! * [`Asm`] — a builder-style assembler with label fix-ups.
+//! * [`Memory`] — sparse paged byte-addressable memory.
+//! * [`exec`] — functional (architectural) semantics, handle-aware.
+//! * [`handle`] — mini-graph execution templates (`E0`/`E1`/`M(i)` operands)
+//!   shared by the functional simulator and the timing model.
+//!
+//! # Example
+//!
+//! ```
+//! use mg_isa::{Asm, reg, exec::{CpuState, run_to_halt}, Memory};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new();
+//! let (r1, r2) = (reg(1), reg(2));
+//! a.li(r1, 10);
+//! a.li(r2, 0);
+//! a.label("loop");
+//! a.addq(r2, r1, r2);
+//! a.subq(r1, 1, r1);
+//! a.bne(r1, "loop");
+//! a.halt();
+//! let prog = a.finish()?;
+//!
+//! let mut cpu = CpuState::new(prog.entry);
+//! let mut mem = Memory::new();
+//! run_to_halt(&prog, &mut cpu, &mut mem, None, 1_000)?;
+//! assert_eq!(cpu.regs[2], 10 + 9 + 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod exec;
+pub mod handle;
+pub mod inst;
+pub mod mem;
+pub mod opcode;
+pub mod parse;
+pub mod program;
+pub mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use handle::{HandleCatalog, MgTemplate, TmplInst, TmplOperand};
+pub use inst::{Inst, Operand};
+pub use mem::Memory;
+pub use opcode::{OpClass, Opcode};
+pub use parse::assemble;
+pub use program::Program;
+pub use reg::{reg, Reg, NUM_REGS};

@@ -1,0 +1,201 @@
+//! Sparse paged byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, little-endian, byte-addressable memory.
+///
+/// Pages are allocated on first touch; reads of untouched memory return
+/// zero. Accesses may straddle page boundaries.
+///
+/// ```
+/// use mg_isa::Memory;
+/// let mut m = Memory::new();
+/// m.write_u64(0xffe, 0x1122_3344_5566_7788); // crosses a page boundary
+/// assert_eq!(m.read_u64(0xffe), 0x1122_3344_5566_7788);
+/// assert_eq!(m.read_u8(0x1000), 0x66);
+/// assert_eq!(m.read_u32(0x5000), 0, "untouched memory reads zero");
+/// ```
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = val;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        for (i, &b) in buf.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        let mut b = [0u8; 2];
+        self.read_bytes(addr, &mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, val: u16) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Reads `width` bytes (1, 2, 4, or 8) zero-extended into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8.
+    pub fn read_uint(&self, addr: u64, width: u8) -> u64 {
+        match width {
+            1 => self.read_u8(addr) as u64,
+            2 => self.read_u16(addr) as u64,
+            4 => self.read_u32(addr) as u64,
+            8 => self.read_u64(addr),
+            _ => panic!("unsupported access width {width}"),
+        }
+    }
+
+    /// Writes the low `width` bytes (1, 2, 4, or 8) of `val`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8.
+    pub fn write_uint(&mut self, addr: u64, width: u8, val: u64) {
+        match width {
+            1 => self.write_u8(addr, val as u8),
+            2 => self.write_u16(addr, val as u16),
+            4 => self.write_u32(addr, val as u32),
+            8 => self.write_u64(addr, val),
+            _ => panic!("unsupported access width {width}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_widths() {
+        let mut m = Memory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0xdead_beef);
+        m.write_u64(40, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0xdead_beef);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x103), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3;
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn generic_width_accessors() {
+        let mut m = Memory::new();
+        m.write_uint(0, 2, 0xffff_abcd);
+        assert_eq!(m.read_uint(0, 2), 0xabcd);
+        assert_eq!(m.read_uint(0, 4), 0xabcd);
+        m.write_uint(8, 8, u64::MAX);
+        assert_eq!(m.read_uint(8, 1), 0xff);
+    }
+}

@@ -1,0 +1,340 @@
+//! A text assembler: parses the same syntax [`Inst`](crate::Inst)'s
+//! `Display` produces, plus labels, comments, and named branch targets.
+//!
+//! ```
+//! use mg_isa::parse::assemble;
+//!
+//! # fn main() -> Result<(), mg_isa::parse::ParseError> {
+//! let prog = assemble(
+//!     "
+//!     ; sum the integers 1..=10
+//!             lda   r31,10,r1
+//!             lda   r31,0,r2
+//!     loop:   addq  r2,r1,r2
+//!             subq  r1,1,r1
+//!             bne   r1,loop
+//!             halt
+//!     ",
+//! )?;
+//! assert_eq!(prog.label("loop"), Some(2));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::asm::{Asm, AsmError, Target};
+use crate::inst::{Inst, Operand};
+use crate::opcode::{OpClass, Opcode};
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unknown mnemonic.
+    UnknownOpcode { line: usize, mnemonic: String },
+    /// An operand could not be parsed.
+    BadOperand { line: usize, text: String },
+    /// Wrong number/shape of operands for the opcode.
+    BadOperands { line: usize, mnemonic: String },
+    /// Label resolution failed.
+    Asm(AsmError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownOpcode { line, mnemonic } => {
+                write!(f, "line {line}: unknown opcode `{mnemonic}`")
+            }
+            ParseError::BadOperand { line, text } => {
+                write!(f, "line {line}: bad operand `{text}`")
+            }
+            ParseError::BadOperands { line, mnemonic } => {
+                write!(f, "line {line}: wrong operands for `{mnemonic}`")
+            }
+            ParseError::Asm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> ParseError {
+        ParseError::Asm(e)
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    let bad = || ParseError::BadOperand { line, text: s.to_string() };
+    let n = s.strip_prefix('r').ok_or_else(bad)?;
+    let idx: u8 = n.parse().map_err(|_| bad())?;
+    Reg::try_new(idx).ok_or_else(bad)
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(Operand::Reg(parse_reg(s, line)?));
+    }
+    let v: i64 = s
+        .parse()
+        .map_err(|_| ParseError::BadOperand { line, text: s.to_string() })?;
+    Ok(Operand::Imm(v))
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, ParseError> {
+    s.parse().map_err(|_| ParseError::BadOperand { line, text: s.to_string() })
+}
+
+/// Splits `disp(base)` into its displacement and base register.
+fn parse_mem(s: &str, line: usize) -> Result<(i64, Reg), ParseError> {
+    let bad = || ParseError::BadOperand { line, text: s.to_string() };
+    let open = s.find('(').ok_or_else(bad)?;
+    let close = s.strip_suffix(')').ok_or_else(bad)?;
+    let disp = parse_imm(&s[..open], line)?;
+    let base = parse_reg(&close[open + 1..], line)?;
+    Ok((disp, base))
+}
+
+/// A branch target: `@<index>` (absolute) or a label name.
+fn parse_target(s: &str, line: usize) -> Result<Target, ParseError> {
+    if let Some(abs) = s.strip_prefix('@') {
+        let idx: usize = abs
+            .parse()
+            .map_err(|_| ParseError::BadOperand { line, text: s.to_string() })?;
+        return Ok(Target::Abs(idx));
+    }
+    Ok(Target::Label(s.to_string()))
+}
+
+/// Assembles source text into a [`Program`](crate::Program).
+///
+/// Syntax: one instruction per line in the `Display` form of [`Inst`]
+/// (`addl r1,2,r3`, `ldq r2,16(r4)`, `stq r2,-8(r30)`, `bne r7,target`);
+/// labels end with `:` and may share a line with an instruction; `;` and
+/// `#` start comments. Branch targets may be label names or `@index`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn assemble(src: &str) -> Result<crate::Program, ParseError> {
+    let mut a = Asm::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find([';', '#']) {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            a.label(label);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let op = Opcode::from_mnemonic(mnemonic).ok_or_else(|| ParseError::UnknownOpcode {
+            line,
+            mnemonic: mnemonic.to_string(),
+        })?;
+        let ops: Vec<&str> =
+            rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let wrong = || ParseError::BadOperands { line, mnemonic: mnemonic.to_string() };
+
+        match op.class() {
+            OpClass::IntAlu | OpClass::IntMul => {
+                let [ra, rb, rc] = ops[..] else { return Err(wrong()) };
+                a.push(Inst::op3(
+                    op,
+                    parse_reg(ra, line)?,
+                    parse_operand(rb, line)?,
+                    parse_reg(rc, line)?,
+                ));
+            }
+            OpClass::Load => {
+                let [rc, mem] = ops[..] else { return Err(wrong()) };
+                let (disp, base) = parse_mem(mem, line)?;
+                a.push(Inst::load(op, parse_reg(rc, line)?, disp, base));
+            }
+            OpClass::Store => {
+                let [data, mem] = ops[..] else { return Err(wrong()) };
+                let (disp, base) = parse_mem(mem, line)?;
+                a.push(Inst::store(op, parse_reg(data, line)?, disp, base));
+            }
+            OpClass::CondBranch => {
+                let [ra, target] = ops[..] else { return Err(wrong()) };
+                let ra = parse_reg(ra, line)?;
+                match parse_target(target, line)? {
+                    Target::Abs(i) => {
+                        a.push(Inst::branch(op, ra, i as i64));
+                    }
+                    t => {
+                        match op {
+                            Opcode::Beq => a.beq(ra, t),
+                            Opcode::Bne => a.bne(ra, t),
+                            Opcode::Blt => a.blt(ra, t),
+                            Opcode::Ble => a.ble(ra, t),
+                            Opcode::Bgt => a.bgt(ra, t),
+                            Opcode::Bge => a.bge(ra, t),
+                            _ => unreachable!("cond branch opcodes covered"),
+                        };
+                    }
+                }
+            }
+            OpClass::UncondBranch => match (op, &ops[..]) {
+                (Opcode::Br, [target]) => {
+                    a.br(parse_target(target, line)?);
+                }
+                (Opcode::Bsr, [rc, target]) => {
+                    let rc = parse_reg(rc, line)?;
+                    let t = parse_target(target, line)?;
+                    a.bsr(rc, t);
+                }
+                _ => return Err(wrong()),
+            },
+            OpClass::Jump => match (op, &ops[..]) {
+                (Opcode::Jmp, [ra]) => {
+                    a.jmp(parse_paren_reg(ra, line)?);
+                }
+                (Opcode::Ret, [ra]) => {
+                    a.ret(parse_paren_reg(ra, line)?);
+                }
+                (Opcode::Jsr, [rc, ra]) => {
+                    let rc = parse_reg(rc, line)?;
+                    a.jsr(rc, parse_paren_reg(ra, line)?);
+                }
+                _ => return Err(wrong()),
+            },
+            OpClass::Handle => {
+                let [ra, rb, rc, mgid] = ops[..] else { return Err(wrong()) };
+                a.push(Inst::handle(
+                    parse_reg(ra, line)?,
+                    parse_reg(rb, line)?,
+                    parse_reg(rc, line)?,
+                    parse_imm(mgid, line)? as u32,
+                    None,
+                ));
+            }
+            OpClass::Nop => {
+                a.nop();
+            }
+            OpClass::Pad => {
+                a.push(Inst::pad());
+            }
+            OpClass::Halt => {
+                a.halt();
+            }
+        }
+    }
+    Ok(a.finish()?)
+}
+
+/// Accepts `(r5)` or bare `r5`.
+fn parse_paren_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    let inner = s.strip_prefix('(').and_then(|x| x.strip_suffix(')')).unwrap_or(s);
+    parse_reg(inner, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_to_halt, CpuState};
+    use crate::mem::Memory;
+
+    #[test]
+    fn parses_and_executes() {
+        let p = assemble(
+            "
+            ; simple countdown
+                    lda  r31,5,r1
+            top:    subq r1,1,r1
+                    bne  r1,top
+                    halt
+            ",
+        )
+        .unwrap();
+        let mut cpu = CpuState::new(0);
+        let mut mem = Memory::new();
+        run_to_halt(&p, &mut cpu, &mut mem, None, 1000).unwrap();
+        assert_eq!(cpu.regs[1], 0);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        // Whatever Display prints must re-assemble to the same instruction.
+        let src = "
+            addl r18,2,r18
+            s8addl r7,r0,r7
+            cmplt r18,r5,r7
+            ldq r2,16(r4)
+            stq r2,-8(r30)
+            bne r7,@0
+            mg r18,r5,r18,12
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        for inst in &p.insts {
+            let reprinted = inst.to_string();
+            let again = assemble(&reprinted).unwrap();
+            assert_eq!(again.insts[0], *inst, "round trip failed for `{reprinted}`");
+        }
+    }
+
+    #[test]
+    fn memory_and_jump_forms() {
+        let p = assemble(
+            "
+                lda r31,100,r26
+                jsr r26,(r26)
+                ret (r26)
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.insts[1].op, Opcode::Jsr);
+        assert_eq!(p.insts[2].op, Opcode::Ret);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = assemble("nop\nfrobnicate r1,r2,r3\n").unwrap_err();
+        assert_eq!(
+            e,
+            ParseError::UnknownOpcode { line: 2, mnemonic: "frobnicate".into() }
+        );
+        let e = assemble("addl r1,r2\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadOperands { line: 1, .. }));
+        let e = assemble("ldq r2,16[r4]\n").unwrap_err();
+        assert!(matches!(e, ParseError::BadOperand { line: 1, .. }));
+    }
+
+    #[test]
+    fn undefined_label_propagates() {
+        let e = assemble("br nowhere\n").unwrap_err();
+        assert_eq!(e, ParseError::Asm(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn comments_and_shared_label_lines() {
+        let p = assemble(
+            "
+            start: nop            # hash comment
+            end:   halt           ; semicolon comment
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.label("end"), Some(1));
+        assert_eq!(p.len(), 2);
+    }
+}

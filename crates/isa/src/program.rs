@@ -1,0 +1,108 @@
+//! Program images.
+
+use crate::inst::Inst;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default base byte address at which code images are laid out.
+pub const DEFAULT_BASE_ADDR: u64 = 0x0010_0000;
+
+/// Size of one encoded instruction in bytes (fixed-width ISA).
+pub const INST_BYTES: u64 = 4;
+
+/// A program: a code image plus labels and an entry point.
+///
+/// Instruction "addresses" at the architectural level are instruction
+/// *indices*; the byte address seen by the instruction cache is
+/// `base_addr + 4 * index`.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The instructions, in layout order.
+    pub insts: Vec<Inst>,
+    /// Entry instruction index.
+    pub entry: usize,
+    /// Label name → instruction index.
+    pub labels: BTreeMap<String, usize>,
+    /// Base byte address of the image.
+    pub base_addr: u64,
+}
+
+impl Program {
+    /// Creates a program from raw instructions with entry point 0.
+    pub fn from_insts(insts: Vec<Inst>) -> Program {
+        Program { insts, entry: 0, labels: BTreeMap::new(), base_addr: DEFAULT_BASE_ADDR }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Byte address of the instruction at `index`.
+    pub fn byte_addr(&self, index: usize) -> u64 {
+        self.base_addr + INST_BYTES * index as u64
+    }
+
+    /// Index of the label, if defined.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// A textual disassembly listing.
+    pub fn listing(&self) -> String {
+        let mut rev: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (name, &idx) in &self.labels {
+            rev.entry(idx).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let Some(names) = rev.get(&i) {
+                for n in names {
+                    out.push_str(n);
+                    out.push_str(":\n");
+                }
+            }
+            out.push_str(&format!("{i:6}  {inst}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::reg::reg;
+
+    #[test]
+    fn byte_addresses() {
+        let p = Program::from_insts(vec![Inst::nop(), Inst::nop()]);
+        assert_eq!(p.byte_addr(0), DEFAULT_BASE_ADDR);
+        assert_eq!(p.byte_addr(1), DEFAULT_BASE_ADDR + 4);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn listing_includes_labels() {
+        let mut p = Program::from_insts(vec![
+            Inst::op3(Opcode::Addl, reg(1), 2i64, reg(1)),
+            Inst::halt(),
+        ]);
+        p.labels.insert("start".into(), 0);
+        let l = p.listing();
+        assert!(l.contains("start:"));
+        assert!(l.contains("addl r1,2,r1"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the text assembler: every instruction the builder
+//! can produce must round-trip through `Display` → `assemble`, and the
+//! sparse memory must behave like a flat byte map.
+
+use mg_isa::{assemble, reg, Inst, Memory, Opcode, Operand};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn operate_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Addl,
+        Opcode::Addq,
+        Opcode::Subl,
+        Opcode::Subq,
+        Opcode::S4addl,
+        Opcode::S8addq,
+        Opcode::Lda,
+        Opcode::Mull,
+        Opcode::And,
+        Opcode::Bis,
+        Opcode::Xor,
+        Opcode::Bic,
+        Opcode::Ornot,
+        Opcode::Eqv,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Cmpeq,
+        Opcode::Cmplt,
+        Opcode::Cmpule,
+        Opcode::Zapnot,
+        Opcode::Extbl,
+        Opcode::Sextb,
+        Opcode::Sextw,
+    ])
+}
+
+fn mem_opcode() -> impl Strategy<Value = (Opcode, bool)> {
+    prop::sample::select(vec![
+        (Opcode::Ldq, false),
+        (Opcode::Ldl, false),
+        (Opcode::Ldwu, false),
+        (Opcode::Ldbu, false),
+        (Opcode::Stq, true),
+        (Opcode::Stl, true),
+        (Opcode::Stw, true),
+        (Opcode::Stb, true),
+    ])
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (operate_opcode(), 0u8..32, 0u8..32, 0u8..32, any::<bool>(), -500i64..500).prop_map(
+            |(op, a, b, c, use_imm, imm)| {
+                let rb: Operand =
+                    if use_imm { Operand::Imm(imm) } else { Operand::Reg(reg(b)) };
+                Inst::op3(op, reg(a), rb, reg(c))
+            }
+        ),
+        (mem_opcode(), 0u8..32, 0u8..32, -512i64..512).prop_map(|((op, store), x, base, d)| {
+            if store {
+                Inst::store(op, reg(x), d, reg(base))
+            } else {
+                Inst::load(op, reg(x), d, reg(base))
+            }
+        }),
+        (0u8..32, 0i64..1000).prop_map(|(a, t)| Inst::branch(Opcode::Bne, reg(a), t)),
+        (0u8..32, 0u8..32, 0u8..32, 0u32..2048).prop_map(|(a, b, c, id)| {
+            Inst::handle(reg(a), reg(b), reg(c), id, None)
+        }),
+        Just(Inst::nop()),
+        Just(Inst::halt()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Display` output re-assembles to the identical instruction.
+    #[test]
+    fn display_assemble_round_trip(inst in arb_inst()) {
+        let text = inst.to_string();
+        let prog = assemble(&text).map_err(|e| {
+            TestCaseError::fail(format!("`{text}` failed to parse: {e}"))
+        })?;
+        prop_assert_eq!(prog.len(), 1);
+        prop_assert_eq!(prog.insts[0], inst, "`{}` round-tripped differently", text);
+    }
+
+    /// Sparse memory behaves exactly like a flat byte map for arbitrary
+    /// interleavings of multi-width reads and writes.
+    #[test]
+    fn memory_matches_flat_map(
+        writes in prop::collection::vec(
+            (0u64..0x3000, prop::sample::select(vec![1u8, 2, 4, 8]), any::<u64>()),
+            1..100,
+        ),
+    ) {
+        let mut mem = Memory::new();
+        let mut flat: HashMap<u64, u8> = HashMap::new();
+        for (addr, width, value) in writes {
+            mem.write_uint(addr, width, value);
+            for (i, b) in value.to_le_bytes().iter().take(width as usize).enumerate() {
+                flat.insert(addr + i as u64, *b);
+            }
+            // Read back a window covering the write.
+            for off in 0..width as u64 {
+                let expect = *flat.get(&(addr + off)).expect("just written");
+                prop_assert_eq!(mem.read_u8(addr + off), expect);
+            }
+        }
+        // Full sweep: every byte agrees (untouched bytes read zero).
+        for a in (0..0x3000u64).step_by(97) {
+            prop_assert_eq!(mem.read_u8(a), flat.get(&a).copied().unwrap_or(0));
+        }
+    }
+}

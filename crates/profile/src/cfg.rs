@@ -1,0 +1,199 @@
+//! Static basic-block construction.
+
+use mg_isa::{OpClass, Program};
+
+/// A basic block: the half-open instruction index range `[start, end)`.
+///
+/// Blocks are maximal single-entry single-exit straight-line regions; they
+/// are the scope within which mini-graphs may be formed (atomicity, paper
+/// §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block is empty (never true for constructed CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Iterates over the instruction indices of the block.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a program, reduced to its basic-block
+/// partition (successor edges are not needed by the extraction algorithm,
+/// which only requires block boundaries and frequencies).
+#[derive(Clone, Debug, Default)]
+pub struct Cfg {
+    /// Blocks ordered by start index; they partition `0..program.len()`.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from instruction index to the index of its containing block.
+    block_of: Vec<u32>,
+}
+
+impl Cfg {
+    /// The block with the given index.
+    pub fn block_at(&self, index: usize) -> Option<&BasicBlock> {
+        self.blocks.get(index)
+    }
+
+    /// The block containing instruction `inst_index`.
+    pub fn block_of(&self, inst_index: usize) -> Option<&BasicBlock> {
+        let b = *self.block_of.get(inst_index)?;
+        self.blocks.get(b as usize)
+    }
+
+    /// The index of the block containing instruction `inst_index`.
+    pub fn block_index_of(&self, inst_index: usize) -> Option<usize> {
+        self.block_of.get(inst_index).map(|&b| b as usize)
+    }
+}
+
+/// Whether an instruction terminates a basic block.
+fn ends_block(prog: &Program, idx: usize) -> bool {
+    let inst = &prog.insts[idx];
+    match inst.op.class() {
+        OpClass::CondBranch | OpClass::UncondBranch | OpClass::Jump | OpClass::Halt => true,
+        // A handle whose mini-graph ends in a branch transfers control.
+        OpClass::Handle => inst.handle_branch_target().is_some(),
+        _ => false,
+    }
+}
+
+/// Builds the basic-block partition of `prog`.
+///
+/// Leaders are: the entry instruction, every direct branch target, and
+/// every instruction following a control transfer (or halt). Indirect jump
+/// targets are not statically known; the instruction *after* a jump is a
+/// leader, and in the workloads used here indirect-call/return targets
+/// always coincide with label boundaries that are also reached by direct
+/// references.
+pub fn build_cfg(prog: &Program) -> Cfg {
+    let n = prog.insts.len();
+    if n == 0 {
+        return Cfg::default();
+    }
+    let mut leader = vec![false; n];
+    leader[prog.entry.min(n - 1)] = true;
+    leader[0] = true;
+    for (i, inst) in prog.insts.iter().enumerate() {
+        if let Some(t) = inst.static_target() {
+            if t < n {
+                leader[t] = true;
+            }
+        }
+        if let Some(t) = inst.handle_branch_target() {
+            if t < n {
+                leader[t] = true;
+            }
+        }
+        if ends_block(prog, i) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+    // Labels are potential targets of indirect control; make them leaders so
+    // jump/return targets never land mid-block.
+    for &idx in prog.labels.values() {
+        if idx < n {
+            leader[idx] = true;
+        }
+    }
+
+    let mut blocks = Vec::new();
+    let mut block_of = vec![0u32; n];
+    let mut start = 0usize;
+    for i in 0..n {
+        let last = i + 1 == n || leader[i + 1] || ends_block(prog, i);
+        if last {
+            let b = blocks.len() as u32;
+            blocks.push(BasicBlock { start, end: i + 1 });
+            for idx in start..=i {
+                block_of[idx] = b;
+            }
+            start = i + 1;
+        }
+    }
+    Cfg { blocks, block_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm};
+
+    fn loop_program() -> Program {
+        let mut a = Asm::new();
+        a.li(reg(1), 4); // 0
+        a.label("top");
+        a.subq(reg(1), 1, reg(1)); // 1
+        a.bne(reg(1), "top"); // 2
+        a.halt(); // 3
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn blocks_partition_program() {
+        let p = loop_program();
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0], BasicBlock { start: 0, end: 1 });
+        assert_eq!(cfg.blocks[1], BasicBlock { start: 1, end: 3 });
+        assert_eq!(cfg.blocks[2], BasicBlock { start: 3, end: 4 });
+        let covered: usize = cfg.blocks.iter().map(BasicBlock::len).sum();
+        assert_eq!(covered, p.len());
+    }
+
+    #[test]
+    fn block_of_lookup() {
+        let p = loop_program();
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.block_index_of(0), Some(0));
+        assert_eq!(cfg.block_index_of(1), Some(1));
+        assert_eq!(cfg.block_index_of(2), Some(1));
+        assert_eq!(cfg.block_index_of(3), Some(2));
+        assert_eq!(cfg.block_index_of(4), None);
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut a = Asm::new();
+        a.li(reg(1), 1);
+        a.addq(reg(1), 1, reg(1));
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        let cfg = build_cfg(&p);
+        assert!(cfg.blocks.is_empty());
+    }
+
+    #[test]
+    fn labels_split_blocks() {
+        let mut a = Asm::new();
+        a.nop();
+        a.label("entry2"); // label makes a leader even with no direct branch
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.blocks.len(), 2);
+    }
+}

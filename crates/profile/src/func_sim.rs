@@ -1,0 +1,60 @@
+//! Convenience wrappers around functional execution.
+
+use mg_isa::exec::{run_to_halt, CpuState, ExecError};
+use mg_isa::{HandleCatalog, Memory, Program};
+
+/// The result of a complete functional run.
+#[derive(Clone, Debug)]
+pub struct FuncResult {
+    /// Final architectural state.
+    pub cpu: CpuState,
+    /// Number of original program instructions executed (handles count as
+    /// their template length).
+    pub insts: u64,
+}
+
+/// Runs `prog` to `halt` on a fresh CPU, against the given memory.
+///
+/// # Errors
+///
+/// Propagates functional-execution errors, including
+/// [`ExecError::StepLimit`] if the program does not halt within
+/// `max_steps` fetched instructions.
+pub fn run_program(
+    prog: &Program,
+    mem: &mut Memory,
+    catalog: Option<&HandleCatalog>,
+    max_steps: u64,
+) -> Result<FuncResult, ExecError> {
+    let mut cpu = CpuState::new(prog.entry);
+    let insts = run_to_halt(prog, &mut cpu, mem, catalog, max_steps)?;
+    Ok(FuncResult { cpu, insts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm};
+
+    #[test]
+    fn run_program_reports_inst_count() {
+        let mut a = Asm::new();
+        a.li(reg(1), 2);
+        a.addq(reg(1), 1, reg(1));
+        a.halt();
+        let p = a.finish().unwrap();
+        let r = run_program(&p, &mut Memory::new(), None, 100).unwrap();
+        assert_eq!(r.insts, 3);
+        assert_eq!(r.cpu.regs[1], 3);
+    }
+
+    #[test]
+    fn non_halting_program_errors() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.br("spin");
+        let p = a.finish().unwrap();
+        let err = run_program(&p, &mut Memory::new(), None, 5).unwrap_err();
+        assert!(matches!(err, ExecError::StepLimit(5)));
+    }
+}

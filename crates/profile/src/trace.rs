@@ -1,0 +1,121 @@
+//! Dynamic instruction traces.
+//!
+//! The timing simulator in `mg-uarch` is trace-driven: a functional pass
+//! produces the committed-path instruction stream with memory addresses and
+//! branch outcomes, and the cycle-level model replays it against pipeline
+//! and memory-system resources. This is the standard substitution for the
+//! paper's execution-driven SimpleScalar setup (see `DESIGN.md` §2).
+
+use mg_isa::exec::{step, BrRec, CpuState, ExecError, MemRef};
+use mg_isa::{HandleCatalog, Memory, Program};
+
+/// One committed-path fetched instruction (a singleton or a whole handle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynOp {
+    /// Static instruction index into the traced program.
+    pub sidx: u32,
+    /// The (single) memory reference, if any.
+    pub mem: Option<MemRef>,
+    /// The control transfer, if any.
+    pub br: Option<BrRec>,
+}
+
+/// A committed-path dynamic trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// The dynamic operations in commit order.
+    pub ops: Vec<DynOp>,
+    /// Total original program instructions represented (handles count as
+    /// their template length) — the numerator for IPC.
+    pub insts: u64,
+}
+
+impl Trace {
+    /// Number of fetched (dynamic) operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Functionally executes `prog` to halt, recording the dynamic trace.
+///
+/// `max_ops` bounds the trace length; execution stops early (without error)
+/// once the bound is reached, which is how long-running workloads are
+/// sampled for timing simulation.
+///
+/// # Errors
+///
+/// Propagates functional-execution errors ([`ExecError`]).
+pub fn record_trace(
+    prog: &Program,
+    mem: &mut Memory,
+    catalog: Option<&HandleCatalog>,
+    max_ops: u64,
+) -> Result<Trace, ExecError> {
+    let mut cpu = CpuState::new(prog.entry);
+    let mut trace = Trace::default();
+    while (trace.ops.len() as u64) < max_ops {
+        let pc = cpu.pc;
+        let info = step(prog, &mut cpu, mem, catalog)?;
+        // Rewriter padding is squashed at fetch: it occupies code space (the
+        // byte addresses of surviving instructions already reflect that) but
+        // never enters the pipeline.
+        if prog.insts[pc].op != mg_isa::Opcode::Pad {
+            trace.ops.push(DynOp { sidx: pc as u32, mem: info.mem, br: info.br });
+        }
+        trace.insts += info.represents as u64;
+        if info.halted {
+            break;
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm};
+
+    #[test]
+    fn trace_records_memory_and_branches() {
+        let mut a = Asm::new();
+        a.li(reg(1), 0x4000); // 0
+        a.li(reg(2), 2); // 1
+        a.label("top");
+        a.stq(reg(2), 0, reg(1)); // 2
+        a.ldq(reg(3), 0, reg(1)); // 3
+        a.subq(reg(2), 1, reg(2)); // 4
+        a.bne(reg(2), "top"); // 5
+        a.halt(); // 6
+        let p = a.finish().unwrap();
+        let t = record_trace(&p, &mut Memory::new(), None, 1000).unwrap();
+        // 2 setup + 2 iterations * 4 + halt.
+        assert_eq!(t.len(), 2 + 2 * 4 + 1);
+        assert_eq!(t.insts, t.len() as u64, "singletons represent themselves");
+        let store = &t.ops[2];
+        assert_eq!(store.mem.unwrap().addr, 0x4000);
+        assert!(store.mem.unwrap().store);
+        let load = &t.ops[3];
+        assert!(!load.mem.unwrap().store);
+        let b1 = &t.ops[5];
+        assert_eq!(b1.br.unwrap().taken, true);
+        let b2 = &t.ops[9];
+        assert_eq!(b2.br.unwrap().taken, false);
+    }
+
+    #[test]
+    fn max_ops_truncates() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.addq(reg(1), 1, reg(1));
+        a.br("spin");
+        let p = a.finish().unwrap();
+        let t = record_trace(&p, &mut Memory::new(), None, 10).unwrap();
+        assert_eq!(t.len(), 10);
+    }
+}

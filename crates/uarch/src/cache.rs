@@ -1,0 +1,265 @@
+//! Set-associative caches and the two-level memory hierarchy.
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The cache tracks tag state only (the simulator is trace-driven; data
+/// values come from functional execution). `access` returns whether the
+/// line hit and fills it on a miss.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    lru: Vec<u64>,
+    tick: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `bytes` capacity, `ways` associativity, and
+    /// `line` bytes per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two set count
+    /// or line size).
+    pub fn new(bytes: usize, ways: usize, line: usize) -> Cache {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        let sets = bytes / (ways * line);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            ways,
+            line_shift: line.trailing_zeros(),
+            tags: vec![0; sets * ways],
+            valid: vec![false; sets * ways],
+            lru: vec![0; sets * ways],
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) as usize) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on a hit. Fills
+    /// the line (evicting LRU) on a miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.tick += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.valid[i] && self.tags[i] == tag {
+                self.lru[i] = self.tick;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let victim = (0..self.ways)
+            .min_by_key(|&w| {
+                let i = base + w;
+                if self.valid[i] {
+                    self.lru[i]
+                } else {
+                    0
+                }
+            })
+            .expect("cache has at least one way");
+        let i = base + victim;
+        self.tags[i] = tag;
+        self.valid[i] = true;
+        self.lru[i] = self.tick;
+        false
+    }
+
+    /// Whether the line containing `addr` is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        (0..self.ways).any(|w| self.valid[base + w] && self.tags[base + w] == tag)
+    }
+}
+
+/// Result of a memory-hierarchy access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total latency in cycles (including L1 hit time).
+    pub latency: u32,
+    /// Whether the access missed in L1.
+    pub l1_miss: bool,
+    /// Whether the access missed in L2 (went to memory).
+    pub l2_miss: bool,
+}
+
+/// The two-level hierarchy behind one L1 cache (instruction or data): L1 →
+/// unified L2 → memory over a shared occupancy-limited bus.
+#[derive(Clone, Debug)]
+pub struct MemHierarchy {
+    /// L1 instruction cache.
+    pub il1: Cache,
+    /// L1 data cache.
+    pub dl1: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    il1_lat: u32,
+    dl1_lat: u32,
+    l2_lat: u32,
+    mem_lat: u32,
+    bus_occupancy: u32,
+    bus_free_at: u64,
+}
+
+impl MemHierarchy {
+    /// Builds the hierarchy from `(bytes, ways, line, hit_latency)` tuples.
+    pub fn new(
+        il1: (usize, usize, usize, u32),
+        dl1: (usize, usize, usize, u32),
+        l2: (usize, usize, usize, u32),
+        mem_lat: u32,
+        bus_occupancy: u32,
+    ) -> MemHierarchy {
+        MemHierarchy {
+            il1: Cache::new(il1.0, il1.1, il1.2),
+            dl1: Cache::new(dl1.0, dl1.1, dl1.2),
+            l2: Cache::new(l2.0, l2.1, l2.2),
+            il1_lat: il1.3,
+            dl1_lat: dl1.3,
+            l2_lat: l2.3,
+            mem_lat,
+            bus_occupancy,
+            bus_free_at: 0,
+        }
+    }
+
+    fn lower_levels(&mut self, addr: u64, now: u64, l1_lat: u32) -> AccessResult {
+        if self.l2.access(addr) {
+            return AccessResult { latency: l1_lat + self.l2_lat, l1_miss: true, l2_miss: false };
+        }
+        // L2 miss: line moves over the quarter-frequency 16-byte bus; a
+        // busy bus delays the access start.
+        let start = now.max(self.bus_free_at);
+        self.bus_free_at = start + self.bus_occupancy as u64;
+        let queue = (start - now) as u32;
+        AccessResult {
+            latency: l1_lat + self.l2_lat + queue + self.mem_lat,
+            l1_miss: true,
+            l2_miss: true,
+        }
+    }
+
+    /// Instruction-fetch access at `now`.
+    pub fn fetch(&mut self, addr: u64, now: u64) -> AccessResult {
+        if self.il1.access(addr) {
+            return AccessResult { latency: self.il1_lat, l1_miss: false, l2_miss: false };
+        }
+        self.lower_levels(addr, now, self.il1_lat)
+    }
+
+    /// Data access (load or store fill) at `now`.
+    pub fn data(&mut self, addr: u64, now: u64) -> AccessResult {
+        if self.dl1.access(addr) {
+            return AccessResult { latency: self.dl1_lat, l1_miss: false, l2_miss: false };
+        }
+        self.lower_levels(addr, now, self.dl1_lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(1024, 2, 32);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x11f), "same 32-byte line");
+        assert!(!c.access(0x120), "next line misses");
+        assert_eq!(c.accesses, 4);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 ways, 1 set: capacity 2 lines.
+        let mut c = Cache::new(64, 2, 32);
+        c.access(0x000); // A
+        c.access(0x100); // B (0x100 maps to the same single set)
+        c.access(0x000); // refresh A
+        c.access(0x200); // C evicts B (LRU)
+        assert!(c.probe(0x000), "A survives");
+        assert!(!c.probe(0x100), "B evicted");
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let mut m = MemHierarchy::new(
+            (1024, 2, 32, 1),
+            (1024, 2, 32, 2),
+            (8192, 4, 128, 10),
+            100,
+            32,
+        );
+        // Cold: L1 miss + L2 miss -> memory.
+        let r = m.data(0x4000, 0);
+        assert!(r.l1_miss && r.l2_miss);
+        assert_eq!(r.latency, 2 + 10 + 100);
+        // Hot in L1.
+        let r = m.data(0x4000, 10);
+        assert!(!r.l1_miss);
+        assert_eq!(r.latency, 2);
+        // Different L1 line, same L2 line (128B): L1 miss, L2 hit.
+        let r = m.data(0x4020, 20);
+        assert!(r.l1_miss && !r.l2_miss);
+        assert_eq!(r.latency, 2 + 10);
+    }
+
+    #[test]
+    fn bus_occupancy_serializes_misses() {
+        let mut m = MemHierarchy::new(
+            (64, 1, 32, 1),
+            (64, 1, 32, 2),
+            (256, 1, 128, 10),
+            100,
+            32,
+        );
+        let r1 = m.data(0x10000, 0);
+        let r2 = m.data(0x20000, 0); // back-to-back L2 miss queues behind the bus
+        assert_eq!(r1.latency, 2 + 10 + 100);
+        assert_eq!(r2.latency, 2 + 10 + 32 + 100);
+    }
+
+    #[test]
+    fn fetch_uses_il1() {
+        let mut m = MemHierarchy::new(
+            (1024, 2, 32, 1),
+            (1024, 2, 32, 2),
+            (8192, 4, 128, 10),
+            100,
+            32,
+        );
+        let r = m.fetch(0x100000, 0);
+        assert!(r.l1_miss);
+        let r = m.fetch(0x100000, 200);
+        assert!(!r.l1_miss);
+        assert_eq!(r.latency, 1);
+        assert_eq!(m.il1.accesses, 2);
+        assert_eq!(m.dl1.accesses, 0);
+    }
+}

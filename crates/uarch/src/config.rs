@@ -1,0 +1,229 @@
+//! Simulator configuration.
+
+use mg_core::MgtConfig;
+
+/// Mini-graph hardware fitted to the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MgSupport {
+    /// No mini-graph hardware; handles are illegal.
+    None,
+    /// Two of the integer ALUs are replaced by ALU pipelines: integer
+    /// mini-graphs execute, integer-memory handles must not appear.
+    Integer,
+    /// ALU pipelines plus a sliding-window scheduler: integer-memory
+    /// mini-graphs execute too (at most one integer-memory handle issues
+    /// per cycle).
+    IntegerMemory,
+}
+
+/// Full machine description.
+///
+/// [`SimConfig::baseline`] reproduces the paper's evaluation machine (§6):
+/// 6-wide, 15-stage, 128-entry ROB, 64-entry LSQ, 50-entry issue queue,
+/// 164 physical registers, 4 int + 2 FP + 2 load + 1 store issue mix,
+/// store-sets load scheduling, hybrid 12Kb predictor, 32KB L1s, 2MB L2,
+/// 100-cycle memory behind a quarter-frequency 16B bus.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Front-end width: fetch, decode, rename, and retire per cycle.
+    pub front_width: u32,
+    /// Issue (execute) width per cycle.
+    pub issue_width: u32,
+    /// Cycles from fetch to dispatch (front-end depth; the paper's 15-stage
+    /// pipe has 9 pre-dispatch stages: 3 fetch, 3 decode, 2 rename,
+    /// 1 dispatch).
+    pub frontend_depth: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Issue-queue (scheduler) entries.
+    pub iq_size: usize,
+    /// Load-queue entries.
+    pub lq_size: usize,
+    /// Store-queue entries.
+    pub sq_size: usize,
+    /// Physical registers (architected + in-flight; the baseline's 164 =
+    /// 64 architected + 100 in-flight).
+    pub phys_regs: usize,
+    /// Integer ALUs (of which `alu_pipes` are ALU pipelines under
+    /// mini-graph support).
+    pub int_alus: u32,
+    /// ALU pipelines fitted when `mg` is not [`MgSupport::None`].
+    pub alu_pipes: u32,
+    /// Depth of each ALU pipeline.
+    pub alu_pipe_depth: u32,
+    /// Load ports.
+    pub load_ports: u32,
+    /// Store ports.
+    pub store_ports: u32,
+    /// Physical-register-file write ports (reserved at issue).
+    pub prf_write_ports: u32,
+    /// Scheduler loop latency: 1 = single-cycle (dependent single-cycle ops
+    /// issue back-to-back), 2 = pipelined wake-up/select.
+    pub sched_loop: u32,
+    /// Mini-graph support level.
+    pub mg: MgSupport,
+    /// Pair-wise collapsing ALU pipelines (§6.2 latency reduction).
+    pub collapsing: bool,
+    /// L1 instruction cache: (bytes, associativity, line bytes, hit cycles).
+    pub il1: (usize, usize, usize, u32),
+    /// L1 data cache: (bytes, associativity, line bytes, hit cycles).
+    pub dl1: (usize, usize, usize, u32),
+    /// Unified L2: (bytes, associativity, line bytes, hit cycles).
+    pub l2: (usize, usize, usize, u32),
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u32,
+    /// Memory-bus occupancy per L2 miss in cycles (16B bus at ¼ core
+    /// frequency moving a 128B line = 8 × 4 cycles).
+    pub mem_bus_occupancy: u32,
+    /// Maximum instructions of the dynamic trace to simulate (0 = all).
+    pub max_ops: u64,
+}
+
+impl SimConfig {
+    /// The paper's baseline machine.
+    pub fn baseline() -> SimConfig {
+        SimConfig {
+            front_width: 6,
+            issue_width: 6,
+            frontend_depth: 9,
+            rob_size: 128,
+            iq_size: 50,
+            lq_size: 32,
+            sq_size: 32,
+            phys_regs: 164,
+            int_alus: 4,
+            alu_pipes: 2,
+            alu_pipe_depth: 4,
+            load_ports: 2,
+            store_ports: 1,
+            prf_write_ports: 4,
+            sched_loop: 1,
+            mg: MgSupport::None,
+            collapsing: false,
+            il1: (32 * 1024, 2, 32, 1),
+            dl1: (32 * 1024, 2, 32, 2),
+            l2: (2 * 1024 * 1024, 4, 128, 10),
+            mem_latency: 100,
+            mem_bus_occupancy: 32,
+            max_ops: 0,
+        }
+    }
+
+    /// Baseline plus ALU pipelines for integer mini-graphs (§6.2 "int").
+    pub fn mg_integer() -> SimConfig {
+        SimConfig { mg: MgSupport::Integer, ..SimConfig::baseline() }
+    }
+
+    /// Baseline plus ALU pipelines and a sliding-window scheduler for
+    /// integer-memory mini-graphs (§6.2 "int-mem").
+    pub fn mg_integer_memory() -> SimConfig {
+        SimConfig { mg: MgSupport::IntegerMemory, ..SimConfig::baseline() }
+    }
+
+    /// Returns this configuration with pair-wise collapsing ALU pipelines.
+    pub fn with_collapsing(mut self) -> SimConfig {
+        self.collapsing = true;
+        self
+    }
+
+    /// Returns this configuration narrowed to `w`-wide fetch / rename /
+    /// retire (Figure 8 bottom).
+    pub fn with_front_width(mut self, w: u32) -> SimConfig {
+        self.front_width = w;
+        self
+    }
+
+    /// Returns this configuration with a different physical register count
+    /// (Figure 8 top).
+    pub fn with_phys_regs(mut self, n: usize) -> SimConfig {
+        self.phys_regs = n;
+        self
+    }
+
+    /// Effective load-use execution latency on an L1 hit (address
+    /// generation + cache access).
+    pub fn load_hit_latency(&self) -> u32 {
+        1 + self.dl1.3
+    }
+
+    /// The MGT packing parameters implied by this machine.
+    pub fn mgt_config(&self) -> MgtConfig {
+        MgtConfig {
+            load_latency: self.load_hit_latency(),
+            have_alu_pipe: self.mg != MgSupport::None && self.alu_pipes > 0,
+            alu_pipe_depth: self.alu_pipe_depth,
+            collapsing: self.collapsing,
+        }
+    }
+
+    /// Number of plain (non-pipeline) ALUs under this configuration.
+    pub fn plain_alus(&self) -> u32 {
+        if self.mg == MgSupport::None {
+            self.int_alus
+        } else {
+            self.int_alus.saturating_sub(self.alu_pipes)
+        }
+    }
+
+    /// Number of ALU pipelines under this configuration.
+    pub fn pipes(&self) -> u32 {
+        if self.mg == MgSupport::None {
+            0
+        } else {
+            self.alu_pipes
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let c = SimConfig::baseline();
+        assert_eq!(c.front_width, 6);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.iq_size, 50);
+        assert_eq!(c.lq_size + c.sq_size, 64);
+        assert_eq!(c.phys_regs, 164);
+        assert_eq!(c.int_alus, 4);
+        assert_eq!(c.load_ports, 2);
+        assert_eq!(c.store_ports, 1);
+        assert_eq!(c.prf_write_ports, 4);
+        assert_eq!(c.mem_latency, 100);
+        assert_eq!(c.plain_alus(), 4, "no APs without mini-graph support");
+        assert_eq!(c.pipes(), 0);
+    }
+
+    #[test]
+    fn mg_config_replaces_two_alus() {
+        let c = SimConfig::mg_integer();
+        assert_eq!(c.plain_alus(), 2);
+        assert_eq!(c.pipes(), 2);
+        assert!(c.mgt_config().have_alu_pipe);
+    }
+
+    #[test]
+    fn load_hit_latency_combines_agen_and_cache() {
+        assert_eq!(SimConfig::baseline().load_hit_latency(), 3);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::mg_integer_memory()
+            .with_collapsing()
+            .with_front_width(4)
+            .with_phys_regs(104);
+        assert!(c.collapsing);
+        assert_eq!(c.front_width, 4);
+        assert_eq!(c.phys_regs, 104);
+        assert!(c.mgt_config().collapsing);
+    }
+}

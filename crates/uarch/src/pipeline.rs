@@ -1,0 +1,1066 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! A trace-driven model of the paper's 15-stage, 6-wide superscalar core:
+//! fetch (branch-predicted, I$-limited) → decode/rename (width- and
+//! resource-limited; this is where handles amplify bandwidth and capacity)
+//! → issue (FU, write-port, and sliding-window constrained) → execute
+//! (event-scheduled completion; D$ hierarchy; store-set load scheduling
+//! with violation squashes; MGST-sequenced mini-graph execution with
+//! interior-load replay) → commit (width-limited, frees registers).
+//!
+//! Wrong-path instructions are not simulated: a mispredicted control
+//! transfer stalls fetch until it resolves, then the front-end refills —
+//! reproducing the misprediction penalty of the paper's pipeline without
+//! wrong-path cache pollution (see `DESIGN.md` §2 for the substitution
+//! argument).
+
+use crate::bpred::{Btb, HybridPredictor, Ras};
+use crate::cache::MemHierarchy;
+use crate::config::{MgSupport, SimConfig};
+use crate::rename::{PReg, RenamedDest, Renamer};
+use crate::stats::SimStats;
+use crate::storesets::StoreSets;
+use mg_core::{FuReq, MgTable};
+use mg_isa::{HandleCatalog, OpClass, Opcode, Program, Reg};
+use mg_profile::Trace;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Ring size for near-future resource reservations (FUs, write ports).
+const RESV_RING: usize = 256;
+/// Maximum instruction-cache lines fetch may touch per cycle.
+const MAX_FETCH_LINES: u32 = 2;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Alu,
+    Mul,
+    Load,
+    Store,
+    Control,
+    Handle,
+    Direct, // nop/halt: no execution
+}
+
+#[derive(Clone, Debug)]
+struct FrontOp {
+    trace_idx: usize,
+    ready_at: u64,
+    mispredicted: bool,
+    pred_taken: bool,
+    pred_token: u32,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: u64,
+    trace_idx: usize,
+    sidx: u32,
+    kind: Kind,
+    represents: u32,
+    dest: Option<(Reg, RenamedDest)>,
+    srcs: [Option<PReg>; 2],
+    in_iq: bool,
+    issued: bool,
+    completed: bool,
+    mispredicted: bool,
+    pred_taken: bool,
+    pred_token: u32,
+    wait_store: Option<u64>,
+    is_store: bool,
+    is_load: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LqEntry {
+    seq: u64,
+    pc: u64,
+    addr: u64,
+    width: u8,
+    executed: bool,
+    trace_idx: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SqEntry {
+    seq: u64,
+    pc: u64,
+    addr: u64,
+    width: u8,
+    executed: bool,
+}
+
+/// The trace-driven cycle-level simulator.
+///
+/// Construct with [`Simulator::new`], run with [`Simulator::run`].
+pub struct Simulator<'a> {
+    cfg: SimConfig,
+    prog: &'a Program,
+    trace: &'a Trace,
+    mgt: MgTable,
+    // Front end.
+    fetch_ptr: usize,
+    fetch_resume_at: u64,
+    fetch_blocked_on: Option<usize>,
+    frontq: VecDeque<FrontOp>,
+    // Back end.
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    iq_used: usize,
+    renamer: Renamer,
+    preg_ready: Vec<u64>,
+    lq: VecDeque<LqEntry>,
+    sq: VecDeque<SqEntry>,
+    // Predictors and memory.
+    bpred: HybridPredictor,
+    btb: Btb,
+    ras: Ras,
+    storesets: StoreSets,
+    mem: MemHierarchy,
+    // Events and reservations.
+    events: BTreeMap<u64, Vec<u64>>,
+    resv_fu: Vec<[u16; 4]>, // [ap, alu, load, store] per future cycle
+    resv_wb: Vec<u16>,
+    now: u64,
+    stats: SimStats,
+}
+
+fn fu_index(f: FuReq) -> usize {
+    match f {
+        FuReq::AluPipeEntry => 0,
+        FuReq::Alu => 1,
+        FuReq::LoadPort => 2,
+        FuReq::StorePort => 3,
+    }
+}
+
+fn overlap(a1: u64, w1: u8, a2: u64, w2: u8) -> bool {
+    a1 < a2 + w2 as u64 && a2 < a1 + w1 as u64
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the rewritten `prog`, its committed-path
+    /// `trace`, and the mini-graph `catalog` used by the image (pass an
+    /// empty catalog for baseline images).
+    pub fn new(
+        cfg: SimConfig,
+        prog: &'a Program,
+        trace: &'a Trace,
+        catalog: &HandleCatalog,
+    ) -> Simulator<'a> {
+        let mgt = MgTable::from_catalog(catalog, &cfg.mgt_config());
+        let renamer = Renamer::new(cfg.phys_regs);
+        let preg_ready = vec![0u64; cfg.phys_regs];
+        Simulator {
+            mgt,
+            renamer,
+            preg_ready,
+            fetch_ptr: 0,
+            fetch_resume_at: 0,
+            fetch_blocked_on: None,
+            frontq: VecDeque::new(),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            iq_used: 0,
+            lq: VecDeque::new(),
+            sq: VecDeque::new(),
+            bpred: HybridPredictor::paper_12kb(),
+            btb: Btb::paper_2k(),
+            ras: Ras::new(16),
+            storesets: StoreSets::default_size(),
+            mem: MemHierarchy::new(cfg.il1, cfg.dl1, cfg.l2, cfg.mem_latency, cfg.mem_bus_occupancy),
+            events: BTreeMap::new(),
+            resv_fu: vec![[0; 4]; RESV_RING],
+            resv_wb: vec![0; RESV_RING],
+            now: 0,
+            stats: SimStats::default(),
+            cfg,
+            prog,
+            trace,
+        }
+    }
+
+    /// Runs the whole trace (or `cfg.max_ops` operations) to completion and
+    /// returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image contains integer-memory handles but the machine
+    /// has no sliding-window scheduler, or handles with no mini-graph
+    /// support at all (selection policy and machine must agree).
+    pub fn run(mut self) -> SimStats {
+        let limit = if self.cfg.max_ops == 0 {
+            self.trace.ops.len()
+        } else {
+            (self.cfg.max_ops as usize).min(self.trace.ops.len())
+        };
+        // Guard against pathological configs: bound total cycles.
+        let cycle_cap = 2_000 + 600 * limit as u64;
+        while !(self.fetch_ptr >= limit && self.frontq.is_empty() && self.rob.is_empty()) {
+            self.commit();
+            self.process_events();
+            self.issue();
+            self.dispatch();
+            self.fetch(limit);
+            self.stats.preg_occupancy_sum += self.renamer.in_use() as u64;
+            self.stats.iq_occupancy_sum += self.iq_used as u64;
+            self.stats.rob_occupancy_sum += self.rob.len() as u64;
+            let idx = (self.now as usize) % RESV_RING;
+            self.resv_fu[idx] = [0; 4];
+            self.resv_wb[idx] = 0;
+            self.now += 1;
+            assert!(
+                self.now < cycle_cap,
+                "simulation wedged at cycle {} (fetch {}/{} rob {})",
+                self.now,
+                self.fetch_ptr,
+                limit,
+                self.rob.len()
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats.il1_accesses = self.mem.il1.accesses;
+        self.stats.il1_misses = self.mem.il1.misses;
+        self.stats.dl1_accesses = self.mem.dl1.accesses;
+        self.stats.dl1_misses = self.mem.dl1.misses;
+        self.stats.l2_accesses = self.mem.l2.accesses;
+        self.stats.l2_misses = self.mem.l2.misses;
+        self.stats
+    }
+
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        // Sequence numbers are unique and increasing but NOT contiguous:
+        // violation squashes pop the tail without rolling back the
+        // allocator (so stale completion events can never alias a newer
+        // entry). Binary-search by sequence.
+        let i = self.rob.partition_point(|e| e.seq < seq);
+        (i < self.rob.len() && self.rob[i].seq == seq).then_some(i)
+    }
+
+    // ----------------------------------------------------------- commit --
+    fn commit(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.front_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed {
+                break;
+            }
+            let head = self.rob.pop_front().expect("head exists");
+            if head.is_store {
+                // The store-queue head writes the data cache at retirement.
+                let e = self.sq.pop_front().expect("store has an SQ entry");
+                self.mem.data(e.addr, self.now);
+                self.storesets.retire_store(e.pc, e.seq);
+            }
+            if head.is_load {
+                self.lq.pop_front().expect("load has an LQ entry");
+            }
+            if let Some((_, renamed)) = head.dest {
+                self.renamer.release(renamed.prev);
+            }
+            self.stats.ops += 1;
+            self.stats.insts += head.represents as u64;
+            if head.kind == Kind::Handle {
+                self.stats.handles += 1;
+                self.stats.handle_insts += head.represents as u64;
+            }
+            n += 1;
+        }
+    }
+
+    // ----------------------------------------------------------- events --
+    fn process_events(&mut self) {
+        let due: Vec<u64> = match self.events.remove(&self.now) {
+            Some(v) => v,
+            None => return,
+        };
+        for seq in due {
+            let Some(i) = self.rob_index(seq) else { continue }; // squashed
+            let e = &mut self.rob[i];
+            e.completed = true;
+            if e.in_iq {
+                // Handles hold their scheduler entry until the terminal
+                // instruction (paper §4.1).
+                e.in_iq = false;
+                self.iq_used -= 1;
+            }
+            let (sidx, trace_idx, mispred, pred_taken, pred_token, kind) =
+                (e.sidx, e.trace_idx, e.mispredicted, e.pred_taken, e.pred_token, e.kind);
+            // Control resolution: train predictor, redirect fetch.
+            let op = &self.trace.ops[trace_idx];
+            if let Some(br) = op.br {
+                let pc = self.prog.byte_addr(sidx as usize);
+                let inst = &self.prog.insts[sidx as usize];
+                // Handles train the direction predictor through their own
+                // PC, like the conditional branch they embed (§4.1).
+                let is_cond = inst.op.class() == OpClass::CondBranch || kind == Kind::Handle;
+                if is_cond {
+                    self.bpred.resolve(pc, pred_token, pred_taken, br.taken);
+                }
+                if br.taken {
+                    self.btb.update(pc, self.prog.byte_addr(br.target));
+                }
+                if mispred {
+                    self.stats.mispredicts += 1;
+                    if self.fetch_blocked_on == Some(trace_idx) {
+                        self.fetch_blocked_on = None;
+                        self.fetch_resume_at = self.now + 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ issue --
+    fn issue(&mut self) {
+        let mut issued = 0u32;
+        let mut used = [0u16; 4]; // ap, alu, load, store (this cycle)
+        let mut intmem_handles = 0u32;
+        let plain_alus = self.cfg.plain_alus() as u16;
+        let pipes = self.cfg.pipes() as u16;
+        let cap = |f: usize, cfg: &SimConfig| -> u16 {
+            match f {
+                0 => cfg.pipes() as u16,
+                1 => cfg.plain_alus() as u16,
+                2 => cfg.load_ports as u16,
+                3 => cfg.store_ports as u16,
+                _ => 0,
+            }
+        };
+
+        let mut idx = 0;
+        while idx < self.rob.len() && issued < self.cfg.issue_width {
+            let e = &self.rob[idx];
+            if !e.in_iq || e.issued {
+                idx += 1;
+                continue;
+            }
+            // Operand readiness (including the scheduler-loop latency
+            // already folded into preg_ready at the producer's issue).
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&p| self.preg_ready[p as usize] <= self.now);
+            if !ready {
+                idx += 1;
+                continue;
+            }
+            // Store-set ordering: loads wait for their predicted store.
+            if let Some(ws) = e.wait_store {
+                let blocked = match self.rob_index(ws) {
+                    Some(si) => !self.rob[si].issued,
+                    None => false, // already retired
+                };
+                if blocked {
+                    idx += 1;
+                    continue;
+                }
+            }
+
+            let kind = e.kind;
+            let seq = e.seq;
+            // Functional unit + write-port admission for this cycle.
+            let admitted = match kind {
+                Kind::Alu | Kind::Mul | Kind::Control => {
+                    // Prefer a plain ALU; singletons may use an AP entry
+                    // with no penalty.
+                    if used[1] < plain_alus {
+                        used[1] += 1;
+                        true
+                    } else if used[0] < pipes {
+                        used[0] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Kind::Load => {
+                    let i = fu_index(FuReq::LoadPort);
+                    let ring = (self.now as usize) % RESV_RING;
+                    if used[i] + self.resv_fu[ring][i] < cap(i, &self.cfg) {
+                        used[i] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Kind::Store => {
+                    let i = fu_index(FuReq::StorePort);
+                    let ring = (self.now as usize) % RESV_RING;
+                    if used[i] + self.resv_fu[ring][i] < cap(i, &self.cfg) {
+                        used[i] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Kind::Handle => {
+                    let inst = &self.prog.insts[e.sidx as usize];
+                    let mgid = inst.mgid().expect("handle has MGID");
+                    let sched = self.mgt.get(mgid).expect("MGT entry exists").clone();
+                    if sched.on_alu_pipe {
+                        if used[0] < pipes {
+                            used[0] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        // Integer-memory handle: sliding-window scheduler,
+                        // at most one per cycle; all downstream FUs must be
+                        // reservable or the issue slot is lost (§4.3).
+                        assert_eq!(
+                            self.cfg.mg,
+                            MgSupport::IntegerMemory,
+                            "integer-memory handle on a machine without a sliding-window scheduler"
+                        );
+                        if intmem_handles >= 1 {
+                            false
+                        } else {
+                            let fu0 = fu_index(sched.fu0);
+                            let ring = (self.now as usize) % RESV_RING;
+                            let fu0_ok = used[fu0] + self.resv_fu[ring][fu0] < cap(fu0, &self.cfg);
+                            let window_ok = sched.fubmp().all(|(c, f)| {
+                                let r = ((self.now + c as u64) as usize) % RESV_RING;
+                                self.resv_fu[r][fu_index(f)] < cap(fu_index(f), &self.cfg)
+                            });
+                            if fu0_ok && window_ok {
+                                used[fu0] += 1;
+                                for (c, f) in sched.fubmp() {
+                                    let r = ((self.now + c as u64) as usize) % RESV_RING;
+                                    self.resv_fu[r][fu_index(f)] += 1;
+                                }
+                                intmem_handles += 1;
+                                true
+                            } else {
+                                // The slot used to attempt issue is lost.
+                                issued += 1;
+                                false
+                            }
+                        }
+                    }
+                }
+                Kind::Direct => true,
+            };
+            if !admitted {
+                idx += 1;
+                continue;
+            }
+
+            // Write-port reservation at the (nominal) output cycle. The
+            // nominal latency assumes a cache hit; a miss writes back later
+            // through one of the ports freed by the stall it causes.
+            let nominal = self.nominal_out_latency(idx);
+            if self.rob[idx].dest.is_some() {
+                let r = ((self.now + nominal as u64) as usize) % RESV_RING;
+                if self.resv_wb[r] >= self.cfg.prf_write_ports as u16 {
+                    // Reverting FU bookkeeping is unnecessary: counters are
+                    // per-attempt upper bounds within one cycle; skipping
+                    // here only under-uses the FU this cycle.
+                    idx += 1;
+                    continue;
+                }
+                self.resv_wb[r] += 1;
+            }
+            // Committed to issuing: perform the (single) cache access and
+            // compute actual latencies.
+            let (out_lat, total_lat) = self.latencies(idx);
+
+            // Issue!
+            let e = &mut self.rob[idx];
+            e.issued = true;
+            if e.kind != Kind::Handle {
+                // Handles keep their scheduler entry until the terminal op.
+                e.in_iq = false;
+                self.iq_used -= 1;
+            }
+            if let Some((_, renamed)) = e.dest {
+                self.preg_ready[renamed.preg as usize] =
+                    self.now + (out_lat.max(self.cfg.sched_loop)) as u64;
+            }
+            self.events.entry(self.now + total_lat as u64).or_default().push(seq);
+            issued += 1;
+
+            // Memory side effects (agen/dcache) and violation checks.
+            self.issue_memory_effects(idx);
+            // Re-check: issue_memory_effects may squash younger entries
+            // (memory-ordering violation found by a store) — in that case
+            // `idx` may now be past the end.
+            idx += 1;
+            if idx > self.rob.len() {
+                break;
+            }
+        }
+    }
+
+    /// Nominal (cache-hit) output latency used for write-port reservation,
+    /// computed without touching the memory hierarchy.
+    fn nominal_out_latency(&self, idx: usize) -> u32 {
+        let e = &self.rob[idx];
+        match e.kind {
+            Kind::Alu | Kind::Control | Kind::Direct | Kind::Store => 1,
+            Kind::Mul => 3,
+            Kind::Load => self.cfg.load_hit_latency(),
+            Kind::Handle => {
+                let inst = &self.prog.insts[e.sidx as usize];
+                let mgid = inst.mgid().expect("handle has MGID");
+                let sched = self.mgt.get(mgid).expect("MGT entry exists");
+                sched.out_latency.unwrap_or(sched.total_latency)
+            }
+        }
+    }
+
+    /// Execution latencies `(output, total)` for the entry at `idx`,
+    /// accounting for cache behaviour of its memory reference and
+    /// mini-graph interior-load replays.
+    fn latencies(&mut self, idx: usize) -> (u32, u32) {
+        let e = &self.rob[idx];
+        let op = &self.trace.ops[e.trace_idx];
+        match e.kind {
+            Kind::Alu | Kind::Control => (1, 1),
+            Kind::Mul => (3, 3),
+            Kind::Direct => (1, 1),
+            Kind::Load => {
+                let mem = op.mem.expect("load has a memory reference");
+                let res = self.mem.data(mem.addr, self.now);
+                let lat = 1 + res.latency;
+                (lat, lat)
+            }
+            Kind::Store => (1, 1), // agen only; data written at commit
+            Kind::Handle => {
+                let inst = &self.prog.insts[e.sidx as usize];
+                let mgid = inst.mgid().expect("handle has MGID");
+                let sched = self.mgt.get(mgid).expect("MGT entry exists");
+                let mut out = sched.out_latency.unwrap_or(sched.total_latency);
+                let mut total = sched.total_latency;
+                if let Some(mem) = op.mem {
+                    if !mem.store {
+                        // Locate the load slot to learn its scheduled cycle.
+                        let load_slot = sched
+                            .slots
+                            .iter()
+                            .position(|s| s.fu == Some(FuReq::LoadPort))
+                            .expect("load-bearing handle has a load slot");
+                        let slot_cycle = sched.slots[load_slot].cycle;
+                        let hit_lat = self.cfg.load_hit_latency();
+                        let res = self.mem.data(mem.addr, self.now + slot_cycle as u64);
+                        let actual = 1 + res.latency;
+                        if actual > hit_lat {
+                            let extra = actual - hit_lat;
+                            if load_slot + 1 == sched.slots.len() {
+                                // Terminal load: behaves like a singleton miss.
+                                total += extra;
+                                if sched.out_latency.is_none()
+                                    || sched.out_latency == Some(sched.total_latency)
+                                {
+                                    out += extra;
+                                }
+                            } else {
+                                // Interior load: the pre-scheduled MGST
+                                // sequence ran with the wrong data — the
+                                // entire mini-graph replays once the line
+                                // arrives (paper §4.3).
+                                self.stats.mg_replays += 1;
+                                let data_at = slot_cycle + actual;
+                                total = data_at + sched.total_latency;
+                                out = data_at + sched.out_latency.unwrap_or(sched.total_latency);
+                            }
+                        }
+                    }
+                }
+                (out, total)
+            }
+        }
+    }
+
+    /// Records executed memory addresses and performs violation detection.
+    fn issue_memory_effects(&mut self, idx: usize) {
+        let e = &self.rob[idx];
+        let seq = e.seq;
+        let trace_idx = e.trace_idx;
+        let pc = self.prog.byte_addr(e.sidx as usize);
+        let Some(mem) = self.trace.ops[trace_idx].mem else { return };
+        if mem.store {
+            if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
+                s.addr = mem.addr;
+                s.width = mem.width;
+                s.executed = true;
+            }
+            // A later load must not have run already: memory-ordering
+            // violation — squash from the offending load and refetch.
+            let victim = self
+                .lq
+                .iter()
+                .filter(|l| l.seq > seq && l.executed && overlap(l.addr, l.width, mem.addr, mem.width))
+                .map(|l| (l.seq, l.pc, l.trace_idx))
+                .min();
+            if let Some((vseq, vpc, vtrace)) = victim {
+                self.stats.violations += 1;
+                self.storesets.violation(vpc, pc);
+                self.squash_from(vseq, vtrace);
+            }
+        } else if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
+            l.addr = mem.addr;
+            l.width = mem.width;
+            l.executed = true;
+        }
+    }
+
+    /// Squashes all operations with sequence ≥ `seq` and restarts fetch at
+    /// trace position `trace_idx`.
+    fn squash_from(&mut self, seq: u64, trace_idx: usize) {
+        while let Some(back) = self.rob.back() {
+            if back.seq < seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("back exists");
+            if e.in_iq {
+                self.iq_used -= 1;
+            }
+            if let Some((r, renamed)) = e.dest {
+                self.renamer.undo(r, renamed);
+            }
+            if e.is_load {
+                self.lq.pop_back();
+            }
+            if e.is_store {
+                let s = self.sq.pop_back().expect("store has an SQ entry");
+                self.storesets.retire_store(s.pc, s.seq);
+            }
+        }
+        self.frontq.clear();
+        self.fetch_ptr = trace_idx;
+        self.fetch_resume_at = self.now + 1;
+        if let Some(b) = self.fetch_blocked_on {
+            if b >= trace_idx {
+                self.fetch_blocked_on = None;
+            }
+        }
+    }
+
+    // --------------------------------------------------------- dispatch --
+    fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.front_width {
+            let Some(front) = self.frontq.front() else { break };
+            if front.ready_at > self.now {
+                break;
+            }
+            let trace_idx = front.trace_idx;
+            let mispredicted = front.mispredicted;
+            let pred_taken = front.pred_taken;
+            let pred_token = front.pred_token;
+            let op = self.trace.ops[trace_idx];
+            let inst = &self.prog.insts[op.sidx as usize];
+            let kind = match inst.op.class() {
+                OpClass::IntAlu => Kind::Alu,
+                OpClass::IntMul => Kind::Mul,
+                OpClass::Load => Kind::Load,
+                OpClass::Store => Kind::Store,
+                OpClass::CondBranch | OpClass::UncondBranch | OpClass::Jump => Kind::Control,
+                OpClass::Handle => Kind::Handle,
+                OpClass::Nop | OpClass::Pad | OpClass::Halt => Kind::Direct,
+            };
+            let is_load = op.mem.map(|m| !m.store).unwrap_or(false);
+            let is_store = op.mem.map(|m| m.store).unwrap_or(false);
+
+            // Structural resources.
+            if self.rob.len() >= self.cfg.rob_size {
+                self.stats.stall_rob += 1;
+                break;
+            }
+            let needs_iq = kind != Kind::Direct;
+            if needs_iq && self.iq_used >= self.cfg.iq_size {
+                self.stats.stall_iq += 1;
+                break;
+            }
+            if (is_load && self.lq.len() >= self.cfg.lq_size)
+                || (is_store && self.sq.len() >= self.cfg.sq_size)
+            {
+                self.stats.stall_lsq += 1;
+                break;
+            }
+            let arch_dest = inst.dest_reg();
+            if arch_dest.is_some() && self.renamer.free_count() == 0 {
+                self.stats.stall_pregs += 1;
+                break;
+            }
+
+            // Rename.
+            let srcs = inst.src_regs().map(|s| s.map(|r| self.renamer.lookup(r)));
+            let dest = arch_dest.map(|r| {
+                let renamed = self.renamer.rename_dest(r).expect("free list checked above");
+                self.preg_ready[renamed.preg as usize] = u64::MAX;
+                (r, renamed)
+            });
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let pc = self.prog.byte_addr(op.sidx as usize);
+
+            // Store sets participate via handle PCs for embedded memory ops.
+            let mut wait_store = None;
+            if is_load {
+                wait_store = self.storesets.dispatch_load(pc);
+                self.lq.push_back(LqEntry {
+                    seq,
+                    pc,
+                    addr: 0,
+                    width: 0,
+                    executed: false,
+                    trace_idx,
+                });
+            }
+            if is_store {
+                self.storesets.dispatch_store(pc, seq);
+                self.sq.push_back(SqEntry { seq, pc, addr: 0, width: 0, executed: false });
+            }
+
+            let represents = match kind {
+                Kind::Handle => {
+                    let mgid = inst.mgid().expect("handle has MGID");
+                    self.mgt
+                        .get(mgid)
+                        .expect("handle refers to a packed MGT entry")
+                        .slots
+                        .len() as u32
+                }
+                _ => 1,
+            };
+            let completed = kind == Kind::Direct;
+            if needs_iq {
+                self.iq_used += 1;
+            }
+            if op.br.is_some() {
+                self.stats.branches += 1;
+            }
+            self.rob.push_back(RobEntry {
+                seq,
+                trace_idx,
+                sidx: op.sidx,
+                kind,
+                represents,
+                dest,
+                srcs,
+                in_iq: needs_iq,
+                issued: !needs_iq,
+                completed,
+                mispredicted,
+                pred_taken,
+                pred_token,
+                wait_store,
+                is_store,
+                is_load,
+            });
+            self.frontq.pop_front();
+            n += 1;
+        }
+    }
+
+    // ------------------------------------------------------------ fetch --
+    fn fetch(&mut self, limit: usize) {
+        if self.now < self.fetch_resume_at || self.fetch_blocked_on.is_some() {
+            return;
+        }
+        let qcap = (self.cfg.front_width * self.cfg.frontend_depth) as usize;
+        let line_bytes = self.cfg.il1.2 as u64;
+        let mut fetched = 0;
+        let mut lines_touched = 0u32;
+        let mut last_line: Option<u64> = None;
+
+        while fetched < self.cfg.front_width
+            && self.frontq.len() < qcap
+            && self.fetch_ptr < limit
+        {
+            let op = self.trace.ops[self.fetch_ptr];
+            let addr = self.prog.byte_addr(op.sidx as usize);
+            let line = addr / line_bytes;
+            if last_line != Some(line) {
+                if lines_touched >= MAX_FETCH_LINES {
+                    break;
+                }
+                let res = self.mem.fetch(addr, self.now);
+                lines_touched += 1;
+                last_line = Some(line);
+                if res.l1_miss {
+                    // Stall fetch until the line arrives.
+                    self.fetch_resume_at = self.now + res.latency as u64;
+                    break;
+                }
+            }
+
+            let inst = &self.prog.insts[op.sidx as usize];
+            let (mispredicted, pred_taken, pred_token) = self.predict(inst, addr, &op);
+            self.frontq.push_back(FrontOp {
+                trace_idx: self.fetch_ptr,
+                ready_at: self.now + self.cfg.frontend_depth as u64,
+                mispredicted,
+                pred_taken,
+                pred_token,
+            });
+            let taken = op.br.map(|b| b.taken).unwrap_or(false);
+            self.fetch_ptr += 1;
+            fetched += 1;
+            if mispredicted {
+                self.fetch_blocked_on = Some(self.fetch_ptr - 1);
+                break;
+            }
+            if taken {
+                break; // redirect: fetch resumes at the target next cycle
+            }
+        }
+    }
+
+    /// Predicts a control transfer at fetch. Returns
+    /// `(mispredicted, predicted_taken, prediction_token)`.
+    fn predict(
+        &mut self,
+        inst: &mg_isa::Inst,
+        pc: u64,
+        op: &mg_profile::DynOp,
+    ) -> (bool, bool, u32) {
+        let Some(br) = op.br else { return (false, false, 0) };
+        let actual_target = self.prog.byte_addr(br.target);
+        match inst.op.class() {
+            // The handle PC stands in for the embedded branch's PC for
+            // prediction and update (paper §4.1).
+            OpClass::CondBranch | OpClass::Handle => {
+                let (pred, token) = self.bpred.predict_and_speculate(pc);
+                let target_ok = !br.taken || self.btb.lookup(pc) == Some(actual_target);
+                (pred != br.taken || (br.taken && !target_ok), pred, token)
+            }
+            OpClass::UncondBranch => {
+                if inst.op == Opcode::Bsr {
+                    // Return address is the next sequential instruction.
+                    self.ras.push(pc + mg_isa::program::INST_BYTES);
+                }
+                let hit = self.btb.lookup(pc) == Some(actual_target);
+                (!hit, true, 0)
+            }
+            OpClass::Jump => match inst.op {
+                Opcode::Ret => {
+                    let pred = self.ras.pop();
+                    (pred != Some(actual_target), true, 0)
+                }
+                Opcode::Jsr => {
+                    self.ras.push(pc + mg_isa::program::INST_BYTES);
+                    let hit = self.btb.lookup(pc) == Some(actual_target);
+                    (!hit, true, 0)
+                }
+                _ => {
+                    let hit = self.btb.lookup(pc) == Some(actual_target);
+                    (!hit, true, 0)
+                }
+            },
+            _ => (false, false, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm, Memory};
+    use mg_profile::record_trace;
+
+    /// A hot loop whose body is `body(asm)`, executed `iters` times; the
+    /// counter lives in r30. Loops keep the instruction cache warm, as the
+    /// paper's benchmarks do.
+    fn loop_trace(iters: i64, body: impl Fn(&mut Asm)) -> (Program, Trace) {
+        let mut a = Asm::new();
+        a.li(reg(30), iters);
+        a.label("top");
+        body(&mut a);
+        a.subq(reg(30), 1, reg(30));
+        a.bne(reg(30), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let t = record_trace(&p, &mut Memory::new(), None, 10_000_000).unwrap();
+        (p, t)
+    }
+
+    fn run_baseline(p: &Program, t: &Trace) -> SimStats {
+        Simulator::new(SimConfig::baseline(), p, t, &HandleCatalog::new()).run()
+    }
+
+    #[test]
+    fn independent_ops_reach_alu_limit() {
+        // 24 independent adds per iteration across 12 rotating registers.
+        let (p, t) = loop_trace(400, |a| {
+            for i in 0..24 {
+                let r = reg((i % 12 + 1) as u8);
+                a.addq(r, 1, r);
+            }
+        });
+        let stats = run_baseline(&p, &t);
+        let ipc = stats.ipc();
+        assert!(ipc > 3.0, "expected near-4 IPC, got {ipc:.2}");
+        assert!(ipc <= 4.05, "cannot exceed ALU bandwidth, got {ipc:.2}");
+    }
+
+    #[test]
+    fn dependence_chain_serializes() {
+        // 20 dependent adds per iteration: the r1 chain dominates.
+        let (p, t) = loop_trace(300, |a| {
+            for _ in 0..20 {
+                a.addq(reg(1), 1, reg(1));
+            }
+        });
+        let stats = run_baseline(&p, &t);
+        let ipc = stats.ipc();
+        assert!(ipc < 1.3, "serial chain is ~1 IPC, got {ipc:.2}");
+        assert!(ipc > 0.8, "serial chain should sustain ~1 IPC, got {ipc:.2}");
+    }
+
+    #[test]
+    fn two_cycle_scheduler_halves_serial_throughput() {
+        let (p, t) = loop_trace(300, |a| {
+            for _ in 0..20 {
+                a.addq(reg(1), 1, reg(1));
+            }
+        });
+        let mut cfg = SimConfig::baseline();
+        cfg.sched_loop = 2;
+        let stats = Simulator::new(cfg, &p, &t, &HandleCatalog::new()).run();
+        let ipc = stats.ipc();
+        assert!(ipc < 0.75, "2-cycle scheduler: dependent ops every other cycle, got {ipc:.2}");
+        assert!(ipc > 0.4, "got {ipc:.2}");
+    }
+
+    #[test]
+    fn width_limits_ipc() {
+        let (p, t) = loop_trace(400, |a| {
+            for i in 0..24 {
+                let r = reg((i % 12 + 1) as u8);
+                a.addq(r, 1, r);
+            }
+        });
+        let cfg = SimConfig::baseline().with_front_width(2);
+        let stats = Simulator::new(cfg, &p, &t, &HandleCatalog::new()).run();
+        assert!(stats.ipc() <= 2.05, "2-wide front end caps IPC, got {}", stats.ipc());
+        assert!(stats.ipc() > 1.5, "2-wide should still flow, got {}", stats.ipc());
+    }
+
+    #[test]
+    fn loads_bounded_by_load_ports() {
+        // 16 independent hitting loads per iteration + 2 loop ops: the two
+        // load ports bound throughput near 16/8 loads + overlap.
+        let (p, t) = loop_trace(300, |a| {
+            a.li(reg(2), 0x10_0000);
+            for i in 0..16 {
+                a.ldq(reg((i % 8 + 3) as u8), (i as i64) * 8, reg(2));
+            }
+        });
+        let stats = run_baseline(&p, &t);
+        // 19 insts per iteration, loads limited to 2/cycle => >= 8 cycles.
+        let ipc = stats.ipc();
+        assert!(ipc <= 19.0 / 8.0 + 0.1, "load ports cap IPC, got {ipc:.2}");
+        assert!(ipc > 1.5, "independent hitting loads should flow, got {ipc:.2}");
+        assert!(stats.dl1_miss_rate() < 0.05);
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_bound() {
+        // A dependent load chain with a 4KB stride: every load misses L1.
+        let mut a = Asm::new();
+        a.li(reg(1), 0x40_0000);
+        a.li(reg(30), 40);
+        a.label("top");
+        for _ in 0..8 {
+            a.ldq(reg(1), 0, reg(1));
+        }
+        a.subq(reg(30), 1, reg(30));
+        a.bne(reg(30), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut mem = Memory::new();
+        let mut addr = 0x40_0000u64;
+        for _ in 0..400 {
+            mem.write_u64(addr, addr + 4096);
+            addr += 4096;
+        }
+        let t = record_trace(&p, &mut mem, None, 1_000_000).unwrap();
+        let stats = run_baseline(&p, &t);
+        assert!(
+            stats.ipc() < 0.2,
+            "serialized misses should crawl (mcf-like), got {}",
+            stats.ipc()
+        );
+        assert!(stats.dl1_miss_rate() > 0.8);
+    }
+
+    #[test]
+    fn branch_heavy_code_pays_mispredictions() {
+        // Data-dependent unpredictable branches from a simple LCG.
+        let mut a = Asm::new();
+        a.li(reg(1), 12345);
+        a.li(reg(4), 0);
+        a.li(reg(5), 400);
+        a.label("top");
+        a.mulq(reg(1), 1103515245, reg(1));
+        a.addq(reg(1), 12345, reg(1));
+        a.srl(reg(1), 16, reg(2));
+        a.and(reg(2), 1, reg(2));
+        a.beq(reg(2), "skip");
+        a.addq(reg(4), 1, reg(4));
+        a.label("skip");
+        a.addq(reg(5), -1, reg(5));
+        a.bne(reg(5), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let t = record_trace(&p, &mut Memory::new(), None, 1_000_000).unwrap();
+        let stats = run_baseline(&p, &t);
+        assert!(stats.mispredict_rate() > 0.05, "random branch must mispredict");
+        assert!(stats.ipc() < 3.0);
+    }
+
+    #[test]
+    fn narrower_machine_is_never_faster() {
+        let (p, t) = loop_trace(200, |a| {
+            for i in 0..12 {
+                let r = reg((i % 6 + 1) as u8);
+                a.addq(r, 1, r);
+                a.xor(r, 3, r);
+            }
+        });
+        let six = run_baseline(&p, &t);
+        let four = Simulator::new(
+            SimConfig::baseline().with_front_width(4),
+            &p,
+            &t,
+            &HandleCatalog::new(),
+        )
+        .run();
+        assert!(four.cycles >= six.cycles);
+    }
+
+    #[test]
+    fn fewer_pregs_never_faster() {
+        let (p, t) = loop_trace(200, |a| {
+            for i in 0..16 {
+                let r = reg((i % 8 + 1) as u8);
+                a.addq(r, 1, r);
+            }
+        });
+        let full = run_baseline(&p, &t);
+        let small = Simulator::new(
+            SimConfig::baseline().with_phys_regs(104),
+            &p,
+            &t,
+            &HandleCatalog::new(),
+        )
+        .run();
+        assert!(small.cycles >= full.cycles);
+    }
+
+    #[test]
+    fn determinism() {
+        let (p, t) = loop_trace(100, |a| {
+            a.addq(reg(1), 1, reg(1));
+        });
+        let s1 = run_baseline(&p, &t);
+        let s2 = run_baseline(&p, &t);
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.insts, s2.insts);
+    }
+}

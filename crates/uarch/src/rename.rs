@@ -1,0 +1,157 @@
+//! Register renaming: map table, free list, and squash undo.
+//!
+//! Renaming is where mini-graphs amplify register-file capacity: a handle
+//! allocates at most *one* physical register regardless of how many
+//! instructions it represents, because interior values live only in the
+//! bypass network (paper §3.1).
+
+use mg_isa::{Reg, NUM_REGS};
+
+/// A physical register name.
+pub type PReg = u16;
+
+/// The result of renaming one operation's destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RenamedDest {
+    /// Newly allocated physical register.
+    pub preg: PReg,
+    /// The physical register previously mapped to the architectural
+    /// destination — freed when the renamed operation retires.
+    pub prev: PReg,
+}
+
+/// Rename state: architectural→physical map and free list.
+#[derive(Clone, Debug)]
+pub struct Renamer {
+    map: [PReg; NUM_REGS],
+    free: Vec<PReg>,
+    total: usize,
+}
+
+impl Renamer {
+    /// Creates a renamer with `phys_regs` physical registers, the first 32
+    /// of which hold the initial architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs < 33` (there must be at least one free
+    /// register for renaming to make progress).
+    pub fn new(phys_regs: usize) -> Renamer {
+        assert!(phys_regs > NUM_REGS, "need more physical than architectural registers");
+        let mut map = [0; NUM_REGS];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as PReg;
+        }
+        Renamer {
+            map,
+            free: (NUM_REGS as PReg..phys_regs as PReg).rev().collect(),
+            total: phys_regs,
+        }
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of physical registers currently holding state.
+    pub fn in_use(&self) -> usize {
+        self.total - self.free.len()
+    }
+
+    /// Current physical mapping of an architectural source.
+    pub fn lookup(&self, r: Reg) -> PReg {
+        self.map[r.index()]
+    }
+
+    /// Renames a destination: allocates a new physical register and
+    /// returns it with the overwritten mapping, or `None` if the free list
+    /// is empty (rename must stall).
+    pub fn rename_dest(&mut self, r: Reg) -> Option<RenamedDest> {
+        let preg = self.free.pop()?;
+        let prev = self.map[r.index()];
+        self.map[r.index()] = preg;
+        Some(RenamedDest { preg, prev })
+    }
+
+    /// Commit-time free of the overwritten physical register.
+    pub fn release(&mut self, preg: PReg) {
+        debug_assert!(!self.free.contains(&preg), "double free of p{preg}");
+        self.free.push(preg);
+    }
+
+    /// Squash undo for one renamed destination, applied youngest-first:
+    /// restores the previous mapping and returns the allocated register to
+    /// the free list.
+    pub fn undo(&mut self, r: Reg, renamed: RenamedDest) {
+        debug_assert_eq!(self.map[r.index()], renamed.preg, "undo must be youngest-first");
+        self.map[r.index()] = renamed.prev;
+        self.free.push(renamed.preg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::reg;
+
+    #[test]
+    fn initial_state_identity_mapped() {
+        let r = Renamer::new(64);
+        assert_eq!(r.lookup(reg(5)), 5);
+        assert_eq!(r.free_count(), 32);
+        assert_eq!(r.in_use(), 32);
+    }
+
+    #[test]
+    fn rename_allocates_and_remaps() {
+        let mut r = Renamer::new(40);
+        let d = r.rename_dest(reg(3)).unwrap();
+        assert_eq!(d.prev, 3);
+        assert_eq!(r.lookup(reg(3)), d.preg);
+        assert_eq!(r.in_use(), 33);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut r = Renamer::new(34);
+        assert!(r.rename_dest(reg(0)).is_some());
+        assert!(r.rename_dest(reg(1)).is_some());
+        assert!(r.rename_dest(reg(2)).is_none(), "free list exhausted");
+    }
+
+    #[test]
+    fn release_enables_reuse() {
+        let mut r = Renamer::new(34);
+        let d1 = r.rename_dest(reg(0)).unwrap();
+        let _d2 = r.rename_dest(reg(0)).unwrap();
+        // d1.preg is now the "previous" mapping of the second rename; when
+        // the second rename commits, d1's register... actually commit frees
+        // the *overwritten* register: the second rename's prev == d1.preg.
+        r.release(d1.preg);
+        assert!(r.rename_dest(reg(1)).is_some());
+    }
+
+    #[test]
+    fn undo_restores_mapping_youngest_first() {
+        let mut r = Renamer::new(64);
+        let before = r.lookup(reg(7));
+        let d1 = r.rename_dest(reg(7)).unwrap();
+        let d2 = r.rename_dest(reg(7)).unwrap();
+        let free_before = r.free_count();
+        r.undo(reg(7), d2);
+        r.undo(reg(7), d1);
+        assert_eq!(r.lookup(reg(7)), before);
+        assert_eq!(r.free_count(), free_before + 2);
+    }
+
+    #[test]
+    fn no_double_allocation() {
+        let mut r = Renamer::new(128);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..96 {
+            let d = r.rename_dest(reg((i % 31) as u8)).unwrap();
+            assert!(seen.insert(d.preg), "physical register allocated twice");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+/// Counters gathered over one timing-simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed *original program* instructions (handles count as their
+    /// template length — the paper's IPC numerator, so baselines and
+    /// mini-graph images are comparable).
+    pub insts: u64,
+    /// Committed fetched operations (handles count once).
+    pub ops: u64,
+    /// Committed handles.
+    pub handles: u64,
+    /// Original instructions represented by committed handles.
+    pub handle_insts: u64,
+    /// Conditional/indirect control transfers predicted.
+    pub branches: u64,
+    /// Mispredicted control transfers.
+    pub mispredicts: u64,
+    /// Instruction-cache accesses and misses.
+    pub il1_accesses: u64,
+    /// Instruction-cache misses.
+    pub il1_misses: u64,
+    /// Data-cache accesses.
+    pub dl1_accesses: u64,
+    /// Data-cache misses.
+    pub dl1_misses: u64,
+    /// Unified L2 accesses.
+    pub l2_accesses: u64,
+    /// Unified L2 misses.
+    pub l2_misses: u64,
+    /// Whole-mini-graph replays due to interior-load cache misses (§4.3).
+    pub mg_replays: u64,
+    /// Memory-ordering violation squashes.
+    pub violations: u64,
+    /// Cycles rename stalled for lack of a physical register.
+    pub stall_pregs: u64,
+    /// Cycles rename stalled for a full ROB.
+    pub stall_rob: u64,
+    /// Cycles rename stalled for a full issue queue.
+    pub stall_iq: u64,
+    /// Cycles rename stalled for a full load/store queue.
+    pub stall_lsq: u64,
+    /// Sum of per-cycle occupied physical registers (for averages).
+    pub preg_occupancy_sum: u64,
+    /// Sum of per-cycle issue-queue occupancy.
+    pub iq_occupancy_sum: u64,
+    /// Sum of per-cycle ROB occupancy.
+    pub rob_occupancy_sum: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle over original program instructions.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.insts as f64 / self.cycles as f64
+    }
+
+    /// Fetched-operation throughput (handles count once).
+    pub fn opc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.cycles as f64
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        self.mispredicts as f64 / self.branches as f64
+    }
+
+    /// Data-cache miss rate.
+    pub fn dl1_miss_rate(&self) -> f64 {
+        if self.dl1_accesses == 0 {
+            return 0.0;
+        }
+        self.dl1_misses as f64 / self.dl1_accesses as f64
+    }
+
+    /// Mean physical registers in use per cycle.
+    pub fn avg_pregs(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.preg_occupancy_sum as f64 / self.cycles as f64
+    }
+
+    /// Mean issue-queue entries in use per cycle.
+    pub fn avg_iq(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.iq_occupancy_sum as f64 / self.cycles as f64
+    }
+
+    /// Fraction of committed original instructions that travelled inside
+    /// handles (realized coverage).
+    pub fn handle_coverage(&self) -> f64 {
+        if self.insts == 0 {
+            return 0.0;
+        }
+        self.handle_insts as f64 / self.insts as f64
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles            {:>12}", self.cycles)?;
+        writeln!(f, "insts             {:>12}", self.insts)?;
+        writeln!(f, "IPC               {:>12.3}", self.ipc())?;
+        writeln!(f, "ops (fetched)     {:>12}", self.ops)?;
+        writeln!(f, "handles           {:>12}", self.handles)?;
+        writeln!(f, "handle coverage   {:>12.3}", self.handle_coverage())?;
+        writeln!(f, "branch mispredict {:>12.4}", self.mispredict_rate())?;
+        writeln!(f, "IL1 miss/access   {:>7}/{:>7}", self.il1_misses, self.il1_accesses)?;
+        writeln!(f, "DL1 miss/access   {:>7}/{:>7}", self.dl1_misses, self.dl1_accesses)?;
+        writeln!(f, "L2  miss/access   {:>7}/{:>7}", self.l2_misses, self.l2_accesses)?;
+        writeln!(f, "mg replays        {:>12}", self.mg_replays)?;
+        writeln!(f, "violations        {:>12}", self.violations)?;
+        writeln!(f, "avg pregs         {:>12.1}", self.avg_pregs())?;
+        writeln!(f, "avg IQ            {:>12.1}", self.avg_iq())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_guard_division_by_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.dl1_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn ipc_counts_represented_insts() {
+        let s = SimStats { cycles: 100, insts: 250, ops: 150, ..SimStats::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.opc() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = SimStats { cycles: 10, insts: 20, ..SimStats::default() };
+        let text = s.to_string();
+        assert!(text.contains("IPC"));
+        assert!(text.contains("violations"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Store-sets memory-dependence prediction (Chrysos & Emer, ISCA-25),
+//! the load-scheduling policy of the paper's baseline ("Loads are scheduled
+//! using a store sets predictor").
+//!
+//! The predictor pairs a Store Set ID Table (SSIT), indexed by instruction
+//! PC, with a Last Fetched Store Table (LFST), indexed by store-set ID. A
+//! load joins the store set of the stores that violated it; at dispatch it
+//! must wait for the most recently fetched store of its set. Loads and
+//! stores embedded in mini-graphs participate via their *handle* PCs
+//! (paper §4.3: "a handle and its PC assume responsibility for memory
+//! disambiguation and load scheduling").
+
+/// A store-set identifier.
+pub type Ssid = u16;
+
+/// The store-sets predictor state.
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    ssit: Vec<Option<Ssid>>,
+    /// ROB sequence number of the last fetched store per store set.
+    lfst: Vec<Option<u64>>,
+    next_ssid: Ssid,
+    mask: u64,
+}
+
+impl StoreSets {
+    /// Creates a predictor with an `entries`-sized SSIT (power of two) and
+    /// `sets` store sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, sets: usize) -> StoreSets {
+        assert!(entries.is_power_of_two(), "SSIT size must be a power of two");
+        StoreSets {
+            ssit: vec![None; entries],
+            lfst: vec![None; sets],
+            next_ssid: 0,
+            mask: entries as u64 - 1,
+        }
+    }
+
+    /// A reasonable default (4K-entry SSIT, 256 sets).
+    pub fn default_size() -> StoreSets {
+        StoreSets::new(4096, 256)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Called when a *store* at `pc` with ROB sequence `seq` is dispatched:
+    /// records it as the last fetched store of its set (if it has one) and
+    /// returns the previous store of the set, which in full store-sets
+    /// hardware the new store would also order behind (we track loads
+    /// only; store-store ordering is enforced by in-order SQ commit).
+    pub fn dispatch_store(&mut self, pc: u64, seq: u64) -> Option<u64> {
+        let ssid = self.ssit[self.index(pc)]?;
+        let prev = self.lfst[ssid as usize];
+        self.lfst[ssid as usize] = Some(seq);
+        prev
+    }
+
+    /// Called when a *load* at `pc` is dispatched: returns the ROB
+    /// sequence of the store it must wait for, if any.
+    pub fn dispatch_load(&mut self, pc: u64) -> Option<u64> {
+        let ssid = self.ssit[self.index(pc)]?;
+        self.lfst[ssid as usize]
+    }
+
+    /// Called when a store with sequence `seq` leaves the window (commits
+    /// or is squashed): clears stale LFST entries.
+    pub fn retire_store(&mut self, pc: u64, seq: u64) {
+        if let Some(ssid) = self.ssit[self.index(pc)] {
+            if self.lfst[ssid as usize] == Some(seq) {
+                self.lfst[ssid as usize] = None;
+            }
+        }
+    }
+
+    /// Trains the predictor after a memory-ordering violation between the
+    /// load at `load_pc` and the store at `store_pc`: both are placed in
+    /// the same store set.
+    pub fn violation(&mut self, load_pc: u64, store_pc: u64) {
+        let li = self.index(load_pc);
+        let si = self.index(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (Some(l), _) => self.ssit[si] = Some(l),
+            (None, Some(s)) => self.ssit[li] = Some(s),
+            (None, None) => {
+                let id = self.next_ssid;
+                self.next_ssid = (self.next_ssid + 1) % self.lfst.len() as Ssid;
+                self.ssit[li] = Some(id);
+                self.ssit[si] = Some(id);
+            }
+        }
+    }
+
+    /// Whether the load at `pc` belongs to any store set.
+    pub fn has_set(&self, pc: u64) -> bool {
+        self.ssit[self.index(pc)].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_loads_are_unconstrained() {
+        let mut ss = StoreSets::default_size();
+        assert_eq!(ss.dispatch_load(0x100), None);
+        assert_eq!(ss.dispatch_store(0x200, 1), None);
+    }
+
+    #[test]
+    fn violation_creates_dependence() {
+        let mut ss = StoreSets::default_size();
+        ss.violation(0x100, 0x200);
+        assert!(ss.has_set(0x100));
+        assert!(ss.has_set(0x200));
+        ss.dispatch_store(0x200, 42);
+        assert_eq!(ss.dispatch_load(0x100), Some(42), "load waits for the store");
+    }
+
+    #[test]
+    fn retire_clears_lfst() {
+        let mut ss = StoreSets::default_size();
+        ss.violation(0x100, 0x200);
+        ss.dispatch_store(0x200, 42);
+        ss.retire_store(0x200, 42);
+        assert_eq!(ss.dispatch_load(0x100), None, "no in-flight store to wait for");
+    }
+
+    #[test]
+    fn repeat_violation_merges_sets() {
+        let mut ss = StoreSets::default_size();
+        ss.violation(0x100, 0x200);
+        ss.violation(0x100, 0x300); // second store joins the load's set
+        ss.dispatch_store(0x300, 7);
+        assert_eq!(ss.dispatch_load(0x100), Some(7));
+    }
+
+    #[test]
+    fn stale_lfst_not_cleared_by_other_store() {
+        let mut ss = StoreSets::default_size();
+        ss.violation(0x100, 0x200);
+        ss.dispatch_store(0x200, 10);
+        ss.dispatch_store(0x200, 11); // newer store of the same set
+        ss.retire_store(0x200, 10); // retiring the old one must not clear 11
+        assert_eq!(ss.dispatch_load(0x100), Some(11));
+    }
+}

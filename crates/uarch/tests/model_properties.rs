@@ -1,0 +1,122 @@
+//! Property tests on the simulator's core data structures: the cache
+//! model against a naive reference implementation, and the renamer's
+//! allocate/release/undo invariants under random operation sequences.
+
+use mg_isa::reg;
+use mg_uarch::{Cache, Renamer};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A trivially correct set-associative LRU cache.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>, // most-recent at the back
+    ways: usize,
+    line_shift: u32,
+}
+
+impl RefCache {
+    fn new(bytes: usize, ways: usize, line: usize) -> RefCache {
+        RefCache {
+            sets: vec![VecDeque::new(); bytes / (ways * line)],
+            ways,
+            line_shift: line.trailing_zeros(),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let tag = addr >> self.line_shift;
+        let set = (tag as usize) & (self.sets.len() - 1);
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.push_back(tag);
+            true
+        } else {
+            if s.len() == self.ways {
+                s.pop_front();
+            }
+            s.push_back(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache and the reference model agree on every
+    /// hit/miss outcome for arbitrary access streams.
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in prop::collection::vec(0u64..0x4000, 1..400),
+        geometry in prop::sample::select(vec![
+            (1024usize, 1usize, 32usize),
+            (1024, 2, 32),
+            (2048, 4, 64),
+            (512, 2, 16),
+        ]),
+    ) {
+        let (bytes, ways, line) = geometry;
+        let mut real = Cache::new(bytes, ways, line);
+        let mut reference = RefCache::new(bytes, ways, line);
+        for (i, &a) in addrs.iter().enumerate() {
+            let h1 = real.access(a);
+            let h2 = reference.access(a);
+            prop_assert_eq!(h1, h2, "access #{} (addr {:#x}) diverged", i, a);
+        }
+        prop_assert_eq!(real.accesses, addrs.len() as u64);
+    }
+
+    /// Probe never changes state: interleaving probes leaves the hit/miss
+    /// sequence unchanged.
+    #[test]
+    fn cache_probe_is_pure(addrs in prop::collection::vec(0u64..0x2000, 1..200)) {
+        let mut a = Cache::new(1024, 2, 32);
+        let mut b = Cache::new(1024, 2, 32);
+        for &addr in &addrs {
+            let _ = b.probe(addr ^ 0x540);
+            let _ = b.probe(addr);
+            prop_assert_eq!(a.access(addr), b.access(addr));
+        }
+    }
+
+    /// Renamer invariants under random rename/commit-release/squash-undo
+    /// sequences: no double allocation, mappings restored exactly, and the
+    /// free count is conserved.
+    #[test]
+    fn renamer_conserves_registers(
+        ops in prop::collection::vec((0u8..31, prop::bool::ANY), 1..200),
+    ) {
+        let total = 96usize;
+        let mut r = Renamer::new(total);
+        // In-flight renames: (arch, renamed) newest at the back.
+        let mut inflight: Vec<(u8, mg_uarch::RenamedDest)> = Vec::new();
+        let mut live = std::collections::HashSet::new();
+        for i in 0..32u16 {
+            live.insert(i);
+        }
+
+        for (arch, squash) in ops {
+            if squash && !inflight.is_empty() {
+                // Squash the youngest half, undoing youngest-first.
+                let keep = inflight.len() / 2;
+                while inflight.len() > keep {
+                    let (a, d) = inflight.pop().expect("non-empty");
+                    r.undo(reg(a), d);
+                    prop_assert!(live.remove(&d.preg), "freed register was not live");
+                }
+            } else if let Some(d) = r.rename_dest(reg(arch)) {
+                prop_assert!(live.insert(d.preg), "double allocation of p{}", d.preg);
+                prop_assert_eq!(r.lookup(reg(arch)), d.preg);
+                inflight.push((arch, d));
+            } else {
+                // Out of registers: commit the oldest in-flight rename.
+                prop_assert!(!inflight.is_empty(), "exhausted with nothing in flight");
+                let (_, d) = inflight.remove(0);
+                prop_assert!(live.remove(&d.prev), "released register was not live");
+                r.release(d.prev);
+            }
+            prop_assert_eq!(live.len() + r.free_count(), total, "registers leaked");
+        }
+    }
+}

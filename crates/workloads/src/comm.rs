@@ -1,0 +1,359 @@
+//! CommBench-like kernels: packet-header processing, table lookups,
+//! checksums, and Galois-field coding — the network-processor workloads
+//! of the paper's evaluation.
+
+use crate::common::{acc, counter, epilogue, fill_bytes, rng, DATA, DATA2, DATA3};
+use crate::Input;
+use mg_isa::{reg, Asm, Memory, Program, Reg};
+use rand::Rng;
+
+/// Writes GF(256) log/antilog tables (generator polynomial 0x11d) used by
+/// Reed-Solomon coding: `log` at `base` (256 bytes), `alog` at
+/// `base + 256` (512 bytes, doubled to skip the mod-255 reduction).
+fn write_gf_tables(mem: &mut Memory, base: u64) {
+    let mut alog = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u32 = 1;
+    for i in 0..255 {
+        alog[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= 0x11d;
+        }
+    }
+    for i in 255..512 {
+        alog[i] = alog[i - 255];
+    }
+    for (i, v) in log.iter().enumerate() {
+        mem.write_u8(base + i as u64, *v);
+    }
+    for (i, v) in alog.iter().enumerate() {
+        mem.write_u8(base + 256 + i as u64, *v);
+    }
+}
+
+/// `reed.enc` — Reed-Solomon parity generation over GF(256) via log and
+/// antilog table lookups (load → add → load chains, very fuseable).
+pub fn reed_enc(input: &Input) -> (Program, Memory) {
+    const MSG: u64 = 512;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    fill_bytes(&mut mem, DATA, MSG, &mut r);
+    write_gf_tables(&mut mem, DATA3);
+    // Generator coefficient logs (4 parity bytes).
+    for (i, g) in [18u8, 251, 215, 28].iter().enumerate() {
+        mem.write_u8(DATA2 + 64 + i as u64, *g);
+    }
+
+    let mut a = Asm::new();
+    let (d, fb, lg, t, adr) = (reg(1), reg(2), reg(3), reg(4), reg(5));
+    a.li(counter(), input.iters(4));
+    a.label("outer");
+    a.li(reg(20), DATA as i64); // message
+    a.li(reg(21), DATA3 as i64); // log table
+    a.li(reg(22), (DATA3 + 256) as i64); // alog table
+    a.li(reg(23), DATA2 as i64); // parity bytes (4)
+    // Clear parity.
+    a.stl(Reg::ZERO, 0, reg(23));
+    a.li(reg(28), MSG as i64);
+    a.label("inner");
+    a.ldbu(d, 0, reg(20));
+    a.ldbu(fb, 0, reg(23));
+    a.xor(d, fb, fb); // feedback = data ^ parity[0]
+    a.beq(fb, "shift_only");
+    a.addq(reg(21), fb, t);
+    a.ldbu(lg, 0, t); // log[feedback]
+    // Update each of the 4 parity bytes: p[i] = p[i+1] ^ alog[lg + g[i]].
+    for i in 0..4i64 {
+        a.addq(reg(23), 64 + i, t);
+        a.ldbu(t, 0, t); // g log
+        a.addq(lg, t, t);
+        a.addq(reg(22), t, adr);
+        a.ldbu(adr, 0, adr); // alog[..]
+        if i < 3 {
+            a.ldbu(t, i + 1, reg(23)); // p[i+1]
+            a.xor(adr, t, adr);
+        }
+        a.stb(adr, i, reg(23));
+    }
+    a.br("advance");
+    a.label("shift_only");
+    // Parity shifts left by one byte.
+    a.ldl(t, 0, reg(23));
+    a.srl(t, 8, t);
+    a.stl(t, 0, reg(23));
+    a.label("advance");
+    a.lda(reg(20), 1, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    a.ldl(t, 0, reg(23));
+    a.addq(acc(), t, acc());
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("reed.enc assembles"), mem)
+}
+
+/// `drr.sched` — deficit-round-robin packet scheduling: per-queue state
+/// updates with compare-and-branch service decisions.
+pub fn drr_sched(input: &Input) -> (Program, Memory) {
+    const QUEUES: u64 = 64;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    // Per-queue head-packet sizes (cyclic lists of 8) and deficits.
+    for q in 0..QUEUES {
+        for s in 0..8 {
+            mem.write_u32(DATA + (q * 8 + s) * 4, r.gen_range(64..1500));
+        }
+        mem.write_u32(DATA2 + q * 4, 0); // deficit
+        mem.write_u32(DATA2 + 1024 + q * 4, 0); // list index
+    }
+
+    let mut a = Asm::new();
+    let (def, size, idx, t, adr) = (reg(1), reg(2), reg(3), reg(4), reg(5));
+    const QUANTUM: i64 = 700;
+    a.li(counter(), input.iters(60)); // rounds
+    a.label("round");
+    a.li(reg(22), 0); // queue number
+    a.li(reg(28), QUEUES as i64);
+    a.label("queue");
+    // deficit += quantum
+    a.li(reg(20), DATA2 as i64);
+    a.s4addq(reg(22), reg(20), adr);
+    a.ldl(def, 0, adr);
+    a.lda(def, QUANTUM, def);
+    // head packet size
+    a.ldl(idx, 1024, adr);
+    a.sll(reg(22), 3, t);
+    a.addq(t, idx, t);
+    a.li(reg(21), DATA as i64);
+    a.s4addq(t, reg(21), t);
+    a.ldl(size, 0, t);
+    // serve while deficit >= size (at most 3 packets per visit).
+    for k in 0..3 {
+        a.cmplt(def, size, t);
+        a.bne(t, &format!("done{k}")[..]);
+        a.subq(def, size, def);
+        a.addq(acc(), size, acc());
+        a.addq(idx, 1, idx);
+        a.and(idx, 7, idx);
+    }
+    for k in 0..3 {
+        a.label(&format!("done{k}")[..]);
+    }
+    a.stl(def, 0, adr);
+    a.stl(idx, 1024, adr);
+    a.addq(reg(22), 1, reg(22));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "queue");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "round");
+    epilogue(&mut a);
+    (a.finish().expect("drr.sched assembles"), mem)
+}
+
+/// `frag.ip` — IP fragmentation: per-packet header splitting with running
+/// ones-complement checksum updates.
+pub fn frag_ip(input: &Input) -> (Program, Memory) {
+    const PACKETS: u64 = 256;
+    const MTU: i64 = 576;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..PACKETS {
+        mem.write_u32(DATA + 8 * i, r.gen_range(64..1500)); // length
+        mem.write_u32(DATA + 8 * i + 4, r.gen()); // id/flags word
+    }
+
+    let mut a = Asm::new();
+    let (len, hdr, off, sum, t) = (reg(1), reg(2), reg(3), reg(4), reg(5));
+    a.li(counter(), input.iters(8));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA2 as i64); // fragment output
+    a.li(reg(28), PACKETS as i64);
+    a.label("packet");
+    a.ldl(len, 0, reg(20));
+    a.ldl(hdr, 4, reg(20));
+    a.li(off, 0);
+    a.label("frag");
+    // Emit one fragment header: id word, offset, length(min(len, MTU)).
+    a.cmplt(len, MTU, t);
+    a.bne(t, "last_frag");
+    // Full-size fragment.
+    a.stl(hdr, 0, reg(21));
+    a.stl(off, 4, reg(21));
+    a.li(t, MTU);
+    a.stl(t, 8, reg(21));
+    // Checksum over the three words.
+    a.addq(hdr, off, sum);
+    a.lda(sum, MTU, sum);
+    a.srl(sum, 16, t);
+    a.and(sum, 0xffff, sum);
+    a.addq(sum, t, sum);
+    a.addq(acc(), sum, acc());
+    a.lda(reg(21), 12, reg(21));
+    a.lda(off, MTU, off);
+    a.subq(len, MTU, len);
+    a.br("frag");
+    a.label("last_frag");
+    a.stl(hdr, 0, reg(21));
+    a.stl(off, 4, reg(21));
+    a.stl(len, 8, reg(21));
+    a.addq(hdr, off, sum);
+    a.addq(sum, len, sum);
+    a.srl(sum, 16, t);
+    a.and(sum, 0xffff, sum);
+    a.addq(sum, t, sum);
+    a.addq(acc(), sum, acc());
+    a.lda(reg(21), 12, reg(21));
+    a.lda(reg(20), 8, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "packet");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("frag.ip assembles"), mem)
+}
+
+/// `rtr.lookup` — two-level route-table lookup per destination address:
+/// dependent loads through index tables.
+pub fn rtr_lookup(input: &Input) -> (Program, Memory) {
+    const ADDRS: u64 = 2048;
+    const L2_BLOCKS: u64 = 64;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..ADDRS {
+        mem.write_u32(DATA + 4 * i, r.gen());
+    }
+    // Level 1: 256 entries -> one of 64 level-2 block addresses.
+    for i in 0..256u64 {
+        let blk = r.gen_range(0..L2_BLOCKS);
+        mem.write_u32(DATA2 + 4 * i, (DATA3 + blk * 1024) as u32);
+    }
+    // Level 2: 64 blocks of 256 next-hop entries.
+    for i in 0..L2_BLOCKS * 256 {
+        mem.write_u32(DATA3 + 4 * i, r.gen_range(1..32));
+    }
+
+    let mut a = Asm::new();
+    let (addr, i1, base2, i2, hop, t) = (reg(1), reg(2), reg(3), reg(4), reg(5), reg(6));
+    a.li(counter(), input.iters(16));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA2 as i64);
+    a.li(reg(28), ADDRS as i64);
+    a.label("inner");
+    a.ldl(addr, 0, reg(20));
+    a.zapnot(addr, 0x0f, addr); // treat as unsigned 32-bit
+    a.srl(addr, 24, i1);
+    a.s4addq(i1, reg(21), t);
+    a.ldl(base2, 0, t); // level-2 block address
+    a.zapnot(base2, 0x0f, base2);
+    a.srl(addr, 16, i2);
+    a.and(i2, 0xff, i2);
+    a.s4addq(i2, base2, t);
+    a.ldl(hop, 0, t);
+    a.addq(acc(), hop, acc());
+    a.lda(reg(20), 4, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("rtr.lookup assembles"), mem)
+}
+
+/// `tcpdump.filt` — packet filtering: field masks and compare chains with
+/// early-exit branches over header records.
+pub fn tcpdump_filt(input: &Input) -> (Program, Memory) {
+    const RECORDS: u64 = 512;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..RECORDS {
+        let base = DATA + 20 * i;
+        mem.write_u32(base, if r.gen_bool(0.5) { 6 } else { 17 }); // proto
+        mem.write_u32(base + 4, r.gen_range(0..65536)); // src port
+        mem.write_u32(base + 8, r.gen_range(0..65536)); // dst port
+        mem.write_u32(base + 12, r.gen()); // src addr
+        mem.write_u32(base + 16, r.gen()); // dst addr
+    }
+
+    let mut a = Asm::new();
+    let (proto, port, adr, t) = (reg(1), reg(2), reg(3), reg(4));
+    a.li(counter(), input.iters(12));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(28), RECORDS as i64);
+    a.label("rec");
+    a.ldl(proto, 0, reg(20));
+    a.cmpeq(proto, 6, t);
+    a.beq(t, "reject"); // only TCP
+    a.ldl(port, 4, reg(20));
+    a.cmplt(port, 1024, t);
+    a.beq(t, "check_dst"); // well-known source port?
+    a.addq(acc(), 1, acc());
+    a.br("reject");
+    a.label("check_dst");
+    a.ldl(port, 8, reg(20));
+    a.cmpeq(port, 80, t);
+    a.bne(t, "http");
+    a.cmpeq(port, 443, t);
+    a.bne(t, "http");
+    a.br("reject");
+    a.label("http");
+    a.ldl(adr, 16, reg(20));
+    a.and(adr, 0xff, adr);
+    a.addq(acc(), adr, acc());
+    a.label("reject");
+    a.lda(reg(20), 20, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "rec");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("tcpdump.filt assembles"), mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::result;
+    use mg_profile::run_program;
+
+    fn runs(build: fn(&Input) -> (Program, Memory), input: &Input) -> u64 {
+        let (p, mut mem) = build(input);
+        run_program(&p, &mut mem, None, 50_000_000).expect("kernel halts");
+        result(&mem)
+    }
+
+    #[test]
+    fn all_comm_kernels_run_and_are_deterministic() {
+        for build in [reed_enc, drr_sched, frag_ip, rtr_lookup, tcpdump_filt] {
+            let a = runs(build, &Input::tiny());
+            let b = runs(build, &Input::tiny());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn gf_tables_are_inverse() {
+        let mut mem = Memory::new();
+        write_gf_tables(&mut mem, DATA3);
+        for x in 1..256u64 {
+            let lg = mem.read_u8(DATA3 + x);
+            let back = mem.read_u8(DATA3 + 256 + lg as u64);
+            assert_eq!(back as u64, x, "alog[log[{x}]] == {x}");
+        }
+    }
+
+    #[test]
+    fn drr_conserves_service() {
+        // Service counted in the checksum must be positive and scale with
+        // rounds.
+        let small = runs(drr_sched, &Input { seed: 3, scale: 1 });
+        let large = runs(drr_sched, &Input { seed: 3, scale: 2 });
+        assert!(small > 0);
+        assert!(large > small);
+    }
+}

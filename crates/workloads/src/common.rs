@@ -1,0 +1,107 @@
+//! Shared conventions and helpers for workload kernels.
+//!
+//! Register conventions used by every kernel:
+//!
+//! * `r30` — outer loop counter;
+//! * `r28`/`r29` — secondary counters;
+//! * `r20..r27` — base pointers;
+//! * `r16` — running checksum, stored to [`RESULT_ADDR`] before `halt`;
+//! * `r1..r15` — scratch.
+
+use mg_isa::{reg, Asm, Memory, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Address at which every kernel stores its 64-bit result checksum.
+pub const RESULT_ADDR: u64 = 0x8000;
+
+/// Base of the primary data region.
+pub const DATA: u64 = 0x20_0000;
+
+/// Base of the secondary data region.
+pub const DATA2: u64 = 0x30_0000;
+
+/// Base of the tertiary data region (tables).
+pub const DATA3: u64 = 0x40_0000;
+
+/// The checksum register, `r16`.
+pub fn acc() -> Reg {
+    reg(16)
+}
+
+/// The outer loop counter, `r30`.
+pub fn counter() -> Reg {
+    reg(30)
+}
+
+/// Deterministic RNG for input-data generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fills `[addr, addr+len)` with random bytes.
+pub fn fill_bytes(mem: &mut Memory, addr: u64, len: u64, rng: &mut StdRng) {
+    for i in 0..len {
+        mem.write_u8(addr + i, rng.gen());
+    }
+}
+
+/// Fills `count` 32-bit little-endian words from `addr` with values in
+/// `0..bound`.
+pub fn fill_words(mem: &mut Memory, addr: u64, count: u64, bound: u32, rng: &mut StdRng) {
+    for i in 0..count {
+        mem.write_u32(addr + 4 * i, rng.gen_range(0..bound));
+    }
+}
+
+/// Emits the standard kernel epilogue: store the checksum register to
+/// [`RESULT_ADDR`] and halt.
+pub fn epilogue(a: &mut Asm) {
+    a.li(reg(15), RESULT_ADDR as i64);
+    a.stq(acc(), 0, reg(15));
+    a.halt();
+}
+
+/// Reads a kernel's result checksum.
+pub fn result(mem: &Memory) -> u64 {
+    mem.read_u64(RESULT_ADDR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut m = Memory::new();
+        let mut r = rng(1);
+        fill_bytes(&mut m, DATA, 64, &mut r);
+        fill_words(&mut m, DATA2, 8, 100, &mut r);
+        // At least one nonzero byte with overwhelming probability.
+        assert!((0..64).any(|i| m.read_u8(DATA + i) != 0));
+        assert!((0..8).all(|i| m.read_u32(DATA2 + 4 * i) < 100));
+    }
+
+    #[test]
+    fn epilogue_stores_result() {
+        use mg_isa::exec::run_to_halt;
+        use mg_isa::exec::CpuState;
+        let mut a = Asm::new();
+        a.li(acc(), 0xdead);
+        epilogue(&mut a);
+        let p = a.finish().unwrap();
+        let mut cpu = CpuState::new(0);
+        let mut mem = Memory::new();
+        run_to_halt(&p, &mut cpu, &mut mem, None, 100).unwrap();
+        assert_eq!(result(&mem), 0xdead);
+    }
+}

@@ -1,0 +1,211 @@
+//! Benchmark kernels in the toy ISA, grouped into the paper's four suites.
+//!
+//! The paper evaluates SPEC2000(int), MediaBench, CommBench, and MiBench
+//! binaries compiled for Alpha. Those binaries, compilers, and inputs are
+//! unavailable, so this crate provides 24 hand-written kernels that span
+//! the same behavioural axes (see `DESIGN.md` §2):
+//!
+//! * **SPECint-like** — branchy, irregular, pointer-chasing, larger
+//!   static footprints, low IPC (`mcf`-like pointer chase ≈ 0.3 IPC);
+//! * **MediaBench-like** — regular arithmetic loops with long fuseable
+//!   ALU chains, high IPC;
+//! * **CommBench-like** — header/table processing, checksums, Galois
+//!   arithmetic via table lookups;
+//! * **MiBench-like** — embedded kernels (bit twiddling, CRC, hashing,
+//!   dithering).
+//!
+//! Every kernel is parameterized by an [`Input`] (seed + scale), writes a
+//! checksum to [`common::RESULT_ADDR`] before halting (so functional
+//! correctness of rewritten images is checkable), and is registered in
+//! [`all`].
+//!
+//! # Example
+//!
+//! ```
+//! use mg_workloads::{all, Input, Suite};
+//!
+//! let workloads = all();
+//! assert!(workloads.len() >= 24);
+//! let crc = workloads.iter().find(|w| w.name == "crc32").unwrap();
+//! assert_eq!(crc.suite, Suite::MiBench);
+//! let (prog, mem) = crc.build(&Input::tiny());
+//! assert!(!prog.is_empty());
+//! let _ = mem;
+//! ```
+
+pub mod comm;
+pub mod common;
+pub mod media;
+pub mod mibench;
+pub mod spec;
+
+use mg_isa::{Memory, Program};
+use std::fmt;
+
+/// The benchmark suite a workload belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// SPEC2000 integer-like.
+    SpecInt,
+    /// MediaBench-like.
+    MediaBench,
+    /// CommBench-like.
+    CommBench,
+    /// MiBench-like.
+    MiBench,
+}
+
+impl Suite {
+    /// All suites, in the paper's presentation order.
+    pub const ALL: [Suite; 4] =
+        [Suite::SpecInt, Suite::MediaBench, Suite::CommBench, Suite::MiBench];
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::SpecInt => f.write_str("SPECint"),
+            Suite::MediaBench => f.write_str("MediaBench"),
+            Suite::CommBench => f.write_str("CommBench"),
+            Suite::MiBench => f.write_str("MiBench"),
+        }
+    }
+}
+
+/// Workload input parameters: a data seed and a size scale.
+///
+/// The paper's robustness study (§6.1) trains mini-graph selection on one
+/// input set and evaluates on another; use two different seeds for that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Input {
+    /// Seed for input-data generation.
+    pub seed: u64,
+    /// Size multiplier (≥ 1); controls iteration counts and data sizes.
+    pub scale: u32,
+}
+
+impl Input {
+    /// The reference input (analogous to the paper's training inputs).
+    pub fn reference() -> Input {
+        Input { seed: 0x5eed_0001, scale: 4 }
+    }
+
+    /// An alternative input with different data (for the robustness study).
+    pub fn alternative() -> Input {
+        Input { seed: 0xa17e_9aad, scale: 3 }
+    }
+
+    /// A tiny input for unit tests.
+    pub fn tiny() -> Input {
+        Input { seed: 7, scale: 1 }
+    }
+
+    /// Scaled iteration count helper.
+    pub fn iters(&self, base: u64) -> i64 {
+        (base * self.scale as u64) as i64
+    }
+}
+
+impl Default for Input {
+    fn default() -> Input {
+        Input::reference()
+    }
+}
+
+/// A registered benchmark kernel.
+#[derive(Clone)]
+pub struct Workload {
+    /// Short name (e.g. `"crc32"`, `"mcf.netw"`).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Builder: program plus initialized memory for the given input.
+    pub build: fn(&Input) -> (Program, Memory),
+}
+
+impl Workload {
+    /// Builds the program and its initial memory.
+    pub fn build(&self, input: &Input) -> (Program, Memory) {
+        (self.build)(input)
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
+    }
+}
+
+/// Every registered workload, grouped by suite in presentation order.
+pub fn all() -> Vec<Workload> {
+    fn w(name: &'static str, suite: Suite, build: fn(&Input) -> (Program, Memory)) -> Workload {
+        Workload { name, suite, build }
+    }
+    vec![
+        // SPECint-like.
+        w("crafty.bits", Suite::SpecInt, spec::crafty_bits),
+        w("gcc.expr", Suite::SpecInt, spec::gcc_expr),
+        w("gzip.lz", Suite::SpecInt, spec::gzip_lz),
+        w("mcf.netw", Suite::SpecInt, spec::mcf_netw),
+        w("parser.tok", Suite::SpecInt, spec::parser_tok),
+        w("twolf.place", Suite::SpecInt, spec::twolf_place),
+        // MediaBench-like.
+        w("adpcm.enc", Suite::MediaBench, media::adpcm_enc),
+        w("adpcm.dec", Suite::MediaBench, media::adpcm_dec),
+        w("jpeg.dct", Suite::MediaBench, media::jpeg_dct),
+        w("mpeg2.idct", Suite::MediaBench, media::mpeg2_idct),
+        w("gsm.toast", Suite::MediaBench, media::gsm_toast),
+        w("epic.filter", Suite::MediaBench, media::epic_filter),
+        // CommBench-like.
+        w("reed.enc", Suite::CommBench, comm::reed_enc),
+        w("drr.sched", Suite::CommBench, comm::drr_sched),
+        w("frag.ip", Suite::CommBench, comm::frag_ip),
+        w("rtr.lookup", Suite::CommBench, comm::rtr_lookup),
+        w("tcpdump.filt", Suite::CommBench, comm::tcpdump_filt),
+        // MiBench-like.
+        w("bitcount", Suite::MiBench, mibench::bitcount),
+        w("sha.rounds", Suite::MiBench, mibench::sha_rounds),
+        w("crc32", Suite::MiBench, mibench::crc32),
+        w("dijkstra", Suite::MiBench, mibench::dijkstra),
+        w("stringsearch", Suite::MiBench, mibench::stringsearch),
+        w("rgba.conv", Suite::MiBench, mibench::rgba_conv),
+        w("dither", Suite::MiBench, mibench::dither),
+    ]
+}
+
+/// Workloads of one suite.
+pub fn by_suite(suite: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == suite).collect()
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ws = all();
+        assert_eq!(ws.len(), 24);
+        let mut names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24, "duplicate workload names");
+        for s in Suite::ALL {
+            assert!(by_suite(s).len() >= 5, "suite {s} too small");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("mcf.netw").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+}

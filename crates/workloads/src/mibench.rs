@@ -1,0 +1,447 @@
+//! MiBench-like kernels: embedded-systems code — bit manipulation,
+//! hashing, CRC, graph relaxation, search, and pixel processing.
+
+use crate::common::{acc, counter, epilogue, fill_bytes, rng, DATA, DATA2, DATA3};
+use crate::Input;
+use mg_isa::{reg, Asm, Memory, Program};
+use rand::Rng;
+
+/// `bitcount` — population counts by two methods: a branch-free SWAR
+/// chain and Kernighan's data-dependent clear-lowest-bit loop.
+pub fn bitcount(input: &Input) -> (Program, Memory) {
+    const WORDS: u64 = 64;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..WORDS {
+        mem.write_u64(DATA + 8 * i, r.gen());
+    }
+
+    let mut a = Asm::new();
+    let (x, t, u, n) = (reg(1), reg(2), reg(3), reg(4));
+    a.li(reg(8), 0x5555_5555_5555_5555u64 as i64);
+    a.li(reg(9), 0x3333_3333_3333_3333u64 as i64);
+    a.li(reg(10), 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
+    a.li(reg(11), 0x0101_0101_0101_0101u64 as i64);
+    a.li(counter(), input.iters(10));
+    a.label("outer");
+    a.li(reg(21), DATA as i64);
+    a.li(reg(28), WORDS as i64);
+    a.label("word");
+    // Method 1: SWAR.
+    a.ldq(x, 0, reg(21));
+    a.srl(x, 1, t);
+    a.and(t, reg(8), t);
+    a.subq(x, t, x);
+    a.and(x, reg(9), t);
+    a.srl(x, 2, u);
+    a.and(u, reg(9), u);
+    a.addq(t, u, x);
+    a.srl(x, 4, t);
+    a.addq(x, t, x);
+    a.and(x, reg(10), x);
+    a.mulq(x, reg(11), x);
+    a.srl(x, 56, x);
+    a.addq(acc(), x, acc());
+    // Method 2: Kernighan (x &= x - 1 until zero).
+    a.ldq(x, 0, reg(21));
+    a.li(n, 0);
+    a.label("kern");
+    a.beq(x, "kdone");
+    a.subq(x, 1, t);
+    a.and(x, t, x);
+    a.addq(n, 1, n);
+    a.br("kern");
+    a.label("kdone");
+    a.addq(acc(), n, acc());
+    a.lda(reg(21), 8, reg(21));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "word");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("bitcount assembles"), mem)
+}
+
+/// `sha.rounds` — SHA-1-style message schedule and compression rounds:
+/// rotate-xor-add chains (the paper's `sha` only gains once serialization
+/// is removed, Figure 7).
+pub fn sha_rounds(input: &Input) -> (Program, Memory) {
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..16u64 {
+        mem.write_u32(DATA + 4 * i, r.gen());
+    }
+
+    let mut a = Asm::new();
+    let mask32 = reg(14);
+    let (x, t, u) = (reg(1), reg(2), reg(3));
+    let (va, vb, vc, vd, ve) = (reg(17), reg(18), reg(19), reg(8), reg(9));
+    a.li(mask32, 0xffff_ffffu32 as i64);
+    a.li(counter(), input.iters(30)); // blocks
+    a.label("block");
+    // Message schedule: w[16..64] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]).
+    a.li(reg(20), (DATA + 64) as i64);
+    a.li(reg(28), 48);
+    a.label("sched");
+    a.ldl(x, -12, reg(20));
+    a.ldl(t, -32, reg(20));
+    a.xor(x, t, x);
+    a.ldl(t, -56, reg(20));
+    a.xor(x, t, x);
+    a.ldl(t, -64, reg(20));
+    a.xor(x, t, x);
+    a.and(x, mask32, x);
+    a.sll(x, 1, t);
+    a.srl(x, 31, u);
+    a.bis(t, u, x);
+    a.and(x, mask32, x);
+    a.stl(x, 0, reg(20));
+    a.lda(reg(20), 4, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "sched");
+    // Compression: 64 rounds of a = rotl5(a) + f(b,c,d) + e + w[i] + K.
+    a.li(va, 0x6745_2301);
+    a.li(vb, 0xefcd_ab89u32 as i64);
+    a.li(vc, 0x98ba_dcfeu32 as i64);
+    a.li(vd, 0x1032_5476);
+    a.li(ve, 0xc3d2_e1f0u32 as i64);
+    a.li(reg(20), DATA as i64);
+    a.li(reg(28), 64);
+    a.label("round");
+    a.sll(va, 5, t);
+    a.srl(va, 27, u);
+    a.bis(t, u, t);
+    a.and(t, mask32, t);
+    // f = (b & c) | (~b & d)
+    a.and(vb, vc, x);
+    a.bic(vd, vb, u);
+    a.bis(x, u, x);
+    a.addq(t, x, t);
+    a.addq(t, ve, t);
+    a.ldl(x, 0, reg(20));
+    a.addq(t, x, t);
+    a.lda(t, 0x7999, t);
+    a.and(t, mask32, t);
+    // Rotate the working registers.
+    a.mov(vd, ve);
+    a.mov(vc, vd);
+    a.sll(vb, 30, x);
+    a.srl(vb, 2, u);
+    a.bis(x, u, vc);
+    a.and(vc, mask32, vc);
+    a.mov(va, vb);
+    a.mov(t, va);
+    a.lda(reg(20), 4, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "round");
+    a.addq(acc(), va, acc());
+    a.xor(acc(), ve, acc());
+    // Feed the digest back into the message for the next block.
+    a.li(reg(20), DATA as i64);
+    a.stl(va, 0, reg(20));
+    a.stl(ve, 4, reg(20));
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "block");
+    epilogue(&mut a);
+    (a.finish().expect("sha.rounds assembles"), mem)
+}
+
+/// `crc32` — table-driven CRC-32: the serial byte loop with an interior
+/// load (`crc = table[(crc ^ b) & 0xff] ^ (crc >> 8)`).
+pub fn crc32(input: &Input) -> (Program, Memory) {
+    const LEN: u64 = 1024;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    fill_bytes(&mut mem, DATA, LEN, &mut r);
+    // Standard CRC-32 (reflected, 0xedb88320) table.
+    for n in 0..256u32 {
+        let mut c = n;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        mem.write_u32(DATA3 + 4 * n as u64, c);
+    }
+
+    let mut a = Asm::new();
+    let (b, idx, t, crc) = (reg(1), reg(2), reg(3), reg(17));
+    a.li(counter(), input.iters(8));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA3 as i64);
+    a.li(crc, 0xffff_ffffu32 as i64);
+    a.li(reg(28), LEN as i64);
+    a.label("byte");
+    a.ldbu(b, 0, reg(20));
+    a.xor(crc, b, idx);
+    a.and(idx, 0xff, idx);
+    a.s4addq(idx, reg(21), t);
+    a.ldl(t, 0, t);
+    a.srl(crc, 8, crc);
+    a.xor(crc, t, crc);
+    a.zapnot(crc, 0x0f, crc);
+    a.lda(reg(20), 1, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "byte");
+    a.addq(acc(), crc, acc());
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("crc32 assembles"), mem)
+}
+
+/// `dijkstra` — rounds of edge relaxation over a dense adjacency matrix
+/// (Bellman-Ford style, as MiBench's dijkstra over small graphs).
+pub fn dijkstra(input: &Input) -> (Program, Memory) {
+    const N: u64 = 48;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    // Adjacency weights 0 (no edge, 70%) or 1..16.
+    for i in 0..N * N {
+        let w: u8 = if r.gen_bool(0.3) { r.gen_range(1..16) } else { 0 };
+        mem.write_u8(DATA + i, w);
+    }
+    // dist[] initialised to "infinity" except the source.
+    for v in 0..N {
+        mem.write_u32(DATA2 + 4 * v, if v == 0 { 0 } else { 1 << 20 });
+    }
+
+    let mut a = Asm::new();
+    let (du, w, dv, nd, t, row) = (reg(1), reg(2), reg(3), reg(4), reg(5), reg(6));
+    a.li(counter(), input.iters(2)); // relaxation rounds
+    a.label("round");
+    a.li(reg(22), 0); // u
+    a.label("u_loop");
+    a.li(reg(21), DATA2 as i64);
+    a.s4addq(reg(22), reg(21), t);
+    a.ldl(du, 0, t);
+    // row pointer = DATA + u * N
+    a.li(row, N as i64);
+    a.mulq(reg(22), row, row);
+    a.li(t, DATA as i64);
+    a.addq(row, t, row);
+    a.li(reg(23), 0); // v
+    a.label("v_loop");
+    a.addq(row, reg(23), t);
+    a.ldbu(w, 0, t);
+    a.beq(w, "no_edge");
+    a.addq(du, w, nd);
+    a.s4addq(reg(23), reg(21), t);
+    a.ldl(dv, 0, t);
+    a.cmplt(nd, dv, reg(7));
+    a.beq(reg(7), "no_edge");
+    a.stl(nd, 0, t);
+    a.addq(acc(), 1, acc()); // count relaxations
+    a.label("no_edge");
+    a.addq(reg(23), 1, reg(23));
+    a.cmplt(reg(23), N as i64, t);
+    a.bne(t, "v_loop");
+    a.addq(reg(22), 1, reg(22));
+    a.cmplt(reg(22), N as i64, t);
+    a.bne(t, "u_loop");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "round");
+    // Fold final distances into the checksum.
+    a.li(reg(21), DATA2 as i64);
+    a.li(reg(28), N as i64);
+    a.label("fold");
+    a.ldl(t, 0, reg(21));
+    a.addq(acc(), t, acc());
+    a.lda(reg(21), 4, reg(21));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "fold");
+    epilogue(&mut a);
+    (a.finish().expect("dijkstra assembles"), mem)
+}
+
+/// `stringsearch` — substring scanning with a first-byte filter and a
+/// word-wise confirmation compare.
+pub fn stringsearch(input: &Input) -> (Program, Memory) {
+    const LEN: u64 = 1024;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..LEN + 8 {
+        mem.write_u8(DATA + i, r.gen_range(b'a'..=b'f'));
+    }
+    // Plant the needle a few times.
+    let needle = *b"deadbeef";
+    for _ in 0..6 {
+        let at = r.gen_range(0..LEN - 8);
+        mem.write_bytes(DATA + at, &needle);
+    }
+
+    let mut a = Asm::new();
+    let (c, w, t) = (reg(1), reg(2), reg(3));
+    let needle_word = i64::from_le_bytes(needle);
+    a.li(reg(8), needle_word);
+    a.and(reg(8), 0xff, reg(9)); // first byte
+    a.li(counter(), input.iters(10));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(28), LEN as i64);
+    a.label("scan");
+    a.ldbu(c, 0, reg(20));
+    a.cmpeq(c, reg(9), t);
+    a.beq(t, "next");
+    a.ldq(w, 0, reg(20));
+    a.xor(w, reg(8), t);
+    a.bne(t, "next");
+    a.addq(acc(), 1, acc()); // match found
+    a.label("next");
+    a.lda(reg(20), 1, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "scan");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("stringsearch assembles"), mem)
+}
+
+/// `rgba.conv` — RGBA-to-grayscale-and-repack pixel conversion: byte
+/// extraction, weighted sums, and byte insertion (the `2rgba`-style
+/// conversion kernels of MiBench/CommBench).
+pub fn rgba_conv(input: &Input) -> (Program, Memory) {
+    const PIXELS: u64 = 1024;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..PIXELS {
+        mem.write_u32(DATA + 4 * i, r.gen());
+    }
+
+    let mut a = Asm::new();
+    let (px, cr, cg, cb, gray, out) = (reg(1), reg(2), reg(3), reg(4), reg(5), reg(6));
+    a.li(counter(), input.iters(16));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA2 as i64);
+    a.li(reg(28), PIXELS as i64);
+    a.label("px");
+    a.ldl(px, 0, reg(20));
+    a.extbl(px, 0, cr);
+    a.extbl(px, 1, cg);
+    a.extbl(px, 2, cb);
+    a.mull(cr, 77, cr);
+    a.mull(cg, 150, cg);
+    a.mull(cb, 29, cb);
+    a.addq(cr, cg, gray);
+    a.addq(gray, cb, gray);
+    a.srl(gray, 8, gray);
+    // Repack as gray in all three channels, alpha 255.
+    a.sll(gray, 8, out);
+    a.bis(out, gray, out);
+    a.sll(out, 8, out);
+    a.bis(out, gray, out);
+    a.li(cr, 0xff00_0000u32 as i64);
+    a.bis(out, cr, out);
+    a.stl(out, 0, reg(21));
+    a.addq(acc(), gray, acc());
+    a.lda(reg(20), 4, reg(20));
+    a.lda(reg(21), 4, reg(21));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "px");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("rgba.conv assembles"), mem)
+}
+
+/// `dither` — one-dimensional error-diffusion dithering with a
+/// data-dependent threshold branch per pixel.
+pub fn dither(input: &Input) -> (Program, Memory) {
+    const PIXELS: u64 = 2048;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    fill_bytes(&mut mem, DATA, PIXELS, &mut r);
+
+    let mut a = Asm::new();
+    let (px, err, t) = (reg(1), reg(17), reg(3));
+    a.li(counter(), input.iters(2));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA2 as i64);
+    a.li(err, 0);
+    a.li(reg(28), PIXELS as i64);
+    a.label("pixel");
+    a.ldbu(px, 0, reg(20));
+    a.addq(px, err, px);
+    a.cmplt(px, 128, t);
+    a.bne(t, "dark");
+    // Output white; error = value - 255.
+    a.li(t, 255);
+    a.stb(t, 0, reg(21));
+    a.subq(px, 255, err);
+    a.addq(acc(), 1, acc());
+    a.br("prop");
+    a.label("dark");
+    a.stb(mg_isa::Reg::ZERO, 0, reg(21));
+    a.mov(px, err);
+    a.label("prop");
+    // Propagate 7/16 of the error (shift-add approximation).
+    a.mulq(err, 7, err);
+    a.sra(err, 4, err);
+    a.lda(reg(20), 1, reg(20));
+    a.lda(reg(21), 1, reg(21));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "pixel");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("dither assembles"), mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::result;
+    use mg_profile::run_program;
+
+    fn runs(build: fn(&Input) -> (Program, Memory), input: &Input) -> u64 {
+        let (p, mut mem) = build(input);
+        run_program(&p, &mut mem, None, 50_000_000).expect("kernel halts");
+        result(&mem)
+    }
+
+    #[test]
+    fn all_mibench_kernels_run_and_are_deterministic() {
+        for build in [bitcount, sha_rounds, crc32, dijkstra, stringsearch, rgba_conv, dither] {
+            let a = runs(build, &Input::tiny());
+            let b = runs(build, &Input::tiny());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bitcount_methods_agree() {
+        // Both methods count the same words; the checksum is twice the
+        // total popcount per pass.
+        let (p, mut mem) = bitcount(&Input::tiny());
+        let total: u64 = (0..64).map(|i| mem.read_u64(DATA + 8 * i).count_ones() as u64).sum();
+        run_program(&p, &mut mem, None, 50_000_000).unwrap();
+        let passes = Input::tiny().iters(10) as u64;
+        assert_eq!(result(&mem), 2 * total * passes);
+    }
+
+    #[test]
+    fn crc_matches_reference() {
+        let (p, mut mem) = crc32(&Input::tiny());
+        // Reference CRC-32 of the input bytes.
+        let mut data = vec![0u8; 1024];
+        mem.read_bytes(DATA, &mut data);
+        let mut crc: u32 = 0xffff_ffff;
+        for &b in &data {
+            let idx = ((crc ^ b as u32) & 0xff) as u64;
+            let t = mem.read_u32(DATA3 + 4 * idx);
+            crc = t ^ (crc >> 8);
+        }
+        run_program(&p, &mut mem, None, 50_000_000).unwrap();
+        let passes = Input::tiny().iters(8) as u64;
+        assert_eq!(result(&mem), crc as u64 * passes);
+    }
+
+    #[test]
+    fn stringsearch_finds_planted_needles() {
+        let hits = runs(stringsearch, &Input::tiny());
+        let passes = Input::tiny().iters(10) as u64;
+        assert!(hits >= passes, "at least one needle per pass, got {hits}");
+        assert_eq!(hits % passes, 0, "same count every pass");
+    }
+}

@@ -1,0 +1,430 @@
+//! SPECint-like kernels: branchy, irregular control, pointer chasing,
+//! interpreter dispatch — the low-IPC end of the paper's evaluation
+//! (baseline SPECint IPCs in Figure 6 range from 0.27 for `mcf` to ~2.1).
+
+use crate::common::{acc, counter, epilogue, fill_words, rng, DATA, DATA2, DATA3};
+use crate::Input;
+use mg_isa::{reg, Asm, Memory, Program};
+use rand::Rng;
+
+/// `crafty.bits` — bitboard population counts and attack masks (chess
+/// engines are dominated by 64-bit bit twiddling with high ILP).
+pub fn crafty_bits(input: &Input) -> (Program, Memory) {
+    const WORDS: u64 = 64;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..WORDS {
+        mem.write_u64(DATA + 8 * i, r.gen());
+    }
+
+    let mut a = Asm::new();
+    let (x, t, u) = (reg(1), reg(2), reg(3));
+    let (m5, m3, mf, mul) = (reg(8), reg(9), reg(10), reg(11));
+    a.li(m5, 0x5555_5555_5555_5555u64 as i64);
+    a.li(m3, 0x3333_3333_3333_3333u64 as i64);
+    a.li(mf, 0x0f0f_0f0f_0f0f_0f0fu64 as i64);
+    a.li(mul, 0x0101_0101_0101_0101u64 as i64);
+    a.li(counter(), input.iters(60));
+    a.label("outer");
+    a.li(reg(21), DATA as i64);
+    a.li(reg(28), WORDS as i64);
+    a.label("inner");
+    a.ldq(x, 0, reg(21));
+    // SWAR popcount.
+    a.srl(x, 1, t);
+    a.and(t, m5, t);
+    a.subq(x, t, x);
+    a.and(x, m3, t);
+    a.srl(x, 2, u);
+    a.and(u, m3, u);
+    a.addq(t, u, x);
+    a.srl(x, 4, t);
+    a.addq(x, t, x);
+    a.and(x, mf, x);
+    a.mulq(x, mul, x);
+    a.srl(x, 56, x);
+    a.addq(acc(), x, acc());
+    // Attack-mask flavour: shifted masks feed the checksum too.
+    a.ldq(x, 0, reg(21));
+    a.sll(x, 7, t);
+    a.bic(t, m5, t);
+    a.xor(acc(), t, acc());
+    a.lda(reg(21), 8, reg(21));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("crafty.bits assembles"), mem)
+}
+
+/// `gcc.expr` — a byte-coded stack-machine evaluator: compiler-style
+/// dispatch over small opcodes with a compare-and-branch chain.
+pub fn gcc_expr(input: &Input) -> (Program, Memory) {
+    const OPS: u64 = 1000;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    // Generate a valid opcode stream, tracking stack depth.
+    let mut depth = 0u32;
+    let mut addr = DATA;
+    for _ in 0..OPS {
+        let op: u8 = if depth == 0 {
+            0
+        } else if depth == 1 {
+            if r.gen_bool(0.6) {
+                0
+            } else {
+                5
+            }
+        } else if depth >= 50 {
+            r.gen_range(1..=5)
+        } else {
+            match r.gen_range(0..10) {
+                0..=2 => 0,
+                3..=7 => r.gen_range(1..=4),
+                _ => 5,
+            }
+        };
+        mem.write_u8(addr, op);
+        addr += 1;
+        match op {
+            0 => {
+                mem.write_u8(addr, r.gen());
+                addr += 1;
+                depth += 1;
+            }
+            5 => depth -= 1,
+            _ => depth -= 1, // binary op: pop 2 push 1
+        }
+    }
+
+    let mut a = Asm::new();
+    let (op, t, adr, b, v) = (reg(1), reg(2), reg(4), reg(5), reg(6));
+    a.li(counter(), input.iters(8));
+    a.label("outer");
+    a.li(reg(20), DATA as i64); // code pointer
+    a.li(reg(21), DATA2 as i64); // stack base
+    a.li(reg(22), 0); // stack offset
+    a.li(reg(28), OPS as i64);
+    a.label("inner");
+    a.ldbu(op, 0, reg(20));
+    a.lda(reg(20), 1, reg(20));
+    a.beq(op, "op_push");
+    a.cmpeq(op, 1, t);
+    a.bne(t, "op_add");
+    a.cmpeq(op, 2, t);
+    a.bne(t, "op_sub");
+    a.cmpeq(op, 3, t);
+    a.bne(t, "op_and");
+    a.cmpeq(op, 4, t);
+    a.bne(t, "op_xor");
+    // op 5: pop into the checksum.
+    a.addq(reg(21), reg(22), adr);
+    a.ldq(b, -8, adr);
+    a.addq(acc(), b, acc());
+    a.subq(reg(22), 8, reg(22));
+    a.br("next");
+    a.label("op_push");
+    a.ldbu(v, 0, reg(20));
+    a.lda(reg(20), 1, reg(20));
+    a.addq(reg(21), reg(22), adr);
+    a.stq(v, 0, adr);
+    a.lda(reg(22), 8, reg(22));
+    a.br("next");
+    for (label, make) in [
+        ("op_add", 1u8),
+        ("op_sub", 2),
+        ("op_and", 3),
+        ("op_xor", 4),
+    ] {
+        a.label(label);
+        a.addq(reg(21), reg(22), adr);
+        a.ldq(b, -8, adr);
+        a.ldq(v, -16, adr);
+        match make {
+            1 => a.addq(v, b, v),
+            2 => a.subq(v, b, v),
+            3 => a.and(v, b, v),
+            _ => a.xor(v, b, v),
+        };
+        a.stq(v, -16, adr);
+        a.subq(reg(22), 8, reg(22));
+        a.br("next");
+    }
+    a.label("next");
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("gcc.expr assembles"), mem)
+}
+
+/// `gzip.lz` — LZ77-style match finding: hashing, table probes, and
+/// data-dependent match/no-match branches.
+pub fn gzip_lz(input: &Input) -> (Program, Memory) {
+    const LEN: u64 = 2048;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    // Compressible input: small alphabet with repeats.
+    for i in 0..LEN {
+        let b: u8 = if r.gen_bool(0.3) { b'a' } else { r.gen_range(b'a'..b'j') };
+        mem.write_u8(DATA + i, b);
+    }
+
+    let mut a = Asm::new();
+    let (b0, b1, h, cand, x, y, t) = (reg(1), reg(2), reg(3), reg(4), reg(5), reg(6), reg(7));
+    a.li(counter(), input.iters(3));
+    a.label("outer");
+    a.li(reg(20), DATA as i64); // text base
+    a.li(reg(21), DATA2 as i64); // hash table (u32 positions)
+    a.li(reg(22), 0); // pos
+    a.li(reg(28), (LEN - 8) as i64);
+    a.label("inner");
+    // h = ((b0 << 4) ^ b1) & 0xff
+    a.addq(reg(20), reg(22), t);
+    a.ldbu(b0, 0, t);
+    a.ldbu(b1, 1, t);
+    a.sll(b0, 4, h);
+    a.xor(h, b1, h);
+    a.and(h, 0xff, h);
+    // cand = table[h]; table[h] = pos
+    a.s4addq(h, reg(21), t);
+    a.ldl(cand, 0, t);
+    a.stl(reg(22), 0, t);
+    // No candidate yet this pass (cand >= pos): skip.
+    a.cmpult(cand, reg(22), t);
+    a.beq(t, "advance");
+    // Compare 8 bytes at pos and cand.
+    a.addq(reg(20), reg(22), t);
+    a.ldq(x, 0, t);
+    a.addq(reg(20), cand, t);
+    a.ldq(y, 0, t);
+    a.xor(x, y, t);
+    a.beq(t, "match8");
+    // First byte equal? (cheap partial credit)
+    a.and(t, 0xff, t);
+    a.bne(t, "advance");
+    a.addq(acc(), 1, acc());
+    a.br("advance");
+    a.label("match8");
+    a.addq(acc(), 8, acc());
+    a.label("advance");
+    a.addq(reg(22), 1, reg(22));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    // Clear the hash table for the next pass (256 entries).
+    a.li(reg(28), 256);
+    a.li(t, DATA2 as i64);
+    a.label("clear");
+    a.stl(mg_isa::Reg::ZERO, 0, t);
+    a.lda(t, 4, t);
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "clear");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("gzip.lz assembles"), mem)
+}
+
+/// `mcf.netw` — network-simplex-style pointer chasing over nodes spread
+/// through a multi-megabyte arena: the canonical memory-bound SPECint
+/// program (baseline IPC 0.27 in the paper).
+pub fn mcf_netw(input: &Input) -> (Program, Memory) {
+    const NODES: u64 = 4096;
+    const STRIDE: u64 = 256;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    // A random Hamiltonian cycle over the nodes.
+    let mut order: Vec<u64> = (1..NODES).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, r.gen_range(0..=i));
+    }
+    let mut chain = vec![0u64];
+    chain.extend(&order);
+    for w in 0..NODES {
+        let here = DATA3 + chain[w as usize] * STRIDE;
+        let next = DATA3 + chain[((w + 1) % NODES) as usize] * STRIDE;
+        mem.write_u64(here, next);
+        mem.write_u64(here + 8, r.gen_range(0..1000));
+    }
+
+    let mut a = Asm::new();
+    let (node, cost, t) = (reg(21), reg(2), reg(3));
+    a.li(node, DATA3 as i64);
+    a.li(counter(), input.iters(10000));
+    a.label("walk");
+    a.ldq(cost, 8, node);
+    // Cost threshold branch: irregular, data dependent.
+    a.cmplt(cost, 500, t);
+    a.beq(t, "expensive");
+    a.addq(acc(), cost, acc());
+    a.br("step");
+    a.label("expensive");
+    a.subq(acc(), cost, acc());
+    a.label("step");
+    a.ldq(node, 0, node); // dependent pointer chase
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "walk");
+    epilogue(&mut a);
+    (a.finish().expect("mcf.netw assembles"), mem)
+}
+
+/// `parser.tok` — character-class tokenization: byte loads, class-table
+/// lookups, and state-dependent branching.
+pub fn parser_tok(input: &Input) -> (Program, Memory) {
+    const LEN: u64 = 2048;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    for i in 0..LEN {
+        let b: u8 = if r.gen_bool(0.2) { b' ' } else { r.gen_range(b'a'..=b'z') };
+        mem.write_u8(DATA + i, b);
+    }
+    // Class table: 1 for letters, 0 otherwise.
+    for c in 0..256u64 {
+        let is_alpha = (b'a'..=b'z').contains(&(c as u8)) || (b'A'..=b'Z').contains(&(c as u8));
+        mem.write_u8(DATA2 + c, is_alpha as u8);
+    }
+
+    let mut a = Asm::new();
+    let (c, cls, prev, t) = (reg(1), reg(2), reg(5), reg(3));
+    a.li(counter(), input.iters(3));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA2 as i64);
+    a.li(prev, 0);
+    a.li(reg(28), LEN as i64);
+    a.label("inner");
+    a.ldbu(c, 0, reg(20));
+    a.addq(reg(21), c, t);
+    a.ldbu(cls, 0, t);
+    a.beq(cls, "not_word");
+    // Token starts when class goes 0 -> 1.
+    a.bne(prev, "in_word");
+    a.addq(acc(), 1, acc());
+    a.label("in_word");
+    a.addq(acc(), c, acc());
+    a.br("cont");
+    a.label("not_word");
+    a.xor(acc(), 0x1f, acc());
+    a.label("cont");
+    a.mov(cls, prev);
+    a.lda(reg(20), 1, reg(20));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("parser.tok assembles"), mem)
+}
+
+/// `twolf.place` — placement cost evaluation: Manhattan distances with
+/// branch-free absolute values and conditional best-cost updates.
+pub fn twolf_place(input: &Input) -> (Program, Memory) {
+    const CELLS: u64 = 512;
+    let mut mem = Memory::new();
+    let mut r = rng(input.seed);
+    fill_words(&mut mem, DATA, CELLS, 4096, &mut r); // x coords
+    fill_words(&mut mem, DATA2, CELLS, 4096, &mut r); // y coords
+
+    let mut a = Asm::new();
+    let (x0, x1, y0, y1, dx, dy, s, best, t) =
+        (reg(1), reg(2), reg(3), reg(4), reg(5), reg(6), reg(7), reg(17), reg(9));
+    a.li(counter(), input.iters(6));
+    a.label("outer");
+    a.li(reg(20), DATA as i64);
+    a.li(reg(21), DATA2 as i64);
+    a.li(best, 1 << 30);
+    a.li(reg(28), (CELLS - 1) as i64);
+    a.label("inner");
+    a.ldl(x0, 0, reg(20));
+    a.ldl(x1, 4, reg(20));
+    a.ldl(y0, 0, reg(21));
+    a.ldl(y1, 4, reg(21));
+    a.subq(x0, x1, dx);
+    a.sra(dx, 63, t); // branch-free abs: (dx ^ m) - m
+    a.xor(dx, t, dx);
+    a.subq(dx, t, dx);
+    a.subq(y0, y1, dy);
+    a.sra(dy, 63, t);
+    a.xor(dy, t, dy);
+    a.subq(dy, t, dy);
+    a.addq(dx, dy, s);
+    a.addq(acc(), s, acc());
+    // Conditional best update (data-dependent branch).
+    a.cmplt(s, best, t);
+    a.beq(t, "no_best");
+    a.mov(s, best);
+    a.label("no_best");
+    a.lda(reg(20), 4, reg(20));
+    a.lda(reg(21), 4, reg(21));
+    a.subq(reg(28), 1, reg(28));
+    a.bne(reg(28), "inner");
+    a.addq(acc(), best, acc());
+    a.subq(counter(), 1, counter());
+    a.bne(counter(), "outer");
+    epilogue(&mut a);
+    (a.finish().expect("twolf.place assembles"), mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::result;
+    use mg_profile::run_program;
+
+    fn runs(build: fn(&Input) -> (Program, Memory), input: &Input) -> u64 {
+        let (p, mut mem) = build(input);
+        run_program(&p, &mut mem, None, 50_000_000).expect("kernel halts");
+        result(&mem)
+    }
+
+    #[test]
+    fn all_spec_kernels_run_and_are_deterministic() {
+        for build in [crafty_bits, gcc_expr, gzip_lz, mcf_netw, parser_tok, twolf_place] {
+            let a = runs(build, &Input::tiny());
+            let b = runs(build, &Input::tiny());
+            assert_eq!(a, b, "kernel must be deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_results() {
+        let a = runs(crafty_bits, &Input { seed: 1, scale: 1 });
+        let b = runs(crafty_bits, &Input { seed: 2, scale: 1 });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mcf_chain_is_a_full_cycle() {
+        // The pointer chain must visit every node before repeating.
+        let (_, mem) = mcf_netw(&Input::tiny());
+        let mut seen = std::collections::HashSet::new();
+        let mut node = DATA3;
+        for _ in 0..4096 {
+            assert!(seen.insert(node), "chain revisits a node early");
+            node = mem.read_u64(node);
+        }
+        assert_eq!(node, DATA3, "chain closes into a cycle");
+    }
+
+    #[test]
+    fn gcc_expr_stream_is_valid() {
+        let (_, mem) = gcc_expr(&Input::tiny());
+        // Re-walk the stream and confirm depth never goes negative.
+        let mut addr = DATA;
+        let mut depth: i64 = 0;
+        for _ in 0..1000 {
+            let op = mem.read_u8(addr);
+            addr += 1;
+            match op {
+                0 => {
+                    addr += 1;
+                    depth += 1;
+                }
+                _ => depth -= 1,
+            }
+            assert!(depth >= 0, "stack machine underflows");
+        }
+    }
+}

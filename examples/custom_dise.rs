@@ -1,0 +1,78 @@
+//! Custom application-specific mini-graphs via DISE (paper §5).
+//!
+//! Demonstrates the aware-utility flow: mini-graph definitions expressed
+//! as DISE productions (`T.RS1`/`T.RS2`/`T.RD`/`$d` parameters), compiled
+//! and validated by the mini-graph pre-processor (MGPP), tracked in the
+//! mini-graph tag table (MGTT) — and the fallback path where a processor
+//! that does not support a handle simply expands it back into singletons
+//! with full architectural equivalence.
+//!
+//! Run with: `cargo run --release --example custom_dise`
+
+use mini_graphs::core::{extract, rewrite, Policy, RewriteStyle};
+use mini_graphs::dise::{expansion_engine, handle_production, mgpp, Mgtt, MgttDecision};
+use mini_graphs::isa::{reg, Asm, Memory};
+use mini_graphs::profile::run_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An application kernel with a couple of hot idioms.
+    let mut a = Asm::new();
+    a.li(reg(1), 0x4000);
+    a.li(reg(30), 5_000);
+    a.label("top");
+    a.ldq(reg(2), 16, reg(1)); // the paper's mg-34 idiom
+    a.srl(reg(2), 14, reg(17));
+    a.and(reg(17), 1, reg(17));
+    a.stq(reg(17), 64, reg(1));
+    a.subq(reg(30), 1, reg(30));
+    a.bne(reg(30), "top");
+    a.halt();
+    let prog = a.finish()?;
+
+    // Extract mini-graphs and rewrite the executable with handles — the
+    // binary-rewriter side of a DISE-aware toolchain.
+    let ex = extract(&prog, &mut Memory::new(), &Policy::integer_memory(), 10_000_000)?;
+    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+    println!("selected {} template(s), planted {} handle(s)", ex.selection.catalog.len(), rw.handles);
+
+    // Express each template as the production the executable's `.dise`
+    // section would carry, push it through the MGPP, and record the MGTT
+    // verdicts.
+    let mut mgtt = Mgtt::new(512);
+    for (mgid, template) in ex.selection.catalog.iter() {
+        let production = handle_production(mgid, template);
+        mgtt.install(mgid);
+        match mgpp::compile(&production.replacement) {
+            Ok(row) => {
+                mgtt.set_approved(mgid, true);
+                println!("MGPP approved MGID {mgid}: {row}");
+            }
+            Err(why) => {
+                mgtt.set_approved(mgid, false);
+                println!("MGPP rejected MGID {mgid}: {why}");
+            }
+        }
+    }
+    for (mgid, _) in ex.selection.catalog.iter() {
+        assert_eq!(mgtt.lookup(mgid), MgttDecision::KeepHandle);
+    }
+
+    // The portability path: a mini-graph-oblivious processor expands every
+    // handle back into singletons. Architectural state must match the
+    // original program exactly.
+    let engine = expansion_engine(&ex.selection.catalog, vec![reg(24), reg(25), reg(26), reg(27)]);
+    let expanded = engine.expand_image(&rw.program)?;
+    println!(
+        "\nexpanded image: {} instructions (handles restored to sequences)",
+        expanded.len()
+    );
+
+    let mut m1 = Memory::new();
+    let mut m2 = Memory::new();
+    let orig = run_program(&prog, &mut m1, None, 50_000_000)?;
+    let exp = run_program(&expanded, &mut m2, None, 50_000_000)?;
+    assert_eq!(orig.cpu.regs, exp.cpu.regs, "expansion preserves architectural state");
+    assert_eq!(m1.read_u64(0x4000 + 64), m2.read_u64(0x4000 + 64));
+    println!("expanded image is architecturally equivalent to the original ✓");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Façade crate for the mini-graphs reproduction; re-exports every subsystem.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use mg_core as core;
+pub use mg_dise as dise;
+pub use mg_isa as isa;
+pub use mg_profile as profile;
+pub use mg_uarch as uarch;
+pub use mg_workloads as workloads;

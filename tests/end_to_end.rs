@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: every registered workload runs through
+//! the complete pipeline (profile → extract → rewrite → trace → timing
+//! simulation), functional results stay bit-identical, accounting
+//! identities hold, and the DISE expansion fallback round-trips.
+
+use mini_graphs::core::{extract, rewrite, Policy, RewriteStyle};
+use mini_graphs::dise::expansion_engine;
+use mini_graphs::isa::{reg, HandleCatalog, Memory};
+use mini_graphs::profile::{record_trace, run_program};
+use mini_graphs::uarch::{simulate, SimConfig};
+use mini_graphs::workloads::{all, by_name, Input};
+
+const RESULT_ADDR: u64 = 0x8000;
+
+/// Every workload: the rewritten (nop-padded and compressed) images must
+/// produce the same checksum as the original.
+#[test]
+fn all_workloads_rewrite_equivalently() {
+    for w in all() {
+        let input = Input::tiny();
+        let (prog, _) = w.build(&input);
+        let (_, mut pmem) = w.build(&input);
+        let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000)
+            .unwrap_or_else(|e| panic!("{}: extraction failed: {e}", w.name));
+
+        let (_, mut m0) = w.build(&input);
+        run_program(&prog, &mut m0, None, 200_000_000).expect("original halts");
+        let expected = m0.read_u64(RESULT_ADDR);
+
+        for style in [RewriteStyle::NopPadded, RewriteStyle::Compressed] {
+            let rw = rewrite(&prog, &ex.selection, style);
+            let (_, mut m1) = w.build(&input);
+            run_program(&rw.program, &mut m1, Some(&ex.selection.catalog), 200_000_000)
+                .unwrap_or_else(|e| panic!("{}: rewritten image failed: {e}", w.name));
+            assert_eq!(
+                m1.read_u64(RESULT_ADDR),
+                expected,
+                "{}: checksum diverged under {:?}",
+                w.name,
+                style
+            );
+        }
+    }
+}
+
+/// The amplification identity: dynamic instructions represented by both
+/// traces agree, and the handle image fetches exactly `saved_slots` fewer
+/// operations.
+#[test]
+fn amplification_accounting_identity() {
+    let w = by_name("gsm.toast").expect("registered");
+    let input = Input::tiny();
+    let (prog, _) = w.build(&input);
+    let (_, mut pmem) = w.build(&input);
+    let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000).unwrap();
+    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+
+    let (_, mut m1) = w.build(&input);
+    let base = record_trace(&prog, &mut m1, None, 200_000_000).unwrap();
+    let (_, mut m2) = w.build(&input);
+    let mg = record_trace(&rw.program, &mut m2, Some(&ex.selection.catalog), 200_000_000)
+        .unwrap();
+
+    assert_eq!(base.insts, mg.insts, "same original instruction stream");
+    let fetched_saved = base.ops.len() as u64 - mg.ops.len() as u64;
+    assert_eq!(
+        fetched_saved,
+        ex.selection.saved_slots(),
+        "pipeline slots saved must equal the selection's (n-1)·f estimate"
+    );
+}
+
+/// Timing simulation is deterministic and the mini-graph machine commits
+/// the same number of instructions as the baseline.
+#[test]
+fn timing_simulation_consistency() {
+    let w = by_name("rgba.conv").expect("registered");
+    let input = Input::tiny();
+    let (prog, _) = w.build(&input);
+    let (_, mut pmem) = w.build(&input);
+    let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000).unwrap();
+    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+
+    let (_, mut m1) = w.build(&input);
+    let base_trace = record_trace(&prog, &mut m1, None, 200_000_000).unwrap();
+    let (_, mut m2) = w.build(&input);
+    let mg_trace =
+        record_trace(&rw.program, &mut m2, Some(&ex.selection.catalog), 200_000_000).unwrap();
+
+    let b1 = simulate(&SimConfig::baseline(), &prog, &base_trace, &HandleCatalog::new());
+    let b2 = simulate(&SimConfig::baseline(), &prog, &base_trace, &HandleCatalog::new());
+    assert_eq!(b1.cycles, b2.cycles, "deterministic");
+
+    let m = simulate(
+        &SimConfig::mg_integer_memory(),
+        &rw.program,
+        &mg_trace,
+        &ex.selection.catalog,
+    );
+    assert_eq!(m.insts, b1.insts, "IPC numerators comparable");
+    assert_eq!(m.ops + ex.selection.saved_slots(), b1.ops, "commit slots saved");
+    assert!(m.handles > 0);
+}
+
+/// DISE fallback: expanding every handle of a rewritten workload image
+/// back into singletons restores original behaviour (the "processor can
+/// always expand a mini-graph it doesn't understand" path). Uses r24..r27
+/// as the DISE register file — a workload whose kernels leave them dead.
+#[test]
+fn dise_expansion_fallback_round_trips() {
+    let w = by_name("crc32").expect("registered");
+    let input = Input::tiny();
+    let (prog, _) = w.build(&input);
+    let (_, mut pmem) = w.build(&input);
+    // Integer graphs only: interior values are pure ALU temporaries.
+    let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000).unwrap();
+    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+
+    let engine = expansion_engine(
+        &ex.selection.catalog,
+        vec![reg(24), reg(25), reg(26), reg(27), reg(19), reg(13), reg(14), reg(12)],
+    );
+    let expanded = engine.expand_image(&rw.program).expect("expansion succeeds");
+
+    let (_, mut m0) = w.build(&input);
+    run_program(&prog, &mut m0, None, 200_000_000).unwrap();
+    let (_, mut m1) = w.build(&input);
+    run_program(&expanded, &mut m1, None, 200_000_000).unwrap();
+    assert_eq!(
+        m0.read_u64(RESULT_ADDR),
+        m1.read_u64(RESULT_ADDR),
+        "expanded image recomputes the same checksum"
+    );
+}
+
+/// Baseline IPCs span the paper's dynamic range: the suite contains both
+/// memory-crawlers (mcf-like, IPC ≈ 0.3 or below) and high-ILP media
+/// kernels (IPC ≥ 2.5).
+#[test]
+fn baseline_ipc_dynamic_range() {
+    let mut cfg = SimConfig::baseline();
+    cfg.max_ops = 25_000;
+
+    let lo = {
+        let w = by_name("mcf.netw").unwrap();
+        let (prog, _) = w.build(&Input::tiny());
+        let (_, mut m) = w.build(&Input::tiny());
+        let t = record_trace(&prog, &mut m, None, 200_000_000).unwrap();
+        simulate(&cfg, &prog, &t, &HandleCatalog::new()).ipc()
+    };
+    let hi = {
+        let w = by_name("crafty.bits").unwrap();
+        let (prog, _) = w.build(&Input::tiny());
+        let (_, mut m) = w.build(&Input::tiny());
+        let t = record_trace(&prog, &mut m, None, 200_000_000).unwrap();
+        simulate(&cfg, &prog, &t, &HandleCatalog::new()).ipc()
+    };
+    assert!(lo < 0.4, "mcf-like crawls: {lo:.2}");
+    assert!(hi > 2.5, "bit-twiddling flies: {hi:.2}");
+}
