@@ -1,0 +1,161 @@
+//! A wall-clock stand-in for the [`criterion`] crate.
+//!
+//! Covers the API subset this workspace's benches use: `Criterion`,
+//! benchmark groups with throughput annotations, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed samples after one warm-up iteration and reports
+//! the median time per iteration (plus throughput where declared). There
+//! is no statistical analysis, baseline storage, or HTML report. See
+//! `crates/shims/README.md`.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, self.criterion.sample_size, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `per_sample` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes lazily-built state inside the closure).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.per_sample as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher { samples: Vec::new(), per_sample: 1 };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!("{id:<40} median {median:>12.3?}{rate}");
+}
+
+/// Declares a group of benchmark targets with a shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); none apply here.
+            $($group();)+
+        }
+    };
+}

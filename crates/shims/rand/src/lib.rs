@@ -1,0 +1,146 @@
+//! A deterministic stand-in for the [`rand`] crate.
+//!
+//! Covers the subset this workspace's workload generators use:
+//! `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` (half-open and
+//! inclusive integer ranges), and `Rng::gen_bool`. The generator is
+//! xorshift64* — high-quality enough for synthetic benchmark inputs and
+//! fully reproducible from the seed. See `crates/shims/README.md`.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generator constructors.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Object-safe raw-word source backing the generic helpers.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore + Sized {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+fn below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Modulo bias is irrelevant for synthetic input generation.
+    rng.next_u64() % n
+}
+
+/// Integer types `gen_range` can sample. A single generic impl per range
+/// shape (rather than one impl per concrete type) so the range's element
+/// type unifies with the requested output type during inference, exactly
+/// as with the real crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn from_i128(v: i128) -> Self;
+    fn to_i128(self) -> i128;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "gen_range on an empty range");
+        T::from_i128(lo + below(rng, (hi - lo) as u64) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "gen_range on an empty range");
+        T::from_i128(lo + below(rng, (hi - lo + 1) as u64) as i128)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xorshift64* seeded via splitmix64, mirroring `rand::rngs::StdRng`'s
+    /// role (deterministic from `seed_from_u64`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 scrambles small seeds into full-width state.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng((z ^ (z >> 31)) | 1)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
