@@ -1,0 +1,39 @@
+//! The commit stage: width-limited in-order retirement. Stores write the
+//! data cache here; destination registers' previous mappings are freed;
+//! handles account for every instruction they represent.
+
+use super::entries::Kind;
+use super::Simulator;
+
+impl Simulator<'_> {
+    // ----------------------------------------------------------- commit --
+    pub(crate) fn commit(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.front_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed {
+                break;
+            }
+            let head = self.rob.pop_front().expect("head exists");
+            if head.is_store {
+                // The store-queue head writes the data cache at retirement.
+                let e = self.sq.pop_front().expect("store has an SQ entry");
+                self.mem.data(e.addr, self.now);
+                self.storesets.retire_store(e.pc, e.seq);
+            }
+            if head.is_load {
+                self.lq.pop_front().expect("load has an LQ entry");
+            }
+            if let Some((_, renamed)) = head.dest {
+                self.renamer.release(renamed.prev);
+            }
+            self.stats.ops += 1;
+            self.stats.insts += head.represents as u64;
+            if head.kind == Kind::Handle {
+                self.stats.handles += 1;
+                self.stats.handle_insts += head.represents as u64;
+            }
+            n += 1;
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! In-flight pipeline structures shared by the stage modules: front-end
+//! queue entries, reorder-buffer entries, and load/store-queue entries.
+
+use crate::rename::{PReg, RenamedDest};
+use mg_core::FuReq;
+use mg_isa::Reg;
+
+/// The functional-unit class an operation occupies at issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Alu,
+    Mul,
+    Load,
+    Store,
+    Control,
+    Handle,
+    Direct, // nop/halt: no execution
+}
+
+/// A fetched operation waiting in the front-end queue for dispatch.
+#[derive(Clone, Debug)]
+pub(crate) struct FrontOp {
+    pub(crate) trace_idx: usize,
+    pub(crate) ready_at: u64,
+    pub(crate) mispredicted: bool,
+    pub(crate) pred_taken: bool,
+    pub(crate) pred_token: u32,
+}
+
+/// A renamed, in-flight operation in the reorder buffer.
+#[derive(Clone, Debug)]
+pub(crate) struct RobEntry {
+    pub(crate) seq: u64,
+    pub(crate) trace_idx: usize,
+    pub(crate) sidx: u32,
+    pub(crate) kind: Kind,
+    pub(crate) represents: u32,
+    pub(crate) dest: Option<(Reg, RenamedDest)>,
+    pub(crate) srcs: [Option<PReg>; 2],
+    pub(crate) in_iq: bool,
+    pub(crate) issued: bool,
+    pub(crate) completed: bool,
+    pub(crate) mispredicted: bool,
+    pub(crate) pred_taken: bool,
+    pub(crate) pred_token: u32,
+    pub(crate) wait_store: Option<u64>,
+    pub(crate) is_store: bool,
+    pub(crate) is_load: bool,
+}
+
+/// A load-queue entry (address filled at execution).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LqEntry {
+    pub(crate) seq: u64,
+    pub(crate) pc: u64,
+    pub(crate) addr: u64,
+    pub(crate) width: u8,
+    pub(crate) executed: bool,
+    pub(crate) trace_idx: usize,
+}
+
+/// A store-queue entry (address filled at execution; data written at
+/// retirement).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SqEntry {
+    pub(crate) seq: u64,
+    pub(crate) pc: u64,
+    pub(crate) addr: u64,
+    pub(crate) width: u8,
+    pub(crate) executed: bool,
+}
+
+/// Index of a functional-unit requirement in the `[ap, alu, load, store]`
+/// reservation counters.
+pub(crate) fn fu_index(f: FuReq) -> usize {
+    match f {
+        FuReq::AluPipeEntry => 0,
+        FuReq::Alu => 1,
+        FuReq::LoadPort => 2,
+        FuReq::StorePort => 3,
+    }
+}
+
+/// Whether two byte ranges `[a1, a1+w1)` and `[a2, a2+w2)` overlap.
+pub(crate) fn overlap(a1: u64, w1: u8, a2: u64, w2: u8) -> bool {
+    a1 < a2 + w2 as u64 && a2 < a1 + w1 as u64
+}

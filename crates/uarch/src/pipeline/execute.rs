@@ -1,0 +1,183 @@
+//! The execute stage: event-scheduled completion (with control
+//! resolution and predictor training), cache-latency computation —
+//! including MGST-sequenced mini-graph execution with interior-load
+//! replay (paper §4.3) — executed-address bookkeeping, memory-ordering
+//! violation detection, and the resulting squashes.
+
+use super::entries::{overlap, Kind};
+use super::Simulator;
+use mg_core::FuReq;
+use mg_isa::OpClass;
+
+impl Simulator<'_> {
+    // ----------------------------------------------------------- events --
+    pub(crate) fn process_events(&mut self) {
+        let due: Vec<u64> = match self.events.remove(&self.now) {
+            Some(v) => v,
+            None => return,
+        };
+        for seq in due {
+            let Some(i) = self.rob_index(seq) else { continue }; // squashed
+            let e = &mut self.rob[i];
+            e.completed = true;
+            if e.in_iq {
+                // Handles hold their scheduler entry until the terminal
+                // instruction (paper §4.1).
+                e.in_iq = false;
+                self.iq_used -= 1;
+            }
+            let (sidx, trace_idx, mispred, pred_taken, pred_token, kind) =
+                (e.sidx, e.trace_idx, e.mispredicted, e.pred_taken, e.pred_token, e.kind);
+            // Control resolution: train predictor, redirect fetch.
+            let op = &self.trace.ops[trace_idx];
+            if let Some(br) = op.br {
+                let pc = self.prog.byte_addr(sidx as usize);
+                let inst = &self.prog.insts[sidx as usize];
+                // Handles train the direction predictor through their own
+                // PC, like the conditional branch they embed (§4.1).
+                let is_cond = inst.op.class() == OpClass::CondBranch || kind == Kind::Handle;
+                if is_cond {
+                    self.bpred.resolve(pc, pred_token, pred_taken, br.taken);
+                }
+                if br.taken {
+                    self.btb.update(pc, self.prog.byte_addr(br.target));
+                }
+                if mispred {
+                    self.stats.mispredicts += 1;
+                    if self.fetch_blocked_on == Some(trace_idx) {
+                        self.fetch_blocked_on = None;
+                        self.fetch_resume_at = self.now + 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execution latencies `(output, total)` for the entry at `idx`,
+    /// accounting for cache behaviour of its memory reference and
+    /// mini-graph interior-load replays.
+    pub(crate) fn latencies(&mut self, idx: usize) -> (u32, u32) {
+        let e = &self.rob[idx];
+        let op = &self.trace.ops[e.trace_idx];
+        match e.kind {
+            Kind::Alu | Kind::Control => (1, 1),
+            Kind::Mul => (3, 3),
+            Kind::Direct => (1, 1),
+            Kind::Load => {
+                let mem = op.mem.expect("load has a memory reference");
+                let res = self.mem.data(mem.addr, self.now);
+                let lat = 1 + res.latency;
+                (lat, lat)
+            }
+            Kind::Store => (1, 1), // agen only; data written at commit
+            Kind::Handle => {
+                let inst = &self.prog.insts[e.sidx as usize];
+                let mgid = inst.mgid().expect("handle has MGID");
+                let sched = self.mgt.get(mgid).expect("MGT entry exists");
+                let mut out = sched.out_latency.unwrap_or(sched.total_latency);
+                let mut total = sched.total_latency;
+                if let Some(mem) = op.mem {
+                    if !mem.store {
+                        // Locate the load slot to learn its scheduled cycle.
+                        let load_slot = sched
+                            .slots
+                            .iter()
+                            .position(|s| s.fu == Some(FuReq::LoadPort))
+                            .expect("load-bearing handle has a load slot");
+                        let slot_cycle = sched.slots[load_slot].cycle;
+                        let hit_lat = self.cfg.load_hit_latency();
+                        let res = self.mem.data(mem.addr, self.now + slot_cycle as u64);
+                        let actual = 1 + res.latency;
+                        if actual > hit_lat {
+                            let extra = actual - hit_lat;
+                            if load_slot + 1 == sched.slots.len() {
+                                // Terminal load: behaves like a singleton miss.
+                                total += extra;
+                                if sched.out_latency.is_none()
+                                    || sched.out_latency == Some(sched.total_latency)
+                                {
+                                    out += extra;
+                                }
+                            } else {
+                                // Interior load: the pre-scheduled MGST
+                                // sequence ran with the wrong data — the
+                                // entire mini-graph replays once the line
+                                // arrives (paper §4.3).
+                                self.stats.mg_replays += 1;
+                                let data_at = slot_cycle + actual;
+                                total = data_at + sched.total_latency;
+                                out = data_at + sched.out_latency.unwrap_or(sched.total_latency);
+                            }
+                        }
+                    }
+                }
+                (out, total)
+            }
+        }
+    }
+
+    /// Records executed memory addresses and performs violation detection.
+    pub(crate) fn issue_memory_effects(&mut self, idx: usize) {
+        let e = &self.rob[idx];
+        let seq = e.seq;
+        let trace_idx = e.trace_idx;
+        let pc = self.prog.byte_addr(e.sidx as usize);
+        let Some(mem) = self.trace.ops[trace_idx].mem else { return };
+        if mem.store {
+            if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
+                s.addr = mem.addr;
+                s.width = mem.width;
+                s.executed = true;
+            }
+            // A later load must not have run already: memory-ordering
+            // violation — squash from the offending load and refetch.
+            let victim = self
+                .lq
+                .iter()
+                .filter(|l| l.seq > seq && l.executed && overlap(l.addr, l.width, mem.addr, mem.width))
+                .map(|l| (l.seq, l.pc, l.trace_idx))
+                .min();
+            if let Some((vseq, vpc, vtrace)) = victim {
+                self.stats.violations += 1;
+                self.storesets.violation(vpc, pc);
+                self.squash_from(vseq, vtrace);
+            }
+        } else if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
+            l.addr = mem.addr;
+            l.width = mem.width;
+            l.executed = true;
+        }
+    }
+
+    /// Squashes all operations with sequence ≥ `seq` and restarts fetch at
+    /// trace position `trace_idx`.
+    pub(crate) fn squash_from(&mut self, seq: u64, trace_idx: usize) {
+        while let Some(back) = self.rob.back() {
+            if back.seq < seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("back exists");
+            if e.in_iq {
+                self.iq_used -= 1;
+            }
+            if let Some((r, renamed)) = e.dest {
+                self.renamer.undo(r, renamed);
+            }
+            if e.is_load {
+                self.lq.pop_back();
+            }
+            if e.is_store {
+                let s = self.sq.pop_back().expect("store has an SQ entry");
+                self.storesets.retire_store(s.pc, s.seq);
+            }
+        }
+        self.frontq.clear();
+        self.fetch_ptr = trace_idx;
+        self.fetch_resume_at = self.now + 1;
+        if let Some(b) = self.fetch_blocked_on {
+            if b >= trace_idx {
+                self.fetch_blocked_on = None;
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The front end: branch-predicted, I$-limited fetch and width- and
+//! resource-limited decode/rename (dispatch). Decode/rename is where
+//! handles amplify bandwidth (one slot represents several instructions)
+//! and capacity (one ROB/IQ entry, one destination register).
+
+use super::entries::{FrontOp, Kind, LqEntry, RobEntry, SqEntry};
+use super::{Simulator, MAX_FETCH_LINES};
+use mg_isa::{Opcode, OpClass};
+
+impl Simulator<'_> {
+    // --------------------------------------------------------- dispatch --
+    pub(crate) fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.front_width {
+            let Some(front) = self.frontq.front() else { break };
+            if front.ready_at > self.now {
+                break;
+            }
+            let trace_idx = front.trace_idx;
+            let mispredicted = front.mispredicted;
+            let pred_taken = front.pred_taken;
+            let pred_token = front.pred_token;
+            let op = self.trace.ops[trace_idx];
+            let inst = &self.prog.insts[op.sidx as usize];
+            let kind = match inst.op.class() {
+                OpClass::IntAlu => Kind::Alu,
+                OpClass::IntMul => Kind::Mul,
+                OpClass::Load => Kind::Load,
+                OpClass::Store => Kind::Store,
+                OpClass::CondBranch | OpClass::UncondBranch | OpClass::Jump => Kind::Control,
+                OpClass::Handle => Kind::Handle,
+                OpClass::Nop | OpClass::Pad | OpClass::Halt => Kind::Direct,
+            };
+            let is_load = op.mem.map(|m| !m.store).unwrap_or(false);
+            let is_store = op.mem.map(|m| m.store).unwrap_or(false);
+
+            // Structural resources.
+            if self.rob.len() >= self.cfg.rob_size {
+                self.stats.stall_rob += 1;
+                break;
+            }
+            let needs_iq = kind != Kind::Direct;
+            if needs_iq && self.iq_used >= self.cfg.iq_size {
+                self.stats.stall_iq += 1;
+                break;
+            }
+            if (is_load && self.lq.len() >= self.cfg.lq_size)
+                || (is_store && self.sq.len() >= self.cfg.sq_size)
+            {
+                self.stats.stall_lsq += 1;
+                break;
+            }
+            let arch_dest = inst.dest_reg();
+            if arch_dest.is_some() && self.renamer.free_count() == 0 {
+                self.stats.stall_pregs += 1;
+                break;
+            }
+
+            // Rename.
+            let srcs = inst.src_regs().map(|s| s.map(|r| self.renamer.lookup(r)));
+            let dest = arch_dest.map(|r| {
+                let renamed = self.renamer.rename_dest(r).expect("free list checked above");
+                self.preg_ready[renamed.preg as usize] = u64::MAX;
+                (r, renamed)
+            });
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let pc = self.prog.byte_addr(op.sidx as usize);
+
+            // Store sets participate via handle PCs for embedded memory ops.
+            let mut wait_store = None;
+            if is_load {
+                wait_store = self.storesets.dispatch_load(pc);
+                self.lq.push_back(LqEntry {
+                    seq,
+                    pc,
+                    addr: 0,
+                    width: 0,
+                    executed: false,
+                    trace_idx,
+                });
+            }
+            if is_store {
+                self.storesets.dispatch_store(pc, seq);
+                self.sq.push_back(SqEntry { seq, pc, addr: 0, width: 0, executed: false });
+            }
+
+            let represents = match kind {
+                Kind::Handle => {
+                    let mgid = inst.mgid().expect("handle has MGID");
+                    self.mgt
+                        .get(mgid)
+                        .expect("handle refers to a packed MGT entry")
+                        .slots
+                        .len() as u32
+                }
+                _ => 1,
+            };
+            let completed = kind == Kind::Direct;
+            if needs_iq {
+                self.iq_used += 1;
+            }
+            if op.br.is_some() {
+                self.stats.branches += 1;
+            }
+            self.rob.push_back(RobEntry {
+                seq,
+                trace_idx,
+                sidx: op.sidx,
+                kind,
+                represents,
+                dest,
+                srcs,
+                in_iq: needs_iq,
+                issued: !needs_iq,
+                completed,
+                mispredicted,
+                pred_taken,
+                pred_token,
+                wait_store,
+                is_store,
+                is_load,
+            });
+            self.frontq.pop_front();
+            n += 1;
+        }
+    }
+
+    // ------------------------------------------------------------ fetch --
+    pub(crate) fn fetch(&mut self, limit: usize) {
+        if self.now < self.fetch_resume_at || self.fetch_blocked_on.is_some() {
+            return;
+        }
+        let qcap = (self.cfg.front_width * self.cfg.frontend_depth) as usize;
+        let line_bytes = self.cfg.il1.2 as u64;
+        let mut fetched = 0;
+        let mut lines_touched = 0u32;
+        let mut last_line: Option<u64> = None;
+
+        while fetched < self.cfg.front_width
+            && self.frontq.len() < qcap
+            && self.fetch_ptr < limit
+        {
+            let op = self.trace.ops[self.fetch_ptr];
+            let addr = self.prog.byte_addr(op.sidx as usize);
+            let line = addr / line_bytes;
+            if last_line != Some(line) {
+                if lines_touched >= MAX_FETCH_LINES {
+                    break;
+                }
+                let res = self.mem.fetch(addr, self.now);
+                lines_touched += 1;
+                last_line = Some(line);
+                if res.l1_miss {
+                    // Stall fetch until the line arrives.
+                    self.fetch_resume_at = self.now + res.latency as u64;
+                    break;
+                }
+            }
+
+            let inst = &self.prog.insts[op.sidx as usize];
+            let (mispredicted, pred_taken, pred_token) = self.predict(inst, addr, &op);
+            self.frontq.push_back(FrontOp {
+                trace_idx: self.fetch_ptr,
+                ready_at: self.now + self.cfg.frontend_depth as u64,
+                mispredicted,
+                pred_taken,
+                pred_token,
+            });
+            let taken = op.br.map(|b| b.taken).unwrap_or(false);
+            self.fetch_ptr += 1;
+            fetched += 1;
+            if mispredicted {
+                self.fetch_blocked_on = Some(self.fetch_ptr - 1);
+                break;
+            }
+            if taken {
+                break; // redirect: fetch resumes at the target next cycle
+            }
+        }
+    }
+
+    /// Predicts a control transfer at fetch. Returns
+    /// `(mispredicted, predicted_taken, prediction_token)`.
+    pub(crate) fn predict(
+        &mut self,
+        inst: &mg_isa::Inst,
+        pc: u64,
+        op: &mg_profile::DynOp,
+    ) -> (bool, bool, u32) {
+        let Some(br) = op.br else { return (false, false, 0) };
+        let actual_target = self.prog.byte_addr(br.target);
+        match inst.op.class() {
+            // The handle PC stands in for the embedded branch's PC for
+            // prediction and update (paper §4.1).
+            OpClass::CondBranch | OpClass::Handle => {
+                let (pred, token) = self.bpred.predict_and_speculate(pc);
+                let target_ok = !br.taken || self.btb.lookup(pc) == Some(actual_target);
+                (pred != br.taken || (br.taken && !target_ok), pred, token)
+            }
+            OpClass::UncondBranch => {
+                if inst.op == Opcode::Bsr {
+                    // Return address is the next sequential instruction.
+                    self.ras.push(pc + mg_isa::program::INST_BYTES);
+                }
+                let hit = self.btb.lookup(pc) == Some(actual_target);
+                (!hit, true, 0)
+            }
+            OpClass::Jump => match inst.op {
+                Opcode::Ret => {
+                    let pred = self.ras.pop();
+                    (pred != Some(actual_target), true, 0)
+                }
+                Opcode::Jsr => {
+                    self.ras.push(pc + mg_isa::program::INST_BYTES);
+                    let hit = self.btb.lookup(pc) == Some(actual_target);
+                    (!hit, true, 0)
+                }
+                _ => {
+                    let hit = self.btb.lookup(pc) == Some(actual_target);
+                    (!hit, true, 0)
+                }
+            },
+            _ => (false, false, 0),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The issue stage: operand readiness, store-set ordering, functional-unit
+//! and write-port admission, and the sliding-window scheduler that
+//! reserves an integer-memory handle's downstream functional units at
+//! issue (`FU0` + `FUBMP` from the MGHT, paper §4.3).
+
+use super::entries::{fu_index, Kind};
+use super::{Simulator, RESV_RING};
+use crate::config::{MgSupport, SimConfig};
+use mg_core::FuReq;
+
+impl Simulator<'_> {
+    // ------------------------------------------------------------ issue --
+    pub(crate) fn issue(&mut self) {
+        let mut issued = 0u32;
+        let mut used = [0u16; 4]; // ap, alu, load, store (this cycle)
+        let mut intmem_handles = 0u32;
+        let plain_alus = self.cfg.plain_alus() as u16;
+        let pipes = self.cfg.pipes() as u16;
+        let cap = |f: usize, cfg: &SimConfig| -> u16 {
+            match f {
+                0 => cfg.pipes() as u16,
+                1 => cfg.plain_alus() as u16,
+                2 => cfg.load_ports as u16,
+                3 => cfg.store_ports as u16,
+                _ => 0,
+            }
+        };
+
+        let mut idx = 0;
+        while idx < self.rob.len() && issued < self.cfg.issue_width {
+            let e = &self.rob[idx];
+            if !e.in_iq || e.issued {
+                idx += 1;
+                continue;
+            }
+            // Operand readiness (including the scheduler-loop latency
+            // already folded into preg_ready at the producer's issue).
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&p| self.preg_ready[p as usize] <= self.now);
+            if !ready {
+                idx += 1;
+                continue;
+            }
+            // Store-set ordering: loads wait for their predicted store.
+            if let Some(ws) = e.wait_store {
+                let blocked = match self.rob_index(ws) {
+                    Some(si) => !self.rob[si].issued,
+                    None => false, // already retired
+                };
+                if blocked {
+                    idx += 1;
+                    continue;
+                }
+            }
+
+            let kind = e.kind;
+            let seq = e.seq;
+            // Functional unit + write-port admission for this cycle.
+            let admitted = match kind {
+                Kind::Alu | Kind::Mul | Kind::Control => {
+                    // Prefer a plain ALU; singletons may use an AP entry
+                    // with no penalty.
+                    if used[1] < plain_alus {
+                        used[1] += 1;
+                        true
+                    } else if used[0] < pipes {
+                        used[0] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Kind::Load => {
+                    let i = fu_index(FuReq::LoadPort);
+                    let ring = (self.now as usize) % RESV_RING;
+                    if used[i] + self.resv_fu[ring][i] < cap(i, &self.cfg) {
+                        used[i] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Kind::Store => {
+                    let i = fu_index(FuReq::StorePort);
+                    let ring = (self.now as usize) % RESV_RING;
+                    if used[i] + self.resv_fu[ring][i] < cap(i, &self.cfg) {
+                        used[i] += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Kind::Handle => {
+                    let inst = &self.prog.insts[e.sidx as usize];
+                    let mgid = inst.mgid().expect("handle has MGID");
+                    let sched = self.mgt.get(mgid).expect("MGT entry exists").clone();
+                    if sched.on_alu_pipe {
+                        if used[0] < pipes {
+                            used[0] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        // Integer-memory handle: sliding-window scheduler,
+                        // at most one per cycle; all downstream FUs must be
+                        // reservable or the issue slot is lost (§4.3).
+                        assert_eq!(
+                            self.cfg.mg,
+                            MgSupport::IntegerMemory,
+                            "integer-memory handle on a machine without a sliding-window scheduler"
+                        );
+                        if intmem_handles >= 1 {
+                            false
+                        } else {
+                            let fu0 = fu_index(sched.fu0);
+                            let ring = (self.now as usize) % RESV_RING;
+                            let fu0_ok = used[fu0] + self.resv_fu[ring][fu0] < cap(fu0, &self.cfg);
+                            let window_ok = sched.fubmp().all(|(c, f)| {
+                                let r = ((self.now + c as u64) as usize) % RESV_RING;
+                                self.resv_fu[r][fu_index(f)] < cap(fu_index(f), &self.cfg)
+                            });
+                            if fu0_ok && window_ok {
+                                used[fu0] += 1;
+                                for (c, f) in sched.fubmp() {
+                                    let r = ((self.now + c as u64) as usize) % RESV_RING;
+                                    self.resv_fu[r][fu_index(f)] += 1;
+                                }
+                                intmem_handles += 1;
+                                true
+                            } else {
+                                // The slot used to attempt issue is lost.
+                                issued += 1;
+                                false
+                            }
+                        }
+                    }
+                }
+                Kind::Direct => true,
+            };
+            if !admitted {
+                idx += 1;
+                continue;
+            }
+
+            // Write-port reservation at the (nominal) output cycle. The
+            // nominal latency assumes a cache hit; a miss writes back later
+            // through one of the ports freed by the stall it causes.
+            let nominal = self.nominal_out_latency(idx);
+            if self.rob[idx].dest.is_some() {
+                let r = ((self.now + nominal as u64) as usize) % RESV_RING;
+                if self.resv_wb[r] >= self.cfg.prf_write_ports as u16 {
+                    // Reverting FU bookkeeping is unnecessary: counters are
+                    // per-attempt upper bounds within one cycle; skipping
+                    // here only under-uses the FU this cycle.
+                    idx += 1;
+                    continue;
+                }
+                self.resv_wb[r] += 1;
+            }
+            // Committed to issuing: perform the (single) cache access and
+            // compute actual latencies.
+            let (out_lat, total_lat) = self.latencies(idx);
+
+            // Issue!
+            let e = &mut self.rob[idx];
+            e.issued = true;
+            if e.kind != Kind::Handle {
+                // Handles keep their scheduler entry until the terminal op.
+                e.in_iq = false;
+                self.iq_used -= 1;
+            }
+            if let Some((_, renamed)) = e.dest {
+                self.preg_ready[renamed.preg as usize] =
+                    self.now + (out_lat.max(self.cfg.sched_loop)) as u64;
+            }
+            self.events.entry(self.now + total_lat as u64).or_default().push(seq);
+            issued += 1;
+
+            // Memory side effects (agen/dcache) and violation checks.
+            self.issue_memory_effects(idx);
+            // Re-check: issue_memory_effects may squash younger entries
+            // (memory-ordering violation found by a store) — in that case
+            // `idx` may now be past the end.
+            idx += 1;
+            if idx > self.rob.len() {
+                break;
+            }
+        }
+    }
+
+    /// Nominal (cache-hit) output latency used for write-port reservation,
+    /// computed without touching the memory hierarchy.
+    pub(crate) fn nominal_out_latency(&self, idx: usize) -> u32 {
+        let e = &self.rob[idx];
+        match e.kind {
+            Kind::Alu | Kind::Control | Kind::Direct | Kind::Store => 1,
+            Kind::Mul => 3,
+            Kind::Load => self.cfg.load_hit_latency(),
+            Kind::Handle => {
+                let inst = &self.prog.insts[e.sidx as usize];
+                let mgid = inst.mgid().expect("handle has MGID");
+                let sched = self.mgt.get(mgid).expect("MGT entry exists");
+                sched.out_latency.unwrap_or(sched.total_latency)
+            }
+        }
+    }
+}

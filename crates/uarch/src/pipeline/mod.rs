@@ -1,0 +1,181 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! A trace-driven model of the paper's 15-stage, 6-wide superscalar core,
+//! organized as one submodule per stage behind the [`Simulator`] façade:
+//!
+//! * [`front`] — fetch (branch-predicted, I$-limited) and decode/rename
+//!   (width- and resource-limited; this is where handles amplify
+//!   bandwidth and capacity);
+//! * [`issue`] — FU, write-port, and sliding-window constrained issue;
+//! * [`execute`] — event-scheduled completion; D$ hierarchy; store-set
+//!   load scheduling with violation squashes; MGST-sequenced mini-graph
+//!   execution with interior-load replay;
+//! * [`commit`] — width-limited retirement, freeing registers;
+//! * [`entries`] — the in-flight structures (ROB/LQ/SQ/front-queue
+//!   entries) those stages share.
+//!
+//! Wrong-path instructions are not simulated: a mispredicted control
+//! transfer stalls fetch until it resolves, then the front-end refills —
+//! reproducing the misprediction penalty of the paper's pipeline without
+//! wrong-path cache pollution (see `DESIGN.md` §2 for the substitution
+//! argument).
+
+pub(crate) mod commit;
+pub(crate) mod entries;
+pub(crate) mod execute;
+pub(crate) mod front;
+pub(crate) mod issue;
+#[cfg(test)]
+mod tests;
+
+use crate::bpred::{Btb, HybridPredictor, Ras};
+use crate::cache::MemHierarchy;
+use crate::config::SimConfig;
+use crate::rename::Renamer;
+use crate::stats::SimStats;
+use crate::storesets::StoreSets;
+use entries::{FrontOp, LqEntry, RobEntry, SqEntry};
+use mg_core::MgTable;
+use mg_isa::{HandleCatalog, Program};
+use mg_profile::Trace;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Ring size for near-future resource reservations (FUs, write ports).
+pub(crate) const RESV_RING: usize = 256;
+/// Maximum instruction-cache lines fetch may touch per cycle.
+pub(crate) const MAX_FETCH_LINES: u32 = 2;
+
+/// The trace-driven cycle-level simulator.
+///
+/// Construct with [`Simulator::new`], run with [`Simulator::run`].
+pub struct Simulator<'a> {
+    pub(crate) cfg: SimConfig,
+    pub(crate) prog: &'a Program,
+    pub(crate) trace: &'a Trace,
+    pub(crate) mgt: MgTable,
+    // Front end.
+    pub(crate) fetch_ptr: usize,
+    pub(crate) fetch_resume_at: u64,
+    pub(crate) fetch_blocked_on: Option<usize>,
+    pub(crate) frontq: VecDeque<FrontOp>,
+    // Back end.
+    pub(crate) rob: VecDeque<RobEntry>,
+    pub(crate) next_seq: u64,
+    pub(crate) iq_used: usize,
+    pub(crate) renamer: Renamer,
+    pub(crate) preg_ready: Vec<u64>,
+    pub(crate) lq: VecDeque<LqEntry>,
+    pub(crate) sq: VecDeque<SqEntry>,
+    // Predictors and memory.
+    pub(crate) bpred: HybridPredictor,
+    pub(crate) btb: Btb,
+    pub(crate) ras: Ras,
+    pub(crate) storesets: StoreSets,
+    pub(crate) mem: MemHierarchy,
+    // Events and reservations.
+    pub(crate) events: BTreeMap<u64, Vec<u64>>,
+    pub(crate) resv_fu: Vec<[u16; 4]>, // [ap, alu, load, store] per future cycle
+    pub(crate) resv_wb: Vec<u16>,
+    pub(crate) now: u64,
+    pub(crate) stats: SimStats,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the rewritten `prog`, its committed-path
+    /// `trace`, and the mini-graph `catalog` used by the image (pass an
+    /// empty catalog for baseline images).
+    pub fn new(
+        cfg: SimConfig,
+        prog: &'a Program,
+        trace: &'a Trace,
+        catalog: &HandleCatalog,
+    ) -> Simulator<'a> {
+        let mgt = MgTable::from_catalog(catalog, &cfg.mgt_config());
+        let renamer = Renamer::new(cfg.phys_regs);
+        let preg_ready = vec![0u64; cfg.phys_regs];
+        Simulator {
+            mgt,
+            renamer,
+            preg_ready,
+            fetch_ptr: 0,
+            fetch_resume_at: 0,
+            fetch_blocked_on: None,
+            frontq: VecDeque::new(),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            iq_used: 0,
+            lq: VecDeque::new(),
+            sq: VecDeque::new(),
+            bpred: HybridPredictor::paper_12kb(),
+            btb: Btb::paper_2k(),
+            ras: Ras::new(16),
+            storesets: StoreSets::default_size(),
+            mem: MemHierarchy::new(cfg.il1, cfg.dl1, cfg.l2, cfg.mem_latency, cfg.mem_bus_occupancy),
+            events: BTreeMap::new(),
+            resv_fu: vec![[0; 4]; RESV_RING],
+            resv_wb: vec![0; RESV_RING],
+            now: 0,
+            stats: SimStats::default(),
+            cfg,
+            prog,
+            trace,
+        }
+    }
+
+    /// Runs the whole trace (or `cfg.max_ops` operations) to completion and
+    /// returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image contains integer-memory handles but the machine
+    /// has no sliding-window scheduler, or handles with no mini-graph
+    /// support at all (selection policy and machine must agree).
+    pub fn run(mut self) -> SimStats {
+        let limit = if self.cfg.max_ops == 0 {
+            self.trace.ops.len()
+        } else {
+            (self.cfg.max_ops as usize).min(self.trace.ops.len())
+        };
+        // Guard against pathological configs: bound total cycles.
+        let cycle_cap = 2_000 + 600 * limit as u64;
+        while !(self.fetch_ptr >= limit && self.frontq.is_empty() && self.rob.is_empty()) {
+            self.commit();
+            self.process_events();
+            self.issue();
+            self.dispatch();
+            self.fetch(limit);
+            self.stats.preg_occupancy_sum += self.renamer.in_use() as u64;
+            self.stats.iq_occupancy_sum += self.iq_used as u64;
+            self.stats.rob_occupancy_sum += self.rob.len() as u64;
+            let idx = (self.now as usize) % RESV_RING;
+            self.resv_fu[idx] = [0; 4];
+            self.resv_wb[idx] = 0;
+            self.now += 1;
+            assert!(
+                self.now < cycle_cap,
+                "simulation wedged at cycle {} (fetch {}/{} rob {})",
+                self.now,
+                self.fetch_ptr,
+                limit,
+                self.rob.len()
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats.il1_accesses = self.mem.il1.accesses;
+        self.stats.il1_misses = self.mem.il1.misses;
+        self.stats.dl1_accesses = self.mem.dl1.accesses;
+        self.stats.dl1_misses = self.mem.dl1.misses;
+        self.stats.l2_accesses = self.mem.l2.accesses;
+        self.stats.l2_misses = self.mem.l2.misses;
+        self.stats
+    }
+
+    pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
+        // Sequence numbers are unique and increasing but NOT contiguous:
+        // violation squashes pop the tail without rolling back the
+        // allocator (so stale completion events can never alias a newer
+        // entry). Binary-search by sequence.
+        let i = self.rob.partition_point(|e| e.seq < seq);
+        (i < self.rob.len() && self.rob[i].seq == seq).then_some(i)
+    }
+}

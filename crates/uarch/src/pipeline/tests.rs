@@ -1,0 +1,208 @@
+//! Pipeline-level behavioural tests: resource limits, dependence
+//! serialization, memory-boundedness, misprediction costs, and
+//! monotonicity under resource reductions.
+
+use super::*;
+use mg_isa::{reg, Asm, Memory};
+use mg_profile::record_trace;
+
+/// A hot loop whose body is `body(asm)`, executed `iters` times; the
+/// counter lives in r30. Loops keep the instruction cache warm, as the
+/// paper's benchmarks do.
+fn loop_trace(iters: i64, body: impl Fn(&mut Asm)) -> (Program, Trace) {
+    let mut a = Asm::new();
+    a.li(reg(30), iters);
+    a.label("top");
+    body(&mut a);
+    a.subq(reg(30), 1, reg(30));
+    a.bne(reg(30), "top");
+    a.halt();
+    let p = a.finish().unwrap();
+    let t = record_trace(&p, &mut Memory::new(), None, 10_000_000).unwrap();
+    (p, t)
+}
+
+fn run_baseline(p: &Program, t: &Trace) -> SimStats {
+    Simulator::new(SimConfig::baseline(), p, t, &HandleCatalog::new()).run()
+}
+
+#[test]
+fn independent_ops_reach_alu_limit() {
+    // 24 independent adds per iteration across 12 rotating registers.
+    let (p, t) = loop_trace(400, |a| {
+        for i in 0..24 {
+            let r = reg((i % 12 + 1) as u8);
+            a.addq(r, 1, r);
+        }
+    });
+    let stats = run_baseline(&p, &t);
+    let ipc = stats.ipc();
+    assert!(ipc > 3.0, "expected near-4 IPC, got {ipc:.2}");
+    assert!(ipc <= 4.05, "cannot exceed ALU bandwidth, got {ipc:.2}");
+}
+
+#[test]
+fn dependence_chain_serializes() {
+    // 20 dependent adds per iteration: the r1 chain dominates.
+    let (p, t) = loop_trace(300, |a| {
+        for _ in 0..20 {
+            a.addq(reg(1), 1, reg(1));
+        }
+    });
+    let stats = run_baseline(&p, &t);
+    let ipc = stats.ipc();
+    assert!(ipc < 1.3, "serial chain is ~1 IPC, got {ipc:.2}");
+    assert!(ipc > 0.8, "serial chain should sustain ~1 IPC, got {ipc:.2}");
+}
+
+#[test]
+fn two_cycle_scheduler_halves_serial_throughput() {
+    let (p, t) = loop_trace(300, |a| {
+        for _ in 0..20 {
+            a.addq(reg(1), 1, reg(1));
+        }
+    });
+    let mut cfg = SimConfig::baseline();
+    cfg.sched_loop = 2;
+    let stats = Simulator::new(cfg, &p, &t, &HandleCatalog::new()).run();
+    let ipc = stats.ipc();
+    assert!(ipc < 0.75, "2-cycle scheduler: dependent ops every other cycle, got {ipc:.2}");
+    assert!(ipc > 0.4, "got {ipc:.2}");
+}
+
+#[test]
+fn width_limits_ipc() {
+    let (p, t) = loop_trace(400, |a| {
+        for i in 0..24 {
+            let r = reg((i % 12 + 1) as u8);
+            a.addq(r, 1, r);
+        }
+    });
+    let cfg = SimConfig::baseline().with_front_width(2);
+    let stats = Simulator::new(cfg, &p, &t, &HandleCatalog::new()).run();
+    assert!(stats.ipc() <= 2.05, "2-wide front end caps IPC, got {}", stats.ipc());
+    assert!(stats.ipc() > 1.5, "2-wide should still flow, got {}", stats.ipc());
+}
+
+#[test]
+fn loads_bounded_by_load_ports() {
+    // 16 independent hitting loads per iteration + 2 loop ops: the two
+    // load ports bound throughput near 16/8 loads + overlap.
+    let (p, t) = loop_trace(300, |a| {
+        a.li(reg(2), 0x10_0000);
+        for i in 0..16 {
+            a.ldq(reg((i % 8 + 3) as u8), (i as i64) * 8, reg(2));
+        }
+    });
+    let stats = run_baseline(&p, &t);
+    // 19 insts per iteration, loads limited to 2/cycle => >= 8 cycles.
+    let ipc = stats.ipc();
+    assert!(ipc <= 19.0 / 8.0 + 0.1, "load ports cap IPC, got {ipc:.2}");
+    assert!(ipc > 1.5, "independent hitting loads should flow, got {ipc:.2}");
+    assert!(stats.dl1_miss_rate() < 0.05);
+}
+
+#[test]
+fn pointer_chase_is_memory_bound() {
+    // A dependent load chain with a 4KB stride: every load misses L1.
+    let mut a = Asm::new();
+    a.li(reg(1), 0x40_0000);
+    a.li(reg(30), 40);
+    a.label("top");
+    for _ in 0..8 {
+        a.ldq(reg(1), 0, reg(1));
+    }
+    a.subq(reg(30), 1, reg(30));
+    a.bne(reg(30), "top");
+    a.halt();
+    let p = a.finish().unwrap();
+    let mut mem = Memory::new();
+    let mut addr = 0x40_0000u64;
+    for _ in 0..400 {
+        mem.write_u64(addr, addr + 4096);
+        addr += 4096;
+    }
+    let t = record_trace(&p, &mut mem, None, 1_000_000).unwrap();
+    let stats = run_baseline(&p, &t);
+    assert!(
+        stats.ipc() < 0.2,
+        "serialized misses should crawl (mcf-like), got {}",
+        stats.ipc()
+    );
+    assert!(stats.dl1_miss_rate() > 0.8);
+}
+
+#[test]
+fn branch_heavy_code_pays_mispredictions() {
+    // Data-dependent unpredictable branches from a simple LCG.
+    let mut a = Asm::new();
+    a.li(reg(1), 12345);
+    a.li(reg(4), 0);
+    a.li(reg(5), 400);
+    a.label("top");
+    a.mulq(reg(1), 1103515245, reg(1));
+    a.addq(reg(1), 12345, reg(1));
+    a.srl(reg(1), 16, reg(2));
+    a.and(reg(2), 1, reg(2));
+    a.beq(reg(2), "skip");
+    a.addq(reg(4), 1, reg(4));
+    a.label("skip");
+    a.addq(reg(5), -1, reg(5));
+    a.bne(reg(5), "top");
+    a.halt();
+    let p = a.finish().unwrap();
+    let t = record_trace(&p, &mut Memory::new(), None, 1_000_000).unwrap();
+    let stats = run_baseline(&p, &t);
+    assert!(stats.mispredict_rate() > 0.05, "random branch must mispredict");
+    assert!(stats.ipc() < 3.0);
+}
+
+#[test]
+fn narrower_machine_is_never_faster() {
+    let (p, t) = loop_trace(200, |a| {
+        for i in 0..12 {
+            let r = reg((i % 6 + 1) as u8);
+            a.addq(r, 1, r);
+            a.xor(r, 3, r);
+        }
+    });
+    let six = run_baseline(&p, &t);
+    let four = Simulator::new(
+        SimConfig::baseline().with_front_width(4),
+        &p,
+        &t,
+        &HandleCatalog::new(),
+    )
+    .run();
+    assert!(four.cycles >= six.cycles);
+}
+
+#[test]
+fn fewer_pregs_never_faster() {
+    let (p, t) = loop_trace(200, |a| {
+        for i in 0..16 {
+            let r = reg((i % 8 + 1) as u8);
+            a.addq(r, 1, r);
+        }
+    });
+    let full = run_baseline(&p, &t);
+    let small = Simulator::new(
+        SimConfig::baseline().with_phys_regs(104),
+        &p,
+        &t,
+        &HandleCatalog::new(),
+    )
+    .run();
+    assert!(small.cycles >= full.cycles);
+}
+
+#[test]
+fn determinism() {
+    let (p, t) = loop_trace(100, |a| {
+        a.addq(reg(1), 1, reg(1));
+    });
+    let s1 = run_baseline(&p, &t);
+    let s2 = run_baseline(&p, &t);
+    assert_eq!(s1.cycles, s2.cycles);
+    assert_eq!(s1.insts, s2.insts);
+}
