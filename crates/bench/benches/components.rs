@@ -32,6 +32,8 @@ fn bench_extraction(c: &mut Criterion) {
     let w = by_name("adpcm.enc").expect("registered");
     c.bench_function("extraction/enumerate_and_select", |b| {
         b.iter(|| {
+            // Fresh Prep each iteration: measures the uncached stage-one
+            // cost (profile + enumerate + select).
             let p = Prep::new(&w, &Input::tiny());
             let sel = p.select(&Policy::integer_memory());
             (p.candidates.len(), sel.chosen.len())

@@ -3,10 +3,10 @@
 //! tables are produced by the `fig*` binaries (see `EXPERIMENTS.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mg_bench::Prep;
+use mg_bench::{Engine, Run};
 use mg_core::{select_domain, Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::{by_name, Input};
+use mg_workloads::Input;
 
 const QUICK_OPS: u64 = 20_000;
 
@@ -15,15 +15,19 @@ fn quick(mut cfg: SimConfig) -> SimConfig {
     cfg
 }
 
-fn prep_pair() -> (Prep, Prep) {
-    let a = Prep::new(&by_name("crc32").expect("registered"), &Input::tiny());
-    let b = Prep::new(&by_name("rgba.conv").expect("registered"), &Input::tiny());
-    (a, b)
+/// Two prepared workloads (crc32, rgba.conv) behind a shared engine.
+fn engine() -> Engine {
+    Engine::builder()
+        .workloads(&["crc32", "rgba.conv"])
+        .input(Input::tiny())
+        .quick(false)
+        .build()
 }
 
 /// Figure 5: coverage sweep (capacity × size, both policies).
 fn bench_fig5(c: &mut Criterion) {
-    let (p, _) = prep_pair();
+    let e = engine();
+    let p = &e.preps()[0];
     c.bench_function("fig5/coverage_sweep", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -40,26 +44,30 @@ fn bench_fig5(c: &mut Criterion) {
     });
 }
 
-/// Figure 6: baseline vs integer-memory mini-graph timing simulation.
+/// Figure 6: baseline vs integer-memory mini-graph timing simulation,
+/// through the engine's matrix fan-out.
 fn bench_fig6(c: &mut Criterion) {
-    let (p, _) = prep_pair();
-    let sel = p.select(&Policy::integer_memory());
+    let e = engine();
+    let runs = [
+        Run::baseline(quick(SimConfig::baseline())),
+        Run::mini_graph(
+            Policy::integer_memory(),
+            RewriteStyle::NopPadded,
+            quick(SimConfig::mg_integer_memory()),
+        ),
+    ];
     c.bench_function("fig6/baseline_vs_mg", |b| {
         b.iter(|| {
-            let base = p.run_baseline(&quick(SimConfig::baseline()));
-            let mg = p.run_selection(
-                &sel,
-                RewriteStyle::NopPadded,
-                &quick(SimConfig::mg_integer_memory()),
-            );
-            (base.cycles, mg.cycles)
+            let matrix = e.run(&runs);
+            (matrix.rows[0].stats[0].cycles, matrix.rows[0].stats[1].cycles)
         })
     });
 }
 
 /// Figure 7: policy-restricted selection.
 fn bench_fig7(c: &mut Criterion) {
-    let (p, _) = prep_pair();
+    let e = engine();
+    let p = &e.preps()[0];
     c.bench_function("fig7/policy_ablation", |b| {
         b.iter(|| {
             let restricted = Policy {
@@ -77,12 +85,13 @@ fn bench_fig7(c: &mut Criterion) {
 
 /// Figure 8: reduced register file and narrow machine.
 fn bench_fig8(c: &mut Criterion) {
-    let (_, p) = prep_pair();
-    let sel = p.select(&Policy::integer_memory());
+    let e = engine();
+    let p = &e.preps()[1];
+    let policy = Policy::integer_memory();
     c.bench_function("fig8/reduced_resources", |b| {
         b.iter(|| {
-            let small = p.run_selection(
-                &sel,
+            let small = p.run_policy(
+                &policy,
                 RewriteStyle::NopPadded,
                 &quick(SimConfig::mg_integer_memory().with_phys_regs(104)),
             );
@@ -94,7 +103,8 @@ fn bench_fig8(c: &mut Criterion) {
 
 /// §6.1 domain-specific selection across two programs.
 fn bench_domain(c: &mut Criterion) {
-    let (a, b2) = prep_pair();
+    let e = engine();
+    let (a, b2) = (&e.preps()[0], &e.preps()[1]);
     c.bench_function("fig5/domain_selection", |b| {
         b.iter(|| {
             let (sels, catalog) = select_domain(
@@ -108,7 +118,8 @@ fn bench_domain(c: &mut Criterion) {
 
 /// §6.2 compressed-image rewriting.
 fn bench_icache(c: &mut Criterion) {
-    let (p, _) = prep_pair();
+    let e = engine();
+    let p = &e.preps()[0];
     let sel = p.select(&Policy::integer_memory());
     c.bench_function("icache/compressed_rewrite", |b| {
         b.iter(|| {

@@ -6,46 +6,55 @@
 //! capacity (32/128/512/2048 entries) and maximum mini-graph size
 //! (2/3/4/8 instructions). Coverage is the paper's metric: the fraction of
 //! dynamic instructions removed from the pipeline, `Σ (n-1)·f / total`.
+//!
+//! Pure selection (no timing simulation): the engine's parallel `map`
+//! sweeps the per-workload policy grid across threads.
 
-use mg_bench::{by_suite, gmean, Prep, Table};
+use mg_bench::{by_suite, gmean, CliArgs, Engine, Prep, Table};
 use mg_core::{select_domain, Policy};
-use mg_workloads::Input;
 
 const CAPACITIES: [usize; 4] = [32, 128, 512, 2048];
 const SIZES: [usize; 4] = [2, 3, 4, 8];
 
-fn panel(preps: &[Prep], base: Policy, title: &str) {
+fn panel(engine: &Engine, base: &Policy, title: &str) {
     println!("\n== Figure 5 ({title}): coverage % by MGT entries (rows) x max size (cols) ==");
+    // One grid of coverages per workload, computed in parallel.
+    let grids: Vec<Vec<f64>> = engine.map(|p| {
+        let mut grid = Vec::with_capacity(CAPACITIES.len() * SIZES.len());
+        for cap in CAPACITIES {
+            for sz in SIZES {
+                let policy = base.clone().with_capacity(cap).with_max_size(sz);
+                grid.push(p.select(&policy).coverage(p.total_dyn));
+            }
+        }
+        grid
+    });
+    let preps = engine.preps();
     for (suite, members) in by_suite(preps) {
         println!("\n-- {suite} --");
         let mut t = Table::new(&["benchmark", "entries", "sz2", "sz3", "sz4", "sz8"]);
+        let mut headline = Vec::new();
         for p in &members {
-            for cap in CAPACITIES {
-                let mut cells = vec![p.name.to_string(), cap.to_string()];
-                for sz in SIZES {
-                    let policy = base.clone().with_capacity(cap).with_max_size(sz);
-                    let sel = p.select(&policy);
-                    cells.push(format!("{:.1}", 100.0 * sel.coverage(p.total_dyn)));
+            let wi = preps.iter().position(|q| q.name == p.name).expect("member of engine");
+            for (ci, cap) in CAPACITIES.iter().enumerate() {
+                let mut cells = vec![p.name.clone(), cap.to_string()];
+                for si in 0..SIZES.len() {
+                    cells.push(format!("{:.1}", 100.0 * grids[wi][ci * SIZES.len() + si]));
                 }
                 t.row(cells);
             }
+            // Suite mean at the paper's headline point (512 entries, size 4).
+            let (ci, si) = (2, 2);
+            headline.push(grids[wi][ci * SIZES.len() + si].max(1e-9));
         }
-        // Suite mean at the paper's headline point (512 entries, size 4).
-        let cov: Vec<f64> = members
-            .iter()
-            .map(|p| {
-                let policy = base.clone().with_capacity(512).with_max_size(4);
-                p.select(&policy).coverage(p.total_dyn).max(1e-9)
-            })
-            .collect();
         print!("{}", t.render());
-        println!("suite mean @512/sz4: {:.1}%", 100.0 * gmean(&cov));
+        println!("suite mean @512/sz4: {:.1}%", 100.0 * gmean(&headline));
     }
 }
 
-fn domain_panel(preps: &[Prep]) {
+fn domain_panel(engine: &Engine) {
     println!("\n== Figure 5 (bottom): domain-specific integer-memory coverage ==");
-    for (suite, members) in by_suite(preps) {
+    for (suite, members) in by_suite(engine.preps()) {
         println!("\n-- {suite} (one shared MGT per suite) --");
         let mut t = Table::new(&["entries", "mean-cov%", "templates"]);
         for cap in CAPACITIES {
@@ -56,7 +65,7 @@ fn domain_panel(preps: &[Prep]) {
             let cov: Vec<f64> = sels
                 .iter()
                 .zip(&members)
-                .map(|(s, p)| s.coverage(p.total_dyn).max(1e-9))
+                .map(|(s, p): (_, &&Prep)| s.coverage(p.total_dyn).max(1e-9))
                 .collect();
             t.row(vec![
                 cap.to_string(),
@@ -69,8 +78,8 @@ fn domain_panel(preps: &[Prep]) {
 }
 
 fn main() {
-    let preps = Prep::all(&Input::reference());
-    panel(&preps, Policy::integer(), "top: application-specific integer");
-    panel(&preps, Policy::integer_memory(), "middle: application-specific integer-memory");
-    domain_panel(&preps);
+    let engine = CliArgs::parse().engine().build();
+    panel(&engine, &Policy::integer(), "top: application-specific integer");
+    panel(&engine, &Policy::integer_memory(), "middle: application-specific integer-memory");
+    domain_panel(&engine);
 }

@@ -7,46 +7,47 @@
 //! (the solid and striped bars of the paper's Figure 6). The MGT holds
 //! 512 application-specific mini-graphs of up to 4 instructions (§6.1).
 
-use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_bench::{gmean, CliArgs, Run, Table};
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::Input;
 
 fn main() {
-    let quick = quick_mode();
-    let preps = Prep::all(&Input::reference());
-    let mut base_cfg = SimConfig::baseline();
-    apply_quick(&mut base_cfg, quick);
+    let engine = CliArgs::parse().engine().build();
+
+    let style = RewriteStyle::NopPadded;
+    let runs = [
+        Run::baseline(SimConfig::baseline()),
+        Run::mini_graph(Policy::integer(), style, SimConfig::mg_integer()).label("int"),
+        Run::mini_graph(Policy::integer(), style, SimConfig::mg_integer().with_collapsing())
+            .label("int+coll"),
+        Run::mini_graph(Policy::integer_memory(), style, SimConfig::mg_integer_memory())
+            .label("intmem"),
+        Run::mini_graph(
+            Policy::integer_memory(),
+            style,
+            SimConfig::mg_integer_memory().with_collapsing(),
+        )
+        .label("intmem+coll"),
+    ];
+    let matrix = engine.run(&runs);
 
     println!("== Figure 6: speedup over 6-wide baseline (512-entry MGT, max size 4) ==");
-    for (suite, members) in by_suite(&preps) {
+    for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
         let mut t = Table::new(&[
             "benchmark", "baseIPC", "int", "int+coll", "intmem", "intmem+coll", "cov%",
         ]);
         let mut sp = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for p in &members {
-            let base = p.run_baseline(&base_cfg);
-            let sel_int = p.select(&Policy::integer());
-            let sel_mem = p.select(&Policy::integer_memory());
-
-            let configs = [
-                (SimConfig::mg_integer(), &sel_int),
-                (SimConfig::mg_integer().with_collapsing(), &sel_int),
-                (SimConfig::mg_integer_memory(), &sel_mem),
-                (SimConfig::mg_integer_memory().with_collapsing(), &sel_mem),
-            ];
-            let mut cells =
-                vec![p.name.to_string(), format!("{:.2}", base.ipc())];
-            for (i, (cfg, sel)) in configs.iter().enumerate() {
-                let mut cfg = cfg.clone();
-                apply_quick(&mut cfg, quick);
-                let s = p.run_selection(sel, RewriteStyle::NopPadded, &cfg);
-                let x = speedup(&base, &s);
-                sp[i].push(x);
+        for row in &members {
+            let p = &row.prep;
+            let mut cells = vec![p.name.clone(), format!("{:.2}", row.stats[0].ipc())];
+            for (i, sink) in sp.iter_mut().enumerate() {
+                let x = row.speedup_over(0, i + 1);
+                sink.push(x);
                 cells.push(format!("{x:.3}"));
             }
-            cells.push(format!("{:.1}", 100.0 * sel_mem.coverage(p.total_dyn)));
+            let cov = p.select(&Policy::integer_memory()).coverage(p.total_dyn);
+            cells.push(format!("{:.1}", 100.0 * cov));
             t.row(cells);
         }
         print!("{}", t.render());

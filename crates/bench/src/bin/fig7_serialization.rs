@@ -8,10 +8,9 @@
 //! the suite means. With `--best`, also reports the per-benchmark best
 //! policy combination (§6.2: average gains rise to 3/14/9/11%).
 
-use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_bench::{gmean, CliArgs, Run, Table};
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::Input;
 
 fn int_policies() -> Vec<(&'static str, Policy)> {
     vec![
@@ -59,13 +58,26 @@ fn mem_policies() -> Vec<(&'static str, Policy)> {
 }
 
 fn main() {
-    let quick = quick_mode();
-    let best_mode = std::env::args().any(|a| a == "--best");
-    // The paper's six focus benchmarks, by behavioural analogue.
+    let args = CliArgs::parse();
+    // The paper's six focus benchmarks, by behavioural analogue; `--best`
+    // sweeps every workload, so the engine always prepares all of them.
     let focus = ["gsm.toast", "mpeg2.idct", "reed.enc", "mcf.netw", "sha.rounds", "adpcm.enc"];
-    let preps = Prep::all(&Input::reference());
-    let mut base_cfg = SimConfig::baseline();
-    apply_quick(&mut base_cfg, quick);
+    let engine = args.engine().build();
+
+    // One matrix serves both reports: baseline + all seven ablations.
+    let mut runs = vec![Run::baseline(SimConfig::baseline())];
+    for (name, policy) in int_policies() {
+        runs.push(
+            Run::mini_graph(policy, RewriteStyle::NopPadded, SimConfig::mg_integer()).label(name),
+        );
+    }
+    for (name, policy) in mem_policies() {
+        runs.push(
+            Run::mini_graph(policy, RewriteStyle::NopPadded, SimConfig::mg_integer_memory())
+                .label(name),
+        );
+    }
+    let matrix = engine.run(&runs);
 
     println!("== Figure 7: serialization and replay ablation (speedup over baseline) ==");
     let mut t = Table::new(&[
@@ -79,57 +91,29 @@ fn main() {
         "-ser-rep",
     ]);
     for name in focus {
-        let p = preps.iter().find(|p| p.name == name).expect("focus benchmark exists");
-        let base = p.run_baseline(&base_cfg);
-        let mut cells = vec![p.name.to_string()];
-        for (_, policy) in int_policies() {
-            let sel = p.select(&policy);
-            let mut cfg = SimConfig::mg_integer();
-            apply_quick(&mut cfg, quick);
-            let s = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
-            cells.push(format!("{:.3}", speedup(&base, &s)));
-        }
-        for (_, policy) in mem_policies() {
-            let sel = p.select(&policy);
-            let mut cfg = SimConfig::mg_integer_memory();
-            apply_quick(&mut cfg, quick);
-            let s = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
-            cells.push(format!("{:.3}", speedup(&base, &s)));
+        let row = matrix.row(name).expect("focus benchmark exists");
+        let mut cells = vec![name.to_string()];
+        for ri in 1..runs.len() {
+            cells.push(format!("{:.3}", row.speedup_over(0, ri)));
         }
         t.row(cells);
     }
     print!("{}", t.render());
 
-    if best_mode {
+    if args.best {
         println!("\n== §6.2: best policy combination per benchmark (suite gmeans) ==");
+        let unres_col = 1 + int_policies().len(); // the unrestricted "intmem" run
         let mut table = Table::new(&["suite", "unrestricted", "best-per-bench"]);
-        for (suite, members) in by_suite(&preps) {
+        for (suite, members) in matrix.by_suite() {
             let mut unrestricted = Vec::new();
             let mut best = Vec::new();
-            for p in &members {
-                let base = p.run_baseline(&base_cfg);
-                let mut all_policies = int_policies();
-                all_policies.extend(mem_policies());
-                let mut best_x = f64::MIN;
-                let mut unres_x = 1.0;
-                for (name, policy) in &all_policies {
-                    let is_mem = name.starts_with("intmem");
-                    let mut cfg = if is_mem {
-                        SimConfig::mg_integer_memory()
-                    } else {
-                        SimConfig::mg_integer()
-                    };
-                    apply_quick(&mut cfg, quick);
-                    let sel = p.select(policy);
-                    let s = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
-                    let x = speedup(&base, &s);
-                    if *name == "intmem" {
-                        unres_x = x;
-                    }
-                    best_x = best_x.max(x);
-                }
-                unrestricted.push(unres_x);
-                best.push(best_x);
+            for row in &members {
+                unrestricted.push(row.speedup_over(0, unres_col));
+                best.push(
+                    (1..runs.len())
+                        .map(|ri| row.speedup_over(0, ri))
+                        .fold(f64::MIN, f64::max),
+                );
             }
             table.row(vec![
                 suite.to_string(),

@@ -7,10 +7,9 @@
 //! ports) with and without mini-graphs; and a 2-cycle (pipelined)
 //! scheduler with and without mini-graphs.
 
-use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_bench::{gmean, CliArgs, Run, Table};
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::Input;
 
 fn four_wide() -> SimConfig {
     let mut c = SimConfig::baseline().with_front_width(4);
@@ -36,54 +35,47 @@ fn with_mg(mut cfg: SimConfig) -> SimConfig {
 }
 
 fn main() {
-    let quick = quick_mode();
-    let preps = Prep::all(&Input::reference());
-    let mut ref_cfg = SimConfig::baseline();
-    apply_quick(&mut ref_cfg, quick);
+    let engine = CliArgs::parse().engine().build();
 
-    let variants: Vec<(&str, SimConfig)> = vec![
-        ("6w", SimConfig::baseline()),
-        ("6w+mg", with_mg(SimConfig::baseline())),
-        ("4w", four_wide()),
-        ("4w+mg", with_mg(four_wide())),
-        ("4w6x", four_wide_six_exec()),
-        ("4w6x+mg", with_mg(four_wide_six_exec())),
-        ("2cyc", two_cycle_sched()),
-        ("2cyc+mg", with_mg(two_cycle_sched())),
+    let mg = |cfg: SimConfig, label: &str| {
+        Run::mini_graph(Policy::integer_memory(), RewriteStyle::NopPadded, with_mg(cfg))
+            .label(label)
+    };
+    let runs = [
+        Run::baseline(SimConfig::baseline()).label("6w"),
+        mg(SimConfig::baseline(), "6w+mg"),
+        Run::baseline(four_wide()).label("4w"),
+        mg(four_wide(), "4w+mg"),
+        Run::baseline(four_wide_six_exec()).label("4w6x"),
+        mg(four_wide_six_exec(), "4w6x+mg"),
+        Run::baseline(two_cycle_sched()).label("2cyc"),
+        mg(two_cycle_sched(), "2cyc+mg"),
     ];
+    let matrix = engine.run(&runs);
 
     println!("== Figure 8 (bottom): bandwidth / scheduler-latency reductions ==");
     println!("   (all numbers relative to the 6-wide, 1-cycle-scheduler baseline)");
-    for (suite, members) in by_suite(&preps) {
+    for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
-        let names: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
         let mut header = vec!["benchmark"];
-        header.extend(names.iter());
+        header.extend(matrix.labels.iter().map(String::as_str));
         let mut t = Table::new(&header);
-        let mut means = vec![Vec::new(); variants.len()];
-        for p in &members {
-            let reference = p.run_baseline(&ref_cfg);
-            let sel = p.select(&Policy::integer_memory());
-            let mut cells = vec![p.name.to_string()];
-            for (vi, (name, cfg)) in variants.iter().enumerate() {
-                let mut cfg = cfg.clone();
-                apply_quick(&mut cfg, quick);
-                let s = if name.ends_with("+mg") {
-                    p.run_selection(&sel, RewriteStyle::NopPadded, &cfg)
-                } else {
-                    p.run_baseline(&cfg)
-                };
-                let x = speedup(&reference, &s);
-                means[vi].push(x);
+        let mut means = vec![Vec::new(); runs.len()];
+        for row in &members {
+            let mut cells = vec![row.prep.name.clone()];
+            for (vi, sink) in means.iter_mut().enumerate() {
+                let x = row.speedup_over(0, vi);
+                sink.push(x);
                 cells.push(format!("{x:.3}"));
             }
             t.row(cells);
         }
         print!("{}", t.render());
-        let summary: Vec<String> = variants
+        let summary: Vec<String> = matrix
+            .labels
             .iter()
             .zip(&means)
-            .map(|((n, _), xs)| format!("{n} {:.3}", gmean(xs)))
+            .map(|(n, xs)| format!("{n} {:.3}", gmean(xs)))
             .collect();
         println!("gmean: {}", summary.join("  "));
     }

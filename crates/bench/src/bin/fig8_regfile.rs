@@ -5,53 +5,61 @@
 //! baseline. The paper's claim: mini-graphs compensate — and often
 //! over-compensate — for a 40% reduction in in-flight registers.
 
-use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_bench::{gmean, CliArgs, Run, Table};
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::Input;
 
 const REGS: [usize; 4] = [164, 144, 124, 104];
 
 fn main() {
-    let quick = quick_mode();
-    let preps = Prep::all(&Input::reference());
-    let mut ref_cfg = SimConfig::baseline();
-    apply_quick(&mut ref_cfg, quick);
+    let engine = CliArgs::parse().engine().build();
+
+    // Column 0 is the reference; then (baseline, int, intmem) per size.
+    let style = RewriteStyle::NopPadded;
+    let mut runs = vec![Run::baseline(SimConfig::baseline())];
+    for &regs in &REGS {
+        runs.push(
+            Run::baseline(SimConfig::baseline().with_phys_regs(regs))
+                .label(format!("base@{regs}")),
+        );
+        runs.push(
+            Run::mini_graph(
+                Policy::integer(),
+                style,
+                SimConfig::mg_integer().with_phys_regs(regs),
+            )
+            .label(format!("int@{regs}")),
+        );
+        runs.push(
+            Run::mini_graph(
+                Policy::integer_memory(),
+                style,
+                SimConfig::mg_integer_memory().with_phys_regs(regs),
+            )
+            .label(format!("intmem@{regs}")),
+        );
+    }
+    let matrix = engine.run(&runs);
 
     println!("== Figure 8 (top): performance vs physical register file size ==");
     println!("   (all numbers relative to the 164-register baseline)");
-    for (suite, members) in by_suite(&preps) {
+    for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
         let mut t = Table::new(&[
             "benchmark", "regs", "baseline", "int", "intmem",
         ]);
         let mut means: Vec<(usize, Vec<f64>, Vec<f64>, Vec<f64>)> =
             REGS.iter().map(|&r| (r, Vec::new(), Vec::new(), Vec::new())).collect();
-        for p in &members {
-            let reference = p.run_baseline(&ref_cfg);
-            let sel_int = p.select(&Policy::integer());
-            let sel_mem = p.select(&Policy::integer_memory());
+        for row in &members {
             for (ri, &regs) in REGS.iter().enumerate() {
-                let mut b_cfg = SimConfig::baseline().with_phys_regs(regs);
-                let mut i_cfg = SimConfig::mg_integer().with_phys_regs(regs);
-                let mut m_cfg = SimConfig::mg_integer_memory().with_phys_regs(regs);
-                apply_quick(&mut b_cfg, quick);
-                apply_quick(&mut i_cfg, quick);
-                apply_quick(&mut m_cfg, quick);
-                let b = speedup(&reference, &p.run_baseline(&b_cfg));
-                let i = speedup(
-                    &reference,
-                    &p.run_selection(&sel_int, RewriteStyle::NopPadded, &i_cfg),
-                );
-                let m = speedup(
-                    &reference,
-                    &p.run_selection(&sel_mem, RewriteStyle::NopPadded, &m_cfg),
-                );
+                let b = row.speedup_over(0, 1 + 3 * ri);
+                let i = row.speedup_over(0, 2 + 3 * ri);
+                let m = row.speedup_over(0, 3 + 3 * ri);
                 means[ri].1.push(b);
                 means[ri].2.push(i);
                 means[ri].3.push(m);
                 t.row(vec![
-                    p.name.to_string(),
+                    row.prep.name.clone(),
                     regs.to_string(),
                     format!("{b:.3}"),
                     format!("{i:.3}"),

@@ -7,42 +7,43 @@
 //! that SPECint — with the largest instruction footprints — is the only
 //! suite with a noticeable additional gain.
 
-use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
-use mg_core::{rewrite, Policy, RewriteStyle};
+use mg_bench::{gmean, CliArgs, Run, Table};
+use mg_core::{Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::Input;
 
 fn main() {
-    let quick = quick_mode();
-    let preps = Prep::all(&Input::reference());
-    let mut base_cfg = SimConfig::baseline();
-    apply_quick(&mut base_cfg, quick);
+    let engine = CliArgs::parse().engine().build();
+
+    let policy = Policy::integer_memory();
+    let runs = [
+        Run::baseline(SimConfig::baseline()),
+        Run::mini_graph(policy.clone(), RewriteStyle::NopPadded, SimConfig::mg_integer_memory())
+            .label("padded"),
+        Run::mini_graph(policy.clone(), RewriteStyle::Compressed, SimConfig::mg_integer_memory())
+            .label("compressed"),
+    ];
+    let matrix = engine.run(&runs);
 
     println!("== §6.2: instruction-cache effects (nop-padded vs compressed images) ==");
-    for (suite, members) in by_suite(&preps) {
+    for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
         let mut t = Table::new(&[
             "benchmark", "static", "compressed", "padded-x", "compressed-x",
         ]);
         let mut pad = Vec::new();
         let mut comp = Vec::new();
-        for p in &members {
-            let base = p.run_baseline(&base_cfg);
-            let sel = p.select(&Policy::integer_memory());
-            let rw = rewrite(&p.prog, &sel, RewriteStyle::Compressed);
-
-            let mut cfg = SimConfig::mg_integer_memory();
-            apply_quick(&mut cfg, quick);
-            let padded = p.run_selection(&sel, RewriteStyle::NopPadded, &cfg);
-            let compressed = p.run_selection(&sel, RewriteStyle::Compressed, &cfg);
-            let px = speedup(&base, &padded);
-            let cx = speedup(&base, &compressed);
+        for row in &members {
+            let p = &row.prep;
+            let px = row.speedup_over(0, 1);
+            let cx = row.speedup_over(0, 2);
             pad.push(px);
             comp.push(cx);
+            // The compressed image is already cached from the matrix run.
+            let compressed_len = p.image(&policy, RewriteStyle::Compressed).program.len();
             t.row(vec![
-                p.name.to_string(),
+                p.name.clone(),
                 p.prog.len().to_string(),
-                rw.program.len().to_string(),
+                compressed_len.to_string(),
                 format!("{px:.3}"),
                 format!("{cx:.3}"),
             ]);

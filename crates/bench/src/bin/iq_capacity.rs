@@ -6,44 +6,43 @@
 //! configurations at 50/40/30/20 issue-queue entries, relative to the
 //! 50-entry baseline.
 
-use mg_bench::{apply_quick, by_suite, gmean, quick_mode, speedup, Prep, Table};
+use mg_bench::{gmean, CliArgs, Run, Table};
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::SimConfig;
-use mg_workloads::Input;
 
 const SIZES: [usize; 4] = [50, 40, 30, 20];
 
 fn main() {
-    let quick = quick_mode();
-    let preps = Prep::all(&Input::reference());
-    let mut ref_cfg = SimConfig::baseline();
-    apply_quick(&mut ref_cfg, quick);
+    let engine = CliArgs::parse().engine().build();
+
+    let mut runs = vec![Run::baseline(SimConfig::baseline())];
+    for &iq in &SIZES {
+        let mut b_cfg = SimConfig::baseline();
+        b_cfg.iq_size = iq;
+        let mut m_cfg = SimConfig::mg_integer_memory();
+        m_cfg.iq_size = iq;
+        runs.push(Run::baseline(b_cfg).label(format!("base@{iq}")));
+        runs.push(
+            Run::mini_graph(Policy::integer_memory(), RewriteStyle::NopPadded, m_cfg)
+                .label(format!("intmem@{iq}")),
+        );
+    }
+    let matrix = engine.run(&runs);
 
     println!("== §6.3: performance vs issue-queue size (relative to 50-entry baseline) ==");
-    for (suite, members) in by_suite(&preps) {
+    for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
         let mut t = Table::new(&["benchmark", "iq", "baseline", "intmem"]);
         let mut means: Vec<(usize, Vec<f64>, Vec<f64>)> =
             SIZES.iter().map(|&s| (s, Vec::new(), Vec::new())).collect();
-        for p in &members {
-            let reference = p.run_baseline(&ref_cfg);
-            let sel = p.select(&Policy::integer_memory());
+        for row in &members {
             for (si, &iq) in SIZES.iter().enumerate() {
-                let mut b_cfg = SimConfig::baseline();
-                b_cfg.iq_size = iq;
-                let mut m_cfg = SimConfig::mg_integer_memory();
-                m_cfg.iq_size = iq;
-                apply_quick(&mut b_cfg, quick);
-                apply_quick(&mut m_cfg, quick);
-                let b = speedup(&reference, &p.run_baseline(&b_cfg));
-                let m = speedup(
-                    &reference,
-                    &p.run_selection(&sel, RewriteStyle::NopPadded, &m_cfg),
-                );
+                let b = row.speedup_over(0, 1 + 2 * si);
+                let m = row.speedup_over(0, 2 + 2 * si);
                 means[si].1.push(b);
                 means[si].2.push(m);
                 t.row(vec![
-                    p.name.to_string(),
+                    row.prep.name.clone(),
                     iq.to_string(),
                     format!("{b:.3}"),
                     format!("{m:.3}"),

@@ -5,53 +5,48 @@
 //! relative coverage loss of ~15%, with most programs within 15% of their
 //! same-input coverage).
 
-use mg_bench::{by_suite, gmean, Prep, Table};
+use mg_bench::{gmean, CliArgs, Prep, Table};
 use mg_core::Policy;
-use mg_workloads::{Input, Workload};
+use mg_workloads::Input;
 
-/// Realized coverage of a selection trained on `train` when the program
-/// runs on `test`: re-profile on `test` and credit each chosen instance
-/// with its anchor block's new frequency.
-fn cross_coverage(w: &Workload, train: &Input, test: &Input) -> (f64, f64) {
-    let policy = Policy::integer_memory();
-    let trained = Prep::new(w, train);
-    let sel = trained.select(&policy);
-
-    // Re-profile on the test input (same code, different data).
-    let (prog, mut mem) = w.build(test);
-    let cfg = mg_profile::build_cfg(&prog);
-    let prof = mg_profile::profile_program(&prog, &mut mem, None, mg_bench::STEP_BUDGET)
-        .expect("workload halts");
-
+/// Realized coverage on the test input of a selection trained on the
+/// training input: credit each chosen instance with its anchor block's
+/// frequency in the test profile (both preps carry their profiles).
+fn cross_coverage(trained: &Prep, test: &Prep, policy: &Policy) -> (f64, f64) {
+    let sel = trained.select(policy);
     let mut realized = 0u64;
     for c in &sel.chosen {
-        let block = cfg.block_of(c.graph.anchor).expect("anchor is in a block");
-        realized += (c.graph.size() as u64 - 1) * prof.block_count(block);
+        let block = test.cfg.block_of(c.graph.anchor).expect("anchor is in a block");
+        realized += (c.graph.size() as u64 - 1) * test.prof.block_count(block);
     }
-    let cross = realized as f64 / prof.total as f64;
-
+    let cross = realized as f64 / test.prof.total as f64;
     // Native coverage on the test input (selection trained on test).
-    let native_prep = Prep::new(w, test);
-    let native = native_prep.select(&policy).coverage(native_prep.total_dyn);
+    let native = test.select(policy).coverage(test.total_dyn);
     (cross, native)
 }
 
 fn main() {
+    let args = CliArgs::parse();
     println!("== §6.1: coverage robustness across input data sets ==");
     println!("   (trained on reference input, evaluated on alternative input)");
-    let workloads = mg_workloads::all();
-    let preps = Prep::all(&Input::reference());
-    for (suite, members) in by_suite(&preps) {
+    // Two engines: identical workload order, different inputs.
+    let trained = args.engine().input(Input::reference()).build();
+    let test = args.engine().input(Input::alternative()).build();
+    let policy = Policy::integer_memory();
+
+    for ((suite, trained_members), (_, test_members)) in
+        trained.by_suite().into_iter().zip(test.by_suite())
+    {
         println!("\n-- {suite} --");
         let mut t = Table::new(&["benchmark", "native%", "cross%", "relative"]);
         let mut rels = Vec::new();
-        for p in &members {
-            let w = workloads.iter().find(|w| w.name == p.name).expect("registered");
-            let (cross, native) = cross_coverage(w, &Input::reference(), &Input::alternative());
+        for (tr, te) in trained_members.iter().zip(&test_members) {
+            assert_eq!(tr.name, te.name, "engines registered in the same order");
+            let (cross, native) = cross_coverage(tr, te, &policy);
             let rel = if native > 0.0 { cross / native } else { 1.0 };
             rels.push(rel.max(1e-9));
             t.row(vec![
-                p.name.to_string(),
+                tr.name.clone(),
                 format!("{:.1}", 100.0 * native),
                 format!("{:.1}", 100.0 * cross),
                 format!("{rel:.2}"),

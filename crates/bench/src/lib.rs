@@ -1,233 +1,17 @@
-//! Experiment harness: shared preparation and measurement machinery used
-//! by the per-figure binaries (`fig5_coverage`, `fig6_performance`,
-//! `fig7_serialization`, `fig8_regfile`, `fig8_bandwidth`, `robustness`,
-//! `icache_effects`, `iq_capacity`) and the criterion benches.
+//! Experiment crate: the per-figure binaries (`fig5_coverage`,
+//! `fig6_performance`, `fig7_serialization`, `fig8_regfile`,
+//! `fig8_bandwidth`, `robustness`, `icache_effects`, `iq_capacity`) and
+//! the criterion benches.
 //!
 //! Each binary regenerates one table/figure of the paper's evaluation;
 //! `EXPERIMENTS.md` records the measured output next to the paper's
-//! numbers.
+//! numbers. The shared preparation and measurement machinery lives in
+//! [`mg_harness`] (re-exported here): binaries build an
+//! [`Engine`](mg_harness::Engine) over the registered workloads and fan
+//! their (workload × policy × configuration) matrices out across
+//! threads.
+//!
+//! All binaries accept `--quick` (or `MG_QUICK=1`) to cap simulated
+//! operations per run, and `--threads N` to bound the fan-out.
 
-use mg_core::{
-    enumerate_candidates, rewrite, select, MiniGraph, Policy, RewriteStyle, Selection,
-};
-use mg_isa::{HandleCatalog, Memory, Program};
-use mg_profile::{build_cfg, profile_program, record_trace, Trace};
-use mg_uarch::{simulate, SimConfig, SimStats};
-use mg_workloads::{Input, Suite, Workload};
-
-/// Functional-simulation step budget for profiling/tracing runs.
-pub const STEP_BUDGET: u64 = 200_000_000;
-
-/// A workload prepared for experimentation: profiled and with all legal
-/// mini-graph candidates enumerated (at the maximum size studied, so any
-/// smaller-size policy can select from the same pool).
-pub struct Prep {
-    /// Workload name.
-    pub name: &'static str,
-    /// Owning suite.
-    pub suite: Suite,
-    /// The original (baseline) program image.
-    pub prog: Program,
-    /// Total dynamic instructions of the profiling run (the coverage
-    /// denominator).
-    pub total_dyn: u64,
-    /// All legal candidates (enumerated with `max_size` = 8).
-    pub candidates: Vec<MiniGraph>,
-    build: fn(&Input) -> (Program, Memory),
-    input: Input,
-}
-
-impl Prep {
-    /// Profiles `w` on `input` and enumerates candidates.
-    pub fn new(w: &Workload, input: &Input) -> Prep {
-        let (prog, mut mem) = w.build(input);
-        let cfg = build_cfg(&prog);
-        let prof =
-            profile_program(&prog, &mut mem, None, STEP_BUDGET).expect("workload halts");
-        let candidates = enumerate_candidates(&prog, &cfg, &prof, 8);
-        Prep {
-            name: w.name,
-            suite: w.suite,
-            prog,
-            total_dyn: prof.total,
-            candidates,
-            build: w.build,
-            input: *input,
-        }
-    }
-
-    /// Prepares every registered workload on the given input.
-    pub fn all(input: &Input) -> Vec<Prep> {
-        mg_workloads::all().iter().map(|w| Prep::new(w, input)).collect()
-    }
-
-    /// Selects mini-graphs under `policy`.
-    pub fn select(&self, policy: &Policy) -> Selection {
-        select(&self.candidates, policy)
-    }
-
-    /// The baseline dynamic trace (fresh memory, same input).
-    pub fn base_trace(&self) -> Trace {
-        let (_, mut mem) = (self.build)(&self.input);
-        record_trace(&self.prog, &mut mem, None, STEP_BUDGET).expect("workload halts")
-    }
-
-    /// Rewrites with `selection` and returns the handle image + its trace.
-    pub fn mg_image(
-        &self,
-        selection: &Selection,
-        style: RewriteStyle,
-    ) -> (Program, Trace, HandleCatalog) {
-        let rw = rewrite(&self.prog, selection, style);
-        let (_, mut mem) = (self.build)(&self.input);
-        let trace = record_trace(&rw.program, &mut mem, Some(&selection.catalog), STEP_BUDGET)
-            .expect("rewritten workload halts");
-        (rw.program, trace, selection.catalog.clone())
-    }
-
-    /// Simulates the baseline image under `cfg`.
-    pub fn run_baseline(&self, cfg: &SimConfig) -> SimStats {
-        let t = self.base_trace();
-        simulate(cfg, &self.prog, &t, &HandleCatalog::new())
-    }
-
-    /// Simulates the rewritten image of `selection` under `cfg`.
-    pub fn run_selection(
-        &self,
-        selection: &Selection,
-        style: RewriteStyle,
-        cfg: &SimConfig,
-    ) -> SimStats {
-        let (prog, trace, catalog) = self.mg_image(selection, style);
-        simulate(cfg, &prog, &trace, &catalog)
-    }
-}
-
-/// Geometric mean of `xs` (1.0 for an empty slice).
-pub fn gmean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 1.0;
-    }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
-}
-
-/// Speedup of `mg` over `base`, computed as the ratio of IPCs over
-/// *original program* instructions. For full-trace runs both images
-/// represent identical instruction streams and this equals the cycle
-/// ratio; under `max_ops` truncation (quick mode) the IPC ratio correctly
-/// normalizes for the differing amounts of represented work per fetched
-/// operation.
-pub fn speedup(base: &SimStats, mg: &SimStats) -> f64 {
-    mg.ipc() / base.ipc()
-}
-
-/// Groups prepared workloads by suite, preserving registration order.
-pub fn by_suite(preps: &[Prep]) -> Vec<(Suite, Vec<&Prep>)> {
-    Suite::ALL
-        .iter()
-        .map(|&s| (s, preps.iter().filter(|p| p.suite == s).collect()))
-        .collect()
-}
-
-/// A fixed-width table printer for experiment output.
-#[derive(Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
-    }
-
-    /// Appends a row.
-    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        self.rows.push(cells);
-        self
-    }
-
-    /// Renders with aligned columns.
-    pub fn render(&self) -> String {
-        let ncols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
-        for r in &self.rows {
-            for (i, c) in r.iter().enumerate().take(ncols) {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
-        let fmt_row = |cells: &[String]| -> String {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i.min(ncols - 1)]))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        let mut out = fmt_row(&self.header);
-        out.push('\n');
-        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
-        out.push('\n');
-        for r in &self.rows {
-            out.push_str(&fmt_row(r));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Parses the common `--quick` flag (used by criterion wrappers and smoke
-/// tests): quick mode caps simulated operations per run.
-pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
-}
-
-/// Applies the quick-mode operation cap to a configuration.
-pub fn apply_quick(cfg: &mut SimConfig, quick: bool) {
-    if quick {
-        cfg.max_ops = 30_000;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn gmean_basics() {
-        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert_eq!(gmean(&[]), 1.0);
-        assert!((gmean(&[1.0]) - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new(&["name", "ipc"]);
-        t.row(vec!["crafty.bits".into(), "2.10".into()]);
-        t.row(vec!["mcf".into(), "0.27".into()]);
-        let s = t.render();
-        assert!(s.contains("crafty.bits"));
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-    }
-
-    #[test]
-    fn prep_end_to_end_on_one_workload() {
-        let w = mg_workloads::by_name("bitcount").unwrap();
-        let p = Prep::new(&w, &Input::tiny());
-        assert!(p.total_dyn > 1_000);
-        assert!(!p.candidates.is_empty(), "bitcount has fuseable chains");
-        let sel = p.select(&Policy::integer());
-        assert!(sel.coverage(p.total_dyn) > 0.05);
-
-        let mut cfg = SimConfig::baseline();
-        cfg.max_ops = 20_000;
-        let base = p.run_baseline(&cfg);
-        let mut mg_cfg = SimConfig::mg_integer();
-        mg_cfg.max_ops = 20_000;
-        let mg = p.run_selection(&sel, RewriteStyle::NopPadded, &mg_cfg);
-        assert!(base.ipc() > 0.0);
-        assert!(mg.handles > 0);
-    }
-}
+pub use mg_harness::*;

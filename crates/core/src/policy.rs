@@ -12,7 +12,7 @@ use crate::minigraph::MiniGraph;
 /// The restriction flags implement the Figure 7 ablations: disallowing
 /// externally serial graphs, internally parallel graphs, and
 /// replay-vulnerable graphs (loads in non-terminal positions).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Policy {
     /// Maximum instructions per mini-graph (the paper studies 2, 3, 4, 8).
     pub max_size: usize,

@@ -17,7 +17,7 @@ use crate::select::Selection;
 use mg_isa::{Inst, Opcode, Program};
 
 /// How handle images are laid out.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RewriteStyle {
     /// Keep original layout; collapsed slots become `nop`s.
     NopPadded,

@@ -117,12 +117,17 @@ pub fn select_domain(
             all.push(Tagged { prog: pi, inst: c });
         }
     }
-    // Group across programs by template.
-    let mut index: HashMap<&MgTemplate, Vec<usize>> = HashMap::new();
+    // Group across programs by template, ordered by first appearance so
+    // benefit ties break deterministically (see `group_by_template`).
+    let mut index: HashMap<&MgTemplate, usize> = HashMap::new();
+    let mut groups: Vec<(&MgTemplate, Vec<usize>)> = Vec::new();
     for (i, t) in all.iter().enumerate() {
-        index.entry(&t.inst.template).or_default().push(i);
+        let gi = *index.entry(&t.inst.template).or_insert_with(|| {
+            groups.push((&t.inst.template, Vec::new()));
+            groups.len() - 1
+        });
+        groups[gi].1.push(i);
     }
-    let groups: Vec<(&MgTemplate, Vec<usize>)> = index.into_iter().collect();
 
     let mut taken: Vec<HashMap<usize, ()>> =
         vec![HashMap::new(); per_program_candidates.len()];
@@ -175,13 +180,22 @@ struct TemplateGroup {
 }
 
 fn group_by_template(instances: &[&MiniGraph]) -> Vec<TemplateGroup> {
-    let mut map: HashMap<&MgTemplate, Vec<MiniGraph>> = HashMap::new();
+    // Groups are ordered by first appearance (NOT HashMap iteration
+    // order): greedy ranking breaks benefit ties by group order, so the
+    // grouping must be deterministic for selection to be reproducible.
+    let mut index: HashMap<&MgTemplate, usize> = HashMap::new();
+    let mut groups: Vec<TemplateGroup> = Vec::new();
     for &inst in instances {
-        map.entry(&inst.template).or_default().push(inst.clone());
+        let gi = *index.entry(&inst.template).or_insert_with(|| {
+            groups.push(TemplateGroup {
+                template: inst.template.clone(),
+                instances: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[gi].instances.push(inst.clone());
     }
-    map.into_iter()
-        .map(|(t, instances)| TemplateGroup { template: t.clone(), instances })
-        .collect()
+    groups
 }
 
 #[cfg(test)]

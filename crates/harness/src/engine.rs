@@ -1,0 +1,345 @@
+//! Stage two of the experiment flow: the run engine.
+//!
+//! An [`Engine`] owns a set of prepared workloads ([`Prep`]) and executes
+//! matrices of timing-simulation runs — the cross product of its
+//! workloads with a list of [`Run`] specifications — fanning the work out
+//! across OS threads with **deterministic** results: every cell of the
+//! returned matrix is a pure function of (workload, run spec), and cells
+//! are stored by index, so a parallel run is bit-identical to a
+//! sequential one (`threads = 1`).
+//!
+//! ```no_run
+//! use mg_harness::{Engine, Run};
+//! use mg_core::{Policy, RewriteStyle};
+//! use mg_uarch::SimConfig;
+//!
+//! let engine = Engine::builder().workloads(&["crc32", "rgba.conv"]).build();
+//! let matrix = engine.run(&[
+//!     Run::baseline(SimConfig::baseline()),
+//!     Run::mini_graph(Policy::integer_memory(), RewriteStyle::NopPadded,
+//!                     SimConfig::mg_integer_memory()),
+//! ]);
+//! for row in &matrix.rows {
+//!     println!("{}: {:.3}x", row.prep.name, row.speedup_over(0, 1));
+//! }
+//! ```
+
+use crate::prep::{by_suite, BuildFn, Prep};
+use crate::quick::{apply_quick, quick_mode};
+use crate::report::speedup;
+use mg_core::{Policy, RewriteStyle};
+use mg_uarch::{SimConfig, SimStats};
+use mg_workloads::{Input, Suite, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The image a run simulates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Image {
+    /// The original program.
+    Baseline,
+    /// The program rewritten with the mini-graphs `policy` selects.
+    MiniGraph { policy: Policy, style: RewriteStyle },
+}
+
+/// One cell of a run matrix: which image to simulate on which machine.
+#[derive(Clone)]
+pub struct Run {
+    /// Display label (defaults to `"baseline"` / `"mg"`).
+    pub label: String,
+    /// The image under test.
+    pub image: Image,
+    /// The machine configuration.
+    pub cfg: SimConfig,
+}
+
+impl Run {
+    /// A baseline-image run under `cfg`.
+    pub fn baseline(cfg: SimConfig) -> Run {
+        Run { label: "baseline".into(), image: Image::Baseline, cfg }
+    }
+
+    /// A mini-graph run: select under `policy`, rewrite with `style`,
+    /// simulate under `cfg`.
+    pub fn mini_graph(policy: Policy, style: RewriteStyle, cfg: SimConfig) -> Run {
+        Run { label: "mg".into(), image: Image::MiniGraph { policy, style }, cfg }
+    }
+
+    /// Sets the display label.
+    pub fn label(mut self, label: impl Into<String>) -> Run {
+        self.label = label.into();
+        self
+    }
+}
+
+/// One workload's row of a completed matrix: its stats per [`Run`], in
+/// spec order.
+pub struct RunRow {
+    /// The prepared workload this row belongs to.
+    pub prep: Arc<Prep>,
+    /// One result per run spec, in the order given to [`Engine::run`].
+    pub stats: Vec<SimStats>,
+}
+
+impl RunRow {
+    /// Speedup of run `of` relative to run `over` (IPC ratio over original
+    /// program instructions; see [`speedup`]).
+    pub fn speedup_over(&self, over: usize, of: usize) -> f64 {
+        speedup(&self.stats[over], &self.stats[of])
+    }
+}
+
+/// A completed (workload × run) matrix, in deterministic order: rows
+/// follow the engine's workload order, columns the run-spec order.
+pub struct RunMatrix {
+    /// The run labels, in column order.
+    pub labels: Vec<String>,
+    /// One row per workload.
+    pub rows: Vec<RunRow>,
+}
+
+impl RunMatrix {
+    /// Rows grouped by suite, preserving row order.
+    pub fn by_suite(&self) -> Vec<(Suite, Vec<&RunRow>)> {
+        Suite::ALL
+            .iter()
+            .map(|&s| (s, self.rows.iter().filter(|r| r.prep.suite == s).collect()))
+            .collect()
+    }
+
+    /// The row for a named workload.
+    pub fn row(&self, name: &str) -> Option<&RunRow> {
+        self.rows.iter().find(|r| r.prep.name == name)
+    }
+}
+
+enum Source {
+    Registered(Workload),
+    Custom { name: String, suite: Suite, build: BuildFn },
+}
+
+/// Configures and builds an [`Engine`]. See [`Engine::builder`].
+pub struct EngineBuilder {
+    input: Input,
+    sources: Vec<Source>,
+    threads: usize,
+    quick: bool,
+}
+
+impl EngineBuilder {
+    fn new() -> EngineBuilder {
+        EngineBuilder {
+            input: Input::reference(),
+            sources: Vec::new(),
+            threads: default_threads(),
+            quick: quick_mode(),
+        }
+    }
+
+    /// Sets the workload input (default: [`Input::reference`]).
+    pub fn input(mut self, input: Input) -> EngineBuilder {
+        self.input = input;
+        self
+    }
+
+    /// Restricts the engine to the named registered workloads, in the
+    /// given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not registered.
+    pub fn workloads(mut self, names: &[&str]) -> EngineBuilder {
+        for name in names {
+            let w = mg_workloads::by_name(name)
+                .unwrap_or_else(|| panic!("workload {name:?} is not registered"));
+            self.sources.push(Source::Registered(w));
+        }
+        self
+    }
+
+    /// Adds every registered workload of `suite`.
+    pub fn suite(mut self, suite: Suite) -> EngineBuilder {
+        self.sources.extend(
+            mg_workloads::all().into_iter().filter(|w| w.suite == suite).map(Source::Registered),
+        );
+        self
+    }
+
+    /// Adds an ad-hoc program under `name`, built by `build` — the same
+    /// preparation flow registered workloads get.
+    pub fn program(
+        mut self,
+        name: impl Into<String>,
+        suite: Suite,
+        build: impl Fn(&Input) -> (mg_isa::Program, mg_isa::Memory) + Send + Sync + 'static,
+    ) -> EngineBuilder {
+        self.sources.push(Source::Custom {
+            name: name.into(),
+            suite,
+            build: Arc::new(build),
+        });
+        self
+    }
+
+    /// Caps worker threads (default: available parallelism, overridable
+    /// with `MG_THREADS`). `1` forces fully sequential execution.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Forces quick mode on or off (default: the `MG_QUICK` environment
+    /// flag; see [`quick_mode`]). Quick mode caps simulated operations
+    /// per run.
+    pub fn quick(mut self, quick: bool) -> EngineBuilder {
+        self.quick = quick;
+        self
+    }
+
+    /// Prepares all selected workloads — every registered one if none
+    /// were named — in parallel, and returns the engine.
+    pub fn build(self) -> Engine {
+        let EngineBuilder { input, mut sources, threads, quick } = self;
+        if sources.is_empty() {
+            sources.extend(mg_workloads::all().into_iter().map(Source::Registered));
+        }
+        let sources: Vec<Source> = sources;
+        let preps: Vec<Arc<Prep>> = run_indexed(threads, sources.len(), |i| {
+            Arc::new(match &sources[i] {
+                Source::Registered(w) => Prep::new(w, &input),
+                Source::Custom { name, suite, build } => {
+                    Prep::with_build(name.clone(), *suite, Arc::clone(build), &input)
+                }
+            })
+        });
+        Engine { preps, threads, quick }
+    }
+}
+
+/// The staged experiment engine: prepared workloads plus a thread budget.
+pub struct Engine {
+    preps: Vec<Arc<Prep>>,
+    threads: usize,
+    quick: bool,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The prepared workloads, in registration (or selection) order.
+    pub fn preps(&self) -> &[Arc<Prep>] {
+        &self.preps
+    }
+
+    /// The prepared workload named `name`.
+    pub fn prep(&self, name: &str) -> Option<&Arc<Prep>> {
+        self.preps.iter().find(|p| p.name == name)
+    }
+
+    /// Whether quick mode is active (see [`EngineBuilder::quick`]).
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The engine's prepared workloads grouped by suite.
+    pub fn by_suite(&self) -> Vec<(Suite, Vec<&Prep>)> {
+        by_suite(&self.preps)
+    }
+
+    /// Applies the engine's quick-mode cap to a configuration.
+    pub fn tune(&self, mut cfg: SimConfig) -> SimConfig {
+        apply_quick(&mut cfg, self.quick);
+        cfg
+    }
+
+    /// Maps `f` over every prepared workload in parallel; results are in
+    /// workload order regardless of scheduling.
+    pub fn map<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Prep) -> R + Sync,
+    {
+        run_indexed(self.threads, self.preps.len(), |i| f(&self.preps[i]))
+    }
+
+    /// Executes the (workload × run) matrix, fanning cells out across the
+    /// engine's threads. Quick mode caps each run's `max_ops`.
+    ///
+    /// Cells are claimed workload-major, so distinct threads usually work
+    /// on distinct workloads and the per-[`Prep`] artifact caches see one
+    /// miss per (policy, style) each.
+    pub fn run(&self, runs: &[Run]) -> RunMatrix {
+        let cells = self.preps.len() * runs.len();
+        let stats = run_indexed(self.threads, cells, |cell| {
+            let prep = &self.preps[cell / runs.len()];
+            let run = &runs[cell % runs.len()];
+            let cfg = self.tune(run.cfg.clone());
+            match &run.image {
+                Image::Baseline => prep.run_baseline(&cfg),
+                Image::MiniGraph { policy, style } => prep.run_policy(policy, *style, &cfg),
+            }
+        });
+        let mut stats = stats.into_iter();
+        let rows = self
+            .preps
+            .iter()
+            .map(|prep| RunRow {
+                prep: Arc::clone(prep),
+                stats: stats.by_ref().take(runs.len()).collect(),
+            })
+            .collect();
+        RunMatrix { labels: runs.iter().map(|r| r.label.clone()).collect(), rows }
+    }
+}
+
+/// Default worker-thread count: `MG_THREADS` if set, else available
+/// parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MG_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Computes `f(0..count)` across up to `threads` scoped workers and
+/// returns the results in index order. With `threads == 1` (or a single
+/// item) everything runs on the calling thread; `f` must be deterministic
+/// for parallel and sequential execution to agree.
+fn run_indexed<R, F>(threads: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(count);
+    results.resize_with(count, || None);
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut done: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    done.push((i, f(i)));
+                }
+                let mut slots = slots.lock().unwrap();
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all cells computed")).collect()
+}

@@ -1,1 +1,56 @@
-//! placeholder
+//! Staged experiment engine for the mini-graphs reproduction.
+//!
+//! The experiment flow has two stages with very different costs:
+//!
+//! 1. **Preparation** ([`Prep`]) — build a workload, profile it, and
+//!    enumerate its mini-graph candidates; memoize per-policy selections,
+//!    rewritten images, and dynamic traces.
+//! 2. **Simulation** ([`Engine`]) — run a matrix of (workload × [`Run`])
+//!    timing simulations, fanned out across threads with deterministic
+//!    result ordering: a parallel run is bit-identical to a sequential
+//!    one because every cell is a pure function of its inputs.
+//!
+//! The per-figure binaries in `mg-bench` (`fig5_coverage`,
+//! `fig6_performance`, `fig7_serialization`, `fig8_regfile`,
+//! `fig8_bandwidth`, `robustness`, `icache_effects`, `iq_capacity`), the
+//! criterion benches, and the examples all build on this crate; each
+//! binary regenerates one table/figure of the paper's evaluation.
+//! `README.md` shows the flow end-to-end and `DESIGN.md` documents the
+//! engine's caching and determinism contracts.
+//!
+//! # Example
+//!
+//! ```
+//! use mg_harness::{Engine, Run};
+//! use mg_core::{Policy, RewriteStyle};
+//! use mg_uarch::SimConfig;
+//!
+//! // Two workloads, two machine configurations, one parallel fan-out.
+//! let engine = Engine::builder()
+//!     .workloads(&["bitcount", "crc32"])
+//!     .input(mg_workloads::Input::tiny())
+//!     .quick(true)
+//!     .build();
+//! let matrix = engine.run(&[
+//!     Run::baseline(SimConfig::baseline()),
+//!     Run::mini_graph(Policy::integer_memory(), RewriteStyle::NopPadded,
+//!                     SimConfig::mg_integer_memory())
+//!         .label("intmem"),
+//! ]);
+//! for row in &matrix.rows {
+//!     assert!(row.stats[0].ipc() > 0.0);
+//!     assert!(row.stats[1].handles > 0);
+//! }
+//! ```
+
+pub mod engine;
+pub mod prep;
+pub mod quick;
+pub mod report;
+pub mod table;
+
+pub use engine::{default_threads, Engine, EngineBuilder, Image, Run, RunMatrix, RunRow};
+pub use prep::{by_suite, BuildFn, MgImage, Prep, ENUMERATION_SIZE, STEP_BUDGET};
+pub use quick::{apply_quick, quick_mode, CliArgs, QUICK_MAX_OPS};
+pub use report::{gmean, speedup};
+pub use table::Table;

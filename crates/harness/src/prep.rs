@@ -1,0 +1,212 @@
+//! Stage one of the experiment flow: workload preparation.
+//!
+//! A [`Prep`] owns everything the simulation stages need and is computed
+//! once per (workload, input): the program image, its CFG and basic-block
+//! frequency profile, and the full candidate pool (enumerated at the
+//! maximum size studied, so any smaller-size policy selects from the same
+//! pool). On top of that it memoizes the per-policy [`Selection`]s, the
+//! baseline trace, and the rewritten images with their traces — so a
+//! matrix of simulation runs shares every artifact that does not depend
+//! on the machine configuration.
+//!
+//! All caches are behind locks: a `Prep` is `Sync` and is shared freely
+//! across the [`Engine`](crate::engine::Engine)'s worker threads. Every
+//! cached artifact is a deterministic function of the preparation inputs,
+//! so concurrent fills are benign (first writer wins; any loser computed
+//! an identical value).
+
+use mg_core::{
+    enumerate_candidates, rewrite, select, MiniGraph, Policy, RewriteStyle, Selection,
+};
+use mg_isa::{HandleCatalog, Memory, Program};
+use mg_profile::{build_cfg, profile_program, record_trace, BlockProfile, Cfg, Trace};
+use mg_uarch::{simulate, SimConfig, SimStats};
+use mg_workloads::{Input, Suite, Workload};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Functional-simulation step budget for profiling/tracing runs.
+pub const STEP_BUDGET: u64 = 200_000_000;
+
+/// The maximum mini-graph size candidates are enumerated at.
+pub const ENUMERATION_SIZE: usize = 8;
+
+/// Builds a fresh `(Program, Memory)` image for an [`Input`].
+///
+/// Registered workloads wrap their `fn` pointer; ad-hoc programs (e.g.
+/// the examples) can pass any closure.
+pub type BuildFn = Arc<dyn Fn(&Input) -> (Program, Memory) + Send + Sync>;
+
+/// A rewritten image ready for timing simulation: the handle program, its
+/// committed-path trace, and the catalog the image refers to.
+pub struct MgImage {
+    /// The rewritten (handle) program.
+    pub program: Program,
+    /// Its committed-path dynamic trace.
+    pub trace: Trace,
+    /// The mini-graph catalog the image's handles refer to.
+    pub catalog: HandleCatalog,
+}
+
+/// A workload prepared for experimentation: profiled and with all legal
+/// mini-graph candidates enumerated.
+pub struct Prep {
+    /// Workload name.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The original (baseline) program image.
+    pub prog: Program,
+    /// Static basic blocks of `prog`.
+    pub cfg: Cfg,
+    /// Execution frequencies per basic block (the profiling run).
+    pub prof: BlockProfile,
+    /// Total dynamic instructions of the profiling run (the coverage
+    /// denominator).
+    pub total_dyn: u64,
+    /// All legal candidates (enumerated with `max_size` =
+    /// [`ENUMERATION_SIZE`]).
+    pub candidates: Vec<MiniGraph>,
+    build: BuildFn,
+    input: Input,
+    // Memoized downstream artifacts (see module docs).
+    selections: Mutex<HashMap<Policy, Arc<Selection>>>,
+    base_trace: OnceLock<Arc<Trace>>,
+    images: Mutex<HashMap<(Policy, RewriteStyle), Arc<MgImage>>>,
+}
+
+impl Prep {
+    /// Profiles `w` on `input` and enumerates candidates.
+    pub fn new(w: &Workload, input: &Input) -> Prep {
+        let build = w.build;
+        Prep::with_build(w.name, w.suite, Arc::new(move |i: &Input| build(i)), input)
+    }
+
+    /// Prepares an ad-hoc program (not in the workload registry) from any
+    /// build closure — the same flow the examples use.
+    pub fn with_build(
+        name: impl Into<String>,
+        suite: Suite,
+        build: BuildFn,
+        input: &Input,
+    ) -> Prep {
+        let (prog, mut mem) = build(input);
+        let cfg = build_cfg(&prog);
+        let prof =
+            profile_program(&prog, &mut mem, None, STEP_BUDGET).expect("workload halts");
+        let candidates = enumerate_candidates(&prog, &cfg, &prof, ENUMERATION_SIZE);
+        Prep {
+            name: name.into(),
+            suite,
+            prog,
+            cfg,
+            total_dyn: prof.total,
+            prof,
+            candidates,
+            build,
+            input: *input,
+            selections: Mutex::new(HashMap::new()),
+            base_trace: OnceLock::new(),
+            images: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Prepares every registered workload on the given input
+    /// (sequentially; [`Engine`](crate::engine::Engine) does this in
+    /// parallel).
+    pub fn all(input: &Input) -> Vec<Prep> {
+        mg_workloads::all().iter().map(|w| Prep::new(w, input)).collect()
+    }
+
+    /// The input this prep was built from.
+    pub fn input(&self) -> Input {
+        self.input
+    }
+
+    /// Builds a fresh memory image (the program is identical every time).
+    pub fn fresh_memory(&self) -> Memory {
+        let (_, mem) = (self.build)(&self.input);
+        mem
+    }
+
+    /// Selects mini-graphs under `policy`, memoized per policy.
+    pub fn select(&self, policy: &Policy) -> Arc<Selection> {
+        if let Some(sel) = self.selections.lock().unwrap().get(policy) {
+            return Arc::clone(sel);
+        }
+        // Computed outside the lock: selection over a large candidate pool
+        // is the expensive part and must not serialize other policies.
+        let sel = Arc::new(select(&self.candidates, policy));
+        let mut cache = self.selections.lock().unwrap();
+        Arc::clone(cache.entry(policy.clone()).or_insert(sel))
+    }
+
+    /// The baseline dynamic trace (fresh memory, same input), memoized.
+    pub fn base_trace(&self) -> Arc<Trace> {
+        Arc::clone(self.base_trace.get_or_init(|| {
+            let mut mem = self.fresh_memory();
+            Arc::new(
+                record_trace(&self.prog, &mut mem, None, STEP_BUDGET)
+                    .expect("workload halts"),
+            )
+        }))
+    }
+
+    /// The rewritten image for `(policy, style)` with its trace, memoized.
+    pub fn image(&self, policy: &Policy, style: RewriteStyle) -> Arc<MgImage> {
+        let key = (policy.clone(), style);
+        if let Some(img) = self.images.lock().unwrap().get(&key) {
+            return Arc::clone(img);
+        }
+        let selection = self.select(policy);
+        let img = Arc::new(self.build_image(&selection, style));
+        let mut cache = self.images.lock().unwrap();
+        Arc::clone(cache.entry(key).or_insert(img))
+    }
+
+    /// Rewrites with `selection` and returns the handle image + its trace
+    /// (uncached; prefer [`Prep::image`] when the selection came from a
+    /// policy).
+    pub fn build_image(&self, selection: &Selection, style: RewriteStyle) -> MgImage {
+        let rw = rewrite(&self.prog, selection, style);
+        let mut mem = self.fresh_memory();
+        let trace = record_trace(&rw.program, &mut mem, Some(&selection.catalog), STEP_BUDGET)
+            .expect("rewritten workload halts");
+        MgImage { program: rw.program, trace, catalog: selection.catalog.clone() }
+    }
+
+    /// Simulates the baseline image under `cfg`.
+    pub fn run_baseline(&self, cfg: &SimConfig) -> SimStats {
+        let t = self.base_trace();
+        simulate(cfg, &self.prog, &t, &HandleCatalog::new())
+    }
+
+    /// Simulates the rewritten image of `policy` under `cfg`, reusing the
+    /// cached selection, image, and trace.
+    pub fn run_policy(&self, policy: &Policy, style: RewriteStyle, cfg: &SimConfig) -> SimStats {
+        let img = self.image(policy, style);
+        simulate(cfg, &img.program, &img.trace, &img.catalog)
+    }
+
+    /// Simulates the rewritten image of an explicit `selection` under
+    /// `cfg` (uncached path for ad-hoc selections).
+    pub fn run_selection(
+        &self,
+        selection: &Selection,
+        style: RewriteStyle,
+        cfg: &SimConfig,
+    ) -> SimStats {
+        let img = self.build_image(selection, style);
+        simulate(cfg, &img.program, &img.trace, &img.catalog)
+    }
+}
+
+/// Groups prepared workloads by suite, preserving registration order.
+pub fn by_suite<P: std::borrow::Borrow<Prep>>(preps: &[P]) -> Vec<(Suite, Vec<&Prep>)> {
+    Suite::ALL
+        .iter()
+        .map(|&s| {
+            (s, preps.iter().map(|p| p.borrow()).filter(|p| p.suite == s).collect())
+        })
+        .collect()
+}

@@ -1,0 +1,33 @@
+//! Shared measurement helpers for experiment reports.
+
+use mg_uarch::SimStats;
+
+/// Geometric mean of `xs` (1.0 for an empty slice).
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Speedup of `mg` over `base`, computed as the ratio of IPCs over
+/// *original program* instructions. For full-trace runs both images
+/// represent identical instruction streams and this equals the cycle
+/// ratio; under `max_ops` truncation (quick mode) the IPC ratio correctly
+/// normalizes for the differing amounts of represented work per fetched
+/// operation.
+pub fn speedup(base: &SimStats, mg: &SimStats) -> f64 {
+    mg.ipc() / base.ipc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 1.0);
+        assert!((gmean(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! A fixed-width table printer for experiment output.
+
+/// A fixed-width table printer for experiment output.
+#[derive(Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns. Column widths cover the widest row,
+    /// so rows longer than the header get real columns of their own
+    /// rather than reusing the last header column's width.
+    pub fn render(&self) -> String {
+        let ncols =
+            self.rows.iter().map(Vec::len).chain([self.header.len()]).max().unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for r in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "ipc"]);
+        t.row(vec!["crafty.bits".into(), "2.10".into()]);
+        t.row(vec!["mcf".into(), "0.27".into()]);
+        let s = t.render();
+        assert!(s.contains("crafty.bits"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn wide_rows_get_their_own_column_widths() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into(), "y".into(), "a-much-longer-extra-cell".into(), "z".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into(), "4444".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Both wide rows align their extra columns with each other: the
+        // last cell starts at the same offset in each.
+        let off3 = lines[2].find('z').unwrap();
+        let off4 = lines[3].find("4444").unwrap();
+        assert_eq!(off3, off4 + 3, "extra columns are right-aligned consistently");
+        // And the extra column is as wide as its widest cell, not the
+        // last header column.
+        assert!(lines[2].contains("a-much-longer-extra-cell  "));
+    }
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Counters gathered over one timing-simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

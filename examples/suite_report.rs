@@ -4,48 +4,41 @@
 //!
 //! Run with: `cargo run --release --example suite_report`
 
-use mini_graphs::core::{extract, rewrite, Policy, RewriteStyle};
-use mini_graphs::isa::HandleCatalog;
-use mini_graphs::profile::record_trace;
-use mini_graphs::uarch::{simulate, SimConfig};
-use mini_graphs::workloads::{by_name, Input};
+use mini_graphs::core::{Policy, RewriteStyle};
+use mini_graphs::harness::{Engine, Run};
+use mini_graphs::uarch::SimConfig;
+use mini_graphs::workloads::Input;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let picks = ["twolf.place", "adpcm.dec", "reed.enc", "bitcount"];
+    let policy = Policy::integer_memory();
+    let engine = Engine::builder()
+        .workloads(&["twolf.place", "adpcm.dec", "reed.enc", "bitcount"])
+        .input(Input { seed: 0x5eed_0001, scale: 2 })
+        .build();
+
+    // Speedup over represented instructions: with max_ops truncation the
+    // two runs cover different amounts of program, so compare IPC.
+    let cap = |mut cfg: SimConfig| {
+        cfg.max_ops = 60_000;
+        cfg
+    };
+    let matrix = engine.run(&[
+        Run::baseline(cap(SimConfig::baseline())),
+        Run::mini_graph(policy.clone(), RewriteStyle::NopPadded, cap(SimConfig::mg_integer_memory())),
+    ]);
+
     println!(
         "{:<14} {:>8} {:>7} {:>9} {:>9} {:>8}",
         "benchmark", "baseIPC", "cov%", "handles", "mgIPC", "speedup"
     );
-    for name in picks {
-        let w = by_name(name).expect("workload registered");
-        let input = Input { seed: 0x5eed_0001, scale: 2 };
-        let (prog, _) = w.build(&input);
-
-        // Extraction needs its own memory image (profiling mutates it).
-        let (_, mut pmem) = w.build(&input);
-        let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000)?;
-        let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
-
-        let (_, mut m1) = w.build(&input);
-        let base_trace = record_trace(&prog, &mut m1, None, 200_000_000)?;
-        let (_, mut m2) = w.build(&input);
-        let mg_trace =
-            record_trace(&rw.program, &mut m2, Some(&ex.selection.catalog), 200_000_000)?;
-
-        let mut cfg = SimConfig::baseline();
-        cfg.max_ops = 60_000;
-        let base = simulate(&cfg, &prog, &base_trace, &HandleCatalog::new());
-        let mut mg_cfg = SimConfig::mg_integer_memory();
-        mg_cfg.max_ops = 60_000;
-        let mg = simulate(&mg_cfg, &rw.program, &mg_trace, &ex.selection.catalog);
-
-        // Speedup over represented instructions: with max_ops truncation
-        // the two runs cover different amounts of program, so compare IPC.
+    for row in &matrix.rows {
+        let (base, mg) = (&row.stats[0], &row.stats[1]);
+        let cov = row.prep.select(&policy).coverage(row.prep.total_dyn);
         println!(
             "{:<14} {:>8.2} {:>7.1} {:>9} {:>9.2} {:>7.3}x",
-            name,
+            row.prep.name,
             base.ipc(),
-            100.0 * ex.selection.coverage(ex.total_dyn_insts),
+            100.0 * cov,
             mg.handles,
             mg.ipc(),
             mg.ipc() / base.ipc(),

@@ -1,13 +1,15 @@
 //! Cross-crate integration tests: every registered workload runs through
 //! the complete pipeline (profile → extract → rewrite → trace → timing
-//! simulation), functional results stay bit-identical, accounting
-//! identities hold, and the DISE expansion fallback round-trips.
+//! simulation) via the experiment harness, functional results stay
+//! bit-identical, accounting identities hold, and the DISE expansion
+//! fallback round-trips.
 
-use mini_graphs::core::{extract, rewrite, Policy, RewriteStyle};
+use mini_graphs::core::{Policy, RewriteStyle};
 use mini_graphs::dise::expansion_engine;
-use mini_graphs::isa::{reg, HandleCatalog, Memory};
-use mini_graphs::profile::{record_trace, run_program};
-use mini_graphs::uarch::{simulate, SimConfig};
+use mini_graphs::harness::{Engine, Prep, Run};
+use mini_graphs::isa::reg;
+use mini_graphs::profile::run_program;
+use mini_graphs::uarch::SimConfig;
 use mini_graphs::workloads::{all, by_name, Input};
 
 const RESULT_ADDR: u64 = 0x8000;
@@ -18,19 +20,17 @@ const RESULT_ADDR: u64 = 0x8000;
 fn all_workloads_rewrite_equivalently() {
     for w in all() {
         let input = Input::tiny();
-        let (prog, _) = w.build(&input);
-        let (_, mut pmem) = w.build(&input);
-        let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000)
-            .unwrap_or_else(|e| panic!("{}: extraction failed: {e}", w.name));
+        let prep = Prep::new(&w, &input);
+        let policy = Policy::integer_memory();
 
-        let (_, mut m0) = w.build(&input);
-        run_program(&prog, &mut m0, None, 200_000_000).expect("original halts");
+        let mut m0 = prep.fresh_memory();
+        run_program(&prep.prog, &mut m0, None, 200_000_000).expect("original halts");
         let expected = m0.read_u64(RESULT_ADDR);
 
         for style in [RewriteStyle::NopPadded, RewriteStyle::Compressed] {
-            let rw = rewrite(&prog, &ex.selection, style);
-            let (_, mut m1) = w.build(&input);
-            run_program(&rw.program, &mut m1, Some(&ex.selection.catalog), 200_000_000)
+            let image = prep.image(&policy, style);
+            let mut m1 = prep.fresh_memory();
+            run_program(&image.program, &mut m1, Some(&image.catalog), 200_000_000)
                 .unwrap_or_else(|e| panic!("{}: rewritten image failed: {e}", w.name));
             assert_eq!(
                 m1.read_u64(RESULT_ADDR),
@@ -49,23 +49,18 @@ fn all_workloads_rewrite_equivalently() {
 #[test]
 fn amplification_accounting_identity() {
     let w = by_name("gsm.toast").expect("registered");
-    let input = Input::tiny();
-    let (prog, _) = w.build(&input);
-    let (_, mut pmem) = w.build(&input);
-    let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000).unwrap();
-    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+    let prep = Prep::new(&w, &Input::tiny());
+    let policy = Policy::integer_memory();
+    let sel = prep.select(&policy);
 
-    let (_, mut m1) = w.build(&input);
-    let base = record_trace(&prog, &mut m1, None, 200_000_000).unwrap();
-    let (_, mut m2) = w.build(&input);
-    let mg = record_trace(&rw.program, &mut m2, Some(&ex.selection.catalog), 200_000_000)
-        .unwrap();
+    let base = prep.base_trace();
+    let mg = prep.image(&policy, RewriteStyle::NopPadded);
 
-    assert_eq!(base.insts, mg.insts, "same original instruction stream");
-    let fetched_saved = base.ops.len() as u64 - mg.ops.len() as u64;
+    assert_eq!(base.insts, mg.trace.insts, "same original instruction stream");
+    let fetched_saved = base.ops.len() as u64 - mg.trace.ops.len() as u64;
     assert_eq!(
         fetched_saved,
-        ex.selection.saved_slots(),
+        sel.saved_slots(),
         "pipeline slots saved must equal the selection's (n-1)·f estimate"
     );
 }
@@ -74,31 +69,27 @@ fn amplification_accounting_identity() {
 /// the same number of instructions as the baseline.
 #[test]
 fn timing_simulation_consistency() {
-    let w = by_name("rgba.conv").expect("registered");
-    let input = Input::tiny();
-    let (prog, _) = w.build(&input);
-    let (_, mut pmem) = w.build(&input);
-    let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000).unwrap();
-    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+    let policy = Policy::integer_memory();
+    let engine = Engine::builder()
+        .workloads(&["rgba.conv"])
+        .input(Input::tiny())
+        .quick(false)
+        .build();
+    let runs = [
+        Run::baseline(SimConfig::baseline()),
+        Run::mini_graph(policy.clone(), RewriteStyle::NopPadded, SimConfig::mg_integer_memory()),
+    ];
 
-    let (_, mut m1) = w.build(&input);
-    let base_trace = record_trace(&prog, &mut m1, None, 200_000_000).unwrap();
-    let (_, mut m2) = w.build(&input);
-    let mg_trace =
-        record_trace(&rw.program, &mut m2, Some(&ex.selection.catalog), 200_000_000).unwrap();
-
-    let b1 = simulate(&SimConfig::baseline(), &prog, &base_trace, &HandleCatalog::new());
-    let b2 = simulate(&SimConfig::baseline(), &prog, &base_trace, &HandleCatalog::new());
+    let m1 = engine.run(&runs);
+    let m2 = engine.run(&runs);
+    let (b1, b2) = (&m1.rows[0].stats[0], &m2.rows[0].stats[0]);
     assert_eq!(b1.cycles, b2.cycles, "deterministic");
 
-    let m = simulate(
-        &SimConfig::mg_integer_memory(),
-        &rw.program,
-        &mg_trace,
-        &ex.selection.catalog,
-    );
+    let prep = &m1.rows[0].prep;
+    let m = &m1.rows[0].stats[1];
+    let saved = prep.select(&policy).saved_slots();
     assert_eq!(m.insts, b1.insts, "IPC numerators comparable");
-    assert_eq!(m.ops + ex.selection.saved_slots(), b1.ops, "commit slots saved");
+    assert_eq!(m.ops + saved, b1.ops, "commit slots saved");
     assert!(m.handles > 0);
 }
 
@@ -109,22 +100,18 @@ fn timing_simulation_consistency() {
 #[test]
 fn dise_expansion_fallback_round_trips() {
     let w = by_name("crc32").expect("registered");
-    let input = Input::tiny();
-    let (prog, _) = w.build(&input);
-    let (_, mut pmem) = w.build(&input);
-    // Integer graphs only: interior values are pure ALU temporaries.
-    let ex = extract(&prog, &mut pmem, &Policy::integer_memory(), 200_000_000).unwrap();
-    let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
+    let prep = Prep::new(&w, &Input::tiny());
+    let image = prep.image(&Policy::integer_memory(), RewriteStyle::NopPadded);
 
     let engine = expansion_engine(
-        &ex.selection.catalog,
+        &image.catalog,
         vec![reg(24), reg(25), reg(26), reg(27), reg(19), reg(13), reg(14), reg(12)],
     );
-    let expanded = engine.expand_image(&rw.program).expect("expansion succeeds");
+    let expanded = engine.expand_image(&image.program).expect("expansion succeeds");
 
-    let (_, mut m0) = w.build(&input);
-    run_program(&prog, &mut m0, None, 200_000_000).unwrap();
-    let (_, mut m1) = w.build(&input);
+    let mut m0 = prep.fresh_memory();
+    run_program(&prep.prog, &mut m0, None, 200_000_000).unwrap();
+    let mut m1 = prep.fresh_memory();
     run_program(&expanded, &mut m1, None, 200_000_000).unwrap();
     assert_eq!(
         m0.read_u64(RESULT_ADDR),
@@ -140,21 +127,14 @@ fn dise_expansion_fallback_round_trips() {
 fn baseline_ipc_dynamic_range() {
     let mut cfg = SimConfig::baseline();
     cfg.max_ops = 25_000;
-
-    let lo = {
-        let w = by_name("mcf.netw").unwrap();
-        let (prog, _) = w.build(&Input::tiny());
-        let (_, mut m) = w.build(&Input::tiny());
-        let t = record_trace(&prog, &mut m, None, 200_000_000).unwrap();
-        simulate(&cfg, &prog, &t, &HandleCatalog::new()).ipc()
-    };
-    let hi = {
-        let w = by_name("crafty.bits").unwrap();
-        let (prog, _) = w.build(&Input::tiny());
-        let (_, mut m) = w.build(&Input::tiny());
-        let t = record_trace(&prog, &mut m, None, 200_000_000).unwrap();
-        simulate(&cfg, &prog, &t, &HandleCatalog::new()).ipc()
-    };
+    let engine = Engine::builder()
+        .workloads(&["mcf.netw", "crafty.bits"])
+        .input(Input::tiny())
+        .quick(false)
+        .build();
+    let matrix = engine.run(&[Run::baseline(cfg)]);
+    let lo = matrix.row("mcf.netw").unwrap().stats[0].ipc();
+    let hi = matrix.row("crafty.bits").unwrap().stats[0].ipc();
     assert!(lo < 0.4, "mcf-like crawls: {lo:.2}");
     assert!(hi > 2.5, "bit-twiddling flies: {hi:.2}");
 }
