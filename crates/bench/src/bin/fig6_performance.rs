@@ -35,7 +35,13 @@ fn main() {
     for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
         let mut t = Table::new(&[
-            "benchmark", "baseIPC", "int", "int+coll", "intmem", "intmem+coll", "cov%",
+            "benchmark",
+            "baseIPC",
+            "int",
+            "int+coll",
+            "intmem",
+            "intmem+coll",
+            "cov%",
         ]);
         let mut sp = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for row in &members {

@@ -15,14 +15,8 @@ use mg_uarch::SimConfig;
 fn int_policies() -> Vec<(&'static str, Policy)> {
     vec![
         ("int", Policy::integer()),
-        (
-            "int -ext",
-            Policy { allow_external_serial: false, ..Policy::integer() },
-        ),
-        (
-            "int -int",
-            Policy { allow_internal_parallel: false, ..Policy::integer() },
-        ),
+        ("int -ext", Policy { allow_external_serial: false, ..Policy::integer() }),
+        ("int -int", Policy { allow_internal_parallel: false, ..Policy::integer() }),
         (
             "int -both",
             Policy {
@@ -59,16 +53,22 @@ fn mem_policies() -> Vec<(&'static str, Policy)> {
 
 fn main() {
     let args = CliArgs::parse();
-    // The paper's six focus benchmarks, by behavioural analogue; `--best`
-    // sweeps every workload, so the engine always prepares all of them.
+    // The paper's six focus benchmarks, by behavioural analogue. Only
+    // `--best` (the §6.2 suite sweep) needs every workload; the default
+    // report simulates just the focus set.
     let focus = ["gsm.toast", "mpeg2.idct", "reed.enc", "mcf.netw", "sha.rounds", "adpcm.enc"];
-    let engine = args.engine().build();
+    let mut builder = args.engine();
+    if !args.best {
+        builder = builder.workloads(&focus);
+    }
+    let engine = builder.build();
 
     // One matrix serves both reports: baseline + all seven ablations.
     let mut runs = vec![Run::baseline(SimConfig::baseline())];
     for (name, policy) in int_policies() {
         runs.push(
-            Run::mini_graph(policy, RewriteStyle::NopPadded, SimConfig::mg_integer()).label(name),
+            Run::mini_graph(policy, RewriteStyle::NopPadded, SimConfig::mg_integer())
+                .label(name),
         );
     }
     for (name, policy) in mem_policies() {
@@ -110,9 +110,7 @@ fn main() {
             for row in &members {
                 unrestricted.push(row.speedup_over(0, unres_col));
                 best.push(
-                    (1..runs.len())
-                        .map(|ri| row.speedup_over(0, ri))
-                        .fold(f64::MIN, f64::max),
+                    (1..runs.len()).map(|ri| row.speedup_over(0, ri)).fold(f64::MIN, f64::max),
                 );
             }
             table.row(vec![

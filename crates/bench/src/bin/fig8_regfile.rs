@@ -11,6 +11,9 @@ use mg_uarch::SimConfig;
 
 const REGS: [usize; 4] = [164, 144, 124, 104];
 
+/// Per-size accumulators: (regs, baseline, int, intmem speedups).
+type SizeMeans = (usize, Vec<f64>, Vec<f64>, Vec<f64>);
+
 fn main() {
     let engine = CliArgs::parse().engine().build();
 
@@ -45,10 +48,8 @@ fn main() {
     println!("   (all numbers relative to the 164-register baseline)");
     for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
-        let mut t = Table::new(&[
-            "benchmark", "regs", "baseline", "int", "intmem",
-        ]);
-        let mut means: Vec<(usize, Vec<f64>, Vec<f64>, Vec<f64>)> =
+        let mut t = Table::new(&["benchmark", "regs", "baseline", "int", "intmem"]);
+        let mut means: Vec<SizeMeans> =
             REGS.iter().map(|&r| (r, Vec::new(), Vec::new(), Vec::new())).collect();
         for row in &members {
             for (ri, &regs) in REGS.iter().enumerate() {

@@ -17,19 +17,26 @@ fn main() {
     let policy = Policy::integer_memory();
     let runs = [
         Run::baseline(SimConfig::baseline()),
-        Run::mini_graph(policy.clone(), RewriteStyle::NopPadded, SimConfig::mg_integer_memory())
-            .label("padded"),
-        Run::mini_graph(policy.clone(), RewriteStyle::Compressed, SimConfig::mg_integer_memory())
-            .label("compressed"),
+        Run::mini_graph(
+            policy.clone(),
+            RewriteStyle::NopPadded,
+            SimConfig::mg_integer_memory(),
+        )
+        .label("padded"),
+        Run::mini_graph(
+            policy.clone(),
+            RewriteStyle::Compressed,
+            SimConfig::mg_integer_memory(),
+        )
+        .label("compressed"),
     ];
     let matrix = engine.run(&runs);
 
     println!("== §6.2: instruction-cache effects (nop-padded vs compressed images) ==");
     for (suite, members) in matrix.by_suite() {
         println!("\n-- {suite} --");
-        let mut t = Table::new(&[
-            "benchmark", "static", "compressed", "padded-x", "compressed-x",
-        ]);
+        let mut t =
+            Table::new(&["benchmark", "static", "compressed", "padded-x", "compressed-x"]);
         let mut pad = Vec::new();
         let mut comp = Vec::new();
         for row in &members {

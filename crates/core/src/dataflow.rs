@@ -71,7 +71,7 @@ impl BlockDataflow {
             }
         }
         for (off, prods) in self.producers.iter().enumerate() {
-            if prods.iter().any(|&p| p == Some(i)) {
+            if prods.contains(&Some(i)) {
                 out.push(self.start + off);
             }
         }
@@ -82,7 +82,7 @@ impl BlockDataflow {
 
     /// Whether instruction `j` reads register `r` (in any slot).
     pub fn reads(&self, j: usize, r: Reg) -> bool {
-        self.srcs(j).iter().any(|&s| s == Some(r))
+        self.srcs(j).contains(&Some(r))
     }
 
     /// Whether instruction `j` defines register `r`.

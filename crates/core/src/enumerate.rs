@@ -11,8 +11,8 @@
 use crate::dataflow::BlockDataflow;
 use crate::liveness::{compute_liveness, RegSet};
 use crate::minigraph::{analyze, MiniGraph};
-use mg_profile::{BlockProfile, Cfg};
 use mg_isa::Program;
+use mg_profile::{BlockProfile, Cfg};
 
 /// Hard cap on candidate sets examined per block; guards against
 /// pathologically dense blocks (never reached by the bundled workloads).
@@ -37,23 +37,28 @@ pub fn enumerate_candidates(
         let df = BlockDataflow::new(prog, block);
 
         // Dataflow adjacency restricted to mini-graph-eligible members.
-        let nodes: Vec<usize> = block
-            .indices()
-            .filter(|&i| prog.insts[i].op.is_mini_graph_eligible())
-            .collect();
+        let nodes: Vec<usize> =
+            block.indices().filter(|&i| prog.insts[i].op.is_mini_graph_eligible()).collect();
         let eligible = |i: usize| prog.insts[i].op.is_mini_graph_eligible();
 
         let mut budget = MAX_SETS_PER_BLOCK;
         for &v in &nodes {
-            let ext: Vec<usize> = df
-                .neighbours(v)
-                .into_iter()
-                .filter(|&u| u > v && eligible(u))
-                .collect();
+            let ext: Vec<usize> =
+                df.neighbours(v).into_iter().filter(|&u| u > v && eligible(u)).collect();
             let mut set = vec![v];
             extend(
-                prog, block, &df, &eligible, v, &mut set, ext, max_size, &mut out, freq,
-                live_out, &mut budget,
+                prog,
+                block,
+                &df,
+                &eligible,
+                v,
+                &mut set,
+                ext,
+                max_size,
+                &mut out,
+                freq,
+                live_out,
+                &mut budget,
             );
             if budget == 0 {
                 break;

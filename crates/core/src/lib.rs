@@ -47,8 +47,8 @@
 pub mod dataflow;
 pub mod enumerate;
 pub mod liveness;
-pub mod minigraph;
 pub mod mgt;
+pub mod minigraph;
 pub mod policy;
 pub mod rewrite;
 pub mod select;
@@ -56,10 +56,10 @@ pub mod select;
 pub use dataflow::BlockDataflow;
 pub use enumerate::enumerate_candidates;
 pub use liveness::{compute_liveness, Liveness, RegSet};
-pub use minigraph::{analyze, choose_anchor, Illegal, MiniGraph};
 pub use mgt::{build_schedule, FuReq, MgSchedule, MgSlot, MgTable, MgtConfig};
+pub use minigraph::{analyze, choose_anchor, Illegal, MiniGraph};
 pub use policy::Policy;
-pub use rewrite::{rewrite, Rewritten, RewriteStyle};
+pub use rewrite::{rewrite, RewriteStyle, Rewritten};
 pub use select::{select, select_domain, ChosenInstance, Selection};
 
 use mg_isa::exec::ExecError;

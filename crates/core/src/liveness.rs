@@ -121,7 +121,7 @@ pub fn compute_liveness(prog: &Program, cfg: &Cfg) -> Liveness {
         changed = false;
         for b in (0..nb).rev() {
             let out = match &succs[b] {
-                Succ::All => !0u32 & !(1u32 << 31),
+                Succ::All => !(1u32 << 31),
                 Succ::Known(list) => list.iter().fold(0u32, |acc, &s| acc | live_in[s]),
             };
             let inn = gen[b] | (out & !kill[b]);

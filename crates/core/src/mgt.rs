@@ -123,8 +123,7 @@ impl MgSchedule {
 /// Packs the schedule for `t` under `cfg`.
 pub fn build_schedule(t: &MgTemplate, cfg: &MgtConfig) -> MgSchedule {
     let all_integer = t.is_integer_only();
-    let on_ap =
-        cfg.have_alu_pipe && all_integer && t.len() as u32 <= cfg.alu_pipe_depth;
+    let on_ap = cfg.have_alu_pipe && all_integer && t.len() as u32 <= cfg.alu_pipe_depth;
 
     let mut slots = Vec::with_capacity(t.len());
     let mut next = 0u32;
@@ -136,10 +135,8 @@ pub fn build_schedule(t: &MgTemplate, cfg: &MgtConfig) -> MgSchedule {
 
     for op in &t.ops {
         let class = op.op.class();
-        let is_aluish = matches!(
-            class,
-            OpClass::IntAlu | OpClass::CondBranch | OpClass::UncondBranch
-        );
+        let is_aluish =
+            matches!(class, OpClass::IntAlu | OpClass::CondBranch | OpClass::UncondBranch);
         if is_aluish {
             let collapsing_here = cfg.collapsing && (on_ap || cfg.have_alu_pipe);
             let cycle = if collapsing_here {
@@ -189,11 +186,7 @@ pub fn build_schedule(t: &MgTemplate, cfg: &MgtConfig) -> MgSchedule {
         }
     }
 
-    let total_latency = slots
-        .iter()
-        .map(|s| s.cycle + s.latency)
-        .max()
-        .unwrap_or(0);
+    let total_latency = slots.iter().map(|s| s.cycle + s.latency).max().unwrap_or(0);
     let out_latency = t.out.map(|o| {
         let s = &slots[o as usize];
         s.cycle + s.latency
@@ -213,9 +206,7 @@ pub struct MgTable {
 impl MgTable {
     /// Builds the table for `catalog` under `cfg`.
     pub fn from_catalog(catalog: &HandleCatalog, cfg: &MgtConfig) -> MgTable {
-        MgTable {
-            schedules: catalog.iter().map(|(_, t)| build_schedule(t, cfg)).collect(),
-        }
+        MgTable { schedules: catalog.iter().map(|(_, t)| build_schedule(t, cfg)).collect() }
     }
 
     /// Schedule for an MGID.
@@ -242,9 +233,24 @@ mod tests {
     fn mg12() -> MgTemplate {
         MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Addl, a: TmplOperand::E0, b: TmplOperand::Imm(2), disp: 0 },
-                TmplInst { op: Opcode::Cmplt, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
-                TmplInst { op: Opcode::Bne, a: TmplOperand::M(1), b: TmplOperand::Imm(0), disp: -3 },
+                TmplInst {
+                    op: Opcode::Addl,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(2),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Cmplt,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::E1,
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Bne,
+                    a: TmplOperand::M(1),
+                    b: TmplOperand::Imm(0),
+                    disp: -3,
+                },
             ],
             out: Some(0),
         }
@@ -253,9 +259,24 @@ mod tests {
     fn mg34() -> MgTemplate {
         MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Ldq, a: TmplOperand::E0, b: TmplOperand::Imm(0), disp: 16 },
-                TmplInst { op: Opcode::Srl, a: TmplOperand::M(0), b: TmplOperand::Imm(14), disp: 0 },
-                TmplInst { op: Opcode::And, a: TmplOperand::M(1), b: TmplOperand::Imm(1), disp: 0 },
+                TmplInst {
+                    op: Opcode::Ldq,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(0),
+                    disp: 16,
+                },
+                TmplInst {
+                    op: Opcode::Srl,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::Imm(14),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::And,
+                    a: TmplOperand::M(1),
+                    b: TmplOperand::Imm(1),
+                    disp: 0,
+                },
             ],
             out: Some(2),
         }

@@ -197,9 +197,8 @@ pub fn analyze(
     // is outside the set.
     let mut inputs: Vec<Reg> = Vec::new();
     for &m in members {
-        let srcs = df.srcs(m);
-        for slot in 0..2 {
-            let Some(r) = srcs[slot] else { continue };
+        for (slot, src) in df.srcs(m).into_iter().enumerate() {
+            let Some(r) = src else { continue };
             let external = match df.producer(m, slot) {
                 Some(p) => !in_set(p),
                 None => true,
@@ -249,9 +248,7 @@ pub fn analyze(
     // Canonical template.
     let template = build_template(prog, df, members, anchor, &inputs, output, &in_set)?;
 
-    let branch_target = members
-        .last()
-        .and_then(|&b| prog.insts[b].static_target());
+    let branch_target = members.last().and_then(|&b| prog.insts[b].static_target());
 
     Ok(MiniGraph {
         members: members.to_vec(),
@@ -268,12 +265,7 @@ impl BlockDataflow {
     /// Producer of register `r` as read by instruction `j`, if `j` reads it.
     pub(crate) fn producer_of_reg(&self, j: usize, r: Reg) -> Option<usize> {
         let srcs = self.srcs(j);
-        for slot in 0..2 {
-            if srcs[slot] == Some(r) {
-                return self.producer(j, slot);
-            }
-        }
-        None
+        srcs.iter().position(|&s| s == Some(r)).and_then(|slot| self.producer(j, slot))
     }
 }
 
@@ -283,12 +275,11 @@ fn tmpl_operand(
     m: usize,
     slot: usize,
     reg: Option<Reg>,
-    imm: Option<i64>,
     inputs: &[Reg],
     in_set: &dyn Fn(usize) -> bool,
 ) -> TmplOperand {
-    match (reg, imm) {
-        (Some(r), _) => {
+    match reg {
+        Some(r) => {
             if let Some(p) = df.producer(m, slot) {
                 if in_set(p) {
                     let pos = members.binary_search(&p).expect("producer is a member") as u8;
@@ -302,8 +293,7 @@ fn tmpl_operand(
                 TmplOperand::E1
             }
         }
-        (None, Some(v)) => TmplOperand::Imm(v),
-        (None, None) => TmplOperand::Imm(0), // reads of the zero register
+        None => TmplOperand::Imm(0), // reads of the zero register
     }
 }
 
@@ -323,33 +313,36 @@ fn build_template(
         let srcs = df.srcs(m);
         let t = match inst.op.class() {
             OpClass::IntAlu | OpClass::IntMul => {
-                let a = tmpl_operand(df, members, m, 0, srcs[0], None, inputs, in_set);
+                let a = tmpl_operand(df, members, m, 0, srcs[0], inputs, in_set);
                 let b = match inst.rb {
                     Operand::Imm(v) => TmplOperand::Imm(v),
-                    Operand::Reg(_) => {
-                        tmpl_operand(df, members, m, 1, srcs[1], None, inputs, in_set)
-                    }
+                    Operand::Reg(_) => tmpl_operand(df, members, m, 1, srcs[1], inputs, in_set),
                 };
                 TmplInst { op: inst.op, a, b, disp: 0 }
             }
             OpClass::Load => {
-                let a = tmpl_operand(df, members, m, 0, srcs[0], None, inputs, in_set);
+                let a = tmpl_operand(df, members, m, 0, srcs[0], inputs, in_set);
                 TmplInst { op: inst.op, a, b: TmplOperand::Imm(0), disp: inst.disp }
             }
             OpClass::Store => {
                 // Inst layout: ra = base (slot 0), rb = data (slot 1).
-                let base = tmpl_operand(df, members, m, 0, srcs[0], None, inputs, in_set);
-                let data = tmpl_operand(df, members, m, 1, srcs[1], None, inputs, in_set);
+                let base = tmpl_operand(df, members, m, 0, srcs[0], inputs, in_set);
+                let data = tmpl_operand(df, members, m, 1, srcs[1], inputs, in_set);
                 TmplInst { op: inst.op, a: data, b: base, disp: inst.disp }
             }
             OpClass::CondBranch => {
-                let a = tmpl_operand(df, members, m, 0, srcs[0], None, inputs, in_set);
+                let a = tmpl_operand(df, members, m, 0, srcs[0], inputs, in_set);
                 let rel = inst.disp - anchor as i64;
                 TmplInst { op: inst.op, a, b: TmplOperand::Imm(0), disp: rel }
             }
             OpClass::UncondBranch => {
                 let rel = inst.disp - anchor as i64;
-                TmplInst { op: inst.op, a: TmplOperand::Imm(0), b: TmplOperand::Imm(0), disp: rel }
+                TmplInst {
+                    op: inst.op,
+                    a: TmplOperand::Imm(0),
+                    b: TmplOperand::Imm(0),
+                    disp: rel,
+                }
             }
             _ => return Err(Illegal::IneligibleOpcode),
         };
@@ -495,10 +488,7 @@ mod tests {
         a.addq(reg(2), 1, reg(2)); // member (anchor)
         a.halt();
         let p = a.finish().unwrap();
-        assert_eq!(
-            analyze_in(&p, &[0, 2]).unwrap_err(),
-            Illegal::RegisterInterference
-        );
+        assert_eq!(analyze_in(&p, &[0, 2]).unwrap_err(), Illegal::RegisterInterference);
     }
 
     #[test]
@@ -509,10 +499,7 @@ mod tests {
         a.ldq(reg(3), 0, reg(2)); // member (anchor: memory op)
         a.halt();
         let p = a.finish().unwrap();
-        assert_eq!(
-            analyze_in(&p, &[0, 2]).unwrap_err(),
-            Illegal::RegisterInterference
-        );
+        assert_eq!(analyze_in(&p, &[0, 2]).unwrap_err(), Illegal::RegisterInterference);
     }
 
     #[test]
@@ -523,10 +510,7 @@ mod tests {
         a.addq(reg(2), 1, reg(3)); // member
         a.bne(reg(3), 0usize); // member (anchor: branch) -> load must move down
         let p = a.finish().unwrap();
-        assert_eq!(
-            analyze_in(&p, &[0, 2, 3]).unwrap_err(),
-            Illegal::MemoryInterference
-        );
+        assert_eq!(analyze_in(&p, &[0, 2, 3]).unwrap_err(), Illegal::MemoryInterference);
     }
 
     #[test]

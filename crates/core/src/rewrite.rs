@@ -104,11 +104,8 @@ pub fn rewrite(prog: &Program, selection: &Selection, style: RewriteStyle) -> Re
                 }
                 out.push(inst);
             }
-            let labels = prog
-                .labels
-                .iter()
-                .map(|(k, &v)| (k.clone(), forward[v.min(n)]))
-                .collect();
+            let labels =
+                prog.labels.iter().map(|(k, &v)| (k.clone(), forward[v.min(n)])).collect();
             Rewritten {
                 program: Program {
                     insts: out,
@@ -166,8 +163,7 @@ mod tests {
         let mut mem_a = Memory::new();
         let mut mem_b = Memory::new();
         let orig = run_program(&p, &mut mem_a, None, 100_000).unwrap();
-        let new =
-            run_program(&rw.program, &mut mem_b, Some(&sel.catalog), 100_000).unwrap();
+        let new = run_program(&rw.program, &mut mem_b, Some(&sel.catalog), 100_000).unwrap();
         assert_eq!(orig.cpu.regs, new.cpu.regs, "architectural state must match");
         assert_eq!(orig.insts, new.insts, "represented instruction counts match");
         assert_eq!(mem_a.read_u64(0x8000), mem_b.read_u64(0x8000));
@@ -184,8 +180,7 @@ mod tests {
         let mut mem_a = Memory::new();
         let mut mem_b = Memory::new();
         let orig = run_program(&p, &mut mem_a, None, 100_000).unwrap();
-        let new =
-            run_program(&rw.program, &mut mem_b, Some(&sel.catalog), 100_000).unwrap();
+        let new = run_program(&rw.program, &mut mem_b, Some(&sel.catalog), 100_000).unwrap();
         assert_eq!(orig.cpu.regs, new.cpu.regs);
         assert_eq!(mem_a.read_u64(0x8000), mem_b.read_u64(0x8000));
     }

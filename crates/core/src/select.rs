@@ -57,8 +57,7 @@ impl Selection {
 
 /// Selects mini-graphs for one program from `candidates` under `policy`.
 pub fn select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
-    let instances: Vec<&MiniGraph> =
-        candidates.iter().filter(|c| policy.admits(c)).collect();
+    let instances: Vec<&MiniGraph> = candidates.iter().filter(|c| policy.admits(c)).collect();
     let groups = group_by_template(&instances);
 
     let mut taken_insts: HashMap<usize, ()> = HashMap::new();
@@ -129,8 +128,7 @@ pub fn select_domain(
         groups[gi].1.push(i);
     }
 
-    let mut taken: Vec<HashMap<usize, ()>> =
-        vec![HashMap::new(); per_program_candidates.len()];
+    let mut taken: Vec<HashMap<usize, ()>> = vec![HashMap::new(); per_program_candidates.len()];
     let mut catalog = HandleCatalog::new();
     let mut selections: Vec<Selection> =
         vec![Selection::default(); per_program_candidates.len()];
@@ -142,9 +140,7 @@ pub fn select_domain(
             let b: u64 = members
                 .iter()
                 .map(|&i| &all[i])
-                .filter(|t| {
-                    t.inst.members.iter().all(|m| !taken[t.prog].contains_key(m))
-                })
+                .filter(|t| t.inst.members.iter().all(|m| !taken[t.prog].contains_key(m)))
                 .map(|t| t.inst.benefit())
                 .sum();
             if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
@@ -162,9 +158,7 @@ pub fn select_domain(
             for &m in &t.inst.members {
                 taken[t.prog].insert(m, ());
             }
-            selections[t.prog]
-                .chosen
-                .push(ChosenInstance { graph: t.inst.clone(), mgid });
+            selections[t.prog].chosen.push(ChosenInstance { graph: t.inst.clone(), mgid });
         }
     }
     // Each per-program selection shares the pooled catalog.
@@ -187,10 +181,8 @@ fn group_by_template(instances: &[&MiniGraph]) -> Vec<TemplateGroup> {
     let mut groups: Vec<TemplateGroup> = Vec::new();
     for &inst in instances {
         let gi = *index.entry(&inst.template).or_insert_with(|| {
-            groups.push(TemplateGroup {
-                template: inst.template.clone(),
-                instances: Vec::new(),
-            });
+            groups
+                .push(TemplateGroup { template: inst.template.clone(), instances: Vec::new() });
             groups.len() - 1
         });
         groups[gi].instances.push(inst.clone());
@@ -268,7 +260,7 @@ mod tests {
         let capped = select(&cands, &Policy::default().with_capacity(1));
         assert!(capped.catalog.len() <= 1);
         assert!(capped.saved_slots() <= full.saved_slots());
-        assert!(full.catalog.len() >= 1);
+        assert!(!full.catalog.is_empty());
     }
 
     #[test]
@@ -308,8 +300,7 @@ mod tests {
         let p2 = loop_program(80); // identical idiom, different program
         let (c1, _) = candidates_for(&p1);
         let (c2, _) = candidates_for(&p2);
-        let (sels, catalog) =
-            select_domain(&[c1, c2], &Policy::default().with_capacity(4));
+        let (sels, catalog) = select_domain(&[c1, c2], &Policy::default().with_capacity(4));
         assert!(catalog.len() <= 4);
         assert!(!sels[0].chosen.is_empty());
         assert!(!sels[1].chosen.is_empty());

@@ -101,8 +101,7 @@ impl DiseEngine {
                 insts.push(inst);
             }
         }
-        let labels =
-            prog.labels.iter().map(|(k, &v)| (k.clone(), forward[v.min(n)])).collect();
+        let labels = prog.labels.iter().map(|(k, &v)| (k.clone(), forward[v.min(n)])).collect();
         Ok(Program {
             insts,
             entry: forward[prog.entry.min(n)],
@@ -179,10 +178,7 @@ mod tests {
             pattern: Pattern::opcode(Opcode::Addq),
             replacement: vec![ReplItem::Original, ReplItem::Original],
         });
-        e.add(Production {
-            pattern: Pattern::class(OpClass::IntAlu),
-            replacement: vec![],
-        });
+        e.add(Production { pattern: Pattern::class(OpClass::IntAlu), replacement: vec![] });
         let add = Inst::op3(Opcode::Addq, reg(1), 1i64, reg(1));
         let sub = Inst::op3(Opcode::Subq, reg(1), 1i64, reg(1));
         assert_eq!(e.expand(&add).unwrap().unwrap().len(), 2);

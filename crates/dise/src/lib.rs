@@ -73,11 +73,8 @@ pub fn handle_production(mgid: u32, template: &MgTemplate) -> Production {
     let out = template.out;
     let mut replacement = Vec::with_capacity(template.len());
     for (i, t) in template.ops.iter().enumerate() {
-        let dest = if Some(i as u8) == out {
-            ReplOperand::Rd
-        } else {
-            ReplOperand::Dise(i as u8)
-        };
+        let dest =
+            if Some(i as u8) == out { ReplOperand::Rd } else { ReplOperand::Dise(i as u8) };
         let item = match t.op.class() {
             OpClass::Load => ReplInst {
                 op: t.op,
@@ -138,9 +135,24 @@ mod tests {
     fn mg12() -> MgTemplate {
         MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Addl, a: TmplOperand::E0, b: TmplOperand::Imm(2), disp: 0 },
-                TmplInst { op: Opcode::Cmplt, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
-                TmplInst { op: Opcode::Bne, a: TmplOperand::M(1), b: TmplOperand::Imm(0), disp: -3 },
+                TmplInst {
+                    op: Opcode::Addl,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(2),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Cmplt,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::E1,
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Bne,
+                    a: TmplOperand::M(1),
+                    b: TmplOperand::Imm(0),
+                    disp: -3,
+                },
             ],
             out: Some(0),
         }

@@ -142,12 +142,9 @@ pub fn compile(seq: &[ReplItem]) -> Result<MgTemplate, Reject> {
                 b: TmplOperand::Imm(0),
                 disp,
             },
-            OpClass::UncondBranch => TmplInst {
-                op: r.op,
-                a: TmplOperand::Imm(0),
-                b: TmplOperand::Imm(0),
-                disp,
-            },
+            OpClass::UncondBranch => {
+                TmplInst { op: r.op, a: TmplOperand::Imm(0), b: TmplOperand::Imm(0), disp }
+            }
             _ => return Err(Reject::IneligibleOpcode),
         };
         ops.push(t);
@@ -181,13 +178,7 @@ mod tests {
     use crate::production::ReplInst;
     use mg_isa::{Opcode, Reg};
 
-    fn ri(
-        op: Opcode,
-        a: ReplOperand,
-        b: ReplOperand,
-        c: ReplOperand,
-        disp: i64,
-    ) -> ReplItem {
+    fn ri(op: Opcode, a: ReplOperand, b: ReplOperand, c: ReplOperand, disp: i64) -> ReplItem {
         ReplItem::Inst(ReplInst { op, a, b, c, disp: DispParam::Lit(disp) })
     }
 
@@ -222,7 +213,13 @@ mod tests {
         // <ldq $d0,16(T.RS2) ; srl $d0,14,$d0 ; and $d0,1,T.RD>
         let items = vec![
             ri(Opcode::Ldq, ReplOperand::Rs2, ReplOperand::Imm(0), ReplOperand::Dise(0), 16),
-            ri(Opcode::Srl, ReplOperand::Dise(0), ReplOperand::Imm(14), ReplOperand::Dise(0), 0),
+            ri(
+                Opcode::Srl,
+                ReplOperand::Dise(0),
+                ReplOperand::Imm(14),
+                ReplOperand::Dise(0),
+                0,
+            ),
             ri(Opcode::And, ReplOperand::Dise(0), ReplOperand::Imm(1), ReplOperand::Rd, 0),
         ];
         let t = compile(&items).unwrap();
@@ -293,10 +290,13 @@ mod tests {
 
     #[test]
     fn rejects_singleton_and_oversized() {
-        let one = vec![ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Rd, 0)];
+        let one =
+            vec![ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Rd, 0)];
         assert_eq!(compile(&one).unwrap_err(), Reject::TooSmall);
         let many: Vec<ReplItem> = (0..9)
-            .map(|_| ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Dise(0), 0))
+            .map(|_| {
+                ri(Opcode::Addq, ReplOperand::Rs1, ReplOperand::Imm(1), ReplOperand::Dise(0), 0)
+            })
             .collect();
         assert_eq!(compile(&many).unwrap_err(), Reject::TooLong);
     }

@@ -171,10 +171,9 @@ fn resolve_reg(
             Operand::Imm(_) => Err(InstantiateError::RegisterExpected),
         },
         ReplOperand::Rd => Ok(matched.rc),
-        ReplOperand::Dise(n) => dise_regs
-            .get(n as usize)
-            .copied()
-            .ok_or(InstantiateError::DiseRegOutOfRange(n)),
+        ReplOperand::Dise(n) => {
+            dise_regs.get(n as usize).copied().ok_or(InstantiateError::DiseRegOutOfRange(n))
+        }
         // A zero immediate in a register position is the zero register
         // (templates canonicalize `r31` sources to `Imm(0)`).
         ReplOperand::Imm(0) => Ok(Reg::ZERO),
@@ -204,7 +203,11 @@ impl ReplInst {
     /// # Errors
     ///
     /// Returns an [`InstantiateError`] on unresolvable operands.
-    pub fn instantiate(&self, matched: &Inst, dise_regs: &[Reg]) -> Result<Inst, InstantiateError> {
+    pub fn instantiate(
+        &self,
+        matched: &Inst,
+        dise_regs: &[Reg],
+    ) -> Result<Inst, InstantiateError> {
         let disp = match self.disp {
             DispParam::Lit(v) => v,
             DispParam::FromMatch => {

@@ -160,7 +160,10 @@ impl EngineBuilder {
     /// Adds every registered workload of `suite`.
     pub fn suite(mut self, suite: Suite) -> EngineBuilder {
         self.sources.extend(
-            mg_workloads::all().into_iter().filter(|w| w.suite == suite).map(Source::Registered),
+            mg_workloads::all()
+                .into_iter()
+                .filter(|w| w.suite == suite)
+                .map(Source::Registered),
         );
         self
     }
@@ -173,11 +176,7 @@ impl EngineBuilder {
         suite: Suite,
         build: impl Fn(&Input) -> (mg_isa::Program, mg_isa::Memory) + Send + Sync + 'static,
     ) -> EngineBuilder {
-        self.sources.push(Source::Custom {
-            name: name.into(),
-            suite,
-            build: Arc::new(build),
-        });
+        self.sources.push(Source::Custom { name: name.into(), suite, build: Arc::new(build) });
         self
     }
 
@@ -268,29 +267,35 @@ impl Engine {
     /// Executes the (workload × run) matrix, fanning cells out across the
     /// engine's threads. Quick mode caps each run's `max_ops`.
     ///
-    /// Cells are claimed workload-major, so distinct threads usually work
-    /// on distinct workloads and the per-[`Prep`] artifact caches see one
-    /// miss per (policy, style) each.
+    /// Cells are claimed with the workload as the fastest-varying
+    /// dimension, so concurrently claimed cells land on distinct
+    /// workloads and the per-[`Prep`] artifact caches see one miss per
+    /// (policy, style) each instead of racing duplicate computations.
     pub fn run(&self, runs: &[Run]) -> RunMatrix {
-        let cells = self.preps.len() * runs.len();
-        let stats = run_indexed(self.threads, cells, |cell| {
-            let prep = &self.preps[cell / runs.len()];
-            let run = &runs[cell % runs.len()];
+        let n_preps = self.preps.len();
+        let cells = n_preps * runs.len();
+        let stats = run_indexed(self.threads, cells, |claim| {
+            let prep = &self.preps[claim % n_preps];
+            let run = &runs[claim / n_preps];
             let cfg = self.tune(run.cfg.clone());
             match &run.image {
                 Image::Baseline => prep.run_baseline(&cfg),
                 Image::MiniGraph { policy, style } => prep.run_policy(policy, *style, &cfg),
             }
         });
-        let mut stats = stats.into_iter();
-        let rows = self
+        // stats[claim] belongs to (prep = claim % n_preps, run = claim /
+        // n_preps); scatter into workload-major rows.
+        let mut rows: Vec<RunRow> = self
             .preps
             .iter()
             .map(|prep| RunRow {
                 prep: Arc::clone(prep),
-                stats: stats.by_ref().take(runs.len()).collect(),
+                stats: Vec::with_capacity(runs.len()),
             })
             .collect();
+        for (claim, s) in stats.into_iter().enumerate() {
+            rows[claim % n_preps].stats.push(s);
+        }
         RunMatrix { labels: runs.iter().map(|r| r.label.clone()).collect(), rows }
     }
 }

@@ -22,7 +22,7 @@ use mg_isa::{HandleCatalog, Memory, Program};
 use mg_profile::{build_cfg, profile_program, record_trace, BlockProfile, Cfg, Trace};
 use mg_uarch::{simulate, SimConfig, SimStats};
 use mg_workloads::{Input, Suite, Workload};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Functional-simulation step budget for profiling/tracing runs.
@@ -30,6 +30,13 @@ pub const STEP_BUDGET: u64 = 200_000_000;
 
 /// The maximum mini-graph size candidates are enumerated at.
 pub const ENUMERATION_SIZE: usize = 8;
+
+/// Rewritten images (each holding a full dynamic trace) retained per
+/// prep. Traces dominate memory on full-size inputs, so the cache is
+/// bounded: FIFO eviction once this many (policy, style) keys are live.
+/// Evicted images stay alive only while an in-flight run still holds
+/// their `Arc`.
+pub const IMAGE_CACHE_CAP: usize = 4;
 
 /// Builds a fresh `(Program, Memory)` image for an [`Input`].
 ///
@@ -72,7 +79,33 @@ pub struct Prep {
     // Memoized downstream artifacts (see module docs).
     selections: Mutex<HashMap<Policy, Arc<Selection>>>,
     base_trace: OnceLock<Arc<Trace>>,
-    images: Mutex<HashMap<(Policy, RewriteStyle), Arc<MgImage>>>,
+    images: Mutex<ImageCache>,
+}
+
+/// Bounded FIFO cache of rewritten images (see [`IMAGE_CACHE_CAP`]).
+#[derive(Default)]
+struct ImageCache {
+    map: HashMap<(Policy, RewriteStyle), Arc<MgImage>>,
+    order: VecDeque<(Policy, RewriteStyle)>,
+}
+
+impl ImageCache {
+    fn get(&self, key: &(Policy, RewriteStyle)) -> Option<Arc<MgImage>> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: (Policy, RewriteStyle), img: Arc<MgImage>) -> Arc<MgImage> {
+        if let Some(existing) = self.map.get(&key) {
+            return Arc::clone(existing); // first writer wins
+        }
+        while self.map.len() >= IMAGE_CACHE_CAP {
+            let oldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&oldest);
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, Arc::clone(&img));
+        img
+    }
 }
 
 impl Prep {
@@ -92,8 +125,7 @@ impl Prep {
     ) -> Prep {
         let (prog, mut mem) = build(input);
         let cfg = build_cfg(&prog);
-        let prof =
-            profile_program(&prog, &mut mem, None, STEP_BUDGET).expect("workload halts");
+        let prof = profile_program(&prog, &mut mem, None, STEP_BUDGET).expect("workload halts");
         let candidates = enumerate_candidates(&prog, &cfg, &prof, ENUMERATION_SIZE);
         Prep {
             name: name.into(),
@@ -107,7 +139,7 @@ impl Prep {
             input: *input,
             selections: Mutex::new(HashMap::new()),
             base_trace: OnceLock::new(),
-            images: Mutex::new(HashMap::new()),
+            images: Mutex::new(ImageCache::default()),
         }
     }
 
@@ -146,22 +178,21 @@ impl Prep {
         Arc::clone(self.base_trace.get_or_init(|| {
             let mut mem = self.fresh_memory();
             Arc::new(
-                record_trace(&self.prog, &mut mem, None, STEP_BUDGET)
-                    .expect("workload halts"),
+                record_trace(&self.prog, &mut mem, None, STEP_BUDGET).expect("workload halts"),
             )
         }))
     }
 
-    /// The rewritten image for `(policy, style)` with its trace, memoized.
+    /// The rewritten image for `(policy, style)` with its trace, memoized
+    /// in a bounded FIFO cache ([`IMAGE_CACHE_CAP`]).
     pub fn image(&self, policy: &Policy, style: RewriteStyle) -> Arc<MgImage> {
         let key = (policy.clone(), style);
         if let Some(img) = self.images.lock().unwrap().get(&key) {
-            return Arc::clone(img);
+            return img;
         }
         let selection = self.select(policy);
         let img = Arc::new(self.build_image(&selection, style));
-        let mut cache = self.images.lock().unwrap();
-        Arc::clone(cache.entry(key).or_insert(img))
+        self.images.lock().unwrap().insert(key, img)
     }
 
     /// Rewrites with `selection` and returns the handle image + its trace
@@ -183,7 +214,12 @@ impl Prep {
 
     /// Simulates the rewritten image of `policy` under `cfg`, reusing the
     /// cached selection, image, and trace.
-    pub fn run_policy(&self, policy: &Policy, style: RewriteStyle, cfg: &SimConfig) -> SimStats {
+    pub fn run_policy(
+        &self,
+        policy: &Policy,
+        style: RewriteStyle,
+        cfg: &SimConfig,
+    ) -> SimStats {
         let img = self.image(policy, style);
         simulate(cfg, &img.program, &img.trace, &img.catalog)
     }
@@ -205,8 +241,6 @@ impl Prep {
 pub fn by_suite<P: std::borrow::Borrow<Prep>>(preps: &[P]) -> Vec<(Suite, Vec<&Prep>)> {
     Suite::ALL
         .iter()
-        .map(|&s| {
-            (s, preps.iter().map(|p| p.borrow()).filter(|p| p.suite == s).collect())
-        })
+        .map(|&s| (s, preps.iter().map(|p| p.borrow()).filter(|p| p.suite == s).collect()))
         .collect()
 }

@@ -57,7 +57,11 @@ fn parallel_matrix_matches_sequential_exactly() {
     for (p, s) in parallel.rows.iter().zip(&sequential.rows) {
         assert_eq!(p.prep.name, s.prep.name, "row order is deterministic");
         for (label, (ps, ss)) in parallel.labels.iter().zip(p.stats.iter().zip(&s.stats)) {
-            assert_eq!(ps, ss, "{}/{label}: parallel and sequential stats diverge", p.prep.name);
+            assert_eq!(
+                ps, ss,
+                "{}/{label}: parallel and sequential stats diverge",
+                p.prep.name
+            );
         }
     }
 }
@@ -113,11 +117,8 @@ fn map_results_are_in_workload_order() {
 /// Quick mode caps simulated work through the engine's tuner.
 #[test]
 fn quick_mode_caps_ops() {
-    let engine = Engine::builder()
-        .workloads(&["bitcount"])
-        .input(Input::tiny())
-        .quick(true)
-        .build();
+    let engine =
+        Engine::builder().workloads(&["bitcount"]).input(Input::tiny()).quick(true).build();
     let tuned = engine.tune(SimConfig::baseline());
     assert_eq!(tuned.max_ops, mg_harness::QUICK_MAX_OPS);
     let matrix = engine.run(&[Run::baseline(SimConfig::baseline())]);

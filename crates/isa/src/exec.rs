@@ -97,7 +97,9 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::PcOutOfRange(pc) => write!(f, "program counter {pc} out of range"),
             ExecError::UnknownMgid(id) => write!(f, "unknown MGID {id}"),
-            ExecError::MissingCatalog => f.write_str("handle executed without a handle catalog"),
+            ExecError::MissingCatalog => {
+                f.write_str("handle executed without a handle catalog")
+            }
             ExecError::StepLimit(n) => write!(f, "exceeded step limit of {n} instructions"),
         }
     }
@@ -486,9 +488,24 @@ mod tests {
         let mut cat = HandleCatalog::new();
         let mgid = cat.add(MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Addl, a: TmplOperand::E0, b: TmplOperand::Imm(2), disp: 0 },
-                TmplInst { op: Opcode::Cmplt, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
-                TmplInst { op: Opcode::Bne, a: TmplOperand::M(1), b: TmplOperand::Imm(0), disp: 0 },
+                TmplInst {
+                    op: Opcode::Addl,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(2),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Cmplt,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::E1,
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Bne,
+                    a: TmplOperand::M(1),
+                    b: TmplOperand::Imm(0),
+                    disp: 0,
+                },
             ],
             out: Some(0),
         });

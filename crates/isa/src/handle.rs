@@ -110,9 +110,7 @@ impl MgTemplate {
     /// whole graph can execute on an ALU pipeline), allowing a terminal
     /// branch.
     pub fn is_integer_only(&self) -> bool {
-        self.ops
-            .iter()
-            .all(|t| t.op.is_single_cycle_int() || t.op.is_control())
+        self.ops.iter().all(|t| t.op.is_single_cycle_int() || t.op.is_control())
     }
 
     /// Whether the template is a pure serial dependence chain: instruction
@@ -138,10 +136,7 @@ impl MgTemplate {
     /// (vulnerable to whole-graph cache-miss replay, paper §4.3).
     pub fn has_interior_load(&self) -> bool {
         let n = self.ops.len();
-        self.ops
-            .iter()
-            .enumerate()
-            .any(|(i, t)| t.op.is_load() && i + 1 != n)
+        self.ops.iter().enumerate().any(|(i, t)| t.op.is_load() && i + 1 != n)
     }
 }
 
@@ -207,9 +202,24 @@ mod tests {
     fn mg12() -> MgTemplate {
         MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Addl, a: TmplOperand::E0, b: TmplOperand::Imm(2), disp: 0 },
-                TmplInst { op: Opcode::Cmplt, a: TmplOperand::M(0), b: TmplOperand::E1, disp: 0 },
-                TmplInst { op: Opcode::Bne, a: TmplOperand::M(1), b: TmplOperand::Imm(0), disp: -3 },
+                TmplInst {
+                    op: Opcode::Addl,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(2),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Cmplt,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::E1,
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Bne,
+                    a: TmplOperand::M(1),
+                    b: TmplOperand::Imm(0),
+                    disp: -3,
+                },
             ],
             out: Some(0),
         }
@@ -219,9 +229,24 @@ mod tests {
     fn mg34() -> MgTemplate {
         MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Ldq, a: TmplOperand::E0, b: TmplOperand::Imm(0), disp: 16 },
-                TmplInst { op: Opcode::Srl, a: TmplOperand::M(0), b: TmplOperand::Imm(14), disp: 0 },
-                TmplInst { op: Opcode::And, a: TmplOperand::M(1), b: TmplOperand::Imm(1), disp: 0 },
+                TmplInst {
+                    op: Opcode::Ldq,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(0),
+                    disp: 16,
+                },
+                TmplInst {
+                    op: Opcode::Srl,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::Imm(14),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::And,
+                    a: TmplOperand::M(1),
+                    b: TmplOperand::Imm(1),
+                    disp: 0,
+                },
             ],
             out: Some(2),
         }
@@ -250,7 +275,12 @@ mod tests {
         let t = MgTemplate {
             ops: vec![
                 TmplInst { op: Opcode::Addq, a: TmplOperand::E0, b: TmplOperand::E1, disp: 0 },
-                TmplInst { op: Opcode::Ldq, a: TmplOperand::M(0), b: TmplOperand::Imm(0), disp: 8 },
+                TmplInst {
+                    op: Opcode::Ldq,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::Imm(0),
+                    disp: 8,
+                },
             ],
             out: Some(1),
         };
@@ -281,9 +311,24 @@ mod tests {
         // op2 consumes M0 and E0: ops 0 and 1 are independent of each other.
         let t = MgTemplate {
             ops: vec![
-                TmplInst { op: Opcode::Addq, a: TmplOperand::E0, b: TmplOperand::Imm(1), disp: 0 },
-                TmplInst { op: Opcode::Subq, a: TmplOperand::E1, b: TmplOperand::Imm(1), disp: 0 },
-                TmplInst { op: Opcode::Xor, a: TmplOperand::M(0), b: TmplOperand::M(1), disp: 0 },
+                TmplInst {
+                    op: Opcode::Addq,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(1),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Subq,
+                    a: TmplOperand::E1,
+                    b: TmplOperand::Imm(1),
+                    disp: 0,
+                },
+                TmplInst {
+                    op: Opcode::Xor,
+                    a: TmplOperand::M(0),
+                    b: TmplOperand::M(1),
+                    disp: 0,
+                },
             ],
             out: Some(2),
         };

@@ -159,18 +159,39 @@ impl Inst {
 
     /// Creates a `nop`.
     pub fn nop() -> Inst {
-        Inst { op: Opcode::Nop, ra: Reg::ZERO, rb: Operand::Imm(0), rc: Reg::ZERO, disp: 0, aux: 0 }
+        Inst {
+            op: Opcode::Nop,
+            ra: Reg::ZERO,
+            rb: Operand::Imm(0),
+            rc: Reg::ZERO,
+            disp: 0,
+            aux: 0,
+        }
     }
 
     /// Creates a `pad` (rewriter padding; squashed at fetch, represents no
     /// original instruction).
     pub fn pad() -> Inst {
-        Inst { op: Opcode::Pad, ra: Reg::ZERO, rb: Operand::Imm(0), rc: Reg::ZERO, disp: 0, aux: 0 }
+        Inst {
+            op: Opcode::Pad,
+            ra: Reg::ZERO,
+            rb: Operand::Imm(0),
+            rc: Reg::ZERO,
+            disp: 0,
+            aux: 0,
+        }
     }
 
     /// Creates a `halt`.
     pub fn halt() -> Inst {
-        Inst { op: Opcode::Halt, ra: Reg::ZERO, rb: Operand::Imm(0), rc: Reg::ZERO, disp: 0, aux: 0 }
+        Inst {
+            op: Opcode::Halt,
+            ra: Reg::ZERO,
+            rb: Operand::Imm(0),
+            rc: Reg::ZERO,
+            disp: 0,
+            aux: 0,
+        }
     }
 
     /// Source registers, excluding the zero register.
@@ -197,9 +218,15 @@ impl Inst {
     pub fn dest_reg(&self) -> Option<Reg> {
         let keep = |r: Reg| (!r.is_zero()).then_some(r);
         match self.op.class() {
-            OpClass::IntAlu | OpClass::IntMul | OpClass::Load | OpClass::Handle => keep(self.rc),
+            OpClass::IntAlu | OpClass::IntMul | OpClass::Load | OpClass::Handle => {
+                keep(self.rc)
+            }
             OpClass::UncondBranch | OpClass::Jump => keep(self.rc),
-            OpClass::Store | OpClass::CondBranch | OpClass::Nop | OpClass::Pad | OpClass::Halt => None,
+            OpClass::Store
+            | OpClass::CondBranch
+            | OpClass::Nop
+            | OpClass::Pad
+            | OpClass::Halt => None,
         }
     }
 

@@ -40,9 +40,7 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte.
@@ -141,9 +139,7 @@ impl Memory {
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Memory")
-            .field("resident_pages", &self.pages.len())
-            .finish()
+        f.debug_struct("Memory").field("resident_pages", &self.pages.len()).finish()
     }
 }
 

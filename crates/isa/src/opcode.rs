@@ -44,10 +44,7 @@ impl OpClass {
 
     /// Whether instructions of this class transfer control.
     pub fn is_control(self) -> bool {
-        matches!(
-            self,
-            OpClass::CondBranch | OpClass::UncondBranch | OpClass::Jump
-        )
+        matches!(self, OpClass::CondBranch | OpClass::UncondBranch | OpClass::Jump)
     }
 }
 

@@ -77,9 +77,7 @@ fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
     if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) {
         return Ok(Operand::Reg(parse_reg(s, line)?));
     }
-    let v: i64 = s
-        .parse()
-        .map_err(|_| ParseError::BadOperand { line, text: s.to_string() })?;
+    let v: i64 = s.parse().map_err(|_| ParseError::BadOperand { line, text: s.to_string() })?;
     Ok(Operand::Imm(v))
 }
 
@@ -100,9 +98,8 @@ fn parse_mem(s: &str, line: usize) -> Result<(i64, Reg), ParseError> {
 /// A branch target: `@<index>` (absolute) or a label name.
 fn parse_target(s: &str, line: usize) -> Result<Target, ParseError> {
     if let Some(abs) = s.strip_prefix('@') {
-        let idx: usize = abs
-            .parse()
-            .map_err(|_| ParseError::BadOperand { line, text: s.to_string() })?;
+        let idx: usize =
+            abs.parse().map_err(|_| ParseError::BadOperand { line, text: s.to_string() })?;
         return Ok(Target::Abs(idx));
     }
     Ok(Target::Label(s.to_string()))
@@ -148,8 +145,7 @@ pub fn assemble(src: &str) -> Result<crate::Program, ParseError> {
             line,
             mnemonic: mnemonic.to_string(),
         })?;
-        let ops: Vec<&str> =
-            rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         let wrong = || ParseError::BadOperands { line, mnemonic: mnemonic.to_string() };
 
         match op.class() {
@@ -308,10 +304,7 @@ mod tests {
     #[test]
     fn errors_name_the_line() {
         let e = assemble("nop\nfrobnicate r1,r2,r3\n").unwrap_err();
-        assert_eq!(
-            e,
-            ParseError::UnknownOpcode { line: 2, mnemonic: "frobnicate".into() }
-        );
+        assert_eq!(e, ParseError::UnknownOpcode { line: 2, mnemonic: "frobnicate".into() });
         let e = assemble("addl r1,r2\n").unwrap_err();
         assert!(matches!(e, ParseError::BadOperands { line: 1, .. }));
         let e = assemble("ldq r2,16[r4]\n").unwrap_err();

@@ -65,9 +65,8 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             }
         }),
         (0u8..32, 0i64..1000).prop_map(|(a, t)| Inst::branch(Opcode::Bne, reg(a), t)),
-        (0u8..32, 0u8..32, 0u8..32, 0u32..2048).prop_map(|(a, b, c, id)| {
-            Inst::handle(reg(a), reg(b), reg(c), id, None)
-        }),
+        (0u8..32, 0u8..32, 0u8..32, 0u32..2048)
+            .prop_map(|(a, b, c, id)| { Inst::handle(reg(a), reg(b), reg(c), id, None) }),
         Just(Inst::nop()),
         Just(Inst::halt()),
     ]

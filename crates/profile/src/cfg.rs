@@ -119,9 +119,7 @@ pub fn build_cfg(prog: &Program) -> Cfg {
         if last {
             let b = blocks.len() as u32;
             blocks.push(BasicBlock { start, end: i + 1 });
-            for idx in start..=i {
-                block_of[idx] = b;
-            }
+            block_of[start..=i].fill(b);
             start = i + 1;
         }
     }

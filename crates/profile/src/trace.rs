@@ -103,9 +103,9 @@ mod tests {
         let load = &t.ops[3];
         assert!(!load.mem.unwrap().store);
         let b1 = &t.ops[5];
-        assert_eq!(b1.br.unwrap().taken, true);
+        assert!(b1.br.unwrap().taken);
         let b2 = &t.ops[9];
-        assert_eq!(b2.br.unwrap().taken, false);
+        assert!(!b2.br.unwrap().taken);
     }
 
     #[test]

@@ -51,11 +51,7 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.to_string(),
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
     }
 }
 

@@ -405,12 +405,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($lhs:expr, $rhs:expr) => {{
         let (lhs, rhs) = (&$lhs, &$rhs);
-        $crate::prop_assert!(
-            *lhs != *rhs,
-            "assertion failed: `{:?}` != `{:?}`",
-            lhs,
-            rhs
-        );
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: `{:?}` != `{:?}`", lhs, rhs);
     }};
 }
 

@@ -165,8 +165,7 @@ impl Btb {
                 }
             })
             .expect("BTB has at least one way");
-        self.sets[si][victim] =
-            BtbEntry { tag: pc, target, valid: true, lru: self.tick };
+        self.sets[si][victim] = BtbEntry { tag: pc, target, valid: true, lru: self.tick };
     }
 }
 

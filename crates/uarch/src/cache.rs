@@ -148,7 +148,11 @@ impl MemHierarchy {
 
     fn lower_levels(&mut self, addr: u64, now: u64, l1_lat: u32) -> AccessResult {
         if self.l2.access(addr) {
-            return AccessResult { latency: l1_lat + self.l2_lat, l1_miss: true, l2_miss: false };
+            return AccessResult {
+                latency: l1_lat + self.l2_lat,
+                l1_miss: true,
+                l2_miss: false,
+            };
         }
         // L2 miss: line moves over the quarter-frequency 16-byte bus; a
         // busy bus delays the access start.
@@ -209,13 +213,8 @@ mod tests {
 
     #[test]
     fn hierarchy_latencies() {
-        let mut m = MemHierarchy::new(
-            (1024, 2, 32, 1),
-            (1024, 2, 32, 2),
-            (8192, 4, 128, 10),
-            100,
-            32,
-        );
+        let mut m =
+            MemHierarchy::new((1024, 2, 32, 1), (1024, 2, 32, 2), (8192, 4, 128, 10), 100, 32);
         // Cold: L1 miss + L2 miss -> memory.
         let r = m.data(0x4000, 0);
         assert!(r.l1_miss && r.l2_miss);
@@ -232,13 +231,8 @@ mod tests {
 
     #[test]
     fn bus_occupancy_serializes_misses() {
-        let mut m = MemHierarchy::new(
-            (64, 1, 32, 1),
-            (64, 1, 32, 2),
-            (256, 1, 128, 10),
-            100,
-            32,
-        );
+        let mut m =
+            MemHierarchy::new((64, 1, 32, 1), (64, 1, 32, 2), (256, 1, 128, 10), 100, 32);
         let r1 = m.data(0x10000, 0);
         let r2 = m.data(0x20000, 0); // back-to-back L2 miss queues behind the bus
         assert_eq!(r1.latency, 2 + 10 + 100);
@@ -247,13 +241,8 @@ mod tests {
 
     #[test]
     fn fetch_uses_il1() {
-        let mut m = MemHierarchy::new(
-            (1024, 2, 32, 1),
-            (1024, 2, 32, 2),
-            (8192, 4, 128, 10),
-            100,
-            32,
-        );
+        let mut m =
+            MemHierarchy::new((1024, 2, 32, 1), (1024, 2, 32, 2), (8192, 4, 128, 10), 100, 32);
         let r = m.fetch(0x100000, 0);
         assert!(r.l1_miss);
         let r = m.fetch(0x100000, 200);

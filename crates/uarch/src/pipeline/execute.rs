@@ -106,7 +106,8 @@ impl Simulator<'_> {
                                 self.stats.mg_replays += 1;
                                 let data_at = slot_cycle + actual;
                                 total = data_at + sched.total_latency;
-                                out = data_at + sched.out_latency.unwrap_or(sched.total_latency);
+                                out =
+                                    data_at + sched.out_latency.unwrap_or(sched.total_latency);
                             }
                         }
                     }
@@ -134,7 +135,9 @@ impl Simulator<'_> {
             let victim = self
                 .lq
                 .iter()
-                .filter(|l| l.seq > seq && l.executed && overlap(l.addr, l.width, mem.addr, mem.width))
+                .filter(|l| {
+                    l.seq > seq && l.executed && overlap(l.addr, l.width, mem.addr, mem.width)
+                })
                 .map(|l| (l.seq, l.pc, l.trace_idx))
                 .min();
             if let Some((vseq, vpc, vtrace)) = victim {

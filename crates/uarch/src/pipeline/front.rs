@@ -5,7 +5,7 @@
 
 use super::entries::{FrontOp, Kind, LqEntry, RobEntry, SqEntry};
 use super::{Simulator, MAX_FETCH_LINES};
-use mg_isa::{Opcode, OpClass};
+use mg_isa::{OpClass, Opcode};
 
 impl Simulator<'_> {
     // --------------------------------------------------------- dispatch --
@@ -89,11 +89,8 @@ impl Simulator<'_> {
             let represents = match kind {
                 Kind::Handle => {
                     let mgid = inst.mgid().expect("handle has MGID");
-                    self.mgt
-                        .get(mgid)
-                        .expect("handle refers to a packed MGT entry")
-                        .slots
-                        .len() as u32
+                    self.mgt.get(mgid).expect("handle refers to a packed MGT entry").slots.len()
+                        as u32
                 }
                 _ => 1,
             };

@@ -35,11 +35,8 @@ impl Simulator<'_> {
             }
             // Operand readiness (including the scheduler-loop latency
             // already folded into preg_ready at the producer's issue).
-            let ready = e
-                .srcs
-                .iter()
-                .flatten()
-                .all(|&p| self.preg_ready[p as usize] <= self.now);
+            let ready =
+                e.srcs.iter().flatten().all(|&p| self.preg_ready[p as usize] <= self.now);
             if !ready {
                 idx += 1;
                 continue;
@@ -118,7 +115,8 @@ impl Simulator<'_> {
                         } else {
                             let fu0 = fu_index(sched.fu0);
                             let ring = (self.now as usize) % RESV_RING;
-                            let fu0_ok = used[fu0] + self.resv_fu[ring][fu0] < cap(fu0, &self.cfg);
+                            let fu0_ok =
+                                used[fu0] + self.resv_fu[ring][fu0] < cap(fu0, &self.cfg);
                             let window_ok = sched.fubmp().all(|(c, f)| {
                                 let r = ((self.now + c as u64) as usize) % RESV_RING;
                                 self.resv_fu[r][fu_index(f)] < cap(fu_index(f), &self.cfg)

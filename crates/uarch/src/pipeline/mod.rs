@@ -110,7 +110,13 @@ impl<'a> Simulator<'a> {
             btb: Btb::paper_2k(),
             ras: Ras::new(16),
             storesets: StoreSets::default_size(),
-            mem: MemHierarchy::new(cfg.il1, cfg.dl1, cfg.l2, cfg.mem_latency, cfg.mem_bus_occupancy),
+            mem: MemHierarchy::new(
+                cfg.il1,
+                cfg.dl1,
+                cfg.l2,
+                cfg.mem_latency,
+                cfg.mem_bus_occupancy,
+            ),
             events: BTreeMap::new(),
             resv_fu: vec![[0; 4]; RESV_RING],
             resv_wb: vec![0; RESV_RING],

@@ -10,7 +10,12 @@ use mg_uarch::{simulate, SimConfig, SimStats};
 
 /// Runs baseline image on `cfg_base` and the rewritten image on `cfg_mg`,
 /// returning (baseline, mini-graph) stats.
-fn compare(prog: &Program, policy: &Policy, cfg_base: &SimConfig, cfg_mg: &SimConfig) -> (SimStats, SimStats) {
+fn compare(
+    prog: &Program,
+    policy: &Policy,
+    cfg_base: &SimConfig,
+    cfg_mg: &SimConfig,
+) -> (SimStats, SimStats) {
     let ex = extract(prog, &mut Memory::new(), policy, 50_000_000).expect("profiling succeeds");
     let rw = rewrite(prog, &ex.selection, RewriteStyle::NopPadded);
 
@@ -53,12 +58,8 @@ fn bandwidth_bound_program() -> Program {
 #[test]
 fn integer_mini_graphs_amplify_bandwidth() {
     let p = bandwidth_bound_program();
-    let (base, mg) = compare(
-        &p,
-        &Policy::integer(),
-        &SimConfig::baseline(),
-        &SimConfig::mg_integer(),
-    );
+    let (base, mg) =
+        compare(&p, &Policy::integer(), &SimConfig::baseline(), &SimConfig::mg_integer());
     let speedup = base.cycles as f64 / mg.cycles as f64;
     assert!(mg.handles > 0, "handles must be planted");
     assert!(mg.handle_coverage() > 0.4, "coverage {:.2}", mg.handle_coverage());
@@ -88,12 +89,8 @@ fn collapsing_alu_pipelines_add_latency_reduction() {
     a.halt();
     let p = a.finish().unwrap();
 
-    let (_, plain) = compare(
-        &p,
-        &Policy::integer(),
-        &SimConfig::baseline(),
-        &SimConfig::mg_integer(),
-    );
+    let (_, plain) =
+        compare(&p, &Policy::integer(), &SimConfig::baseline(), &SimConfig::mg_integer());
     let (base, collapsing) = compare(
         &p,
         &Policy::integer(),
@@ -139,7 +136,8 @@ fn integer_memory_graphs_extend_coverage() {
     let p = a.finish().unwrap();
 
     let ex_int = extract(&p, &mut Memory::new(), &Policy::integer(), 10_000_000).unwrap();
-    let ex_mem = extract(&p, &mut Memory::new(), &Policy::integer_memory(), 10_000_000).unwrap();
+    let ex_mem =
+        extract(&p, &mut Memory::new(), &Policy::integer_memory(), 10_000_000).unwrap();
     assert!(
         ex_mem.selection.saved_slots() > ex_int.selection.saved_slots(),
         "integer-memory policy must cover more: {} vs {}",
@@ -213,7 +211,8 @@ fn mini_graphs_tolerate_pipelined_scheduler() {
     let mut mg_cfg = SimConfig::mg_integer();
     mg_cfg.sched_loop = 2;
     let (base2, mg2) = compare(&p, &Policy::integer(), &base_cfg, &mg_cfg);
-    let (base1, _) = compare(&p, &Policy::integer(), &SimConfig::baseline(), &SimConfig::mg_integer());
+    let (base1, _) =
+        compare(&p, &Policy::integer(), &SimConfig::baseline(), &SimConfig::mg_integer());
 
     let base_loss = base2.cycles as f64 / base1.cycles as f64;
     assert!(base_loss > 1.3, "2-cycle scheduler should hurt the baseline chain code");

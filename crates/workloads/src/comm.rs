@@ -14,8 +14,8 @@ fn write_gf_tables(mem: &mut Memory, base: u64) {
     let mut alog = [0u8; 512];
     let mut log = [0u8; 256];
     let mut x: u32 = 1;
-    for i in 0..255 {
-        alog[i] = x as u8;
+    for (i, a) in alog.iter_mut().enumerate().take(255) {
+        *a = x as u8;
         log[x as usize] = i as u8;
         x <<= 1;
         if x & 0x100 != 0 {
@@ -54,6 +54,7 @@ pub fn reed_enc(input: &Input) -> (Program, Memory) {
     a.li(reg(21), DATA3 as i64); // log table
     a.li(reg(22), (DATA3 + 256) as i64); // alog table
     a.li(reg(23), DATA2 as i64); // parity bytes (4)
+
     // Clear parity.
     a.stl(Reg::ZERO, 0, reg(23));
     a.li(reg(28), MSG as i64);
@@ -64,6 +65,7 @@ pub fn reed_enc(input: &Input) -> (Program, Memory) {
     a.beq(fb, "shift_only");
     a.addq(reg(21), fb, t);
     a.ldbu(lg, 0, t); // log[feedback]
+
     // Update each of the 4 parity bytes: p[i] = p[i+1] ^ alog[lg + g[i]].
     for i in 0..4i64 {
         a.addq(reg(23), 64 + i, t);

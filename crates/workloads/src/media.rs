@@ -365,7 +365,15 @@ pub fn epic_filter(input: &Input) -> (Program, Memory) {
     let s = reg(7);
     a.ldl(reg(1), 0, reg(20));
     a.mull(reg(1), reg(8), s);
-    for (off, c) in [(4i64, reg(9)), (8, reg(10)), (12, reg(11)), (16, reg(11)), (20, reg(10)), (24, reg(9)), (28, reg(8))] {
+    for (off, c) in [
+        (4i64, reg(9)),
+        (8, reg(10)),
+        (12, reg(11)),
+        (16, reg(11)),
+        (20, reg(10)),
+        (24, reg(9)),
+        (28, reg(8)),
+    ] {
         a.ldl(reg(1), off, reg(20));
         a.mull(reg(1), c, reg(2));
         a.addq(s, reg(2), s);

@@ -131,12 +131,7 @@ pub fn gcc_expr(input: &Input) -> (Program, Memory) {
     a.stq(v, 0, adr);
     a.lda(reg(22), 8, reg(22));
     a.br("next");
-    for (label, make) in [
-        ("op_add", 1u8),
-        ("op_sub", 2),
-        ("op_and", 3),
-        ("op_xor", 4),
-    ] {
+    for (label, make) in [("op_add", 1u8), ("op_sub", 2), ("op_and", 3), ("op_xor", 4)] {
         a.label(label);
         a.addq(reg(21), reg(22), adr);
         a.ldq(b, -8, adr);
@@ -282,7 +277,7 @@ pub fn parser_tok(input: &Input) -> (Program, Memory) {
     }
     // Class table: 1 for letters, 0 otherwise.
     for c in 0..256u64 {
-        let is_alpha = (b'a'..=b'z').contains(&(c as u8)) || (b'A'..=b'Z').contains(&(c as u8));
+        let is_alpha = (c as u8).is_ascii_lowercase() || (c as u8).is_ascii_uppercase();
         mem.write_u8(DATA2 + c, is_alpha as u8);
     }
 

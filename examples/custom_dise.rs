@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // binary-rewriter side of a DISE-aware toolchain.
     let ex = extract(&prog, &mut Memory::new(), &Policy::integer_memory(), 10_000_000)?;
     let rw = rewrite(&prog, &ex.selection, RewriteStyle::NopPadded);
-    println!("selected {} template(s), planted {} handle(s)", ex.selection.catalog.len(), rw.handles);
+    println!(
+        "selected {} template(s), planted {} handle(s)",
+        ex.selection.catalog.len(),
+        rw.handles
+    );
 
     // Express each template as the production the executable's `.dise`
     // section would carry, push it through the MGPP, and record the MGTT
@@ -60,7 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The portability path: a mini-graph-oblivious processor expands every
     // handle back into singletons. Architectural state must match the
     // original program exactly.
-    let engine = expansion_engine(&ex.selection.catalog, vec![reg(24), reg(25), reg(26), reg(27)]);
+    let engine =
+        expansion_engine(&ex.selection.catalog, vec![reg(24), reg(25), reg(26), reg(27)]);
     let expanded = engine.expand_image(&rw.program)?;
     println!(
         "\nexpanded image: {} instructions (handles restored to sequences)",

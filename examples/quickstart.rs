@@ -55,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sched = build_schedule(template, &SimConfig::mg_integer().mgt_config());
         println!(
             "  MGID {mgid}: {} (LAT {:?}, FU0 {}, total {} cycles)",
-            template,
-            sched.out_latency,
-            sched.fu0,
-            sched.total_latency
+            template, sched.out_latency, sched.fu0, sched.total_latency
         );
         for line in sched.banks(template).lines() {
             println!("    {line}");

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let matrix = engine.run(&[
         Run::baseline(cap(SimConfig::baseline())),
-        Run::mini_graph(policy.clone(), RewriteStyle::NopPadded, cap(SimConfig::mg_integer_memory())),
+        Run::mini_graph(
+            policy.clone(),
+            RewriteStyle::NopPadded,
+            cap(SimConfig::mg_integer_memory()),
+        ),
     ]);
 
     println!(

@@ -70,14 +70,15 @@ fn amplification_accounting_identity() {
 #[test]
 fn timing_simulation_consistency() {
     let policy = Policy::integer_memory();
-    let engine = Engine::builder()
-        .workloads(&["rgba.conv"])
-        .input(Input::tiny())
-        .quick(false)
-        .build();
+    let engine =
+        Engine::builder().workloads(&["rgba.conv"]).input(Input::tiny()).quick(false).build();
     let runs = [
         Run::baseline(SimConfig::baseline()),
-        Run::mini_graph(policy.clone(), RewriteStyle::NopPadded, SimConfig::mg_integer_memory()),
+        Run::mini_graph(
+            policy.clone(),
+            RewriteStyle::NopPadded,
+            SimConfig::mg_integer_memory(),
+        ),
     ];
 
     let m1 = engine.run(&runs);

@@ -10,7 +10,7 @@
 //! and memory results.
 
 use mini_graphs::core::{extract, rewrite, Policy, RewriteStyle};
-use mini_graphs::isa::{reg, Asm, Memory, Opcode, Program, Reg};
+use mini_graphs::isa::{reg, Asm, Memory, Opcode, Program};
 use mini_graphs::profile::run_program;
 use proptest::prelude::*;
 
@@ -89,7 +89,10 @@ fn build_program(ops: &[GenOp], iters: i64) -> Program {
     a.finish().expect("generated program assembles")
 }
 
-fn final_state(prog: &Program, catalog: Option<&mini_graphs::isa::HandleCatalog>) -> ([u64; 32], Vec<u64>) {
+fn final_state(
+    prog: &Program,
+    catalog: Option<&mini_graphs::isa::HandleCatalog>,
+) -> ([u64; 32], Vec<u64>) {
     let mut mem = Memory::new();
     let r = run_program(prog, &mut mem, catalog, 10_000_000).expect("halts");
     let mut observed = Vec::new();
