@@ -7,29 +7,14 @@
 //! (the solid and striped bars of the paper's Figure 6). The MGT holds
 //! 512 application-specific mini-graphs of up to 4 instructions (§6.1).
 
-use mg_bench::{gmean, CliArgs, Run, Table};
-use mg_core::{Policy, RewriteStyle};
-use mg_uarch::SimConfig;
+use mg_bench::experiments::fig6_runs;
+use mg_bench::{gmean, CliArgs, Table};
+use mg_core::Policy;
 
 fn main() {
     let engine = CliArgs::parse().engine().build();
 
-    let style = RewriteStyle::NopPadded;
-    let runs = [
-        Run::baseline(SimConfig::baseline()),
-        Run::mini_graph(Policy::integer(), style, SimConfig::mg_integer()).label("int"),
-        Run::mini_graph(Policy::integer(), style, SimConfig::mg_integer().with_collapsing())
-            .label("int+coll"),
-        Run::mini_graph(Policy::integer_memory(), style, SimConfig::mg_integer_memory())
-            .label("intmem"),
-        Run::mini_graph(
-            Policy::integer_memory(),
-            style,
-            SimConfig::mg_integer_memory().with_collapsing(),
-        )
-        .label("intmem+coll"),
-    ];
-    let matrix = engine.run(&runs);
+    let matrix = engine.run(&fig6_runs());
 
     println!("== Figure 6: speedup over 6-wide baseline (512-entry MGT, max size 4) ==");
     for (suite, members) in matrix.by_suite() {

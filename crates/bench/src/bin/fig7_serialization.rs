@@ -8,55 +8,15 @@
 //! the suite means. With `--best`, also reports the per-benchmark best
 //! policy combination (§6.2: average gains rise to 3/14/9/11%).
 
-use mg_bench::{gmean, CliArgs, Run, Table};
-use mg_core::{Policy, RewriteStyle};
-use mg_uarch::SimConfig;
-
-fn int_policies() -> Vec<(&'static str, Policy)> {
-    vec![
-        ("int", Policy::integer()),
-        ("int -ext", Policy { allow_external_serial: false, ..Policy::integer() }),
-        ("int -int", Policy { allow_internal_parallel: false, ..Policy::integer() }),
-        (
-            "int -both",
-            Policy {
-                allow_external_serial: false,
-                allow_internal_parallel: false,
-                ..Policy::integer()
-            },
-        ),
-    ]
-}
-
-fn mem_policies() -> Vec<(&'static str, Policy)> {
-    vec![
-        ("intmem", Policy::integer_memory()),
-        (
-            "intmem -serial",
-            Policy {
-                allow_external_serial: false,
-                allow_internal_parallel: false,
-                ..Policy::integer_memory()
-            },
-        ),
-        (
-            "intmem -serial -replay",
-            Policy {
-                allow_external_serial: false,
-                allow_internal_parallel: false,
-                allow_interior_loads: false,
-                ..Policy::integer_memory()
-            },
-        ),
-    ]
-}
+use mg_bench::experiments::{fig7_int_policies, fig7_runs, FIG7_FOCUS};
+use mg_bench::{gmean, CliArgs, Table};
 
 fn main() {
     let args = CliArgs::parse();
     // The paper's six focus benchmarks, by behavioural analogue. Only
     // `--best` (the §6.2 suite sweep) needs every workload; the default
     // report simulates just the focus set.
-    let focus = ["gsm.toast", "mpeg2.idct", "reed.enc", "mcf.netw", "sha.rounds", "adpcm.enc"];
+    let focus = FIG7_FOCUS;
     let mut builder = args.engine();
     if !args.best {
         builder = builder.workloads(&focus);
@@ -64,19 +24,7 @@ fn main() {
     let engine = builder.build();
 
     // One matrix serves both reports: baseline + all seven ablations.
-    let mut runs = vec![Run::baseline(SimConfig::baseline())];
-    for (name, policy) in int_policies() {
-        runs.push(
-            Run::mini_graph(policy, RewriteStyle::NopPadded, SimConfig::mg_integer())
-                .label(name),
-        );
-    }
-    for (name, policy) in mem_policies() {
-        runs.push(
-            Run::mini_graph(policy, RewriteStyle::NopPadded, SimConfig::mg_integer_memory())
-                .label(name),
-        );
-    }
+    let runs = fig7_runs();
     let matrix = engine.run(&runs);
 
     println!("== Figure 7: serialization and replay ablation (speedup over baseline) ==");
@@ -102,7 +50,7 @@ fn main() {
 
     if args.best {
         println!("\n== §6.2: best policy combination per benchmark (suite gmeans) ==");
-        let unres_col = 1 + int_policies().len(); // the unrestricted "intmem" run
+        let unres_col = 1 + fig7_int_policies().len(); // the unrestricted "intmem" run
         let mut table = Table::new(&["suite", "unrestricted", "best-per-bench"]);
         for (suite, members) in matrix.by_suite() {
             let mut unrestricted = Vec::new();

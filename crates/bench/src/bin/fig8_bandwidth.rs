@@ -7,50 +7,13 @@
 //! ports) with and without mini-graphs; and a 2-cycle (pipelined)
 //! scheduler with and without mini-graphs.
 
-use mg_bench::{gmean, CliArgs, Run, Table};
-use mg_core::{Policy, RewriteStyle};
-use mg_uarch::SimConfig;
-
-fn four_wide() -> SimConfig {
-    let mut c = SimConfig::baseline().with_front_width(4);
-    c.issue_width = 4;
-    c.load_ports = 1;
-    c
-}
-
-fn four_wide_six_exec() -> SimConfig {
-    // "can execute 6 instructions per cycle, including 2 loads".
-    SimConfig::baseline().with_front_width(4)
-}
-
-fn two_cycle_sched() -> SimConfig {
-    let mut c = SimConfig::baseline();
-    c.sched_loop = 2;
-    c
-}
-
-fn with_mg(mut cfg: SimConfig) -> SimConfig {
-    cfg.mg = mg_uarch::MgSupport::IntegerMemory;
-    cfg
-}
+use mg_bench::experiments::fig8_bandwidth_runs;
+use mg_bench::{gmean, CliArgs, Table};
 
 fn main() {
     let engine = CliArgs::parse().engine().build();
 
-    let mg = |cfg: SimConfig, label: &str| {
-        Run::mini_graph(Policy::integer_memory(), RewriteStyle::NopPadded, with_mg(cfg))
-            .label(label)
-    };
-    let runs = [
-        Run::baseline(SimConfig::baseline()).label("6w"),
-        mg(SimConfig::baseline(), "6w+mg"),
-        Run::baseline(four_wide()).label("4w"),
-        mg(four_wide(), "4w+mg"),
-        Run::baseline(four_wide_six_exec()).label("4w6x"),
-        mg(four_wide_six_exec(), "4w6x+mg"),
-        Run::baseline(two_cycle_sched()).label("2cyc"),
-        mg(two_cycle_sched(), "2cyc+mg"),
-    ];
+    let runs = fig8_bandwidth_runs();
     let matrix = engine.run(&runs);
 
     println!("== Figure 8 (bottom): bandwidth / scheduler-latency reductions ==");

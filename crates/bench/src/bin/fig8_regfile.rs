@@ -5,11 +5,8 @@
 //! baseline. The paper's claim: mini-graphs compensate — and often
 //! over-compensate — for a 40% reduction in in-flight registers.
 
-use mg_bench::{gmean, CliArgs, Run, Table};
-use mg_core::{Policy, RewriteStyle};
-use mg_uarch::SimConfig;
-
-const REGS: [usize; 4] = [164, 144, 124, 104];
+use mg_bench::experiments::{fig8_regfile_runs, REGFILE_SIZES as REGS};
+use mg_bench::{gmean, CliArgs, Table};
 
 /// Per-size accumulators: (regs, baseline, int, intmem speedups).
 type SizeMeans = (usize, Vec<f64>, Vec<f64>, Vec<f64>);
@@ -18,31 +15,7 @@ fn main() {
     let engine = CliArgs::parse().engine().build();
 
     // Column 0 is the reference; then (baseline, int, intmem) per size.
-    let style = RewriteStyle::NopPadded;
-    let mut runs = vec![Run::baseline(SimConfig::baseline())];
-    for &regs in &REGS {
-        runs.push(
-            Run::baseline(SimConfig::baseline().with_phys_regs(regs))
-                .label(format!("base@{regs}")),
-        );
-        runs.push(
-            Run::mini_graph(
-                Policy::integer(),
-                style,
-                SimConfig::mg_integer().with_phys_regs(regs),
-            )
-            .label(format!("int@{regs}")),
-        );
-        runs.push(
-            Run::mini_graph(
-                Policy::integer_memory(),
-                style,
-                SimConfig::mg_integer_memory().with_phys_regs(regs),
-            )
-            .label(format!("intmem@{regs}")),
-        );
-    }
-    let matrix = engine.run(&runs);
+    let matrix = engine.run(&fig8_regfile_runs());
 
     println!("== Figure 8 (top): performance vs physical register file size ==");
     println!("   (all numbers relative to the 164-register baseline)");

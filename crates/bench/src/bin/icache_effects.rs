@@ -7,30 +7,15 @@
 //! that SPECint — with the largest instruction footprints — is the only
 //! suite with a noticeable additional gain.
 
-use mg_bench::{gmean, CliArgs, Run, Table};
-use mg_core::{Policy, RewriteStyle};
-use mg_uarch::SimConfig;
+use mg_bench::experiments::{icache_policy, icache_runs};
+use mg_bench::{gmean, CliArgs, Table};
+use mg_core::RewriteStyle;
 
 fn main() {
     let engine = CliArgs::parse().engine().build();
 
-    let policy = Policy::integer_memory();
-    let runs = [
-        Run::baseline(SimConfig::baseline()),
-        Run::mini_graph(
-            policy.clone(),
-            RewriteStyle::NopPadded,
-            SimConfig::mg_integer_memory(),
-        )
-        .label("padded"),
-        Run::mini_graph(
-            policy.clone(),
-            RewriteStyle::Compressed,
-            SimConfig::mg_integer_memory(),
-        )
-        .label("compressed"),
-    ];
-    let matrix = engine.run(&runs);
+    let policy = icache_policy();
+    let matrix = engine.run(&icache_runs());
 
     println!("== §6.2: instruction-cache effects (nop-padded vs compressed images) ==");
     for (suite, members) in matrix.by_suite() {

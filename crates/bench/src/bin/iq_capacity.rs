@@ -6,28 +6,13 @@
 //! configurations at 50/40/30/20 issue-queue entries, relative to the
 //! 50-entry baseline.
 
-use mg_bench::{gmean, CliArgs, Run, Table};
-use mg_core::{Policy, RewriteStyle};
-use mg_uarch::SimConfig;
-
-const SIZES: [usize; 4] = [50, 40, 30, 20];
+use mg_bench::experiments::{iq_capacity_runs, IQ_SIZES as SIZES};
+use mg_bench::{gmean, CliArgs, Table};
 
 fn main() {
     let engine = CliArgs::parse().engine().build();
 
-    let mut runs = vec![Run::baseline(SimConfig::baseline())];
-    for &iq in &SIZES {
-        let mut b_cfg = SimConfig::baseline();
-        b_cfg.iq_size = iq;
-        let mut m_cfg = SimConfig::mg_integer_memory();
-        m_cfg.iq_size = iq;
-        runs.push(Run::baseline(b_cfg).label(format!("base@{iq}")));
-        runs.push(
-            Run::mini_graph(Policy::integer_memory(), RewriteStyle::NopPadded, m_cfg)
-                .label(format!("intmem@{iq}")),
-        );
-    }
-    let matrix = engine.run(&runs);
+    let matrix = engine.run(&iq_capacity_runs());
 
     println!("== §6.3: performance vs issue-queue size (relative to 50-entry baseline) ==");
     for (suite, members) in matrix.by_suite() {

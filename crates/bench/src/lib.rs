@@ -1,7 +1,10 @@
 //! Experiment crate: the per-figure binaries (`fig5_coverage`,
 //! `fig6_performance`, `fig7_serialization`, `fig8_regfile`,
-//! `fig8_bandwidth`, `robustness`, `icache_effects`, `iq_capacity`) and
-//! the criterion benches.
+//! `fig8_bandwidth`, `robustness`, `icache_effects`, `iq_capacity`),
+//! the `perf_report` benchmark driver (times those sweeps and writes
+//! `BENCH_pipeline.json`; see `EXPERIMENTS.md`), and the criterion
+//! benches. The run matrices the binaries and `perf_report` share live
+//! in [`experiments`].
 //!
 //! Each binary regenerates one table/figure of the paper's evaluation;
 //! `EXPERIMENTS.md` records the measured output next to the paper's
@@ -13,5 +16,7 @@
 //!
 //! All binaries accept `--quick` (or `MG_QUICK=1`) to cap simulated
 //! operations per run, and `--threads N` to bound the fan-out.
+
+pub mod experiments;
 
 pub use mg_harness::*;

@@ -8,11 +8,38 @@
 //! candidates; weights are re-adjusted every iteration. The process stops
 //! when the candidate list is exhausted or the MGT capacity (template
 //! limit) is reached.
+//!
+//! # Determinism and the tie-break order
+//!
+//! Template groups are formed in **first-appearance order** (the order
+//! instances occur in the candidate list), never in hash-iteration order.
+//! Each greedy round picks the group with the strictly largest current
+//! benefit, breaking ties by position in a *swap-filled* working list:
+//! the list starts in group order, and a selected group's slot is
+//! back-filled by the last live group (the historical `Vec::swap_remove`
+//! discipline). Both rules are part of the output contract — selections
+//! feed program rewriting, so the golden-stats tests pin them down.
+//!
+//! # Inner-loop data structures
+//!
+//! The greedy loop used to rescan every (group × instance × member) per
+//! round. [`GreedyPicker`] replaces that with
+//!
+//! * a dense **bitset** of taken static-instruction indices (instead of a
+//!   `HashMap<usize, ()>` per program),
+//! * an instruction-index → overlapping-instances adjacency, so taking an
+//!   instruction **incrementally** invalidates exactly the candidates it
+//!   kills and debits their groups' benefits, and
+//! * a **lazy max-heap** of `(benefit, position)` claims, re-validated on
+//!   pop: benefits only decrease, so a popped claim that still matches
+//!   the group's current benefit and position is the true maximum; a
+//!   stale claim is replaced by a fresh one and the pop retries.
 
 use crate::minigraph::MiniGraph;
 use crate::policy::Policy;
 use mg_isa::{HandleCatalog, MgTemplate};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// One selected mini-graph instance with its assigned MGID.
 #[derive(Clone, Debug)]
@@ -55,45 +82,223 @@ impl Selection {
     }
 }
 
+/// Dense bitset over static-instruction indices: the "already a member of
+/// a selected mini-graph" set.
+struct TakenSet {
+    words: Vec<u64>,
+}
+
+impl TakenSet {
+    fn new(universe: usize) -> TakenSet {
+        TakenSet { words: vec![0; universe.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+}
+
+/// The incremental greedy core shared by [`select`] and [`select_domain`].
+///
+/// Instances are identified by index into a caller-held pool; groups by
+/// index in first-appearance order. Members live in a dense `0..universe`
+/// index space (multi-program callers offset each program's indices).
+struct GreedyPicker<'a> {
+    /// Per group: its instances (pool indices) in pool order.
+    groups: Vec<Vec<u32>>,
+    /// Per group: summed benefit over still-valid instances.
+    benefit: Vec<u64>,
+    /// Per group: still a pick candidate (not yet selected).
+    live: Vec<bool>,
+    /// Per group: current position in the swap-filled working list.
+    pos: Vec<usize>,
+    /// Inverse of `pos` over live groups: `slot[p]` is the group at `p`.
+    slot: Vec<usize>,
+    /// Live-group count: `slot[..live_n]` is the working list.
+    live_n: usize,
+    /// Per instance: owning group.
+    inst_group: Vec<u32>,
+    /// Per instance: `(n-1)·f` benefit.
+    inst_benefit: Vec<u64>,
+    /// Per instance: member instruction indices (ascending).
+    inst_members: Vec<&'a [usize]>,
+    /// Per instance: offset of its program's slice of the member space.
+    inst_offset: Vec<usize>,
+    /// Per instance: not yet consumed or overlapped by a selected one.
+    valid: Vec<bool>,
+    /// Member index → instances containing it.
+    member_map: Vec<Vec<u32>>,
+    /// Taken member instructions.
+    taken: TakenSet,
+    /// Lazy claims: `(benefit, Reverse(position), group)`.
+    heap: BinaryHeap<(u64, Reverse<usize>, usize)>,
+}
+
+impl<'a> GreedyPicker<'a> {
+    /// Builds the picker. `instances` yields, in pool order, each
+    /// instance's `(members, member-space offset, benefit)`; `group_of`
+    /// assigns each to a group id `< n_groups` (groups must be numbered in
+    /// first-appearance order). `universe` bounds `offset + member`.
+    fn new(
+        n_groups: usize,
+        universe: usize,
+        instances: impl Iterator<Item = (&'a [usize], usize, u64)>,
+        group_of: &[u32],
+    ) -> GreedyPicker<'a> {
+        let mut picker = GreedyPicker {
+            groups: vec![Vec::new(); n_groups],
+            benefit: vec![0; n_groups],
+            live: vec![true; n_groups],
+            pos: (0..n_groups).collect(),
+            slot: (0..n_groups).collect(),
+            live_n: n_groups,
+            inst_group: group_of.to_vec(),
+            inst_benefit: Vec::new(),
+            inst_members: Vec::new(),
+            inst_offset: Vec::new(),
+            valid: Vec::new(),
+            member_map: vec![Vec::new(); universe],
+            taken: TakenSet::new(universe),
+            heap: BinaryHeap::new(),
+        };
+        for (ii, (members, offset, benefit)) in instances.enumerate() {
+            let gi = group_of[ii] as usize;
+            picker.groups[gi].push(ii as u32);
+            picker.benefit[gi] += benefit;
+            picker.inst_benefit.push(benefit);
+            picker.inst_members.push(members);
+            picker.inst_offset.push(offset);
+            picker.valid.push(true);
+            for &m in members {
+                picker.member_map[offset + m].push(ii as u32);
+            }
+        }
+        for gi in 0..n_groups {
+            if picker.benefit[gi] > 0 {
+                picker.heap.push((picker.benefit[gi], Reverse(gi), gi));
+            }
+        }
+        picker
+    }
+
+    /// The next greedy pick: the live group with the strictly largest
+    /// current benefit, ties broken by working-list position. `None` when
+    /// every remaining group has zero benefit.
+    fn pick(&mut self) -> Option<usize> {
+        while let Some((b, Reverse(p), gi)) = self.heap.pop() {
+            if !self.live[gi] {
+                continue;
+            }
+            if b == self.benefit[gi] && p == self.pos[gi] {
+                return Some(gi);
+            }
+            // Stale claim: benefits only decrease, so every other claim is
+            // an upper bound of its group and the refreshed one re-enters
+            // fairly.
+            if self.benefit[gi] > 0 {
+                self.heap.push((self.benefit[gi], Reverse(self.pos[gi]), gi));
+            }
+        }
+        None
+    }
+
+    /// Consumes group `gi`: takes every still-valid instance (in pool
+    /// order, feeding each to `chosen`), marks its members taken,
+    /// invalidates overlapping instances, and debits their groups'
+    /// benefits. Finishes with the swap-fill that keeps the working-list
+    /// tie-break order.
+    fn consume(&mut self, gi: usize, mut chosen: impl FnMut(u32)) {
+        self.live[gi] = false;
+        for k in 0..self.groups[gi].len() {
+            let ii = self.groups[gi][k] as usize;
+            if !self.valid[ii] {
+                continue; // overlapped by an earlier pick (or sibling)
+            }
+            self.valid[ii] = false;
+            let offset = self.inst_offset[ii];
+            for &m in self.inst_members[ii] {
+                let g = offset + m;
+                debug_assert!(!self.taken.contains(g), "valid instance has a taken member");
+                self.taken.insert(g);
+                for &jj in &self.member_map[g] {
+                    let jj = jj as usize;
+                    if !self.valid[jj] {
+                        continue;
+                    }
+                    self.valid[jj] = false;
+                    let g2 = self.inst_group[jj] as usize;
+                    if self.live[g2] {
+                        self.benefit[g2] -= self.inst_benefit[jj];
+                    }
+                }
+            }
+            chosen(ii as u32);
+        }
+        // Swap-fill: the last live group takes the selected slot. Its
+        // position key just changed, so it needs a fresh heap claim (the
+        // old, larger-position claims now under-rank it).
+        let p = self.pos[gi];
+        let moved = self.slot[self.live_n - 1];
+        if moved != gi {
+            self.slot[p] = moved;
+            self.pos[moved] = p;
+            if self.benefit[moved] > 0 {
+                self.heap.push((self.benefit[moved], Reverse(p), moved));
+            }
+        }
+        self.live_n -= 1;
+    }
+}
+
+/// Groups `templates` (in iteration order) by equality, returning each
+/// item's group id plus one representative index per group. Groups are
+/// numbered in first-appearance order — never hash-iteration order — so
+/// greedy tie-breaking is reproducible.
+fn group_by_template<'a>(
+    templates: impl Iterator<Item = &'a MgTemplate>,
+) -> (Vec<u32>, Vec<usize>) {
+    let mut index: HashMap<&MgTemplate, u32> = HashMap::new();
+    let mut group_of = Vec::new();
+    let mut rep = Vec::new();
+    for (i, t) in templates.enumerate() {
+        let next = rep.len() as u32;
+        let gi = *index.entry(t).or_insert_with(|| {
+            rep.push(i);
+            next
+        });
+        group_of.push(gi);
+    }
+    (group_of, rep)
+}
+
 /// Selects mini-graphs for one program from `candidates` under `policy`.
 pub fn select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
     let instances: Vec<&MiniGraph> = candidates.iter().filter(|c| policy.admits(c)).collect();
-    let groups = group_by_template(&instances);
+    let (group_of, rep) = group_by_template(instances.iter().map(|c| &c.template));
+    let universe =
+        instances.iter().map(|c| c.members.last().copied().unwrap_or(0) + 1).max().unwrap_or(0);
+    let mut picker = GreedyPicker::new(
+        rep.len(),
+        universe,
+        instances.iter().map(|c| (c.members.as_slice(), 0, c.benefit())),
+        &group_of,
+    );
 
-    let mut taken_insts: HashMap<usize, ()> = HashMap::new();
     let mut selection = Selection::default();
-    let mut mgid_of: HashMap<&MgTemplate, u32> = HashMap::new();
-    let mut remaining: Vec<&TemplateGroup> = groups.iter().collect();
-
     while selection.catalog.len() < policy.capacity {
-        // Re-adjust weights: benefit over still-available instances.
-        let mut best: Option<(usize, u64)> = None;
-        for (gi, g) in remaining.iter().enumerate() {
-            let b: u64 = g
-                .instances
-                .iter()
-                .filter(|inst| inst.members.iter().all(|m| !taken_insts.contains_key(m)))
-                .map(|inst| inst.benefit())
-                .sum();
-            if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
-                best = Some((gi, b));
-            }
-        }
-        let Some((gi, _)) = best else { break };
-        let group = remaining.swap_remove(gi);
-
-        let mgid = *mgid_of
-            .entry(&group.template)
-            .or_insert_with(|| selection.catalog.add(group.template.clone()));
-        for inst in &group.instances {
-            if inst.members.iter().any(|m| taken_insts.contains_key(m)) {
-                continue;
-            }
-            for &m in &inst.members {
-                taken_insts.insert(m, ());
-            }
-            selection.chosen.push(ChosenInstance { graph: (*inst).clone(), mgid });
-        }
+        let Some(gi) = picker.pick() else { break };
+        let mgid = selection.catalog.add(instances[rep[gi]].template.clone());
+        picker.consume(gi, |ii| {
+            selection
+                .chosen
+                .push(ChosenInstance { graph: instances[ii as usize].clone(), mgid });
+        });
     }
     selection
 }
@@ -116,78 +321,44 @@ pub fn select_domain(
             all.push(Tagged { prog: pi, inst: c });
         }
     }
-    // Group across programs by template, ordered by first appearance so
-    // benefit ties break deterministically (see `group_by_template`).
-    let mut index: HashMap<&MgTemplate, usize> = HashMap::new();
-    let mut groups: Vec<(&MgTemplate, Vec<usize>)> = Vec::new();
-    for (i, t) in all.iter().enumerate() {
-        let gi = *index.entry(&t.inst.template).or_insert_with(|| {
-            groups.push((&t.inst.template, Vec::new()));
-            groups.len() - 1
-        });
-        groups[gi].1.push(i);
+    // Group across programs by template (first-appearance order) and give
+    // each program its own slice of the member-index space, so one bitset
+    // covers every program's taken instructions.
+    let (group_of, rep) = group_by_template(all.iter().map(|t| &t.inst.template));
+    let mut offsets = vec![0usize; per_program_candidates.len()];
+    for t in &all {
+        let end = t.inst.members.last().copied().unwrap_or(0) + 1;
+        offsets[t.prog] = offsets[t.prog].max(end);
     }
+    let mut universe = 0usize;
+    for off in &mut offsets {
+        let size = *off;
+        *off = universe;
+        universe += size;
+    }
+    let mut picker = GreedyPicker::new(
+        rep.len(),
+        universe,
+        all.iter().map(|t| (t.inst.members.as_slice(), offsets[t.prog], t.inst.benefit())),
+        &group_of,
+    );
 
-    let mut taken: Vec<HashMap<usize, ()>> = vec![HashMap::new(); per_program_candidates.len()];
     let mut catalog = HandleCatalog::new();
     let mut selections: Vec<Selection> =
         vec![Selection::default(); per_program_candidates.len()];
-    let mut remaining: Vec<&(&MgTemplate, Vec<usize>)> = groups.iter().collect();
-
     while catalog.len() < policy.capacity {
-        let mut best: Option<(usize, u64)> = None;
-        for (gi, (_, members)) in remaining.iter().enumerate() {
-            let b: u64 = members
-                .iter()
-                .map(|&i| &all[i])
-                .filter(|t| t.inst.members.iter().all(|m| !taken[t.prog].contains_key(m)))
-                .map(|t| t.inst.benefit())
-                .sum();
-            if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
-                best = Some((gi, b));
-            }
-        }
-        let Some((gi, _)) = best else { break };
-        let (template, members) = remaining.swap_remove(gi);
-        let mgid = catalog.add((*template).clone());
-        for &i in members {
-            let t = &all[i];
-            if t.inst.members.iter().any(|m| taken[t.prog].contains_key(m)) {
-                continue;
-            }
-            for &m in &t.inst.members {
-                taken[t.prog].insert(m, ());
-            }
+        let Some(gi) = picker.pick() else { break };
+        let mgid = catalog.add(all[rep[gi]].inst.template.clone());
+        picker.consume(gi, |ii| {
+            let t = &all[ii as usize];
             selections[t.prog].chosen.push(ChosenInstance { graph: t.inst.clone(), mgid });
-        }
+        });
     }
     // Each per-program selection shares the pooled catalog.
     for s in &mut selections {
         s.catalog = catalog.clone();
     }
     (selections, catalog)
-}
-
-struct TemplateGroup {
-    template: MgTemplate,
-    instances: Vec<MiniGraph>,
-}
-
-fn group_by_template(instances: &[&MiniGraph]) -> Vec<TemplateGroup> {
-    // Groups are ordered by first appearance (NOT HashMap iteration
-    // order): greedy ranking breaks benefit ties by group order, so the
-    // grouping must be deterministic for selection to be reproducible.
-    let mut index: HashMap<&MgTemplate, usize> = HashMap::new();
-    let mut groups: Vec<TemplateGroup> = Vec::new();
-    for &inst in instances {
-        let gi = *index.entry(&inst.template).or_insert_with(|| {
-            groups
-                .push(TemplateGroup { template: inst.template.clone(), instances: Vec::new() });
-            groups.len() - 1
-        });
-        groups[gi].instances.push(inst.clone());
-    }
-    groups
 }
 
 #[cfg(test)]
@@ -213,6 +384,230 @@ mod tests {
         a.bne(reg(7), "top");
         a.halt();
         a.finish().unwrap()
+    }
+
+    /// The pre-optimisation greedy loop, kept verbatim as an executable
+    /// specification: full benefit rescan per round over `HashMap` member
+    /// sets, `swap_remove` on pick. [`select`] must match it exactly.
+    fn reference_select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
+        let instances: Vec<&MiniGraph> =
+            candidates.iter().filter(|c| policy.admits(c)).collect();
+        let mut index: HashMap<&MgTemplate, usize> = HashMap::new();
+        let mut groups: Vec<(&MgTemplate, Vec<&MiniGraph>)> = Vec::new();
+        for &inst in &instances {
+            let gi = *index.entry(&inst.template).or_insert_with(|| {
+                groups.push((&inst.template, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(inst);
+        }
+        let mut taken: HashMap<usize, ()> = HashMap::new();
+        let mut selection = Selection::default();
+        let mut remaining: Vec<&(&MgTemplate, Vec<&MiniGraph>)> = groups.iter().collect();
+        while selection.catalog.len() < policy.capacity {
+            let mut best: Option<(usize, u64)> = None;
+            for (gi, (_, insts)) in remaining.iter().enumerate() {
+                let b: u64 = insts
+                    .iter()
+                    .filter(|i| i.members.iter().all(|m| !taken.contains_key(m)))
+                    .map(|i| i.benefit())
+                    .sum();
+                if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
+                    best = Some((gi, b));
+                }
+            }
+            let Some((gi, _)) = best else { break };
+            let (template, insts) = remaining.swap_remove(gi);
+            let mgid = selection.catalog.add((*template).clone());
+            for inst in insts {
+                if inst.members.iter().any(|m| taken.contains_key(m)) {
+                    continue;
+                }
+                for &m in &inst.members {
+                    taken.insert(m, ());
+                }
+                selection.chosen.push(ChosenInstance { graph: (*inst).clone(), mgid });
+            }
+        }
+        selection
+    }
+
+    /// The pre-optimisation domain-selection loop, kept verbatim like
+    /// [`reference_select`]: per-program `HashMap` taken sets, full
+    /// rescan, `swap_remove`. [`select_domain`] must match it exactly.
+    fn reference_select_domain(
+        per_program_candidates: &[Vec<MiniGraph>],
+        policy: &Policy,
+    ) -> (Vec<Selection>, HandleCatalog) {
+        struct Tagged<'a> {
+            prog: usize,
+            inst: &'a MiniGraph,
+        }
+        let mut all: Vec<Tagged<'_>> = Vec::new();
+        for (pi, cands) in per_program_candidates.iter().enumerate() {
+            for c in cands.iter().filter(|c| policy.admits(c)) {
+                all.push(Tagged { prog: pi, inst: c });
+            }
+        }
+        let mut index: HashMap<&MgTemplate, usize> = HashMap::new();
+        let mut groups: Vec<(&MgTemplate, Vec<usize>)> = Vec::new();
+        for (i, t) in all.iter().enumerate() {
+            let gi = *index.entry(&t.inst.template).or_insert_with(|| {
+                groups.push((&t.inst.template, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(i);
+        }
+        let mut taken: Vec<HashMap<usize, ()>> =
+            vec![HashMap::new(); per_program_candidates.len()];
+        let mut catalog = HandleCatalog::new();
+        let mut selections: Vec<Selection> =
+            vec![Selection::default(); per_program_candidates.len()];
+        let mut remaining: Vec<&(&MgTemplate, Vec<usize>)> = groups.iter().collect();
+        while catalog.len() < policy.capacity {
+            let mut best: Option<(usize, u64)> = None;
+            for (gi, (_, members)) in remaining.iter().enumerate() {
+                let b: u64 = members
+                    .iter()
+                    .map(|&i| &all[i])
+                    .filter(|t| t.inst.members.iter().all(|m| !taken[t.prog].contains_key(m)))
+                    .map(|t| t.inst.benefit())
+                    .sum();
+                if b > 0 && best.is_none_or(|(_, bb)| b > bb) {
+                    best = Some((gi, b));
+                }
+            }
+            let Some((gi, _)) = best else { break };
+            let (template, members) = remaining.swap_remove(gi);
+            let mgid = catalog.add((*template).clone());
+            for &i in members {
+                let t = &all[i];
+                if t.inst.members.iter().any(|m| taken[t.prog].contains_key(m)) {
+                    continue;
+                }
+                for &m in &t.inst.members {
+                    taken[t.prog].insert(m, ());
+                }
+                selections[t.prog].chosen.push(ChosenInstance { graph: t.inst.clone(), mgid });
+            }
+        }
+        for s in &mut selections {
+            s.catalog = catalog.clone();
+        }
+        (selections, catalog)
+    }
+
+    fn assert_same(a: &Selection, b: &Selection) {
+        assert_eq!(a.catalog.len(), b.catalog.len(), "catalog size");
+        assert_eq!(a.chosen.len(), b.chosen.len(), "chosen count");
+        for (x, y) in a.chosen.iter().zip(&b.chosen) {
+            assert_eq!(x.mgid, y.mgid);
+            assert_eq!(x.graph.members, y.graph.members);
+            assert_eq!(x.graph.freq, y.graph.freq);
+        }
+    }
+
+    /// Synthetic candidate pools with heavy template sharing, overlapping
+    /// members, and *deliberate benefit ties*: the incremental picker must
+    /// reproduce the reference algorithm's swap-filled tie-break exactly.
+    #[test]
+    fn matches_reference_implementation() {
+        use mg_isa::{Opcode, TmplInst, TmplOperand};
+        let template = |k: i64, n: usize| MgTemplate {
+            ops: (0..n)
+                .map(|_| TmplInst {
+                    op: Opcode::Addq,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(k),
+                    disp: 0,
+                })
+                .collect(),
+            out: Some((n - 1) as u8),
+        };
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for round in 0..40 {
+            let n_templates = 1 + (rng() % 12) as usize;
+            let n_insts = 1 + (rng() % 60) as usize;
+            let mut cands = Vec::new();
+            for _ in 0..n_insts {
+                let k = (rng() % n_templates as u64) as i64;
+                let size = 2 + (rng() % 3) as usize;
+                let start = (rng() % 40) as usize;
+                let members: Vec<usize> = (start..start + size).collect();
+                // Frequencies drawn from a tiny set to force ties.
+                let freq = [0, 5, 5, 10][(rng() % 4) as usize];
+                cands.push(MiniGraph {
+                    members,
+                    anchor: start + size - 1,
+                    inputs: vec![],
+                    output: None,
+                    template: template(k, size),
+                    freq,
+                    branch_target: None,
+                });
+            }
+            for capacity in [1usize, 3, 1024] {
+                let policy = Policy::default().with_capacity(capacity);
+                assert_same(&select(&cands, &policy), &reference_select(&cands, &policy));
+            }
+            let _ = round;
+        }
+    }
+
+    /// Same adversarial pools, split across several "programs": the
+    /// shared-bitset / per-program-offset domain path must reproduce the
+    /// reference algorithm (and the offsets must never let one program's
+    /// members alias another's — the split pools deliberately reuse the
+    /// same member indices in every program).
+    #[test]
+    fn domain_matches_reference_implementation() {
+        use mg_isa::{Opcode, TmplInst, TmplOperand};
+        let template = |k: i64| MgTemplate {
+            ops: vec![
+                TmplInst {
+                    op: Opcode::Addq,
+                    a: TmplOperand::E0,
+                    b: TmplOperand::Imm(k),
+                    disp: 0
+                };
+                2
+            ],
+            out: Some(1),
+        };
+        let mut seed = 0x0dd0_5eed_0dd0_5eedu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _round in 0..30 {
+            let n_progs = 1 + (rng() % 4) as usize;
+            let mut pools: Vec<Vec<MiniGraph>> = vec![Vec::new(); n_progs];
+            for _ in 0..(5 + rng() % 50) {
+                let start = (rng() % 30) as usize; // same index space per program
+                pools[(rng() % n_progs as u64) as usize].push(MiniGraph {
+                    members: vec![start, start + 1],
+                    anchor: start + 1,
+                    inputs: vec![],
+                    output: None,
+                    template: template((rng() % 8) as i64),
+                    freq: [0u64, 4, 4, 9][(rng() % 4) as usize],
+                    branch_target: None,
+                });
+            }
+            for capacity in [1usize, 4, 1024] {
+                let policy = Policy::default().with_capacity(capacity);
+                let (got, got_cat) = select_domain(&pools, &policy);
+                let (want, want_cat) = reference_select_domain(&pools, &policy);
+                assert_eq!(got_cat.len(), want_cat.len(), "shared catalog size");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_same(g, w);
+                }
+            }
+        }
     }
 
     #[test]

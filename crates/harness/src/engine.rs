@@ -197,6 +197,11 @@ impl EngineBuilder {
 
     /// Prepares all selected workloads — every registered one if none
     /// were named — in parallel, and returns the engine.
+    ///
+    /// A quick engine also caps its preps' recorded traces at the quick
+    /// op limit: its simulations replay at most that prefix, so
+    /// functionally executing (and storing) the rest of the committed
+    /// path would be pure waste.
     pub fn build(self) -> Engine {
         let EngineBuilder { input, mut sources, threads, quick } = self;
         if sources.is_empty() {
@@ -204,11 +209,16 @@ impl EngineBuilder {
         }
         let sources: Vec<Source> = sources;
         let preps: Vec<Arc<Prep>> = run_indexed(threads, sources.len(), |i| {
-            Arc::new(match &sources[i] {
+            let prep = match &sources[i] {
                 Source::Registered(w) => Prep::new(w, &input),
                 Source::Custom { name, suite, build } => {
                     Prep::with_build(name.clone(), *suite, Arc::clone(build), &input)
                 }
+            };
+            Arc::new(if quick {
+                prep.with_trace_budget(crate::quick::QUICK_MAX_OPS)
+            } else {
+                prep
             })
         });
         Engine { preps, threads, quick }

@@ -76,6 +76,11 @@ pub struct Prep {
     pub candidates: Vec<MiniGraph>,
     build: BuildFn,
     input: Input,
+    /// Cap on recorded trace length (ops). Defaults to [`STEP_BUDGET`]
+    /// (effectively unbounded); quick-mode engines lower it to the op cap
+    /// their simulations consume, so preparation never functionally
+    /// executes work no run will replay.
+    trace_budget: u64,
     // Memoized downstream artifacts (see module docs).
     selections: Mutex<HashMap<Policy, Arc<Selection>>>,
     base_trace: OnceLock<Arc<Trace>>,
@@ -137,10 +142,35 @@ impl Prep {
             candidates,
             build,
             input: *input,
+            trace_budget: STEP_BUDGET,
             selections: Mutex::new(HashMap::new()),
             base_trace: OnceLock::new(),
             images: Mutex::new(ImageCache::default()),
         }
+    }
+
+    /// Caps recorded traces at `ops` operations (a prefix of the full
+    /// committed path). Intended for quick-mode engines whose simulations
+    /// are op-capped anyway: a capped trace yields bit-identical
+    /// simulation results for any run with `max_ops <= ops` while
+    /// skipping the functional execution of the never-replayed tail.
+    ///
+    /// Call before the first trace is recorded (traces and images
+    /// memoize); the [`Engine`](crate::engine::Engine) builder does this
+    /// at preparation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace has already been recorded: a budget applied
+    /// after the fact would leave memoized full-length traces alongside
+    /// capped ones, silently skewing any cross-image comparison.
+    pub fn with_trace_budget(mut self, ops: u64) -> Prep {
+        assert!(
+            self.base_trace.get().is_none() && self.images.lock().unwrap().map.is_empty(),
+            "with_trace_budget must be called before any trace is recorded"
+        );
+        self.trace_budget = ops;
+        self
     }
 
     /// Prepares every registered workload on the given input
@@ -178,7 +208,8 @@ impl Prep {
         Arc::clone(self.base_trace.get_or_init(|| {
             let mut mem = self.fresh_memory();
             Arc::new(
-                record_trace(&self.prog, &mut mem, None, STEP_BUDGET).expect("workload halts"),
+                record_trace(&self.prog, &mut mem, None, self.trace_budget)
+                    .expect("workload halts"),
             )
         }))
     }
@@ -201,8 +232,9 @@ impl Prep {
     pub fn build_image(&self, selection: &Selection, style: RewriteStyle) -> MgImage {
         let rw = rewrite(&self.prog, selection, style);
         let mut mem = self.fresh_memory();
-        let trace = record_trace(&rw.program, &mut mem, Some(&selection.catalog), STEP_BUDGET)
-            .expect("rewritten workload halts");
+        let trace =
+            record_trace(&rw.program, &mut mem, Some(&selection.catalog), self.trace_budget)
+                .expect("rewritten workload halts");
         MgImage { program: rw.program, trace, catalog: selection.catalog.clone() }
     }
 

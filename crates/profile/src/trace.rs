@@ -21,10 +21,15 @@ pub struct DynOp {
 }
 
 /// A committed-path dynamic trace.
+///
+/// Storage is a boxed slice, not a `Vec`: traces are immutable once
+/// recorded and replayed op-by-op in the simulator's hottest loop, so the
+/// representation drops the spare-capacity word and guarantees the exact
+/// allocation survives from recording to replay.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// The dynamic operations in commit order.
-    pub ops: Vec<DynOp>,
+    pub ops: Box<[DynOp]>,
     /// Total original program instructions represented (handles count as
     /// their template length) — the numerator for IPC.
     pub insts: u64,
@@ -32,15 +37,29 @@ pub struct Trace {
 
 impl Trace {
     /// Number of fetched (dynamic) operations.
+    #[inline]
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
     /// Whether the trace is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// The operation at `idx` (trace replay's inner-loop accessor).
+    #[inline]
+    pub fn op(&self, idx: usize) -> &DynOp {
+        &self.ops[idx]
+    }
 }
+
+/// Upper bound on the up-front `record_trace` reservation, in ops
+/// (callers routinely pass huge step budgets as `max_ops`; reserving
+/// beyond this would waste address space, and doubling takes over
+/// harmlessly for genuinely longer traces).
+const TRACE_RESERVE_CAP: u64 = 1 << 20;
 
 /// Functionally executes `prog` to halt, recording the dynamic trace.
 ///
@@ -58,22 +77,23 @@ pub fn record_trace(
     max_ops: u64,
 ) -> Result<Trace, ExecError> {
     let mut cpu = CpuState::new(prog.entry);
-    let mut trace = Trace::default();
-    while (trace.ops.len() as u64) < max_ops {
+    let mut ops: Vec<DynOp> = Vec::with_capacity(max_ops.min(TRACE_RESERVE_CAP) as usize);
+    let mut insts = 0u64;
+    while (ops.len() as u64) < max_ops {
         let pc = cpu.pc;
         let info = step(prog, &mut cpu, mem, catalog)?;
         // Rewriter padding is squashed at fetch: it occupies code space (the
         // byte addresses of surviving instructions already reflect that) but
         // never enters the pipeline.
         if prog.insts[pc].op != mg_isa::Opcode::Pad {
-            trace.ops.push(DynOp { sidx: pc as u32, mem: info.mem, br: info.br });
+            ops.push(DynOp { sidx: pc as u32, mem: info.mem, br: info.br });
         }
-        trace.insts += info.represents as u64;
+        insts += info.represents as u64;
         if info.halted {
             break;
         }
     }
-    Ok(trace)
+    Ok(Trace { ops: ops.into_boxed_slice(), insts })
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ impl Simulator<'_> {
                 break;
             }
             let head = self.rob.pop_front().expect("head exists");
+            self.progress = true;
             if head.is_store {
                 // The store-queue head writes the data cache at retirement.
                 let e = self.sq.pop_front().expect("store has an SQ entry");

@@ -12,12 +12,15 @@ use mg_isa::OpClass;
 impl Simulator<'_> {
     // ----------------------------------------------------------- events --
     pub(crate) fn process_events(&mut self) {
-        let due: Vec<u64> = match self.events.remove(&self.now) {
-            Some(v) => v,
-            None => return,
-        };
-        for seq in due {
+        // Harvest every cycle (even when empty): this is also what pulls
+        // newly-in-horizon overflow events into the wheel's ring.
+        let due = self.events.take_due(self.now);
+        for &seq in &due {
             let Some(i) = self.rob_index(seq) else { continue }; // squashed
+                                                                 // A live completion changes machine state; a stale (squashed)
+                                                                 // one is dropped without trace, so it does not block
+                                                                 // idle-skipping.
+            self.progress = true;
             let e = &mut self.rob[i];
             e.completed = true;
             if e.in_iq {
@@ -29,7 +32,7 @@ impl Simulator<'_> {
             let (sidx, trace_idx, mispred, pred_taken, pred_token, kind) =
                 (e.sidx, e.trace_idx, e.mispredicted, e.pred_taken, e.pred_token, e.kind);
             // Control resolution: train predictor, redirect fetch.
-            let op = &self.trace.ops[trace_idx];
+            let op = self.trace.op(trace_idx);
             if let Some(br) = op.br {
                 let pc = self.prog.byte_addr(sidx as usize);
                 let inst = &self.prog.insts[sidx as usize];
@@ -51,6 +54,7 @@ impl Simulator<'_> {
                 }
             }
         }
+        self.events.recycle(due);
     }
 
     /// Execution latencies `(output, total)` for the entry at `idx`,
@@ -58,7 +62,7 @@ impl Simulator<'_> {
     /// mini-graph interior-load replays.
     pub(crate) fn latencies(&mut self, idx: usize) -> (u32, u32) {
         let e = &self.rob[idx];
-        let op = &self.trace.ops[e.trace_idx];
+        let op = self.trace.op(e.trace_idx);
         match e.kind {
             Kind::Alu | Kind::Control => (1, 1),
             Kind::Mul => (3, 3),
@@ -123,7 +127,7 @@ impl Simulator<'_> {
         let seq = e.seq;
         let trace_idx = e.trace_idx;
         let pc = self.prog.byte_addr(e.sidx as usize);
-        let Some(mem) = self.trace.ops[trace_idx].mem else { return };
+        let Some(mem) = self.trace.op(trace_idx).mem else { return };
         if mem.store {
             if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
                 s.addr = mem.addr;
@@ -162,6 +166,9 @@ impl Simulator<'_> {
             let e = self.rob.pop_back().expect("back exists");
             if e.in_iq {
                 self.iq_used -= 1;
+                if !e.issued {
+                    self.iq_unissued -= 1;
+                }
             }
             if let Some((r, renamed)) = e.dest {
                 self.renamer.undo(r, renamed);

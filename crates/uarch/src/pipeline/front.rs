@@ -20,7 +20,7 @@ impl Simulator<'_> {
             let mispredicted = front.mispredicted;
             let pred_taken = front.pred_taken;
             let pred_token = front.pred_token;
-            let op = self.trace.ops[trace_idx];
+            let op = *self.trace.op(trace_idx);
             let inst = &self.prog.insts[op.sidx as usize];
             let kind = match inst.op.class() {
                 OpClass::IntAlu => Kind::Alu,
@@ -97,6 +97,7 @@ impl Simulator<'_> {
             let completed = kind == Kind::Direct;
             if needs_iq {
                 self.iq_used += 1;
+                self.iq_unissued += 1;
             }
             if op.br.is_some() {
                 self.stats.branches += 1;
@@ -121,6 +122,7 @@ impl Simulator<'_> {
             });
             self.frontq.pop_front();
             n += 1;
+            self.progress = true;
         }
     }
 
@@ -139,7 +141,10 @@ impl Simulator<'_> {
             && self.frontq.len() < qcap
             && self.fetch_ptr < limit
         {
-            let op = self.trace.ops[self.fetch_ptr];
+            // Entering the loop body always touches machine state: at
+            // minimum an I$ access (which counts, and may start a miss).
+            self.progress = true;
+            let op = *self.trace.op(self.fetch_ptr);
             let addr = self.prog.byte_addr(op.sidx as usize);
             let line = addr / line_bytes;
             if last_line != Some(line) {

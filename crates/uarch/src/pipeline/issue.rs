@@ -26,18 +26,45 @@ impl Simulator<'_> {
             }
         };
 
-        let mut idx = 0;
-        while idx < self.rob.len() && issued < self.cfg.issue_width {
+        // `issue_hint` is a lower bound on unissued sequence numbers:
+        // everything older is already issued (entries only ever go
+        // unissued → issued, and newcomers get fresh, larger seqs), so
+        // the scan starts past the issued ROB prefix. `iq_unissued`
+        // bounds the other end: once that many candidates have been
+        // seen, the issued/completed tail cannot match and the scan
+        // stops. Neither cut changes which entries are visited.
+        let mut unseen = self.iq_unissued;
+        let hint = self.issue_hint;
+        let mut new_hint = None;
+        let mut idx = self.rob.partition_point(|e| e.seq < hint);
+        while idx < self.rob.len() && issued < self.cfg.issue_width && unseen > 0 {
             let e = &self.rob[idx];
             if !e.in_iq || e.issued {
                 idx += 1;
                 continue;
+            }
+            unseen -= 1;
+            if new_hint.is_none() {
+                new_hint = Some(e.seq);
             }
             // Operand readiness (including the scheduler-loop latency
             // already folded into preg_ready at the producer's issue).
             let ready =
                 e.srcs.iter().flatten().all(|&p| self.preg_ready[p as usize] <= self.now);
             if !ready {
+                // Idle-skip wake bound: the cycle every source is ready.
+                // `u64::MAX` marks a producer that has not even issued;
+                // its own issue is machine progress, so it needs no bound.
+                let t = e
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .map(|&p| self.preg_ready[p as usize])
+                    .max()
+                    .unwrap_or(0);
+                if t != u64::MAX {
+                    self.wake_operands = Some(self.wake_operands.map_or(t, |w: u64| w.min(t)));
+                }
                 idx += 1;
                 continue;
             }
@@ -140,6 +167,10 @@ impl Simulator<'_> {
                 Kind::Direct => true,
             };
             if !admitted {
+                // Denied by this cycle's FU availability or reservation
+                // window — both functions of `now`, so the next cycle must
+                // actually be simulated (no idle skip).
+                self.retry_next_cycle = true;
                 idx += 1;
                 continue;
             }
@@ -154,6 +185,7 @@ impl Simulator<'_> {
                     // Reverting FU bookkeeping is unnecessary: counters are
                     // per-attempt upper bounds within one cycle; skipping
                     // here only under-uses the FU this cycle.
+                    self.retry_next_cycle = true;
                     idx += 1;
                     continue;
                 }
@@ -164,8 +196,13 @@ impl Simulator<'_> {
             let (out_lat, total_lat) = self.latencies(idx);
 
             // Issue!
+            self.progress = true;
+            if new_hint == Some(seq) {
+                new_hint = None; // issued after all; hint may advance past
+            }
             let e = &mut self.rob[idx];
             e.issued = true;
+            self.iq_unissued -= 1;
             if e.kind != Kind::Handle {
                 // Handles keep their scheduler entry until the terminal op.
                 e.in_iq = false;
@@ -175,7 +212,7 @@ impl Simulator<'_> {
                 self.preg_ready[renamed.preg as usize] =
                     self.now + (out_lat.max(self.cfg.sched_loop)) as u64;
             }
-            self.events.entry(self.now + total_lat as u64).or_default().push(seq);
+            self.events.schedule(self.now, self.now + total_lat as u64, seq);
             issued += 1;
 
             // Memory side effects (agen/dcache) and violation checks.
@@ -188,6 +225,13 @@ impl Simulator<'_> {
                 break;
             }
         }
+        // Next scan's lower bound: the first entry that stayed unissued,
+        // else the first unexamined one, else everything issued so far.
+        self.issue_hint = match new_hint {
+            Some(s) => s,
+            None if idx < self.rob.len() => self.rob[idx].seq,
+            None => self.next_seq,
+        };
     }
 
     /// Nominal (cache-hit) output latency used for write-port reservation,

@@ -27,6 +27,7 @@ pub(crate) mod front;
 pub(crate) mod issue;
 #[cfg(test)]
 mod tests;
+pub(crate) mod wheel;
 
 use crate::bpred::{Btb, HybridPredictor, Ras};
 use crate::cache::MemHierarchy;
@@ -38,7 +39,8 @@ use entries::{FrontOp, LqEntry, RobEntry, SqEntry};
 use mg_core::MgTable;
 use mg_isa::{HandleCatalog, Program};
 use mg_profile::Trace;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use wheel::EventWheel;
 
 /// Ring size for near-future resource reservations (FUs, write ports).
 pub(crate) const RESV_RING: usize = 256;
@@ -62,6 +64,7 @@ pub struct Simulator<'a> {
     pub(crate) rob: VecDeque<RobEntry>,
     pub(crate) next_seq: u64,
     pub(crate) iq_used: usize,
+    pub(crate) iq_unissued: usize,
     pub(crate) renamer: Renamer,
     pub(crate) preg_ready: Vec<u64>,
     pub(crate) lq: VecDeque<LqEntry>,
@@ -73,11 +76,27 @@ pub struct Simulator<'a> {
     pub(crate) storesets: StoreSets,
     pub(crate) mem: MemHierarchy,
     // Events and reservations.
-    pub(crate) events: BTreeMap<u64, Vec<u64>>,
+    pub(crate) events: EventWheel,
     pub(crate) resv_fu: Vec<[u16; 4]>, // [ap, alu, load, store] per future cycle
     pub(crate) resv_wb: Vec<u16>,
     pub(crate) now: u64,
     pub(crate) stats: SimStats,
+    // Idle-skip bookkeeping, reset every cycle (see `run`).
+    /// Machine state changed this cycle (commit/complete/issue/dispatch/
+    /// fetch touched something beyond the per-cycle stat sums).
+    pub(crate) progress: bool,
+    /// An operand-ready operation was denied only by this cycle's FU /
+    /// write-port / window availability; those constraints are functions
+    /// of `now`, so the next cycle must be simulated, not skipped.
+    pub(crate) retry_next_cycle: bool,
+    /// Earliest cycle at which some operand-blocked scheduler entry has
+    /// all sources ready (`preg_ready` bound collected by the issue scan).
+    pub(crate) wake_operands: Option<u64>,
+    /// Lower bound on unissued sequence numbers: every ROB entry older
+    /// than this has issued, so the issue scan starts past it. Entries
+    /// never revert to unissued and newcomers take fresh seqs, so the
+    /// bound only ever advances.
+    pub(crate) issue_hint: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -104,6 +123,7 @@ impl<'a> Simulator<'a> {
             rob: VecDeque::new(),
             next_seq: 0,
             iq_used: 0,
+            iq_unissued: 0,
             lq: VecDeque::new(),
             sq: VecDeque::new(),
             bpred: HybridPredictor::paper_12kb(),
@@ -117,11 +137,15 @@ impl<'a> Simulator<'a> {
                 cfg.mem_latency,
                 cfg.mem_bus_occupancy,
             ),
-            events: BTreeMap::new(),
+            events: EventWheel::new(),
             resv_fu: vec![[0; 4]; RESV_RING],
             resv_wb: vec![0; RESV_RING],
             now: 0,
             stats: SimStats::default(),
+            progress: false,
+            retry_next_cycle: false,
+            wake_operands: None,
+            issue_hint: 0,
             cfg,
             prog,
             trace,
@@ -142,9 +166,22 @@ impl<'a> Simulator<'a> {
         } else {
             (self.cfg.max_ops as usize).min(self.trace.ops.len())
         };
-        // Guard against pathological configs: bound total cycles.
+        // Guard against pathological configs: bound *worked* cycles (the
+        // ones actually simulated). Idle-skipped spans are excluded, so a
+        // legitimately long-latency configuration (slow memory, deep
+        // queues) cannot trip the wedge assertion just by waiting.
         let cycle_cap = 2_000 + 600 * limit as u64;
+        let mut worked: u64 = 0;
         while !(self.fetch_ptr >= limit && self.frontq.is_empty() && self.rob.is_empty()) {
+            self.progress = false;
+            self.retry_next_cycle = false;
+            self.wake_operands = None;
+            let stalls_before = [
+                self.stats.stall_pregs,
+                self.stats.stall_rob,
+                self.stats.stall_iq,
+                self.stats.stall_lsq,
+            ];
             self.commit();
             self.process_events();
             self.issue();
@@ -156,15 +193,29 @@ impl<'a> Simulator<'a> {
             let idx = (self.now as usize) % RESV_RING;
             self.resv_fu[idx] = [0; 4];
             self.resv_wb[idx] = 0;
-            self.now += 1;
+            worked += 1;
             assert!(
-                self.now < cycle_cap,
-                "simulation wedged at cycle {} (fetch {}/{} rob {})",
+                worked < cycle_cap,
+                "simulation wedged after {worked} worked cycles at cycle {} (fetch {}/{} rob {})",
                 self.now,
                 self.fetch_ptr,
                 limit,
                 self.rob.len()
             );
+            // Idle-cycle skipping: a cycle that changed nothing would be
+            // followed by identical empty cycles until the next wake-up
+            // (completion event, operand-ready bound, front-queue ready
+            // time, or fetch resume) — jump straight there, accumulating
+            // the per-cycle stats the skipped cycles would have gathered.
+            if !self.progress && !self.retry_next_cycle {
+                if let Some(wake) = self.next_wake(limit) {
+                    if wake > self.now + 1 {
+                        self.skip_idle_to(wake, stalls_before);
+                        continue;
+                    }
+                }
+            }
+            self.now += 1;
         }
         self.stats.cycles = self.now;
         self.stats.il1_accesses = self.mem.il1.accesses;
@@ -183,5 +234,60 @@ impl<'a> Simulator<'a> {
         // entry). Binary-search by sequence.
         let i = self.rob.partition_point(|e| e.seq < seq);
         (i < self.rob.len() && self.rob[i].seq == seq).then_some(i)
+    }
+
+    /// The earliest future cycle at which a zero-progress machine can
+    /// change state: the next completion event, the issue scan's
+    /// operand-ready bound, the front-queue head's decode-ready time, or
+    /// the fetch resume cycle. Waking *early* is merely a missed
+    /// optimisation (the cycle re-evaluates as idle); waking late would
+    /// change timing, so every state-changing trigger must be covered
+    /// here or in `retry_next_cycle`.
+    fn next_wake(&self, limit: usize) -> Option<u64> {
+        let mut wake = self.events.next_due_after(self.now);
+        let mut fold = |t: u64| wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+        if let Some(t) = self.wake_operands {
+            fold(t);
+        }
+        if let Some(f) = self.frontq.front() {
+            if f.ready_at > self.now {
+                fold(f.ready_at);
+            }
+        }
+        if self.fetch_blocked_on.is_none()
+            && self.fetch_ptr < limit
+            && self.fetch_resume_at > self.now
+        {
+            fold(self.fetch_resume_at);
+        }
+        wake
+    }
+
+    /// Advances `now` to `wake` across an idle span, accumulating the
+    /// per-cycle statistics the skipped cycles would have gathered (the
+    /// occupancy sums, and the dispatch stall counter the idle cycle hit,
+    /// both frozen across the span because nothing changes state) and
+    /// clearing the reservation-ring slots those cycles would have
+    /// recycled.
+    fn skip_idle_to(&mut self, wake: u64, stalls_before: [u64; 4]) {
+        let skipped = wake - self.now - 1; // cycles now+1 ..= wake-1
+        self.stats.preg_occupancy_sum += skipped * self.renamer.in_use() as u64;
+        self.stats.iq_occupancy_sum += skipped * self.iq_used as u64;
+        self.stats.rob_occupancy_sum += skipped * self.rob.len() as u64;
+        self.stats.stall_pregs += skipped * (self.stats.stall_pregs - stalls_before[0]);
+        self.stats.stall_rob += skipped * (self.stats.stall_rob - stalls_before[1]);
+        self.stats.stall_iq += skipped * (self.stats.stall_iq - stalls_before[2]);
+        self.stats.stall_lsq += skipped * (self.stats.stall_lsq - stalls_before[3]);
+        if skipped >= RESV_RING as u64 {
+            self.resv_fu.iter_mut().for_each(|s| *s = [0; 4]);
+            self.resv_wb.iter_mut().for_each(|s| *s = 0);
+        } else {
+            for c in (self.now + 1)..wake {
+                let idx = (c as usize) % RESV_RING;
+                self.resv_fu[idx] = [0; 4];
+                self.resv_wb[idx] = 0;
+            }
+        }
+        self.now = wake;
     }
 }

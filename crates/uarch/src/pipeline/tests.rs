@@ -197,6 +197,58 @@ fn fewer_pregs_never_faster() {
 }
 
 #[test]
+fn rob_index_with_non_contiguous_seqs() {
+    use super::entries::{Kind, RobEntry};
+    // Sequence numbers stay unique and ascending but become
+    // non-contiguous after a violation squash: the tail is popped while
+    // the allocator keeps counting. `rob_index` must keep resolving by
+    // binary search, and stale seqs must resolve to `None`.
+    let mut a = Asm::new();
+    a.halt();
+    let p = a.finish().unwrap();
+    let t = record_trace(&p, &mut Memory::new(), None, 10).unwrap();
+    let entry = |seq: u64| RobEntry {
+        seq,
+        trace_idx: 0,
+        sidx: 0,
+        kind: Kind::Alu,
+        represents: 1,
+        dest: None,
+        srcs: [None, None],
+        in_iq: false,
+        issued: true,
+        completed: false,
+        mispredicted: false,
+        pred_taken: false,
+        pred_token: 0,
+        wait_store: None,
+        is_store: false,
+        is_load: false,
+    };
+    let mut sim = Simulator::new(SimConfig::baseline(), &p, &t, &HandleCatalog::new());
+    for seq in [0u64, 1, 5, 7, 9] {
+        sim.rob.push_back(entry(seq));
+    }
+    sim.next_seq = 10;
+    assert_eq!(sim.rob_index(0), Some(0));
+    assert_eq!(sim.rob_index(1), Some(1));
+    assert_eq!(sim.rob_index(5), Some(2));
+    assert_eq!(sim.rob_index(7), Some(3));
+    assert_eq!(sim.rob_index(9), Some(4));
+    // Seqs inside the gaps (squashed before these entries were pushed)
+    // must not alias a live entry.
+    for stale in [2u64, 3, 4, 6, 8, 10, 42] {
+        assert_eq!(sim.rob_index(stale), None, "stale seq {stale} must miss");
+    }
+    // A fresh squash pops the tail; the survivors still resolve.
+    sim.squash_from(7, 0);
+    assert_eq!(sim.rob.len(), 3);
+    assert_eq!(sim.rob_index(5), Some(2));
+    assert_eq!(sim.rob_index(7), None, "squashed seq must miss");
+    assert_eq!(sim.rob_index(9), None, "squashed seq must miss");
+}
+
+#[test]
 fn determinism() {
     let (p, t) = loop_trace(100, |a| {
         a.addq(reg(1), 1, reg(1));
