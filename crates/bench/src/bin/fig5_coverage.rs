@@ -1,85 +1,6 @@
-//! Figure 5 — mini-graph coverage.
-//!
-//! Regenerates all three panels: application-specific integer coverage
-//! (top), application-specific integer-memory coverage (middle), and
-//! domain-specific integer-memory coverage (bottom), sweeping the MGT
-//! capacity (32/128/512/2048 entries) and maximum mini-graph size
-//! (2/3/4/8 instructions). Coverage is the paper's metric: the fraction of
-//! dynamic instructions removed from the pipeline, `Σ (n-1)·f / total`.
-//!
-//! Pure selection (no timing simulation): the engine's parallel `map`
-//! sweeps the per-workload policy grid across threads.
-
-use mg_bench::{by_suite, gmean, CliArgs, Engine, Prep, Table};
-use mg_core::{select_domain, Policy};
-
-const CAPACITIES: [usize; 4] = [32, 128, 512, 2048];
-const SIZES: [usize; 4] = [2, 3, 4, 8];
-
-fn panel(engine: &Engine, base: &Policy, title: &str) {
-    println!("\n== Figure 5 ({title}): coverage % by MGT entries (rows) x max size (cols) ==");
-    // One grid of coverages per workload, computed in parallel.
-    let grids: Vec<Vec<f64>> = engine.map(|p| {
-        let mut grid = Vec::with_capacity(CAPACITIES.len() * SIZES.len());
-        for cap in CAPACITIES {
-            for sz in SIZES {
-                let policy = base.clone().with_capacity(cap).with_max_size(sz);
-                grid.push(p.select(&policy).coverage(p.total_dyn));
-            }
-        }
-        grid
-    });
-    let preps = engine.preps();
-    for (suite, members) in by_suite(preps) {
-        println!("\n-- {suite} --");
-        let mut t = Table::new(&["benchmark", "entries", "sz2", "sz3", "sz4", "sz8"]);
-        let mut headline = Vec::new();
-        for p in &members {
-            let wi = preps.iter().position(|q| q.name == p.name).expect("member of engine");
-            for (ci, cap) in CAPACITIES.iter().enumerate() {
-                let mut cells = vec![p.name.clone(), cap.to_string()];
-                for si in 0..SIZES.len() {
-                    cells.push(format!("{:.1}", 100.0 * grids[wi][ci * SIZES.len() + si]));
-                }
-                t.row(cells);
-            }
-            // Suite mean at the paper's headline point (512 entries, size 4).
-            let (ci, si) = (2, 2);
-            headline.push(grids[wi][ci * SIZES.len() + si].max(1e-9));
-        }
-        print!("{}", t.render());
-        println!("suite mean @512/sz4: {:.1}%", 100.0 * gmean(&headline));
-    }
-}
-
-fn domain_panel(engine: &Engine) {
-    println!("\n== Figure 5 (bottom): domain-specific integer-memory coverage ==");
-    for (suite, members) in by_suite(engine.preps()) {
-        println!("\n-- {suite} (one shared MGT per suite) --");
-        let mut t = Table::new(&["entries", "mean-cov%", "templates"]);
-        for cap in CAPACITIES {
-            let policy = Policy::integer_memory().with_capacity(cap).with_max_size(4);
-            let per_prog: Vec<Vec<mg_core::MiniGraph>> =
-                members.iter().map(|p| p.candidates.clone()).collect();
-            let (sels, catalog) = select_domain(&per_prog, &policy);
-            let cov: Vec<f64> = sels
-                .iter()
-                .zip(&members)
-                .map(|(s, p): (_, &&Prep)| s.coverage(p.total_dyn).max(1e-9))
-                .collect();
-            t.row(vec![
-                cap.to_string(),
-                format!("{:.1}", 100.0 * gmean(&cov)),
-                catalog.len().to_string(),
-            ]);
-        }
-        print!("{}", t.render());
-    }
-}
+//! Deprecated alias for `mg run fig5` (byte-identical output); kept for
+//! one release. See [`mg_bench::figures::fig5`].
 
 fn main() {
-    let engine = CliArgs::parse().engine().build();
-    panel(&engine, &Policy::integer(), "top: application-specific integer");
-    panel(&engine, &Policy::integer_memory(), "middle: application-specific integer-memory");
-    domain_panel(&engine);
+    mg_bench::cli::legacy_main("fig5");
 }

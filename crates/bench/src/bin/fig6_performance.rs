@@ -1,53 +1,6 @@
-//! Figure 6 — performance of mini-graph processing.
-//!
-//! For every benchmark: baseline IPC, then speedups of the four
-//! mini-graph configurations over the baseline — integer mini-graphs on
-//! ALU pipelines, integer-memory mini-graphs with a sliding-window
-//! scheduler, each with plain and pair-wise collapsing ALU pipelines
-//! (the solid and striped bars of the paper's Figure 6). The MGT holds
-//! 512 application-specific mini-graphs of up to 4 instructions (§6.1).
-
-use mg_bench::experiments::fig6_runs;
-use mg_bench::{gmean, CliArgs, Table};
-use mg_core::Policy;
+//! Deprecated alias for `mg run fig6` (byte-identical output); kept for
+//! one release. See [`mg_bench::figures::fig6`].
 
 fn main() {
-    let engine = CliArgs::parse().engine().build();
-
-    let matrix = engine.run(&fig6_runs());
-
-    println!("== Figure 6: speedup over 6-wide baseline (512-entry MGT, max size 4) ==");
-    for (suite, members) in matrix.by_suite() {
-        println!("\n-- {suite} --");
-        let mut t = Table::new(&[
-            "benchmark",
-            "baseIPC",
-            "int",
-            "int+coll",
-            "intmem",
-            "intmem+coll",
-            "cov%",
-        ]);
-        let mut sp = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for row in &members {
-            let p = &row.prep;
-            let mut cells = vec![p.name.clone(), format!("{:.2}", row.stats[0].ipc())];
-            for (i, sink) in sp.iter_mut().enumerate() {
-                let x = row.speedup_over(0, i + 1);
-                sink.push(x);
-                cells.push(format!("{x:.3}"));
-            }
-            let cov = p.select(&Policy::integer_memory()).coverage(p.total_dyn);
-            cells.push(format!("{:.1}", 100.0 * cov));
-            t.row(cells);
-        }
-        print!("{}", t.render());
-        println!(
-            "gmean speedups: int {:.3}  int+coll {:.3}  intmem {:.3}  intmem+coll {:.3}",
-            gmean(&sp[0]),
-            gmean(&sp[1]),
-            gmean(&sp[2]),
-            gmean(&sp[3]),
-        );
-    }
+    mg_bench::cli::legacy_main("fig6");
 }

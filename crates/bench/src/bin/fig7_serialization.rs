@@ -1,72 +1,6 @@
-//! Figure 7 — isolating serialization effects.
-//!
-//! Re-runs the paper's ablation: integer mini-graphs with and without
-//! externally serial graphs, internally parallel graphs, and both; and
-//! integer-memory mini-graphs additionally without replay-vulnerable
-//! graphs (loads in non-terminal positions). The paper uses six
-//! benchmarks; we use our analogues of the same behavioural classes plus
-//! the suite means. With `--best`, also reports the per-benchmark best
-//! policy combination (§6.2: average gains rise to 3/14/9/11%).
-
-use mg_bench::experiments::{fig7_int_policies, fig7_runs, FIG7_FOCUS};
-use mg_bench::{gmean, CliArgs, Table};
+//! Deprecated alias for `mg run fig7` (byte-identical output, including
+//! `--best`); kept for one release. See [`mg_bench::figures::fig7`].
 
 fn main() {
-    let args = CliArgs::parse();
-    // The paper's six focus benchmarks, by behavioural analogue. Only
-    // `--best` (the §6.2 suite sweep) needs every workload; the default
-    // report simulates just the focus set.
-    let focus = FIG7_FOCUS;
-    let mut builder = args.engine();
-    if !args.best {
-        builder = builder.workloads(&focus);
-    }
-    let engine = builder.build();
-
-    // One matrix serves both reports: baseline + all seven ablations.
-    let runs = fig7_runs();
-    let matrix = engine.run(&runs);
-
-    println!("== Figure 7: serialization and replay ablation (speedup over baseline) ==");
-    let mut t = Table::new(&[
-        "benchmark",
-        "int",
-        "-ext",
-        "-int",
-        "-both",
-        "intmem",
-        "-serial",
-        "-ser-rep",
-    ]);
-    for name in focus {
-        let row = matrix.row(name).expect("focus benchmark exists");
-        let mut cells = vec![name.to_string()];
-        for ri in 1..runs.len() {
-            cells.push(format!("{:.3}", row.speedup_over(0, ri)));
-        }
-        t.row(cells);
-    }
-    print!("{}", t.render());
-
-    if args.best {
-        println!("\n== §6.2: best policy combination per benchmark (suite gmeans) ==");
-        let unres_col = 1 + fig7_int_policies().len(); // the unrestricted "intmem" run
-        let mut table = Table::new(&["suite", "unrestricted", "best-per-bench"]);
-        for (suite, members) in matrix.by_suite() {
-            let mut unrestricted = Vec::new();
-            let mut best = Vec::new();
-            for row in &members {
-                unrestricted.push(row.speedup_over(0, unres_col));
-                best.push(
-                    (1..runs.len()).map(|ri| row.speedup_over(0, ri)).fold(f64::MIN, f64::max),
-                );
-            }
-            table.row(vec![
-                suite.to_string(),
-                format!("{:.3}", gmean(&unrestricted)),
-                format!("{:.3}", gmean(&best)),
-            ]);
-        }
-        print!("{}", table.render());
-    }
+    mg_bench::cli::legacy_main("fig7");
 }

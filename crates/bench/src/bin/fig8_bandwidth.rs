@@ -1,45 +1,6 @@
-//! Figure 8 (bottom) — bandwidth and scheduling-loop latency.
-//!
-//! Compares, relative to the 6-wide/1-cycle-scheduler baseline:
-//! the 6-wide machine with integer-memory mini-graphs; a 4-wide machine
-//! (fetch/rename/retire and execute all narrowed, 1 load port) with and
-//! without mini-graphs; a 4-wide front end with 6-wide execution (2 load
-//! ports) with and without mini-graphs; and a 2-cycle (pipelined)
-//! scheduler with and without mini-graphs.
-
-use mg_bench::experiments::fig8_bandwidth_runs;
-use mg_bench::{gmean, CliArgs, Table};
+//! Deprecated alias for `mg run fig8_bandwidth` (byte-identical output);
+//! kept for one release. See [`mg_bench::figures::fig8_bandwidth`].
 
 fn main() {
-    let engine = CliArgs::parse().engine().build();
-
-    let runs = fig8_bandwidth_runs();
-    let matrix = engine.run(&runs);
-
-    println!("== Figure 8 (bottom): bandwidth / scheduler-latency reductions ==");
-    println!("   (all numbers relative to the 6-wide, 1-cycle-scheduler baseline)");
-    for (suite, members) in matrix.by_suite() {
-        println!("\n-- {suite} --");
-        let mut header = vec!["benchmark"];
-        header.extend(matrix.labels.iter().map(String::as_str));
-        let mut t = Table::new(&header);
-        let mut means = vec![Vec::new(); runs.len()];
-        for row in &members {
-            let mut cells = vec![row.prep.name.clone()];
-            for (vi, sink) in means.iter_mut().enumerate() {
-                let x = row.speedup_over(0, vi);
-                sink.push(x);
-                cells.push(format!("{x:.3}"));
-            }
-            t.row(cells);
-        }
-        print!("{}", t.render());
-        let summary: Vec<String> = matrix
-            .labels
-            .iter()
-            .zip(&means)
-            .map(|(n, xs)| format!("{n} {:.3}", gmean(xs)))
-            .collect();
-        println!("gmean: {}", summary.join("  "));
-    }
+    mg_bench::cli::legacy_main("fig8_bandwidth");
 }

@@ -1,54 +1,6 @@
-//! Figure 8 (top) — capacity: physical register file size.
-//!
-//! Baseline, integer, and integer-memory mini-graph configurations at
-//! 164/144/124/104 physical registers, all relative to the 164-register
-//! baseline. The paper's claim: mini-graphs compensate — and often
-//! over-compensate — for a 40% reduction in in-flight registers.
-
-use mg_bench::experiments::{fig8_regfile_runs, REGFILE_SIZES as REGS};
-use mg_bench::{gmean, CliArgs, Table};
-
-/// Per-size accumulators: (regs, baseline, int, intmem speedups).
-type SizeMeans = (usize, Vec<f64>, Vec<f64>, Vec<f64>);
+//! Deprecated alias for `mg run fig8_regfile` (byte-identical output);
+//! kept for one release. See [`mg_bench::figures::fig8_regfile`].
 
 fn main() {
-    let engine = CliArgs::parse().engine().build();
-
-    // Column 0 is the reference; then (baseline, int, intmem) per size.
-    let matrix = engine.run(&fig8_regfile_runs());
-
-    println!("== Figure 8 (top): performance vs physical register file size ==");
-    println!("   (all numbers relative to the 164-register baseline)");
-    for (suite, members) in matrix.by_suite() {
-        println!("\n-- {suite} --");
-        let mut t = Table::new(&["benchmark", "regs", "baseline", "int", "intmem"]);
-        let mut means: Vec<SizeMeans> =
-            REGS.iter().map(|&r| (r, Vec::new(), Vec::new(), Vec::new())).collect();
-        for row in &members {
-            for (ri, &regs) in REGS.iter().enumerate() {
-                let b = row.speedup_over(0, 1 + 3 * ri);
-                let i = row.speedup_over(0, 2 + 3 * ri);
-                let m = row.speedup_over(0, 3 + 3 * ri);
-                means[ri].1.push(b);
-                means[ri].2.push(i);
-                means[ri].3.push(m);
-                t.row(vec![
-                    row.prep.name.clone(),
-                    regs.to_string(),
-                    format!("{b:.3}"),
-                    format!("{i:.3}"),
-                    format!("{m:.3}"),
-                ]);
-            }
-        }
-        print!("{}", t.render());
-        for (regs, b, i, m) in &means {
-            println!(
-                "gmean @{regs}: baseline {:.3}  int {:.3}  intmem {:.3}",
-                gmean(b),
-                gmean(i),
-                gmean(m)
-            );
-        }
-    }
+    mg_bench::cli::legacy_main("fig8_regfile");
 }

@@ -1,46 +1,6 @@
-//! §6.2 — instruction-cache effects of code compression.
-//!
-//! The paper isolates mini-graph benefits from code-compression benefits
-//! by padding collapsed slots with nops; this experiment measures what
-//! the compression adds back: the nop-padded image vs the compressed
-//! image (static size reduction and speedup), per suite. The paper reports
-//! that SPECint — with the largest instruction footprints — is the only
-//! suite with a noticeable additional gain.
-
-use mg_bench::experiments::{icache_policy, icache_runs};
-use mg_bench::{gmean, CliArgs, Table};
-use mg_core::RewriteStyle;
+//! Deprecated alias for `mg run icache` (byte-identical output); kept
+//! for one release. See [`mg_bench::figures::icache`].
 
 fn main() {
-    let engine = CliArgs::parse().engine().build();
-
-    let policy = icache_policy();
-    let matrix = engine.run(&icache_runs());
-
-    println!("== §6.2: instruction-cache effects (nop-padded vs compressed images) ==");
-    for (suite, members) in matrix.by_suite() {
-        println!("\n-- {suite} --");
-        let mut t =
-            Table::new(&["benchmark", "static", "compressed", "padded-x", "compressed-x"]);
-        let mut pad = Vec::new();
-        let mut comp = Vec::new();
-        for row in &members {
-            let p = &row.prep;
-            let px = row.speedup_over(0, 1);
-            let cx = row.speedup_over(0, 2);
-            pad.push(px);
-            comp.push(cx);
-            // The compressed image is already cached from the matrix run.
-            let compressed_len = p.image(&policy, RewriteStyle::Compressed).program.len();
-            t.row(vec![
-                p.name.clone(),
-                p.prog.len().to_string(),
-                compressed_len.to_string(),
-                format!("{px:.3}"),
-                format!("{cx:.3}"),
-            ]);
-        }
-        print!("{}", t.render());
-        println!("gmean: padded {:.3}  compressed {:.3}", gmean(&pad), gmean(&comp));
-    }
+    mg_bench::cli::legacy_main("icache");
 }

@@ -1,42 +1,6 @@
-//! §6.3 — scheduler (issue queue) capacity.
-//!
-//! The paper states (without a figure) that "mini-graph processing can
-//! similarly deal with reductions in the number of scheduler entries";
-//! this experiment quantifies it: baseline and integer-memory mini-graph
-//! configurations at 50/40/30/20 issue-queue entries, relative to the
-//! 50-entry baseline.
-
-use mg_bench::experiments::{iq_capacity_runs, IQ_SIZES as SIZES};
-use mg_bench::{gmean, CliArgs, Table};
+//! Deprecated alias for `mg run iq_capacity` (byte-identical output);
+//! kept for one release. See [`mg_bench::figures::iq_capacity`].
 
 fn main() {
-    let engine = CliArgs::parse().engine().build();
-
-    let matrix = engine.run(&iq_capacity_runs());
-
-    println!("== §6.3: performance vs issue-queue size (relative to 50-entry baseline) ==");
-    for (suite, members) in matrix.by_suite() {
-        println!("\n-- {suite} --");
-        let mut t = Table::new(&["benchmark", "iq", "baseline", "intmem"]);
-        let mut means: Vec<(usize, Vec<f64>, Vec<f64>)> =
-            SIZES.iter().map(|&s| (s, Vec::new(), Vec::new())).collect();
-        for row in &members {
-            for (si, &iq) in SIZES.iter().enumerate() {
-                let b = row.speedup_over(0, 1 + 2 * si);
-                let m = row.speedup_over(0, 2 + 2 * si);
-                means[si].1.push(b);
-                means[si].2.push(m);
-                t.row(vec![
-                    row.prep.name.clone(),
-                    iq.to_string(),
-                    format!("{b:.3}"),
-                    format!("{m:.3}"),
-                ]);
-            }
-        }
-        print!("{}", t.render());
-        for (iq, b, m) in &means {
-            println!("gmean @{iq}: baseline {:.3}  intmem {:.3}", gmean(b), gmean(m));
-        }
-    }
+    mg_bench::cli::legacy_main("iq_capacity");
 }

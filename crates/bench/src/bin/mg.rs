@@ -1,0 +1,6 @@
+//! The unified `mg` experiment CLI: `run`, `list`, `report`, `cache`.
+//! See [`mg_bench::cli`] for the architecture and `DESIGN.md` §5.
+
+fn main() {
+    std::process::exit(mg_bench::cli::mg_main());
+}

@@ -1,296 +1,7 @@
-//! Simulator performance trajectory: times the per-figure experiments
-//! and a selection stress case, and writes `BENCH_pipeline.json`.
-//!
-//! Each experiment is measured the way its binary runs it — a fresh
-//! [`Engine`] (preparation included, timed separately) plus the shared
-//! run matrix from [`mg_bench::experiments`] — so the recorded wall
-//! clock tracks what `cargo run --bin fig6_performance -- --quick`
-//! actually costs. Simulation throughput (`mcycles_per_s`, simulated
-//! megacycles per second of run time) is the hot-loop health metric:
-//! it is what the event wheel, idle-cycle skipping, and trace-storage
-//! work optimise.
-//!
-//! ```text
-//! perf_report [--quick|--full] [--threads N] [--out PATH]
-//!             [--baseline PATH] [--max-regression X]
-//! ```
-//!
-//! Defaults: quick mode, `--out BENCH_pipeline.json`. With `--baseline`,
-//! compares each experiment's wall clock against the named report and
-//! exits non-zero if any regressed by more than `--max-regression`
-//! (default 3.0) — a loose bound that catches wedges, not noise. CI runs
-//! this against the committed `BENCH_pipeline.json`.
-
-use mg_bench::experiments::{
-    fig5_selection_sweep, fig6_runs, fig7_runs, fig8_bandwidth_runs, fig8_regfile_runs,
-    icache_runs, iq_capacity_runs, FIG7_FOCUS,
-};
-use mg_bench::{Engine, EngineBuilder, Run};
-use mg_core::{select, MiniGraph, Policy};
-use mg_isa::{MgTemplate, Opcode, TmplInst, TmplOperand};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
-
-struct Args {
-    quick: bool,
-    threads: Option<usize>,
-    out: String,
-    baseline: Option<String>,
-    max_regression: f64,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        quick: true,
-        threads: None,
-        out: "BENCH_pipeline.json".into(),
-        baseline: None,
-        max_regression: 3.0,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut value =
-            |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} requires a value"));
-        match a.as_str() {
-            "--quick" => args.quick = true,
-            "--full" => args.quick = false,
-            "--threads" => {
-                args.threads =
-                    Some(value("--threads").parse().expect("--threads requires an integer"))
-            }
-            "--out" => args.out = value("--out"),
-            "--baseline" => args.baseline = Some(value("--baseline")),
-            "--max-regression" => {
-                args.max_regression = value("--max-regression")
-                    .parse()
-                    .expect("--max-regression requires a number")
-            }
-            other => panic!(
-                "unknown argument {other:?} (expected --quick, --full, --threads N, \
-                 --out PATH, --baseline PATH, or --max-regression X)"
-            ),
-        }
-    }
-    args
-}
-
-/// One timed experiment row of the report.
-struct Measurement {
-    name: &'static str,
-    prep_ms: f64,
-    run_ms: f64,
-    sim_cycles: u64,
-    sim_ops: u64,
-}
-
-impl Measurement {
-    fn wall_ms(&self) -> f64 {
-        self.prep_ms + self.run_ms
-    }
-
-    fn to_json(&self) -> String {
-        let rate = |n: u64| {
-            if self.run_ms > 0.0 {
-                n as f64 / 1e6 / (self.run_ms / 1e3)
-            } else {
-                0.0
-            }
-        };
-        format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.1}, \"prep_ms\": {:.1}, \
-             \"run_ms\": {:.1}, \"sim_cycles\": {}, \"sim_ops\": {}, \
-             \"mcycles_per_s\": {:.2}, \"mops_per_s\": {:.2}}}",
-            self.name,
-            self.wall_ms(),
-            self.prep_ms,
-            self.run_ms,
-            self.sim_cycles,
-            self.sim_ops,
-            rate(self.sim_cycles),
-            rate(self.sim_ops),
-        )
-    }
-}
-
-fn engine(args: &Args, workloads: Option<&[&str]>) -> (Engine, f64) {
-    let mut b: EngineBuilder = Engine::builder().quick(args.quick);
-    if let Some(t) = args.threads {
-        b = b.threads(t);
-    }
-    if let Some(w) = workloads {
-        b = b.workloads(w);
-    }
-    let t = Instant::now();
-    let engine = b.build();
-    (engine, t.elapsed().as_secs_f64() * 1e3)
-}
-
-fn sim_experiment(
-    name: &'static str,
-    args: &Args,
-    workloads: Option<&[&str]>,
-    runs: &[Run],
-) -> Measurement {
-    let (engine, prep_ms) = engine(args, workloads);
-    let t = Instant::now();
-    let matrix = engine.run(runs);
-    let run_ms = t.elapsed().as_secs_f64() * 1e3;
-    let stats = matrix.rows.iter().flat_map(|r| r.stats.iter());
-    let (sim_cycles, sim_ops) = stats.fold((0, 0), |(c, o), s| (c + s.cycles, o + s.ops));
-    eprintln!("{name:14} prep {prep_ms:8.1} ms  run {run_ms:8.1} ms  {sim_cycles:>10} cycles");
-    Measurement { name, prep_ms, run_ms, sim_cycles, sim_ops }
-}
-
-/// A synthetic selection workload far past the real candidate pools: many
-/// heavily-overlapping instances of many templates with tied benefits,
-/// selected at a large MGT capacity. This is the O(rounds × instances ×
-/// members) worst case the incremental greedy picker exists for.
-fn select_stress(args: &Args) -> Measurement {
-    let template = |k: i64| MgTemplate {
-        ops: (0..3)
-            .map(|_| TmplInst {
-                op: Opcode::Addq,
-                a: TmplOperand::E0,
-                b: TmplOperand::Imm(k),
-                disp: 0,
-            })
-            .collect(),
-        out: Some(2),
-    };
-    let (n_templates, per_template) = if args.quick { (1500, 12) } else { (4000, 16) };
-    let mut rng = StdRng::seed_from_u64(0x5eed_ca5e);
-    let mut candidates = Vec::with_capacity(n_templates * per_template);
-    for k in 0..n_templates {
-        for _ in 0..per_template {
-            let start = rng.gen_range(0..n_templates * 4);
-            candidates.push(MiniGraph {
-                members: vec![start, start + 1, start + 2],
-                anchor: start + 2,
-                inputs: vec![],
-                output: None,
-                template: template(k as i64),
-                freq: rng.gen_range(1u64..=3),
-                branch_target: None,
-            });
-        }
-    }
-    let policy = Policy::default().with_capacity(n_templates / 2);
-    let t = Instant::now();
-    let sel = select(&candidates, &policy);
-    let run_ms = t.elapsed().as_secs_f64() * 1e3;
-    eprintln!(
-        "select_stress  prep      0.0 ms  run {run_ms:8.1} ms  {} instances chosen",
-        sel.chosen.len()
-    );
-    Measurement {
-        name: "select_stress",
-        prep_ms: 0.0,
-        run_ms,
-        sim_cycles: 0,
-        sim_ops: sel.chosen.len() as u64,
-    }
-}
-
-fn fig5_experiment(args: &Args) -> Measurement {
-    let (engine, prep_ms) = engine(args, None);
-    let t = Instant::now();
-    let selected = fig5_selection_sweep(&engine);
-    let run_ms = t.elapsed().as_secs_f64() * 1e3;
-    eprintln!(
-        "fig5_coverage  prep {prep_ms:8.1} ms  run {run_ms:8.1} ms  {selected} instances chosen"
-    );
-    Measurement { name: "fig5_coverage", prep_ms, run_ms, sim_cycles: 0, sim_ops: selected }
-}
-
-/// Extracts the recorded mode and `(name, wall_ms)` pairs from a report
-/// previously written by this binary (line-oriented scan; not a general
-/// JSON parser).
-fn read_baseline(path: &str) -> (String, Vec<(String, f64)>) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let mut mode = String::new();
-    let mut rows = Vec::new();
-    for line in text.lines() {
-        if let Some(at) = line.find("\"mode\": \"") {
-            if let Some(end) = line[at + 9..].find('"') {
-                mode = line[at + 9..at + 9 + end].to_string();
-            }
-            continue;
-        }
-        let Some(name_at) = line.find("\"name\": \"") else { continue };
-        let rest = &line[name_at + 9..];
-        let Some(name_end) = rest.find('"') else { continue };
-        let name = rest[..name_end].to_string();
-        let Some(wall_at) = rest.find("\"wall_ms\": ") else { continue };
-        let wall = rest[wall_at + 11..]
-            .split([',', '}'])
-            .next()
-            .and_then(|v| v.trim().parse::<f64>().ok());
-        if let Some(wall) = wall {
-            rows.push((name, wall));
-        }
-    }
-    (mode, rows)
-}
+//! Deprecated alias for `mg run perf` (same behaviour: times the sweeps,
+//! writes `BENCH_pipeline.json`, gates on `--baseline`); kept for one
+//! release. See [`mg_bench::figures::perf`].
 
 fn main() {
-    let args = parse_args();
-    let mode = if args.quick { "quick" } else { "full" };
-    eprintln!("perf_report: mode {mode}");
-
-    let measurements = vec![
-        fig5_experiment(&args),
-        sim_experiment("fig6", &args, None, &fig6_runs()),
-        sim_experiment("fig7", &args, Some(&FIG7_FOCUS), &fig7_runs()),
-        sim_experiment("fig8_regfile", &args, None, &fig8_regfile_runs()),
-        sim_experiment("fig8_bandwidth", &args, None, &fig8_bandwidth_runs()),
-        sim_experiment("icache", &args, None, &icache_runs()),
-        sim_experiment("iq_capacity", &args, None, &iq_capacity_runs()),
-        select_stress(&args),
-    ];
-
-    let rows: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
-    let report = format!(
-        "{{\n  \"schema\": \"mg-perf-report-v1\",\n  \"mode\": \"{mode}\",\n  \
-         \"experiments\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
-    std::fs::write(&args.out, &report)
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
-    eprintln!("wrote {}", args.out);
-
-    if let Some(path) = &args.baseline {
-        let (base_mode, baseline) = read_baseline(path);
-        // Quick and full wall clocks differ by an order of magnitude:
-        // comparing across modes is either a vacuous pass or a spurious
-        // failure, so refuse outright.
-        assert_eq!(
-            base_mode, mode,
-            "baseline {path} was recorded in {base_mode:?} mode but this run is {mode:?}; \
-             regenerate the baseline in the same mode"
-        );
-        let mut regressed = false;
-        for m in &measurements {
-            let Some((_, old)) = baseline.iter().find(|(n, _)| n == m.name) else {
-                eprintln!("note: {} absent from baseline {path}", m.name);
-                continue;
-            };
-            let ratio = if *old > 0.0 { m.wall_ms() / old } else { 0.0 };
-            if ratio > args.max_regression {
-                eprintln!(
-                    "REGRESSION: {} took {:.1} ms vs baseline {:.1} ms ({ratio:.2}x > {:.2}x)",
-                    m.name,
-                    m.wall_ms(),
-                    old,
-                    args.max_regression
-                );
-                regressed = true;
-            }
-        }
-        if regressed {
-            std::process::exit(1);
-        }
-        eprintln!("all experiments within {:.1}x of baseline {path}", args.max_regression);
-    }
+    mg_bench::cli::legacy_main("perf");
 }

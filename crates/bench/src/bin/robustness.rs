@@ -1,58 +1,6 @@
-//! §6.1 — intra-application input-data robustness.
-//!
-//! Selects mini-graphs using basic-block profiles from one input set and
-//! evaluates realized coverage on another (the paper reports an average
-//! relative coverage loss of ~15%, with most programs within 15% of their
-//! same-input coverage).
-
-use mg_bench::{gmean, CliArgs, Prep, Table};
-use mg_core::Policy;
-use mg_workloads::Input;
-
-/// Realized coverage on the test input of a selection trained on the
-/// training input: credit each chosen instance with its anchor block's
-/// frequency in the test profile (both preps carry their profiles).
-fn cross_coverage(trained: &Prep, test: &Prep, policy: &Policy) -> (f64, f64) {
-    let sel = trained.select(policy);
-    let mut realized = 0u64;
-    for c in &sel.chosen {
-        let block = test.cfg.block_of(c.graph.anchor).expect("anchor is in a block");
-        realized += (c.graph.size() as u64 - 1) * test.prof.block_count(block);
-    }
-    let cross = realized as f64 / test.prof.total as f64;
-    // Native coverage on the test input (selection trained on test).
-    let native = test.select(policy).coverage(test.total_dyn);
-    (cross, native)
-}
+//! Deprecated alias for `mg run robustness` (byte-identical output);
+//! kept for one release. See [`mg_bench::figures::robustness`].
 
 fn main() {
-    let args = CliArgs::parse();
-    println!("== §6.1: coverage robustness across input data sets ==");
-    println!("   (trained on reference input, evaluated on alternative input)");
-    // Two engines: identical workload order, different inputs.
-    let trained = args.engine().input(Input::reference()).build();
-    let test = args.engine().input(Input::alternative()).build();
-    let policy = Policy::integer_memory();
-
-    for ((suite, trained_members), (_, test_members)) in
-        trained.by_suite().into_iter().zip(test.by_suite())
-    {
-        println!("\n-- {suite} --");
-        let mut t = Table::new(&["benchmark", "native%", "cross%", "relative"]);
-        let mut rels = Vec::new();
-        for (tr, te) in trained_members.iter().zip(&test_members) {
-            assert_eq!(tr.name, te.name, "engines registered in the same order");
-            let (cross, native) = cross_coverage(tr, te, &policy);
-            let rel = if native > 0.0 { cross / native } else { 1.0 };
-            rels.push(rel.max(1e-9));
-            t.row(vec![
-                tr.name.clone(),
-                format!("{:.1}", 100.0 * native),
-                format!("{:.1}", 100.0 * cross),
-                format!("{rel:.2}"),
-            ]);
-        }
-        print!("{}", t.render());
-        println!("suite gmean retention: {:.2}", gmean(&rels));
-    }
+    mg_bench::cli::legacy_main("robustness");
 }

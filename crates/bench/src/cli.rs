@@ -1,0 +1,1055 @@
+//! The unified `mg` experiment CLI.
+//!
+//! One binary drives the whole evaluation matrix:
+//!
+//! ```text
+//! mg run <experiment> [--quick|--full] [--threads N] [--best]
+//!                     [--no-cache] [--format text|json|csv|markdown]
+//! mg list  [--format ...]           # the experiment registry
+//! mg report [--write|--check] [--format ...]   # regenerate the docs
+//! mg cache  [stats|clear|dir] [--format ...]   # the artifact cache
+//! ```
+//!
+//! Every experiment builds a structured [`Report`] — a sequence of text
+//! lines and typed tables — and the format renderers derive all four
+//! output shapes from it. The **text** rendering is byte-identical to the
+//! legacy per-figure binary for that experiment (`fig6_performance`,
+//! `iq_capacity`, …): the legacy binaries are now three-line shims over
+//! [`legacy_main`], kept for one release as deprecated aliases.
+//!
+//! `mg report` turns the documentation into a build product: it composes
+//! `EXPERIMENTS.md` (every experiment's quick-mode output, which is
+//! deterministic) and the quickstart block of `README.md` from the same
+//! registry, writes them with `--write`, and verifies them with `--check`
+//! (CI fails on drift).
+
+use crate::figures;
+use mg_harness::{quick_mode, PrepCache, Table};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Output format of every subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Legacy plain text (byte-identical to the per-figure binaries).
+    Text,
+    /// One JSON document (`mg-report-v1`).
+    Json,
+    /// Tables only, comma-separated, with `# table:` separators.
+    Csv,
+    /// GitHub-flavoured markdown.
+    Markdown,
+}
+
+impl Format {
+    fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "csv" => Some(Format::Csv),
+            "markdown" | "md" => Some(Format::Markdown),
+            _ => None,
+        }
+    }
+}
+
+/// One table of a report: identified, typed, and renderable in every
+/// format.
+#[derive(Clone, Debug)]
+pub struct TableBlock {
+    /// Stable identifier (e.g. `"fig6.SPECint"`) for machine consumers.
+    pub id: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (ragged rows allowed, as in the legacy tables).
+    pub rows: Vec<Vec<String>>,
+    /// Whether the text renderer skips this table (used by experiments
+    /// whose legacy binaries print nothing to stdout, e.g. `perf`).
+    pub hidden: bool,
+}
+
+/// One element of a report, in output order.
+#[derive(Clone, Debug)]
+pub enum Block {
+    /// A verbatim text line (no trailing newline).
+    Line(String),
+    /// A table.
+    Table(TableBlock),
+}
+
+/// A structured experiment report; the single source every output format
+/// renders from.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The experiment's registry name.
+    pub experiment: String,
+    /// Lines and tables, in output order.
+    pub blocks: Vec<Block>,
+    /// Process exit status (non-zero for e.g. a perf regression gate).
+    pub status: i32,
+}
+
+impl Report {
+    /// Creates an empty report for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Report {
+        Report { experiment: experiment.into(), blocks: Vec::new(), status: 0 }
+    }
+
+    /// Appends a text line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.blocks.push(Block::Line(s.into()));
+    }
+
+    /// Appends an empty line followed by `s` (the `println!("\n…")`
+    /// idiom of the legacy binaries).
+    pub fn blank_then(&mut self, s: impl Into<String>) {
+        self.line("");
+        self.line(s);
+    }
+
+    /// Appends a table.
+    pub fn table(&mut self, t: TableBlock) {
+        self.blocks.push(Block::Table(t));
+    }
+
+    /// All tables, in order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableBlock> {
+        self.blocks.iter().filter_map(|b| match b {
+            Block::Table(t) => Some(t),
+            Block::Line(_) => None,
+        })
+    }
+}
+
+impl TableBlock {
+    /// Creates a table with the given id and column headers.
+    pub fn new(id: impl Into<String>, columns: &[&str]) -> TableBlock {
+        TableBlock {
+            id: id.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            hidden: false,
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Marks the table as hidden from the text renderer.
+    pub fn hidden(mut self) -> TableBlock {
+        self.hidden = true;
+        self
+    }
+
+    fn render_text(&self) -> String {
+        let cols: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let mut t = Table::new(&cols);
+        for r in &self.rows {
+            t.row(r.clone());
+        }
+        t.render()
+    }
+}
+
+/// Renders `report` exactly as the legacy binary printed it.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for b in &report.blocks {
+        match b {
+            Block::Line(l) => {
+                out.push_str(l);
+                out.push('\n');
+            }
+            Block::Table(t) if !t.hidden => out.push_str(&t.render_text()),
+            Block::Table(_) => {}
+        }
+    }
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `report` as one `mg-report-v1` JSON document.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"mg-report-v1\",\n");
+    let _ = writeln!(out, "  \"experiment\": {},", json_str(&report.experiment));
+    out.push_str("  \"blocks\": [\n");
+    let mut first = true;
+    for b in &report.blocks {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        match b {
+            Block::Line(l) => {
+                let _ = write!(out, "    {{\"type\": \"line\", \"text\": {}}}", json_str(l));
+            }
+            Block::Table(t) => {
+                let cols: Vec<String> = t.columns.iter().map(|c| json_str(c)).collect();
+                let _ = write!(
+                    out,
+                    "    {{\"type\": \"table\", \"id\": {}, \"columns\": [{}], \"rows\": [",
+                    json_str(&t.id),
+                    cols.join(", ")
+                );
+                for (i, r) in t.rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let cells: Vec<String> = r.iter().map(|c| json_str(c)).collect();
+                    let _ = write!(out, "[{}]", cells.join(", "));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Escapes one CSV field.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders every table of `report` as CSV, separated by `# table:` lines.
+pub fn render_csv(report: &Report) -> String {
+    let mut out = String::new();
+    for t in report.tables() {
+        let _ = writeln!(out, "# table: {}", t.id);
+        let cols: Vec<String> = t.columns.iter().map(|c| csv_field(c)).collect();
+        let _ = writeln!(out, "{}", cols.join(","));
+        for r in &t.rows {
+            let cells: Vec<String> = r.iter().map(|c| csv_field(c)).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+    }
+    out
+}
+
+/// Renders `report` as GitHub-flavoured markdown: `== x ==` lines become
+/// `###` headings, `-- x --` lines `####` headings, tables become pipe
+/// tables.
+pub fn render_markdown(report: &Report) -> String {
+    let mut out = String::new();
+    for b in &report.blocks {
+        match b {
+            Block::Line(l) => {
+                let l = l.trim_end();
+                if let Some(h) = l.strip_prefix("== ").and_then(|s| s.strip_suffix(" ==")) {
+                    let _ = writeln!(out, "### {h}");
+                } else if let Some(h) =
+                    l.strip_prefix("-- ").and_then(|s| s.strip_suffix(" --"))
+                {
+                    let _ = writeln!(out, "#### {h}");
+                } else if l.is_empty() {
+                    out.push('\n');
+                } else {
+                    let _ = writeln!(out, "{}", l.trim_start());
+                }
+            }
+            Block::Table(t) => {
+                let _ = writeln!(out, "\n| {} |", t.columns.join(" | "));
+                let _ = writeln!(
+                    out,
+                    "|{}|",
+                    t.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+                );
+                let width = t.columns.len();
+                for r in &t.rows {
+                    let mut cells: Vec<String> = r.clone();
+                    while cells.len() < width {
+                        cells.push(String::new());
+                    }
+                    let _ = writeln!(out, "| {} |", cells.join(" | "));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Renders `report` in `format`.
+pub fn render(report: &Report, format: Format) -> String {
+    match format {
+        Format::Text => render_text(report),
+        Format::Json => render_json(report),
+        Format::Csv => render_csv(report),
+        Format::Markdown => render_markdown(report),
+    }
+}
+
+/// Arguments of `mg run` (and, restricted, of the legacy binaries).
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// `--quick`/`--full` override; `None` means the experiment default
+    /// (the `MG_QUICK` environment for the figures, quick for `perf`).
+    pub quick: Option<bool>,
+    /// `--threads N` worker override.
+    pub threads: Option<usize>,
+    /// `--best` (fig7 only): the §6.2 best-policy sweep.
+    pub best: bool,
+    /// `--no-cache`: disable the persistent artifact cache.
+    pub no_cache: bool,
+    /// `--out PATH` (perf only): report destination.
+    pub out: String,
+    /// `--baseline PATH` (perf only): regression-gate reference.
+    pub baseline: Option<String>,
+    /// `--max-regression X` (perf only): gate bound.
+    pub max_regression: f64,
+}
+
+impl Default for RunArgs {
+    fn default() -> RunArgs {
+        RunArgs {
+            quick: None,
+            threads: None,
+            best: false,
+            no_cache: false,
+            out: "BENCH_pipeline.json".into(),
+            baseline: None,
+            max_regression: 3.0,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Whether this run is quick, applying the experiment default.
+    pub fn is_quick(&self, default_quick: bool) -> bool {
+        self.quick.unwrap_or_else(|| default_quick || quick_mode())
+    }
+
+    /// An engine builder configured from these arguments (quick per
+    /// [`RunArgs::is_quick`] with a non-quick default, cache on unless
+    /// `--no-cache`).
+    pub fn engine(&self) -> mg_harness::EngineBuilder {
+        let mut b =
+            mg_harness::Engine::builder().quick(self.is_quick(false)).cache(!self.no_cache);
+        if let Some(t) = self.threads {
+            b = b.threads(t);
+        }
+        b
+    }
+}
+
+/// One registry entry: an experiment the CLI can run.
+pub struct ExperimentSpec {
+    /// Registry name (`mg run <name>`).
+    pub name: &'static str,
+    /// The deprecated per-figure binary this replaces.
+    pub legacy_bin: &'static str,
+    /// One-line description (shown by `mg list` and in the README).
+    pub description: &'static str,
+    /// Paper anchor (figure/section).
+    pub paper_ref: &'static str,
+    /// Builds the report.
+    pub build: fn(&RunArgs) -> Report,
+}
+
+/// The experiment registry, in the paper's presentation order.
+pub fn experiments() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            name: "fig5",
+            legacy_bin: "fig5_coverage",
+            description:
+                "Coverage sweeps: MGT capacity x max mini-graph size, all three panels",
+            paper_ref: "Figure 5",
+            build: figures::fig5,
+        },
+        ExperimentSpec {
+            name: "fig6",
+            legacy_bin: "fig6_performance",
+            description: "Speedup of the four mini-graph machine configurations over baseline",
+            paper_ref: "Figure 6",
+            build: figures::fig6,
+        },
+        ExperimentSpec {
+            name: "fig7",
+            legacy_bin: "fig7_serialization",
+            description: "Serialization/replay ablations (--best adds the per-benchmark sweep)",
+            paper_ref: "Figure 7, §6.2",
+            build: figures::fig7,
+        },
+        ExperimentSpec {
+            name: "fig8_regfile",
+            legacy_bin: "fig8_regfile",
+            description: "Performance vs physical-register-file size",
+            paper_ref: "Figure 8 (top)",
+            build: figures::fig8_regfile,
+        },
+        ExperimentSpec {
+            name: "fig8_bandwidth",
+            legacy_bin: "fig8_bandwidth",
+            description:
+                "Bandwidth and scheduler-latency reductions, with and without mini-graphs",
+            paper_ref: "Figure 8 (bottom)",
+            build: figures::fig8_bandwidth,
+        },
+        ExperimentSpec {
+            name: "robustness",
+            legacy_bin: "robustness",
+            description: "Cross-input coverage robustness (train/test input split)",
+            paper_ref: "§6.1",
+            build: figures::robustness,
+        },
+        ExperimentSpec {
+            name: "icache",
+            legacy_bin: "icache_effects",
+            description: "Instruction-cache effects: nop-padded vs compressed images",
+            paper_ref: "§6.2",
+            build: figures::icache,
+        },
+        ExperimentSpec {
+            name: "iq_capacity",
+            legacy_bin: "iq_capacity",
+            description: "Performance vs issue-queue size",
+            paper_ref: "§6.3",
+            build: figures::iq_capacity,
+        },
+        ExperimentSpec {
+            name: "perf",
+            legacy_bin: "perf_report",
+            description: "Times every sweep, writes BENCH_pipeline.json, gates on regressions",
+            paper_ref: "tooling",
+            build: figures::perf,
+        },
+    ]
+}
+
+/// Looks up an experiment by registry name or legacy binary name.
+pub fn experiment(name: &str) -> Option<ExperimentSpec> {
+    experiments().into_iter().find(|e| e.name == name || e.legacy_bin == name)
+}
+
+/// Entry point of a deprecated per-figure binary: parses the binary's
+/// historical argv, runs the experiment, and prints the text rendering —
+/// byte-identical to the original main.
+pub fn legacy_main(name: &str) {
+    let spec = experiment(name).unwrap_or_else(|| panic!("unknown experiment {name:?}"));
+    let args = if spec.name == "perf" {
+        parse_legacy_perf_args()
+    } else {
+        let legacy = mg_harness::CliArgs::parse();
+        RunArgs {
+            quick: Some(legacy.quick),
+            threads: legacy.threads,
+            best: legacy.best,
+            no_cache: legacy.no_cache,
+            ..RunArgs::default()
+        }
+    };
+    let report = (spec.build)(&args);
+    print!("{}", render_text(&report));
+    if report.status != 0 {
+        std::process::exit(report.status);
+    }
+}
+
+/// The historical `perf_report` argv: quick by default, plus the report
+/// and regression-gate flags — parsed by the same [`parse_flags`] the
+/// `mg` subcommands use (one parser to keep in sync), with the shim's
+/// historical panic-on-bad-argument behaviour preserved.
+fn parse_legacy_perf_args() -> RunArgs {
+    let mut args = RunArgs { quick: Some(true), ..RunArgs::default() };
+    let mut format = Format::Text;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_flags(&argv, &mut args, &mut format) {
+        Ok(positional) if positional.is_empty() => args,
+        Ok(positional) => panic!(
+            "unknown argument {:?} (expected --quick, --full, --threads N, --out PATH, \
+             --baseline PATH, or --max-regression X)",
+            positional[0]
+        ),
+        Err(e) => panic!(
+            "{e} (expected --quick, --full, --threads N, --out PATH, --baseline PATH, \
+             or --max-regression X)"
+        ),
+    }
+}
+
+const USAGE: &str = "\
+mg — unified experiment CLI for the mini-graphs reproduction
+
+USAGE:
+    mg run <experiment> [--quick|--full] [--threads N] [--best]
+                        [--no-cache] [--format text|json|csv|markdown]
+                        [--out PATH] [--baseline PATH] [--max-regression X]
+    mg list   [--format ...]
+    mg report [--write|--check] [--quick] [--threads N] [--no-cache] [--format ...]
+    mg cache  [stats|clear|dir] [--format ...]
+    mg help
+
+Run `mg list` for the experiment registry. The deprecated per-figure
+binaries (fig6_performance, ...) are aliases for `mg run <experiment>
+--format text` and print byte-identical output.
+";
+
+/// Entry point of the `mg` binary. Returns the process exit status.
+pub fn mg_main() -> i32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&argv[1..]),
+        "list" => cmd_list(&argv[1..]),
+        "report" => cmd_report(&argv[1..]),
+        "cache" => cmd_cache(&argv[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            0
+        }
+        other => {
+            eprintln!("mg: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}
+
+/// Parses the flags shared by `run`/`report` plus a format; returns
+/// leftover positional arguments.
+fn parse_flags(
+    argv: &[String],
+    args: &mut RunArgs,
+    format: &mut Format,
+) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        match a.as_str() {
+            "--quick" => args.quick = Some(true),
+            "--full" => args.quick = Some(false),
+            "--best" => args.best = true,
+            "--no-cache" => args.no_cache = true,
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads requires a positive integer".to_string())?,
+                )
+            }
+            "--format" => {
+                let v = value("--format")?;
+                *format = Format::parse(&v)
+                    .ok_or_else(|| format!("unknown format {v:?} (text|json|csv|markdown)"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|_| "--max-regression requires a number".to_string())?
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            pos => positional.push(pos.to_string()),
+        }
+    }
+    Ok(positional)
+}
+
+fn cmd_run(argv: &[String]) -> i32 {
+    let mut args = RunArgs::default();
+    let mut format = Format::Text;
+    let positional = match parse_flags(argv, &mut args, &mut format) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mg run: {e}");
+            return 2;
+        }
+    };
+    let [name] = positional.as_slice() else {
+        eprintln!("mg run: expected exactly one experiment name; see `mg list`");
+        return 2;
+    };
+    let Some(spec) = experiment(name) else {
+        eprintln!("mg run: unknown experiment {name:?}; see `mg list`");
+        return 2;
+    };
+    let report = (spec.build)(&args);
+    print!("{}", render(&report, format));
+    report.status
+}
+
+fn cmd_list(argv: &[String]) -> i32 {
+    let mut args = RunArgs::default();
+    let mut format = Format::Text;
+    if let Err(e) = parse_flags(argv, &mut args, &mut format) {
+        eprintln!("mg list: {e}");
+        return 2;
+    }
+    let mut report = Report::new("list");
+    report.line("== Experiments (mg run <name>) ==");
+    let mut t = TableBlock::new("list", &["name", "paper", "deprecated alias", "description"]);
+    for e in experiments() {
+        t.row(vec![
+            e.name.to_string(),
+            e.paper_ref.to_string(),
+            e.legacy_bin.to_string(),
+            e.description.to_string(),
+        ]);
+    }
+    report.table(t);
+    print!("{}", render(&report, format));
+    0
+}
+
+fn cmd_cache(argv: &[String]) -> i32 {
+    let mut args = RunArgs::default();
+    let mut format = Format::Text;
+    let positional = match parse_flags(argv, &mut args, &mut format) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mg cache: {e}");
+            return 2;
+        }
+    };
+    let action = positional.first().map(String::as_str).unwrap_or("stats");
+    let cache = PrepCache::new(PrepCache::default_root());
+    match action {
+        "dir" => {
+            println!("{}", cache.root().display());
+            0
+        }
+        "clear" => match cache.clear() {
+            Ok(()) => {
+                println!("cleared {}", cache.root().display());
+                0
+            }
+            Err(e) => {
+                eprintln!("mg cache clear: {e}");
+                1
+            }
+        },
+        "stats" => {
+            let s = cache.stats();
+            let mut report = Report::new("cache");
+            report.line(format!("== Artifact cache at {} ==", cache.root().display()));
+            let mut t = TableBlock::new("cache.stats", &["kind", "files"]);
+            t.row(vec!["selections".into(), s.selections.to_string()]);
+            t.row(vec!["traces".into(), s.traces.to_string()]);
+            t.row(vec!["images".into(), s.images.to_string()]);
+            t.row(vec!["other".into(), s.other.to_string()]);
+            t.row(vec!["total bytes".into(), s.bytes.to_string()]);
+            report.table(t);
+            print!("{}", render(&report, format));
+            0
+        }
+        other => {
+            eprintln!("mg cache: unknown action {other:?} (stats|clear|dir)");
+            2
+        }
+    }
+}
+
+/// The experiments `mg report` documents, in order. `perf` is excluded:
+/// its output is wall-clock timings, which are machine-dependent and
+/// would make the generated docs non-reproducible.
+///
+/// Each builder constructs its own engine — ~9 preparation passes per
+/// report, exactly like running the nine binaries did. That redundancy
+/// is deliberate: fig7 prepares only its focus subset, robustness
+/// prepares two different inputs, and per-builder engines are what
+/// keep every experiment's output byte-identical to its standalone
+/// `mg run` (and legacy binary) invocation.
+const REPORT_EXPERIMENTS: &[&str] = &[
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8_regfile",
+    "fig8_bandwidth",
+    "robustness",
+    "icache",
+    "iq_capacity",
+];
+
+/// Marker opening the generated quickstart block in `README.md`.
+pub const README_BEGIN: &str =
+    "<!-- mg:quickstart:begin (generated by `mg report --write`) -->";
+/// Marker closing the generated quickstart block in `README.md`.
+pub const README_END: &str = "<!-- mg:quickstart:end -->";
+
+/// The repository root (the bench crate lives at `crates/bench`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Composes the generated `EXPERIMENTS.md`: prose plus each experiment's
+/// quick-mode text output (deterministic across machines and thread
+/// counts) in fenced blocks.
+pub fn compose_experiments_md(args: &RunArgs) -> String {
+    let mut out = String::from(
+        "# Experiment log\n\
+         \n\
+         <!-- GENERATED FILE. Regenerate with:\n\
+         `cargo run --release -p mg-bench --bin mg -- report --write`\n\
+         (CI checks this file against the regenerated output and fails on drift.) -->\n\
+         \n\
+         Output of every experiment in **quick mode** (`--quick`: 30k simulated\n\
+         ops per run, tiny fractions of the full traces) on the reference\n\
+         input. Quick-mode results are deterministic — independent of the\n\
+         machine and the `--threads` fan-out — which is what lets this file be\n\
+         a build product. Full-size runs drop `--quick`; numbers below are for\n\
+         orientation and CI smoke checks, not for quoting. See `DESIGN.md` §2\n\
+         for why absolute values differ from the paper while the trends are\n\
+         the reproduction target, and `DESIGN.md` §5 for the CLI and the\n\
+         artifact cache that make regenerating this file cheap.\n\
+         \n\
+         Regenerate any one section with\n\
+         `cargo run --release -p mg-bench --bin mg -- run <name> --quick`.\n\
+         \n\
+         ## Performance trajectory — `mg run perf` and `BENCH_pipeline.json`\n\
+         \n\
+         `cargo run --release -p mg-bench --bin mg -- run perf` times every\n\
+         figure experiment (a fresh engine plus the shared run matrix from\n\
+         `mg_bench::experiments`, with the artifact cache off so the numbers\n\
+         track real compute) and a synthetic selection stress case, then\n\
+         writes `BENCH_pipeline.json`:\n\
+         \n\
+         * `wall_ms` = `prep_ms` (engine build: profile + enumerate) +\n\
+           `run_ms` (the simulation matrix, or pure selection for\n\
+           `fig5_coverage` / `select_stress`);\n\
+         * `mcycles_per_s` — simulated megacycles per second of run time, the\n\
+           simulator hot-loop health metric;\n\
+         * `mops_per_s` — committed fetched operations per second (instances\n\
+           chosen per second for the selection rows);\n\
+         * `artifacts_cold` / `artifacts_warm` — one full artifact sweep\n\
+           (every selection, baseline trace, and rewritten image) against an\n\
+           empty and then a warm persistent cache: the cold/warm gap is the\n\
+           recomputation the cache saves.\n\
+         \n\
+         Timings are machine- and thread-count-dependent, so they are *not*\n\
+         part of this generated file; the committed `BENCH_pipeline.json` is\n\
+         the trajectory. CI's `perf-smoke` job re-runs\n\
+         `mg run perf --quick --baseline BENCH_pipeline.json --max-regression 3`\n\
+         and fails on any >3x wall-clock regression — a loose bound that\n\
+         catches wedges, not runner noise. Refresh the committed file from the\n\
+         CI job's uploaded artifact (not a dev machine) when the simulator\n\
+         legitimately changes speed class.\n",
+    );
+    for name in REPORT_EXPERIMENTS {
+        let spec = experiment(name).expect("registry name");
+        let mut run_args = args.clone();
+        run_args.quick = Some(true);
+        let report = (spec.build)(&run_args);
+        let _ = write!(
+            out,
+            "\n## {} — {} (quick mode)\n\n```\n{}```\n",
+            spec.paper_ref,
+            spec.description,
+            render_text(&report)
+        );
+    }
+    out
+}
+
+/// Composes the generated quickstart block for `README.md` (between
+/// [`README_BEGIN`] and [`README_END`]).
+pub fn compose_readme_block() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{README_BEGIN}");
+    out.push_str(
+        "Each experiment regenerates one table/figure of the paper's\n\
+         evaluation (sample output in [`EXPERIMENTS.md`](EXPERIMENTS.md),\n\
+         itself generated by `mg report --write`):\n\n```sh\n",
+    );
+    let specs = experiments();
+    let width = specs.iter().map(|e| e.name.len()).max().unwrap_or(0);
+    for e in &specs {
+        let _ = writeln!(
+            out,
+            "cargo run --release -p mg-bench --bin mg -- run {:<width$}  # {}: {}",
+            e.name, e.paper_ref, e.description
+        );
+    }
+    out.push_str(
+        "```\n\n\
+         Useful flags (every experiment): `--quick` caps simulated ops per run\n\
+         (also `MG_QUICK=1`), `--threads N` bounds the fan-out (also\n\
+         `MG_THREADS`), `--no-cache` disables the persistent artifact cache\n\
+         under `target/mg-cache/` (also `MG_NO_CACHE=1`), and\n\
+         `--format text|json|csv|markdown` selects the output shape.\n\
+         `mg list` prints this registry; `mg cache stats|clear|dir` manages\n\
+         the artifact cache.\n\n\
+         The per-figure binaries of earlier releases are **deprecated\n\
+         aliases** kept for one release; each is a shim over the same code\n\
+         and prints byte-identical output:\n\n",
+    );
+    let bin_width = specs.iter().map(|e| e.legacy_bin.len()).max().unwrap_or(0);
+    for e in &specs {
+        let pad = " ".repeat(bin_width - e.legacy_bin.len());
+        let _ = writeln!(out, "* `{}`{pad} → `mg run {}`", e.legacy_bin, e.name);
+    }
+    let _ = writeln!(out, "{README_END}");
+    out
+}
+
+/// Replaces the generated block of `readme` with `block`; `None` if the
+/// markers are missing or out of order.
+pub fn splice_readme(readme: &str, block: &str) -> Option<String> {
+    let begin = readme.find(README_BEGIN)?;
+    let end_at = readme.find(README_END)?;
+    let end = end_at + README_END.len();
+    if end_at < begin {
+        return None;
+    }
+    let mut out = String::with_capacity(readme.len() + block.len());
+    out.push_str(&readme[..begin]);
+    out.push_str(block.trim_end());
+    out.push_str(&readme[end..]);
+    Some(out)
+}
+
+fn cmd_report(argv: &[String]) -> i32 {
+    let mut args = RunArgs::default();
+    let mut format = Format::Markdown;
+    let mut mode = "print";
+    let mut rest = Vec::new();
+    for a in argv {
+        match a.as_str() {
+            "--write" => mode = "write",
+            "--check" => mode = "check",
+            other => rest.push(other.to_string()),
+        }
+    }
+    if let Err(e) = parse_flags(&rest, &mut args, &mut format) {
+        eprintln!("mg report: {e}");
+        return 2;
+    }
+
+    if mode == "print" && format != Format::Markdown {
+        // Non-markdown report: every experiment in the requested format.
+        // JSON wraps the per-experiment documents in one array so the
+        // stream stays a single parseable document; text and CSV
+        // concatenate (CSV keeps its `# table:` separators).
+        let reports = REPORT_EXPERIMENTS.iter().map(|name| {
+            let spec = experiment(name).expect("registry name");
+            let mut run_args = args.clone();
+            run_args.quick = Some(true);
+            (spec.build)(&run_args)
+        });
+        if format == Format::Json {
+            let docs: Vec<String> = reports
+                .map(|r| {
+                    let doc = render_json(&r);
+                    // Indent each document two spaces to sit inside the array.
+                    let indented: Vec<String> =
+                        doc.trim_end().lines().map(|l| format!("  {l}")).collect();
+                    indented.join("\n")
+                })
+                .collect();
+            println!("[\n{}\n]", docs.join(",\n"));
+        } else {
+            for report in reports {
+                print!("{}", render(&report, format));
+            }
+        }
+        return 0;
+    }
+
+    let experiments_md = compose_experiments_md(&args);
+    let readme_block = compose_readme_block();
+    let root = repo_root();
+    let experiments_path = root.join("EXPERIMENTS.md");
+    let readme_path = root.join("README.md");
+
+    match mode {
+        "print" => {
+            print!("{experiments_md}");
+            0
+        }
+        "write" => {
+            if let Err(e) = std::fs::write(&experiments_path, &experiments_md) {
+                eprintln!("mg report: cannot write {}: {e}", experiments_path.display());
+                return 1;
+            }
+            eprintln!("wrote {}", experiments_path.display());
+            let readme = match std::fs::read_to_string(&readme_path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("mg report: cannot read {}: {e}", readme_path.display());
+                    return 1;
+                }
+            };
+            let Some(spliced) = splice_readme(&readme, &readme_block) else {
+                eprintln!(
+                    "mg report: README.md is missing the `{README_BEGIN}` / `{README_END}` markers"
+                );
+                return 1;
+            };
+            if let Err(e) = std::fs::write(&readme_path, spliced) {
+                eprintln!("mg report: cannot write {}: {e}", readme_path.display());
+                return 1;
+            }
+            eprintln!("wrote {} (quickstart block)", readme_path.display());
+            0
+        }
+        "check" => {
+            let mut drift = false;
+            match std::fs::read_to_string(&experiments_path) {
+                Ok(committed) if committed == experiments_md => {
+                    eprintln!("EXPERIMENTS.md is up to date");
+                }
+                Ok(committed) => {
+                    drift = true;
+                    report_drift("EXPERIMENTS.md", &committed, &experiments_md);
+                }
+                Err(e) => {
+                    drift = true;
+                    eprintln!("mg report --check: cannot read EXPERIMENTS.md: {e}");
+                }
+            }
+            match std::fs::read_to_string(&readme_path) {
+                Ok(readme) => match splice_readme(&readme, &readme_block) {
+                    Some(spliced) if spliced == readme => {
+                        eprintln!("README.md quickstart block is up to date");
+                    }
+                    Some(spliced) => {
+                        drift = true;
+                        report_drift("README.md", &readme, &spliced);
+                    }
+                    None => {
+                        drift = true;
+                        eprintln!("mg report --check: README.md markers missing");
+                    }
+                },
+                Err(e) => {
+                    drift = true;
+                    eprintln!("mg report --check: cannot read README.md: {e}");
+                }
+            }
+            if drift {
+                eprintln!(
+                    "docs drift detected — run \
+                     `cargo run --release -p mg-bench --bin mg -- report --write` and commit"
+                );
+                1
+            } else {
+                0
+            }
+        }
+        _ => unreachable!("mode is one of print/write/check"),
+    }
+}
+
+/// Prints the first differing line of a drifted document.
+fn report_drift(name: &str, committed: &str, regenerated: &str) {
+    for (i, (c, r)) in committed.lines().zip(regenerated.lines()).enumerate() {
+        if c != r {
+            eprintln!("{name} drifts at line {}:", i + 1);
+            eprintln!("  committed:   {c}");
+            eprintln!("  regenerated: {r}");
+            return;
+        }
+    }
+    eprintln!(
+        "{name} drifts in length: committed {} lines, regenerated {} lines",
+        committed.lines().count(),
+        regenerated.lines().count()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("sample");
+        r.line("== Sample ==");
+        r.blank_then("-- suite --");
+        let mut t = TableBlock::new("sample.t", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        r.table(t);
+        r.line("gmean: 1.0");
+        r
+    }
+
+    #[test]
+    fn text_rendering_matches_legacy_shapes() {
+        let s = render_text(&sample());
+        assert!(s.starts_with("== Sample ==\n\n-- suite --\n"));
+        assert!(s.ends_with("gmean: 1.0\n"));
+        // Hidden tables are skipped by text only.
+        let mut r = Report::new("h");
+        r.table(TableBlock::new("h.t", &["x"]).hidden());
+        assert_eq!(render_text(&r), "");
+        assert!(render_json(&r).contains("\"h.t\""));
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let s = render_json(&sample());
+        assert!(s.contains("\"schema\": \"mg-report-v1\""));
+        assert!(s.contains("\"x,y\""));
+        assert_eq!(json_str("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn csv_quotes_fields() {
+        let s = render_csv(&sample());
+        assert!(s.contains("# table: sample.t"));
+        assert!(s.contains("1,\"x,y\""));
+    }
+
+    #[test]
+    fn markdown_promotes_headings() {
+        let s = render_markdown(&sample());
+        assert!(s.contains("### Sample"));
+        assert!(s.contains("#### suite"));
+        assert!(s.contains("| a | b |"));
+    }
+
+    #[test]
+    fn registry_names_and_aliases_resolve() {
+        assert_eq!(experiments().len(), 9);
+        for e in experiments() {
+            assert!(experiment(e.name).is_some());
+            assert!(experiment(e.legacy_bin).is_some());
+        }
+        assert!(experiment("nonesuch").is_none());
+    }
+
+    #[test]
+    fn readme_splice_replaces_only_the_block() {
+        let readme = format!("head\n{README_BEGIN}\nold\n{README_END}\ntail\n");
+        let spliced = splice_readme(&readme, &compose_readme_block()).unwrap();
+        assert!(spliced.starts_with("head\n"));
+        assert!(spliced.ends_with("\ntail\n"));
+        assert!(spliced.contains("mg run fig6"));
+        assert!(!spliced.contains("\nold\n"));
+        assert!(splice_readme("no markers", "x").is_none());
+    }
+}

@@ -11,9 +11,9 @@
 //!    ([`enumerate_candidates`]), checking interface, composition, anchor
 //!    and register/memory interference rules (§3.1–3.2 of the paper);
 //! 2. selects among them greedily by estimated coverage `(n-1)·f` under a
-//!    configurable [`Policy`] and MGT capacity ([`select`], and
+//!    configurable [`Policy`] and MGT capacity ([`select()`], and
 //!    [`select_domain`] for suite-wide domain-specific MGTs);
-//! 3. rewrites the binary, planting `mg` handles ([`rewrite`], nop-padded
+//! 3. rewrites the binary, planting `mg` handles ([`rewrite()`], nop-padded
 //!    or compressed);
 //! 4. packs the timing-level MGT — MGHT headers (`FU0`, `FUBMP`, `LAT`)
 //!    and MGST banks — for the execution core ([`MgTable`]).
@@ -44,6 +44,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod dataflow;
 pub mod enumerate;
 pub mod liveness;
@@ -52,6 +54,7 @@ pub mod minigraph;
 pub mod policy;
 pub mod rewrite;
 pub mod select;
+pub mod wire;
 
 pub use dataflow::BlockDataflow;
 pub use enumerate::enumerate_candidates;

@@ -23,7 +23,7 @@
 //! # Inner-loop data structures
 //!
 //! The greedy loop used to rescan every (group × instance × member) per
-//! round. [`GreedyPicker`] replaces that with
+//! round. `GreedyPicker` replaces that with
 //!
 //! * a dense **bitset** of taken static-instruction indices (instead of a
 //!   `HashMap<usize, ()>` per program),

@@ -1,0 +1,140 @@
+//! Byte serialization of selection artifacts for the persistent cache.
+//!
+//! Implements [`Wire`] for [`Policy`], [`MiniGraph`], [`ChosenInstance`],
+//! and [`Selection`] so the experiment harness can persist memoized
+//! selections to disk (`mg-harness::prep_cache`) and key them by an exact
+//! policy encoding. Encodings are deterministic field-order walks over the
+//! public structs; compatibility across code changes is handled by the
+//! cache's fingerprint, not here (see `mg-isa::wire` module docs).
+
+use crate::minigraph::MiniGraph;
+use crate::policy::Policy;
+use crate::select::{ChosenInstance, Selection};
+use mg_isa::wire::{Reader, Wire, WireError, Writer};
+
+impl Wire for Policy {
+    fn put(&self, w: &mut Writer) {
+        self.max_size.put(w);
+        self.capacity.put(w);
+        self.allow_memory.put(w);
+        self.allow_stores.put(w);
+        self.allow_branches.put(w);
+        self.allow_external_serial.put(w);
+        self.allow_internal_parallel.put(w);
+        self.allow_interior_loads.put(w);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Policy {
+            max_size: usize::take(r)?,
+            capacity: usize::take(r)?,
+            allow_memory: bool::take(r)?,
+            allow_stores: bool::take(r)?,
+            allow_branches: bool::take(r)?,
+            allow_external_serial: bool::take(r)?,
+            allow_internal_parallel: bool::take(r)?,
+            allow_interior_loads: bool::take(r)?,
+        })
+    }
+}
+
+impl Wire for MiniGraph {
+    fn put(&self, w: &mut Writer) {
+        self.members.put(w);
+        self.anchor.put(w);
+        self.inputs.put(w);
+        self.output.put(w);
+        self.template.put(w);
+        w.u64(self.freq);
+        self.branch_target.put(w);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MiniGraph {
+            members: Vec::take(r)?,
+            anchor: usize::take(r)?,
+            inputs: Vec::take(r)?,
+            output: Wire::take(r)?,
+            template: Wire::take(r)?,
+            freq: r.u64()?,
+            branch_target: Wire::take(r)?,
+        })
+    }
+}
+
+impl Wire for ChosenInstance {
+    fn put(&self, w: &mut Writer) {
+        self.graph.put(w);
+        w.u32(self.mgid);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ChosenInstance { graph: MiniGraph::take(r)?, mgid: r.u32()? })
+    }
+}
+
+impl Wire for Selection {
+    fn put(&self, w: &mut Writer) {
+        self.chosen.put(w);
+        self.catalog.put(w);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Selection { chosen: Vec::take(r)?, catalog: Wire::take(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract;
+    use mg_isa::wire::{from_bytes, to_bytes};
+    use mg_isa::{reg, Asm, Memory};
+
+    #[test]
+    fn policy_round_trips_and_distinguishes_ablations() {
+        for p in [
+            Policy::default(),
+            Policy::integer(),
+            Policy { allow_external_serial: false, ..Policy::integer() },
+            Policy::integer_memory().with_capacity(32).with_max_size(8),
+        ] {
+            let bytes = to_bytes(&p);
+            assert_eq!(from_bytes::<Policy>(&bytes).unwrap(), p);
+        }
+        assert_ne!(
+            to_bytes(&Policy::integer()),
+            to_bytes(&Policy::integer_memory()),
+            "distinct policies must have distinct cache-key encodings"
+        );
+    }
+
+    #[test]
+    fn selection_round_trips_from_a_real_extraction() {
+        let mut a = Asm::new();
+        a.li(reg(18), 0);
+        a.li(reg(5), 20);
+        a.label("top");
+        a.addl(reg(18), 2, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.bne(reg(7), "top");
+        a.halt();
+        let prog = a.finish().unwrap();
+        let ex = extract(&prog, &mut Memory::new(), &Policy::default(), 100_000).unwrap();
+        assert!(!ex.selection.chosen.is_empty(), "extraction found a mini-graph");
+
+        let bytes = to_bytes(&ex.selection);
+        let back: Selection = from_bytes(&bytes).unwrap();
+        assert_eq!(back.chosen.len(), ex.selection.chosen.len());
+        assert_eq!(back.catalog.len(), ex.selection.catalog.len());
+        for (orig, dec) in ex.selection.chosen.iter().zip(&back.chosen) {
+            assert_eq!(orig.mgid, dec.mgid);
+            assert_eq!(orig.graph.members, dec.graph.members);
+            assert_eq!(orig.graph.anchor, dec.graph.anchor);
+            assert_eq!(orig.graph.inputs, dec.graph.inputs);
+            assert_eq!(orig.graph.output, dec.graph.output);
+            assert_eq!(orig.graph.template, dec.graph.template);
+            assert_eq!(orig.graph.freq, dec.graph.freq);
+            assert_eq!(orig.graph.branch_target, dec.graph.branch_target);
+        }
+        // The decoded selection reports identical coverage.
+        assert_eq!(back.saved_slots(), ex.selection.saved_slots());
+        assert_eq!(back.covered_insts(), ex.selection.covered_insts());
+    }
+}

@@ -41,6 +41,8 @@
 //! assert_eq!(tags.lookup(34), MgttDecision::KeepHandle);
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod engine;
 pub mod mgpp;
 pub mod mgtt;

@@ -25,11 +25,13 @@
 //! ```
 
 use crate::prep::{by_suite, BuildFn, Prep};
+use crate::prep_cache::PrepCache;
 use crate::quick::{apply_quick, quick_mode};
 use crate::report::speedup;
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::{SimConfig, SimStats};
 use mg_workloads::{Input, Suite, Workload};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -39,7 +41,12 @@ pub enum Image {
     /// The original program.
     Baseline,
     /// The program rewritten with the mini-graphs `policy` selects.
-    MiniGraph { policy: Policy, style: RewriteStyle },
+    MiniGraph {
+        /// The selection policy.
+        policy: Policy,
+        /// The rewrite style (nop-padded or compressed).
+        style: RewriteStyle,
+    },
 }
 
 /// One cell of a run matrix: which image to simulate on which machine.
@@ -124,6 +131,7 @@ pub struct EngineBuilder {
     sources: Vec<Source>,
     threads: usize,
     quick: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 impl EngineBuilder {
@@ -133,6 +141,7 @@ impl EngineBuilder {
             sources: Vec::new(),
             threads: default_threads(),
             quick: quick_mode(),
+            cache_dir: None,
         }
     }
 
@@ -195,6 +204,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables (or disables) the persistent artifact cache at its default
+    /// root ([`PrepCache::default_root`]). Off by default — library and
+    /// test contexts stay hermetic; the experiment binaries turn it on.
+    /// `MG_NO_CACHE=1` overrides even an explicit `cache(true)` as an
+    /// operational kill switch.
+    pub fn cache(self, enabled: bool) -> EngineBuilder {
+        if enabled {
+            self.cache_dir(PrepCache::default_root())
+        } else {
+            EngineBuilder { cache_dir: None, ..self }
+        }
+    }
+
+    /// Enables the persistent artifact cache rooted at `dir` (see
+    /// [`EngineBuilder::cache`]).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Prepares all selected workloads — every registered one if none
     /// were named — in parallel, and returns the engine.
     ///
@@ -203,10 +232,14 @@ impl EngineBuilder {
     /// functionally executing (and storing) the rest of the committed
     /// path would be pure waste.
     pub fn build(self) -> Engine {
-        let EngineBuilder { input, mut sources, threads, quick } = self;
+        let EngineBuilder { input, mut sources, threads, quick, cache_dir } = self;
         if sources.is_empty() {
             sources.extend(mg_workloads::all().into_iter().map(Source::Registered));
         }
+        let cache = match cache_dir {
+            Some(dir) if !PrepCache::disabled_by_env() => Some(Arc::new(PrepCache::new(dir))),
+            _ => None,
+        };
         let sources: Vec<Source> = sources;
         let preps: Vec<Arc<Prep>> = run_indexed(threads, sources.len(), |i| {
             let prep = match &sources[i] {
@@ -215,11 +248,9 @@ impl EngineBuilder {
                     Prep::with_build(name.clone(), *suite, Arc::clone(build), &input)
                 }
             };
-            Arc::new(if quick {
-                prep.with_trace_budget(crate::quick::QUICK_MAX_OPS)
-            } else {
-                prep
-            })
+            let prep =
+                if quick { prep.with_trace_budget(crate::quick::QUICK_MAX_OPS) } else { prep };
+            Arc::new(prep.with_cache(cache.clone()))
         });
         Engine { preps, threads, quick }
     }

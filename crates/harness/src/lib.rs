@@ -43,14 +43,18 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod engine;
 pub mod prep;
+pub mod prep_cache;
 pub mod quick;
 pub mod report;
 pub mod table;
 
 pub use engine::{default_threads, Engine, EngineBuilder, Image, Run, RunMatrix, RunRow};
 pub use prep::{by_suite, BuildFn, MgImage, Prep, ENUMERATION_SIZE, STEP_BUDGET};
+pub use prep_cache::{CacheStats, PrepCache, CACHE_SCHEMA_VERSION};
 pub use quick::{apply_quick, quick_mode, CliArgs, QUICK_MAX_OPS};
 pub use report::{gmean, speedup};
 pub use table::Table;

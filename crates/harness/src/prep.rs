@@ -15,6 +15,7 @@
 //! so concurrent fills are benign (first writer wins; any loser computed
 //! an identical value).
 
+use crate::prep_cache::{self, PrepCache};
 use mg_core::{
     enumerate_candidates, rewrite, select, MiniGraph, Policy, RewriteStyle, Selection,
 };
@@ -81,6 +82,14 @@ pub struct Prep {
     /// their simulations consume, so preparation never functionally
     /// executes work no run will replay.
     trace_budget: u64,
+    /// Stable identifier for cache keys and reports (see
+    /// [`mg_workloads::stable_id`]; ad-hoc programs get `custom/<name>`).
+    cache_id: String,
+    /// Cache fingerprint over everything the artifacts depend on (see
+    /// [`prep_cache::fingerprint`]).
+    fingerprint: u64,
+    /// Optional persistent artifact cache shared with other preps.
+    cache: Option<Arc<PrepCache>>,
     // Memoized downstream artifacts (see module docs).
     selections: Mutex<HashMap<Policy, Arc<Selection>>>,
     base_trace: OnceLock<Arc<Trace>>,
@@ -114,10 +123,18 @@ impl ImageCache {
 }
 
 impl Prep {
-    /// Profiles `w` on `input` and enumerates candidates.
+    /// Profiles `w` on `input` and enumerates candidates. Registered
+    /// workloads cache under their registry stable id; ad-hoc programs
+    /// ([`Prep::with_build`]) under `custom/<name>`.
     pub fn new(w: &Workload, input: &Input) -> Prep {
         let build = w.build;
-        Prep::with_build(w.name, w.suite, Arc::new(move |i: &Input| build(i)), input)
+        Prep::prepare(
+            w.name.to_string(),
+            w.suite,
+            Arc::new(move |i: &Input| build(i)),
+            input,
+            w.stable_id(),
+        )
     }
 
     /// Prepares an ad-hoc program (not in the workload registry) from any
@@ -128,12 +145,28 @@ impl Prep {
         build: BuildFn,
         input: &Input,
     ) -> Prep {
+        let name = name.into();
+        let cache_id = format!("custom/{name}");
+        Prep::prepare(name, suite, build, input, cache_id)
+    }
+
+    fn prepare(
+        name: String,
+        suite: Suite,
+        build: BuildFn,
+        input: &Input,
+        cache_id: String,
+    ) -> Prep {
         let (prog, mut mem) = build(input);
+        // Hash the data image before profiling mutates it: the
+        // fingerprint must cover the *initial* memory.
+        let mem_hash = mem.content_hash();
         let cfg = build_cfg(&prog);
         let prof = profile_program(&prog, &mut mem, None, STEP_BUDGET).expect("workload halts");
         let candidates = enumerate_candidates(&prog, &cfg, &prof, ENUMERATION_SIZE);
+        let fingerprint = prep_cache::fingerprint(&cache_id, input, &prog, mem_hash);
         Prep {
-            name: name.into(),
+            name,
             suite,
             prog,
             cfg,
@@ -143,6 +176,9 @@ impl Prep {
             build,
             input: *input,
             trace_budget: STEP_BUDGET,
+            cache_id,
+            fingerprint,
+            cache: None,
             selections: Mutex::new(HashMap::new()),
             base_trace: OnceLock::new(),
             images: Mutex::new(ImageCache::default()),
@@ -173,6 +209,31 @@ impl Prep {
         self
     }
 
+    /// Attaches a persistent artifact cache (see
+    /// [`crate::prep_cache`]): selections, baseline traces,
+    /// and rewritten images are loaded from disk when present and stored
+    /// after computation. The in-process memo caches sit in front, so the
+    /// disk is consulted at most once per artifact per prep.
+    ///
+    /// Attach before the first artifact is requested; artifacts computed
+    /// earlier stay memoized in-process but are not written back.
+    pub fn with_cache(mut self, cache: Option<Arc<PrepCache>>) -> Prep {
+        self.cache = cache;
+        self
+    }
+
+    /// The stable identifier used in cache keys and machine-readable
+    /// reports (`<suite>/<name>@r<version>`, or `custom/<name>` for ad-hoc
+    /// programs).
+    pub fn cache_id(&self) -> &str {
+        &self.cache_id
+    }
+
+    /// The artifact-cache fingerprint (see [`prep_cache::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Prepares every registered workload on the given input
     /// (sequentially; [`Engine`](crate::engine::Engine) does this in
     /// parallel).
@@ -191,38 +252,73 @@ impl Prep {
         mem
     }
 
-    /// Selects mini-graphs under `policy`, memoized per policy.
+    /// Selects mini-graphs under `policy`, memoized per policy (and, with
+    /// a [`PrepCache`] attached, persisted across processes).
     pub fn select(&self, policy: &Policy) -> Arc<Selection> {
         if let Some(sel) = self.selections.lock().unwrap().get(policy) {
             return Arc::clone(sel);
         }
         // Computed outside the lock: selection over a large candidate pool
         // is the expensive part and must not serialize other policies.
-        let sel = Arc::new(select(&self.candidates, policy));
+        let sel = if let Some(hit) =
+            self.cache.as_deref().and_then(|c| c.load_selection(self.fingerprint, policy))
+        {
+            Arc::new(hit)
+        } else {
+            let sel = Arc::new(select(&self.candidates, policy));
+            if let Some(c) = self.cache.as_deref() {
+                c.store_selection(self.fingerprint, policy, &sel);
+            }
+            sel
+        };
         let mut cache = self.selections.lock().unwrap();
         Arc::clone(cache.entry(policy.clone()).or_insert(sel))
     }
 
-    /// The baseline dynamic trace (fresh memory, same input), memoized.
+    /// The baseline dynamic trace (fresh memory, same input), memoized
+    /// (and, with a [`PrepCache`] attached, persisted across processes).
     pub fn base_trace(&self) -> Arc<Trace> {
         Arc::clone(self.base_trace.get_or_init(|| {
+            if let Some(hit) = self
+                .cache
+                .as_deref()
+                .and_then(|c| c.load_trace(self.fingerprint, self.trace_budget))
+            {
+                return Arc::new(hit);
+            }
             let mut mem = self.fresh_memory();
-            Arc::new(
-                record_trace(&self.prog, &mut mem, None, self.trace_budget)
-                    .expect("workload halts"),
-            )
+            let trace = record_trace(&self.prog, &mut mem, None, self.trace_budget)
+                .expect("workload halts");
+            if let Some(c) = self.cache.as_deref() {
+                c.store_trace(self.fingerprint, self.trace_budget, &trace);
+            }
+            Arc::new(trace)
         }))
     }
 
     /// The rewritten image for `(policy, style)` with its trace, memoized
-    /// in a bounded FIFO cache ([`IMAGE_CACHE_CAP`]).
+    /// in a bounded FIFO cache ([`IMAGE_CACHE_CAP`]) (and, with a
+    /// [`PrepCache`] attached, persisted across processes — a disk hit
+    /// skips selection, rewriting, and trace recording in one step).
     pub fn image(&self, policy: &Policy, style: RewriteStyle) -> Arc<MgImage> {
         let key = (policy.clone(), style);
         if let Some(img) = self.images.lock().unwrap().get(&key) {
             return img;
         }
-        let selection = self.select(policy);
-        let img = Arc::new(self.build_image(&selection, style));
+        let img = if let Some(hit) = self
+            .cache
+            .as_deref()
+            .and_then(|c| c.load_image(self.fingerprint, policy, style, self.trace_budget))
+        {
+            Arc::new(hit)
+        } else {
+            let selection = self.select(policy);
+            let img = Arc::new(self.build_image(&selection, style));
+            if let Some(c) = self.cache.as_deref() {
+                c.store_image(self.fingerprint, policy, style, self.trace_budget, &img);
+            }
+            img
+        };
         self.images.lock().unwrap().insert(key, img)
     }
 

@@ -1,0 +1,492 @@
+//! Persistent on-disk cache of preparation artifacts.
+//!
+//! [`Prep`](crate::prep::Prep) memoizes per-policy selections, rewritten
+//! images, and dynamic traces *in process*; this module extends that memo
+//! across processes. A [`PrepCache`] serializes each artifact (via the
+//! `mg-isa::wire` codec) to a versioned file under `target/mg-cache/`, so
+//! repeated experiment sweeps — and the CI smoke jobs that rerun every
+//! figure — skip recomputing selection, rewriting, and functional trace
+//! recording entirely. Timing simulation itself is never cached: it *is*
+//! the experiment.
+//!
+//! # Key and invalidation scheme (see `DESIGN.md` §5)
+//!
+//! Every artifact key starts from the owning prep's **fingerprint**, an
+//! FNV-1a hash over
+//!
+//! 1. the cache schema version ([`CACHE_SCHEMA_VERSION`]),
+//! 2. the `mg-harness` crate version,
+//! 3. the opcode-set fingerprint (`mg_isa::wire::opcode_fingerprint`),
+//! 4. the workload registry version (`mg_workloads::REGISTRY_VERSION`),
+//! 5. the workload's stable id and its [`Input`](mg_workloads::Input)
+//!    (seed, scale),
+//! 6. the built program image's exact encoding, and
+//! 7. the candidate-enumeration size
+//!    ([`ENUMERATION_SIZE`](crate::prep::ENUMERATION_SIZE)).
+//!
+//! to which each artifact appends its own coordinates: the wire-encoded
+//! [`Policy`] (selections), plus the [`RewriteStyle`] and the trace budget
+//! (images and traces). The fingerprint deliberately hashes the *program
+//! image* rather than trusting names: editing a kernel invalidates its
+//! artifacts immediately, while memory-image (data generation) changes are
+//! covered by the registry version, whose bump is forced by the committed
+//! workload checksum table (`crates/workloads/tests/checksums.rs`).
+//! Selection/rewrite/trace *algorithm* changes must bump
+//! [`CACHE_SCHEMA_VERSION`]; the golden-stats regression tests are the
+//! tripwire that such a change happened.
+//!
+//! Files are named by the FNV hash of the full key, and the full key bytes
+//! are stored in each file's header and verified on load — a hash
+//! collision degrades to a miss, never to a wrong artifact. Writes go to a
+//! unique temp file renamed into place, so concurrent writers (the
+//! engine's worker threads, or parallel CI jobs sharing a target dir)
+//! race benignly: both compute the identical artifact, last rename wins,
+//! and readers only ever see complete files. Any read error — truncation,
+//! foreign bytes, stale schema — is a miss; the artifact is recomputed
+//! and the file overwritten.
+
+use crate::prep::MgImage;
+use mg_core::{Policy, RewriteStyle, Selection};
+use mg_isa::wire::{self, Wire, Writer};
+use mg_profile::Trace;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump when the meaning of cached bytes changes: a new wire layout, or a
+/// behavioural change to selection, rewriting, or trace recording.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Magic bytes opening every cache file.
+const MAGIC: &[u8; 4] = b"MGC\x01";
+
+/// Traces longer than this many ops are not persisted (a full-size trace
+/// can run to hundreds of millions of ops; writing those would trade a
+/// recomputation for disk churn of the same magnitude). Quick-mode traces
+/// are four orders of magnitude below this bound.
+pub const TRACE_STORE_CAP_OPS: u64 = 2_000_000;
+
+/// Artifact kinds, used as a file-name prefix and a header tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Selection,
+    Trace,
+    Image,
+}
+
+impl Kind {
+    fn tag(self) -> u8 {
+        match self {
+            Kind::Selection => 1,
+            Kind::Trace => 2,
+            Kind::Image => 3,
+        }
+    }
+
+    fn prefix(self) -> &'static str {
+        match self {
+            Kind::Selection => "sel",
+            Kind::Trace => "trace",
+            Kind::Image => "img",
+        }
+    }
+}
+
+/// Aggregate cache statistics (for `mg cache stats`).
+#[derive(Clone, Debug, Default)]
+pub struct CacheStats {
+    /// Cached selection files.
+    pub selections: u64,
+    /// Cached trace files.
+    pub traces: u64,
+    /// Cached image files.
+    pub images: u64,
+    /// Files that are none of the known kinds (foreign or stale layouts).
+    pub other: u64,
+    /// Total bytes across all files.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Total files of any kind.
+    pub fn files(&self) -> u64 {
+        self.selections + self.traces + self.images + self.other
+    }
+}
+
+/// A persistent artifact cache rooted at one directory.
+///
+/// Cheap to clone conceptually — share it across preps with `Arc`.
+#[derive(Debug)]
+pub struct PrepCache {
+    root: PathBuf,
+}
+
+/// Uniquifier for temp-file names within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl PrepCache {
+    /// Opens (lazily — no I/O happens until the first store) a cache
+    /// rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> PrepCache {
+        PrepCache { root: root.into() }
+    }
+
+    /// The default cache root: `$MG_CACHE_DIR`, or `target/mg-cache`
+    /// relative to the current directory.
+    pub fn default_root() -> PathBuf {
+        match std::env::var_os("MG_CACHE_DIR") {
+            Some(d) if !d.is_empty() => PathBuf::from(d),
+            _ => PathBuf::from("target").join("mg-cache"),
+        }
+    }
+
+    /// Whether the environment disables the cache (`MG_NO_CACHE=1`).
+    pub fn disabled_by_env() -> bool {
+        matches!(
+            std::env::var("MG_NO_CACHE").as_deref().map(str::trim),
+            Ok("1") | Ok("true") | Ok("yes")
+        )
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The versioned directory artifacts live in.
+    fn dir(&self) -> PathBuf {
+        self.root.join(format!("v{CACHE_SCHEMA_VERSION}"))
+    }
+
+    fn file_path(&self, kind: Kind, key: &[u8]) -> PathBuf {
+        self.dir().join(format!("{}-{:016x}.bin", kind.prefix(), wire::fnv1a(key)))
+    }
+
+    /// Loads and payload-decodes an artifact, verifying magic, kind, and
+    /// the full key. Any mismatch or error is a miss.
+    fn load<T: Wire>(&self, kind: Kind, key: &[u8]) -> Option<T> {
+        let bytes = std::fs::read(self.file_path(kind, key)).ok()?;
+        let mut r = wire::Reader::new(&bytes);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.u8().ok()?;
+        }
+        if &magic != MAGIC || r.u8().ok()? != kind.tag() {
+            return None;
+        }
+        let stored_key_len = r.seq_len().ok()?;
+        if stored_key_len != key.len() {
+            return None;
+        }
+        let mut stored_key = vec![0u8; stored_key_len];
+        for b in &mut stored_key {
+            *b = r.u8().ok()?;
+        }
+        if stored_key != key {
+            return None; // hash collision: treat as miss
+        }
+        let v = T::take(&mut r).ok()?;
+        r.is_exhausted().then_some(v)
+    }
+
+    /// Serializes and stores an artifact under `key` (temp file + rename;
+    /// failures are ignored — the cache is an accelerator, not a store of
+    /// record).
+    fn store<T: Wire>(&self, kind: Kind, key: &[u8], value: &T) {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u8(kind.tag());
+        w.u64(key.len() as u64);
+        w.raw(key);
+        value.put(&mut w);
+        let dir = self.dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, w.into_bytes()).is_ok() {
+            let _ = std::fs::rename(&tmp, self.file_path(kind, key));
+        }
+        let _ = std::fs::remove_file(&tmp); // no-op after a successful rename
+    }
+
+    /// Looks up a cached selection.
+    pub fn load_selection(&self, fingerprint: u64, policy: &Policy) -> Option<Selection> {
+        self.load(Kind::Selection, &selection_key(fingerprint, policy))
+    }
+
+    /// Persists a selection.
+    pub fn store_selection(&self, fingerprint: u64, policy: &Policy, sel: &Selection) {
+        self.store(Kind::Selection, &selection_key(fingerprint, policy), sel);
+    }
+
+    /// Looks up a cached baseline trace (prefix) recorded under `budget`.
+    pub fn load_trace(&self, fingerprint: u64, budget: u64) -> Option<Trace> {
+        self.load(Kind::Trace, &trace_key(fingerprint, budget))
+    }
+
+    /// Persists a baseline trace, unless it exceeds
+    /// [`TRACE_STORE_CAP_OPS`].
+    pub fn store_trace(&self, fingerprint: u64, budget: u64, trace: &Trace) {
+        if trace.len() as u64 > TRACE_STORE_CAP_OPS {
+            return;
+        }
+        self.store(Kind::Trace, &trace_key(fingerprint, budget), trace);
+    }
+
+    /// Looks up a cached rewritten image (program + trace + catalog).
+    pub fn load_image(
+        &self,
+        fingerprint: u64,
+        policy: &Policy,
+        style: RewriteStyle,
+        budget: u64,
+    ) -> Option<MgImage> {
+        let (program, (trace, catalog)) =
+            self.load(Kind::Image, &image_key(fingerprint, policy, style, budget))?;
+        Some(MgImage { program, trace, catalog })
+    }
+
+    /// Persists a rewritten image, unless its trace exceeds
+    /// [`TRACE_STORE_CAP_OPS`].
+    pub fn store_image(
+        &self,
+        fingerprint: u64,
+        policy: &Policy,
+        style: RewriteStyle,
+        budget: u64,
+        img: &MgImage,
+    ) {
+        if img.trace.len() as u64 > TRACE_STORE_CAP_OPS {
+            return;
+        }
+        let mut w = Writer::new();
+        img.program.put(&mut w);
+        img.trace.put(&mut w);
+        img.catalog.put(&mut w);
+        self.store_raw(Kind::Image, &image_key(fingerprint, policy, style, budget), w);
+    }
+
+    /// Like [`PrepCache::store`] but for a pre-encoded payload.
+    fn store_raw(&self, kind: Kind, key: &[u8], payload: Writer) {
+        struct RawBytes(Vec<u8>);
+        impl Wire for RawBytes {
+            fn put(&self, w: &mut Writer) {
+                w.raw(&self.0);
+            }
+            fn take(_: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+                unreachable!("raw payloads are decoded field-by-field")
+            }
+        }
+        self.store(kind, key, &RawBytes(payload.into_bytes()));
+    }
+
+    /// Walks the whole cache root — the current schema directory, stale
+    /// ones from older schema versions, and nested roots like the perf
+    /// driver's sweep dir — and tallies files and bytes.
+    pub fn stats(&self) -> CacheStats {
+        fn walk(dir: &Path, s: &mut CacheStats) {
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                if meta.is_dir() {
+                    walk(&entry.path(), s);
+                    continue;
+                }
+                if !meta.is_file() {
+                    continue;
+                }
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                s.bytes += meta.len();
+                if name.starts_with("sel-") {
+                    s.selections += 1;
+                } else if name.starts_with("trace-") {
+                    s.traces += 1;
+                } else if name.starts_with("img-") {
+                    s.images += 1;
+                } else {
+                    s.other += 1;
+                }
+            }
+        }
+        let mut s = CacheStats::default();
+        walk(&self.root, &mut s);
+        s
+    }
+
+    /// Deletes every cached artifact: all versioned directories under the
+    /// root (current schema *and* stale older ones) plus nested cache
+    /// roots (e.g. the perf driver's sweep dir). Foreign files placed
+    /// directly in the root are left alone — `clear` only removes
+    /// directories this cache layout owns, so a misdirected
+    /// `MG_CACHE_DIR` cannot wipe unrelated data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than the directory not existing.
+    pub fn clear(&self) -> std::io::Result<()> {
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let owned_dir = name == "perf-sweep"
+                || (name.starts_with('v') && name[1..].chars().all(|c| c.is_ascii_digit()));
+            if entry.metadata().map(|m| m.is_dir()).unwrap_or(false) && owned_dir {
+                std::fs::remove_dir_all(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn selection_key(fingerprint: u64, policy: &Policy) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(fingerprint);
+    policy.put(&mut w);
+    w.into_bytes()
+}
+
+fn trace_key(fingerprint: u64, budget: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(fingerprint);
+    w.u64(budget);
+    w.into_bytes()
+}
+
+fn image_key(fingerprint: u64, policy: &Policy, style: RewriteStyle, budget: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(fingerprint);
+    policy.put(&mut w);
+    w.u8(match style {
+        RewriteStyle::NopPadded => 0,
+        RewriteStyle::Compressed => 1,
+    });
+    w.u64(budget);
+    w.into_bytes()
+}
+
+/// Computes a prep's cache fingerprint (see the module docs for the
+/// ingredient list).
+pub fn fingerprint(
+    workload_id: &str,
+    input: &mg_workloads::Input,
+    prog: &mg_isa::Program,
+    mem_hash: u64,
+) -> u64 {
+    let mut w = Writer::new();
+    w.u32(CACHE_SCHEMA_VERSION);
+    w.str(env!("CARGO_PKG_VERSION"));
+    w.u64(wire::opcode_fingerprint());
+    w.u32(mg_workloads::REGISTRY_VERSION);
+    w.str(workload_id);
+    w.u64(input.seed);
+    w.u32(input.scale);
+    prog.put(&mut w);
+    // The initial data image ([`mg_isa::Memory::content_hash`]): without
+    // it, a custom workload whose build closure changes only its data
+    // generation would silently replay stale artifacts (registered
+    // workloads additionally have the REGISTRY_VERSION + checksum-table
+    // guard).
+    w.u64(mem_hash);
+    // The preparation knobs selections depend on: the enumeration size
+    // and the profiling step budget (a truncated profile changes
+    // candidate frequencies and therefore the correct selection).
+    w.u64(crate::prep::ENUMERATION_SIZE as u64);
+    w.u64(crate::prep::STEP_BUDGET);
+    wire::fnv1a(&w.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{reg, Asm};
+
+    fn tmp_cache(tag: &str) -> PrepCache {
+        let dir =
+            std::env::temp_dir().join(format!("mg-cache-test-{tag}-{}", std::process::id()));
+        let c = PrepCache::new(&dir);
+        c.clear().unwrap();
+        c
+    }
+
+    fn sample_selection() -> Selection {
+        let mut a = Asm::new();
+        a.li(reg(18), 0);
+        a.li(reg(5), 20);
+        a.label("top");
+        a.addl(reg(18), 2, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.bne(reg(7), "top");
+        a.halt();
+        let prog = a.finish().unwrap();
+        mg_core::extract(&prog, &mut mg_isa::Memory::new(), &Policy::default(), 100_000)
+            .unwrap()
+            .selection
+    }
+
+    #[test]
+    fn selection_round_trips_and_misses_on_other_keys() {
+        let c = tmp_cache("sel");
+        let sel = sample_selection();
+        let policy = Policy::default();
+        assert!(c.load_selection(1, &policy).is_none(), "cold cache misses");
+        c.store_selection(1, &policy, &sel);
+        let back = c.load_selection(1, &policy).expect("warm cache hits");
+        assert_eq!(wire::to_bytes(&back), wire::to_bytes(&sel), "bit-identical");
+        assert!(c.load_selection(2, &policy).is_none(), "fingerprint isolates");
+        assert!(c.load_selection(1, &Policy::integer()).is_none(), "policy isolates");
+        assert_eq!(c.stats().selections, 1);
+        c.clear().unwrap();
+        assert!(c.load_selection(1, &policy).is_none(), "clear removes");
+    }
+
+    #[test]
+    fn corrupt_files_read_as_misses() {
+        let c = tmp_cache("corrupt");
+        let policy = Policy::default();
+        c.store_selection(9, &policy, &sample_selection());
+        let path = c.file_path(Kind::Selection, &selection_key(9, &policy));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(c.load_selection(9, &policy).is_none(), "truncated file is a miss");
+        std::fs::write(&path, b"not a cache file").unwrap();
+        assert!(c.load_selection(9, &policy).is_none(), "foreign file is a miss");
+        c.clear().unwrap();
+    }
+
+    #[test]
+    fn fingerprints_separate_programs_and_inputs() {
+        let prog_a = {
+            let mut a = Asm::new();
+            a.li(reg(1), 1);
+            a.halt();
+            a.finish().unwrap()
+        };
+        let prog_b = {
+            let mut a = Asm::new();
+            a.li(reg(1), 2);
+            a.halt();
+            a.finish().unwrap()
+        };
+        let tiny = mg_workloads::Input::tiny();
+        let reference = mg_workloads::Input::reference();
+        let f = fingerprint("t/w@r1", &tiny, &prog_a, 0);
+        assert_eq!(f, fingerprint("t/w@r1", &tiny, &prog_a, 0), "deterministic");
+        assert_ne!(f, fingerprint("t/w@r1", &tiny, &prog_b, 0), "program image keys");
+        assert_ne!(f, fingerprint("t/w@r1", &reference, &prog_a, 0), "input keys");
+        assert_ne!(f, fingerprint("t/other@r1", &tiny, &prog_a, 0), "workload id keys");
+        assert_ne!(f, fingerprint("t/w@r1", &tiny, &prog_a, 1), "data image keys");
+    }
+}

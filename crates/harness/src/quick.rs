@@ -42,6 +42,9 @@ pub struct CliArgs {
     pub best: bool,
     /// `--threads N`: worker-thread override.
     pub threads: Option<usize>,
+    /// `--no-cache` (or `MG_NO_CACHE=1`): disable the persistent artifact
+    /// cache under `target/mg-cache/`.
+    pub no_cache: bool,
 }
 
 impl CliArgs {
@@ -58,6 +61,7 @@ impl CliArgs {
             match a.as_str() {
                 "--quick" => args.quick = true,
                 "--best" => args.best = true,
+                "--no-cache" => args.no_cache = true,
                 "--threads" => {
                     let n = it
                         .next()
@@ -66,16 +70,19 @@ impl CliArgs {
                     args.threads = Some(n);
                 }
                 other => panic!(
-                    "unknown argument {other:?} (expected --quick, --best, or --threads N)"
+                    "unknown argument {other:?} (expected --quick, --best, --no-cache, \
+                     or --threads N)"
                 ),
             }
         }
         args
     }
 
-    /// An engine builder pre-configured from these arguments.
+    /// An engine builder pre-configured from these arguments. The
+    /// persistent artifact cache is on by default for binaries; `--no-cache`
+    /// (or `MG_NO_CACHE=1`) turns it off.
     pub fn engine(&self) -> crate::engine::EngineBuilder {
-        let mut b = crate::engine::Engine::builder().quick(self.quick);
+        let mut b = crate::engine::Engine::builder().quick(self.quick).cache(!self.no_cache);
         if let Some(t) = self.threads {
             b = b.threads(t);
         }

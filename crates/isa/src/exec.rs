@@ -1,7 +1,7 @@
 //! Functional (architectural) execution semantics.
 //!
 //! [`step`] executes one *fetched* instruction — which for an `mg` handle
-//! means the entire mini-graph, evaluated via its [`MgTemplate`] — and
+//! means the entire mini-graph, evaluated via its [`MgTemplate`](crate::MgTemplate) — and
 //! reports the architectural events (memory access, control transfer) the
 //! timing and profiling layers need.
 

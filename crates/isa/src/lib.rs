@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod asm;
 pub mod exec;
 pub mod handle;
@@ -55,6 +57,7 @@ pub mod opcode;
 pub mod parse;
 pub mod program;
 pub mod reg;
+pub mod wire;
 
 pub use asm::{Asm, AsmError};
 pub use handle::{HandleCatalog, MgTemplate, TmplInst, TmplOperand};
@@ -64,3 +67,4 @@ pub use opcode::{OpClass, Opcode};
 pub use parse::assemble;
 pub use program::Program;
 pub use reg::{reg, Reg, NUM_REGS};
+pub use wire::{Wire, WireError};

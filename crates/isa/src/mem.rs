@@ -106,6 +106,27 @@ impl Memory {
         self.write_bytes(addr, &val.to_le_bytes());
     }
 
+    /// A deterministic FNV-1a hash of the memory *contents*: resident
+    /// pages in ascending address order, all-zero pages skipped (so a
+    /// touched-but-zero page hashes identically to an untouched one).
+    /// The artifact cache folds this into a workload's fingerprint to
+    /// invalidate cached selections/traces when only the initial data
+    /// image changes.
+    pub fn content_hash(&self) -> u64 {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        let mut h = crate::wire::FNV_OFFSET_BASIS;
+        for idx in indices {
+            let page = &self.pages[&idx];
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            h = crate::wire::fnv1a_extend(h, &idx.to_le_bytes());
+            h = crate::wire::fnv1a_extend(h, &page[..]);
+        }
+        h
+    }
+
     /// Reads `width` bytes (1, 2, 4, or 8) zero-extended into a `u64`.
     ///
     /// # Panics
@@ -146,6 +167,25 @@ impl std::fmt::Debug for Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_hash_tracks_data_not_residency() {
+        let empty = Memory::new();
+        let mut zeroed = Memory::new();
+        zeroed.write_u64(0x1000, 0); // touched but still all-zero
+        assert_eq!(empty.content_hash(), zeroed.content_hash());
+
+        let mut a = Memory::new();
+        a.write_u64(0x2000, 7);
+        let mut b = Memory::new();
+        b.write_u64(0x2000, 8);
+        assert_ne!(a.content_hash(), b.content_hash(), "data keys the hash");
+        assert_ne!(a.content_hash(), empty.content_hash());
+        let mut moved = Memory::new();
+        moved.write_u64(0x3000, 7); // same value, different page
+        assert_ne!(a.content_hash(), moved.content_hash(), "address keys the hash");
+        assert_eq!(a.content_hash(), a.clone().content_hash(), "deterministic");
+    }
 
     #[test]
     fn zero_fill_semantics() {

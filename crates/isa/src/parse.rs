@@ -1,4 +1,4 @@
-//! A text assembler: parses the same syntax [`Inst`](crate::Inst)'s
+//! A text assembler: parses the same syntax [`crate::Inst`]'s
 //! `Display` produces, plus labels, comments, and named branch targets.
 //!
 //! ```
@@ -32,11 +32,26 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParseError {
     /// Unknown mnemonic.
-    UnknownOpcode { line: usize, mnemonic: String },
+    UnknownOpcode {
+        /// 1-based source line.
+        line: usize,
+        /// The unrecognized mnemonic text.
+        mnemonic: String,
+    },
     /// An operand could not be parsed.
-    BadOperand { line: usize, text: String },
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+        /// The offending operand text.
+        text: String,
+    },
     /// Wrong number/shape of operands for the opcode.
-    BadOperands { line: usize, mnemonic: String },
+    BadOperands {
+        /// 1-based source line.
+        line: usize,
+        /// The mnemonic whose operand list was malformed.
+        mnemonic: String,
+    },
     /// Label resolution failed.
     Asm(AsmError),
 }

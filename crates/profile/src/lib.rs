@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod cfg;
 pub mod func_sim;
 pub mod profile;

@@ -7,6 +7,7 @@
 //! paper's execution-driven SimpleScalar setup (see `DESIGN.md` §2).
 
 use mg_isa::exec::{step, BrRec, CpuState, ExecError, MemRef};
+use mg_isa::wire::{Reader, Wire, WireError, Writer};
 use mg_isa::{HandleCatalog, Memory, Program};
 
 /// One committed-path fetched instruction (a singleton or a whole handle).
@@ -52,6 +53,40 @@ impl Trace {
     #[inline]
     pub fn op(&self, idx: usize) -> &DynOp {
         &self.ops[idx]
+    }
+}
+
+impl Wire for DynOp {
+    fn put(&self, w: &mut Writer) {
+        w.u32(self.sidx);
+        self.mem.put(w);
+        self.br.put(w);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DynOp { sidx: r.u32()?, mem: Wire::take(r)?, br: Wire::take(r)? })
+    }
+}
+
+/// Byte serialization for the persistent artifact cache
+/// (`mg-harness::prep_cache`): a length-prefixed op sequence followed by
+/// the represented-instruction count. Cached traces are *prefixes* of the
+/// committed path — the recording budget is part of the cache key, so a
+/// quick-mode prefix is never confused with a full-length trace.
+impl Wire for Trace {
+    fn put(&self, w: &mut Writer) {
+        w.u64(self.ops.len() as u64);
+        for op in self.ops.iter() {
+            op.put(w);
+        }
+        w.u64(self.insts);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len()?;
+        let mut ops = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            ops.push(DynOp::take(r)?);
+        }
+        Ok(Trace { ops: ops.into_boxed_slice(), insts: r.u64()? })
     }
 }
 
@@ -126,6 +161,26 @@ mod tests {
         assert!(b1.br.unwrap().taken);
         let b2 = &t.ops[9];
         assert!(!b2.br.unwrap().taken);
+    }
+
+    #[test]
+    fn trace_round_trips_through_wire() {
+        let mut a = Asm::new();
+        a.li(reg(1), 0x4000);
+        a.li(reg(2), 3);
+        a.label("top");
+        a.stq(reg(2), 0, reg(1));
+        a.subq(reg(2), 1, reg(2));
+        a.bne(reg(2), "top");
+        a.halt();
+        let p = a.finish().unwrap();
+        let t = record_trace(&p, &mut Memory::new(), None, 1000).unwrap();
+        let bytes = mg_isa::wire::to_bytes(&t);
+        let back: Trace = mg_isa::wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back.ops, t.ops);
+        assert_eq!(back.insts, t.insts);
+        // A truncated file decodes to an error, never a shorter trace.
+        assert!(mg_isa::wire::from_bytes::<Trace>(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod bpred;
 pub mod cache;
 pub mod config;

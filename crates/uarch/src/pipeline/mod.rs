@@ -3,15 +3,15 @@
 //! A trace-driven model of the paper's 15-stage, 6-wide superscalar core,
 //! organized as one submodule per stage behind the [`Simulator`] façade:
 //!
-//! * [`front`] — fetch (branch-predicted, I$-limited) and decode/rename
+//! * `front` — fetch (branch-predicted, I$-limited) and decode/rename
 //!   (width- and resource-limited; this is where handles amplify
 //!   bandwidth and capacity);
-//! * [`issue`] — FU, write-port, and sliding-window constrained issue;
-//! * [`execute`] — event-scheduled completion; D$ hierarchy; store-set
+//! * `issue` — FU, write-port, and sliding-window constrained issue;
+//! * `execute` — event-scheduled completion; D$ hierarchy; store-set
 //!   load scheduling with violation squashes; MGST-sequenced mini-graph
 //!   execution with interior-load replay;
-//! * [`commit`] — width-limited retirement, freeing registers;
-//! * [`entries`] — the in-flight structures (ROB/LQ/SQ/front-queue
+//! * `commit` — width-limited retirement, freeing registers;
+//! * `entries` — the in-flight structures (ROB/LQ/SQ/front-queue
 //!   entries) those stages share.
 //!
 //! Wrong-path instructions are not simulated: a mispredicted control

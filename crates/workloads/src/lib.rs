@@ -33,6 +33,8 @@
 //! let _ = mem;
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod comm;
 pub mod common;
 pub mod media;
@@ -112,6 +114,14 @@ impl Default for Input {
     }
 }
 
+/// Version of the workload registry's *behaviour*: bump whenever any
+/// kernel's generated program or initial memory image changes for a given
+/// [`Input`] (the committed checksum table in `tests/checksums.rs` fails
+/// when that happens, forcing the bump). The persistent artifact cache
+/// (`mg-harness::prep_cache`) folds this into every cache key, so stale
+/// artifacts from an older kernel generation can never be replayed.
+pub const REGISTRY_VERSION: u32 = 1;
+
 /// A registered benchmark kernel.
 #[derive(Clone)]
 pub struct Workload {
@@ -128,6 +138,21 @@ impl Workload {
     pub fn build(&self, input: &Input) -> (Program, Memory) {
         (self.build)(input)
     }
+
+    /// A stable identifier for cache keys and reports:
+    /// `"<suite>/<name>@r<REGISTRY_VERSION>"`. Stable across runs and
+    /// registration-order changes; changes when the registry version is
+    /// bumped (i.e. when kernel behaviour changes).
+    pub fn stable_id(&self) -> String {
+        stable_id(self.suite, self.name)
+    }
+}
+
+/// The [`Workload::stable_id`] string for a (suite, name) pair — exposed
+/// separately so prepared workloads can reconstruct it without holding the
+/// registry entry.
+pub fn stable_id(suite: Suite, name: &str) -> String {
+    format!("{suite}/{name}@r{REGISTRY_VERSION}")
 }
 
 impl fmt::Debug for Workload {

@@ -1,0 +1,126 @@
+//! Committed result checksums for every registered workload.
+//!
+//! Each kernel writes a 64-bit checksum to [`RESULT_ADDR`] before halting;
+//! this table pins those values at two input points. It is the behavioural
+//! contract behind two other mechanisms:
+//!
+//! * **Cache keys** — the persistent artifact cache folds
+//!   [`mg_workloads::REGISTRY_VERSION`] into every key. Any change to a
+//!   kernel's generated program or data changes these checksums, fails
+//!   this test, and forces the version bump that invalidates stale cached
+//!   selections/images/traces.
+//! * **Rewrite equivalence** — `mg-uarch`'s end-to-end tests check that
+//!   rewritten images compute the same results as baselines; the committed
+//!   values here anchor "the same results" to concrete numbers.
+//!
+//! To regenerate after an intentional kernel change: run the test and
+//! paste the `expected:` block it prints on failure, then bump
+//! `REGISTRY_VERSION`.
+
+use mg_isa::exec::{run_to_halt, CpuState};
+use mg_workloads::common::RESULT_ADDR;
+use mg_workloads::{all, Input};
+
+/// Step budget per functional run — generous; every workload halts well
+/// under it at the scales used here.
+const STEP_BUDGET: u64 = 50_000_000;
+
+/// The two pinned input points: the unit-test input and a larger scale of
+/// the same seed (exercising the scale-dependent code paths).
+fn inputs() -> [(&'static str, Input); 2] {
+    [("tiny", Input::tiny()), ("tiny-x3", Input { seed: 7, scale: 3 })]
+}
+
+/// Committed checksums: (workload, checksum at tiny, checksum at tiny-x3).
+const EXPECTED: &[(&str, u64, u64)] = &[
+    // GENERATED TABLE — see module docs for how to regenerate.
+    ("crafty.bits", 0x0000000000016184, 0x000000000009718c),
+    ("gcc.expr", 0x0000000000039a18, 0x00000000000ace48),
+    ("gzip.lz", 0x000000000000170d, 0x0000000000004527),
+    ("mcf.netw", 0xffffffffffdba68e, 0xffffffffff92dc4a),
+    ("parser.tok", 0x0000000000084488, 0x000000000018d148),
+    ("twolf.place", 0x0000000000815dd8, 0x0000000001841988),
+    ("adpcm.enc", 0xba68cbc203664521, 0xba68cbc203664521),
+    ("adpcm.dec", 0xffffffffffe63a13, 0xffffffffffb2ae39),
+    ("jpeg.dct", 0x0000000003984489, 0x0000007f38bf2270),
+    ("mpeg2.idct", 0x00000000000fe4d8, 0x00000000002fae88),
+    ("gsm.toast", 0x00000000000176b8, 0x0000000000046428),
+    ("epic.filter", 0x0000000000bb170f, 0x000000000231452d),
+    ("reed.enc", 0x00000001661ce6c4, 0x000000043256b44c),
+    ("drr.sched", 0x0000000000287ac3, 0x00000000007a9089),
+    ("frag.ip", 0x07b8000007ce2b10, 0x17280000176a8130),
+    ("rtr.lookup", 0x000000000007ddd0, 0x0000000000179970),
+    ("tcpdump.filt", 0x0000000000000024, 0x000000000000006c),
+    ("bitcount", 0x0000000000009c2c, 0x000000000001d484),
+    ("sha.rounds", 0x0000000c07655f83, 0x00000024f27b3426),
+    ("crc32", 0x00000000c8535508, 0x0000000258f9ff18),
+    ("dijkstra", 0x00000000000001ce, 0x00000000000001ce),
+    ("stringsearch", 0x000000000000003c, 0x00000000000000b4),
+    ("rgba.conv", 0x00000000001ff390, 0x00000000005fdab0),
+    ("dither", 0x000000000000081c, 0x0000000000001854),
+];
+
+fn checksum(w: &mg_workloads::Workload, input: &Input) -> u64 {
+    let (prog, mut mem) = w.build(input);
+    let mut cpu = CpuState::new(prog.entry);
+    run_to_halt(&prog, &mut cpu, &mut mem, None, STEP_BUDGET)
+        .unwrap_or_else(|e| panic!("{} does not halt at {input:?}: {e:?}", w.name));
+    mem.read_u64(RESULT_ADDR)
+}
+
+#[test]
+fn every_workload_has_a_stable_committed_checksum() {
+    let workloads = all();
+    assert_eq!(
+        workloads.len(),
+        EXPECTED.len(),
+        "checksum table covers every registered workload"
+    );
+    let mut actual: Vec<(String, u64, u64)> = Vec::new();
+    for w in &workloads {
+        let [(_, tiny), (_, big)] = inputs();
+        actual.push((w.name.to_string(), checksum(w, &tiny), checksum(w, &big)));
+    }
+    let mut bad = Vec::new();
+    for ((name, t, b), &(ename, et, eb)) in actual.iter().zip(EXPECTED) {
+        assert_eq!(name, ename, "table order matches registration order");
+        if (*t, *b) != (et, eb) {
+            bad.push(name.clone());
+        }
+    }
+    if !bad.is_empty() {
+        eprintln!("checksum drift in: {bad:?}");
+        eprintln!("expected:");
+        for (name, t, b) in &actual {
+            eprintln!("    (\"{name}\", 0x{t:016x}, 0x{b:016x}),");
+        }
+        panic!(
+            "workload checksums changed — if intentional, paste the table above \
+             and bump mg_workloads::REGISTRY_VERSION"
+        );
+    }
+}
+
+#[test]
+fn checksums_differ_between_scales_for_most_workloads() {
+    // Not a strict per-workload requirement, but if the two input points
+    // collapsed to the same value everywhere the larger scale would be
+    // exercising nothing.
+    let distinct = EXPECTED.iter().filter(|(_, t, b)| t != b).count();
+    assert!(distinct > EXPECTED.len() / 2, "only {distinct} workloads differ across scales");
+}
+
+#[test]
+fn stable_ids_are_unique_and_versioned() {
+    let ids: Vec<String> = all().iter().map(|w| w.stable_id()).collect();
+    let mut dedup = ids.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), ids.len(), "stable ids are unique");
+    for id in &ids {
+        assert!(
+            id.ends_with(&format!("@r{}", mg_workloads::REGISTRY_VERSION)),
+            "{id} carries the registry version"
+        );
+    }
+}

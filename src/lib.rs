@@ -2,6 +2,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 pub use mg_core as core;
 pub use mg_dise as dise;
 pub use mg_harness as harness;
