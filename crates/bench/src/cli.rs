@@ -24,9 +24,11 @@
 //! (CI fails on drift).
 
 use crate::figures;
-use mg_harness::{quick_mode, PrepCache, Table};
+use mg_harness::{quick_mode, CellObserver, PrepCache, PrepPool, Table};
+use mg_workloads::Input;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Output format of every subcommand.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +44,8 @@ pub enum Format {
 }
 
 impl Format {
-    fn parse(s: &str) -> Option<Format> {
+    /// Parses a `--format` (or serve-request format) name.
+    pub fn parse(s: &str) -> Option<Format> {
         match s {
             "text" => Some(Format::Text),
             "json" => Some(Format::Json),
@@ -307,7 +310,7 @@ pub fn render(report: &Report, format: Format) -> String {
 }
 
 /// Arguments of `mg run` (and, restricted, of the legacy binaries).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RunArgs {
     /// `--quick`/`--full` override; `None` means the experiment default
     /// (the `MG_QUICK` environment for the figures, quick for `perf`).
@@ -318,12 +321,22 @@ pub struct RunArgs {
     pub best: bool,
     /// `--no-cache`: disable the persistent artifact cache.
     pub no_cache: bool,
+    /// `--input reference|alternative|tiny`: the workload data set
+    /// (default reference; `robustness` pins its own train/test pair).
+    pub input: Input,
     /// `--out PATH` (perf only): report destination.
     pub out: String,
     /// `--baseline PATH` (perf only): regression-gate reference.
     pub baseline: Option<String>,
     /// `--max-regression X` (perf only): gate bound.
     pub max_regression: f64,
+    /// Warm-prep pool shared across runs (`mg serve` sets this so every
+    /// request reuses one prep per workload; one-shot `mg run` leaves it
+    /// empty).
+    pub pool: Option<Arc<PrepPool>>,
+    /// Per-cell completion observer (`mg serve` streams these to
+    /// clients).
+    pub progress: Option<CellObserver>,
 }
 
 impl Default for RunArgs {
@@ -333,10 +346,40 @@ impl Default for RunArgs {
             threads: None,
             best: false,
             no_cache: false,
+            input: Input::reference(),
             out: "BENCH_pipeline.json".into(),
             baseline: None,
             max_regression: 3.0,
+            pool: None,
+            progress: None,
         }
+    }
+}
+
+impl std::fmt::Debug for RunArgs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunArgs")
+            .field("quick", &self.quick)
+            .field("threads", &self.threads)
+            .field("best", &self.best)
+            .field("no_cache", &self.no_cache)
+            .field("input", &self.input)
+            .field("out", &self.out)
+            .field("baseline", &self.baseline)
+            .field("max_regression", &self.max_regression)
+            .field("pool", &self.pool.is_some())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// Parses an `--input` / serve-request input name.
+pub fn parse_input(name: &str) -> Option<Input> {
+    match name {
+        "reference" => Some(Input::reference()),
+        "alternative" => Some(Input::alternative()),
+        "tiny" => Some(Input::tiny()),
+        _ => None,
     }
 }
 
@@ -348,12 +391,21 @@ impl RunArgs {
 
     /// An engine builder configured from these arguments (quick per
     /// [`RunArgs::is_quick`] with a non-quick default, cache on unless
-    /// `--no-cache`).
+    /// `--no-cache`, the selected input, and — under `mg serve` — the
+    /// shared warm-prep pool and per-cell progress observer).
     pub fn engine(&self) -> mg_harness::EngineBuilder {
-        let mut b =
-            mg_harness::Engine::builder().quick(self.is_quick(false)).cache(!self.no_cache);
+        let mut b = mg_harness::Engine::builder()
+            .quick(self.is_quick(false))
+            .cache(!self.no_cache)
+            .input(self.input);
         if let Some(t) = self.threads {
             b = b.threads(t);
+        }
+        if let Some(pool) = &self.pool {
+            b = b.pool(Arc::clone(pool));
+        }
+        if let Some(obs) = &self.progress {
+            b = b.observer(Arc::clone(obs));
         }
         b
     }
@@ -500,16 +552,23 @@ mg — unified experiment CLI for the mini-graphs reproduction
 
 USAGE:
     mg run <experiment> [--quick|--full] [--threads N] [--best]
-                        [--no-cache] [--format text|json|csv|markdown]
+                        [--no-cache] [--input reference|alternative|tiny]
+                        [--format text|json|csv|markdown]
                         [--out PATH] [--baseline PATH] [--max-regression X]
     mg list   [--format ...]
     mg report [--write|--check] [--quick] [--threads N] [--no-cache] [--format ...]
     mg cache  [stats|clear|dir] [--format ...]
+    mg serve  [--addr HOST:PORT | --socket PATH] [--workers N] [--max-queue N]
+    mg client (run <experiment> [run flags] | ping [--retry N] | stats | shutdown)
+              [--addr HOST:PORT | --socket PATH]
     mg help
 
-Run `mg list` for the experiment registry. The deprecated per-figure
-binaries (fig6_performance, ...) are aliases for `mg run <experiment>
---format text` and print byte-identical output.
+Run `mg list` for the experiment registry. `mg serve` starts a
+long-running daemon sharing one warm prep pool across clients; `mg
+client run` returns byte-identical output to the same `mg run`
+invocation (see docs/PROTOCOL.md). The deprecated per-figure binaries
+(fig6_performance, ...) are aliases for `mg run <experiment> --format
+text` and print byte-identical output.
 ";
 
 /// Entry point of the `mg` binary. Returns the process exit status.
@@ -524,6 +583,8 @@ pub fn mg_main() -> i32 {
         "list" => cmd_list(&argv[1..]),
         "report" => cmd_report(&argv[1..]),
         "cache" => cmd_cache(&argv[1..]),
+        "serve" => crate::serve_cli::cmd_serve(&argv[1..]),
+        "client" => crate::serve_cli::cmd_client(&argv[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             0
@@ -564,6 +625,12 @@ fn parse_flags(
                 let v = value("--format")?;
                 *format = Format::parse(&v)
                     .ok_or_else(|| format!("unknown format {v:?} (text|json|csv|markdown)"))?;
+            }
+            "--input" => {
+                let v = value("--input")?;
+                args.input = parse_input(&v).ok_or_else(|| {
+                    format!("unknown input {v:?} (reference|alternative|tiny)")
+                })?;
             }
             "--out" => args.out = value("--out")?,
             "--baseline" => args.baseline = Some(value("--baseline")?),
@@ -813,6 +880,30 @@ pub fn compose_readme_block() -> String {
         let pad = " ".repeat(bin_width - e.legacy_bin.len());
         let _ = writeln!(out, "* `{}`{pad} → `mg run {}`", e.legacy_bin, e.name);
     }
+    let _ = write!(
+        out,
+        "\n### Serving experiments — `mg serve` and `mg client`\n\n\
+         For repeated sweeps and multi-client use, `mg serve` runs the same\n\
+         registry as a long-running daemon sharing one warm prep pool across\n\
+         all clients (default endpoint `{addr}`):\n\n\
+         ```sh\n\
+         cargo run --release -p mg-bench --bin mg -- serve &\n\
+         cargo run --release -p mg-bench --bin mg -- client ping --retry 50\n\
+         cargo run --release -p mg-bench --bin mg -- client run fig6 --quick --format json\n\
+         cargo run --release -p mg-bench --bin mg -- client stats\n\
+         cargo run --release -p mg-bench --bin mg -- client shutdown\n\
+         ```\n\n\
+         A served `run` prints byte-identical output to the same `mg run`\n\
+         invocation, streams per-cell progress to stderr while the matrix\n\
+         runs, and coalesces identical concurrent requests onto one\n\
+         execution; a full queue answers `Busy` (exit 75, retry later).\n\
+         `--socket PATH` serves a Unix socket instead of TCP. The wire\n\
+         protocol (framing, every request/response variant, versioning tied\n\
+         to the cache schema) is specified in\n\
+         [`docs/PROTOCOL.md`](docs/PROTOCOL.md); the request lifecycle is\n\
+         diagrammed in [`docs/ARCHITECTURE.md`](docs/ARCHITECTURE.md).\n",
+        addr = crate::serve_cli::DEFAULT_ADDR,
+    );
     let _ = writeln!(out, "{README_END}");
     out
 }

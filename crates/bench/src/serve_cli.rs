@@ -1,0 +1,369 @@
+//! The `mg serve` and `mg client` subcommands: the experiment registry
+//! wired onto the generic `mg-serve` service.
+//!
+//! `mg serve` starts a long-running daemon that
+//!
+//! * validates incoming [`RunRequest`]s against the same registry
+//!   `mg run` uses ([`crate::cli::experiments`]);
+//! * executes them through the registry's report builders with a shared
+//!   [`PrepPool`], so every client reuses one warm prep per (workload,
+//!   input, trace budget, cache root) — the first request pays for
+//!   preparation, later ones (from any client) skip it entirely;
+//! * streams per-cell progress frames while a matrix runs (the engine's
+//!   [`CellObserver`] forwarded as [`Response::Cell`] frames);
+//! * batches field-for-field equal requests onto one execution and
+//!   bounds its queue with a documented `Busy` reply (see
+//!   `docs/PROTOCOL.md`).
+//!
+//! Served payloads are **byte-identical** to the stdout of the same
+//! `mg run --format <fmt>` invocation (asserted by
+//! `crates/bench/tests/serve.rs`), and — because preparation artifacts
+//! come from the same pool + persistent cache — the harness's cold/warm
+//! bit-identity guarantee extends to served results. The `perf`
+//! experiment is deliberately **not served**: it writes
+//! `BENCH_pipeline.json` into the daemon's working directory (which a
+//! client cannot redirect, and concurrent runs would race on), and its
+//! wall-clock timings would measure the daemon host under load rather
+//! than the code — it stays a one-shot `mg run perf` tool.
+
+use crate::cli::{self, parse_input, Format, RunArgs};
+use mg_harness::{CellDone, CellObserver, PrepPool};
+use mg_serve::{
+    Client, EmitFn, Request, Response, RunOutcome, RunRequest, Runner, Server, ServerConfig,
+};
+use std::sync::Arc;
+
+/// Default TCP endpoint of `mg serve` / `mg client`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4571";
+
+/// Exit status of `mg client run` when the server replies `Busy`
+/// (distinct from the statuses registry experiments actually return —
+/// 0 and 1 — so scripts can key retries on it; a successful run exits
+/// with the experiment's own status, exactly like `mg run`).
+pub const EXIT_BUSY: i32 = 75; // EX_TEMPFAIL
+
+/// Builds the daemon's [`Runner`]: registry validation plus experiment
+/// execution over the shared warm-prep pool, with per-cell streaming.
+pub fn registry_runner(pool: Arc<PrepPool>) -> Runner {
+    Arc::new(move |req: &RunRequest, emit: EmitFn| {
+        let spec = cli::experiment(&req.experiment)
+            .ok_or_else(|| format!("unknown experiment {:?}", req.experiment))?;
+        let format = Format::parse(&req.format).ok_or_else(|| {
+            format!("unknown format {:?} (text|json|csv|markdown)", req.format)
+        })?;
+        let input = parse_input(&req.input).ok_or_else(|| {
+            format!("unknown input {:?} (reference|alternative|tiny)", req.input)
+        })?;
+        let progress: CellObserver = {
+            let emit = Arc::clone(&emit);
+            Arc::new(move |cell: &CellDone| {
+                emit(Response::Cell {
+                    workload: cell.workload.clone(),
+                    label: cell.label.clone(),
+                    cycles: cell.cycles,
+                    ops: cell.ops,
+                });
+            })
+        };
+        let args = RunArgs {
+            quick: req.quick,
+            threads: req.threads.map(|n| n as usize),
+            best: req.best,
+            no_cache: req.no_cache,
+            input,
+            pool: Some(Arc::clone(&pool)),
+            progress: Some(progress),
+            ..RunArgs::default()
+        };
+        // A panicking builder must not take the worker thread (and every
+        // batched client) down with it; surface it as an Error frame.
+        let report =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (spec.build)(&args)))
+                .map_err(|panic| {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("experiment builder panicked");
+                    format!("experiment {:?} failed: {msg}", req.experiment)
+                })?;
+        Ok(RunOutcome { status: report.status, payload: cli::render(&report, format) })
+    })
+}
+
+/// Constructs a ready-to-serve [`Server`] for the full experiment
+/// registry (shared by `mg serve` and the in-process tests). `addr` is a
+/// TCP address, or a Unix-socket path when `unix` is set.
+pub fn bind_registry_server(
+    addr: &str,
+    unix: bool,
+    workers: usize,
+    max_queue: usize,
+) -> std::io::Result<Server> {
+    let pool = Arc::new(PrepPool::new());
+    // Everything except `perf`: the perf driver writes
+    // BENCH_pipeline.json (and a sweep cache) into the *daemon's* cwd —
+    // a client cannot redirect it, concurrent runs would race on the
+    // file, and its wall-clock numbers would measure the daemon host
+    // under load rather than the code. It stays a one-shot `mg run
+    // perf` tool.
+    let experiments: Vec<String> = cli::experiments()
+        .iter()
+        .filter(|e| e.name != "perf")
+        .map(|e| e.name.to_string())
+        .collect();
+    let runner = registry_runner(Arc::clone(&pool));
+    let stats_extra = Arc::new(move || {
+        vec![
+            ("preps_prepared".to_string(), pool.prepared()),
+            ("preps_reused".to_string(), pool.reused()),
+        ]
+    });
+    let cfg = ServerConfig {
+        workers,
+        max_queue,
+        stats_extra: Some(stats_extra),
+        ..ServerConfig::default()
+    };
+    if unix {
+        Server::bind_unix(addr, experiments, runner, cfg)
+    } else {
+        Server::bind(addr, experiments, runner, cfg)
+    }
+}
+
+struct EndpointArgs {
+    addr: String,
+    unix: bool,
+}
+
+impl Default for EndpointArgs {
+    fn default() -> EndpointArgs {
+        EndpointArgs { addr: DEFAULT_ADDR.to_string(), unix: false }
+    }
+}
+
+impl EndpointArgs {
+    fn client(&self) -> Client {
+        if self.unix {
+            Client::unix(&self.addr)
+        } else {
+            Client::tcp(&self.addr)
+        }
+    }
+}
+
+/// `mg serve`: run the experiment daemon until a client sends
+/// `shutdown`.
+pub fn cmd_serve(argv: &[String]) -> i32 {
+    let mut endpoint = EndpointArgs::default();
+    let mut workers = 2usize;
+    let mut max_queue = 16usize;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        let parsed: Result<(), String> = (|| {
+            match a.as_str() {
+                "--addr" => endpoint.addr = value("--addr")?,
+                "--socket" => {
+                    endpoint.addr = value("--socket")?;
+                    endpoint.unix = true;
+                }
+                "--workers" => {
+                    workers =
+                        value("--workers")?.parse().ok().filter(|n| *n >= 1).ok_or_else(
+                            || "--workers requires a positive integer".to_string(),
+                        )?
+                }
+                "--max-queue" => {
+                    // A zero bound would Busy-reject every run forever.
+                    max_queue =
+                        value("--max-queue")?.parse().ok().filter(|n| *n >= 1).ok_or_else(
+                            || "--max-queue requires a positive integer".to_string(),
+                        )?
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("mg serve: {e}");
+            return 2;
+        }
+    }
+    let server = match bind_registry_server(&endpoint.addr, endpoint.unix, workers, max_queue) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mg serve: cannot bind {}: {e}", endpoint.addr);
+            return 1;
+        }
+    };
+    let shown =
+        server.local_addr().map(|a| a.to_string()).unwrap_or_else(|| endpoint.addr.clone());
+    eprintln!(
+        "mg serve: listening on {shown} ({workers} workers, queue bound {max_queue}); \
+         stop with `mg client shutdown`"
+    );
+    match server.serve() {
+        Ok(()) => {
+            eprintln!("mg serve: shut down cleanly");
+            0
+        }
+        Err(e) => {
+            eprintln!("mg serve: {e}");
+            1
+        }
+    }
+}
+
+/// `mg client`: one-shot wire client (`run`, `ping`, `stats`,
+/// `shutdown`).
+pub fn cmd_client(argv: &[String]) -> i32 {
+    let mut endpoint = EndpointArgs::default();
+    let mut retry = 0u32;
+    let mut run = RunRequest::new(String::new());
+    let mut action: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        let parsed: Result<(), String> = (|| {
+            match a.as_str() {
+                "--addr" => endpoint.addr = value("--addr")?,
+                "--socket" => {
+                    endpoint.addr = value("--socket")?;
+                    endpoint.unix = true;
+                }
+                "--retry" => {
+                    retry = value("--retry")?
+                        .parse()
+                        .map_err(|_| "--retry requires a non-negative integer".to_string())?
+                }
+                "--quick" => run.quick = Some(true),
+                "--full" => run.quick = Some(false),
+                "--best" => run.best = true,
+                "--no-cache" => run.no_cache = true,
+                "--threads" => {
+                    run.threads = Some(
+                        value("--threads")?
+                            .parse()
+                            .map_err(|_| "--threads requires a positive integer".to_string())?,
+                    )
+                }
+                "--input" => run.input = value("--input")?,
+                "--format" => run.format = value("--format")?,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag:?}"));
+                }
+                pos if action.is_none() => action = Some(pos.to_string()),
+                pos if action.as_deref() == Some("run") && run.experiment.is_empty() => {
+                    run.experiment = pos.to_string()
+                }
+                pos => return Err(format!("unexpected argument {pos:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("mg client: {e}");
+            return 2;
+        }
+    }
+    let client = endpoint.client();
+    match action.as_deref() {
+        Some("ping") => {
+            let mut attempt = 0;
+            loop {
+                match client.ping() {
+                    Ok(protocol) => {
+                        println!("pong (protocol {protocol})");
+                        return 0;
+                    }
+                    Err(e) if attempt < retry => {
+                        attempt += 1;
+                        let _ = e;
+                        std::thread::sleep(std::time::Duration::from_millis(200));
+                    }
+                    Err(e) => {
+                        eprintln!("mg client ping: {e}");
+                        return 1;
+                    }
+                }
+            }
+        }
+        Some("stats") => match client.request(&Request::Stats, |_| {}) {
+            Ok(Response::Stats { pairs }) => {
+                for (name, v) in pairs {
+                    println!("{name} {v}");
+                }
+                0
+            }
+            Ok(other) => {
+                eprintln!("mg client stats: unexpected reply {other:?}");
+                1
+            }
+            Err(e) => {
+                eprintln!("mg client stats: {e}");
+                1
+            }
+        },
+        Some("shutdown") => match client.request(&Request::Shutdown, |_| {}) {
+            Ok(Response::Done { .. }) => {
+                eprintln!("server acknowledged shutdown");
+                0
+            }
+            Ok(other) => {
+                eprintln!("mg client shutdown: unexpected reply {other:?}");
+                1
+            }
+            Err(e) => {
+                eprintln!("mg client shutdown: {e}");
+                1
+            }
+        },
+        Some("run") if !run.experiment.is_empty() => {
+            let on_event = |event: &Response| match event {
+                Response::Queued { position } => {
+                    eprintln!("queued at position {position}");
+                }
+                Response::Cell { workload, label, cycles, ops } => {
+                    eprintln!("cell {workload}/{label}: {cycles} cycles, {ops} ops");
+                }
+                _ => {}
+            };
+            match client.request(&Request::Run(run), on_event) {
+                Ok(Response::Done { status, payload }) => {
+                    print!("{payload}");
+                    // Exit with the experiment's own status, exactly as
+                    // `mg run` would (the OS truncates both identically).
+                    status as i32
+                }
+                Ok(Response::Busy { depth, capacity }) => {
+                    eprintln!(
+                        "mg client run: server busy (queue {depth}/{capacity}); retry later"
+                    );
+                    EXIT_BUSY
+                }
+                Ok(Response::Error { message }) => {
+                    eprintln!("mg client run: {message}");
+                    1
+                }
+                Ok(other) => {
+                    eprintln!("mg client run: unexpected reply {other:?}");
+                    1
+                }
+                Err(e) => {
+                    eprintln!("mg client run: {e}");
+                    1
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "mg client: expected `run <experiment>`, `ping`, `stats`, or `shutdown` \
+                 (plus --addr HOST:PORT or --socket PATH)"
+            );
+            2
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! }
 //! ```
 
+use crate::pool::{PoolKey, PrepPool};
 use crate::prep::{by_suite, BuildFn, Prep};
 use crate::prep_cache::PrepCache;
 use crate::quick::{apply_quick, quick_mode};
@@ -125,6 +126,27 @@ enum Source {
     Custom { name: String, suite: Suite, build: BuildFn },
 }
 
+/// One completed matrix cell, reported to a [`CellObserver`] as workers
+/// finish it (completion order, not matrix order).
+#[derive(Clone, Debug)]
+pub struct CellDone {
+    /// Workload name of the cell's row.
+    pub workload: String,
+    /// Label of the cell's [`Run`] spec.
+    pub label: String,
+    /// Simulated cycles of the cell.
+    pub cycles: u64,
+    /// Committed fetched operations of the cell.
+    pub ops: u64,
+}
+
+/// Callback invoked by [`Engine::run`] for every cell the moment a worker
+/// completes it. Called from worker threads, concurrently and in
+/// completion order; the deterministic matrix itself is unaffected.
+/// `mg serve` uses this to stream per-cell progress to clients while a
+/// request is still running.
+pub type CellObserver = Arc<dyn Fn(&CellDone) + Send + Sync>;
+
 /// Configures and builds an [`Engine`]. See [`Engine::builder`].
 pub struct EngineBuilder {
     input: Input,
@@ -132,6 +154,8 @@ pub struct EngineBuilder {
     threads: usize,
     quick: bool,
     cache_dir: Option<PathBuf>,
+    pool: Option<Arc<PrepPool>>,
+    observer: Option<CellObserver>,
 }
 
 impl EngineBuilder {
@@ -142,6 +166,8 @@ impl EngineBuilder {
             threads: default_threads(),
             quick: quick_mode(),
             cache_dir: None,
+            pool: None,
+            observer: None,
         }
     }
 
@@ -224,6 +250,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Shares warm preps through `pool` (see [`PrepPool`]): registered
+    /// workloads whose (input, trace budget, cache root) match an entry
+    /// already prepared — by this engine or any other holding the same
+    /// pool — reuse it instead of re-preparing. Ad-hoc
+    /// [`EngineBuilder::program`] sources are never pooled (closure
+    /// identity is unverifiable).
+    pub fn pool(mut self, pool: Arc<PrepPool>) -> EngineBuilder {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Registers a per-cell completion callback for [`Engine::run`] (see
+    /// [`CellObserver`]).
+    pub fn observer(mut self, observer: CellObserver) -> EngineBuilder {
+        self.observer = Some(observer);
+        self
+    }
+
     /// Prepares all selected workloads — every registered one if none
     /// were named — in parallel, and returns the engine.
     ///
@@ -232,7 +276,8 @@ impl EngineBuilder {
     /// functionally executing (and storing) the rest of the committed
     /// path would be pure waste.
     pub fn build(self) -> Engine {
-        let EngineBuilder { input, mut sources, threads, quick, cache_dir } = self;
+        let EngineBuilder { input, mut sources, threads, quick, cache_dir, pool, observer } =
+            self;
         if sources.is_empty() {
             sources.extend(mg_workloads::all().into_iter().map(Source::Registered));
         }
@@ -240,9 +285,14 @@ impl EngineBuilder {
             Some(dir) if !PrepCache::disabled_by_env() => Some(Arc::new(PrepCache::new(dir))),
             _ => None,
         };
-        let sources: Vec<Source> = sources;
-        let preps: Vec<Arc<Prep>> = run_indexed(threads, sources.len(), |i| {
-            let prep = match &sources[i] {
+        // Everything a pooled prep's identity depends on beyond the
+        // workload itself: the trace budget the engine will apply and the
+        // resolved cache root.
+        let trace_budget =
+            if quick { crate::quick::QUICK_MAX_OPS } else { crate::prep::STEP_BUDGET };
+        let cache_root = cache.as_ref().map(|c| c.root().to_path_buf());
+        let prepare = |source: &Source| {
+            let prep = match source {
                 Source::Registered(w) => Prep::new(w, &input),
                 Source::Custom { name, suite, build } => {
                     Prep::with_build(name.clone(), *suite, Arc::clone(build), &input)
@@ -250,9 +300,21 @@ impl EngineBuilder {
             };
             let prep =
                 if quick { prep.with_trace_budget(crate::quick::QUICK_MAX_OPS) } else { prep };
-            Arc::new(prep.with_cache(cache.clone()))
+            prep.with_cache(cache.clone())
+        };
+        let sources: Vec<Source> = sources;
+        let preps: Vec<Arc<Prep>> = run_indexed(threads, sources.len(), |i| {
+            let source = &sources[i];
+            match (&pool, source) {
+                (Some(pool), Source::Registered(w)) => {
+                    let key =
+                        PoolKey::new(w.stable_id(), &input, trace_budget, cache_root.clone());
+                    pool.get_or_prepare(key, || prepare(source))
+                }
+                _ => Arc::new(prepare(source)),
+            }
         });
-        Engine { preps, threads, quick }
+        Engine { preps, threads, quick, observer }
     }
 }
 
@@ -261,6 +323,7 @@ pub struct Engine {
     preps: Vec<Arc<Prep>>,
     threads: usize,
     quick: bool,
+    observer: Option<CellObserver>,
 }
 
 impl Engine {
@@ -319,10 +382,19 @@ impl Engine {
             let prep = &self.preps[claim % n_preps];
             let run = &runs[claim / n_preps];
             let cfg = self.tune(run.cfg.clone());
-            match &run.image {
+            let stats = match &run.image {
                 Image::Baseline => prep.run_baseline(&cfg),
                 Image::MiniGraph { policy, style } => prep.run_policy(policy, *style, &cfg),
+            };
+            if let Some(observer) = &self.observer {
+                observer(&CellDone {
+                    workload: prep.name.clone(),
+                    label: run.label.clone(),
+                    cycles: stats.cycles,
+                    ops: stats.ops,
+                });
             }
+            stats
         });
         // stats[claim] belongs to (prep = claim % n_preps, run = claim /
         // n_preps); scatter into workload-major rows.

@@ -10,13 +10,15 @@
 //!    result ordering: a parallel run is bit-identical to a sequential
 //!    one because every cell is a pure function of its inputs.
 //!
-//! The per-figure binaries in `mg-bench` (`fig5_coverage`,
-//! `fig6_performance`, `fig7_serialization`, `fig8_regfile`,
-//! `fig8_bandwidth`, `robustness`, `icache_effects`, `iq_capacity`), the
-//! criterion benches, and the examples all build on this crate; each
-//! binary regenerates one table/figure of the paper's evaluation.
-//! `README.md` shows the flow end-to-end and `DESIGN.md` documents the
-//! engine's caching and determinism contracts.
+//! The unified `mg` CLI in `mg-bench` (`mg run <experiment>` and the
+//! deprecated per-figure shims), the `mg serve` daemon, the criterion
+//! benches, and the examples all build on this crate; each registry
+//! experiment regenerates one table/figure of the paper's evaluation.
+//! Long-running services share warm preps across engines through
+//! [`PrepPool`] and stream per-cell completions through a
+//! [`CellObserver`]. `README.md` shows the flow end-to-end and
+//! `DESIGN.md` documents the engine's caching and determinism
+//! contracts (§6 covers serving).
 //!
 //! # Example
 //!
@@ -46,13 +48,18 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 pub mod engine;
+pub mod pool;
 pub mod prep;
 pub mod prep_cache;
 pub mod quick;
 pub mod report;
 pub mod table;
 
-pub use engine::{default_threads, Engine, EngineBuilder, Image, Run, RunMatrix, RunRow};
+pub use engine::{
+    default_threads, CellDone, CellObserver, Engine, EngineBuilder, Image, Run, RunMatrix,
+    RunRow,
+};
+pub use pool::{PoolKey, PrepPool};
 pub use prep::{by_suite, BuildFn, MgImage, Prep, ENUMERATION_SIZE, STEP_BUDGET};
 pub use prep_cache::{CacheStats, PrepCache, CACHE_SCHEMA_VERSION};
 pub use quick::{apply_quick, quick_mode, CliArgs, QUICK_MAX_OPS};

@@ -1,0 +1,181 @@
+//! A shared, concurrency-safe pool of prepared workloads.
+//!
+//! A one-shot experiment process builds its [`Prep`]s, runs, and exits —
+//! the in-process memo dies with it. A long-running service (`mg serve`)
+//! instead keeps one **warm** prep per (workload, input, trace budget,
+//! cache root) alive across every request it handles: the first request
+//! pays for profiling, enumeration, and artifact computation; every later
+//! request — from any client — reuses the same [`Prep`] and with it every
+//! memoized selection, image, and trace.
+//!
+//! The pool guarantees **exactly-once preparation** under concurrency:
+//! each key maps to a [`OnceLock`] slot, so when two engines race to
+//! prepare the same workload, one does the work and the other blocks
+//! until the prep is ready. The [`PrepPool::prepared`] / [`PrepPool::reused`]
+//! counters make the guarantee observable — the serve tests and the
+//! `serve-smoke` CI job assert "two concurrent clients, one prep" through
+//! them.
+//!
+//! Pooling is keyed on the prep's *stable cache id*, never on closure
+//! identity, so only registered workloads are pooled;
+//! ad-hoc [`Source::Custom`](crate::engine::EngineBuilder::program)
+//! programs bypass the pool (two different closures could share a name).
+
+use crate::prep::Prep;
+use mg_workloads::Input;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything a pooled prep's identity depends on. Two engines whose
+/// preparation would produce bit-identical `Prep`s share an entry; any
+/// difference — input, trace budget, cache root — separates them.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    /// The workload's stable cache id (`<suite>/<name>@r<version>`).
+    pub cache_id: String,
+    /// Input seed.
+    pub seed: u64,
+    /// Input scale.
+    pub scale: u32,
+    /// Recorded-trace cap (quick engines lower it; see
+    /// [`Prep::with_trace_budget`]).
+    pub trace_budget: u64,
+    /// Persistent artifact cache root, or `None` when the cache is off.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl PoolKey {
+    /// Builds a key from a prep's coordinates.
+    pub fn new(
+        cache_id: impl Into<String>,
+        input: &Input,
+        trace_budget: u64,
+        cache_dir: Option<PathBuf>,
+    ) -> PoolKey {
+        PoolKey {
+            cache_id: cache_id.into(),
+            seed: input.seed,
+            scale: input.scale,
+            trace_budget,
+            cache_dir,
+        }
+    }
+}
+
+/// A shared pool of warm [`Prep`]s (see the module docs).
+///
+/// Cheap to share: wrap in an [`Arc`] and hand a clone to every
+/// [`EngineBuilder::pool`](crate::engine::EngineBuilder::pool).
+#[derive(Default)]
+pub struct PrepPool {
+    slots: Mutex<HashMap<PoolKey, Arc<OnceLock<Arc<Prep>>>>>,
+    prepared: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl PrepPool {
+    /// Creates an empty pool.
+    pub fn new() -> PrepPool {
+        PrepPool::default()
+    }
+
+    /// Returns the pooled prep for `key`, preparing it with `prepare` if
+    /// (and only if) no other caller has. Concurrent callers with the
+    /// same key block until the single preparation finishes and then
+    /// share the resulting [`Arc`].
+    pub fn get_or_prepare(&self, key: PoolKey, prepare: impl FnOnce() -> Prep) -> Arc<Prep> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut built = false;
+        let prep = slot.get_or_init(|| {
+            built = true;
+            Arc::new(prepare())
+        });
+        if built {
+            self.prepared.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(prep)
+    }
+
+    /// How many preps this pool has actually prepared (each key counts
+    /// once, no matter how many callers raced on it).
+    pub fn prepared(&self) -> u64 {
+        self.prepared.load(Ordering::Relaxed)
+    }
+
+    /// How many requests were satisfied by an already-warm prep.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct warm preps currently held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Whether the pool holds no preps yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_workloads::Suite;
+
+    fn tiny_prep(name: &str) -> Prep {
+        let w = mg_workloads::by_name(name).expect("registered");
+        Prep::new(&w, &Input::tiny())
+    }
+
+    fn key(name: &str, budget: u64) -> PoolKey {
+        let w = mg_workloads::by_name(name).expect("registered");
+        PoolKey::new(w.stable_id(), &Input::tiny(), budget, None)
+    }
+
+    #[test]
+    fn pool_prepares_once_per_key_and_counts() {
+        let pool = Arc::new(PrepPool::new());
+        let p1 = pool.get_or_prepare(key("crc32", 1000), || tiny_prep("crc32"));
+        let p2 = pool.get_or_prepare(key("crc32", 1000), || panic!("must not re-prepare"));
+        assert!(Arc::ptr_eq(&p1, &p2), "same warm prep");
+        assert_eq!((pool.prepared(), pool.reused()), (1, 1));
+        // A different budget is a different prep.
+        let p3 = pool.get_or_prepare(key("crc32", 2000), || tiny_prep("crc32"));
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!((pool.prepared(), pool.reused()), (2, 1));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_preparation() {
+        let pool = Arc::new(PrepPool::new());
+        let prepared = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let prepared = Arc::clone(&prepared);
+                scope.spawn(move || {
+                    pool.get_or_prepare(key("bitcount", 500), || {
+                        prepared.fetch_add(1, Ordering::Relaxed);
+                        tiny_prep("bitcount")
+                    });
+                });
+            }
+        });
+        assert_eq!(prepared.load(Ordering::Relaxed), 1, "exactly one preparation ran");
+        assert_eq!(pool.prepared(), 1);
+        assert_eq!(pool.reused(), 3);
+        assert_eq!(
+            pool.get_or_prepare(key("bitcount", 500), || unreachable!()).suite,
+            Suite::MiBench
+        );
+    }
+}

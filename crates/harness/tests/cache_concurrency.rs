@@ -1,0 +1,147 @@
+//! Concurrent access to one persistent artifact cache: the
+//! temp-file+rename contract `mg serve` workers rely on.
+//!
+//! The contract under test (see `prep_cache`'s module docs): once an
+//! artifact has been stored under a key, **every** subsequent load of
+//! that key succeeds and returns bit-identical bytes — concurrent
+//! re-stores (which go to a unique temp file and atomically rename into
+//! place) never expose a torn, partial, or mixed file to readers. This
+//! holds across threads within one process and across separate
+//! processes sharing one `target/mg-cache` directory (the two-process
+//! half spawns this same test binary as a child with a filter for the
+//! [`cache_process_helper`] test).
+
+use mg_core::{Policy, Selection};
+use mg_harness::PrepCache;
+use mg_isa::wire::to_bytes;
+use mg_isa::{reg, Asm};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fingerprint used by every test in this file (arbitrary; isolation
+/// between tests comes from distinct cache roots).
+const FP: u64 = 0xfeed_beef;
+
+const LOADS: usize = 300;
+
+fn cache_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mg-cache-concurrency-{tag}-{}", std::process::id()))
+}
+
+/// A small deterministic selection — both processes recompute the same
+/// value, mirroring how every cache writer computes an identical
+/// artifact for a given key.
+fn sample_selection() -> Selection {
+    let mut a = Asm::new();
+    a.li(reg(18), 0);
+    a.li(reg(5), 40);
+    a.label("top");
+    a.addl(reg(18), 2, reg(18));
+    a.cmplt(reg(18), reg(5), reg(7));
+    a.bne(reg(7), "top");
+    a.halt();
+    let prog = a.finish().unwrap();
+    mg_core::extract(&prog, &mut mg_isa::Memory::new(), &Policy::default(), 100_000)
+        .unwrap()
+        .selection
+}
+
+/// Loads the key `LOADS` times, requiring every load to be a complete,
+/// bit-identical hit (the store already happened).
+fn assert_loads_are_complete_and_identical(cache: &PrepCache, expected: &[u8]) {
+    let policy = Policy::default();
+    for i in 0..LOADS {
+        let got = cache
+            .load_selection(FP, &policy)
+            .unwrap_or_else(|| panic!("load {i}: stored artifact invisible or torn"));
+        assert_eq!(to_bytes(&got), expected, "load {i}: bytes differ");
+    }
+}
+
+#[test]
+fn concurrent_threads_share_the_cache_without_torn_reads() {
+    let dir = cache_dir("threads");
+    let cache = PrepCache::new(&dir);
+    cache.clear().unwrap();
+    let sel = sample_selection();
+    let expected = to_bytes(&sel);
+    let policy = Policy::default();
+    cache.store_selection(FP, &policy, &sel);
+
+    // One thread re-stores the same key continuously (renaming over the
+    // live file); two reader threads must always see a complete,
+    // bit-identical artifact.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let writer_cache = PrepCache::new(&dir);
+            while !stop.load(Ordering::Relaxed) {
+                writer_cache.store_selection(FP, &policy, &sel);
+            }
+        });
+        for _ in 0..2 {
+            let expected = expected.clone();
+            let dir = &dir;
+            scope.spawn(move || {
+                let reader_cache = PrepCache::new(dir);
+                assert_loads_are_complete_and_identical(&reader_cache, &expected);
+            });
+        }
+        // Readers finish their fixed load count; then stop the writer.
+        // (Scope joins the readers implicitly; order does not matter.)
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+    cache.clear().unwrap();
+}
+
+/// Child-process half of
+/// [`concurrent_processes_share_the_cache_without_torn_reads`]: no-op
+/// unless spawned with `MG_CACHE_HELPER_DIR` set.
+#[test]
+fn cache_process_helper() {
+    let Ok(dir) = std::env::var("MG_CACHE_HELPER_DIR") else {
+        return;
+    };
+    let cache = PrepCache::new(dir);
+    let expected = to_bytes(&sample_selection());
+    assert_loads_are_complete_and_identical(&cache, &expected);
+}
+
+#[test]
+fn concurrent_processes_share_the_cache_without_torn_reads() {
+    let dir = cache_dir("procs");
+    let cache = PrepCache::new(&dir);
+    cache.clear().unwrap();
+    let sel = sample_selection();
+    let policy = Policy::default();
+    cache.store_selection(FP, &policy, &sel);
+
+    // The child (this same test binary, filtered to the helper test)
+    // loads the key repeatedly while this process re-stores it.
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["cache_process_helper", "--exact", "--nocapture"])
+        .env("MG_CACHE_HELPER_DIR", &dir)
+        .spawn()
+        .expect("spawn child process");
+
+    // Keep renaming over the live file until the child exits, then reap
+    // it unconditionally (`wait` after `try_wait`'s `Some` is a no-op
+    // status re-read, so no zombie survives an assertion failure above).
+    while child.try_wait().expect("child status").is_none() {
+        for _ in 0..20 {
+            cache.store_selection(FP, &policy, &sel);
+        }
+    }
+    let done = child.wait().expect("child status");
+    assert!(
+        done.success(),
+        "child process saw a torn or missing artifact (its assertions failed)"
+    );
+    // And this process's own reads stayed intact throughout.
+    assert_loads_are_complete_and_identical(&cache, &to_bytes(&sel));
+    cache.clear().unwrap();
+}

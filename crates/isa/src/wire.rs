@@ -524,6 +524,62 @@ impl Wire for BrRec {
     }
 }
 
+/// Magic bytes opening every stream frame (see [`write_frame`]).
+pub const FRAME_MAGIC: &[u8; 4] = b"MGF\x01";
+
+/// Frames longer than this are rejected as corrupt rather than read (a
+/// damaged or hostile length prefix must not trigger a huge allocation).
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// Writes one length-delimited frame to a byte stream: [`FRAME_MAGIC`],
+/// a little-endian `u32` payload length, then the [`Wire`] encoding of
+/// `value`. Frames are self-delimiting, so a stream of frames needs no
+/// other synchronization; `mg-serve` uses them as its request/response
+/// transport.
+///
+/// # Errors
+///
+/// [`std::io::ErrorKind::InvalidData`] if the encoded payload exceeds
+/// [`MAX_FRAME_LEN`] (nothing is written to the stream in that case),
+/// plus any I/O error from the underlying stream.
+pub fn write_frame<T: Wire>(out: &mut impl std::io::Write, value: &T) -> std::io::Result<()> {
+    let payload = to_bytes(value);
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame payload of {} bytes exceeds {MAX_FRAME_LEN}", payload.len()),
+        ));
+    }
+    out.write_all(FRAME_MAGIC)?;
+    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+    out.write_all(&payload)?;
+    out.flush()
+}
+
+/// Reads one frame written by [`write_frame`] and decodes its payload.
+///
+/// # Errors
+///
+/// * [`std::io::ErrorKind::UnexpectedEof`] if the stream ends mid-frame;
+/// * [`std::io::ErrorKind::InvalidData`] on bad magic, an oversized
+///   length, or a payload that is not a valid [`Wire`] encoding of `T`
+///   (including trailing bytes).
+pub fn read_frame<T: Wire>(input: &mut impl std::io::Read) -> std::io::Result<T> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut head = [0u8; 8];
+    input.read_exact(&mut head)?;
+    if &head[..4] != FRAME_MAGIC {
+        return Err(bad(format!("bad frame magic {:02x?}", &head[..4])));
+    }
+    let len = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(bad(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    input.read_exact(&mut payload)?;
+    from_bytes(&payload).map_err(|e| bad(format!("bad frame payload: {e}")))
+}
+
 /// The FNV-1a 64-bit offset basis (the hash of the empty string).
 pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
@@ -653,6 +709,53 @@ mod tests {
         let mut long = to_bytes(&7u64);
         long.push(0);
         assert_eq!(from_bytes::<u64>(&long), Err(WireError::BadValue));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &String::from("hello")).unwrap();
+        write_frame(&mut buf, &vec![1u64, 2, 3]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame::<String>(&mut r).unwrap(), "hello");
+        assert_eq!(read_frame::<Vec<u64>>(&mut r).unwrap(), vec![1, 2, 3]);
+        assert!(r.is_empty(), "frames are self-delimiting");
+    }
+
+    #[test]
+    fn corrupt_frames_fail_loudly() {
+        use std::io::ErrorKind;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &7u64).unwrap();
+        // Truncated mid-payload.
+        let mut r = &buf[..buf.len() - 1];
+        assert_eq!(read_frame::<u64>(&mut r).unwrap_err().kind(), ErrorKind::UnexpectedEof);
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        let mut r = &bad[..];
+        assert_eq!(read_frame::<u64>(&mut r).unwrap_err().kind(), ErrorKind::InvalidData);
+        // Oversized length prefix fails before allocating.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(FRAME_MAGIC);
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &huge[..];
+        assert_eq!(read_frame::<u64>(&mut r).unwrap_err().kind(), ErrorKind::InvalidData);
+        // An oversized payload is refused before anything hits the
+        // stream (an error, not a panic: runner-provided payloads reach
+        // this path in mg-serve).
+        let mut out = Vec::new();
+        let oversized = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        assert_eq!(
+            write_frame(&mut out, &oversized).unwrap_err().kind(),
+            ErrorKind::InvalidData
+        );
+        assert!(out.is_empty(), "nothing written for a refused frame");
+        // A payload with trailing bytes is not a valid frame of u8.
+        let mut trailing = Vec::new();
+        write_frame(&mut trailing, &vec![0u8; 4]).unwrap();
+        let mut r = &trailing[..];
+        assert_eq!(read_frame::<u8>(&mut r).unwrap_err().kind(), ErrorKind::InvalidData);
     }
 
     #[test]

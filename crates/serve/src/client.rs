@@ -1,0 +1,121 @@
+//! The thin wire client (`mg client` is a CLI shell over this).
+
+use crate::protocol::{send_hello, Request, Response};
+use mg_isa::wire::{read_frame, write_frame};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where the server lives.
+#[derive(Clone, Debug)]
+enum Endpoint {
+    /// A TCP address (`host:port`).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A client for one server endpoint. Connections are per-request: each
+/// [`Client::request`] opens a connection, sends the handshake and one
+/// request frame, and reads response frames to the terminal one.
+///
+/// # Example
+///
+/// A loopback ping against an in-process server:
+///
+/// ```
+/// use mg_serve::{Client, Request, Response, RunOutcome, Server, ServerConfig};
+/// use std::sync::Arc;
+///
+/// let runner = Arc::new(|_req: &mg_serve::RunRequest, _emit: mg_serve::EmitFn| {
+///     Ok(RunOutcome { status: 0, payload: String::new() })
+/// });
+/// let server = Server::bind("127.0.0.1:0", vec![], runner, ServerConfig::default()).unwrap();
+/// let addr = server.local_addr().unwrap();
+/// let handle = server.spawn();
+///
+/// let client = Client::tcp(addr.to_string());
+/// assert_eq!(client.ping().unwrap(), mg_serve::PROTOCOL_VERSION);
+///
+/// client.request(&Request::Shutdown, |_| {}).unwrap();
+/// handle.join().unwrap().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Client {
+    endpoint: Endpoint,
+}
+
+impl Client {
+    /// A client for a TCP server at `addr` (`host:port`).
+    pub fn tcp(addr: impl Into<String>) -> Client {
+        Client { endpoint: Endpoint::Tcp(addr.into()) }
+    }
+
+    /// A client for a Unix-domain-socket server at `path`.
+    #[cfg(unix)]
+    pub fn unix(path: impl Into<PathBuf>) -> Client {
+        Client { endpoint: Endpoint::Unix(path.into()) }
+    }
+
+    /// Sends `request` and reads the response stream: `on_event` sees
+    /// every non-terminal frame ([`Response::Queued`],
+    /// [`Response::Cell`]) in order, and the terminal frame is returned.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O or frame-decoding error, including the server hanging up
+    /// before a terminal frame.
+    pub fn request(
+        &self,
+        request: &Request,
+        mut on_event: impl FnMut(&Response),
+    ) -> std::io::Result<Response> {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                self.exchange(stream, request, &mut on_event)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                self.exchange(stream, request, &mut on_event)
+            }
+        }
+    }
+
+    fn exchange(
+        &self,
+        mut stream: impl Read + Write,
+        request: &Request,
+        on_event: &mut impl FnMut(&Response),
+    ) -> std::io::Result<Response> {
+        send_hello(&mut stream)?;
+        write_frame(&mut stream, request)?;
+        loop {
+            let resp = read_frame::<Response>(&mut stream)?;
+            if resp.is_terminal() {
+                return Ok(resp);
+            }
+            on_event(&resp);
+        }
+    }
+
+    /// Pings the server and returns its protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, or [`std::io::ErrorKind::InvalidData`] if the
+    /// terminal frame is not a [`Response::Pong`].
+    pub fn ping(&self) -> std::io::Result<u32> {
+        match self.request(&Request::Ping, |_| {})? {
+            Response::Pong { protocol } => Ok(protocol),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected Pong, got {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The `mg serve` experiment service: a dependency-free TCP /
+//! Unix-socket daemon that schedules experiment requests from many
+//! concurrent clients onto a shared worker pool.
+//!
+//! The one-shot `mg run` flow pays preparation (profiling, candidate
+//! enumeration, selection, trace recording) and thread-pool startup per
+//! process. This crate turns the harness into a long-running service:
+//!
+//! * **[`Server`]** — accepts framed requests ([`protocol`]), validates
+//!   them against an injected experiment registry, batches requests that
+//!   are field-for-field equal onto one execution, applies backpressure
+//!   through a bounded queue (documented [`Response::Busy`] reply), and
+//!   streams per-cell progress frames as the experiment runs.
+//! * **[`Client`]** — the thin wire client `mg client` and the CI smoke
+//!   jobs drive; one connection per request.
+//! * **[`protocol`]** — the frame payloads and the connection handshake;
+//!   the normative spec is `docs/PROTOCOL.md`, embedded here as
+//!   [`spec`] so its conformance example runs under `cargo test --doc`.
+//!
+//! The crate deliberately knows nothing about experiments: the
+//! experiment side is injected as a [`Runner`] closure. `mg serve` (in
+//! `mg-bench`) wires in the real registry plus a shared
+//! `mg_harness::PrepPool`, so every client reuses one warm prep per
+//! (workload, input, budget) and served results inherit the harness's
+//! cold/warm bit-identity guarantee.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+#[doc = include_str!("../../../docs/PROTOCOL.md")]
+pub mod spec {}
+
+pub use client::Client;
+pub use protocol::{
+    read_hello, send_hello, Request, Response, RunRequest, CONNECT_MAGIC, PROTOCOL_VERSION,
+};
+pub use server::{EmitFn, RunOutcome, Runner, Server, ServerConfig, StatsExtra};

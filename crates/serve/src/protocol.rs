@@ -1,0 +1,369 @@
+//! The `mg serve` wire protocol: connection handshake plus the
+//! [`Request`] and [`Response`] frame payloads.
+//!
+//! The normative specification lives in `docs/PROTOCOL.md` (embedded as
+//! the [`crate::spec`] module so its examples run as doc tests). In
+//! short: a connection opens with a fixed magic and the client's
+//! [`PROTOCOL_VERSION`], carries exactly one request frame, and is
+//! answered by a stream of response frames ending in a *terminal* one
+//! ([`Response::is_terminal`]). Frames themselves are the generic
+//! length-delimited frames of [`mg_isa::wire::write_frame`]; this module
+//! only defines their payloads.
+//!
+//! # Versioning
+//!
+//! [`PROTOCOL_VERSION`] must be bumped whenever the frame payload layout
+//! changes **or** whenever `mg_harness::CACHE_SCHEMA_VERSION` is bumped:
+//! served payloads are produced from cached preparation artifacts, so a
+//! schema bump changes what a byte-identical request may return and old
+//! clients must not silently mix results across it. The pairing is
+//! asserted by `crates/bench/tests/serve.rs`.
+
+use mg_isa::wire::{Reader, Wire, WireError, Writer};
+
+/// Version sent in the connection handshake; see the module docs for the
+/// bump rules (frame layout changes and cache schema bumps).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic bytes every connection opens with, before the version word.
+pub const CONNECT_MAGIC: &[u8; 4] = b"MGSV";
+
+/// Writes the connection handshake (magic + [`PROTOCOL_VERSION`]).
+///
+/// # Errors
+///
+/// Any I/O error from the stream.
+pub fn send_hello(out: &mut impl std::io::Write) -> std::io::Result<()> {
+    out.write_all(CONNECT_MAGIC)?;
+    out.write_all(&PROTOCOL_VERSION.to_le_bytes())?;
+    out.flush()
+}
+
+/// Reads a connection handshake and returns the peer's protocol version
+/// (the caller decides whether it is acceptable).
+///
+/// # Errors
+///
+/// [`std::io::ErrorKind::InvalidData`] on bad magic, plus any stream I/O
+/// error.
+pub fn read_hello(input: &mut impl std::io::Read) -> std::io::Result<u32> {
+    let mut head = [0u8; 8];
+    input.read_exact(&mut head)?;
+    if &head[..4] != CONNECT_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad connection magic {:02x?}", &head[..4]),
+        ));
+    }
+    Ok(u32::from_le_bytes(head[4..].try_into().expect("4 bytes")))
+}
+
+/// An experiment-run request: the serve-side equivalent of the `mg run`
+/// argument set. Requests that compare equal are **batched** by the
+/// server: they coalesce onto one execution and every client receives the
+/// same frame stream.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RunRequest {
+    /// Registry name of the experiment (validated against the server's
+    /// experiment list before queueing).
+    pub experiment: String,
+    /// Workload input data set: `"reference"`, `"alternative"`, or
+    /// `"tiny"`.
+    pub input: String,
+    /// `--quick` / `--full` override; `None` leaves the server's default.
+    pub quick: Option<bool>,
+    /// Worker-thread override for the experiment's engine.
+    pub threads: Option<u64>,
+    /// `--best` (fig7 only).
+    pub best: bool,
+    /// Bypass the persistent artifact cache for this run.
+    pub no_cache: bool,
+    /// Output format of the final payload (`text`, `json`, `csv`,
+    /// `markdown`).
+    pub format: String,
+}
+
+impl RunRequest {
+    /// A request for `experiment` with every option at its default
+    /// (reference input, server-side quick default, JSON payload).
+    pub fn new(experiment: impl Into<String>) -> RunRequest {
+        RunRequest {
+            experiment: experiment.into(),
+            input: "reference".into(),
+            quick: None,
+            threads: None,
+            best: false,
+            no_cache: false,
+            format: "json".into(),
+        }
+    }
+}
+
+/// One client→server frame payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered by [`Response::Pong`].
+    Ping,
+    /// Run an experiment; answered by a stream of [`Response::Queued`] /
+    /// [`Response::Cell`] frames ending in [`Response::Done`] (or
+    /// [`Response::Busy`] / [`Response::Error`]).
+    Run(RunRequest),
+    /// Service counters; answered by [`Response::Stats`].
+    Stats,
+    /// Drain the queue and stop the server; answered by
+    /// [`Response::Done`] once accepted.
+    Shutdown,
+}
+
+/// One server→client frame payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`], carrying the server's protocol
+    /// version.
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// The run was accepted and enqueued at this queue position
+    /// (informational; `0` means it is next).
+    Queued {
+        /// Queue position at accept time.
+        position: u64,
+    },
+    /// One matrix cell of the running experiment completed (streamed in
+    /// completion order while the run is in flight).
+    Cell {
+        /// Workload name of the cell.
+        workload: String,
+        /// Run-spec label of the cell.
+        label: String,
+        /// Simulated cycles.
+        cycles: u64,
+        /// Committed fetched operations.
+        ops: u64,
+    },
+    /// Terminal success: the rendered report payload, byte-identical to
+    /// the same `mg run --format <fmt>` invocation's stdout.
+    Done {
+        /// Process-style exit status of the experiment (non-zero for
+        /// e.g. a perf regression gate).
+        status: i64,
+        /// The rendered report.
+        payload: String,
+    },
+    /// Terminal backpressure reply: the bounded queue is full; retry
+    /// later.
+    Busy {
+        /// Requests currently queued.
+        depth: u64,
+        /// The queue bound.
+        capacity: u64,
+    },
+    /// Terminal failure (validation, version mismatch, or execution
+    /// error).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Reply to [`Request::Stats`]: named counters, in stable order.
+    Stats {
+        /// `(name, value)` counter pairs.
+        pairs: Vec<(String, u64)>,
+    },
+}
+
+impl Response {
+    /// Whether this frame ends the response stream (the client should
+    /// stop reading after it).
+    pub fn is_terminal(&self) -> bool {
+        match self {
+            Response::Pong { .. }
+            | Response::Done { .. }
+            | Response::Busy { .. }
+            | Response::Error { .. }
+            | Response::Stats { .. } => true,
+            Response::Queued { .. } | Response::Cell { .. } => false,
+        }
+    }
+}
+
+impl Wire for RunRequest {
+    fn put(&self, w: &mut Writer) {
+        w.str(&self.experiment);
+        w.str(&self.input);
+        self.quick.put(w);
+        self.threads.put(w);
+        self.best.put(w);
+        self.no_cache.put(w);
+        w.str(&self.format);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RunRequest {
+            experiment: r.str()?,
+            input: r.str()?,
+            quick: <Option<bool> as Wire>::take(r)?,
+            threads: <Option<u64> as Wire>::take(r)?,
+            best: bool::take(r)?,
+            no_cache: bool::take(r)?,
+            format: r.str()?,
+        })
+    }
+}
+
+impl Wire for Request {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            Request::Ping => w.u8(0),
+            Request::Run(req) => {
+                w.u8(1);
+                req.put(w);
+            }
+            Request::Stats => w.u8(2),
+            Request::Shutdown => w.u8(3),
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Request::Ping),
+            1 => Ok(Request::Run(RunRequest::take(r)?)),
+            2 => Ok(Request::Stats),
+            3 => Ok(Request::Shutdown),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for Response {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            Response::Pong { protocol } => {
+                w.u8(0);
+                w.u32(*protocol);
+            }
+            Response::Queued { position } => {
+                w.u8(1);
+                w.u64(*position);
+            }
+            Response::Cell { workload, label, cycles, ops } => {
+                w.u8(2);
+                w.str(workload);
+                w.str(label);
+                w.u64(*cycles);
+                w.u64(*ops);
+            }
+            Response::Done { status, payload } => {
+                w.u8(3);
+                w.i64(*status);
+                w.str(payload);
+            }
+            Response::Busy { depth, capacity } => {
+                w.u8(4);
+                w.u64(*depth);
+                w.u64(*capacity);
+            }
+            Response::Error { message } => {
+                w.u8(5);
+                w.str(message);
+            }
+            Response::Stats { pairs } => {
+                w.u8(6);
+                pairs.put(w);
+            }
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Response::Pong { protocol: r.u32()? },
+            1 => Response::Queued { position: r.u64()? },
+            2 => Response::Cell {
+                workload: r.str()?,
+                label: r.str()?,
+                cycles: r.u64()?,
+                ops: r.u64()?,
+            },
+            3 => Response::Done { status: r.i64()?, payload: r.str()? },
+            4 => Response::Busy { depth: r.u64()?, capacity: r.u64()? },
+            5 => Response::Error { message: r.str()? },
+            6 => Response::Stats { pairs: Vec::take(r)? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::wire::{read_frame, write_frame};
+
+    #[test]
+    fn every_variant_round_trips_as_a_frame() {
+        let requests = vec![
+            Request::Ping,
+            Request::Run(RunRequest {
+                quick: Some(true),
+                threads: Some(3),
+                best: true,
+                format: "text".into(),
+                ..RunRequest::new("fig6")
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        let responses = vec![
+            Response::Pong { protocol: PROTOCOL_VERSION },
+            Response::Queued { position: 2 },
+            Response::Cell {
+                workload: "crc32".into(),
+                label: "intmem".into(),
+                cycles: 123,
+                ops: 456,
+            },
+            Response::Done { status: 0, payload: "{}\n".into() },
+            Response::Busy { depth: 16, capacity: 16 },
+            Response::Error { message: "unknown experiment".into() },
+            Response::Stats { pairs: vec![("served".into(), 9)] },
+        ];
+        let mut buf = Vec::new();
+        for q in &requests {
+            write_frame(&mut buf, q).unwrap();
+        }
+        for p in &responses {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = &buf[..];
+        for q in &requests {
+            assert_eq!(&read_frame::<Request>(&mut r).unwrap(), q);
+        }
+        for p in &responses {
+            assert_eq!(&read_frame::<Response>(&mut r).unwrap(), p);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn terminality_partition_is_total() {
+        assert!(Response::Pong { protocol: 1 }.is_terminal());
+        assert!(Response::Done { status: 0, payload: String::new() }.is_terminal());
+        assert!(Response::Busy { depth: 0, capacity: 0 }.is_terminal());
+        assert!(Response::Error { message: String::new() }.is_terminal());
+        assert!(Response::Stats { pairs: vec![] }.is_terminal());
+        assert!(!Response::Queued { position: 0 }.is_terminal());
+        assert!(!Response::Cell {
+            workload: String::new(),
+            label: String::new(),
+            cycles: 0,
+            ops: 0
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_foreign_magic() {
+        let mut buf = Vec::new();
+        send_hello(&mut buf).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_hello(&mut r).unwrap(), PROTOCOL_VERSION);
+        let mut r: &[u8] = b"HTTP/1.1";
+        assert_eq!(read_hello(&mut r).unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,643 @@
+//! The experiment server: listener, bounded queue, batching scheduler,
+//! and worker pool.
+//!
+//! The server is deliberately generic: it knows the wire protocol, the
+//! scheduling policy (coalesce equal [`RunRequest`]s, bound the queue,
+//! stream frames as they are produced), and nothing about experiments.
+//! The experiment side is injected as a [`Runner`] — `mg serve` (in
+//! `mg-bench`) wires in the real registry, a shared warm prep pool, and a
+//! per-cell progress observer; tests wire in cheap stubs.
+//!
+//! # Scheduling
+//!
+//! * Each accepted connection carries exactly one [`Request`].
+//! * `Run` requests are keyed by their full [`RunRequest`] value. A
+//!   request equal to one that is queued or running **attaches** to it:
+//!   the new client first receives a replay of every frame the batch has
+//!   already emitted, then the live stream — so late joiners see the
+//!   identical byte sequence. One execution serves all attached clients.
+//! * New keys are enqueued; if the bounded queue is full the client gets
+//!   a terminal [`Response::Busy`] instead (documented backpressure — the
+//!   client retries later).
+//! * Worker threads pop batches FIFO and run them through the
+//!   [`Runner`], broadcasting progress frames as the runner emits them
+//!   and a terminal [`Response::Done`] / [`Response::Error`] at the end.
+//! * `Shutdown` stops accepting, lets the workers drain the queue, and
+//!   returns from [`Server::serve`].
+
+use crate::protocol::{read_hello, Request, Response, RunRequest, PROTOCOL_VERSION};
+use mg_isa::wire::{self, read_frame};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Frame sink handed to a [`Runner`]: every response emitted through it
+/// is broadcast to all clients attached to the batch, in emission order.
+pub type EmitFn = Arc<dyn Fn(Response) + Send + Sync>;
+
+/// A completed run: the experiment's exit status and its rendered
+/// payload (sent to clients as [`Response::Done`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Process-style exit status (`Report::status`).
+    pub status: i32,
+    /// The rendered report, byte-identical to `mg run`'s stdout for the
+    /// same arguments.
+    pub payload: String,
+}
+
+/// Executes one validated run request, emitting progress frames through
+/// the provided [`EmitFn`] and returning the terminal outcome (`Err` is
+/// sent to clients as [`Response::Error`]).
+pub type Runner = Arc<dyn Fn(&RunRequest, EmitFn) -> Result<RunOutcome, String> + Send + Sync>;
+
+/// Extra `(name, value)` counter pairs appended to [`Response::Stats`]
+/// (e.g. the CLI's warm-prep-pool counters).
+pub type StatsExtra = Arc<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing batches concurrently.
+    pub workers: usize,
+    /// Bound on queued (not yet running) batches; beyond it new keys get
+    /// [`Response::Busy`].
+    pub max_queue: usize,
+    /// Per-connection socket I/O timeout. Response frames are broadcast
+    /// under scheduler locks, so a client that stops reading must fail
+    /// fast (and be dropped from its batch) rather than wedge the
+    /// daemon; the same bound covers a client that connects but never
+    /// sends its request.
+    pub io_timeout: std::time::Duration,
+    /// Optional extra counters for [`Response::Stats`].
+    pub stats_extra: Option<StatsExtra>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            max_queue: 16,
+            io_timeout: std::time::Duration::from_secs(30),
+            stats_extra: None,
+        }
+    }
+}
+
+/// A client sink: the write half of an accepted connection.
+type Sink = Box<dyn Write + Send>;
+
+/// One coalesced run: the request, the clients attached to it, and the
+/// frames already emitted (for replay to late joiners).
+struct Batch {
+    req: RunRequest,
+    inner: Mutex<BatchInner>,
+}
+
+#[derive(Default)]
+struct BatchInner {
+    sinks: Vec<Sink>,
+    emitted: Vec<Vec<u8>>,
+    done: bool,
+}
+
+/// Encodes `resp` as one frame. A payload over the frame-size bound
+/// degrades to an encoded [`Response::Error`] naming the overflow — a
+/// runner-provided oversized payload must not panic a worker thread (and
+/// poison its batch) in a daemon whose runners are injected by callers.
+fn encode_frame(resp: &Response) -> Vec<u8> {
+    let mut frame = Vec::new();
+    if wire::write_frame(&mut frame, resp).is_err() {
+        frame.clear();
+        let fallback = Response::Error {
+            message: format!(
+                "response frame exceeds the {}-byte limit; see docs/PROTOCOL.md",
+                wire::MAX_FRAME_LEN
+            ),
+        };
+        wire::write_frame(&mut frame, &fallback).expect("the fallback error frame is small");
+    }
+    frame
+}
+
+impl Batch {
+    /// Encodes `resp` once and broadcasts it to every attached sink,
+    /// recording it for replay. Dead sinks (client hung up) are dropped
+    /// silently.
+    fn broadcast(&self, resp: &Response) {
+        let frame = encode_frame(resp);
+        let mut inner = self.inner.lock().unwrap();
+        inner.emitted.push(frame.clone());
+        inner.sinks.retain_mut(|s| s.write_all(&frame).and_then(|()| s.flush()).is_ok());
+    }
+}
+
+struct SchedState {
+    queue: VecDeque<Arc<Batch>>,
+    /// Queued **and running** batches, so duplicates attach to in-flight
+    /// work too; entries leave when their terminal frame has been sent.
+    index: HashMap<RunRequest, Arc<Batch>>,
+}
+
+struct Shared {
+    runner: Runner,
+    experiments: Vec<String>,
+    cfg: ServerConfig,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    stop: AtomicBool,
+    /// Terminal frames delivered to run clients (one per client still
+    /// attached at completion).
+    served: AtomicU64,
+    /// Requests that attached to an existing batch instead of enqueueing.
+    batched: AtomicU64,
+    /// Requests rejected with `Busy`.
+    busy_rejections: AtomicU64,
+}
+
+impl Shared {
+    fn stats_pairs(&self) -> Vec<(String, u64)> {
+        let (depth, in_flight) = {
+            let state = self.state.lock().unwrap();
+            (state.queue.len() as u64, state.index.len() as u64)
+        };
+        let mut pairs = vec![
+            ("served".to_string(), self.served.load(Ordering::Relaxed)),
+            ("batched".to_string(), self.batched.load(Ordering::Relaxed)),
+            ("busy_rejections".to_string(), self.busy_rejections.load(Ordering::Relaxed)),
+            ("queue_depth".to_string(), depth),
+            ("in_flight".to_string(), in_flight),
+        ];
+        if let Some(extra) = &self.cfg.stats_extra {
+            pairs.extend(extra());
+        }
+        pairs
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// A bound (but not yet serving) experiment server. See the
+/// [module docs](self) for the scheduling contract.
+///
+/// # Example
+///
+/// An in-process loopback round-trip with a stub runner (the real
+/// experiment registry is wired in by `mg serve`):
+///
+/// ```
+/// use mg_serve::{Client, Request, Response, RunOutcome, RunRequest, Server, ServerConfig};
+/// use std::sync::Arc;
+///
+/// let runner = Arc::new(|req: &RunRequest, _emit: mg_serve::EmitFn| {
+///     Ok(RunOutcome { status: 0, payload: format!("ran {}\n", req.experiment) })
+/// });
+/// let server = Server::bind(
+///     "127.0.0.1:0",                    // any free port
+///     vec!["echo".to_string()],         // the experiment registry
+///     runner,
+///     ServerConfig::default(),
+/// )
+/// .unwrap();
+/// let addr = server.local_addr().unwrap();
+/// let handle = server.spawn();
+///
+/// let client = Client::tcp(addr.to_string());
+/// let reply = client.request(&Request::Run(RunRequest::new("echo")), |_| {}).unwrap();
+/// assert_eq!(reply, Response::Done { status: 0, payload: "ran echo\n".to_string() });
+///
+/// client.request(&Request::Shutdown, |_| {}).unwrap();
+/// handle.join().unwrap().unwrap();
+/// ```
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds a TCP server on `addr` (e.g. `"127.0.0.1:0"` for any free
+    /// port). `experiments` is the set of run-request names the server
+    /// accepts; anything else is rejected with [`Response::Error`]
+    /// before queueing.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        experiments: Vec<String>,
+        runner: Runner,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: Listener::Tcp(TcpListener::bind(addr)?),
+            shared: Shared::new(experiments, runner, cfg),
+        })
+    }
+
+    /// Binds a Unix-domain-socket server at `path`. An existing entry at
+    /// the path is removed only when it is a **stale socket** (a socket
+    /// nothing answers on): a live daemon's socket refuses with
+    /// `AddrInUse`, and a non-socket file refuses with `AlreadyExists` —
+    /// binding never deletes unrelated data.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` if the path holds a non-socket file, `AddrInUse`
+    /// if another server is answering on it, plus any I/O error from
+    /// binding the listener.
+    #[cfg(unix)]
+    pub fn bind_unix(
+        path: impl AsRef<Path>,
+        experiments: Vec<String>,
+        runner: Runner,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        use std::io::{Error, ErrorKind};
+        let path = path.as_ref();
+        match std::fs::symlink_metadata(path) {
+            Ok(meta) => {
+                use std::os::unix::fs::FileTypeExt;
+                if !meta.file_type().is_socket() {
+                    return Err(Error::new(
+                        ErrorKind::AlreadyExists,
+                        format!(
+                            "{} exists and is not a socket; refusing to remove it",
+                            path.display()
+                        ),
+                    ));
+                }
+                if UnixStream::connect(path).is_ok() {
+                    return Err(Error::new(
+                        ErrorKind::AddrInUse,
+                        format!("a server is already answering on {}", path.display()),
+                    ));
+                }
+                std::fs::remove_file(path)?; // stale socket from a dead server
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Server {
+            listener: Listener::Unix(UnixListener::bind(path)?),
+            shared: Shared::new(experiments, runner, cfg),
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix-socket servers); use with
+    /// port `0` to discover the assigned port.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix(_) => None,
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until a
+    /// [`Request::Shutdown`] arrives, then drains the queue and returns.
+    ///
+    /// # Errors
+    ///
+    /// None currently: per-connection errors are handled in place and
+    /// transient accept errors (aborted handshakes, fd exhaustion) are
+    /// retried with a short backoff rather than stopping the server.
+    /// The `Result` return is kept so future fatal conditions have a
+    /// channel.
+    pub fn serve(self) -> std::io::Result<()> {
+        let Server { listener, shared } = self;
+        let mut workers = Vec::new();
+        for _ in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        let mut handlers = Vec::new();
+        loop {
+            let accepted: std::io::Result<Box<dyn Conn>> = match &listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Box::new(s) as Box<dyn Conn>),
+            };
+            let conn = match accepted {
+                Ok(conn) => conn,
+                // A long-running daemon must survive transient accept
+                // failures (a peer resetting mid-handshake, a burst
+                // exhausting fds) — dying here would orphan every
+                // queued batch. Back off briefly and keep accepting;
+                // the loop still exits promptly on shutdown.
+                Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    continue;
+                }
+            };
+            if shared.stop.load(Ordering::SeqCst) {
+                break; // the shutdown handler's wake-up connection
+            }
+            conn.set_io_timeout(shared.cfg.io_timeout);
+            // Reap finished handler threads so a long-lived daemon's
+            // bookkeeping stays proportional to *live* connections, not
+            // to every connection ever accepted.
+            handlers.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+            let shared = Arc::clone(&shared);
+            let endpoint = listener.self_endpoint();
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(conn, &shared, &endpoint);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        shared.work_ready.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Spawns [`Server::serve`] on a background thread and returns its
+    /// handle (convenience for tests and in-process use).
+    pub fn spawn(self) -> std::thread::JoinHandle<std::io::Result<()>> {
+        std::thread::spawn(move || self.serve())
+    }
+}
+
+impl Shared {
+    fn new(experiments: Vec<String>, runner: Runner, cfg: ServerConfig) -> Arc<Shared> {
+        Arc::new(Shared {
+            runner,
+            experiments,
+            cfg,
+            state: Mutex::new(SchedState { queue: VecDeque::new(), index: HashMap::new() }),
+            work_ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+        })
+    }
+}
+
+/// How a handler reaches its own server to unblock the accept loop on
+/// shutdown.
+enum SelfEndpoint {
+    Tcp(Option<SocketAddr>),
+    #[cfg(unix)]
+    Unix(Option<std::path::PathBuf>),
+}
+
+impl Listener {
+    fn self_endpoint(&self) -> SelfEndpoint {
+        match self {
+            Listener::Tcp(l) => SelfEndpoint::Tcp(l.local_addr().ok()),
+            #[cfg(unix)]
+            Listener::Unix(l) => SelfEndpoint::Unix(
+                l.local_addr().ok().and_then(|a| a.as_pathname().map(Path::to_path_buf)),
+            ),
+        }
+    }
+}
+
+impl SelfEndpoint {
+    /// Makes one throwaway connection so a blocked `accept` observes the
+    /// stop flag.
+    fn wake(&self) {
+        match self {
+            SelfEndpoint::Tcp(Some(addr)) => {
+                let _ = TcpStream::connect(addr);
+            }
+            SelfEndpoint::Tcp(None) => {}
+            #[cfg(unix)]
+            SelfEndpoint::Unix(Some(path)) => {
+                let _ = UnixStream::connect(path);
+            }
+            #[cfg(unix)]
+            SelfEndpoint::Unix(None) => {}
+        }
+    }
+}
+
+/// A connection stream: readable for the request, then converted into a
+/// write-only [`Sink`].
+trait Conn: std::io::Read + Write + Send {
+    fn into_sink(self: Box<Self>) -> Sink;
+
+    /// Bounds every read and write on the stream (see
+    /// [`ServerConfig::io_timeout`]).
+    fn set_io_timeout(&self, timeout: std::time::Duration);
+}
+
+impl Conn for TcpStream {
+    fn into_sink(self: Box<Self>) -> Sink {
+        self
+    }
+
+    fn set_io_timeout(&self, timeout: std::time::Duration) {
+        let _ = self.set_read_timeout(Some(timeout));
+        let _ = self.set_write_timeout(Some(timeout));
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn into_sink(self: Box<Self>) -> Sink {
+        self
+    }
+
+    fn set_io_timeout(&self, timeout: std::time::Duration) {
+        let _ = self.set_read_timeout(Some(timeout));
+        let _ = self.set_write_timeout(Some(timeout));
+    }
+}
+
+/// Best-effort single-frame reply on a stream we are about to drop.
+fn reply(stream: &mut dyn Write, resp: &Response) {
+    let frame = encode_frame(resp);
+    let _ = stream.write_all(&frame);
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut conn: Box<dyn Conn>, shared: &Shared, endpoint: &SelfEndpoint) {
+    let version = match read_hello(&mut conn) {
+        Ok(v) => v,
+        Err(_) => return, // not a protocol client; nothing to say
+    };
+    if version != PROTOCOL_VERSION {
+        reply(
+            &mut *conn,
+            &Response::Error {
+                message: format!(
+                    "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                ),
+            },
+        );
+        return;
+    }
+    let request = match read_frame::<Request>(&mut conn) {
+        Ok(r) => r,
+        Err(e) => {
+            reply(&mut *conn, &Response::Error { message: format!("bad request frame: {e}") });
+            return;
+        }
+    };
+    match request {
+        Request::Ping => reply(&mut *conn, &Response::Pong { protocol: PROTOCOL_VERSION }),
+        Request::Stats => reply(&mut *conn, &Response::Stats { pairs: shared.stats_pairs() }),
+        Request::Shutdown => {
+            reply(&mut *conn, &Response::Done { status: 0, payload: "shutting down".into() });
+            shared.stop.store(true, Ordering::SeqCst);
+            endpoint.wake();
+        }
+        Request::Run(req) => handle_run(conn, shared, req),
+    }
+}
+
+fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
+    let mut sink = conn.into_sink();
+    if !shared.experiments.iter().any(|e| e == &req.experiment) {
+        reply(
+            &mut *sink,
+            &Response::Error { message: format!("unknown experiment {:?}", req.experiment) },
+        );
+        return;
+    }
+    loop {
+        // The stop check must happen under the state lock: workers exit
+        // on (queue empty && stop), both read under the same lock, so a
+        // batch can never be enqueued after the last worker has decided
+        // to exit.
+        let mut state = shared.state.lock().unwrap();
+        if shared.stop.load(Ordering::SeqCst) {
+            drop(state);
+            reply(&mut *sink, &Response::Error { message: "server is shutting down".into() });
+            return;
+        }
+        // Attach to an equal queued/running batch: replay its frames,
+        // then receive the live stream. The scheduler lock is released
+        // first — replaying to a slow client may block up to the socket
+        // timeout and must only stall this batch (its `inner` lock), not
+        // the whole daemon.
+        if let Some(batch) = state.index.get(&req).map(Arc::clone) {
+            drop(state);
+            let mut inner = batch.inner.lock().unwrap();
+            if inner.done {
+                // Completed while unlocked; the worker is about to drop
+                // (or just dropped) the index entry — retry as new.
+                drop(inner);
+                std::thread::yield_now();
+                continue;
+            }
+            let mut alive = true;
+            for frame in &inner.emitted {
+                if sink.write_all(frame).and_then(|()| sink.flush()).is_err() {
+                    alive = false;
+                    break;
+                }
+            }
+            if alive {
+                inner.sinks.push(sink);
+            }
+            shared.batched.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if state.queue.len() >= shared.cfg.max_queue {
+            let depth = state.queue.len() as u64;
+            drop(state);
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            reply(&mut *sink, &Response::Busy { depth, capacity: shared.cfg.max_queue as u64 });
+            return;
+        }
+        let position = state.queue.len() as u64;
+        let batch = Arc::new(Batch {
+            req: req.clone(),
+            inner: Mutex::new(BatchInner { sinks: vec![sink], ..Default::default() }),
+        });
+        // Record `Queued` before the batch becomes visible to workers,
+        // so it is always the stream's first frame (and is replayed to
+        // joiners). The write happens under the scheduler lock, but it
+        // is one small frame into a freshly accepted socket's empty
+        // send buffer — it cannot block on the peer.
+        batch.broadcast(&Response::Queued { position });
+        state.queue.push_back(Arc::clone(&batch));
+        state.index.insert(req, Arc::clone(&batch));
+        drop(state);
+        shared.work_ready.notify_one();
+        return;
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(batch) = state.queue.pop_front() {
+                    break batch;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                state = shared.work_ready.wait(state).unwrap();
+            }
+        };
+        let emit: EmitFn = {
+            let batch = Arc::clone(&batch);
+            Arc::new(move |resp: Response| batch.broadcast(&resp))
+        };
+        let outcome = (shared.runner)(&batch.req, emit);
+        let terminal = match outcome {
+            Ok(RunOutcome { status, payload }) => {
+                Response::Done { status: status as i64, payload }
+            }
+            Err(message) => Response::Error { message },
+        };
+        // Terminal delivery needs only the batch's own lock: an
+        // attacher that still finds the index entry afterwards locks
+        // `inner`, sees `done`, and retries as a fresh request. Writing
+        // to client sockets while holding the scheduler lock would let
+        // one slow client stall every connection on the daemon.
+        let frame = encode_frame(&terminal);
+        {
+            let mut inner = batch.inner.lock().unwrap();
+            inner.emitted.push(frame.clone());
+            // Count *before* writing: the first successful write wakes a
+            // client, which may immediately query stats — the counter
+            // must already include this batch's subscribers by then.
+            // (Sinks that died earlier were already dropped by their
+            // failed broadcast, so this is the set delivery is attempted
+            // to.)
+            shared.served.fetch_add(inner.sinks.len() as u64, Ordering::Relaxed);
+            for sink in &mut inner.sinks {
+                let _ = sink.write_all(&frame).and_then(|()| sink.flush());
+            }
+            inner.done = true;
+            inner.sinks.clear(); // hang up: the stream is complete
+        }
+        // Only the index removal touches the scheduler lock.
+        let mut state = shared.state.lock().unwrap();
+        if let Some(indexed) = state.index.get(&batch.req) {
+            if Arc::ptr_eq(indexed, &batch) {
+                state.index.remove(&batch.req);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Integration tests of the server's scheduling contract: batching with
+//! frame replay, bounded-queue backpressure, validation, version
+//! mismatch, and the Unix-socket transport.
+
+use mg_serve::{
+    Client, EmitFn, Request, Response, RunOutcome, RunRequest, Server, ServerConfig,
+    PROTOCOL_VERSION,
+};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A runner that counts executions, emits a couple of cell frames, and
+/// blocks until released — so tests can pile requests onto an in-flight
+/// batch deterministically.
+struct GatedRunner {
+    executions: Arc<AtomicU64>,
+    release: mpsc::Receiver<()>,
+}
+
+fn gated_server(
+    workers: usize,
+    max_queue: usize,
+) -> (Server, Arc<AtomicU64>, mpsc::Sender<()>) {
+    let executions = Arc::new(AtomicU64::new(0));
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let gate = Arc::new(std::sync::Mutex::new(GatedRunner {
+        executions: Arc::clone(&executions),
+        release: release_rx,
+    }));
+    let runner = Arc::new(move |req: &RunRequest, emit: EmitFn| {
+        let gate = gate.lock().unwrap();
+        gate.executions.fetch_add(1, Ordering::SeqCst);
+        emit(Response::Cell {
+            workload: "w0".into(),
+            label: "baseline".into(),
+            cycles: 10,
+            ops: 20,
+        });
+        emit(Response::Cell { workload: "w1".into(), label: "mg".into(), cycles: 30, ops: 40 });
+        gate.release.recv().map_err(|e| e.to_string())?;
+        Ok(RunOutcome { status: 0, payload: format!("payload for {}\n", req.experiment) })
+    });
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec!["fig6".into(), "fig5".into()],
+        runner,
+        ServerConfig { workers, max_queue, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    (server, executions, release_tx)
+}
+
+/// Collects a full response stream from one client request.
+fn collect(client: &Client, req: &Request) -> (Vec<Response>, Response) {
+    let mut events = Vec::new();
+    let terminal = client.request(req, |e| events.push(e.clone())).expect("request");
+    (events, terminal)
+}
+
+#[test]
+fn duplicate_requests_coalesce_onto_one_execution_with_identical_streams() {
+    let (server, executions, release) = gated_server(1, 16);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+    let run = Request::Run(RunRequest::new("fig6"));
+
+    // Three concurrent identical requests; the runner is gated, so the
+    // second and third attach while the first is queued or running. The
+    // main thread releases the gate only once both duplicates have
+    // attached, making the coalescing deterministic.
+    let streams: Vec<(Vec<Response>, Response)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let client = client.clone();
+                let run = run.clone();
+                scope.spawn(move || collect(&client, &run))
+            })
+            .collect();
+        loop {
+            let (_, stats) = collect(&client, &Request::Stats);
+            let Response::Stats { pairs } = stats else { panic!("expected stats") };
+            if pairs.iter().find(|(n, _)| n == "batched").unwrap().1 == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        release.send(()).unwrap();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    assert_eq!(executions.load(Ordering::SeqCst), 1, "one execution served all three");
+    for (events, terminal) in &streams {
+        assert_eq!(events, &streams[0].0, "replay makes every stream identical");
+        assert_eq!(terminal, &streams[0].1);
+        assert_eq!(
+            terminal,
+            &Response::Done { status: 0, payload: "payload for fig6\n".into() }
+        );
+        assert!(matches!(events[0], Response::Queued { .. }));
+        assert_eq!(events.iter().filter(|e| matches!(e, Response::Cell { .. })).count(), 2);
+    }
+
+    // A later (non-concurrent) identical request is a fresh execution.
+    release.send(()).unwrap();
+    let (_, terminal) = collect(&client, &run);
+    assert!(matches!(terminal, Response::Done { .. }));
+    assert_eq!(executions.load(Ordering::SeqCst), 2);
+
+    let stats = collect(&client, &Request::Stats).1;
+    let Response::Stats { pairs } = stats else { panic!("expected stats") };
+    let get = |name: &str| pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+    assert_eq!(get("batched"), 2, "two requests attached to the first batch");
+    assert_eq!(get("served"), 4);
+
+    collect(&client, &Request::Shutdown);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_queue_answers_busy_with_depth_and_capacity() {
+    // One worker, queue bound 1. Occupy the worker with fig6, fill the
+    // queue with fig5; a third distinct request must bounce.
+    let (server, _executions, release) = gated_server(1, 1);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let running = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig6"))))
+    };
+    // Wait until fig6 is actually running (its queue slot freed).
+    let queued = loop {
+        let (_, stats) = collect(&client, &Request::Stats);
+        let Response::Stats { pairs } = stats else { panic!() };
+        let depth = pairs.iter().find(|(n, _)| n == "queue_depth").unwrap().1;
+        let in_flight = pairs.iter().find(|(n, _)| n == "in_flight").unwrap().1;
+        if depth == 0 && in_flight == 1 {
+            // fig6 occupies the worker; now fill the queue with fig5.
+            let client = client.clone();
+            break std::thread::spawn(move || {
+                collect(&client, &Request::Run(RunRequest::new("fig5")))
+            });
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    // Wait for fig5 to occupy the queue slot.
+    loop {
+        let (_, stats) = collect(&client, &Request::Stats);
+        let Response::Stats { pairs } = stats else { panic!() };
+        if pairs.iter().find(|(n, _)| n == "queue_depth").unwrap().1 == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A distinct request (different format) cannot attach to either
+    // in-flight batch and must be rejected.
+    let distinct =
+        Request::Run(RunRequest { format: "text".into(), ..RunRequest::new("fig5") });
+    let (events, terminal) = collect(&client, &distinct);
+    assert!(events.is_empty());
+    assert_eq!(terminal, Response::Busy { depth: 1, capacity: 1 });
+
+    // But a *duplicate* of the queued request still attaches (batching
+    // beats backpressure). Release the gate only after the attach is
+    // visible in the counters.
+    let (_, attached) = {
+        let dup = {
+            let client = client.clone();
+            std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig5"))))
+        };
+        loop {
+            let (_, stats) = collect(&client, &Request::Stats);
+            let Response::Stats { pairs } = stats else { panic!() };
+            if pairs.iter().find(|(n, _)| n == "batched").unwrap().1 >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        release.send(()).unwrap(); // finish fig6
+        release.send(()).unwrap(); // finish fig5
+        dup.join().unwrap()
+    };
+    assert_eq!(attached, Response::Done { status: 0, payload: "payload for fig5\n".into() });
+
+    running.join().unwrap();
+    queued.join().unwrap();
+    collect(&client, &Request::Shutdown);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn unknown_experiments_and_stale_versions_are_rejected() {
+    let (server, executions, _release) = gated_server(1, 4);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let (events, terminal) = collect(&client, &Request::Run(RunRequest::new("fig99")));
+    assert!(events.is_empty());
+    assert!(
+        matches!(&terminal, Response::Error { message } if message.contains("fig99")),
+        "got {terminal:?}"
+    );
+    assert_eq!(executions.load(Ordering::SeqCst), 0);
+
+    // A hand-rolled connection with a wrong version word.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(mg_serve::CONNECT_MAGIC).unwrap();
+    stream.write_all(&(PROTOCOL_VERSION + 1).to_le_bytes()).unwrap();
+    let resp: Response = mg_isa::wire::read_frame(&mut stream).unwrap();
+    assert!(
+        matches!(&resp, Response::Error { message } if message.contains("version mismatch")),
+        "got {resp:?}"
+    );
+
+    collect(&client, &Request::Shutdown);
+    handle.join().unwrap().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_round_trips() {
+    let path = std::env::temp_dir().join(format!("mg-serve-test-{}.sock", std::process::id()));
+    let runner = Arc::new(|req: &RunRequest, _emit: EmitFn| {
+        Ok(RunOutcome { status: 7, payload: format!("unix {}\n", req.experiment) })
+    });
+    let server =
+        Server::bind_unix(&path, vec!["fig6".into()], runner, ServerConfig::default()).unwrap();
+    let handle = server.spawn();
+    let client = Client::unix(&path);
+    assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+    let (_, terminal) = collect(&client, &Request::Run(RunRequest::new("fig6")));
+    assert_eq!(terminal, Response::Done { status: 7, payload: "unix fig6\n".into() });
+    collect(&client, &Request::Shutdown);
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
