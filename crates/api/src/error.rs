@@ -1,0 +1,326 @@
+//! The unified error hierarchy of the embeddable API.
+//!
+//! Every failure a [`Session`](crate::session::Session) can produce is an
+//! [`MgError`], classified by pipeline stage ([`MgErrorKind`]) and
+//! carrying the lower layer's error as its [`std::error::Error::source`]:
+//! an `ExecError` raised in `mg-isa`'s functional simulator is still
+//! reachable from the error an embedding host receives, however many
+//! layers it crossed on the way up.
+//!
+//! The kinds map one-to-one onto documented CLI exit codes
+//! ([`MgError::exit_code`]), extending the daemon's `EXIT_BUSY = 75`
+//! convention with the neighbouring BSD `sysexits` range — scripts can
+//! key retries and diagnostics on the status alone.
+
+use std::error::Error;
+use std::fmt;
+
+/// A boxed source error carried inside an [`MgError`].
+pub type SourceError = Box<dyn Error + Send + Sync + 'static>;
+
+/// The pipeline stage an [`MgError`] belongs to. `Copy`, ordered, and
+/// stable — the exit-code mapping and the serve-side diagnostics key on
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MgErrorKind {
+    /// Bytes or text failed to decode: assembler input, wire-codec
+    /// payloads, malformed documents.
+    Parse,
+    /// Functional execution failed: a workload faulted, exceeded its
+    /// step budget, or its preparation panicked.
+    Exec,
+    /// Mini-graph selection was given an unsatisfiable configuration
+    /// (e.g. a policy that can admit nothing).
+    Selection,
+    /// The DISE rewrite produced an image that no longer executes.
+    Rewrite,
+    /// The persistent artifact cache failed in a way that is not a plain
+    /// miss (misses are silent by design).
+    Cache,
+    /// An I/O failure outside the cache and the wire protocol.
+    Io,
+    /// The serve wire protocol failed: handshake, framing, version
+    /// mismatch, or transport errors.
+    Protocol,
+    /// A request was structurally invalid: unknown workload, policy,
+    /// input, experiment, or format selector, or an empty matrix.
+    InvalidSpec,
+}
+
+impl MgErrorKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [MgErrorKind; 8] = [
+        MgErrorKind::Parse,
+        MgErrorKind::Exec,
+        MgErrorKind::Selection,
+        MgErrorKind::Rewrite,
+        MgErrorKind::Cache,
+        MgErrorKind::Io,
+        MgErrorKind::Protocol,
+        MgErrorKind::InvalidSpec,
+    ];
+
+    /// The stable lower-case label (used in diagnostics and docs).
+    pub fn label(self) -> &'static str {
+        match self {
+            MgErrorKind::Parse => "parse",
+            MgErrorKind::Exec => "exec",
+            MgErrorKind::Selection => "selection",
+            MgErrorKind::Rewrite => "rewrite",
+            MgErrorKind::Cache => "cache",
+            MgErrorKind::Io => "io",
+            MgErrorKind::Protocol => "protocol",
+            MgErrorKind::InvalidSpec => "invalid-spec",
+        }
+    }
+
+    /// The documented CLI exit status for this kind (see `mg help` and
+    /// `docs/API.md`). Extends `EXIT_BUSY = 75` (`EX_TEMPFAIL`, reserved
+    /// for the daemon's backpressure reply) with the surrounding BSD
+    /// `sysexits` range; `75` is deliberately not produced by any kind.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            MgErrorKind::InvalidSpec => 64, // EX_USAGE
+            MgErrorKind::Parse => 65,       // EX_DATAERR
+            MgErrorKind::Exec => 70,        // EX_SOFTWARE
+            MgErrorKind::Selection => 71,
+            MgErrorKind::Rewrite => 72,
+            MgErrorKind::Cache => 73,
+            MgErrorKind::Io => 74,       // EX_IOERR
+            MgErrorKind::Protocol => 76, // EX_PROTOCOL
+        }
+    }
+}
+
+impl fmt::Display for MgErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The message-plus-source payload every [`MgError`] variant carries.
+#[derive(Debug)]
+pub struct Context {
+    /// Human-readable description of the failure.
+    pub message: String,
+    source: Option<SourceError>,
+}
+
+impl Context {
+    fn new(message: impl Into<String>) -> Context {
+        Context { message: message.into(), source: None }
+    }
+}
+
+/// A failure of the mini-graphs pipeline, classified by stage.
+///
+/// Construct with the per-kind constructors ([`MgError::invalid_spec`],
+/// [`MgError::exec`], …), chain an underlying cause with
+/// [`MgError::with_source`], and branch on [`MgError::kind`]. The CLI
+/// maps kinds to exit codes through [`MgError::exit_code`].
+#[derive(Debug)]
+pub enum MgError {
+    /// See [`MgErrorKind::Parse`].
+    Parse(Context),
+    /// See [`MgErrorKind::Exec`].
+    Exec(Context),
+    /// See [`MgErrorKind::Selection`].
+    Selection(Context),
+    /// See [`MgErrorKind::Rewrite`].
+    Rewrite(Context),
+    /// See [`MgErrorKind::Cache`].
+    Cache(Context),
+    /// See [`MgErrorKind::Io`].
+    Io(Context),
+    /// See [`MgErrorKind::Protocol`].
+    Protocol(Context),
+    /// See [`MgErrorKind::InvalidSpec`].
+    InvalidSpec(Context),
+}
+
+macro_rules! constructors {
+    ($(($ctor:ident, $variant:ident)),* $(,)?) => {
+        $(
+            #[doc = concat!("Creates an [`MgError::", stringify!($variant), "`] with `message`.")]
+            pub fn $ctor(message: impl Into<String>) -> MgError {
+                MgError::$variant(Context::new(message))
+            }
+        )*
+    };
+}
+
+impl MgError {
+    constructors![
+        (parse, Parse),
+        (exec, Exec),
+        (selection, Selection),
+        (rewrite, Rewrite),
+        (cache, Cache),
+        (io, Io),
+        (protocol, Protocol),
+        (invalid_spec, InvalidSpec),
+    ];
+
+    /// Attaches the underlying cause (available through
+    /// [`Error::source`]).
+    pub fn with_source(mut self, source: impl Error + Send + Sync + 'static) -> MgError {
+        self.context_mut().source = Some(Box::new(source));
+        self
+    }
+
+    /// Attaches an already-boxed cause.
+    pub fn with_boxed_source(mut self, source: SourceError) -> MgError {
+        self.context_mut().source = Some(source);
+        self
+    }
+
+    /// The stage this error belongs to.
+    pub fn kind(&self) -> MgErrorKind {
+        match self {
+            MgError::Parse(_) => MgErrorKind::Parse,
+            MgError::Exec(_) => MgErrorKind::Exec,
+            MgError::Selection(_) => MgErrorKind::Selection,
+            MgError::Rewrite(_) => MgErrorKind::Rewrite,
+            MgError::Cache(_) => MgErrorKind::Cache,
+            MgError::Io(_) => MgErrorKind::Io,
+            MgError::Protocol(_) => MgErrorKind::Protocol,
+            MgError::InvalidSpec(_) => MgErrorKind::InvalidSpec,
+        }
+    }
+
+    /// The documented CLI exit status ([`MgErrorKind::exit_code`]).
+    pub fn exit_code(&self) -> i32 {
+        self.kind().exit_code()
+    }
+
+    /// The human-readable message (without the source chain).
+    pub fn message(&self) -> &str {
+        &self.context().message
+    }
+
+    fn context(&self) -> &Context {
+        match self {
+            MgError::Parse(c)
+            | MgError::Exec(c)
+            | MgError::Selection(c)
+            | MgError::Rewrite(c)
+            | MgError::Cache(c)
+            | MgError::Io(c)
+            | MgError::Protocol(c)
+            | MgError::InvalidSpec(c) => c,
+        }
+    }
+
+    fn context_mut(&mut self) -> &mut Context {
+        match self {
+            MgError::Parse(c)
+            | MgError::Exec(c)
+            | MgError::Selection(c)
+            | MgError::Rewrite(c)
+            | MgError::Cache(c)
+            | MgError::Io(c)
+            | MgError::Protocol(c)
+            | MgError::InvalidSpec(c) => c,
+        }
+    }
+}
+
+impl fmt::Display for MgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.context().message)
+    }
+}
+
+impl Error for MgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.context().source.as_deref().map(|s| s as &(dyn Error + 'static))
+    }
+}
+
+impl From<mg_isa::wire::WireError> for MgError {
+    fn from(e: mg_isa::wire::WireError) -> MgError {
+        MgError::parse(format!("wire decode failed: {e}")).with_source(e)
+    }
+}
+
+impl From<mg_isa::exec::ExecError> for MgError {
+    fn from(e: mg_isa::exec::ExecError) -> MgError {
+        MgError::exec(format!("functional execution failed: {e}")).with_source(e)
+    }
+}
+
+impl From<std::io::Error> for MgError {
+    fn from(e: std::io::Error) -> MgError {
+        MgError::io(e.to_string()).with_source(e)
+    }
+}
+
+impl From<mg_harness::HarnessError> for MgError {
+    fn from(e: mg_harness::HarnessError) -> MgError {
+        use mg_harness::HarnessError as H;
+        match e {
+            H::UnknownWorkload { .. } => MgError::invalid_spec(e.to_string()).with_source(e),
+            H::Build { workload, source } => {
+                // A workload source authored against this API reports its
+                // own MgError; pass it through unwrapped so the caller
+                // sees the kind the source chose.
+                match source.downcast::<MgError>() {
+                    Ok(inner) => *inner,
+                    Err(source) => MgError::exec(format!(
+                        "building workload {workload:?} failed: {source}"
+                    ))
+                    .with_boxed_source(source),
+                }
+            }
+            H::Exec { .. } | H::Panicked { .. } => MgError::exec(e.to_string()).with_source(e),
+            H::Rewrite { .. } => MgError::rewrite(e.to_string()).with_source(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_distinct_exit_codes() {
+        let mut codes: Vec<i32> = MgErrorKind::ALL.iter().map(|k| k.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), MgErrorKind::ALL.len(), "exit codes collide");
+        assert!(!codes.contains(&75), "75 is reserved for the daemon's Busy reply");
+        assert!(codes.iter().all(|c| (64..=78).contains(c)), "stay in the sysexits range");
+    }
+
+    #[test]
+    fn source_chain_survives_wrapping() {
+        let root = std::io::Error::other("disk on fire");
+        let err = MgError::cache("cache write failed").with_source(root);
+        assert_eq!(err.kind(), MgErrorKind::Cache);
+        assert_eq!(err.exit_code(), 73);
+        let source = err.source().expect("chained");
+        assert!(source.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn harness_build_errors_pass_nested_mg_errors_through() {
+        let inner = MgError::invalid_spec("bad toy workload");
+        let harness =
+            mg_harness::HarnessError::Build { workload: "toy".into(), source: Box::new(inner) };
+        let out = MgError::from(harness);
+        assert_eq!(out.kind(), MgErrorKind::InvalidSpec, "inner kind preserved");
+        assert_eq!(out.message(), "bad toy workload");
+    }
+
+    #[test]
+    fn wire_and_exec_conversions_classify() {
+        assert_eq!(
+            MgError::from(mg_isa::wire::WireError::Truncated).kind(),
+            MgErrorKind::Parse
+        );
+        assert_eq!(
+            MgError::from(mg_isa::exec::ExecError::StepLimit(7)).kind(),
+            MgErrorKind::Exec
+        );
+    }
+}

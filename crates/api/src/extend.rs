@@ -1,0 +1,86 @@
+//! Extension points: how out-of-tree crates plug workloads and
+//! selection policies into a [`Session`](crate::session::Session)
+//! without forking `mg_workloads::all` or the policy presets.
+//!
+//! Both traits are **object-safe**; registrations are `Arc<dyn …>`
+//! values handed to the session builder. See `docs/API.md` for the
+//! stability contract (in short: the traits only grow defaulted
+//! methods).
+
+use crate::error::MgError;
+use mg_core::Policy;
+use mg_isa::{Memory, Program};
+use mg_workloads::{Input, Suite};
+
+/// An out-of-tree workload: a named, suite-classified program builder
+/// the session can prepare and run exactly like a registry kernel.
+///
+/// # Identity contract
+///
+/// [`WorkloadSource::stable_id`] keys the warm-prep pool and the
+/// persistent artifact cache. It must change whenever the source's
+/// built program or initial memory changes for a given [`Input`] —
+/// version it like `mg_workloads::REGISTRY_VERSION` versions the
+/// registry. (The cache additionally fingerprints the built images, so
+/// a stale id degrades to recomputation, never to a wrong artifact;
+/// the pool, which shares in-process, has no such second fence.)
+pub trait WorkloadSource: Send + Sync {
+    /// Workload name, resolvable through
+    /// [`WorkloadSelector::Names`](crate::spec::WorkloadSelector::Names).
+    /// Names shadowed by the built-in registry resolve to the registry.
+    fn name(&self) -> &str;
+
+    /// The suite the workload reports under.
+    fn suite(&self) -> Suite;
+
+    /// Stable identity for pool and cache keys (see the trait docs).
+    /// Defaults to `custom/<name>@r1`; bump the revision when behaviour
+    /// changes.
+    fn stable_id(&self) -> String {
+        format!("custom/{}@r1", self.name())
+    }
+
+    /// Builds the program and its initial memory for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MgError`]; the session propagates it (kind preserved) to
+    /// the caller that requested this workload.
+    fn build(&self, input: &Input) -> Result<(Program, Memory), MgError>;
+}
+
+/// A named selection-policy preset: how out-of-tree crates extend the
+/// built-in policy names (`"integer"`, `"integer_memory"`, `"default"`)
+/// that [`PolicySelector::Named`](crate::spec::PolicySelector::Named)
+/// resolves.
+pub trait SelectionPolicy: Send + Sync {
+    /// The preset's name. Built-in names win on collision.
+    fn name(&self) -> &str;
+
+    /// The concrete policy configuration the name denotes.
+    fn policy(&self) -> Policy;
+}
+
+/// A [`SelectionPolicy`] built from a name and a [`Policy`] value — the
+/// common case, so hosts don't need a struct per preset.
+pub struct NamedPolicy {
+    name: String,
+    policy: Policy,
+}
+
+impl NamedPolicy {
+    /// Creates a preset mapping `name` to `policy`.
+    pub fn new(name: impl Into<String>, policy: Policy) -> NamedPolicy {
+        NamedPolicy { name: name.into(), policy }
+    }
+}
+
+impl SelectionPolicy for NamedPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn policy(&self) -> Policy {
+        self.policy.clone()
+    }
+}

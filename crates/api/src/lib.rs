@@ -1,0 +1,72 @@
+//! Typed, embeddable session API over the mini-graphs pipeline.
+//!
+//! The paper's pipeline — profile → mini-graph enumeration/selection →
+//! DISE rewrite → cycle-exact simulation — used to be reachable only
+//! through the `mg` binary. This crate is the **library-first** surface
+//! all entry points now share: the `mg` CLI, the `mg serve` daemon, and
+//! any out-of-tree embedder drive the same [`Session`], so behaviour
+//! (and bytes) cannot diverge between them.
+//!
+//! * [`Session`] / [`SessionBuilder`] — owns cache root, warm-prep
+//!   pool, quick-mode and trace budgets, thread bounds, and the
+//!   extension registries. Cheap to clone; share across threads.
+//! * [`RunSpec`] → [`RunOutcome`] — typed requests built from
+//!   selectors ([`WorkloadSelector`], [`InputSelector`],
+//!   [`PolicySelector`]) and validated before any work starts;
+//!   deterministic matrix results, plus streaming [`CellResult`]s
+//!   through a [`RunObserver`].
+//! * [`MgError`] — the unified error hierarchy ([`MgErrorKind`]:
+//!   `Parse`, `Exec`, `Selection`, `Rewrite`, `Cache`, `Io`,
+//!   `Protocol`, `InvalidSpec`) with end-to-end source chaining and a
+//!   documented exit-code mapping. No call across this boundary panics.
+//! * [`WorkloadSource`] / [`SelectionPolicy`] — object-safe extension
+//!   traits: register out-of-tree workloads and policy presets without
+//!   forking `mg_workloads`.
+//!
+//! The full guide — session lifecycle, error taxonomy, extension
+//! contracts, and the stability policy backed by the CI public-API
+//! drift gate — lives in `docs/API.md`. `examples/embed.rs` (in the
+//! workspace root) is the canonical external consumer.
+//!
+//! # Example
+//!
+//! ```
+//! use mg_api::{CellSpec, PolicySelector, RunSpec, Session};
+//! use mg_core::RewriteStyle;
+//! use mg_uarch::SimConfig;
+//!
+//! let session = Session::builder().quick(true).build();
+//! let spec = RunSpec::new()
+//!     .workloads(["crc32"])
+//!     .cell(CellSpec::baseline(SimConfig::baseline()))
+//!     .cell(CellSpec::mini_graph(
+//!         PolicySelector::Named("integer_memory".into()),
+//!         RewriteStyle::NopPadded,
+//!         SimConfig::mg_integer_memory(),
+//!     ));
+//! let outcome = session.run(&spec)?;
+//! assert!(outcome.row("crc32").unwrap().speedup_over(0, 1) > 0.0);
+//! # Ok::<(), mg_api::MgError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+pub mod error;
+pub mod extend;
+pub mod session;
+pub mod spec;
+
+pub use error::{MgError, MgErrorKind, SourceError};
+pub use extend::{NamedPolicy, SelectionPolicy, WorkloadSource};
+pub use session::{Session, SessionBuilder};
+pub use spec::{
+    CellResult, CellSpec, ImageSpec, InputSelector, PolicySelector, RowOutcome, RunObserver,
+    RunOutcome, RunSpec, WorkloadSelector,
+};
+
+// The foreign types a spec is built from, re-exported so an embedder
+// can drive a session without naming the underlying crates.
+pub use mg_core::{Policy, RewriteStyle};
+pub use mg_harness::PrepPool;
+pub use mg_uarch::{SimConfig, SimStats};
+pub use mg_workloads::{Input, Suite};

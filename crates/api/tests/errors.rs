@@ -1,0 +1,188 @@
+//! The API's no-panic contract: every malformed request and every
+//! misbehaving extension comes back across the `Session` boundary as a
+//! typed [`MgError`] with the right kind — never a panic, never a
+//! poisoned session.
+
+use mg_api::{
+    CellSpec, InputSelector, MgError, MgErrorKind, NamedPolicy, Policy, PolicySelector,
+    RewriteStyle, RunSpec, Session, SimConfig, Suite, WorkloadSource,
+};
+use mg_isa::{Memory, Program};
+use mg_workloads::Input;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn kind(result: Result<mg_api::RunOutcome, MgError>) -> MgErrorKind {
+    match result {
+        Err(e) => e.kind(),
+        Ok(_) => panic!("expected an error"),
+    }
+}
+
+fn baseline_spec() -> RunSpec {
+    RunSpec::new().quick(true).cell(CellSpec::baseline(SimConfig::baseline()))
+}
+
+#[test]
+fn invalid_workload_id_is_invalid_spec() {
+    let session = Session::default();
+    let err = session.run(&baseline_spec().workloads(["nonesuch"])).unwrap_err();
+    assert_eq!(err.kind(), MgErrorKind::InvalidSpec);
+    assert!(err.to_string().contains("nonesuch"), "names the offender: {err}");
+    assert_eq!(err.exit_code(), 64);
+}
+
+#[test]
+fn unknown_policy_name_is_invalid_spec() {
+    let session = Session::default();
+    let spec = RunSpec::new().workloads(["crc32"]).quick(true).cell(CellSpec::mini_graph(
+        PolicySelector::Named("galactic".into()),
+        RewriteStyle::NopPadded,
+        SimConfig::mg_integer_memory(),
+    ));
+    let err = session.run(&spec).unwrap_err();
+    assert_eq!(err.kind(), MgErrorKind::InvalidSpec);
+    assert!(err.to_string().contains("galactic"));
+    // A registered preset under that name resolves the same spec.
+    let session = Session::builder()
+        .register_policy(Arc::new(NamedPolicy::new("galactic", Policy::integer_memory())))
+        .build();
+    assert!(session.resolve_policy(&PolicySelector::Named("galactic".into())).is_ok());
+}
+
+#[test]
+fn malformed_input_selector_is_invalid_spec() {
+    let session = Session::default();
+    let spec = baseline_spec().input(InputSelector::Named("gigantic".into()));
+    assert_eq!(kind(session.run(&spec)), MgErrorKind::InvalidSpec);
+}
+
+#[test]
+fn empty_specs_are_invalid() {
+    let session = Session::default();
+    assert_eq!(kind(session.run(&RunSpec::new())), MgErrorKind::InvalidSpec, "no cells");
+    let no_names = baseline_spec().workloads(Vec::<String>::new());
+    assert_eq!(kind(session.run(&no_names)), MgErrorKind::InvalidSpec, "no workloads");
+}
+
+#[test]
+fn unsatisfiable_policies_are_selection_errors() {
+    let session = Session::default();
+    for bad in [
+        Policy::default().with_max_size(1), // nothing of size < 2 is a mini-graph
+        Policy::default().with_capacity(0), // an MGT holding no templates
+    ] {
+        let spec = RunSpec::new().workloads(["crc32"]).quick(true).cell(CellSpec::mini_graph(
+            PolicySelector::Explicit(bad),
+            RewriteStyle::NopPadded,
+            SimConfig::mg_integer_memory(),
+        ));
+        assert_eq!(kind(session.run(&spec)), MgErrorKind::Selection);
+    }
+}
+
+/// A source whose build reports a typed failure: the session must pass
+/// the source's own kind through, not reclassify it.
+struct FailingSource;
+
+impl WorkloadSource for FailingSource {
+    fn name(&self) -> &str {
+        "fails.to.build"
+    }
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+    fn build(&self, _input: &Input) -> Result<(Program, Memory), MgError> {
+        Err(MgError::parse("the toy workload's source text is unparseable"))
+    }
+}
+
+#[test]
+fn failing_source_build_keeps_its_error_kind() {
+    let session = Session::builder().register_workload(Arc::new(FailingSource)).build();
+    let err = session.run(&baseline_spec().workloads(["fails.to.build"])).unwrap_err();
+    assert_eq!(err.kind(), MgErrorKind::Parse, "source-chosen kind preserved: {err}");
+}
+
+/// A source that panics mid-build — the "poisoned `PrepPool` entry"
+/// scenario: the pool slot the panic interrupted must stay retryable
+/// and every attempt must surface as a typed error, not a panic.
+struct PanickingSource {
+    attempts: AtomicU64,
+}
+
+impl WorkloadSource for PanickingSource {
+    fn name(&self) -> &str {
+        "panics.in.build"
+    }
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+    fn build(&self, _input: &Input) -> Result<(Program, Memory), MgError> {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        panic!("synthetic panic inside an out-of-tree workload source");
+    }
+}
+
+#[test]
+fn panicking_source_returns_exec_error_and_pool_stays_usable() {
+    let source = Arc::new(PanickingSource { attempts: AtomicU64::new(0) });
+    let session = Session::builder()
+        .register_workload(Arc::clone(&source) as Arc<dyn WorkloadSource>)
+        .build();
+    let spec = baseline_spec().workloads(["panics.in.build"]);
+
+    // Quiet the default panic hook for the intentional panics; restore
+    // it no matter how the assertions go.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let first = session.run(&spec);
+    let second = session.run(&spec);
+    let healthy = session
+        .run(&baseline_spec().workloads(["crc32"]).input(InputSelector::Named("tiny".into())));
+    std::panic::set_hook(hook);
+
+    for attempt in [first, second] {
+        let err = attempt.expect_err("panicking source cannot produce a matrix");
+        assert_eq!(err.kind(), MgErrorKind::Exec, "panic surfaced as Exec: {err}");
+        assert!(err.to_string().contains("panic"), "names the panic: {err}");
+    }
+    assert_eq!(source.attempts.load(Ordering::Relaxed), 2, "slot retried, not wedged");
+    assert_eq!(session.pool().prepared(), 1, "the pool still prepares healthy workloads");
+    let healthy = healthy.expect("an unrelated workload still runs on the same session");
+    assert_eq!(healthy.rows.len(), 1);
+    assert!(healthy.rows[0].stats[0].cycles > 0);
+}
+
+/// The streaming observer hook: cells arrive while the matrix runs and
+/// the deterministic outcome is unaffected.
+#[test]
+fn observer_streams_every_cell() {
+    let session = Session::default();
+    let spec = RunSpec::new()
+        .workloads(["crc32", "bitcount"])
+        .input(InputSelector::Named("tiny".into()))
+        .quick(true)
+        .cell(CellSpec::baseline(SimConfig::baseline()))
+        .cell(CellSpec::mini_graph(
+            PolicySelector::Named("intmem".into()),
+            RewriteStyle::NopPadded,
+            SimConfig::mg_integer_memory(),
+        ));
+    let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let outcome = session
+        .run_with_observer(&spec, Arc::new(move |cell| sink.lock().unwrap().push(cell.clone())))
+        .expect("runs");
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 4, "one CellResult per matrix cell");
+    assert_eq!(outcome.rows.len(), 2);
+    assert_eq!(outcome.labels, vec!["baseline".to_string(), "mg".to_string()]);
+    for row in &outcome.rows {
+        let streamed = seen
+            .iter()
+            .find(|c| c.workload == row.workload && c.label == "baseline")
+            .expect("baseline cell streamed");
+        assert_eq!(streamed.cycles, row.stats[0].cycles, "streamed == deterministic matrix");
+    }
+}

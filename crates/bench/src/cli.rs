@@ -24,7 +24,8 @@
 //! (CI fails on drift).
 
 use crate::figures;
-use mg_harness::{quick_mode, CellObserver, PrepCache, PrepPool, Table};
+use mg_api::{InputSelector, MgError, Session};
+use mg_harness::{quick_mode, CellObserver, PrepCache, Table};
 use mg_workloads::Input;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -330,10 +331,12 @@ pub struct RunArgs {
     pub baseline: Option<String>,
     /// `--max-regression X` (perf only): gate bound.
     pub max_regression: f64,
-    /// Warm-prep pool shared across runs (`mg serve` sets this so every
-    /// request reuses one prep per workload; one-shot `mg run` leaves it
-    /// empty).
-    pub pool: Option<Arc<PrepPool>>,
+    /// The `mg_api` session the run executes against: owner of the
+    /// warm-prep pool, cache root, and extension registries. One-shot
+    /// `mg run` uses a fresh per-process session; `mg serve` clones one
+    /// session into every request, which is what shares preps across
+    /// clients.
+    pub session: Session,
     /// Per-cell completion observer (`mg serve` streams these to
     /// clients).
     pub progress: Option<CellObserver>,
@@ -350,7 +353,9 @@ impl Default for RunArgs {
             out: "BENCH_pipeline.json".into(),
             baseline: None,
             max_regression: 3.0,
-            pool: None,
+            // The binaries' historical default: persistent artifact
+            // cache on (at the default root) unless --no-cache.
+            session: Session::builder().cache(true).build(),
             progress: None,
         }
     }
@@ -367,20 +372,16 @@ impl std::fmt::Debug for RunArgs {
             .field("out", &self.out)
             .field("baseline", &self.baseline)
             .field("max_regression", &self.max_regression)
-            .field("pool", &self.pool.is_some())
+            .field("session", &self.session)
             .field("progress", &self.progress.is_some())
             .finish()
     }
 }
 
-/// Parses an `--input` / serve-request input name.
+/// Parses an `--input` / serve-request input name (the shared
+/// [`InputSelector`] name table).
 pub fn parse_input(name: &str) -> Option<Input> {
-    match name {
-        "reference" => Some(Input::reference()),
-        "alternative" => Some(Input::alternative()),
-        "tiny" => Some(Input::tiny()),
-        _ => None,
-    }
+    InputSelector::resolve_named(name)
 }
 
 impl RunArgs {
@@ -389,20 +390,19 @@ impl RunArgs {
         self.quick.unwrap_or_else(|| default_quick || quick_mode())
     }
 
-    /// An engine builder configured from these arguments (quick per
-    /// [`RunArgs::is_quick`] with a non-quick default, cache on unless
-    /// `--no-cache`, the selected input, and — under `mg serve` — the
-    /// shared warm-prep pool and per-cell progress observer).
+    /// An engine builder configured from these arguments, built on the
+    /// session's [`Session::engine_builder`] — the same code path the
+    /// serve daemon and external embedders use — then specialized: quick
+    /// per [`RunArgs::is_quick`] with a non-quick default, the session's
+    /// cache unless `--no-cache`, the selected input, and the per-cell
+    /// progress observer.
     pub fn engine(&self) -> mg_harness::EngineBuilder {
-        let mut b = mg_harness::Engine::builder()
-            .quick(self.is_quick(false))
-            .cache(!self.no_cache)
-            .input(self.input);
+        let mut b = self.session.engine_builder().quick(self.is_quick(false)).input(self.input);
+        if self.no_cache {
+            b = b.cache(false);
+        }
         if let Some(t) = self.threads {
             b = b.threads(t);
-        }
-        if let Some(pool) = &self.pool {
-            b = b.pool(Arc::clone(pool));
         }
         if let Some(obs) = &self.progress {
             b = b.observer(Arc::clone(obs));
@@ -568,8 +568,36 @@ long-running daemon sharing one warm prep pool across clients; `mg
 client run` returns byte-identical output to the same `mg run`
 invocation (see docs/PROTOCOL.md). The deprecated per-figure binaries
 (fig6_performance, ...) are aliases for `mg run <experiment> --format
-text` and print byte-identical output.
+text` and print byte-identical output. Every subcommand is a thin
+shell over the embeddable `mg_api::Session` (see docs/API.md).
+
+EXIT STATUS (mg_api::MgErrorKind::exit_code; sysexits-style):
+    0    success (or the experiment's own status)
+    1    experiment-reported failure (e.g. the perf regression gate)
+    2    argv usage error (unknown flag, missing value)
+    64   invalid-spec: unknown experiment/workload/policy/input/format name
+    65   parse:        bytes or text failed to decode
+    70   exec:         a workload faulted, overran its budget, or panicked
+    71   selection:    unsatisfiable selection policy
+    72   rewrite:      rewritten image failed to execute
+    73   cache:        artifact-cache failure (a corrupt file is a miss,
+                       not an error; this is e.g. `mg cache clear` I/O)
+    74   io:           file I/O failure (reports, baselines)
+    75   busy:         `mg client run` backpressure (EX_TEMPFAIL; retry)
+    76   protocol:     serve transport/handshake/version failure
+
+The table is the full `mg_api` error-kind mapping; kinds a subcommand
+cannot currently produce (exec/selection/rewrite surface through the
+embeddable API and the daemon's typed Error frames, not `mg run`,
+whose registry workloads are known-good) are listed for completeness.
 ";
+
+/// Prints an [`MgError`] as `mg <cmd>: <error>` and returns its
+/// documented exit status (the table in [`USAGE`]).
+fn fail(cmd: &str, e: MgError) -> i32 {
+    eprintln!("mg {cmd}: {e}");
+    e.exit_code()
+}
 
 /// Entry point of the `mg` binary. Returns the process exit status.
 pub fn mg_main() -> i32 {
@@ -597,13 +625,50 @@ pub fn mg_main() -> i32 {
     }
 }
 
+/// A flag-parsing failure: a malformed argv (classic usage error, exit
+/// 2) or a well-formed flag naming an unknown thing (a typed
+/// [`MgError`] with the documented exit code — the same classification
+/// the serve runner gives the identical mistake on the wire).
+enum FlagError {
+    Usage(String),
+    Spec(MgError),
+}
+
+impl FlagError {
+    /// Prints the error as `mg <cmd>: …` and returns its exit status.
+    fn exit(self, cmd: &str) -> i32 {
+        match self {
+            FlagError::Usage(msg) => {
+                eprintln!("mg {cmd}: {msg}");
+                2
+            }
+            FlagError::Spec(e) => fail(cmd, e),
+        }
+    }
+}
+
+impl From<String> for FlagError {
+    fn from(msg: String) -> FlagError {
+        FlagError::Usage(msg)
+    }
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlagError::Usage(msg) => f.write_str(msg),
+            FlagError::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
 /// Parses the flags shared by `run`/`report` plus a format; returns
 /// leftover positional arguments.
 fn parse_flags(
     argv: &[String],
     args: &mut RunArgs,
     format: &mut Format,
-) -> Result<Vec<String>, String> {
+) -> Result<Vec<String>, FlagError> {
     let mut positional = Vec::new();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -623,13 +688,18 @@ fn parse_flags(
             }
             "--format" => {
                 let v = value("--format")?;
-                *format = Format::parse(&v)
-                    .ok_or_else(|| format!("unknown format {v:?} (text|json|csv|markdown)"))?;
+                *format = Format::parse(&v).ok_or_else(|| {
+                    FlagError::Spec(MgError::invalid_spec(format!(
+                        "unknown format {v:?} (text|json|csv|markdown)"
+                    )))
+                })?;
             }
             "--input" => {
                 let v = value("--input")?;
                 args.input = parse_input(&v).ok_or_else(|| {
-                    format!("unknown input {v:?} (reference|alternative|tiny)")
+                    FlagError::Spec(MgError::invalid_spec(format!(
+                        "unknown input {v:?} (reference|alternative|tiny)"
+                    )))
                 })?;
             }
             "--out" => args.out = value("--out")?,
@@ -640,7 +710,7 @@ fn parse_flags(
                     .map_err(|_| "--max-regression requires a number".to_string())?
             }
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag {flag:?}"));
+                return Err(FlagError::Usage(format!("unknown flag {flag:?}")));
             }
             pos => positional.push(pos.to_string()),
         }
@@ -653,18 +723,17 @@ fn cmd_run(argv: &[String]) -> i32 {
     let mut format = Format::Text;
     let positional = match parse_flags(argv, &mut args, &mut format) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("mg run: {e}");
-            return 2;
-        }
+        Err(e) => return e.exit("run"),
     };
     let [name] = positional.as_slice() else {
         eprintln!("mg run: expected exactly one experiment name; see `mg list`");
         return 2;
     };
     let Some(spec) = experiment(name) else {
-        eprintln!("mg run: unknown experiment {name:?}; see `mg list`");
-        return 2;
+        return fail(
+            "run",
+            MgError::invalid_spec(format!("unknown experiment {name:?}; see `mg list`")),
+        );
     };
     let report = (spec.build)(&args);
     print!("{}", render(&report, format));
@@ -675,8 +744,7 @@ fn cmd_list(argv: &[String]) -> i32 {
     let mut args = RunArgs::default();
     let mut format = Format::Text;
     if let Err(e) = parse_flags(argv, &mut args, &mut format) {
-        eprintln!("mg list: {e}");
-        return 2;
+        return e.exit("list");
     }
     let mut report = Report::new("list");
     report.line("== Experiments (mg run <name>) ==");
@@ -699,10 +767,7 @@ fn cmd_cache(argv: &[String]) -> i32 {
     let mut format = Format::Text;
     let positional = match parse_flags(argv, &mut args, &mut format) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("mg cache: {e}");
-            return 2;
-        }
+        Err(e) => return e.exit("cache"),
     };
     let action = positional.first().map(String::as_str).unwrap_or("stats");
     let cache = PrepCache::new(PrepCache::default_root());
@@ -716,10 +781,11 @@ fn cmd_cache(argv: &[String]) -> i32 {
                 println!("cleared {}", cache.root().display());
                 0
             }
-            Err(e) => {
-                eprintln!("mg cache clear: {e}");
-                1
-            }
+            Err(e) => fail(
+                "cache clear",
+                MgError::cache(format!("cannot clear {}: {e}", cache.root().display()))
+                    .with_source(e),
+            ),
         },
         "stats" => {
             let s = cache.stats();
@@ -735,10 +801,10 @@ fn cmd_cache(argv: &[String]) -> i32 {
             print!("{}", render(&report, format));
             0
         }
-        other => {
-            eprintln!("mg cache: unknown action {other:?} (stats|clear|dir)");
-            2
-        }
+        other => fail(
+            "cache",
+            MgError::invalid_spec(format!("unknown action {other:?} (stats|clear|dir)")),
+        ),
     }
 }
 
@@ -901,7 +967,19 @@ pub fn compose_readme_block() -> String {
          protocol (framing, every request/response variant, versioning tied\n\
          to the cache schema) is specified in\n\
          [`docs/PROTOCOL.md`](docs/PROTOCOL.md); the request lifecycle is\n\
-         diagrammed in [`docs/ARCHITECTURE.md`](docs/ARCHITECTURE.md).\n",
+         diagrammed in [`docs/ARCHITECTURE.md`](docs/ARCHITECTURE.md).\n\n\
+         ### Embedding — `mg_api::Session`\n\n\
+         Everything above is a thin shell over the typed, embeddable\n\
+         session API: `mg run`, the daemon's runner, and out-of-tree\n\
+         consumers all drive the same `mg_api::Session` (`RunSpec` in,\n\
+         structured `RunOutcome`/`MgError` out; distinct exit codes per\n\
+         error kind, listed by `mg help`). The embedding guide is\n\
+         [`docs/API.md`](docs/API.md); `examples/embed.rs` registers a\n\
+         custom workload through the `WorkloadSource` trait and runs it\n\
+         next to a registry kernel:\n\n\
+         ```sh\n\
+         cargo run --release --example embed\n\
+         ```\n",
         addr = crate::serve_cli::DEFAULT_ADDR,
     );
     let _ = writeln!(out, "{README_END}");
@@ -937,8 +1015,7 @@ fn cmd_report(argv: &[String]) -> i32 {
         }
     }
     if let Err(e) = parse_flags(&rest, &mut args, &mut format) {
-        eprintln!("mg report: {e}");
-        return 2;
+        return e.exit("report");
     }
 
     if mode == "print" && format != Format::Markdown {
@@ -984,26 +1061,28 @@ fn cmd_report(argv: &[String]) -> i32 {
         }
         "write" => {
             if let Err(e) = std::fs::write(&experiments_path, &experiments_md) {
-                eprintln!("mg report: cannot write {}: {e}", experiments_path.display());
-                return 1;
+                let msg = format!("cannot write {}: {e}", experiments_path.display());
+                return fail("report", MgError::io(msg).with_source(e));
             }
             eprintln!("wrote {}", experiments_path.display());
             let readme = match std::fs::read_to_string(&readme_path) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("mg report: cannot read {}: {e}", readme_path.display());
-                    return 1;
+                    let msg = format!("cannot read {}: {e}", readme_path.display());
+                    return fail("report", MgError::io(msg).with_source(e));
                 }
             };
             let Some(spliced) = splice_readme(&readme, &readme_block) else {
-                eprintln!(
-                    "mg report: README.md is missing the `{README_BEGIN}` / `{README_END}` markers"
+                return fail(
+                    "report",
+                    MgError::parse(format!(
+                        "README.md is missing the `{README_BEGIN}` / `{README_END}` markers"
+                    )),
                 );
-                return 1;
             };
             if let Err(e) = std::fs::write(&readme_path, spliced) {
-                eprintln!("mg report: cannot write {}: {e}", readme_path.display());
-                return 1;
+                let msg = format!("cannot write {}: {e}", readme_path.display());
+                return fail("report", MgError::io(msg).with_source(e));
             }
             eprintln!("wrote {} (quickstart block)", readme_path.display());
             0

@@ -5,10 +5,11 @@
 //!
 //! * validates incoming [`RunRequest`]s against the same registry
 //!   `mg run` uses ([`crate::cli::experiments`]);
-//! * executes them through the registry's report builders with a shared
-//!   [`PrepPool`], so every client reuses one warm prep per (workload,
-//!   input, trace budget, cache root) — the first request pays for
-//!   preparation, later ones (from any client) skip it entirely;
+//! * executes them through the registry's report builders over one
+//!   shared [`Session`] (and with it one warm-prep pool), so every
+//!   client reuses one warm prep per (workload, input, trace budget,
+//!   cache root) — the first request pays for preparation, later ones
+//!   (from any client) skip it entirely;
 //! * streams per-cell progress frames while a matrix runs (the engine's
 //!   [`CellObserver`] forwarded as [`Response::Cell`] frames);
 //! * batches field-for-field equal requests onto one execution and
@@ -26,8 +27,9 @@
 //! wall-clock timings would measure the daemon host under load rather
 //! than the code — it stays a one-shot `mg run perf` tool.
 
-use crate::cli::{self, parse_input, Format, RunArgs};
-use mg_harness::{CellDone, CellObserver, PrepPool};
+use crate::cli::{self, Format, RunArgs};
+use mg_api::{InputSelector, MgError, MgErrorKind, Session};
+use mg_harness::{CellDone, CellObserver};
 use mg_serve::{
     Client, EmitFn, Request, Response, RunOutcome, RunRequest, Runner, Server, ServerConfig,
 };
@@ -42,53 +44,74 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:4571";
 /// with the experiment's own status, exactly like `mg run`).
 pub const EXIT_BUSY: i32 = 75; // EX_TEMPFAIL
 
+/// Prints a client-side transport/protocol failure and returns the
+/// documented `protocol` exit status (76; see `mg help`).
+fn protocol_fail(what: &str, e: &dyn std::fmt::Display) -> i32 {
+    eprintln!("mg client {what}: {e}");
+    MgErrorKind::Protocol.exit_code()
+}
+
 /// Builds the daemon's [`Runner`]: registry validation plus experiment
-/// execution over the shared warm-prep pool, with per-cell streaming.
-pub fn registry_runner(pool: Arc<PrepPool>) -> Runner {
+/// execution over the shared [`Session`] — every request clones the one
+/// session, so all clients share its warm-prep pool — with per-cell
+/// streaming. Failures are typed [`MgError`]s; the wire flattens them to
+/// `"<kind>: <message>"` Error frames.
+pub fn registry_runner(session: Session) -> Runner {
     Arc::new(move |req: &RunRequest, emit: EmitFn| {
-        let spec = cli::experiment(&req.experiment)
-            .ok_or_else(|| format!("unknown experiment {:?}", req.experiment))?;
-        let format = Format::parse(&req.format).ok_or_else(|| {
-            format!("unknown format {:?} (text|json|csv|markdown)", req.format)
-        })?;
-        let input = parse_input(&req.input).ok_or_else(|| {
-            format!("unknown input {:?} (reference|alternative|tiny)", req.input)
-        })?;
-        let progress: CellObserver = {
-            let emit = Arc::clone(&emit);
-            Arc::new(move |cell: &CellDone| {
-                emit(Response::Cell {
-                    workload: cell.workload.clone(),
-                    label: cell.label.clone(),
-                    cycles: cell.cycles,
-                    ops: cell.ops,
-                });
-            })
-        };
-        let args = RunArgs {
-            quick: req.quick,
-            threads: req.threads.map(|n| n as usize),
-            best: req.best,
-            no_cache: req.no_cache,
-            input,
-            pool: Some(Arc::clone(&pool)),
-            progress: Some(progress),
-            ..RunArgs::default()
-        };
-        // A panicking builder must not take the worker thread (and every
-        // batched client) down with it; surface it as an Error frame.
-        let report =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (spec.build)(&args)))
-                .map_err(|panic| {
-                    let msg = panic
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| panic.downcast_ref::<&str>().copied())
-                        .unwrap_or("experiment builder panicked");
-                    format!("experiment {:?} failed: {msg}", req.experiment)
-                })?;
-        Ok(RunOutcome { status: report.status, payload: cli::render(&report, format) })
+        run_request(&session, req, emit).map_err(|e| format!("{}: {e}", e.kind()))
     })
+}
+
+/// Executes one validated run request against `session` (the typed half
+/// of [`registry_runner`]).
+fn run_request(
+    session: &Session,
+    req: &RunRequest,
+    emit: EmitFn,
+) -> Result<RunOutcome, MgError> {
+    let spec = cli::experiment(&req.experiment).ok_or_else(|| {
+        MgError::invalid_spec(format!("unknown experiment {:?}", req.experiment))
+    })?;
+    let format = Format::parse(&req.format).ok_or_else(|| {
+        MgError::invalid_spec(format!(
+            "unknown format {:?} (text|json|csv|markdown)",
+            req.format
+        ))
+    })?;
+    let input = session.resolve_input(&InputSelector::Named(req.input.clone()))?;
+    let progress: CellObserver = {
+        let emit = Arc::clone(&emit);
+        Arc::new(move |cell: &CellDone| {
+            emit(Response::Cell {
+                workload: cell.workload.clone(),
+                label: cell.label.clone(),
+                cycles: cell.cycles,
+                ops: cell.ops,
+            });
+        })
+    };
+    let args = RunArgs {
+        quick: req.quick,
+        threads: req.threads.map(|n| n as usize),
+        best: req.best,
+        no_cache: req.no_cache,
+        input,
+        session: session.clone(),
+        progress: Some(progress),
+        ..RunArgs::default()
+    };
+    // A panicking builder must not take the worker thread (and every
+    // batched client) down with it; surface it as a typed error.
+    let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (spec.build)(&args)))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("experiment builder panicked");
+            MgError::exec(format!("experiment {:?} failed: {msg}", req.experiment))
+        })?;
+    Ok(RunOutcome { status: report.status, payload: cli::render(&report, format) })
 }
 
 /// Constructs a ready-to-serve [`Server`] for the full experiment
@@ -100,7 +123,10 @@ pub fn bind_registry_server(
     workers: usize,
     max_queue: usize,
 ) -> std::io::Result<Server> {
-    let pool = Arc::new(PrepPool::new());
+    // One session for the daemon's lifetime: its warm-prep pool is what
+    // every client shares, and its cache root (the default, unless a
+    // request says --no-cache) is what served runs persist into.
+    let session = Session::builder().cache(true).build();
     // Everything except `perf`: the perf driver writes
     // BENCH_pipeline.json (and a sweep cache) into the *daemon's* cwd —
     // a client cannot redirect it, concurrent runs would race on the
@@ -112,7 +138,8 @@ pub fn bind_registry_server(
         .filter(|e| e.name != "perf")
         .map(|e| e.name.to_string())
         .collect();
-    let runner = registry_runner(Arc::clone(&pool));
+    let pool = Arc::clone(session.pool());
+    let runner = registry_runner(session);
     let stats_extra = Arc::new(move || {
         vec![
             ("preps_prepared".to_string(), pool.prepared()),
@@ -285,8 +312,7 @@ pub fn cmd_client(argv: &[String]) -> i32 {
                         std::thread::sleep(std::time::Duration::from_millis(200));
                     }
                     Err(e) => {
-                        eprintln!("mg client ping: {e}");
-                        return 1;
+                        return protocol_fail("ping", &e);
                     }
                 }
             }
@@ -298,28 +324,16 @@ pub fn cmd_client(argv: &[String]) -> i32 {
                 }
                 0
             }
-            Ok(other) => {
-                eprintln!("mg client stats: unexpected reply {other:?}");
-                1
-            }
-            Err(e) => {
-                eprintln!("mg client stats: {e}");
-                1
-            }
+            Ok(other) => protocol_fail("stats", &format!("unexpected reply {other:?}")),
+            Err(e) => protocol_fail("stats", &e),
         },
         Some("shutdown") => match client.request(&Request::Shutdown, |_| {}) {
             Ok(Response::Done { .. }) => {
                 eprintln!("server acknowledged shutdown");
                 0
             }
-            Ok(other) => {
-                eprintln!("mg client shutdown: unexpected reply {other:?}");
-                1
-            }
-            Err(e) => {
-                eprintln!("mg client shutdown: {e}");
-                1
-            }
+            Ok(other) => protocol_fail("shutdown", &format!("unexpected reply {other:?}")),
+            Err(e) => protocol_fail("shutdown", &e),
         },
         Some("run") if !run.experiment.is_empty() => {
             let on_event = |event: &Response| match event {
@@ -348,14 +362,8 @@ pub fn cmd_client(argv: &[String]) -> i32 {
                     eprintln!("mg client run: {message}");
                     1
                 }
-                Ok(other) => {
-                    eprintln!("mg client run: unexpected reply {other:?}");
-                    1
-                }
-                Err(e) => {
-                    eprintln!("mg client run: {e}");
-                    1
-                }
+                Ok(other) => protocol_fail("run", &format!("unexpected reply {other:?}")),
+                Err(e) => protocol_fail("run", &e),
             }
         }
         _ => {

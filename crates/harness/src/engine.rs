@@ -24,6 +24,7 @@
 //! }
 //! ```
 
+use crate::error::{panic_message, HarnessError};
 use crate::pool::{PoolKey, PrepPool};
 use crate::prep::{by_suite, BuildFn, Prep};
 use crate::prep_cache::PrepCache;
@@ -32,6 +33,7 @@ use crate::report::speedup;
 use mg_core::{Policy, RewriteStyle};
 use mg_uarch::{SimConfig, SimStats};
 use mg_workloads::{Input, Suite, Workload};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -121,9 +123,42 @@ impl RunMatrix {
     }
 }
 
+/// An out-of-registry workload source resolvable by name: how `mg_api`
+/// feeds `WorkloadSource` registrations into an engine without forking
+/// `mg_workloads::all`. Unlike an ad-hoc [`EngineBuilder::program`]
+/// closure, an extra source carries a caller-declared **stable id**,
+/// which becomes the prep's cache id: it keys the warm-prep pool and is
+/// folded into every persistent-cache fingerprint, exactly like a
+/// registered workload's `stable_id()` (the cache additionally
+/// fingerprints the built program and data images, so even a lying id
+/// cannot replay artifacts across a content change).
+#[derive(Clone)]
+pub struct ExtraSource {
+    /// Workload name (resolvable via [`EngineBuilder::workloads`]).
+    pub name: String,
+    /// Owning suite (used for report grouping).
+    pub suite: Suite,
+    /// Stable identity for pool and cache keys; must change whenever the
+    /// source's built program or data changes.
+    pub stable_id: String,
+    /// The (fallible) image builder.
+    pub build: BuildFn,
+}
+
 enum Source {
     Registered(Workload),
+    Extra(ExtraSource),
     Custom { name: String, suite: Suite, build: BuildFn },
+}
+
+impl Source {
+    fn name(&self) -> &str {
+        match self {
+            Source::Registered(w) => w.name,
+            Source::Extra(x) => &x.name,
+            Source::Custom { name, .. } => name,
+        }
+    }
 }
 
 /// One completed matrix cell, reported to a [`CellObserver`] as workers
@@ -151,8 +186,10 @@ pub type CellObserver = Arc<dyn Fn(&CellDone) + Send + Sync>;
 pub struct EngineBuilder {
     input: Input,
     sources: Vec<Source>,
+    extra: Vec<ExtraSource>,
     threads: usize,
     quick: bool,
+    trace_budget: Option<u64>,
     cache_dir: Option<PathBuf>,
     pool: Option<Arc<PrepPool>>,
     observer: Option<CellObserver>,
@@ -163,8 +200,10 @@ impl EngineBuilder {
         EngineBuilder {
             input: Input::reference(),
             sources: Vec::new(),
+            extra: Vec::new(),
             threads: default_threads(),
             quick: quick_mode(),
+            trace_budget: None,
             cache_dir: None,
             pool: None,
             observer: None,
@@ -183,16 +222,39 @@ impl EngineBuilder {
     /// # Panics
     ///
     /// Panics if a name is not registered.
-    pub fn workloads(mut self, names: &[&str]) -> EngineBuilder {
-        for name in names {
-            let w = mg_workloads::by_name(name)
-                .unwrap_or_else(|| panic!("workload {name:?} is not registered"));
-            self.sources.push(Source::Registered(w));
-        }
-        self
+    pub fn workloads(self, names: &[&str]) -> EngineBuilder {
+        self.try_workloads(names).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Adds every registered workload of `suite`.
+    /// Fallible [`EngineBuilder::workloads`]: names resolve against the
+    /// registry first, then against any [`EngineBuilder::extra_source`]
+    /// registrations (among duplicate extra names the **last**
+    /// registration wins, matching the default-set and
+    /// [`EngineBuilder::suite`] resolution).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownWorkload`] for the first unresolved name.
+    pub fn try_workloads<S: AsRef<str>>(
+        mut self,
+        names: &[S],
+    ) -> Result<EngineBuilder, HarnessError> {
+        for name in names {
+            let name = name.as_ref();
+            if let Some(w) = mg_workloads::by_name(name) {
+                self.sources.push(Source::Registered(w));
+            } else if let Some(x) = self.extra.iter().rev().find(|x| x.name == name) {
+                self.sources.push(Source::Extra(x.clone()));
+            } else {
+                return Err(HarnessError::UnknownWorkload { name: name.to_string() });
+            }
+        }
+        Ok(self)
+    }
+
+    /// Adds every registered workload of `suite` (plus any
+    /// [`EngineBuilder::extra_source`] registrations in that suite,
+    /// minus shadowed names — see [`EngineBuilder::unshadowed_extras`]).
     pub fn suite(mut self, suite: Suite) -> EngineBuilder {
         self.sources.extend(
             mg_workloads::all()
@@ -200,6 +262,33 @@ impl EngineBuilder {
                 .filter(|w| w.suite == suite)
                 .map(Source::Registered),
         );
+        let extras: Vec<Source> = Self::unshadowed_extras(&self.extra)
+            .filter(|x| x.suite == suite)
+            .cloned()
+            .map(Source::Extra)
+            .collect();
+        self.sources.extend(extras);
+        self
+    }
+
+    /// The extra sources that actually resolve: a name shadowed by the
+    /// built-in registry resolves to the registry (the [`WorkloadSource`
+    /// contract](ExtraSource)), and among duplicate extra names the last
+    /// registration wins — so neither may contribute a default-set row.
+    fn unshadowed_extras(extra: &[ExtraSource]) -> impl Iterator<Item = &ExtraSource> {
+        extra.iter().enumerate().filter_map(|(i, x)| {
+            let shadowed = mg_workloads::by_name(&x.name).is_some();
+            let superseded = extra[i + 1..].iter().any(|y| y.name == x.name);
+            (!shadowed && !superseded).then_some(x)
+        })
+    }
+
+    /// Registers an [`ExtraSource`]: it joins the name-resolution set of
+    /// [`EngineBuilder::try_workloads`] / [`EngineBuilder::suite`] and —
+    /// when no explicit selection is made — the default all-workloads
+    /// set, after every registered workload.
+    pub fn extra_source(mut self, source: ExtraSource) -> EngineBuilder {
+        self.extra.push(source);
         self
     }
 
@@ -211,7 +300,11 @@ impl EngineBuilder {
         suite: Suite,
         build: impl Fn(&Input) -> (mg_isa::Program, mg_isa::Memory) + Send + Sync + 'static,
     ) -> EngineBuilder {
-        self.sources.push(Source::Custom { name: name.into(), suite, build: Arc::new(build) });
+        self.sources.push(Source::Custom {
+            name: name.into(),
+            suite,
+            build: Arc::new(move |i: &Input| Ok(build(i))),
+        });
         self
     }
 
@@ -227,6 +320,15 @@ impl EngineBuilder {
     /// per run.
     pub fn quick(mut self, quick: bool) -> EngineBuilder {
         self.quick = quick;
+        self
+    }
+
+    /// Overrides the recorded-trace budget (ops). The default is derived
+    /// from quick mode ([`QUICK_MAX_OPS`](crate::quick::QUICK_MAX_OPS)
+    /// quick, [`STEP_BUDGET`](crate::prep::STEP_BUDGET) full); sessions
+    /// that know their simulations replay less can lower it further.
+    pub fn trace_budget(mut self, ops: u64) -> EngineBuilder {
+        self.trace_budget = Some(ops);
         self
     }
 
@@ -276,10 +378,33 @@ impl EngineBuilder {
     /// functionally executing (and storing) the rest of the committed
     /// path would be pure waste.
     pub fn build(self) -> Engine {
-        let EngineBuilder { input, mut sources, threads, quick, cache_dir, pool, observer } =
-            self;
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`EngineBuilder::build`] — the `mg_api` session path.
+    /// Preparation failures (build, profiling, a panicking out-of-tree
+    /// source) surface as [`HarnessError`] instead of unwinding the
+    /// worker scope; pool slots stay retryable after a failure.
+    ///
+    /// # Errors
+    ///
+    /// The first [`HarnessError`] any workload's preparation raised (in
+    /// workload order, deterministically).
+    pub fn try_build(self) -> Result<Engine, HarnessError> {
+        let EngineBuilder {
+            input,
+            mut sources,
+            extra,
+            threads,
+            quick,
+            trace_budget,
+            cache_dir,
+            pool,
+            observer,
+        } = self;
         if sources.is_empty() {
             sources.extend(mg_workloads::all().into_iter().map(Source::Registered));
+            sources.extend(Self::unshadowed_extras(&extra).cloned().map(Source::Extra));
         }
         let cache = match cache_dir {
             Some(dir) if !PrepCache::disabled_by_env() => Some(Arc::new(PrepCache::new(dir))),
@@ -288,33 +413,69 @@ impl EngineBuilder {
         // Everything a pooled prep's identity depends on beyond the
         // workload itself: the trace budget the engine will apply and the
         // resolved cache root.
-        let trace_budget =
-            if quick { crate::quick::QUICK_MAX_OPS } else { crate::prep::STEP_BUDGET };
+        let trace_budget = trace_budget.unwrap_or(if quick {
+            crate::quick::QUICK_MAX_OPS
+        } else {
+            crate::prep::STEP_BUDGET
+        });
         let cache_root = cache.as_ref().map(|c| c.root().to_path_buf());
-        let prepare = |source: &Source| {
+        let prepare = |source: &Source| -> Result<Prep, HarnessError> {
             let prep = match source {
-                Source::Registered(w) => Prep::new(w, &input),
+                Source::Registered(w) => Prep::try_new(w, &input)?,
+                Source::Extra(x) => Prep::try_with_source(
+                    x.name.clone(),
+                    x.suite,
+                    Arc::clone(&x.build),
+                    &input,
+                    x.stable_id.clone(),
+                )?,
                 Source::Custom { name, suite, build } => {
-                    Prep::with_build(name.clone(), *suite, Arc::clone(build), &input)
+                    Prep::try_with_build(name.clone(), *suite, Arc::clone(build), &input)?
                 }
             };
-            let prep =
-                if quick { prep.with_trace_budget(crate::quick::QUICK_MAX_OPS) } else { prep };
-            prep.with_cache(cache.clone())
+            // `STEP_BUDGET` (the full default) is the prep's own default,
+            // so applying the resolved budget unconditionally matches the
+            // old quick-only behaviour bit for bit.
+            Ok(prep.with_trace_budget(trace_budget).with_cache(cache.clone()))
         };
         let sources: Vec<Source> = sources;
-        let preps: Vec<Arc<Prep>> = run_indexed(threads, sources.len(), |i| {
-            let source = &sources[i];
-            match (&pool, source) {
-                (Some(pool), Source::Registered(w)) => {
-                    let key =
-                        PoolKey::new(w.stable_id(), &input, trace_budget, cache_root.clone());
-                    pool.get_or_prepare(key, || prepare(source))
+        let preps: Vec<Result<Arc<Prep>, HarnessError>> =
+            run_indexed(threads, sources.len(), |i| {
+                let source = &sources[i];
+                let pool_key = match source {
+                    Source::Registered(w) => Some(w.stable_id()),
+                    Source::Extra(x) => Some(x.stable_id.clone()),
+                    // Ad-hoc closures carry no identity contract, so they
+                    // are never pooled (two different closures could
+                    // share a name).
+                    Source::Custom { .. } => None,
+                };
+                match (&pool, pool_key) {
+                    (Some(pool), Some(id)) => {
+                        let key = PoolKey::new(id, &input, trace_budget, cache_root.clone());
+                        pool.try_get_or_prepare(key, || prepare(source)).map_err(|e| match e {
+                            // The pool only knows the key's cache id;
+                            // report the workload name, like the
+                            // non-pooled branch does.
+                            HarnessError::Panicked { message, .. } => HarnessError::Panicked {
+                                workload: source.name().to_string(),
+                                message,
+                            },
+                            other => other,
+                        })
+                    }
+                    _ => std::panic::catch_unwind(AssertUnwindSafe(|| prepare(source)))
+                        .unwrap_or_else(|panic| {
+                            Err(HarnessError::Panicked {
+                                workload: source.name().to_string(),
+                                message: panic_message(panic.as_ref()),
+                            })
+                        })
+                        .map(Arc::new),
                 }
-                _ => Arc::new(prepare(source)),
-            }
-        });
-        Engine { preps, threads, quick, observer }
+            });
+        let preps = preps.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(Engine { preps, threads, quick, observer })
     }
 }
 
@@ -376,16 +537,34 @@ impl Engine {
     /// workloads and the per-[`Prep`] artifact caches see one miss per
     /// (policy, style) each instead of racing duplicate computations.
     pub fn run(&self, runs: &[Run]) -> RunMatrix {
+        self.try_run(runs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Engine::run`] — the `mg_api` session path. A failing
+    /// (or panicking) cell fails the whole matrix with the first error in
+    /// claim order; successful sibling cells are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the failing cell's [`Prep`] accessor raised, or
+    /// [`HarnessError::Panicked`] for a panicking cell.
+    pub fn try_run(&self, runs: &[Run]) -> Result<RunMatrix, HarnessError> {
         let n_preps = self.preps.len();
         let cells = n_preps * runs.len();
         let stats = run_indexed(self.threads, cells, |claim| {
             let prep = &self.preps[claim % n_preps];
             let run = &runs[claim / n_preps];
             let cfg = self.tune(run.cfg.clone());
-            let stats = match &run.image {
-                Image::Baseline => prep.run_baseline(&cfg),
-                Image::MiniGraph { policy, style } => prep.run_policy(policy, *style, &cfg),
-            };
+            let stats = std::panic::catch_unwind(AssertUnwindSafe(|| match &run.image {
+                Image::Baseline => prep.try_run_baseline(&cfg),
+                Image::MiniGraph { policy, style } => prep.try_run_policy(policy, *style, &cfg),
+            }))
+            .unwrap_or_else(|panic| {
+                Err(HarnessError::Panicked {
+                    workload: prep.name.clone(),
+                    message: panic_message(panic.as_ref()),
+                })
+            })?;
             if let Some(observer) = &self.observer {
                 observer(&CellDone {
                     workload: prep.name.clone(),
@@ -394,7 +573,7 @@ impl Engine {
                     ops: stats.ops,
                 });
             }
-            stats
+            Ok(stats)
         });
         // stats[claim] belongs to (prep = claim % n_preps, run = claim /
         // n_preps); scatter into workload-major rows.
@@ -407,9 +586,9 @@ impl Engine {
             })
             .collect();
         for (claim, s) in stats.into_iter().enumerate() {
-            rows[claim % n_preps].stats.push(s);
+            rows[claim % n_preps].stats.push(s?);
         }
-        RunMatrix { labels: runs.iter().map(|r| r.label.clone()).collect(), rows }
+        Ok(RunMatrix { labels: runs.iter().map(|r| r.label.clone()).collect(), rows })
     }
 }
 
@@ -460,4 +639,32 @@ where
         }
     });
     results.into_iter().map(|r| r.expect("all cells computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extra(name: &str) -> ExtraSource {
+        ExtraSource {
+            name: name.into(),
+            suite: Suite::MiBench,
+            stable_id: format!("custom/{name}@r1"),
+            build: Arc::new(|_| panic!("never built in this test")),
+        }
+    }
+
+    #[test]
+    fn shadowed_and_superseded_extras_do_not_resolve() {
+        // "crc32" is a registry name: the registry wins, so the extra
+        // must not contribute a (duplicate) default-set row. Duplicate
+        // extra names keep only the last registration.
+        let extras = vec![extra("crc32"), extra("acme.one"), extra("acme.one")];
+        let kept: Vec<&str> =
+            EngineBuilder::unshadowed_extras(&extras).map(|x| x.name.as_str()).collect();
+        assert_eq!(kept, ["acme.one"]);
+        // Exactly one survivor, and it is the later registration.
+        let survivor = EngineBuilder::unshadowed_extras(&extras).next().unwrap();
+        assert!(std::ptr::eq(survivor, &extras[2]));
+    }
 }

@@ -1,0 +1,130 @@
+//! Typed failures of the preparation and run stages.
+//!
+//! Historically the harness treated every failure as a programming error
+//! and panicked (`expect("workload halts")`). That is fine for the
+//! built-in registry — its kernels are tested to halt — but wrong for an
+//! embeddable library: an out-of-tree workload registered through
+//! `mg_api` can fail to build, fail to halt, or panic, and the host must
+//! get a value back, not a unwound thread. Every stage therefore has a
+//! `try_*` variant returning [`HarnessError`]; the panicking entry points
+//! remain as thin wrappers for the registry-only callers (experiment
+//! binaries, benches) whose inputs are statically known-good.
+//!
+//! `mg_api::MgError` wraps these at the API boundary, preserving the
+//! source chain (`Error::source`) end-to-end: an `ExecError` raised five
+//! layers down in `mg-isa` is still reachable from the error a `Session`
+//! caller receives.
+
+use mg_isa::exec::ExecError;
+use std::error::Error;
+use std::fmt;
+
+/// A boxed error a workload build closure may return (see
+/// [`BuildFn`](crate::prep::BuildFn)).
+pub type BuildError = Box<dyn Error + Send + Sync + 'static>;
+
+/// A failure in workload preparation or matrix execution.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A workload name did not resolve against the registry (or the
+    /// engine's extra sources).
+    UnknownWorkload {
+        /// The unresolved name.
+        name: String,
+    },
+    /// The workload's build function failed to produce a program image.
+    Build {
+        /// Workload name.
+        workload: String,
+        /// The build function's own error.
+        source: BuildError,
+    },
+    /// Functional execution failed (profiling or baseline trace
+    /// recording): the program faulted or exceeded its step budget.
+    Exec {
+        /// Workload name.
+        workload: String,
+        /// Which functional pass failed (`"profile"` or `"trace"`).
+        phase: &'static str,
+        /// The functional-simulator error.
+        source: ExecError,
+    },
+    /// The *rewritten* image failed functional execution: the mini-graph
+    /// rewrite (or the selection it came from) broke the program.
+    Rewrite {
+        /// Workload name.
+        workload: String,
+        /// The functional-simulator error from the rewritten image.
+        source: ExecError,
+    },
+    /// Preparation panicked (e.g. an out-of-tree build closure), or a
+    /// shared [`PrepPool`](crate::pool::PrepPool) slot was poisoned by an
+    /// earlier panic. The panic is contained; the slot stays retryable.
+    Panicked {
+        /// Workload name.
+        workload: String,
+        /// Best-effort panic payload text.
+        message: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::UnknownWorkload { name } => {
+                write!(f, "workload {name:?} is not registered")
+            }
+            HarnessError::Build { workload, source } => {
+                write!(f, "building workload {workload:?} failed: {source}")
+            }
+            HarnessError::Exec { workload, phase, source } => {
+                write!(f, "functional {phase} of workload {workload:?} failed: {source}")
+            }
+            HarnessError::Rewrite { workload, source } => {
+                write!(
+                    f,
+                    "rewritten image of workload {workload:?} failed to execute: {source}"
+                )
+            }
+            HarnessError::Panicked { workload, message } => {
+                write!(f, "preparation of workload {workload:?} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for HarnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarnessError::UnknownWorkload { .. } | HarnessError::Panicked { .. } => None,
+            HarnessError::Build { source, .. } => Some(source.as_ref()),
+            HarnessError::Exec { source, .. } | HarnessError::Rewrite { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+impl HarnessError {
+    /// The workload the failure belongs to, when there is one.
+    pub fn workload(&self) -> Option<&str> {
+        match self {
+            HarnessError::UnknownWorkload { .. } => None,
+            HarnessError::Build { workload, .. }
+            | HarnessError::Exec { workload, .. }
+            | HarnessError::Rewrite { workload, .. }
+            | HarnessError::Panicked { workload, .. } => Some(workload),
+        }
+    }
+}
+
+/// Renders a caught panic payload as text (`String` and `&str` payloads
+/// verbatim, anything else a placeholder).
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("panic payload is not a string")
+        .to_string()
+}

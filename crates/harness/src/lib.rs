@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 pub mod engine;
+pub mod error;
 pub mod pool;
 pub mod prep;
 pub mod prep_cache;
@@ -56,9 +57,10 @@ pub mod report;
 pub mod table;
 
 pub use engine::{
-    default_threads, CellDone, CellObserver, Engine, EngineBuilder, Image, Run, RunMatrix,
-    RunRow,
+    default_threads, CellDone, CellObserver, Engine, EngineBuilder, ExtraSource, Image, Run,
+    RunMatrix, RunRow,
 };
+pub use error::{BuildError, HarnessError};
 pub use pool::{PoolKey, PrepPool};
 pub use prep::{by_suite, BuildFn, MgImage, Prep, ENUMERATION_SIZE, STEP_BUDGET};
 pub use prep_cache::{CacheStats, PrepCache, CACHE_SCHEMA_VERSION};

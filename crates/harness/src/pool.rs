@@ -21,9 +21,11 @@
 //! ad-hoc [`Source::Custom`](crate::engine::EngineBuilder::program)
 //! programs bypass the pool (two different closures could share a name).
 
+use crate::error::{panic_message, HarnessError};
 use crate::prep::Prep;
 use mg_workloads::Input;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -70,9 +72,19 @@ impl PoolKey {
 /// [`EngineBuilder::pool`](crate::engine::EngineBuilder::pool).
 #[derive(Default)]
 pub struct PrepPool {
-    slots: Mutex<HashMap<PoolKey, Arc<OnceLock<Arc<Prep>>>>>,
+    slots: Mutex<HashMap<PoolKey, Arc<Slot>>>,
     prepared: AtomicU64,
     reused: AtomicU64,
+}
+
+/// One pool slot. `once` holds the warm prep; `init` serializes the
+/// fallible preparation path, so concurrent first touches block on the
+/// single preparation instead of duplicating it, while an `Err` (which
+/// must not be cached) releases the lock and leaves the slot retryable.
+#[derive(Default)]
+struct Slot {
+    once: OnceLock<Arc<Prep>>,
+    init: Mutex<()>,
 }
 
 impl PrepPool {
@@ -86,21 +98,76 @@ impl PrepPool {
     /// same key block until the single preparation finishes and then
     /// share the resulting [`Arc`].
     pub fn get_or_prepare(&self, key: PoolKey, prepare: impl FnOnce() -> Prep) -> Arc<Prep> {
+        // One initialization discipline for both paths (the slot's init
+        // lock), so mixing the panicking and fallible entry points on a
+        // key can never duplicate a preparation.
+        self.try_get_or_prepare(key, || Ok(prepare())).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible, panic-containing [`PrepPool::get_or_prepare`] — the
+    /// `mg_api` session path, where `prepare` may run an out-of-tree
+    /// workload source.
+    ///
+    /// A `prepare` that returns `Err` leaves the slot **uninitialized**
+    /// (errors are not cached: a transient failure — say, a source
+    /// reading a file that appears later — may succeed on retry). A
+    /// `prepare` that *panics* is caught here so it cannot unwind through
+    /// the engine's worker scope, and likewise leaves the slot
+    /// retryable; the panic is reported as [`HarnessError::Panicked`],
+    /// the closest thing to a "poisoned" entry this pool has. The
+    /// exactly-once guarantee matches [`PrepPool::get_or_prepare`]:
+    /// concurrent callers with the same key block on the slot's init
+    /// lock until the single successful preparation finishes.
+    ///
+    /// # Errors
+    ///
+    /// `prepare`'s own error, or [`HarnessError::Panicked`].
+    pub fn try_get_or_prepare(
+        &self,
+        key: PoolKey,
+        prepare: impl FnOnce() -> Result<Prep, HarnessError>,
+    ) -> Result<Arc<Prep>, HarnessError> {
+        let workload = key.cache_id.clone();
         let slot = {
             let mut slots = self.slots.lock().unwrap();
             Arc::clone(slots.entry(key).or_default())
         };
+        if let Some(prep) = slot.once.get() {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(prep));
+        }
+        // Serialize fallible initialization on the slot's init lock
+        // (OnceLock::get_or_init cannot propagate an Err without caching
+        // something). Losing racers block here, then find the slot warm.
+        // An unwrap-on-poison would reintroduce a panic path: a racer
+        // that panicked inside `prepare` poisons this mutex, so treat
+        // poison as "the previous holder is gone" and take the guard.
+        let guard = slot.init.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(prep) = slot.once.get() {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(prep));
+        }
+        let prep = std::panic::catch_unwind(AssertUnwindSafe(prepare)).map_err(|panic| {
+            HarnessError::Panicked {
+                workload: workload.clone(),
+                message: panic_message(panic.as_ref()),
+            }
+        })??;
+        // Infallible from here: publish and count. (Every entry point
+        // funnels through this init lock, so `built` is only ever false
+        // here if a pre-lock fast path raced us to the publish.)
         let mut built = false;
-        let prep = slot.get_or_init(|| {
+        let shared = Arc::clone(slot.once.get_or_init(|| {
             built = true;
-            Arc::new(prepare())
-        });
+            Arc::new(prep)
+        }));
+        drop(guard);
         if built {
             self.prepared.fetch_add(1, Ordering::Relaxed);
         } else {
             self.reused.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(prep)
+        Ok(shared)
     }
 
     /// How many preps this pool has actually prepared (each key counts
@@ -177,5 +244,39 @@ mod tests {
             pool.get_or_prepare(key("bitcount", 500), || unreachable!()).suite,
             Suite::MiBench
         );
+    }
+
+    #[test]
+    fn try_path_keeps_exactly_once_under_races() {
+        let pool = Arc::new(PrepPool::new());
+        let prepared = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let prepared = Arc::clone(&prepared);
+                scope.spawn(move || {
+                    pool.try_get_or_prepare(key("crc32", 700), || {
+                        prepared.fetch_add(1, Ordering::Relaxed);
+                        Ok(tiny_prep("crc32"))
+                    })
+                    .expect("prepares");
+                });
+            }
+        });
+        assert_eq!(prepared.load(Ordering::Relaxed), 1, "racers block on one preparation");
+        assert_eq!((pool.prepared(), pool.reused()), (1, 3), "counters match reality");
+    }
+
+    #[test]
+    fn try_path_does_not_cache_errors() {
+        let pool = PrepPool::new();
+        let err = pool.try_get_or_prepare(key("crc32", 800), || {
+            Err(crate::error::HarnessError::UnknownWorkload { name: "x".into() })
+        });
+        assert!(err.is_err());
+        assert_eq!((pool.prepared(), pool.reused()), (0, 0), "a failure counts as nothing");
+        let ok = pool.try_get_or_prepare(key("crc32", 800), || Ok(tiny_prep("crc32")));
+        assert!(ok.is_ok(), "the slot stayed retryable");
+        assert_eq!((pool.prepared(), pool.reused()), (1, 0));
     }
 }

@@ -15,6 +15,7 @@
 //! so concurrent fills are benign (first writer wins; any loser computed
 //! an identical value).
 
+use crate::error::{BuildError, HarnessError};
 use crate::prep_cache::{self, PrepCache};
 use mg_core::{
     enumerate_candidates, rewrite, select, MiniGraph, Policy, RewriteStyle, Selection,
@@ -41,9 +42,10 @@ pub const IMAGE_CACHE_CAP: usize = 4;
 
 /// Builds a fresh `(Program, Memory)` image for an [`Input`].
 ///
-/// Registered workloads wrap their `fn` pointer; ad-hoc programs (e.g.
-/// the examples) can pass any closure.
-pub type BuildFn = Arc<dyn Fn(&Input) -> (Program, Memory) + Send + Sync>;
+/// Registered workloads wrap their (infallible) `fn` pointer in `Ok`;
+/// ad-hoc programs and `mg_api` workload sources can return any boxed
+/// error, which preparation surfaces as [`HarnessError::Build`].
+pub type BuildFn = Arc<dyn Fn(&Input) -> Result<(Program, Memory), BuildError> + Send + Sync>;
 
 /// A rewritten image ready for timing simulation: the handle program, its
 /// committed-path trace, and the catalog the image refers to.
@@ -93,6 +95,11 @@ pub struct Prep {
     // Memoized downstream artifacts (see module docs).
     selections: Mutex<HashMap<Policy, Arc<Selection>>>,
     base_trace: OnceLock<Arc<Trace>>,
+    /// Serializes fallible base-trace initialization: recording is the
+    /// most expensive per-prep artifact and many matrix cells need it,
+    /// so racers must block on one recording, not duplicate it (an
+    /// `Err` releases the lock without caching anything).
+    base_trace_init: Mutex<()>,
     images: Mutex<ImageCache>,
 }
 
@@ -127,11 +134,23 @@ impl Prep {
     /// workloads cache under their registry stable id; ad-hoc programs
     /// ([`Prep::with_build`]) under `custom/<name>`.
     pub fn new(w: &Workload, input: &Input) -> Prep {
+        Prep::try_new(w, input).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::new`]: the same preparation, surfacing build and
+    /// functional-execution failures as [`HarnessError`] instead of
+    /// panicking (the `mg_api` session path).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Exec`] if the profiling run faults or exceeds its
+    /// step budget (registered builders themselves are infallible).
+    pub fn try_new(w: &Workload, input: &Input) -> Result<Prep, HarnessError> {
         let build = w.build;
-        Prep::prepare(
+        Prep::try_prepare(
             w.name.to_string(),
             w.suite,
-            Arc::new(move |i: &Input| build(i)),
+            Arc::new(move |i: &Input| Ok(build(i))),
             input,
             w.stable_id(),
         )
@@ -145,27 +164,65 @@ impl Prep {
         build: BuildFn,
         input: &Input,
     ) -> Prep {
-        let name = name.into();
-        let cache_id = format!("custom/{name}");
-        Prep::prepare(name, suite, build, input, cache_id)
+        Prep::try_with_build(name, suite, build, input).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn prepare(
+    /// Fallible [`Prep::with_build`]; the cache id is `custom/<name>`.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Build`] if `build` fails, [`HarnessError::Exec`]
+    /// if the profiling run faults or exceeds its step budget.
+    pub fn try_with_build(
+        name: impl Into<String>,
+        suite: Suite,
+        build: BuildFn,
+        input: &Input,
+    ) -> Result<Prep, HarnessError> {
+        let name = name.into();
+        let cache_id = format!("custom/{name}");
+        Prep::try_prepare(name, suite, build, input, cache_id)
+    }
+
+    /// Like [`Prep::try_with_build`] but with a caller-declared stable
+    /// cache id (an [`ExtraSource`](crate::engine::ExtraSource) /
+    /// `mg_api` workload source): the id keys the warm-prep pool and is
+    /// folded into every persistent-cache fingerprint, so bumping it
+    /// invalidates the source's cached artifacts exactly like a
+    /// registry-version bump does for registered workloads.
+    ///
+    /// # Errors
+    ///
+    /// As [`Prep::try_with_build`].
+    pub fn try_with_source(
+        name: impl Into<String>,
+        suite: Suite,
+        build: BuildFn,
+        input: &Input,
+        stable_id: impl Into<String>,
+    ) -> Result<Prep, HarnessError> {
+        Prep::try_prepare(name.into(), suite, build, input, stable_id.into())
+    }
+
+    fn try_prepare(
         name: String,
         suite: Suite,
         build: BuildFn,
         input: &Input,
         cache_id: String,
-    ) -> Prep {
-        let (prog, mut mem) = build(input);
+    ) -> Result<Prep, HarnessError> {
+        let (prog, mut mem) = build(input)
+            .map_err(|source| HarnessError::Build { workload: name.clone(), source })?;
         // Hash the data image before profiling mutates it: the
         // fingerprint must cover the *initial* memory.
         let mem_hash = mem.content_hash();
         let cfg = build_cfg(&prog);
-        let prof = profile_program(&prog, &mut mem, None, STEP_BUDGET).expect("workload halts");
+        let prof = profile_program(&prog, &mut mem, None, STEP_BUDGET).map_err(|source| {
+            HarnessError::Exec { workload: name.clone(), phase: "profile", source }
+        })?;
         let candidates = enumerate_candidates(&prog, &cfg, &prof, ENUMERATION_SIZE);
         let fingerprint = prep_cache::fingerprint(&cache_id, input, &prog, mem_hash);
-        Prep {
+        Ok(Prep {
             name,
             suite,
             prog,
@@ -181,8 +238,9 @@ impl Prep {
             cache: None,
             selections: Mutex::new(HashMap::new()),
             base_trace: OnceLock::new(),
+            base_trace_init: Mutex::new(()),
             images: Mutex::new(ImageCache::default()),
-        }
+        })
     }
 
     /// Caps recorded traces at `ops` operations (a prefix of the full
@@ -248,8 +306,19 @@ impl Prep {
 
     /// Builds a fresh memory image (the program is identical every time).
     pub fn fresh_memory(&self) -> Memory {
-        let (_, mem) = (self.build)(&self.input);
-        mem
+        self.try_fresh_memory().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::fresh_memory`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Build`] if the build function fails on a rebuild
+    /// (registered workloads never do; an `mg_api` source might).
+    pub fn try_fresh_memory(&self) -> Result<Memory, HarnessError> {
+        let (_, mem) = (self.build)(&self.input)
+            .map_err(|source| HarnessError::Build { workload: self.name.clone(), source })?;
+        Ok(mem)
     }
 
     /// Selects mini-graphs under `policy`, memoized per policy (and, with
@@ -278,22 +347,49 @@ impl Prep {
     /// The baseline dynamic trace (fresh memory, same input), memoized
     /// (and, with a [`PrepCache`] attached, persisted across processes).
     pub fn base_trace(&self) -> Arc<Trace> {
-        Arc::clone(self.base_trace.get_or_init(|| {
-            if let Some(hit) = self
-                .cache
-                .as_deref()
-                .and_then(|c| c.load_trace(self.fingerprint, self.trace_budget))
-            {
-                return Arc::new(hit);
-            }
-            let mut mem = self.fresh_memory();
-            let trace = record_trace(&self.prog, &mut mem, None, self.trace_budget)
-                .expect("workload halts");
+        self.try_base_trace().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::base_trace`]. Concurrent callers block on one
+    /// recording (exactly-once, like the panicking path's `get_or_init`);
+    /// a failed recording releases the lock and stays retryable.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Build`] / [`HarnessError::Exec`] if rebuilding the
+    /// memory image or recording the trace fails.
+    pub fn try_base_trace(&self) -> Result<Arc<Trace>, HarnessError> {
+        if let Some(t) = self.base_trace.get() {
+            return Ok(Arc::clone(t));
+        }
+        // Poison means a racer panicked mid-recording; the slot is still
+        // uninitialized, so taking over the guard and retrying is sound.
+        let _guard =
+            self.base_trace_init.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(t) = self.base_trace.get() {
+            return Ok(Arc::clone(t));
+        }
+        let trace = if let Some(hit) = self
+            .cache
+            .as_deref()
+            .and_then(|c| c.load_trace(self.fingerprint, self.trace_budget))
+        {
+            Arc::new(hit)
+        } else {
+            let mut mem = self.try_fresh_memory()?;
+            let trace = record_trace(&self.prog, &mut mem, None, self.trace_budget).map_err(
+                |source| HarnessError::Exec {
+                    workload: self.name.clone(),
+                    phase: "trace",
+                    source,
+                },
+            )?;
             if let Some(c) = self.cache.as_deref() {
                 c.store_trace(self.fingerprint, self.trace_budget, &trace);
             }
             Arc::new(trace)
-        }))
+        };
+        Ok(Arc::clone(self.base_trace.get_or_init(|| trace)))
     }
 
     /// The rewritten image for `(policy, style)` with its trace, memoized
@@ -301,9 +397,24 @@ impl Prep {
     /// [`PrepCache`] attached, persisted across processes — a disk hit
     /// skips selection, rewriting, and trace recording in one step).
     pub fn image(&self, policy: &Policy, style: RewriteStyle) -> Arc<MgImage> {
+        self.try_image(policy, style).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::image`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Build`] if the memory rebuild fails,
+    /// [`HarnessError::Rewrite`] if the rewritten image faults or fails
+    /// to halt.
+    pub fn try_image(
+        &self,
+        policy: &Policy,
+        style: RewriteStyle,
+    ) -> Result<Arc<MgImage>, HarnessError> {
         let key = (policy.clone(), style);
         if let Some(img) = self.images.lock().unwrap().get(&key) {
-            return img;
+            return Ok(img);
         }
         let img = if let Some(hit) = self
             .cache
@@ -313,31 +424,59 @@ impl Prep {
             Arc::new(hit)
         } else {
             let selection = self.select(policy);
-            let img = Arc::new(self.build_image(&selection, style));
+            let img = Arc::new(self.try_build_image(&selection, style)?);
             if let Some(c) = self.cache.as_deref() {
                 c.store_image(self.fingerprint, policy, style, self.trace_budget, &img);
             }
             img
         };
-        self.images.lock().unwrap().insert(key, img)
+        Ok(self.images.lock().unwrap().insert(key, img))
     }
 
     /// Rewrites with `selection` and returns the handle image + its trace
     /// (uncached; prefer [`Prep::image`] when the selection came from a
     /// policy).
     pub fn build_image(&self, selection: &Selection, style: RewriteStyle) -> MgImage {
+        self.try_build_image(selection, style).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::build_image`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Build`] if the memory rebuild fails,
+    /// [`HarnessError::Rewrite`] if the rewritten image faults or fails
+    /// to halt within the trace budget.
+    pub fn try_build_image(
+        &self,
+        selection: &Selection,
+        style: RewriteStyle,
+    ) -> Result<MgImage, HarnessError> {
         let rw = rewrite(&self.prog, selection, style);
-        let mut mem = self.fresh_memory();
+        let mut mem = self.try_fresh_memory()?;
         let trace =
             record_trace(&rw.program, &mut mem, Some(&selection.catalog), self.trace_budget)
-                .expect("rewritten workload halts");
-        MgImage { program: rw.program, trace, catalog: selection.catalog.clone() }
+                .map_err(|source| HarnessError::Rewrite {
+                    workload: self.name.clone(),
+                    source,
+                })?;
+        Ok(MgImage { program: rw.program, trace, catalog: selection.catalog.clone() })
     }
 
     /// Simulates the baseline image under `cfg`.
     pub fn run_baseline(&self, cfg: &SimConfig) -> SimStats {
-        let t = self.base_trace();
-        simulate(cfg, &self.prog, &t, &HandleCatalog::new())
+        self.try_run_baseline(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::run_baseline`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Prep::try_base_trace`] raises (simulation itself is
+    /// total over a recorded trace).
+    pub fn try_run_baseline(&self, cfg: &SimConfig) -> Result<SimStats, HarnessError> {
+        let t = self.try_base_trace()?;
+        Ok(simulate(cfg, &self.prog, &t, &HandleCatalog::new()))
     }
 
     /// Simulates the rewritten image of `policy` under `cfg`, reusing the
@@ -348,8 +487,22 @@ impl Prep {
         style: RewriteStyle,
         cfg: &SimConfig,
     ) -> SimStats {
-        let img = self.image(policy, style);
-        simulate(cfg, &img.program, &img.trace, &img.catalog)
+        self.try_run_policy(policy, style, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Prep::run_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Prep::try_image`] raises.
+    pub fn try_run_policy(
+        &self,
+        policy: &Policy,
+        style: RewriteStyle,
+        cfg: &SimConfig,
+    ) -> Result<SimStats, HarnessError> {
+        let img = self.try_image(policy, style)?;
+        Ok(simulate(cfg, &img.program, &img.trace, &img.catalog))
     }
 
     /// Simulates the rewritten image of an explicit `selection` under

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Extracts the public item surface of the `mg_api` crate from its
+# sources (a `cargo public-api`-style listing without the nightly
+# toolchain): every `pub fn|struct|enum|trait|type|const|mod|use`
+# declaration, joined across lines and cut at its body, one per line,
+# prefixed with its file and sorted bytewise.
+#
+# The committed snapshot lives at `docs/api-surface.txt`; CI regenerates
+# this listing and diffs the two, so an accidental breaking change to
+# the embeddable API fails the build and an intentional one shows up in
+# review as a snapshot edit (see docs/API.md, "Stability policy").
+#
+# Granularity: item declarations and full `pub fn` signatures. Enum
+# variants, struct fields, and trait-method bodies are covered by their
+# item's declaration line only; macro-generated items (e.g. the MgError
+# per-kind constructors) are not expanded.
+set -eu
+cd "$(dirname "$0")/.."
+LC_ALL=C
+export LC_ALL
+
+for f in $(printf '%s\n' crates/api/src/*.rs | sort); do
+  awk -v file="$f" '
+    # Public surface only: stop at the test module.
+    /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+    collecting {
+      acc = acc " " $0
+      if (finish(acc)) { collecting = 0 }
+      next
+    }
+    /^[[:space:]]*pub (fn|struct|enum|trait|type|const|mod|use) / {
+      acc = $0
+      if (finish(acc)) { next } else { collecting = 1; next }
+    }
+    function finish(decl) {
+      # `pub use` trees terminate at the semicolon (the braces carry the
+      # re-exported names); everything else cuts at its body.
+      if (decl ~ /^[[:space:]]*pub use/) {
+        if (decl !~ /;/) return 0
+        sub(/;.*$/, "", decl)
+      } else {
+        if (decl !~ /[{;=]/) return 0
+        sub(/[[:space:]]*[{;=].*$/, "", decl)
+      }
+      gsub(/[[:space:]]+/, " ", decl)
+      sub(/^ /, "", decl)
+      sub(/ $/, "", decl)
+      print file ": " decl
+      return 1
+    }
+  ' "$f"
+done | sort

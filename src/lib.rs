@@ -4,6 +4,7 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+pub use mg_api as api;
 pub use mg_core as core;
 pub use mg_dise as dise;
 pub use mg_harness as harness;
