@@ -322,6 +322,10 @@ pub struct RunArgs {
     pub best: bool,
     /// `--no-cache`: disable the persistent artifact cache.
     pub no_cache: bool,
+    /// `--no-fuse`: run sweep cells one configuration at a time instead
+    /// of fused (results are bit-identical; this is a throughput
+    /// escape hatch, also `MG_NO_FUSE=1`).
+    pub no_fuse: bool,
     /// `--input reference|alternative|tiny`: the workload data set
     /// (default reference; `robustness` pins its own train/test pair).
     pub input: Input,
@@ -331,6 +335,10 @@ pub struct RunArgs {
     pub baseline: Option<String>,
     /// `--max-regression X` (perf only): gate bound.
     pub max_regression: f64,
+    /// `--min-fused-speedup X` (perf only): fail unless the fused fig8
+    /// sweeps run at least `X` times faster than the scalar ones
+    /// (`0` disables the gate; CI's perf-smoke job sets it).
+    pub min_fused_speedup: f64,
     /// The `mg_api` session the run executes against: owner of the
     /// warm-prep pool, cache root, and extension registries. One-shot
     /// `mg run` uses a fresh per-process session; `mg serve` clones one
@@ -349,10 +357,12 @@ impl Default for RunArgs {
             threads: None,
             best: false,
             no_cache: false,
+            no_fuse: false,
             input: Input::reference(),
             out: "BENCH_pipeline.json".into(),
             baseline: None,
             max_regression: 3.0,
+            min_fused_speedup: 0.0,
             // The binaries' historical default: persistent artifact
             // cache on (at the default root) unless --no-cache.
             session: Session::builder().cache(true).build(),
@@ -368,10 +378,12 @@ impl std::fmt::Debug for RunArgs {
             .field("threads", &self.threads)
             .field("best", &self.best)
             .field("no_cache", &self.no_cache)
+            .field("no_fuse", &self.no_fuse)
             .field("input", &self.input)
             .field("out", &self.out)
             .field("baseline", &self.baseline)
             .field("max_regression", &self.max_regression)
+            .field("min_fused_speedup", &self.min_fused_speedup)
             .field("session", &self.session)
             .field("progress", &self.progress.is_some())
             .finish()
@@ -400,6 +412,9 @@ impl RunArgs {
         let mut b = self.session.engine_builder().quick(self.is_quick(false)).input(self.input);
         if self.no_cache {
             b = b.cache(false);
+        }
+        if self.no_fuse {
+            b = b.fuse(false);
         }
         if let Some(t) = self.threads {
             b = b.threads(t);
@@ -552,9 +567,11 @@ mg — unified experiment CLI for the mini-graphs reproduction
 
 USAGE:
     mg run <experiment> [--quick|--full] [--threads N] [--best]
-                        [--no-cache] [--input reference|alternative|tiny]
+                        [--no-cache] [--no-fuse]
+                        [--input reference|alternative|tiny]
                         [--format text|json|csv|markdown]
                         [--out PATH] [--baseline PATH] [--max-regression X]
+                        [--min-fused-speedup X]
     mg list   [--format ...]
     mg report [--write|--check] [--quick] [--threads N] [--no-cache] [--format ...]
     mg cache  [stats|clear|dir] [--format ...]
@@ -679,6 +696,7 @@ fn parse_flags(
             "--full" => args.quick = Some(false),
             "--best" => args.best = true,
             "--no-cache" => args.no_cache = true,
+            "--no-fuse" => args.no_fuse = true,
             "--threads" => {
                 args.threads = Some(
                     value("--threads")?
@@ -708,6 +726,11 @@ fn parse_flags(
                 args.max_regression = value("--max-regression")?
                     .parse()
                     .map_err(|_| "--max-regression requires a number".to_string())?
+            }
+            "--min-fused-speedup" => {
+                args.min_fused_speedup = value("--min-fused-speedup")?
+                    .parse()
+                    .map_err(|_| "--min-fused-speedup requires a number".to_string())?
             }
             flag if flag.starts_with("--") => {
                 return Err(FlagError::Usage(format!("unknown flag {flag:?}")));
@@ -876,9 +899,16 @@ pub fn compose_experiments_md(args: &RunArgs) -> String {
            `run_ms` (the simulation matrix, or pure selection for\n\
            `fig5_coverage` / `select_stress`);\n\
          * `mcycles_per_s` — simulated megacycles per second of run time, the\n\
-           simulator hot-loop health metric;\n\
+           simulator hot-loop health metric (omitted for selection-only rows\n\
+           like `fig5_coverage` / `select_stress`, which simulate nothing);\n\
          * `mops_per_s` — committed fetched operations per second (instances\n\
            chosen per second for the selection rows);\n\
+         * `fig8_fused` / `fused_speedup` — both Figure 8 sweeps re-run as\n\
+           one **fused** pass (`--no-fuse` / `MG_NO_FUSE=1` disables fusion;\n\
+           the per-experiment rows above are always measured with fusion\n\
+           off so they track scalar compute): the `speedup` field is the\n\
+           fused-over-scalar throughput ratio, gated in CI by\n\
+           `--min-fused-speedup`;\n\
          * `artifacts_cold` / `artifacts_warm` — one full artifact sweep\n\
            (every selection, baseline trace, and rewritten image) against an\n\
            empty and then a warm persistent cache: the cold/warm gap is the\n\
@@ -933,7 +963,9 @@ pub fn compose_readme_block() -> String {
          Useful flags (every experiment): `--quick` caps simulated ops per run\n\
          (also `MG_QUICK=1`), `--threads N` bounds the fan-out (also\n\
          `MG_THREADS`), `--no-cache` disables the persistent artifact cache\n\
-         under `target/mg-cache/` (also `MG_NO_CACHE=1`), and\n\
+         under `target/mg-cache/` (also `MG_NO_CACHE=1`), `--no-fuse` runs\n\
+         sweep cells one configuration at a time instead of fused (also\n\
+         `MG_NO_FUSE=1`; results are bit-identical either way), and\n\
          `--format text|json|csv|markdown` selects the output shape.\n\
          `mg list` prints this registry; `mg cache stats|clear|dir` manages\n\
          the artifact cache.\n\n\

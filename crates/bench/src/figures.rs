@@ -23,6 +23,7 @@ use mg_isa::{MgTemplate, Opcode, TmplInst, TmplOperand};
 use mg_workloads::Input;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Figure 5 — mini-graph coverage: all three panels (application-specific
@@ -424,6 +425,8 @@ struct Measurement {
     run_ms: f64,
     sim_cycles: u64,
     sim_ops: u64,
+    /// Fused-over-scalar throughput ratio (the `fused_speedup` row only).
+    speedup: Option<f64>,
 }
 
 impl Measurement {
@@ -439,19 +442,28 @@ impl Measurement {
                 0.0
             }
         };
-        format!(
+        let mut row = format!(
             "    {{\"name\": \"{}\", \"wall_ms\": {:.1}, \"prep_ms\": {:.1}, \
-             \"run_ms\": {:.1}, \"sim_cycles\": {}, \"sim_ops\": {}, \
-             \"mcycles_per_s\": {:.2}, \"mops_per_s\": {:.2}}}",
+             \"run_ms\": {:.1}, \"sim_cycles\": {}, \"sim_ops\": {}",
             self.name,
             self.wall_ms(),
             self.prep_ms,
             self.run_ms,
             self.sim_cycles,
             self.sim_ops,
-            rate(self.sim_cycles),
-            rate(self.sim_ops),
-        )
+        );
+        // Selection-only rows simulate nothing: a literal
+        // `mcycles_per_s: 0.00` reads as a wedged simulator, so the rate
+        // is simply omitted where it is undefined.
+        if self.sim_cycles > 0 {
+            let _ = write!(row, ", \"mcycles_per_s\": {:.2}", rate(self.sim_cycles));
+        }
+        let _ = write!(row, ", \"mops_per_s\": {:.2}", rate(self.sim_ops));
+        if let Some(x) = self.speedup {
+            let _ = write!(row, ", \"speedup\": {x:.2}");
+        }
+        row.push('}');
+        row
     }
 }
 
@@ -460,8 +472,13 @@ impl Measurement {
 /// track real compute against the committed trajectory, and a warm cache
 /// would silently hollow them out. The cache's own benefit is measured
 /// explicitly by [`perf_artifact_sweep`].
-fn perf_engine(args: &RunArgs, quick: bool, workloads: Option<&[&str]>) -> (Engine, f64) {
-    let mut b = Engine::builder().quick(quick).cache(false);
+fn perf_engine(
+    args: &RunArgs,
+    quick: bool,
+    workloads: Option<&[&str]>,
+    fuse: bool,
+) -> (Engine, f64) {
+    let mut b = Engine::builder().quick(quick).cache(false).fuse(fuse);
     if let Some(t) = args.threads {
         b = b.threads(t);
     }
@@ -479,15 +496,16 @@ fn perf_sim_experiment(
     quick: bool,
     workloads: Option<&[&str]>,
     runs: &[Run],
+    fuse: bool,
 ) -> Measurement {
-    let (engine, prep_ms) = perf_engine(args, quick, workloads);
+    let (engine, prep_ms) = perf_engine(args, quick, workloads, fuse);
     let t = Instant::now();
     let matrix = engine.run(runs);
     let run_ms = t.elapsed().as_secs_f64() * 1e3;
     let stats = matrix.rows.iter().flat_map(|r| r.stats.iter());
     let (sim_cycles, sim_ops) = stats.fold((0, 0), |(c, o), s| (c + s.cycles, o + s.ops));
     eprintln!("{name:14} prep {prep_ms:8.1} ms  run {run_ms:8.1} ms  {sim_cycles:>10} cycles");
-    Measurement { name, prep_ms, run_ms, sim_cycles, sim_ops }
+    Measurement { name, prep_ms, run_ms, sim_cycles, sim_ops, speedup: None }
 }
 
 /// A synthetic selection workload far past the real candidate pools: many
@@ -537,18 +555,26 @@ fn perf_select_stress(quick: bool) -> Measurement {
         run_ms,
         sim_cycles: 0,
         sim_ops: sel.chosen.len() as u64,
+        speedup: None,
     }
 }
 
 fn perf_fig5_experiment(args: &RunArgs, quick: bool) -> Measurement {
-    let (engine, prep_ms) = perf_engine(args, quick, None);
+    let (engine, prep_ms) = perf_engine(args, quick, None, false);
     let t = Instant::now();
     let selected = fig5_selection_sweep(&engine);
     let run_ms = t.elapsed().as_secs_f64() * 1e3;
     eprintln!(
         "fig5_coverage  prep {prep_ms:8.1} ms  run {run_ms:8.1} ms  {selected} instances chosen"
     );
-    Measurement { name: "fig5_coverage", prep_ms, run_ms, sim_cycles: 0, sim_ops: selected }
+    Measurement {
+        name: "fig5_coverage",
+        prep_ms,
+        run_ms,
+        sim_cycles: 0,
+        sim_ops: selected,
+        speedup: None,
+    }
 }
 
 /// One full artifact sweep against the persistent cache: every fig5
@@ -582,7 +608,14 @@ fn perf_artifact_sweep(
         .sum();
     let run_ms = t.elapsed().as_secs_f64() * 1e3;
     eprintln!("{name} prep {prep_ms:8.1} ms  run {run_ms:8.1} ms  {selected} instances chosen");
-    Measurement { name, prep_ms, run_ms, sim_cycles: 0, sim_ops: selected + artifact_ops }
+    Measurement {
+        name,
+        prep_ms,
+        run_ms,
+        sim_cycles: 0,
+        sim_ops: selected + artifact_ops,
+        speedup: None,
+    }
 }
 
 /// Extracts the recorded mode and `(name, wall_ms)` pairs from a report
@@ -626,16 +659,46 @@ pub fn perf(args: &RunArgs) -> Report {
     let mode = if quick { "quick" } else { "full" };
     eprintln!("perf_report: mode {mode}");
 
+    // Per-experiment rows are measured with fusion **off**: they track
+    // scalar simulator compute against the committed trajectory, and are
+    // comparable across releases that predate fusion. The fused rows
+    // below measure the fusion win explicitly.
     let mut measurements = vec![
         perf_fig5_experiment(args, quick),
-        perf_sim_experiment("fig6", args, quick, None, &fig6_runs()),
-        perf_sim_experiment("fig7", args, quick, Some(&FIG7_FOCUS), &fig7_runs()),
-        perf_sim_experiment("fig8_regfile", args, quick, None, &fig8_regfile_runs()),
-        perf_sim_experiment("fig8_bandwidth", args, quick, None, &fig8_bandwidth_runs()),
-        perf_sim_experiment("icache", args, quick, None, &icache_runs()),
-        perf_sim_experiment("iq_capacity", args, quick, None, &iq_capacity_runs()),
+        perf_sim_experiment("fig6", args, quick, None, &fig6_runs(), false),
+        perf_sim_experiment("fig7", args, quick, Some(&FIG7_FOCUS), &fig7_runs(), false),
+        perf_sim_experiment("fig8_regfile", args, quick, None, &fig8_regfile_runs(), false),
+        perf_sim_experiment("fig8_bandwidth", args, quick, None, &fig8_bandwidth_runs(), false),
+        perf_sim_experiment("icache", args, quick, None, &icache_runs(), false),
+        perf_sim_experiment("iq_capacity", args, quick, None, &iq_capacity_runs(), false),
         perf_select_stress(quick),
     ];
+
+    // Fused trajectory: both fig8 sweeps — the widest config sweeps in
+    // the registry — as one fused run, plus the fused-over-scalar
+    // throughput ratio on those same sweeps.
+    let scalar_fig8_ms: f64 = measurements
+        .iter()
+        .filter(|m| m.name == "fig8_regfile" || m.name == "fig8_bandwidth")
+        .map(|m| m.run_ms)
+        .sum();
+    let mut fig8_fused_runs = fig8_regfile_runs();
+    fig8_fused_runs.extend(fig8_bandwidth_runs());
+    let fused = perf_sim_experiment("fig8_fused", args, quick, None, &fig8_fused_runs, true);
+    let fused_speedup = if fused.run_ms > 0.0 { scalar_fig8_ms / fused.run_ms } else { 0.0 };
+    eprintln!("fused_speedup  {fused_speedup:.2}x (fig8 sweeps, fused over scalar)");
+    let fused_run_ms = fused.run_ms;
+    let fused_cycles = fused.sim_cycles;
+    let fused_ops = fused.sim_ops;
+    measurements.push(fused);
+    measurements.push(Measurement {
+        name: "fused_speedup",
+        prep_ms: 0.0,
+        run_ms: fused_run_ms,
+        sim_cycles: fused_cycles,
+        sim_ops: fused_ops,
+        speedup: Some(fused_speedup),
+    });
 
     // Cold/warm artifact-cache trajectory points: a dedicated cache root,
     // cleared for the cold pass, reused warm. Skipped under --no-cache.
@@ -659,6 +722,20 @@ pub fn perf(args: &RunArgs) -> Report {
     eprintln!("wrote {}", args.out);
 
     let mut status = 0;
+    if args.min_fused_speedup > 0.0 {
+        if fused_speedup < args.min_fused_speedup {
+            eprintln!(
+                "FUSED REGRESSION: fig8 fused speedup {fused_speedup:.2}x < required {:.2}x",
+                args.min_fused_speedup
+            );
+            status = 1;
+        } else {
+            eprintln!(
+                "fused speedup {fused_speedup:.2}x meets the {:.2}x gate",
+                args.min_fused_speedup
+            );
+        }
+    }
     if let Some(path) = &args.baseline {
         let (base_mode, baseline) = read_perf_baseline(path);
         // Quick and full wall clocks differ by an order of magnitude:

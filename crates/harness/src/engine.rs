@@ -189,6 +189,7 @@ pub struct EngineBuilder {
     extra: Vec<ExtraSource>,
     threads: usize,
     quick: bool,
+    fuse: bool,
     trace_budget: Option<u64>,
     cache_dir: Option<PathBuf>,
     pool: Option<Arc<PrepPool>>,
@@ -203,6 +204,7 @@ impl EngineBuilder {
             extra: Vec::new(),
             threads: default_threads(),
             quick: quick_mode(),
+            fuse: fuse_default(),
             trace_budget: None,
             cache_dir: None,
             pool: None,
@@ -254,7 +256,7 @@ impl EngineBuilder {
 
     /// Adds every registered workload of `suite` (plus any
     /// [`EngineBuilder::extra_source`] registrations in that suite,
-    /// minus shadowed names — see [`EngineBuilder::unshadowed_extras`]).
+    /// minus shadowed names).
     pub fn suite(mut self, suite: Suite) -> EngineBuilder {
         self.sources.extend(
             mg_workloads::all()
@@ -320,6 +322,16 @@ impl EngineBuilder {
     /// per run.
     pub fn quick(mut self, quick: bool) -> EngineBuilder {
         self.quick = quick;
+        self
+    }
+
+    /// Forces fused sweep execution on or off (default: on unless the
+    /// `MG_NO_FUSE` environment variable is set; see [`fuse_default`]).
+    /// When on, matrix cells sharing one (workload, image) group run as
+    /// one fused sweep (see [`crate::fused`]); results are bit-identical
+    /// either way, so this is purely a throughput switch.
+    pub fn fuse(mut self, fuse: bool) -> EngineBuilder {
+        self.fuse = fuse;
         self
     }
 
@@ -397,6 +409,7 @@ impl EngineBuilder {
             extra,
             threads,
             quick,
+            fuse,
             trace_budget,
             cache_dir,
             pool,
@@ -475,7 +488,7 @@ impl EngineBuilder {
                 }
             });
         let preps = preps.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(Engine { preps, threads, quick, observer })
+        Ok(Engine { preps, threads, quick, fuse, observer })
     }
 }
 
@@ -484,6 +497,7 @@ pub struct Engine {
     preps: Vec<Arc<Prep>>,
     threads: usize,
     quick: bool,
+    fuse: bool,
     observer: Option<CellObserver>,
 }
 
@@ -506,6 +520,11 @@ impl Engine {
     /// Whether quick mode is active (see [`EngineBuilder::quick`]).
     pub fn quick(&self) -> bool {
         self.quick
+    }
+
+    /// Whether sweeps run fused (see [`EngineBuilder::fuse`]).
+    pub fn fuse(&self) -> bool {
+        self.fuse
     }
 
     /// The engine's prepared workloads grouped by suite.
@@ -549,6 +568,9 @@ impl Engine {
     /// Whatever the failing cell's [`Prep`] accessor raised, or
     /// [`HarnessError::Panicked`] for a panicking cell.
     pub fn try_run(&self, runs: &[Run]) -> Result<RunMatrix, HarnessError> {
+        if self.fuse {
+            return self.try_run_fused(runs);
+        }
         let n_preps = self.preps.len();
         let cells = n_preps * runs.len();
         let stats = run_indexed(self.threads, cells, |claim| {
@@ -590,6 +612,79 @@ impl Engine {
         }
         Ok(RunMatrix { labels: runs.iter().map(|r| r.label.clone()).collect(), rows })
     }
+
+    /// Fused [`Engine::try_run`]: matrix cells sharing one (workload,
+    /// image) pair — a sweep's configurations over one cell group — run
+    /// as **one fused pass** over that image's trace (see
+    /// [`crate::fused`]). Work units are (workload, image) groups rather
+    /// than single cells; results are scattered back to spec order, so
+    /// the matrix is bit-identical to the unfused path.
+    fn try_run_fused(&self, runs: &[Run]) -> Result<RunMatrix, HarnessError> {
+        let n_preps = self.preps.len();
+        // Group run columns by image, preserving first-seen order.
+        let mut groups: Vec<(&Image, Vec<usize>)> = Vec::new();
+        for (i, run) in runs.iter().enumerate() {
+            match groups.iter_mut().find(|(img, _)| **img == run.image) {
+                Some((_, cols)) => cols.push(i),
+                None => groups.push((&run.image, vec![i])),
+            }
+        }
+        // One work unit per (workload, image group), workload
+        // fastest-varying like the unfused claim order.
+        let units = n_preps * groups.len();
+        let results = run_indexed(self.threads, units, |claim| {
+            let prep = &self.preps[claim % n_preps];
+            let (image, cols) = &groups[claim / n_preps];
+            let cfgs: Vec<SimConfig> =
+                cols.iter().map(|&i| self.tune(runs[i].cfg.clone())).collect();
+            let stats = std::panic::catch_unwind(AssertUnwindSafe(|| match image {
+                Image::Baseline => prep.try_run_baseline_sweep(&cfgs),
+                Image::MiniGraph { policy, style } => {
+                    prep.try_run_policy_sweep(policy, *style, &cfgs)
+                }
+            }))
+            .unwrap_or_else(|panic| {
+                Err(HarnessError::Panicked {
+                    workload: prep.name.clone(),
+                    message: panic_message(panic.as_ref()),
+                })
+            })?;
+            if let Some(observer) = &self.observer {
+                for (&col, s) in cols.iter().zip(&stats) {
+                    observer(&CellDone {
+                        workload: prep.name.clone(),
+                        label: runs[col].label.clone(),
+                        cycles: s.cycles,
+                        ops: s.ops,
+                    });
+                }
+            }
+            Ok(stats)
+        });
+        let mut rows: Vec<RunRow> = self
+            .preps
+            .iter()
+            .map(|prep| RunRow {
+                prep: Arc::clone(prep),
+                stats: vec![SimStats::default(); runs.len()],
+            })
+            .collect();
+        for (claim, unit) in results.into_iter().enumerate() {
+            let (_, cols) = &groups[claim / n_preps];
+            for (&col, s) in cols.iter().zip(unit?) {
+                rows[claim % n_preps].stats[col] = s;
+            }
+        }
+        Ok(RunMatrix { labels: runs.iter().map(|r| r.label.clone()).collect(), rows })
+    }
+}
+
+/// Default fusion switch: on unless the `MG_NO_FUSE` environment
+/// variable is set (to anything). The CLI's `--no-fuse` flag sets the
+/// variable so the whole process — including `mg serve` worker engines —
+/// inherits the choice.
+pub fn fuse_default() -> bool {
+    std::env::var_os("MG_NO_FUSE").is_none()
 }
 
 /// Default worker-thread count: `MG_THREADS` if set, else available

@@ -49,6 +49,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 pub mod engine;
 pub mod error;
+pub mod fused;
 pub mod pool;
 pub mod prep;
 pub mod prep_cache;
@@ -61,6 +62,7 @@ pub use engine::{
     RunMatrix, RunRow,
 };
 pub use error::{BuildError, HarnessError};
+pub use fused::{run_fused, FUSE_CHUNK};
 pub use pool::{PoolKey, PrepPool};
 pub use prep::{by_suite, BuildFn, MgImage, Prep, ENUMERATION_SIZE, STEP_BUDGET};
 pub use prep_cache::{CacheStats, PrepCache, CACHE_SCHEMA_VERSION};

@@ -22,7 +22,7 @@ use mg_core::{
 };
 use mg_isa::{HandleCatalog, Memory, Program};
 use mg_profile::{build_cfg, profile_program, record_trace, BlockProfile, Cfg, Trace};
-use mg_uarch::{simulate, SimConfig, SimStats};
+use mg_uarch::{simulate_with, Predecode, SimConfig, SimStats};
 use mg_workloads::{Input, Suite, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -56,6 +56,25 @@ pub struct MgImage {
     pub trace: Trace,
     /// The mini-graph catalog the image's handles refer to.
     pub catalog: HandleCatalog,
+    /// Lazily-built predecode plane shared by every simulation of this
+    /// image (scalar runs and fused sweeps alike).
+    predecode: OnceLock<Arc<Predecode>>,
+}
+
+impl MgImage {
+    /// Wraps image artifacts for simulation.
+    pub fn new(program: Program, trace: Trace, catalog: HandleCatalog) -> MgImage {
+        MgImage { program, trace, catalog, predecode: OnceLock::new() }
+    }
+
+    /// The image's predecode plane, built on first use and shared by
+    /// every subsequent simulation of this image.
+    pub fn predecode(&self) -> Arc<Predecode> {
+        Arc::clone(
+            self.predecode
+                .get_or_init(|| Arc::new(Predecode::new(&self.program, &self.catalog))),
+        )
+    }
 }
 
 /// A workload prepared for experimentation: profiled and with all legal
@@ -100,6 +119,10 @@ pub struct Prep {
     /// so racers must block on one recording, not duplicate it (an
     /// `Err` releases the lock without caching anything).
     base_trace_init: Mutex<()>,
+    /// Predecode plane of the baseline program, built on first use.
+    base_predecode: OnceLock<Arc<Predecode>>,
+    /// The (empty) catalog every baseline simulation shares.
+    base_catalog: HandleCatalog,
     images: Mutex<ImageCache>,
 }
 
@@ -239,6 +262,8 @@ impl Prep {
             selections: Mutex::new(HashMap::new()),
             base_trace: OnceLock::new(),
             base_trace_init: Mutex::new(()),
+            base_predecode: OnceLock::new(),
+            base_catalog: HandleCatalog::new(),
             images: Mutex::new(ImageCache::default()),
         })
     }
@@ -460,7 +485,7 @@ impl Prep {
                     workload: self.name.clone(),
                     source,
                 })?;
-        Ok(MgImage { program: rw.program, trace, catalog: selection.catalog.clone() })
+        Ok(MgImage::new(rw.program, trace, selection.catalog.clone()))
     }
 
     /// Simulates the baseline image under `cfg`.
@@ -476,7 +501,60 @@ impl Prep {
     /// total over a recorded trace).
     pub fn try_run_baseline(&self, cfg: &SimConfig) -> Result<SimStats, HarnessError> {
         let t = self.try_base_trace()?;
-        Ok(simulate(cfg, &self.prog, &t, &HandleCatalog::new()))
+        Ok(simulate_with(cfg, &self.prog, &t, &self.base_catalog, &self.base_predecode()))
+    }
+
+    /// The baseline program's predecode plane, built on first use and
+    /// shared by every baseline simulation of this prep.
+    pub fn base_predecode(&self) -> Arc<Predecode> {
+        Arc::clone(
+            self.base_predecode
+                .get_or_init(|| Arc::new(Predecode::new(&self.prog, &self.base_catalog))),
+        )
+    }
+
+    /// Simulates the baseline image under every configuration of `cfgs`
+    /// with the fused executor (see [`crate::fused`]): one shared fetch
+    /// stream, deduplicated configs, bit-identical per-config stats.
+    ///
+    /// # Errors
+    ///
+    /// As [`Prep::try_run_baseline`].
+    pub fn try_run_baseline_sweep(
+        &self,
+        cfgs: &[SimConfig],
+    ) -> Result<Vec<SimStats>, HarnessError> {
+        let t = self.try_base_trace()?;
+        Ok(crate::fused::run_fused(
+            &self.prog,
+            &t,
+            &self.base_catalog,
+            &self.base_predecode(),
+            cfgs,
+        ))
+    }
+
+    /// Simulates the rewritten image of `policy` under every
+    /// configuration of `cfgs` with the fused executor (see
+    /// [`crate::fused`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Prep::try_run_policy`].
+    pub fn try_run_policy_sweep(
+        &self,
+        policy: &Policy,
+        style: RewriteStyle,
+        cfgs: &[SimConfig],
+    ) -> Result<Vec<SimStats>, HarnessError> {
+        let img = self.try_image(policy, style)?;
+        Ok(crate::fused::run_fused(
+            &img.program,
+            &img.trace,
+            &img.catalog,
+            &img.predecode(),
+            cfgs,
+        ))
     }
 
     /// Simulates the rewritten image of `policy` under `cfg`, reusing the
@@ -502,7 +580,7 @@ impl Prep {
         cfg: &SimConfig,
     ) -> Result<SimStats, HarnessError> {
         let img = self.try_image(policy, style)?;
-        Ok(simulate(cfg, &img.program, &img.trace, &img.catalog))
+        Ok(simulate_with(cfg, &img.program, &img.trace, &img.catalog, &img.predecode()))
     }
 
     /// Simulates the rewritten image of an explicit `selection` under
@@ -514,7 +592,7 @@ impl Prep {
         cfg: &SimConfig,
     ) -> SimStats {
         let img = self.build_image(selection, style);
-        simulate(cfg, &img.program, &img.trace, &img.catalog)
+        simulate_with(cfg, &img.program, &img.trace, &img.catalog, &img.predecode())
     }
 }
 

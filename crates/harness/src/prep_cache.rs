@@ -248,7 +248,7 @@ impl PrepCache {
     ) -> Option<MgImage> {
         let (program, (trace, catalog)) =
             self.load(Kind::Image, &image_key(fingerprint, policy, style, budget))?;
-        Some(MgImage { program, trace, catalog })
+        Some(MgImage::new(program, trace, catalog))
     }
 
     /// Persists a rewritten image, unless its trace exceeds

@@ -23,7 +23,7 @@ use mg_isa::wire::{Reader, Wire, WireError, Writer};
 
 /// Version sent in the connection handshake; see the module docs for the
 /// bump rules (frame layout changes and cache schema bumps).
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Magic bytes every connection opens with, before the version word.
 pub const CONNECT_MAGIC: &[u8; 4] = b"MGSV";
@@ -78,6 +78,9 @@ pub struct RunRequest {
     pub best: bool,
     /// Bypass the persistent artifact cache for this run.
     pub no_cache: bool,
+    /// Run sweep cells one configuration at a time instead of fused
+    /// (results are bit-identical either way).
+    pub no_fuse: bool,
     /// Output format of the final payload (`text`, `json`, `csv`,
     /// `markdown`).
     pub format: String,
@@ -94,6 +97,7 @@ impl RunRequest {
             threads: None,
             best: false,
             no_cache: false,
+            no_fuse: false,
             format: "json".into(),
         }
     }
@@ -195,6 +199,7 @@ impl Wire for RunRequest {
         self.threads.put(w);
         self.best.put(w);
         self.no_cache.put(w);
+        self.no_fuse.put(w);
         w.str(&self.format);
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -205,6 +210,7 @@ impl Wire for RunRequest {
             threads: <Option<u64> as Wire>::take(r)?,
             best: bool::take(r)?,
             no_cache: bool::take(r)?,
+            no_fuse: bool::take(r)?,
             format: r.str()?,
         })
     }

@@ -23,7 +23,7 @@ pub enum MgSupport {
 /// 164 physical registers, 4 int + 2 FP + 2 load + 1 store issue mix,
 /// store-sets load scheduling, hybrid 12Kb predictor, 32KB L1s, 2MB L2,
 /// 100-cycle memory behind a quarter-frequency 16B bus.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Front-end width: fetch, decode, rename, and retire per cycle.
     pub front_width: u32,

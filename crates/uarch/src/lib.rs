@@ -47,6 +47,7 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+pub mod allocwatch;
 pub mod bpred;
 pub mod cache;
 pub mod config;
@@ -58,6 +59,7 @@ pub mod storesets;
 pub use bpred::{Btb, HybridPredictor, Ras};
 pub use cache::{AccessResult, Cache, MemHierarchy};
 pub use config::{MgSupport, SimConfig};
+pub use pipeline::decode::Predecode;
 pub use pipeline::Simulator;
 pub use rename::{PReg, RenamedDest, Renamer};
 pub use stats::SimStats;
@@ -65,6 +67,7 @@ pub use storesets::StoreSets;
 
 use mg_isa::{HandleCatalog, Program};
 use mg_profile::Trace;
+use std::sync::Arc;
 
 /// Runs one timing simulation: `prog` (baseline or rewritten image), its
 /// committed-path `trace`, and the handle `catalog` the image refers to
@@ -76,4 +79,30 @@ pub fn simulate(
     catalog: &HandleCatalog,
 ) -> SimStats {
     Simulator::new(cfg.clone(), prog, trace, catalog).run()
+}
+
+/// Like [`simulate`], but reuses a predecode plane previously built (by
+/// [`Predecode::new`]) for exactly this `prog`/`catalog` pair — callers
+/// that simulate one image under many configurations build the plane
+/// once and pass it here.
+pub fn simulate_with(
+    cfg: &SimConfig,
+    prog: &Program,
+    trace: &Trace,
+    catalog: &HandleCatalog,
+    predecode: &Arc<Predecode>,
+) -> SimStats {
+    Simulator::with_predecode(cfg.clone(), prog, trace, catalog, Arc::clone(predecode)).run()
+}
+
+/// Prints the stage-attribution timers (perf tuning builds only).
+#[cfg(feature = "stagetime")]
+pub fn pipeline_stagetime_report() {
+    pipeline::stagetime::report();
+}
+
+/// Zeroes the stage-attribution timers (perf tuning builds only).
+#[cfg(feature = "stagetime")]
+pub fn pipeline_stagetime_reset() {
+    pipeline::stagetime::reset();
 }

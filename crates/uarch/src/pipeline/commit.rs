@@ -2,7 +2,8 @@
 //! data cache here; destination registers' previous mappings are freed;
 //! handles account for every instruction they represent.
 
-use super::entries::Kind;
+use super::decode::NO_REG;
+use super::entries::{bit_get, Kind};
 use super::Simulator;
 
 impl Simulator<'_> {
@@ -10,30 +11,37 @@ impl Simulator<'_> {
     pub(crate) fn commit(&mut self) {
         let mut n = 0;
         while n < self.cfg.front_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.completed {
+            if self.rob.is_empty() {
                 break;
             }
-            let head = self.rob.pop_front().expect("head exists");
+            let h = self.rob.head_slot();
+            // Retirable strictly after its completion cycle (the cycle a
+            // completion event would have become visible to commit).
+            if self.rob.completed_at[h] >= self.now {
+                break;
+            }
             self.progress = true;
-            if head.is_store {
+            if bit_get(&self.rob.is_store, h) {
                 // The store-queue head writes the data cache at retirement.
-                let e = self.sq.pop_front().expect("store has an SQ entry");
-                self.mem.data(e.addr, self.now);
-                self.storesets.retire_store(e.pc, e.seq);
+                let s = self.sq.pop_front();
+                self.mem.data(self.sq.addr[s], self.now);
+                self.storesets.retire_store(self.sq.pc[s], self.sq.seq[s]);
             }
-            if head.is_load {
-                self.lq.pop_front().expect("load has an LQ entry");
+            if bit_get(&self.rob.is_load, h) {
+                self.lq.pop_front();
             }
-            if let Some((_, renamed)) = head.dest {
-                self.renamer.release(renamed.prev);
+            let da = self.rob.dest_arch[h];
+            if da != NO_REG {
+                self.renamer.release(self.rob.dest_prev[h]);
             }
+            let represents = self.rob.represents[h] as u64;
             self.stats.ops += 1;
-            self.stats.insts += head.represents as u64;
-            if head.kind == Kind::Handle {
+            self.stats.insts += represents;
+            if self.rob.kind[h] == Kind::Handle {
                 self.stats.handles += 1;
-                self.stats.handle_insts += head.represents as u64;
+                self.stats.handle_insts += represents;
             }
+            self.rob.pop_front();
             n += 1;
         }
     }

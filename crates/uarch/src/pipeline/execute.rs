@@ -3,49 +3,67 @@
 //! including MGST-sequenced mini-graph execution with interior-load
 //! replay (paper §4.3) — executed-address bookkeeping, memory-ordering
 //! violation detection, and the resulting squashes.
+//!
+//! Completion events carry `(seq << 16) | rob_slot` payloads, so
+//! delivery indexes the ROB lanes directly and filters stale (squashed)
+//! events with one sequence compare — no search. Only operations whose
+//! completion does work beyond becoming retirable get an event at all:
+//! control operations (predictor training, fetch redirect) and handles
+//! (scheduler-entry release). Everything else completes passively via
+//! the ROB's `completed_at` lane, which commit compares against `now`.
 
-use super::entries::{overlap, Kind};
+use super::decode::{Ctrl, NO_REG};
+use super::entries::{bit_clear, bit_get, overlap, Kind};
 use super::Simulator;
-use mg_core::FuReq;
-use mg_isa::OpClass;
+use crate::rename::RenamedDest;
+use mg_isa::reg;
 
 impl Simulator<'_> {
     // ----------------------------------------------------------- events --
     pub(crate) fn process_events(&mut self) {
-        // Harvest every cycle (even when empty): this is also what pulls
-        // newly-in-horizon overflow events into the wheel's ring.
+        // `needs_harvest` covers overflow drainage too, so skipping the
+        // harvest on an empty cycle never strands an in-horizon event.
+        if !self.events.needs_harvest(self.now) {
+            return;
+        }
         let due = self.events.take_due(self.now);
-        for &seq in &due {
-            let Some(i) = self.rob_index(seq) else { continue }; // squashed
-                                                                 // A live completion changes machine state; a stale (squashed)
-                                                                 // one is dropped without trace, so it does not block
-                                                                 // idle-skipping.
+        for &payload in &due {
+            let slot = (payload & 0xFFFF) as usize;
+            let seq = payload >> 16;
+            // A live completion changes machine state; a stale (squashed)
+            // one is dropped without trace, so it does not block
+            // idle-skipping.
+            if !self.rob.is_live(slot, seq) {
+                continue;
+            }
             self.progress = true;
-            let e = &mut self.rob[i];
-            e.completed = true;
-            if e.in_iq {
+            if bit_get(&self.rob.in_iq, slot) {
                 // Handles hold their scheduler entry until the terminal
                 // instruction (paper §4.1).
-                e.in_iq = false;
+                bit_clear(&mut self.rob.in_iq, slot);
                 self.iq_used -= 1;
             }
-            let (sidx, trace_idx, mispred, pred_taken, pred_token, kind) =
-                (e.sidx, e.trace_idx, e.mispredicted, e.pred_taken, e.pred_token, e.kind);
+            let sidx = self.rob.sidx[slot] as usize;
+            let trace_idx = self.rob.trace_idx[slot] as usize;
             // Control resolution: train predictor, redirect fetch.
             let op = self.trace.op(trace_idx);
             if let Some(br) = op.br {
-                let pc = self.prog.byte_addr(sidx as usize);
-                let inst = &self.prog.insts[sidx as usize];
+                let pc = self.prog.byte_addr(sidx);
                 // Handles train the direction predictor through their own
                 // PC, like the conditional branch they embed (§4.1).
-                let is_cond = inst.op.class() == OpClass::CondBranch || kind == Kind::Handle;
+                let is_cond = matches!(self.pd.ctrl[sidx], Ctrl::Cond | Ctrl::Handle);
                 if is_cond {
-                    self.bpred.resolve(pc, pred_token, pred_taken, br.taken);
+                    self.bpred.resolve(
+                        pc,
+                        self.rob.pred_token[slot],
+                        bit_get(&self.rob.pred_taken, slot),
+                        br.taken,
+                    );
                 }
                 if br.taken {
                     self.btb.update(pc, self.prog.byte_addr(br.target));
                 }
-                if mispred {
+                if bit_get(&self.rob.mispredicted, slot) {
                     self.stats.mispredicts += 1;
                     if self.fetch_blocked_on == Some(trace_idx) {
                         self.fetch_blocked_on = None;
@@ -57,13 +75,12 @@ impl Simulator<'_> {
         self.events.recycle(due);
     }
 
-    /// Execution latencies `(output, total)` for the entry at `idx`,
-    /// accounting for cache behaviour of its memory reference and
+    /// Execution latencies `(output, total)` for the entry at ROB slot
+    /// `slot`, accounting for cache behaviour of its memory reference and
     /// mini-graph interior-load replays.
-    pub(crate) fn latencies(&mut self, idx: usize) -> (u32, u32) {
-        let e = &self.rob[idx];
-        let op = self.trace.op(e.trace_idx);
-        match e.kind {
+    pub(crate) fn latencies(&mut self, slot: usize) -> (u32, u32) {
+        let op = self.trace.op(self.rob.trace_idx[slot] as usize);
+        match self.rob.kind[slot] {
             Kind::Alu | Kind::Control => (1, 1),
             Kind::Mul => (3, 3),
             Kind::Direct => (1, 1),
@@ -75,31 +92,25 @@ impl Simulator<'_> {
             }
             Kind::Store => (1, 1), // agen only; data written at commit
             Kind::Handle => {
-                let inst = &self.prog.insts[e.sidx as usize];
-                let mgid = inst.mgid().expect("handle has MGID");
-                let sched = self.mgt.get(mgid).expect("MGT entry exists");
-                let mut out = sched.out_latency.unwrap_or(sched.total_latency);
-                let mut total = sched.total_latency;
+                let mgid = self.pd.mgid[self.rob.sidx[slot] as usize] as usize;
+                let mut out = self.mg.out_lat[mgid];
+                let mut total = self.mg.total_lat[mgid];
                 if let Some(mem) = op.mem {
                     if !mem.store {
-                        // Locate the load slot to learn its scheduled cycle.
-                        let load_slot = sched
-                            .slots
-                            .iter()
-                            .position(|s| s.fu == Some(FuReq::LoadPort))
-                            .expect("load-bearing handle has a load slot");
-                        let slot_cycle = sched.slots[load_slot].cycle;
+                        let slot_cycle = self.mg.load_slot_cycle[mgid];
+                        debug_assert!(
+                            slot_cycle != u32::MAX,
+                            "load-bearing handle has a load slot"
+                        );
                         let hit_lat = self.cfg.load_hit_latency();
                         let res = self.mem.data(mem.addr, self.now + slot_cycle as u64);
                         let actual = 1 + res.latency;
                         if actual > hit_lat {
                             let extra = actual - hit_lat;
-                            if load_slot + 1 == sched.slots.len() {
+                            if self.mg.load_terminal[mgid] {
                                 // Terminal load: behaves like a singleton miss.
                                 total += extra;
-                                if sched.out_latency.is_none()
-                                    || sched.out_latency == Some(sched.total_latency)
-                                {
+                                if self.mg.out_tracks_total[mgid] {
                                     out += extra;
                                 }
                             } else {
@@ -109,9 +120,8 @@ impl Simulator<'_> {
                                 // arrives (paper §4.3).
                                 self.stats.mg_replays += 1;
                                 let data_at = slot_cycle + actual;
-                                total = data_at + sched.total_latency;
-                                out =
-                                    data_at + sched.out_latency.unwrap_or(sched.total_latency);
+                                total = data_at + self.mg.total_lat[mgid];
+                                out = data_at + self.mg.out_lat[mgid];
                             }
                         }
                     }
@@ -122,64 +132,71 @@ impl Simulator<'_> {
     }
 
     /// Records executed memory addresses and performs violation detection.
-    pub(crate) fn issue_memory_effects(&mut self, idx: usize) {
-        let e = &self.rob[idx];
-        let seq = e.seq;
-        let trace_idx = e.trace_idx;
-        let pc = self.prog.byte_addr(e.sidx as usize);
+    pub(crate) fn issue_memory_effects(&mut self, slot: usize) {
+        let seq = self.rob.seq[slot];
+        let trace_idx = self.rob.trace_idx[slot] as usize;
         let Some(mem) = self.trace.op(trace_idx).mem else { return };
         if mem.store {
-            if let Some(s) = self.sq.iter_mut().find(|s| s.seq == seq) {
-                s.addr = mem.addr;
-                s.width = mem.width;
-                s.executed = true;
+            if let Some(s) = self.sq.find_seq(seq) {
+                self.sq.addr[s] = mem.addr;
+                self.sq.width[s] = mem.width;
+                self.sq.executed[s] = true;
             }
             // A later load must not have run already: memory-ordering
             // violation — squash from the offending load and refetch.
-            let victim = self
-                .lq
-                .iter()
-                .filter(|l| {
-                    l.seq > seq && l.executed && overlap(l.addr, l.width, mem.addr, mem.width)
-                })
-                .map(|l| (l.seq, l.pc, l.trace_idx))
-                .min();
+            // The LQ is in sequence order, so the first match scanning
+            // from the head is the oldest offending load.
+            let mut victim = None;
+            for i in 0..self.lq.len() {
+                let l = self.lq.slot(i);
+                if self.lq.seq[l] > seq
+                    && self.lq.executed[l]
+                    && overlap(self.lq.addr[l], self.lq.width[l], mem.addr, mem.width)
+                {
+                    victim =
+                        Some((self.lq.seq[l], self.lq.pc[l], self.lq.trace_idx[l] as usize));
+                    break;
+                }
+            }
             if let Some((vseq, vpc, vtrace)) = victim {
+                let pc = self.prog.byte_addr(self.rob.sidx[slot] as usize);
                 self.stats.violations += 1;
                 self.storesets.violation(vpc, pc);
                 self.squash_from(vseq, vtrace);
             }
-        } else if let Some(l) = self.lq.iter_mut().find(|l| l.seq == seq) {
-            l.addr = mem.addr;
-            l.width = mem.width;
-            l.executed = true;
+        } else if let Some(l) = self.lq.find_seq(seq) {
+            self.lq.addr[l] = mem.addr;
+            self.lq.width[l] = mem.width;
+            self.lq.executed[l] = true;
         }
     }
 
     /// Squashes all operations with sequence ≥ `seq` and restarts fetch at
     /// trace position `trace_idx`.
     pub(crate) fn squash_from(&mut self, seq: u64, trace_idx: usize) {
-        while let Some(back) = self.rob.back() {
-            if back.seq < seq {
+        while !self.rob.is_empty() {
+            let t = self.rob.tail_slot();
+            if self.rob.seq[t] < seq {
                 break;
             }
-            let e = self.rob.pop_back().expect("back exists");
-            if e.in_iq {
+            if bit_get(&self.rob.in_iq, t) {
                 self.iq_used -= 1;
-                if !e.issued {
-                    self.iq_unissued -= 1;
-                }
             }
-            if let Some((r, renamed)) = e.dest {
-                self.renamer.undo(r, renamed);
+            let da = self.rob.dest_arch[t];
+            if da != NO_REG {
+                self.renamer.undo(
+                    reg(da),
+                    RenamedDest { preg: self.rob.dest_preg[t], prev: self.rob.dest_prev[t] },
+                );
             }
-            if e.is_load {
+            if bit_get(&self.rob.is_load, t) {
                 self.lq.pop_back();
             }
-            if e.is_store {
-                let s = self.sq.pop_back().expect("store has an SQ entry");
-                self.storesets.retire_store(s.pc, s.seq);
+            if bit_get(&self.rob.is_store, t) {
+                let s = self.sq.pop_back();
+                self.storesets.retire_store(self.sq.pc[s], self.sq.seq[s]);
             }
+            self.rob.pop_back();
         }
         self.frontq.clear();
         self.fetch_ptr = trace_idx;

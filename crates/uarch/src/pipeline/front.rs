@@ -2,35 +2,36 @@
 //! resource-limited decode/rename (dispatch). Decode/rename is where
 //! handles amplify bandwidth (one slot represents several instructions)
 //! and capacity (one ROB/IQ entry, one destination register).
+//!
+//! Static-instruction properties (kind, control class, operands,
+//! represented-instruction counts) come from the shared predecode plane
+//! (`decode::Predecode`), so neither stage touches `Inst` on the hot
+//! path.
 
-use super::entries::{FrontOp, Kind, LqEntry, RobEntry, SqEntry};
+use super::decode::{Ctrl, NO_REG};
+use super::entries::{Kind, RobPush, NO_PREG, NO_WAIT};
 use super::{Simulator, MAX_FETCH_LINES};
-use mg_isa::{OpClass, Opcode};
+use mg_isa::reg;
 
 impl Simulator<'_> {
     // --------------------------------------------------------- dispatch --
     pub(crate) fn dispatch(&mut self) {
         let mut n = 0;
         while n < self.cfg.front_width {
-            let Some(front) = self.frontq.front() else { break };
-            if front.ready_at > self.now {
+            if self.frontq.is_empty() {
                 break;
             }
-            let trace_idx = front.trace_idx;
-            let mispredicted = front.mispredicted;
-            let pred_taken = front.pred_taken;
-            let pred_token = front.pred_token;
+            let f = self.frontq.head_slot();
+            if self.frontq.ready_at[f] > self.now {
+                break;
+            }
+            let trace_idx = self.frontq.trace_idx[f] as usize;
+            let mispredicted = self.frontq.mispredicted[f];
+            let pred_taken = self.frontq.pred_taken[f];
+            let pred_token = self.frontq.pred_token[f];
             let op = *self.trace.op(trace_idx);
-            let inst = &self.prog.insts[op.sidx as usize];
-            let kind = match inst.op.class() {
-                OpClass::IntAlu => Kind::Alu,
-                OpClass::IntMul => Kind::Mul,
-                OpClass::Load => Kind::Load,
-                OpClass::Store => Kind::Store,
-                OpClass::CondBranch | OpClass::UncondBranch | OpClass::Jump => Kind::Control,
-                OpClass::Handle => Kind::Handle,
-                OpClass::Nop | OpClass::Pad | OpClass::Halt => Kind::Direct,
-            };
+            let sidx = op.sidx as usize;
+            let kind = self.pd.kind[sidx];
             let is_load = op.mem.map(|m| !m.store).unwrap_or(false);
             let is_store = op.mem.map(|m| m.store).unwrap_or(false);
 
@@ -50,75 +51,74 @@ impl Simulator<'_> {
                 self.stats.stall_lsq += 1;
                 break;
             }
-            let arch_dest = inst.dest_reg();
-            if arch_dest.is_some() && self.renamer.free_count() == 0 {
+            let dest_arch = self.pd.dest[sidx];
+            if dest_arch != NO_REG && self.renamer.free_count() == 0 {
                 self.stats.stall_pregs += 1;
                 break;
             }
 
             // Rename.
-            let srcs = inst.src_regs().map(|s| s.map(|r| self.renamer.lookup(r)));
-            let dest = arch_dest.map(|r| {
-                let renamed = self.renamer.rename_dest(r).expect("free list checked above");
+            let a0 = self.pd.src0[sidx];
+            let a1 = self.pd.src1[sidx];
+            let src0 = if a0 != NO_REG { self.renamer.lookup(reg(a0)) } else { NO_PREG };
+            let src1 = if a1 != NO_REG { self.renamer.lookup(reg(a1)) } else { NO_PREG };
+            let (dest_preg, dest_prev) = if dest_arch != NO_REG {
+                let renamed =
+                    self.renamer.rename_dest(reg(dest_arch)).expect("free list checked above");
                 self.preg_ready[renamed.preg as usize] = u64::MAX;
-                (r, renamed)
-            });
+                (renamed.preg, renamed.prev)
+            } else {
+                (0, 0)
+            };
 
             let seq = self.next_seq;
             self.next_seq += 1;
-            let pc = self.prog.byte_addr(op.sidx as usize);
+            let pc = self.prog.byte_addr(sidx);
 
             // Store sets participate via handle PCs for embedded memory ops.
-            let mut wait_store = None;
+            let mut wait_store = NO_WAIT;
             if is_load {
-                wait_store = self.storesets.dispatch_load(pc);
-                self.lq.push_back(LqEntry {
-                    seq,
-                    pc,
-                    addr: 0,
-                    width: 0,
-                    executed: false,
-                    trace_idx,
-                });
+                if let Some(ws) = self.storesets.dispatch_load(pc) {
+                    // Pack the predicted store's (seq, slot) so issue
+                    // validates liveness in O(1). A store already retired
+                    // by now can never block, exactly as before.
+                    if let Some(i) = self.rob.find_seq(ws) {
+                        wait_store = (ws << 16) | self.rob.slot(i) as u64;
+                    }
+                }
+                self.lq.push_back(seq, pc, trace_idx as u32);
             }
             if is_store {
                 self.storesets.dispatch_store(pc, seq);
-                self.sq.push_back(SqEntry { seq, pc, addr: 0, width: 0, executed: false });
+                self.sq.push_back(seq, pc, trace_idx as u32);
             }
 
-            let represents = match kind {
-                Kind::Handle => {
-                    let mgid = inst.mgid().expect("handle has MGID");
-                    self.mgt.get(mgid).expect("handle refers to a packed MGT entry").slots.len()
-                        as u32
-                }
-                _ => 1,
-            };
-            let completed = kind == Kind::Direct;
             if needs_iq {
                 self.iq_used += 1;
-                self.iq_unissued += 1;
             }
             if op.br.is_some() {
                 self.stats.branches += 1;
             }
-            self.rob.push_back(RobEntry {
+            self.rob.push(RobPush {
                 seq,
-                trace_idx,
+                trace_idx: trace_idx as u32,
                 sidx: op.sidx,
                 kind,
-                represents,
-                dest,
-                srcs,
+                represents: self.pd.represents[sidx],
+                dest_arch,
+                dest_preg,
+                dest_prev,
+                src0,
+                src1,
                 in_iq: needs_iq,
                 issued: !needs_iq,
-                completed,
+                completed: kind == Kind::Direct,
                 mispredicted,
                 pred_taken,
                 pred_token,
                 wait_store,
-                is_store,
                 is_load,
+                is_store,
             });
             self.frontq.pop_front();
             n += 1;
@@ -161,15 +161,15 @@ impl Simulator<'_> {
                 }
             }
 
-            let inst = &self.prog.insts[op.sidx as usize];
-            let (mispredicted, pred_taken, pred_token) = self.predict(inst, addr, &op);
-            self.frontq.push_back(FrontOp {
-                trace_idx: self.fetch_ptr,
-                ready_at: self.now + self.cfg.frontend_depth as u64,
+            let (mispredicted, pred_taken, pred_token) =
+                self.predict(op.sidx as usize, addr, &op);
+            self.frontq.push_back(
+                self.fetch_ptr as u32,
+                self.now + self.cfg.frontend_depth as u64,
                 mispredicted,
                 pred_taken,
                 pred_token,
-            });
+            );
             let taken = op.br.map(|b| b.taken).unwrap_or(false);
             self.fetch_ptr += 1;
             fetched += 1;
@@ -187,44 +187,40 @@ impl Simulator<'_> {
     /// `(mispredicted, predicted_taken, prediction_token)`.
     pub(crate) fn predict(
         &mut self,
-        inst: &mg_isa::Inst,
+        sidx: usize,
         pc: u64,
         op: &mg_profile::DynOp,
     ) -> (bool, bool, u32) {
         let Some(br) = op.br else { return (false, false, 0) };
         let actual_target = self.prog.byte_addr(br.target);
-        match inst.op.class() {
+        match self.pd.ctrl[sidx] {
             // The handle PC stands in for the embedded branch's PC for
             // prediction and update (paper §4.1).
-            OpClass::CondBranch | OpClass::Handle => {
+            Ctrl::Cond | Ctrl::Handle => {
                 let (pred, token) = self.bpred.predict_and_speculate(pc);
                 let target_ok = !br.taken || self.btb.lookup(pc) == Some(actual_target);
                 (pred != br.taken || (br.taken && !target_ok), pred, token)
             }
-            OpClass::UncondBranch => {
-                if inst.op == Opcode::Bsr {
-                    // Return address is the next sequential instruction.
-                    self.ras.push(pc + mg_isa::program::INST_BYTES);
-                }
+            Ctrl::Bsr => {
+                // Return address is the next sequential instruction.
+                self.ras.push(pc + mg_isa::program::INST_BYTES);
                 let hit = self.btb.lookup(pc) == Some(actual_target);
                 (!hit, true, 0)
             }
-            OpClass::Jump => match inst.op {
-                Opcode::Ret => {
-                    let pred = self.ras.pop();
-                    (pred != Some(actual_target), true, 0)
-                }
-                Opcode::Jsr => {
-                    self.ras.push(pc + mg_isa::program::INST_BYTES);
-                    let hit = self.btb.lookup(pc) == Some(actual_target);
-                    (!hit, true, 0)
-                }
-                _ => {
-                    let hit = self.btb.lookup(pc) == Some(actual_target);
-                    (!hit, true, 0)
-                }
-            },
-            _ => (false, false, 0),
+            Ctrl::OtherUncond | Ctrl::OtherJump => {
+                let hit = self.btb.lookup(pc) == Some(actual_target);
+                (!hit, true, 0)
+            }
+            Ctrl::Ret => {
+                let pred = self.ras.pop();
+                (pred != Some(actual_target), true, 0)
+            }
+            Ctrl::Jsr => {
+                self.ras.push(pc + mg_isa::program::INST_BYTES);
+                let hit = self.btb.lookup(pc) == Some(actual_target);
+                (!hit, true, 0)
+            }
+            Ctrl::None => (false, false, 0),
         }
     }
 }

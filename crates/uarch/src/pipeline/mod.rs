@@ -11,16 +11,71 @@
 //!   load scheduling with violation squashes; MGST-sequenced mini-graph
 //!   execution with interior-load replay;
 //! * `commit` — width-limited retirement, freeing registers;
-//! * `entries` — the in-flight structures (ROB/LQ/SQ/front-queue
-//!   entries) those stages share.
+//! * `entries` — the struct-of-arrays in-flight state (ROB/LQ/SQ/
+//!   front-queue rings and their flag bitsets) those stages share;
+//! * `decode` — the per-static-instruction predecode plane, shareable
+//!   across simulations of the same image.
 //!
 //! Wrong-path instructions are not simulated: a mispredicted control
 //! transfer stalls fetch until it resolves, then the front-end refills —
 //! reproducing the misprediction penalty of the paper's pipeline without
 //! wrong-path cache pollution (see `DESIGN.md` §2 for the substitution
 //! argument).
+//!
+//! The simulator is **resumable**: [`Simulator::advance`] pauses between
+//! cycles once fetch reaches a caller-chosen trace position, which is
+//! what lets the harness advance several configurations of one workload
+//! in lockstep over shared, cache-resident trace and predecode state
+//! (fused sweeps) while producing bit-identical statistics.
+
+#[cfg(feature = "stagetime")]
+#[allow(missing_docs)]
+pub mod stagetime {
+    //! Temporary rdtsc-based stage cost attribution (perf tuning only).
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    pub static BUCKETS: [AtomicU64; 16] = [const { AtomicU64::new(0) }; 16];
+    pub const NAMES: [&str; 16] = [
+        "commit",
+        "events",
+        "wakes",
+        "issue",
+        "dispatch",
+        "fetch",
+        "cycle-misc",
+        "cycles",
+        "i.park",
+        "i.wsblock",
+        "i.denied",
+        "i.pre",
+        "i.lat",
+        "i.memfx",
+        "n.park",
+        "n.issue",
+    ];
+    #[inline(always)]
+    pub fn stamp() -> u64 {
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[inline(always)]
+    pub fn add(i: usize, dt: u64) {
+        BUCKETS[i].fetch_add(dt, Relaxed);
+    }
+    pub fn report() {
+        let cycles = BUCKETS[7].load(Relaxed).max(1);
+        for (n, b) in NAMES.iter().zip(&BUCKETS) {
+            let v = b.load(Relaxed);
+            println!("  {n:10} {v:>14} tsc  {:>8.1} tsc/cyc", v as f64 / cycles as f64);
+        }
+    }
+    pub fn reset() {
+        for b in &BUCKETS {
+            b.store(0, Relaxed);
+        }
+    }
+}
 
 pub(crate) mod commit;
+pub mod decode;
 pub(crate) mod entries;
 pub(crate) mod execute;
 pub(crate) mod front;
@@ -35,11 +90,12 @@ use crate::config::SimConfig;
 use crate::rename::Renamer;
 use crate::stats::SimStats;
 use crate::storesets::StoreSets;
-use entries::{FrontOp, LqEntry, RobEntry, SqEntry};
+use decode::{MgtLanes, Predecode};
+use entries::{FrontQ, MemQ, Rob};
 use mg_core::MgTable;
 use mg_isa::{HandleCatalog, Program};
 use mg_profile::Trace;
-use std::collections::VecDeque;
+use std::sync::Arc;
 use wheel::EventWheel;
 
 /// Ring size for near-future resource reservations (FUs, write ports).
@@ -49,26 +105,31 @@ pub(crate) const MAX_FETCH_LINES: u32 = 2;
 
 /// The trace-driven cycle-level simulator.
 ///
-/// Construct with [`Simulator::new`], run with [`Simulator::run`].
+/// Construct with [`Simulator::new`] (or [`Simulator::with_predecode`]
+/// to share one predecode plane across runs), run to completion with
+/// [`Simulator::run`], or step incrementally with
+/// [`Simulator::advance`] + [`Simulator::into_stats`].
 pub struct Simulator<'a> {
     pub(crate) cfg: SimConfig,
     pub(crate) prog: &'a Program,
     pub(crate) trace: &'a Trace,
-    pub(crate) mgt: MgTable,
+    /// Config-independent per-static-instruction decode lanes.
+    pub(crate) pd: Arc<Predecode>,
+    /// Config-dependent flattened MGT lanes.
+    pub(crate) mg: MgtLanes,
     // Front end.
     pub(crate) fetch_ptr: usize,
     pub(crate) fetch_resume_at: u64,
     pub(crate) fetch_blocked_on: Option<usize>,
-    pub(crate) frontq: VecDeque<FrontOp>,
+    pub(crate) frontq: FrontQ,
     // Back end.
-    pub(crate) rob: VecDeque<RobEntry>,
+    pub(crate) rob: Rob,
     pub(crate) next_seq: u64,
     pub(crate) iq_used: usize,
-    pub(crate) iq_unissued: usize,
     pub(crate) renamer: Renamer,
     pub(crate) preg_ready: Vec<u64>,
-    pub(crate) lq: VecDeque<LqEntry>,
-    pub(crate) sq: VecDeque<SqEntry>,
+    pub(crate) lq: MemQ,
+    pub(crate) sq: MemQ,
     // Predictors and memory.
     pub(crate) bpred: HybridPredictor,
     pub(crate) btb: Btb,
@@ -77,11 +138,31 @@ pub struct Simulator<'a> {
     pub(crate) mem: MemHierarchy,
     // Events and reservations.
     pub(crate) events: EventWheel,
+    /// Operand-readiness wake calendar: when the issue scan finds an
+    /// entry whose sources become ready at a *known* future cycle, it
+    /// clears the entry's `poll` bit and schedules a wake here; the wake
+    /// re-sets the bit that cycle. Payloads are the same packed
+    /// `(seq << 16) | slot` as completion events.
+    pub(crate) wakes: EventWheel,
+    /// Per-physical-register waiter lists for entries blocked on a
+    /// producer that has not itself issued (so its ready cycle is
+    /// unknown). The producer's issue drains its destination's list into
+    /// `wakes` at the operands' actual ready cycle. Entries are packed
+    /// `(seq << 16) | slot`; stale (squashed) waiters are filtered at
+    /// wake delivery.
+    pub(crate) preg_waiters: Vec<Vec<u64>>,
     pub(crate) resv_fu: Vec<[u16; 4]>, // [ap, alu, load, store] per future cycle
     pub(crate) resv_wb: Vec<u16>,
     pub(crate) now: u64,
     pub(crate) stats: SimStats,
-    // Idle-skip bookkeeping, reset every cycle (see `run`).
+    // Run bookkeeping (fields so `advance` can pause and resume).
+    /// Number of trace operations this run simulates.
+    pub(crate) limit: usize,
+    /// Cycles actually simulated (idle-skipped spans excluded).
+    pub(crate) worked: u64,
+    /// Wedge bound on `worked` (see [`Simulator::advance`]).
+    pub(crate) cycle_cap: u64,
+    // Idle-skip bookkeeping, reset every cycle (see `advance`).
     /// Machine state changed this cycle (commit/complete/issue/dispatch/
     /// fetch touched something beyond the per-cycle stat sums).
     pub(crate) progress: bool,
@@ -89,14 +170,6 @@ pub struct Simulator<'a> {
     /// write-port / window availability; those constraints are functions
     /// of `now`, so the next cycle must be simulated, not skipped.
     pub(crate) retry_next_cycle: bool,
-    /// Earliest cycle at which some operand-blocked scheduler entry has
-    /// all sources ready (`preg_ready` bound collected by the issue scan).
-    pub(crate) wake_operands: Option<u64>,
-    /// Lower bound on unissued sequence numbers: every ROB entry older
-    /// than this has issued, so the issue scan starts past it. Entries
-    /// never revert to unissued and newcomers take fresh seqs, so the
-    /// bound only ever advances.
-    pub(crate) issue_hint: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -109,23 +182,57 @@ impl<'a> Simulator<'a> {
         trace: &'a Trace,
         catalog: &HandleCatalog,
     ) -> Simulator<'a> {
+        let pd = Arc::new(Predecode::new(prog, catalog));
+        Simulator::with_predecode(cfg, prog, trace, catalog, pd)
+    }
+
+    /// Like [`Simulator::new`], but reuses a predecode plane previously
+    /// built (by [`Predecode::new`]) for exactly this `prog`/`catalog`
+    /// pair — the sharing hook for fused sweeps and warm re-runs.
+    pub fn with_predecode(
+        cfg: SimConfig,
+        prog: &'a Program,
+        trace: &'a Trace,
+        catalog: &HandleCatalog,
+        predecode: Arc<Predecode>,
+    ) -> Simulator<'a> {
+        debug_assert_eq!(
+            predecode.kind.len(),
+            prog.insts.len(),
+            "predecode plane built for a different program"
+        );
         let mgt = MgTable::from_catalog(catalog, &cfg.mgt_config());
+        let mg = MgtLanes::new(&mgt);
         let renamer = Renamer::new(cfg.phys_regs);
         let preg_ready = vec![0u64; cfg.phys_regs];
+        let limit = if cfg.max_ops == 0 {
+            trace.ops.len()
+        } else {
+            (cfg.max_ops as usize).min(trace.ops.len())
+        };
+        // Guard against pathological configs: bound *worked* cycles (the
+        // ones actually simulated). Idle-skipped spans are excluded, so a
+        // legitimately long-latency configuration (slow memory, deep
+        // queues) cannot trip the wedge assertion just by waiting.
+        let cycle_cap = 2_000 + 600 * limit as u64;
+        let frontq = FrontQ::new((cfg.front_width * cfg.frontend_depth) as usize);
+        let rob = Rob::new(cfg.rob_size);
+        let lq = MemQ::new(cfg.lq_size);
+        let sq = MemQ::new(cfg.sq_size);
         Simulator {
-            mgt,
+            pd: predecode,
+            mg,
             renamer,
             preg_ready,
             fetch_ptr: 0,
             fetch_resume_at: 0,
             fetch_blocked_on: None,
-            frontq: VecDeque::new(),
-            rob: VecDeque::new(),
+            frontq,
+            rob,
             next_seq: 0,
             iq_used: 0,
-            iq_unissued: 0,
-            lq: VecDeque::new(),
-            sq: VecDeque::new(),
+            lq,
+            sq,
             bpred: HybridPredictor::paper_12kb(),
             btb: Btb::paper_2k(),
             ras: Ras::new(16),
@@ -138,14 +245,23 @@ impl<'a> Simulator<'a> {
                 cfg.mem_bus_occupancy,
             ),
             events: EventWheel::new(),
+            wakes: EventWheel::new(),
+            // Capacity is a hard bound so steady state never allocates:
+            // every live waiter is a distinct unissued scheduler entry
+            // (at most `iq_size`), and registration compacts stale
+            // entries away before it could ever exceed that.
+            preg_waiters: (0..cfg.phys_regs)
+                .map(|_| Vec::with_capacity(cfg.iq_size + 1))
+                .collect(),
             resv_fu: vec![[0; 4]; RESV_RING],
             resv_wb: vec![0; RESV_RING],
             now: 0,
             stats: SimStats::default(),
+            limit,
+            worked: 0,
+            cycle_cap,
             progress: false,
             retry_next_cycle: false,
-            wake_operands: None,
-            issue_hint: 0,
             cfg,
             prog,
             trace,
@@ -161,54 +277,95 @@ impl<'a> Simulator<'a> {
     /// has no sliding-window scheduler, or handles with no mini-graph
     /// support at all (selection policy and machine must agree).
     pub fn run(mut self) -> SimStats {
-        let limit = if self.cfg.max_ops == 0 {
-            self.trace.ops.len()
-        } else {
-            (self.cfg.max_ops as usize).min(self.trace.ops.len())
-        };
-        // Guard against pathological configs: bound *worked* cycles (the
-        // ones actually simulated). Idle-skipped spans are excluded, so a
-        // legitimately long-latency configuration (slow memory, deep
-        // queues) cannot trip the wedge assertion just by waiting.
-        let cycle_cap = 2_000 + 600 * limit as u64;
-        let mut worked: u64 = 0;
-        while !(self.fetch_ptr >= limit && self.frontq.is_empty() && self.rob.is_empty()) {
+        let done = self.advance(usize::MAX);
+        debug_assert!(done, "unbounded advance must drain the machine");
+        self.into_stats()
+    }
+
+    /// Simulates cycles until either the machine drains (returns `true`)
+    /// or — checked between cycles, so pausing perturbs nothing — fetch
+    /// has reached trace position `fetch_target` (returns `false`).
+    ///
+    /// Callers resume by calling again with a larger target; a squash may
+    /// move fetch *backwards* past an already-satisfied target, in which
+    /// case the resumed call simply simulates further. Passing
+    /// `usize::MAX` runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`]; additionally asserts the wedge bound on
+    /// worked cycles.
+    pub fn advance(&mut self, fetch_target: usize) -> bool {
+        while !(self.fetch_ptr >= self.limit && self.frontq.is_empty() && self.rob.is_empty()) {
+            if self.fetch_ptr >= fetch_target {
+                return false;
+            }
+            // Hot-path allocation tripwire (debug builds, armed test
+            // harnesses only): a simulated cycle must not touch the heap.
+            #[cfg(debug_assertions)]
+            let alloc_mark = crate::allocwatch::count();
             self.progress = false;
             self.retry_next_cycle = false;
-            self.wake_operands = None;
             let stalls_before = [
                 self.stats.stall_pregs,
                 self.stats.stall_rob,
                 self.stats.stall_iq,
                 self.stats.stall_lsq,
             ];
+            #[cfg(feature = "stagetime")]
+            let mut t0 = stagetime::stamp();
+            #[cfg(feature = "stagetime")]
+            macro_rules! lap {
+                ($i:expr) => {{
+                    let t1 = stagetime::stamp();
+                    stagetime::add($i, t1 - t0);
+                    t0 = t1;
+                }};
+            }
+            #[cfg(not(feature = "stagetime"))]
+            macro_rules! lap {
+                ($i:expr) => {};
+            }
             self.commit();
+            lap!(0);
             self.process_events();
+            lap!(1);
+            self.deliver_wakes();
+            lap!(2);
             self.issue();
+            lap!(3);
             self.dispatch();
-            self.fetch(limit);
+            lap!(4);
+            self.fetch(self.limit);
+            lap!(5);
             self.stats.preg_occupancy_sum += self.renamer.in_use() as u64;
             self.stats.iq_occupancy_sum += self.iq_used as u64;
             self.stats.rob_occupancy_sum += self.rob.len() as u64;
             let idx = (self.now as usize) % RESV_RING;
             self.resv_fu[idx] = [0; 4];
             self.resv_wb[idx] = 0;
-            worked += 1;
+            self.worked += 1;
             assert!(
-                worked < cycle_cap,
-                "simulation wedged after {worked} worked cycles at cycle {} (fetch {}/{} rob {})",
+                self.worked < self.cycle_cap,
+                "simulation wedged after {} worked cycles at cycle {} (fetch {}/{} rob {})",
+                self.worked,
                 self.now,
                 self.fetch_ptr,
-                limit,
+                self.limit,
                 self.rob.len()
             );
+            #[cfg(debug_assertions)]
+            crate::allocwatch::check(alloc_mark);
+            lap!(6);
+            #[cfg(feature = "stagetime")]
+            stagetime::add(7, 1);
             // Idle-cycle skipping: a cycle that changed nothing would be
             // followed by identical empty cycles until the next wake-up
             // (completion event, operand-ready bound, front-queue ready
             // time, or fetch resume) — jump straight there, accumulating
             // the per-cycle stats the skipped cycles would have gathered.
             if !self.progress && !self.retry_next_cycle {
-                if let Some(wake) = self.next_wake(limit) {
+                if let Some(wake) = self.next_wake(self.limit) {
                     if wake > self.now + 1 {
                         self.skip_idle_to(wake, stalls_before);
                         continue;
@@ -217,41 +374,57 @@ impl<'a> Simulator<'a> {
             }
             self.now += 1;
         }
-        self.stats.cycles = self.now;
-        self.stats.il1_accesses = self.mem.il1.accesses;
-        self.stats.il1_misses = self.mem.il1.misses;
-        self.stats.dl1_accesses = self.mem.dl1.accesses;
-        self.stats.dl1_misses = self.mem.dl1.misses;
-        self.stats.l2_accesses = self.mem.l2.accesses;
-        self.stats.l2_misses = self.mem.l2.misses;
-        self.stats
+        true
     }
 
+    /// Consumes the (drained) simulator and finalizes its statistics.
+    pub fn into_stats(self) -> SimStats {
+        let mut stats = self.stats;
+        stats.cycles = self.now;
+        stats.il1_accesses = self.mem.il1.accesses;
+        stats.il1_misses = self.mem.il1.misses;
+        stats.dl1_accesses = self.mem.dl1.accesses;
+        stats.dl1_misses = self.mem.dl1.misses;
+        stats.l2_accesses = self.mem.l2.accesses;
+        stats.l2_misses = self.mem.l2.misses;
+        stats
+    }
+
+    /// Logical ROB index (0 = oldest) of the live entry with sequence
+    /// `seq`, or `None` if it was squashed or retired. The hot paths
+    /// carry `(seq, slot)` pairs instead; this resolver remains for
+    /// diagnostics and tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn rob_index(&self, seq: u64) -> Option<usize> {
-        // Sequence numbers are unique and increasing but NOT contiguous:
-        // violation squashes pop the tail without rolling back the
-        // allocator (so stale completion events can never alias a newer
-        // entry). Binary-search by sequence.
-        let i = self.rob.partition_point(|e| e.seq < seq);
-        (i < self.rob.len() && self.rob[i].seq == seq).then_some(i)
+        self.rob.find_seq(seq)
     }
 
     /// The earliest future cycle at which a zero-progress machine can
-    /// change state: the next completion event, the issue scan's
-    /// operand-ready bound, the front-queue head's decode-ready time, or
-    /// the fetch resume cycle. Waking *early* is merely a missed
+    /// change state: the next completion event, the next operand-ready
+    /// wake, the front-queue head's decode-ready time, or the fetch
+    /// resume cycle. Waking *early* is merely a missed
     /// optimisation (the cycle re-evaluates as idle); waking late would
     /// change timing, so every state-changing trigger must be covered
     /// here or in `retry_next_cycle`.
     fn next_wake(&self, limit: usize) -> Option<u64> {
         let mut wake = self.events.next_due_after(self.now);
         let mut fold = |t: u64| wake = Some(wake.map_or(t, |w: u64| w.min(t)));
-        if let Some(t) = self.wake_operands {
+        if let Some(t) = self.wakes.next_due_after(self.now) {
             fold(t);
         }
-        if let Some(f) = self.frontq.front() {
-            if f.ready_at > self.now {
-                fold(f.ready_at);
+        if !self.rob.is_empty() {
+            // Passive completion: the head becomes retirable the cycle
+            // after its `completed_at` (younger completed entries cannot
+            // change state before the head retires).
+            let t = self.rob.completed_at[self.rob.head_slot()];
+            if t != u64::MAX {
+                fold(t + 1);
+            }
+        }
+        if !self.frontq.is_empty() {
+            let ready = self.frontq.ready_at[self.frontq.head_slot()];
+            if ready > self.now {
+                fold(ready);
             }
         }
         if self.fetch_blocked_on.is_none()

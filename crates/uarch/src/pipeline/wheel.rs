@@ -9,6 +9,15 @@
 //! memory miss on a very slow configuration) waits in an overflow
 //! min-heap and is moved into the ring once its cycle enters the horizon.
 //!
+//! A per-slot **occupancy bitset** mirrors which ring slots hold events:
+//! the idle-skip bound (`next_due_after`) scans four words of bits with
+//! trailing-zeros iteration instead of touching up to 255 scattered
+//! `Vec` headers, which is what made idle-skip itself a hot spot on
+//! stall-heavy configurations.
+//!
+//! Payloads are opaque `u64`s: the simulator packs `(seq, rob slot)` so
+//! delivery needs no search, and the wheel neither knows nor cares.
+//!
 //! # Ordering contract
 //!
 //! Events due on the same cycle are delivered in **scheduling order** —
@@ -27,13 +36,18 @@ use std::collections::BinaryHeap;
 /// Wheel horizon in cycles; reuses the reservation-ring span so one
 /// modulus covers every future-cycle structure.
 pub(crate) const EVENT_RING: usize = RESV_RING;
+/// Occupancy-bitset words covering the ring.
+const OCC_WORDS: usize = EVENT_RING / 64;
 
 /// The completion-event calendar: a ring for the near future plus an
 /// overflow heap for events beyond the horizon.
 pub(crate) struct EventWheel {
-    /// `ring[c % EVENT_RING]`: seqs completing at cycle `c`, for `c` in
-    /// `[now, now + EVENT_RING)`.
+    /// `ring[c % EVENT_RING]`: payloads completing at cycle `c`, for `c`
+    /// in `[now, now + EVENT_RING)`.
     ring: Vec<Vec<u64>>,
+    /// One bit per ring slot: set iff the slot is non-empty. Maintained
+    /// by `schedule`/`take_due` so `next_due_after` never walks the ring.
+    occ: [u64; OCC_WORDS],
     /// Events due at or beyond `now + EVENT_RING`, ordered by
     /// `(due, stamp)` so draining restores scheduling order.
     overflow: BinaryHeap<Reverse<(u64, u64, u64)>>,
@@ -46,42 +60,66 @@ pub(crate) struct EventWheel {
 impl EventWheel {
     pub(crate) fn new() -> EventWheel {
         EventWheel {
-            ring: (0..EVENT_RING).map(|_| Vec::new()).collect(),
-            overflow: BinaryHeap::new(),
+            // Pre-size every slot so steady-state scheduling never
+            // allocates (more than issue-width events per cycle is rare).
+            ring: (0..EVENT_RING).map(|_| Vec::with_capacity(8)).collect(),
+            occ: [0; OCC_WORDS],
+            overflow: BinaryHeap::with_capacity(64),
             stamp: 0,
-            scratch: Vec::new(),
+            scratch: Vec::with_capacity(8),
         }
     }
 
-    /// Schedules completion of `seq` at cycle `due` (`due > now` for any
+    /// Schedules delivery of `payload` at cycle `due` (`due > now` for any
     /// event scheduled mid-cycle `now`).
     #[inline]
-    pub(crate) fn schedule(&mut self, now: u64, due: u64, seq: u64) {
+    pub(crate) fn schedule(&mut self, now: u64, due: u64, payload: u64) {
         // Strictly future: cycle `now`'s slot has already been harvested
         // by the time mid-cycle scheduling runs, so a same-cycle event
         // would be silently misdelivered a whole ring later.
         debug_assert!(due > now, "completion scheduled for the current or a past cycle");
         if due - now < EVENT_RING as u64 {
-            self.ring[(due as usize) % EVENT_RING].push(seq);
+            let slot = (due as usize) % EVENT_RING;
+            self.ring[slot].push(payload);
+            self.occ[slot >> 6] |= 1u64 << (slot & 63);
         } else {
-            self.overflow.push(Reverse((due, self.stamp, seq)));
+            self.overflow.push(Reverse((due, self.stamp, payload)));
             self.stamp += 1;
         }
+    }
+
+    /// Whether [`EventWheel::take_due`] would do any work at `now`: the
+    /// current slot holds events, or an overflow event has entered the
+    /// horizon and must drain into the ring *this* cycle (lazier draining
+    /// would let a direct insertion for the same slot win the FIFO race
+    /// and reorder same-cycle delivery). Callers use this to skip the
+    /// harvest (and its buffer swap) on the common empty cycle.
+    #[inline]
+    pub(crate) fn needs_harvest(&self, now: u64) -> bool {
+        let slot = (now as usize) % EVENT_RING;
+        self.occ[slot >> 6] & (1u64 << (slot & 63)) != 0
+            || self
+                .overflow
+                .peek()
+                .is_some_and(|&Reverse((due, _, _))| due - now < EVENT_RING as u64)
     }
 
     /// Harvests every event due exactly at `now`, in scheduling order,
     /// after pulling newly-in-horizon overflow events into the ring. Hand
     /// the buffer back through [`EventWheel::recycle`].
     pub(crate) fn take_due(&mut self, now: u64) -> Vec<u64> {
-        while let Some(&Reverse((due, _, seq))) = self.overflow.peek() {
+        while let Some(&Reverse((due, _, payload))) = self.overflow.peek() {
             debug_assert!(due >= now, "overflow event left in the past");
             if due - now >= EVENT_RING as u64 {
                 break;
             }
             self.overflow.pop();
-            self.ring[(due as usize) % EVENT_RING].push(seq);
+            let slot = (due as usize) % EVENT_RING;
+            self.ring[slot].push(payload);
+            self.occ[slot >> 6] |= 1u64 << (slot & 63);
         }
         let slot = (now as usize) % EVENT_RING;
+        self.occ[slot >> 6] &= !(1u64 << (slot & 63));
         std::mem::replace(&mut self.ring[slot], std::mem::take(&mut self.scratch))
     }
 
@@ -92,17 +130,38 @@ impl EventWheel {
         self.scratch = buf;
     }
 
+    /// First occupied slot index at or after bit `from`, scanning to the
+    /// end of the ring.
+    #[inline]
+    fn first_occupied_from(&self, from: usize) -> Option<usize> {
+        let mut w = from >> 6;
+        let mut bits = self.occ[w] & (!0u64 << (from & 63));
+        loop {
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= OCC_WORDS {
+                return None;
+            }
+            bits = self.occ[w];
+        }
+    }
+
     /// The earliest cycle strictly after `now` with a pending event —
     /// the idle-skip wake-up bound. The current cycle's slot has already
-    /// been harvested, so every ring entry sits at `now + 1 ..
-    /// now + EVENT_RING` and anything farther is in the overflow heap.
+    /// been harvested (clearing its occupancy bit), so every ring entry
+    /// sits at `now + 1 .. now + EVENT_RING` and anything farther is in
+    /// the overflow heap; the scan is a rotated first-set-bit search over
+    /// the occupancy words.
     pub(crate) fn next_due_after(&self, now: u64) -> Option<u64> {
-        for off in 1..EVENT_RING as u64 {
-            let c = now + off;
-            if !self.ring[(c as usize) % EVENT_RING].is_empty() {
-                return Some(c);
-            }
+        let base = ((now as usize) + 1) % EVENT_RING;
+        let hit = self.first_occupied_from(base).or_else(|| self.first_occupied_from(0));
+        if let Some(slot) = hit {
+            let off = (slot + EVENT_RING - base) % EVENT_RING;
+            return Some(now + 1 + off as u64);
         }
+        // Ring empty: any pending event is beyond the horizon.
         self.overflow.peek().map(|&Reverse((due, _, _))| due)
     }
 }
@@ -158,5 +217,34 @@ mod tests {
         assert_eq!(buf, vec![4]);
         w.recycle(buf);
         assert_eq!(w.next_due_after(17), Some(1 + 2 * EVENT_RING as u64));
+    }
+
+    #[test]
+    fn next_due_wraps_the_ring() {
+        let mut w = EventWheel::new();
+        // Place `now` late in the ring so the due slot wraps below the
+        // base index: the rotated occupancy scan must still find it.
+        let now = EVENT_RING as u64 - 3;
+        let due = now + 20; // slot (now + 20) % 256 = 17, below base 254
+        w.schedule(now, due, 1);
+        assert_eq!(w.next_due_after(now), Some(due));
+        assert!(w.take_due(due - 1).is_empty());
+        assert_eq!(w.take_due(due), vec![1]);
+        let empty = w.take_due(due + 1); // empty; exercises bit clearing
+        assert!(empty.is_empty());
+        w.recycle(empty);
+        assert_eq!(w.next_due_after(due), None);
+    }
+
+    #[test]
+    fn occupancy_bit_clears_on_harvest() {
+        let mut w = EventWheel::new();
+        w.schedule(0, 5, 1);
+        w.schedule(0, 5, 2);
+        assert_eq!(w.next_due_after(0), Some(5));
+        let buf = w.take_due(5);
+        assert_eq!(buf, vec![1, 2]);
+        w.recycle(buf);
+        assert_eq!(w.next_due_after(5), None, "harvested slot must clear its bit");
     }
 }
