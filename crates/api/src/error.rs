@@ -45,11 +45,15 @@ pub enum MgErrorKind {
     /// A request was structurally invalid: unknown workload, policy,
     /// input, experiment, or format selector, or an empty matrix.
     InvalidSpec,
+    /// A deadline expired: the daemon answered `Expired` (queue, run, or
+    /// drain budget exhausted), or a retry budget ran out against a
+    /// persistently-failing resource.
+    Timeout,
 }
 
 impl MgErrorKind {
     /// All kinds, in declaration order.
-    pub const ALL: [MgErrorKind; 8] = [
+    pub const ALL: [MgErrorKind; 9] = [
         MgErrorKind::Parse,
         MgErrorKind::Exec,
         MgErrorKind::Selection,
@@ -58,6 +62,7 @@ impl MgErrorKind {
         MgErrorKind::Io,
         MgErrorKind::Protocol,
         MgErrorKind::InvalidSpec,
+        MgErrorKind::Timeout,
     ];
 
     /// The stable lower-case label (used in diagnostics and docs).
@@ -71,6 +76,7 @@ impl MgErrorKind {
             MgErrorKind::Io => "io",
             MgErrorKind::Protocol => "protocol",
             MgErrorKind::InvalidSpec => "invalid-spec",
+            MgErrorKind::Timeout => "timeout",
         }
     }
 
@@ -88,6 +94,7 @@ impl MgErrorKind {
             MgErrorKind::Cache => 73,
             MgErrorKind::Io => 74,       // EX_IOERR
             MgErrorKind::Protocol => 76, // EX_PROTOCOL
+            MgErrorKind::Timeout => 77,  // EX_NOPERM's slot is free in our range
         }
     }
 }
@@ -136,6 +143,8 @@ pub enum MgError {
     Protocol(Context),
     /// See [`MgErrorKind::InvalidSpec`].
     InvalidSpec(Context),
+    /// See [`MgErrorKind::Timeout`].
+    Timeout(Context),
 }
 
 macro_rules! constructors {
@@ -159,6 +168,7 @@ impl MgError {
         (io, Io),
         (protocol, Protocol),
         (invalid_spec, InvalidSpec),
+        (timeout, Timeout),
     ];
 
     /// Attaches the underlying cause (available through
@@ -185,6 +195,7 @@ impl MgError {
             MgError::Io(_) => MgErrorKind::Io,
             MgError::Protocol(_) => MgErrorKind::Protocol,
             MgError::InvalidSpec(_) => MgErrorKind::InvalidSpec,
+            MgError::Timeout(_) => MgErrorKind::Timeout,
         }
     }
 
@@ -207,7 +218,8 @@ impl MgError {
             | MgError::Cache(c)
             | MgError::Io(c)
             | MgError::Protocol(c)
-            | MgError::InvalidSpec(c) => c,
+            | MgError::InvalidSpec(c)
+            | MgError::Timeout(c) => c,
         }
     }
 
@@ -220,7 +232,8 @@ impl MgError {
             | MgError::Cache(c)
             | MgError::Io(c)
             | MgError::Protocol(c)
-            | MgError::InvalidSpec(c) => c,
+            | MgError::InvalidSpec(c)
+            | MgError::Timeout(c) => c,
         }
     }
 }
@@ -272,7 +285,9 @@ impl From<mg_harness::HarnessError> for MgError {
                     .with_boxed_source(source),
                 }
             }
-            H::Exec { .. } | H::Panicked { .. } => MgError::exec(e.to_string()).with_source(e),
+            H::Exec { .. } | H::Panicked { .. } | H::Exhausted { .. } => {
+                MgError::exec(e.to_string()).with_source(e)
+            }
             H::Rewrite { .. } => MgError::rewrite(e.to_string()).with_source(e),
         }
     }

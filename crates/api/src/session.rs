@@ -37,6 +37,7 @@ pub struct SessionBuilder {
     pool: Option<Arc<PrepPool>>,
     sources: Vec<Arc<dyn WorkloadSource>>,
     policies: Vec<Arc<dyn SelectionPolicy>>,
+    fault_plan: Option<Arc<mg_fault::FaultPlan>>,
 }
 
 impl SessionBuilder {
@@ -50,6 +51,7 @@ impl SessionBuilder {
             pool: None,
             sources: Vec::new(),
             policies: Vec::new(),
+            fault_plan: None,
         }
     }
 
@@ -127,18 +129,33 @@ impl SessionBuilder {
         self
     }
 
+    /// Arms deterministic fault injection for the session's preparation
+    /// machinery (see [`mg_fault::FaultPlan`]): the pool's
+    /// `harness.prep.panic` point and the cache's `harness.cache.*`
+    /// points fire under the plan. Chaos-testing machinery (`mg chaos`)
+    /// — production embeddings never set this.
+    pub fn fault_plan(mut self, plan: Arc<mg_fault::FaultPlan>) -> SessionBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the session. Infallible: selector validation happens per
     /// request, where the offending name is known.
     pub fn build(self) -> Session {
+        let pool = self.pool.unwrap_or_default();
+        if self.fault_plan.is_some() {
+            pool.set_fault_plan(self.fault_plan.clone());
+        }
         Session {
             quick: self.quick,
             fuse: self.fuse,
             threads: self.threads,
             trace_budget: self.trace_budget,
             cache_dir: self.cache_dir,
-            pool: self.pool.unwrap_or_default(),
+            pool,
             sources: Arc::new(self.sources),
             policies: Arc::new(self.policies),
+            fault_plan: self.fault_plan,
         }
     }
 }
@@ -154,6 +171,7 @@ pub struct Session {
     pool: Arc<PrepPool>,
     sources: Arc<Vec<Arc<dyn WorkloadSource>>>,
     policies: Arc<Vec<Arc<dyn SelectionPolicy>>>,
+    fault_plan: Option<Arc<mg_fault::FaultPlan>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -167,6 +185,7 @@ impl std::fmt::Debug for Session {
             .field("pooled_preps", &self.pool.len())
             .field("workload_sources", &self.sources.len())
             .field("policies", &self.policies.len())
+            .field("fault_plan", &self.fault_plan.as_ref().map(|p| p.seed()))
             .finish()
     }
 }
@@ -246,6 +265,9 @@ impl Session {
         }
         if let Some(ops) = self.trace_budget {
             b = b.trace_budget(ops);
+        }
+        if let Some(plan) = &self.fault_plan {
+            b = b.fault_plan(Arc::clone(plan));
         }
         b
     }

@@ -576,8 +576,12 @@ USAGE:
     mg report [--write|--check] [--quick] [--threads N] [--no-cache] [--format ...]
     mg cache  [stats|clear|dir] [--format ...]
     mg serve  [--addr HOST:PORT | --socket PATH] [--workers N] [--max-queue N]
-    mg client (run <experiment> [run flags] | ping [--retry N] | stats | shutdown)
-              [--addr HOST:PORT | --socket PATH]
+              [--queue-deadline-ms N] [--run-deadline-ms N]
+              [--drain-deadline-ms N] [--slow-client-ms N]
+    mg client (run <experiment> [run flags] | ping | stats | shutdown [--no-drain])
+              [--addr HOST:PORT | --socket PATH] [--retry N] [--backoff-ms N]
+    mg chaos  [--seed N] [--clients N] [--faults all|io|panic|cache|none]
+              [--duration-cycles quick|full]
     mg help
 
 Run `mg list` for the experiment registry. `mg serve` starts a
@@ -602,6 +606,8 @@ EXIT STATUS (mg_api::MgErrorKind::exit_code; sysexits-style):
     74   io:           file I/O failure (reports, baselines)
     75   busy:         `mg client run` backpressure (EX_TEMPFAIL; retry)
     76   protocol:     serve transport/handshake/version failure
+    77   timeout:      a serve deadline expired (`Expired` frame) or a
+                       retry budget ran out
 
 The table is the full `mg_api` error-kind mapping; kinds a subcommand
 cannot currently produce (exec/selection/rewrite surface through the
@@ -630,6 +636,7 @@ pub fn mg_main() -> i32 {
         "cache" => cmd_cache(&argv[1..]),
         "serve" => crate::serve_cli::cmd_serve(&argv[1..]),
         "client" => crate::serve_cli::cmd_client(&argv[1..]),
+        "chaos" => crate::chaos_cli::cmd_chaos(&argv[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             0

@@ -31,9 +31,11 @@ use crate::cli::{self, Format, RunArgs};
 use mg_api::{InputSelector, MgError, MgErrorKind, Session};
 use mg_harness::{CellDone, CellObserver};
 use mg_serve::{
-    Client, EmitFn, Request, Response, RunOutcome, RunRequest, Runner, Server, ServerConfig,
+    Client, EmitFn, Request, Response, RetryPolicy, RunOutcome, RunRequest, Runner, Server,
+    ServerConfig,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default TCP endpoint of `mg serve` / `mg client`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4571";
@@ -128,6 +130,20 @@ pub fn bind_registry_server(
     // every client shares, and its cache root (the default, unless a
     // request says --no-cache) is what served runs persist into.
     let session = Session::builder().cache(true).build();
+    let cfg = ServerConfig { workers, max_queue, ..ServerConfig::default() };
+    bind_registry_server_with(addr, unix, session, cfg)
+}
+
+/// [`bind_registry_server`] with an explicit [`Session`] and
+/// [`ServerConfig`] — the entry point for deadline-configured daemons
+/// and the fault-injecting `mg chaos` harness. The config's
+/// `stats_extra` slot is claimed for the session pool's counters.
+pub fn bind_registry_server_with(
+    addr: &str,
+    unix: bool,
+    session: Session,
+    mut cfg: ServerConfig,
+) -> std::io::Result<Server> {
     // Everything except `perf`: the perf driver writes
     // BENCH_pipeline.json (and a sweep cache) into the *daemon's* cwd —
     // a client cannot redirect it, concurrent runs would race on the
@@ -141,18 +157,13 @@ pub fn bind_registry_server(
         .collect();
     let pool = Arc::clone(session.pool());
     let runner = registry_runner(session);
-    let stats_extra = Arc::new(move || {
+    cfg.stats_extra = Some(Arc::new(move || {
         vec![
             ("preps_prepared".to_string(), pool.prepared()),
             ("preps_reused".to_string(), pool.reused()),
+            ("preps_retried".to_string(), pool.retried()),
         ]
-    });
-    let cfg = ServerConfig {
-        workers,
-        max_queue,
-        stats_extra: Some(stats_extra),
-        ..ServerConfig::default()
-    };
+    }));
     if unix {
         Server::bind_unix(addr, experiments, runner, cfg)
     } else {
@@ -185,8 +196,13 @@ impl EndpointArgs {
 /// `shutdown`.
 pub fn cmd_serve(argv: &[String]) -> i32 {
     let mut endpoint = EndpointArgs::default();
-    let mut workers = 2usize;
-    let mut max_queue = 16usize;
+    let mut cfg = ServerConfig::default();
+    fn positive(flag: &str, v: String) -> Result<usize, String> {
+        v.parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("{flag} requires a positive integer"))
+    }
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         let mut value =
@@ -198,18 +214,23 @@ pub fn cmd_serve(argv: &[String]) -> i32 {
                     endpoint.addr = value("--socket")?;
                     endpoint.unix = true;
                 }
-                "--workers" => {
-                    workers =
-                        value("--workers")?.parse().ok().filter(|n| *n >= 1).ok_or_else(
-                            || "--workers requires a positive integer".to_string(),
-                        )?
+                "--workers" => cfg.workers = positive(a, value(a)?)?,
+                // A zero bound would Busy-reject every run forever.
+                "--max-queue" => cfg.max_queue = positive(a, value(a)?)?,
+                "--queue-deadline-ms" => {
+                    cfg.queue_deadline =
+                        Some(Duration::from_millis(positive(a, value(a)?)? as u64))
                 }
-                "--max-queue" => {
-                    // A zero bound would Busy-reject every run forever.
-                    max_queue =
-                        value("--max-queue")?.parse().ok().filter(|n| *n >= 1).ok_or_else(
-                            || "--max-queue requires a positive integer".to_string(),
-                        )?
+                "--run-deadline-ms" => {
+                    cfg.run_deadline =
+                        Some(Duration::from_millis(positive(a, value(a)?)? as u64))
+                }
+                "--drain-deadline-ms" => {
+                    cfg.drain_deadline = Duration::from_millis(positive(a, value(a)?)? as u64)
+                }
+                "--slow-client-ms" => {
+                    cfg.slow_client_timeout =
+                        Duration::from_millis(positive(a, value(a)?)? as u64)
                 }
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -220,7 +241,9 @@ pub fn cmd_serve(argv: &[String]) -> i32 {
             return 2;
         }
     }
-    let server = match bind_registry_server(&endpoint.addr, endpoint.unix, workers, max_queue) {
+    let (workers, max_queue) = (cfg.workers, cfg.max_queue);
+    let session = Session::builder().cache(true).build();
+    let server = match bind_registry_server_with(&endpoint.addr, endpoint.unix, session, cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("mg serve: cannot bind {}: {e}", endpoint.addr);
@@ -250,6 +273,8 @@ pub fn cmd_serve(argv: &[String]) -> i32 {
 pub fn cmd_client(argv: &[String]) -> i32 {
     let mut endpoint = EndpointArgs::default();
     let mut retry = 0u32;
+    let mut backoff_ms: Option<u64> = None;
+    let mut drain = true;
     let mut run = RunRequest::new(String::new());
     let mut action: Option<String> = None;
     let mut it = argv.iter();
@@ -268,6 +293,12 @@ pub fn cmd_client(argv: &[String]) -> i32 {
                         .parse()
                         .map_err(|_| "--retry requires a non-negative integer".to_string())?
                 }
+                "--backoff-ms" => {
+                    backoff_ms = Some(value("--backoff-ms")?.parse().map_err(|_| {
+                        "--backoff-ms requires a non-negative integer".to_string()
+                    })?)
+                }
+                "--no-drain" => drain = false,
                 "--quick" => run.quick = Some(true),
                 "--full" => run.quick = Some(false),
                 "--best" => run.best = true,
@@ -299,27 +330,23 @@ pub fn cmd_client(argv: &[String]) -> i32 {
         }
     }
     let client = endpoint.client();
+    // `--retry N` means N retries on top of the first attempt; the
+    // policy counts total attempts.
+    let policy = RetryPolicy {
+        attempts: retry.saturating_add(1),
+        backoff_ms: backoff_ms.unwrap_or(200),
+        ..RetryPolicy::default()
+    };
     match action.as_deref() {
-        Some("ping") => {
-            let mut attempt = 0;
-            loop {
-                match client.ping() {
-                    Ok(protocol) => {
-                        println!("pong (protocol {protocol})");
-                        return 0;
-                    }
-                    Err(e) if attempt < retry => {
-                        attempt += 1;
-                        let _ = e;
-                        std::thread::sleep(std::time::Duration::from_millis(200));
-                    }
-                    Err(e) => {
-                        return protocol_fail("ping", &e);
-                    }
-                }
+        Some("ping") => match client.request_with_retry(&Request::Ping, &policy, |_| {}) {
+            Ok(Response::Pong { protocol }) => {
+                println!("pong (protocol {protocol})");
+                0
             }
-        }
-        Some("stats") => match client.request(&Request::Stats, |_| {}) {
+            Ok(other) => protocol_fail("ping", &format!("unexpected reply {other:?}")),
+            Err(e) => protocol_fail("ping", &e),
+        },
+        Some("stats") => match client.request_with_retry(&Request::Stats, &policy, |_| {}) {
             Ok(Response::Stats { pairs }) => {
                 for (name, v) in pairs {
                     println!("{name} {v}");
@@ -329,7 +356,7 @@ pub fn cmd_client(argv: &[String]) -> i32 {
             Ok(other) => protocol_fail("stats", &format!("unexpected reply {other:?}")),
             Err(e) => protocol_fail("stats", &e),
         },
-        Some("shutdown") => match client.request(&Request::Shutdown, |_| {}) {
+        Some("shutdown") => match client.request(&Request::Shutdown { drain }, |_| {}) {
             Ok(Response::Done { .. }) => {
                 eprintln!("server acknowledged shutdown");
                 0
@@ -347,7 +374,7 @@ pub fn cmd_client(argv: &[String]) -> i32 {
                 }
                 _ => {}
             };
-            match client.request(&Request::Run(run), on_event) {
+            match client.request_with_retry(&Request::Run(run), &policy, on_event) {
                 Ok(Response::Done { status, payload }) => {
                     print!("{payload}");
                     // Exit with the experiment's own status, exactly as
@@ -359,6 +386,13 @@ pub fn cmd_client(argv: &[String]) -> i32 {
                         "mg client run: server busy (queue {depth}/{capacity}); retry later"
                     );
                     EXIT_BUSY
+                }
+                Ok(Response::Expired { phase, waited_ms, budget_ms }) => {
+                    eprintln!(
+                        "mg client run: {phase} deadline exceeded \
+                         ({waited_ms}ms waited, {budget_ms}ms budget)"
+                    );
+                    MgErrorKind::Timeout.exit_code()
                 }
                 Ok(Response::Error { message }) => {
                     eprintln!("mg client run: {message}");

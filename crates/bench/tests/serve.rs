@@ -145,7 +145,7 @@ fn served_results_are_byte_identical_and_share_one_prep() {
     let perf = client.request(&Request::Run(RunRequest::new("perf")), |_| {}).expect("request");
     assert!(matches!(&perf, Response::Error { message } if message.contains("perf")));
 
-    client.request(&Request::Shutdown, |_| {}).expect("shutdown");
+    client.request(&Request::Shutdown { drain: true }, |_| {}).expect("shutdown");
     handle.join().unwrap().unwrap();
 }
 
@@ -157,7 +157,7 @@ fn served_results_are_byte_identical_and_share_one_prep() {
 fn protocol_version_is_pinned_to_the_cache_schema_version() {
     assert_eq!(
         (mg_serve::PROTOCOL_VERSION, mg_harness::CACHE_SCHEMA_VERSION),
-        (2, 1),
+        (3, 1),
         "bumping either version requires updating docs/PROTOCOL.md and this pairing"
     );
 }

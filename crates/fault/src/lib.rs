@@ -1,0 +1,412 @@
+//! Deterministic fault injection for the mini-graphs serving stack.
+//!
+//! A [`FaultPlan`] is a *seed-driven schedule of failures*: each named
+//! injection point (see [`points`]) carries a firing rate in permille,
+//! and every time the instrumented code passes the point it asks the
+//! plan whether to fail **this** hit. The decision is a pure function of
+//! `(seed, point, hit index)` — an xorshift generator keyed on all
+//! three, with **no wall clock and no global RNG** — so two runs with
+//! the same seed and the same hit sequence inject the same faults, and
+//! a soak failure reproduces under its seed.
+//!
+//! The hooks are plain runtime calls (`plan.fires(point)`), not
+//! `#[cfg]`-gated code: production binaries carry them, pay one atomic
+//! increment plus a rate check when a plan is installed, and pay a
+//! no-op `Option` check when none is (the common case — every hook site
+//! threads an `Option<Arc<FaultPlan>>`).
+//!
+//! What fires where is owned by the instrumented crates: `mg-serve`
+//! wraps accepted connections in [`FaultyStream`] (torn writes, injected
+//! `WouldBlock` / `Interrupted` / `ConnectionReset`, delayed reads) and
+//! panics worker closures; `mg-harness` panics pool preparations and
+//! fails or corrupts cache writes. `docs/../DESIGN.md` §9 enumerates
+//! every point and the recovery contract it exercises.
+//!
+//! ```
+//! use mg_fault::{points, FaultPlan};
+//!
+//! let plan = FaultPlan::new(7).with(points::WORKER_PANIC, 500);
+//! // Deterministic: the same seed yields the same decision sequence.
+//! let a: Vec<bool> = (0..8).map(|_| plan.fires(points::WORKER_PANIC)).collect();
+//! let replay = FaultPlan::new(7).with(points::WORKER_PANIC, 500);
+//! let b: Vec<bool> = (0..8).map(|_| replay.fires(points::WORKER_PANIC)).collect();
+//! assert_eq!(a, b);
+//! assert!(plan.fired(points::WORKER_PANIC) > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The named injection points the mini-graphs stack instruments.
+///
+/// Point names are dotted paths (`<crate area>.<operation>.<fault>`);
+/// [`points::ALL`] lists every one, and `mg chaos --faults` accepts the
+/// names verbatim.
+pub mod points {
+    /// Server-side socket read returns `ErrorKind::Interrupted` once
+    /// (benign: `read_exact` retries it transparently — the hook proves
+    /// that).
+    pub const SERVE_READ_INTERRUPT: &str = "serve.read.interrupt";
+    /// Server-side socket read sleeps briefly before reading (a slow
+    /// client on the request path, exercising the connection
+    /// `io_timeout`).
+    pub const SERVE_READ_DELAY: &str = "serve.read.delay";
+    /// Server-side socket read fails with `ConnectionReset` (client
+    /// vanished mid-request).
+    pub const SERVE_READ_RESET: &str = "serve.read.reset";
+    /// Server-side frame write is torn: half the bytes are written, the
+    /// next write on the stream fails with `ConnectionReset`.
+    pub const SERVE_WRITE_TORN: &str = "serve.write.torn";
+    /// Server-side frame write fails immediately with `ConnectionReset`.
+    pub const SERVE_WRITE_RESET: &str = "serve.write.reset";
+    /// Server-side frame write fails with `WouldBlock`, what a blocking
+    /// socket returns when its peer stops reading past the write
+    /// timeout — the slow-client eviction path in batch broadcast.
+    pub const SERVE_WRITE_STALL: &str = "serve.write.stall";
+    /// The worker closure panics before running the experiment (the
+    /// batch must answer every joiner with an `Error` frame, and the
+    /// worker thread must survive).
+    pub const WORKER_PANIC: &str = "serve.worker.panic";
+    /// A pool preparation panics mid-build (the slot must stay
+    /// retryable, bounded by the pool's attempt cap).
+    pub const PREP_PANIC: &str = "harness.prep.panic";
+    /// A cache artifact write fails before the temp file hits the disk
+    /// (the cache must degrade to recompute, never to an error).
+    pub const CACHE_WRITE_FAIL: &str = "harness.cache.write_fail";
+    /// A cache artifact is corrupted *after* its rename lands (one byte
+    /// flipped); the next load must be a miss, never a panic or a wrong
+    /// artifact.
+    pub const CACHE_CORRUPT: &str = "harness.cache.corrupt";
+
+    /// Every injection point, in documentation order.
+    pub const ALL: [&str; 10] = [
+        SERVE_READ_INTERRUPT,
+        SERVE_READ_DELAY,
+        SERVE_READ_RESET,
+        SERVE_WRITE_TORN,
+        SERVE_WRITE_RESET,
+        SERVE_WRITE_STALL,
+        WORKER_PANIC,
+        PREP_PANIC,
+        CACHE_WRITE_FAIL,
+        CACHE_CORRUPT,
+    ];
+}
+
+/// FNV-1a over a byte string (local copy so the crate stays
+/// dependency-free; the constant matches `mg_isa::wire::fnv1a`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One xorshift64* step — the only "randomness" in the crate, keyed
+/// entirely by its input.
+fn xorshift64star(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Per-point firing configuration plus its live counters.
+struct Point {
+    name: &'static str,
+    /// Firing rate out of 1000 hits (0 = disabled).
+    permille: u32,
+    /// Cap on total fires (`u64::MAX` = unlimited). `with_burst` uses
+    /// this to make "fail exactly the first hit" deterministic in tests.
+    max_fires: u64,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// A deterministic, seed-driven fault schedule (see the [module
+/// docs](self)).
+///
+/// Cheap to share: wrap in an [`Arc`] and hand clones to the server
+/// config, the session builder, and the harness hooks. All state is
+/// atomic — hooks run concurrently from worker and handler threads.
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<Point>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("points", &self.report())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan under `seed`: every point disabled until
+    /// [`FaultPlan::with`] enables it.
+    pub fn new(seed: u64) -> FaultPlan {
+        let points = points::ALL
+            .iter()
+            .map(|&name| Point {
+                name,
+                permille: 0,
+                max_fires: u64::MAX,
+                hits: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            })
+            .collect();
+        FaultPlan { seed, points }
+    }
+
+    /// A plan with **every** point enabled at `permille` (the
+    /// `mg chaos --faults all` configuration).
+    pub fn all(seed: u64, permille: u32) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        for point in &mut plan.points {
+            point.permille = permille.min(1000);
+        }
+        plan
+    }
+
+    /// Enables `point` at `permille` fires per 1000 hits (builder
+    /// style). Unknown names are ignored — plans are configuration, not
+    /// assertions.
+    pub fn with(mut self, point: &str, permille: u32) -> FaultPlan {
+        if let Some(p) = self.points.iter_mut().find(|p| p.name == point) {
+            p.permille = permille.min(1000);
+        }
+        self
+    }
+
+    /// Enables `point` at `permille` but caps it at `max_fires` total
+    /// fires — `with_burst(p, 1000, 1)` means "fail exactly the first
+    /// hit, then behave", the deterministic shape resilience tests want.
+    pub fn with_burst(mut self, point: &str, permille: u32, max_fires: u64) -> FaultPlan {
+        if let Some(p) = self.points.iter_mut().find(|p| p.name == point) {
+            p.permille = permille.min(1000);
+            p.max_fires = max_fires;
+        }
+        self
+    }
+
+    /// The plan's seed (for reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Records one hit of `point` and decides whether the fault fires.
+    /// The decision depends only on `(seed, point name, hit index)`.
+    pub fn fires(&self, point: &str) -> bool {
+        let Some(p) = self.points.iter().find(|p| p.name == point) else {
+            return false;
+        };
+        let hit = p.hits.fetch_add(1, Ordering::Relaxed);
+        if p.permille == 0 || p.fired.load(Ordering::Relaxed) >= p.max_fires {
+            return false;
+        }
+        let roll = xorshift64star(
+            self.seed ^ fnv1a(point.as_bytes()) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if roll % 1000 < p.permille as u64 {
+            // Racing hits may overshoot max_fires by the number of
+            // concurrent callers; the cap is a test-determinism device
+            // (used with single-threaded hit sequences), not a hard
+            // budget, so the relaxed check is enough.
+            p.fired.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// How many times `point` has fired so far.
+    pub fn fired(&self, point: &str) -> u64 {
+        self.points
+            .iter()
+            .find(|p| p.name == point)
+            .map_or(0, |p| p.fired.load(Ordering::Relaxed))
+    }
+
+    /// How many times `point` has been hit (fired or not).
+    pub fn hits(&self, point: &str) -> u64 {
+        self.points
+            .iter()
+            .find(|p| p.name == point)
+            .map_or(0, |p| p.hits.load(Ordering::Relaxed))
+    }
+
+    /// `(point, fires)` for every point that fired at least once — the
+    /// soak report's fault ledger.
+    pub fn report(&self) -> Vec<(&'static str, u64)> {
+        self.points
+            .iter()
+            .filter_map(|p| {
+                let fired = p.fired.load(Ordering::Relaxed);
+                (fired > 0).then_some((p.name, fired))
+            })
+            .collect()
+    }
+}
+
+/// How long [`FaultyStream`] sleeps when [`points::SERVE_READ_DELAY`]
+/// fires. Short enough to keep soaks fast, long enough to be a real
+/// stall relative to loopback round-trips.
+pub const READ_DELAY: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// A [`Read`] + [`Write`] wrapper that injects the `serve.*` socket
+/// faults of a [`FaultPlan`] into an underlying stream. The server
+/// wraps every accepted connection in one when a plan is installed.
+pub struct FaultyStream<S> {
+    inner: S,
+    plan: Arc<FaultPlan>,
+    /// Set after a torn write: the stream wrote a partial frame and the
+    /// next write must fail, like a peer that vanished mid-frame.
+    torn: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: Arc<FaultPlan>) -> FaultyStream<S> {
+        FaultyStream { inner, plan, torn: false }
+    }
+
+    /// The wrapped stream (for delegating non-I/O operations like
+    /// socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.plan.fires(points::SERVE_READ_RESET) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected read reset",
+            ));
+        }
+        if self.plan.fires(points::SERVE_READ_INTERRUPT) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected read interrupt",
+            ));
+        }
+        if self.plan.fires(points::SERVE_READ_DELAY) {
+            std::thread::sleep(READ_DELAY);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.torn {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected torn-write reset",
+            ));
+        }
+        if self.plan.fires(points::SERVE_WRITE_RESET) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected write reset",
+            ));
+        }
+        if self.plan.fires(points::SERVE_WRITE_STALL) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "injected write stall (slow client)",
+            ));
+        }
+        if buf.len() >= 2 && self.plan.fires(points::SERVE_WRITE_TORN) {
+            // Write a strict prefix, then arm the reset: the caller's
+            // `write_all` loop comes back for the rest and fails — the
+            // peer sees a torn frame.
+            self.torn = true;
+            return self.inner.write(&buf[..buf.len() / 2]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_differ_across_seeds() {
+        let seq = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed).with(points::SERVE_WRITE_RESET, 300);
+            (0..64).map(|_| plan.fires(points::SERVE_WRITE_RESET)).collect()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same schedule");
+        assert_ne!(seq(7), seq(8), "different seed, different schedule");
+        // The rate is roughly honoured (300‰ over 64 hits: expect a
+        // handful, not zero and not all).
+        let fires = seq(7).iter().filter(|f| **f).count();
+        assert!((1..64).contains(&fires), "fires={fires}");
+    }
+
+    #[test]
+    fn points_are_independent_and_unknown_points_never_fire() {
+        let plan = FaultPlan::new(1).with(points::PREP_PANIC, 1000);
+        assert!(plan.fires(points::PREP_PANIC));
+        assert!(!plan.fires(points::CACHE_CORRUPT), "other points stay disabled");
+        assert!(!plan.fires("no.such.point"));
+        assert_eq!(plan.hits(points::PREP_PANIC), 1);
+        assert_eq!(plan.hits(points::CACHE_CORRUPT), 1);
+        assert_eq!(plan.report(), vec![(points::PREP_PANIC, 1)]);
+    }
+
+    #[test]
+    fn burst_caps_total_fires() {
+        let plan = FaultPlan::new(3).with_burst(points::SERVE_WRITE_STALL, 1000, 2);
+        let fires: Vec<bool> = (0..16).map(|_| plan.fires(points::SERVE_WRITE_STALL)).collect();
+        assert_eq!(fires.iter().filter(|f| **f).count(), 2, "capped at two fires");
+        assert_eq!(fires[..2], [true, true], "at full rate the first hits fire");
+        assert_eq!(plan.fired(points::SERVE_WRITE_STALL), 2);
+    }
+
+    #[test]
+    fn faulty_stream_tears_exactly_one_frame_then_resets() {
+        let plan = Arc::new(FaultPlan::new(5).with_burst(points::SERVE_WRITE_TORN, 1000, 1));
+        let mut out = Vec::new();
+        let mut s = FaultyStream::new(&mut out, Arc::clone(&plan));
+        let err = s.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert_eq!(out, b"01234", "half the frame landed before the tear");
+    }
+
+    #[test]
+    fn faulty_stream_read_interrupt_is_transparent_to_read_exact() {
+        // `Read::read_exact` retries Interrupted, so an injected
+        // interrupt must not surface — that transparency is exactly what
+        // the point exists to prove.
+        let plan =
+            Arc::new(FaultPlan::new(9).with_burst(points::SERVE_READ_INTERRUPT, 1000, 1));
+        let data = b"abcdef".as_slice();
+        let mut s = FaultyStream::new(data, plan);
+        let mut buf = [0u8; 6];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn all_points_have_distinct_names() {
+        let mut names = points::ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), points::ALL.len());
+    }
+}

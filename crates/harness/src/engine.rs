@@ -194,6 +194,7 @@ pub struct EngineBuilder {
     cache_dir: Option<PathBuf>,
     pool: Option<Arc<PrepPool>>,
     observer: Option<CellObserver>,
+    fault_plan: Option<Arc<mg_fault::FaultPlan>>,
 }
 
 impl EngineBuilder {
@@ -209,6 +210,7 @@ impl EngineBuilder {
             cache_dir: None,
             pool: None,
             observer: None,
+            fault_plan: None,
         }
     }
 
@@ -382,6 +384,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Arms deterministic fault injection (see [`mg_fault::FaultPlan`])
+    /// for this engine's preparation side effects: the artifact cache's
+    /// `harness.cache.*` points fire on store. Chaos-testing machinery —
+    /// production builds never set this.
+    pub fn fault_plan(mut self, plan: Arc<mg_fault::FaultPlan>) -> EngineBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Prepares all selected workloads — every registered one if none
     /// were named — in parallel, and returns the engine.
     ///
@@ -414,13 +425,20 @@ impl EngineBuilder {
             cache_dir,
             pool,
             observer,
+            fault_plan,
         } = self;
         if sources.is_empty() {
             sources.extend(mg_workloads::all().into_iter().map(Source::Registered));
             sources.extend(Self::unshadowed_extras(&extra).cloned().map(Source::Extra));
         }
         let cache = match cache_dir {
-            Some(dir) if !PrepCache::disabled_by_env() => Some(Arc::new(PrepCache::new(dir))),
+            Some(dir) if !PrepCache::disabled_by_env() => {
+                let mut cache = PrepCache::new(dir);
+                if let Some(plan) = fault_plan {
+                    cache = cache.with_fault_plan(plan);
+                }
+                Some(Arc::new(cache))
+            }
             _ => None,
         };
         // Everything a pooled prep's identity depends on beyond the

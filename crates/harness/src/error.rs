@@ -66,6 +66,18 @@ pub enum HarnessError {
         /// Best-effort panic payload text.
         message: String,
     },
+    /// A shared [`PrepPool`](crate::pool::PrepPool) slot failed its
+    /// bounded retry budget: every attempt errored or panicked, and the
+    /// slot now refuses further preparations (terminal — retrying the
+    /// same closure a fourth time is not going to go differently).
+    Exhausted {
+        /// Workload name.
+        workload: String,
+        /// How many preparation attempts failed.
+        attempts: u64,
+        /// The last attempt's failure, rendered.
+        last: String,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -89,6 +101,13 @@ impl fmt::Display for HarnessError {
             HarnessError::Panicked { workload, message } => {
                 write!(f, "preparation of workload {workload:?} panicked: {message}")
             }
+            HarnessError::Exhausted { workload, attempts, last } => {
+                write!(
+                    f,
+                    "preparation of workload {workload:?} failed {attempts} times and is \
+                     exhausted; last failure: {last}"
+                )
+            }
         }
     }
 }
@@ -96,7 +115,9 @@ impl fmt::Display for HarnessError {
 impl Error for HarnessError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            HarnessError::UnknownWorkload { .. } | HarnessError::Panicked { .. } => None,
+            HarnessError::UnknownWorkload { .. }
+            | HarnessError::Panicked { .. }
+            | HarnessError::Exhausted { .. } => None,
             HarnessError::Build { source, .. } => Some(source.as_ref()),
             HarnessError::Exec { source, .. } | HarnessError::Rewrite { source, .. } => {
                 Some(source)
@@ -113,7 +134,8 @@ impl HarnessError {
             HarnessError::Build { workload, .. }
             | HarnessError::Exec { workload, .. }
             | HarnessError::Rewrite { workload, .. }
-            | HarnessError::Panicked { workload, .. } => Some(workload),
+            | HarnessError::Panicked { workload, .. }
+            | HarnessError::Exhausted { workload, .. } => Some(workload),
         }
     }
 }

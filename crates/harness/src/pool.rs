@@ -23,12 +23,21 @@
 
 use crate::error::{panic_message, HarnessError};
 use crate::prep::Prep;
+use mg_fault::{points, FaultPlan};
 use mg_workloads::Input;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bounded retry budget per pool slot: after this many failed (errored
+/// or panicked) preparations of one key, the slot turns terminal and
+/// answers [`HarnessError::Exhausted`] instead of re-running the
+/// closure. Transient failures get retried; a deterministic failure
+/// cannot starve a stream of waiters into serially re-running it
+/// forever.
+pub const MAX_PREP_ATTEMPTS: u64 = 3;
 
 /// Everything a pooled prep's identity depends on. Two engines whose
 /// preparation would produce bit-identical `Prep`s share an entry; any
@@ -75,16 +84,24 @@ pub struct PrepPool {
     slots: Mutex<HashMap<PoolKey, Arc<Slot>>>,
     prepared: AtomicU64,
     reused: AtomicU64,
+    retried: AtomicU64,
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// One pool slot. `once` holds the warm prep; `init` serializes the
 /// fallible preparation path, so concurrent first touches block on the
 /// single preparation instead of duplicating it, while an `Err` (which
-/// must not be cached) releases the lock and leaves the slot retryable.
+/// must not be cached) releases the lock and leaves the slot retryable —
+/// up to [`MAX_PREP_ATTEMPTS`] failures, after which the slot is
+/// exhausted.
 #[derive(Default)]
 struct Slot {
     once: OnceLock<Arc<Prep>>,
     init: Mutex<()>,
+    /// Failed preparation attempts so far (written under `init`).
+    failures: AtomicU64,
+    /// The most recent failure, rendered (for the `Exhausted` report).
+    last_error: Mutex<Option<String>>,
 }
 
 impl PrepPool {
@@ -147,12 +164,43 @@ impl PrepPool {
             self.reused.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(prep));
         }
-        let prep = std::panic::catch_unwind(AssertUnwindSafe(prepare)).map_err(|panic| {
-            HarnessError::Panicked {
-                workload: workload.clone(),
-                message: panic_message(panic.as_ref()),
+        // Bounded retry: a slot whose preparation has failed
+        // MAX_PREP_ATTEMPTS times is exhausted — without the cap, a
+        // deterministic failure makes every concurrent waiter re-run the
+        // closure serially, forever.
+        let failures = slot.failures.load(Ordering::Relaxed);
+        if failures >= MAX_PREP_ATTEMPTS {
+            let last = slot
+                .last_error
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone()
+                .unwrap_or_else(|| "unrecorded failure".to_string());
+            return Err(HarnessError::Exhausted { workload, attempts: failures, last });
+        }
+        let fault_plan = self.fault_plan.lock().unwrap().clone();
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &fault_plan {
+                if plan.fires(points::PREP_PANIC) {
+                    panic!("injected fault: prep panic");
+                }
             }
-        })??;
+            prepare()
+        }))
+        .map_err(|panic| HarnessError::Panicked {
+            workload: workload.clone(),
+            message: panic_message(panic.as_ref()),
+        });
+        let prep = match attempt.and_then(|r| r) {
+            Ok(prep) => prep,
+            Err(e) => {
+                slot.failures.fetch_add(1, Ordering::Relaxed);
+                *slot.last_error.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) =
+                    Some(e.to_string());
+                self.retried.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
         // Infallible from here: publish and count. (Every entry point
         // funnels through this init lock, so `built` is only ever false
         // here if a pre-lock fast path raced us to the publish.)
@@ -179,6 +227,21 @@ impl PrepPool {
     /// How many requests were satisfied by an already-warm prep.
     pub fn reused(&self) -> u64 {
         self.reused.load(Ordering::Relaxed)
+    }
+
+    /// How many preparation attempts failed (each leaves its slot
+    /// retryable until [`MAX_PREP_ATTEMPTS`] is reached). Exported as
+    /// `preps_retried` by `mg serve --stats`.
+    pub fn retried(&self) -> u64 {
+        self.retried.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) a deterministic fault plan: subsequent
+    /// preparations consult its `harness.prep.panic` point and panic —
+    /// inside the pool's containment — when it fires. Used by `mg chaos`
+    /// to exercise the retry/exhaustion machinery.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault_plan.lock().unwrap() = plan;
     }
 
     /// Number of distinct warm preps currently held.
@@ -275,8 +338,89 @@ mod tests {
         });
         assert!(err.is_err());
         assert_eq!((pool.prepared(), pool.reused()), (0, 0), "a failure counts as nothing");
+        assert_eq!(pool.retried(), 1, "the failed attempt is counted");
         let ok = pool.try_get_or_prepare(key("crc32", 800), || Ok(tiny_prep("crc32")));
         assert!(ok.is_ok(), "the slot stayed retryable");
         assert_eq!((pool.prepared(), pool.reused()), (1, 0));
+    }
+
+    #[test]
+    fn failing_slot_exhausts_after_bounded_retries() {
+        let pool = PrepPool::new();
+        let runs = AtomicU64::new(0);
+        for attempt in 0..MAX_PREP_ATTEMPTS {
+            let err = pool
+                .try_get_or_prepare(key("crc32", 900), || {
+                    runs.fetch_add(1, Ordering::Relaxed);
+                    Err(crate::error::HarnessError::UnknownWorkload { name: "boom".into() })
+                })
+                .err()
+                .expect("expected a preparation failure");
+            assert!(
+                !matches!(err, crate::error::HarnessError::Exhausted { .. }),
+                "attempt {attempt} is still retryable, got {err}"
+            );
+        }
+        // The budget is spent: the closure must not run again, and the
+        // error is terminal with the last failure attached.
+        let err = pool
+            .try_get_or_prepare(key("crc32", 900), || {
+                runs.fetch_add(1, Ordering::Relaxed);
+                Ok(tiny_prep("crc32"))
+            })
+            .err()
+            .expect("expected a preparation failure");
+        match err {
+            crate::error::HarnessError::Exhausted { attempts, ref last, .. } => {
+                assert_eq!(attempts, MAX_PREP_ATTEMPTS);
+                assert!(last.contains("boom"), "last failure preserved: {last}");
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), MAX_PREP_ATTEMPTS);
+        assert_eq!(pool.retried(), MAX_PREP_ATTEMPTS);
+        // Other keys are unaffected.
+        assert!(pool.try_get_or_prepare(key("crc32", 901), || Ok(tiny_prep("crc32"))).is_ok());
+    }
+
+    #[test]
+    fn panicking_preps_count_against_the_retry_budget() {
+        let pool = PrepPool::new();
+        for _ in 0..MAX_PREP_ATTEMPTS {
+            let err = pool
+                .try_get_or_prepare(key("bitcount", 900), || panic!("flaky source"))
+                .err()
+                .expect("expected a preparation failure");
+            assert!(matches!(err, crate::error::HarnessError::Panicked { .. }), "{err}");
+        }
+        let err = pool
+            .try_get_or_prepare(key("bitcount", 900), || Ok(tiny_prep("bitcount")))
+            .err()
+            .expect("expected a preparation failure");
+        assert!(matches!(err, crate::error::HarnessError::Exhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_prep_panics_are_contained_and_deterministic() {
+        let pool = PrepPool::new();
+        // permille 1000 + one-fire cap: exactly the first preparation
+        // panics, the retry succeeds.
+        pool.set_fault_plan(Some(Arc::new(mg_fault::FaultPlan::new(7).with_burst(
+            mg_fault::points::PREP_PANIC,
+            1000,
+            1,
+        ))));
+        let err = pool
+            .try_get_or_prepare(key("crc32", 950), || Ok(tiny_prep("crc32")))
+            .err()
+            .expect("expected a preparation failure");
+        assert!(
+            matches!(err, crate::error::HarnessError::Panicked { ref message, .. }
+                if message.contains("injected fault")),
+            "{err}"
+        );
+        let ok = pool.try_get_or_prepare(key("crc32", 950), || Ok(tiny_prep("crc32")));
+        assert!(ok.is_ok(), "slot recovered after the injected panic");
+        assert_eq!((pool.prepared(), pool.retried()), (1, 1));
     }
 }

@@ -37,13 +37,17 @@
 //!
 //! Files are named by the FNV hash of the full key, and the full key bytes
 //! are stored in each file's header and verified on load — a hash
-//! collision degrades to a miss, never to a wrong artifact. Writes go to a
+//! collision degrades to a miss, never to a wrong artifact. Every file
+//! ends in a whole-file FNV-1a checksum trailer, verified before any
+//! byte reaches the payload decoder: a flipped bit that would still
+//! decode structurally (the codec cannot range-check cross-references)
+//! is a miss, never a wrong prep. Writes go to a
 //! unique temp file renamed into place, so concurrent writers (the
 //! engine's worker threads, or parallel CI jobs sharing a target dir)
 //! race benignly: both compute the identical artifact, last rename wins,
 //! and readers only ever see complete files. Any read error — truncation,
-//! foreign bytes, stale schema — is a miss; the artifact is recomputed
-//! and the file overwritten.
+//! foreign bytes, corruption, stale schema — is a miss; the artifact is
+//! recomputed and the file overwritten.
 
 use crate::prep::MgImage;
 use mg_core::{Policy, RewriteStyle, Selection};
@@ -119,6 +123,9 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct PrepCache {
     root: PathBuf,
+    /// Deterministic fault schedule for the write path (see
+    /// [`PrepCache::with_fault_plan`]); `None` in production.
+    fault_plan: Option<std::sync::Arc<mg_fault::FaultPlan>>,
 }
 
 /// Uniquifier for temp-file names within one process.
@@ -128,7 +135,19 @@ impl PrepCache {
     /// Opens (lazily — no I/O happens until the first store) a cache
     /// rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> PrepCache {
-        PrepCache { root: root.into() }
+        PrepCache { root: root.into(), fault_plan: None }
+    }
+
+    /// Installs a deterministic fault plan: stores consult
+    /// `harness.cache.write_fail` (the write is skipped, degrading to a
+    /// recompute on the next load) and `harness.cache.corrupt` (one byte
+    /// of the landed file is flipped *after* the rename, so the next
+    /// load must reject it as a miss). Both faults must be invisible to
+    /// results — the cache's own contract is that any bad file is a
+    /// miss, never an error or a wrong artifact.
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<mg_fault::FaultPlan>) -> PrepCache {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The default cache root: `$MG_CACHE_DIR`, or `target/mg-cache`
@@ -162,11 +181,23 @@ impl PrepCache {
         self.dir().join(format!("{}-{:016x}.bin", kind.prefix(), wire::fnv1a(key)))
     }
 
-    /// Loads and payload-decodes an artifact, verifying magic, kind, and
-    /// the full key. Any mismatch or error is a miss.
+    /// Loads and payload-decodes an artifact, verifying the whole-file
+    /// checksum, the magic, the kind, and the full key. Any mismatch or
+    /// error is a miss.
     fn load<T: Wire>(&self, kind: Kind, key: &[u8]) -> Option<T> {
         let bytes = std::fs::read(self.file_path(kind, key)).ok()?;
-        let mut r = wire::Reader::new(&bytes);
+        // Checksum first: nothing downstream (including the payload
+        // decoder, which cannot range-check cross-references) ever
+        // sees a damaged byte.
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        if trailer != &wire::fnv1a(body).to_le_bytes()[..] {
+            return None;
+        }
+        let bytes = body;
+        let mut r = wire::Reader::new(bytes);
         let mut magic = [0u8; 4];
         for b in &mut magic {
             *b = r.u8().ok()?;
@@ -193,12 +224,24 @@ impl PrepCache {
     /// failures are ignored — the cache is an accelerator, not a store of
     /// record).
     fn store<T: Wire>(&self, kind: Kind, key: &[u8], value: &T) {
+        if let Some(plan) = &self.fault_plan {
+            if plan.fires(mg_fault::points::CACHE_WRITE_FAIL) {
+                return; // an ignored write failure: next load recomputes
+            }
+        }
         let mut w = Writer::new();
         w.raw(MAGIC);
         w.u8(kind.tag());
         w.u64(key.len() as u64);
         w.raw(key);
         value.put(&mut w);
+        // Whole-file checksum trailer: a flipped bit anywhere in the
+        // body — including one that still decodes to a structurally
+        // valid but semantically wrong artifact — must be a miss, not
+        // a wrong prep (or a panic deep inside selection/rewriting).
+        let mut bytes = w.into_bytes();
+        let sum = wire::fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
         let dir = self.dir();
         if std::fs::create_dir_all(&dir).is_err() {
             return;
@@ -208,10 +251,27 @@ impl PrepCache {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, w.into_bytes()).is_ok() {
-            let _ = std::fs::rename(&tmp, self.file_path(kind, key));
+        let path = self.file_path(kind, key);
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
         }
         let _ = std::fs::remove_file(&tmp); // no-op after a successful rename
+        if let Some(plan) = &self.fault_plan {
+            if plan.fires(mg_fault::points::CACHE_CORRUPT) {
+                // Post-write corruption: flip one byte in place, at a
+                // key-dependent offset so different artifacts corrupt
+                // in different places (header, key, payload, or
+                // trailer). The checksum must turn every one of these
+                // into a miss on the next load.
+                if let Ok(mut corrupted) = std::fs::read(&path) {
+                    if !corrupted.is_empty() {
+                        let at = (wire::fnv1a(key) as usize) % corrupted.len();
+                        corrupted[at] ^= 0x40;
+                        let _ = std::fs::write(&path, corrupted);
+                    }
+                }
+            }
+        }
     }
 
     /// Looks up a cached selection.

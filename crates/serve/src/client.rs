@@ -40,12 +40,62 @@ enum Endpoint {
 /// let client = Client::tcp(addr.to_string());
 /// assert_eq!(client.ping().unwrap(), mg_serve::PROTOCOL_VERSION);
 ///
-/// client.request(&Request::Shutdown, |_| {}).unwrap();
+/// client.request(&Request::Shutdown { drain: true }, |_| {}).unwrap();
 /// handle.join().unwrap().unwrap();
 /// ```
 #[derive(Clone, Debug)]
 pub struct Client {
     endpoint: Endpoint,
+}
+
+/// Capped exponential backoff with deterministic jitter, used by
+/// [`Client::request_with_retry`].
+///
+/// The jitter is a pure function of `(jitter_seed, attempt)` — an
+/// xorshift step, no wall clock, no global RNG — so a retry schedule
+/// replays exactly under the same seed (the property `mg chaos` leans
+/// on). Each failed attempt `i` (0-based) sleeps
+/// `min(backoff_ms · 2^i, max_backoff_ms)` scaled by a jitter factor in
+/// `[0.5, 1.0)`.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; `1` means no retries).
+    pub attempts: u32,
+    /// Base backoff before the second attempt, in milliseconds.
+    pub backoff_ms: u64,
+    /// Cap on a single backoff sleep, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { attempts: 3, backoff_ms: 50, max_backoff_ms: 2_000, jitter_seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before attempt `attempt + 1` (0-based failed attempt).
+    pub fn delay(&self, attempt: u32) -> std::time::Duration {
+        let exp = self.backoff_ms.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(self.max_backoff_ms);
+        // A splitmix64 finalizer over (seed, attempt) → jitter in
+        // [0.5, 1). Full avalanche, so adjacent seeds diverge (a
+        // plain xorshift state seeded with `seed ^ ...` loses the
+        // seed's low bits to the zero-state guard).
+        let mut x = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let jitter_permille = 500 + (x % 500);
+        std::time::Duration::from_millis(
+            (u128::from(capped) * u128::from(jitter_permille) / 1000) as u64,
+        )
+    }
 }
 
 impl Client {
@@ -100,6 +150,51 @@ impl Client {
                 return Ok(resp);
             }
             on_event(&resp);
+        }
+    }
+
+    /// [`Client::request`] under `policy`: failed connects, mid-stream
+    /// I/O errors, **and** terminal [`Response::Busy`] replies are all
+    /// retried (with the policy's capped, jittered backoff) until the
+    /// attempt budget runs out.
+    ///
+    /// Resumption is idempotent: because equal requests coalesce
+    /// server-side and the batch replays its emitted frames to a
+    /// re-connecting client, a retried stream repeats the frames already
+    /// seen — they are deduplicated *by position* (the first `n`
+    /// non-terminal frames of the replay are skipped when `n` were
+    /// already forwarded), so `on_event` sees each frame exactly once
+    /// even when the connection dies mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's I/O error once the budget is exhausted.
+    pub fn request_with_retry(
+        &self,
+        request: &Request,
+        policy: &RetryPolicy,
+        mut on_event: impl FnMut(&Response),
+    ) -> std::io::Result<Response> {
+        let attempts = policy.attempts.max(1);
+        let mut forwarded = 0usize;
+        let mut attempt = 0u32;
+        loop {
+            let mut seen = 0usize;
+            let result = self.request(request, |resp| {
+                seen += 1;
+                if seen > forwarded {
+                    forwarded = seen;
+                    on_event(resp);
+                }
+            });
+            match result {
+                Ok(Response::Busy { .. }) if attempt + 1 < attempts => {}
+                Ok(terminal) => return Ok(terminal),
+                Err(_) if attempt + 1 < attempts => {}
+                Err(e) => return Err(e),
+            }
+            std::thread::sleep(policy.delay(attempt));
+            attempt += 1;
         }
     }
 

@@ -34,8 +34,9 @@ pub mod server;
 #[doc = include_str!("../../../docs/PROTOCOL.md")]
 pub mod spec {}
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use protocol::{
-    read_hello, send_hello, Request, Response, RunRequest, CONNECT_MAGIC, PROTOCOL_VERSION,
+    read_hello, send_hello, Request, Response, RunRequest, CONNECT_MAGIC, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 pub use server::{EmitFn, RunOutcome, Runner, Server, ServerConfig, StatsExtra};

@@ -18,12 +18,30 @@
 //! schema bump changes what a byte-identical request may return and old
 //! clients must not silently mix results across it. The pairing is
 //! asserted by `crates/bench/tests/serve.rs`.
+//!
+//! Since v3 the server *negotiates down*: it accepts any client version
+//! in `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` and encodes its replies
+//! in the dialect the client announced ([`Response::for_version`]
+//! downgrades frames a v2 client would not recognise — today only
+//! [`Response::Expired`], which becomes an [`Response::Error`]). The v3
+//! additions themselves were chosen to be v2-compatible on the request
+//! path: `Shutdown`'s `drain` flag is encoded only when present, and a
+//! flagless v2 `Shutdown` decodes as `drain: true` (the old behaviour).
 
 use mg_isa::wire::{Reader, Wire, WireError, Writer};
 
 /// Version sent in the connection handshake; see the module docs for the
 /// bump rules (frame layout changes and cache schema bumps).
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// History: v1 initial; v2 added `RunRequest::no_fuse`; v3 added
+/// [`Response::Expired`], the `drain` flag on [`Request::Shutdown`], and
+/// downward negotiation to [`MIN_PROTOCOL_VERSION`].
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest client version the server still speaks (see the module docs'
+/// versioning section). Clients older than this are rejected with an
+/// [`Response::Error`] naming both versions.
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// Magic bytes every connection opens with, before the version word.
 pub const CONNECT_MAGIC: &[u8; 4] = b"MGSV";
@@ -114,9 +132,15 @@ pub enum Request {
     Run(RunRequest),
     /// Service counters; answered by [`Response::Stats`].
     Stats,
-    /// Drain the queue and stop the server; answered by
-    /// [`Response::Done`] once accepted.
-    Shutdown,
+    /// Stop the server; answered by [`Response::Done`] once accepted.
+    Shutdown {
+        /// `true` finishes already-queued work under the server's drain
+        /// deadline before exiting (new runs are refused with
+        /// [`Response::Busy`] meanwhile); `false` abandons the queue,
+        /// answering queued requests with [`Response::Error`]. v2
+        /// clients cannot encode the flag and get `drain: true`.
+        drain: bool,
+    },
 }
 
 /// One server→client frame payload.
@@ -169,6 +193,18 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
+    /// Terminal deadline miss (v3): the request exceeded its queue-time
+    /// or run-time budget and was expired by the server. v2 clients
+    /// receive this downgraded to [`Response::Error`]
+    /// ([`Response::for_version`]).
+    Expired {
+        /// Which budget ran out: `"queue"` or `"run"`.
+        phase: String,
+        /// How long the request had been in that phase, in milliseconds.
+        waited_ms: u64,
+        /// The configured budget for that phase, in milliseconds.
+        budget_ms: u64,
+    },
     /// Reply to [`Request::Stats`]: named counters, in stable order.
     Stats {
         /// `(name, value)` counter pairs.
@@ -185,8 +221,27 @@ impl Response {
             | Response::Done { .. }
             | Response::Busy { .. }
             | Response::Error { .. }
+            | Response::Expired { .. }
             | Response::Stats { .. } => true,
             Response::Queued { .. } | Response::Cell { .. } => false,
+        }
+    }
+
+    /// The frame actually sent to a peer that negotiated `version`:
+    /// frames a pre-v3 dialect has no tag for are downgraded to
+    /// equivalents it does. Today that is only [`Response::Expired`],
+    /// which becomes an [`Response::Error`] carrying the same facts in
+    /// its message; every other frame passes through unchanged.
+    pub fn for_version(&self, version: u32) -> std::borrow::Cow<'_, Response> {
+        match self {
+            Response::Expired { phase, waited_ms, budget_ms } if version < 3 => {
+                std::borrow::Cow::Owned(Response::Error {
+                    message: format!(
+                        "expired: {phase} deadline exceeded ({waited_ms}ms waited, {budget_ms}ms budget)"
+                    ),
+                })
+            }
+            other => std::borrow::Cow::Borrowed(other),
         }
     }
 }
@@ -225,7 +280,10 @@ impl Wire for Request {
                 req.put(w);
             }
             Request::Stats => w.u8(2),
-            Request::Shutdown => w.u8(3),
+            Request::Shutdown { drain } => {
+                w.u8(3);
+                drain.put(w);
+            }
         }
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -233,7 +291,11 @@ impl Wire for Request {
             0 => Ok(Request::Ping),
             1 => Ok(Request::Run(RunRequest::take(r)?)),
             2 => Ok(Request::Stats),
-            3 => Ok(Request::Shutdown),
+            // A v2 `Shutdown` frame is the bare tag; its payload reader
+            // is exhausted here, and the old behaviour was to drain.
+            3 => Ok(Request::Shutdown {
+                drain: if r.is_exhausted() { true } else { bool::take(r)? },
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -275,6 +337,12 @@ impl Wire for Response {
                 w.u8(6);
                 pairs.put(w);
             }
+            Response::Expired { phase, waited_ms, budget_ms } => {
+                w.u8(7);
+                w.str(phase);
+                w.u64(*waited_ms);
+                w.u64(*budget_ms);
+            }
         }
     }
     fn take(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -291,6 +359,9 @@ impl Wire for Response {
             4 => Response::Busy { depth: r.u64()?, capacity: r.u64()? },
             5 => Response::Error { message: r.str()? },
             6 => Response::Stats { pairs: Vec::take(r)? },
+            7 => {
+                Response::Expired { phase: r.str()?, waited_ms: r.u64()?, budget_ms: r.u64()? }
+            }
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -313,7 +384,8 @@ mod tests {
                 ..RunRequest::new("fig6")
             }),
             Request::Stats,
-            Request::Shutdown,
+            Request::Shutdown { drain: true },
+            Request::Shutdown { drain: false },
         ];
         let responses = vec![
             Response::Pong { protocol: PROTOCOL_VERSION },
@@ -328,6 +400,7 @@ mod tests {
             Response::Busy { depth: 16, capacity: 16 },
             Response::Error { message: "unknown experiment".into() },
             Response::Stats { pairs: vec![("served".into(), 9)] },
+            Response::Expired { phase: "queue".into(), waited_ms: 1500, budget_ms: 1000 },
         ];
         let mut buf = Vec::new();
         for q in &requests {
@@ -353,6 +426,9 @@ mod tests {
         assert!(Response::Busy { depth: 0, capacity: 0 }.is_terminal());
         assert!(Response::Error { message: String::new() }.is_terminal());
         assert!(Response::Stats { pairs: vec![] }.is_terminal());
+        assert!(
+            Response::Expired { phase: "run".into(), waited_ms: 0, budget_ms: 0 }.is_terminal()
+        );
         assert!(!Response::Queued { position: 0 }.is_terminal());
         assert!(!Response::Cell {
             workload: String::new(),
@@ -361,6 +437,42 @@ mod tests {
             ops: 0
         }
         .is_terminal());
+    }
+
+    #[test]
+    fn bare_v2_shutdown_decodes_as_drain() {
+        // A v2 client encodes `Shutdown` as the tag byte alone.
+        let v2_frame = [3u8];
+        let decoded = mg_isa::wire::from_bytes::<Request>(&v2_frame).unwrap();
+        assert_eq!(decoded, Request::Shutdown { drain: true });
+        // And the v3 encodings round-trip distinctly.
+        for drain in [true, false] {
+            let bytes = mg_isa::wire::to_bytes(&Request::Shutdown { drain });
+            assert_eq!(bytes.len(), 2);
+            assert_eq!(
+                mg_isa::wire::from_bytes::<Request>(&bytes).unwrap(),
+                Request::Shutdown { drain }
+            );
+        }
+    }
+
+    #[test]
+    fn expired_downgrades_to_error_for_v2_and_passes_through_for_v3() {
+        let expired =
+            Response::Expired { phase: "queue".into(), waited_ms: 1500, budget_ms: 1000 };
+        match expired.for_version(2).as_ref() {
+            Response::Error { message } => {
+                assert!(message.contains("expired"), "{message}");
+                assert!(message.contains("queue"), "{message}");
+                assert!(message.contains("1500"), "{message}");
+                assert!(message.contains("1000"), "{message}");
+            }
+            other => panic!("expected Error downgrade, got {other:?}"),
+        }
+        assert_eq!(expired.for_version(3).as_ref(), &expired);
+        // Non-Expired frames are never rewritten, for any version.
+        let done = Response::Done { status: 0, payload: "x".into() };
+        assert_eq!(done.for_version(2).as_ref(), &done);
     }
 
     #[test]

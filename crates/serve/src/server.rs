@@ -1,5 +1,5 @@
 //! The experiment server: listener, bounded queue, batching scheduler,
-//! and worker pool.
+//! worker pool, and the deadline/drain watchdog.
 //!
 //! The server is deliberately generic: it knows the wire protocol, the
 //! scheduling policy (coalesce equal [`RunRequest`]s, bound the queue,
@@ -22,19 +22,43 @@
 //! * Worker threads pop batches FIFO and run them through the
 //!   [`Runner`], broadcasting progress frames as the runner emits them
 //!   and a terminal [`Response::Done`] / [`Response::Error`] at the end.
-//! * `Shutdown` stops accepting, lets the workers drain the queue, and
-//!   returns from [`Server::serve`].
+//!   A runner (or injected fault) that panics is contained: the batch is
+//!   answered with [`Response::Error`] and the worker thread survives.
+//! * `Shutdown { drain: true }` stops accepting new runs (they get
+//!   [`Response::Busy`]), finishes queued work under
+//!   [`ServerConfig::drain_deadline`], then returns from
+//!   [`Server::serve`]; `drain: false` abandons the queue, answering
+//!   queued clients with [`Response::Error`].
+//!
+//! # Deadlines and slow clients
+//!
+//! A watchdog thread (ticking every few tens of milliseconds) enforces
+//! the optional per-request budgets: a batch queued longer than
+//! [`ServerConfig::queue_deadline`] or running longer than
+//! [`ServerConfig::run_deadline`] is answered with the terminal
+//! [`Response::Expired`] and detached (an expired *run* keeps executing
+//! — threads are never killed — but its clients are released and its
+//! slot in the request index is freed). A client that stops reading
+//! mid-broadcast fails its write after
+//! [`ServerConfig::slow_client_timeout`] and is evicted from the batch
+//! without stalling the other subscribers; the eviction is counted in
+//! `evicted_slow_clients`.
 
-use crate::protocol::{read_hello, Request, Response, RunRequest, PROTOCOL_VERSION};
+use crate::protocol::{
+    read_hello, Request, Response, RunRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use mg_fault::{points, FaultPlan, FaultyStream};
 use mg_isa::wire::{self, read_frame};
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Frame sink handed to a [`Runner`]: every response emitted through it
 /// is broadcast to all clients attached to the batch, in emission order.
@@ -68,12 +92,32 @@ pub struct ServerConfig {
     /// Bound on queued (not yet running) batches; beyond it new keys get
     /// [`Response::Busy`].
     pub max_queue: usize,
-    /// Per-connection socket I/O timeout. Response frames are broadcast
-    /// under scheduler locks, so a client that stops reading must fail
-    /// fast (and be dropped from its batch) rather than wedge the
-    /// daemon; the same bound covers a client that connects but never
-    /// sends its request.
-    pub io_timeout: std::time::Duration,
+    /// Per-connection socket I/O timeout: covers reading the request
+    /// from a client that connects but never sends it.
+    pub io_timeout: Duration,
+    /// Maximum time a batch may wait in the queue before it is expired
+    /// with [`Response::Expired`] (`phase: "queue"`). `None` (the
+    /// default) disables the budget.
+    pub queue_deadline: Option<Duration>,
+    /// Maximum time a batch may *run* before its clients are answered
+    /// with [`Response::Expired`] (`phase: "run"`) and detached. The
+    /// runner itself is not killed — its result is discarded. `None`
+    /// disables the budget.
+    pub run_deadline: Option<Duration>,
+    /// How long a draining shutdown waits for queued work before
+    /// expiring whatever is left (`phase: "drain"`).
+    pub drain_deadline: Duration,
+    /// Write timeout on client sinks during broadcast: a client that
+    /// stops reading fails its write after this and is evicted from the
+    /// batch, instead of stalling the broadcast for the full
+    /// [`ServerConfig::io_timeout`].
+    pub slow_client_timeout: Duration,
+    /// Deterministic fault schedule (see [`mg_fault`]): when set, every
+    /// accepted connection is wrapped in a [`FaultyStream`] and worker
+    /// closures consult the plan's `serve.worker.panic` point. `None`
+    /// (the default) adds no hooks on the hot path beyond this option
+    /// check.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Optional extra counters for [`Response::Stats`].
     pub stats_extra: Option<StatsExtra>,
 }
@@ -83,26 +127,41 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 2,
             max_queue: 16,
-            io_timeout: std::time::Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
+            queue_deadline: None,
+            run_deadline: None,
+            drain_deadline: Duration::from_secs(10),
+            slow_client_timeout: Duration::from_secs(5),
+            faults: None,
             stats_extra: None,
         }
     }
 }
 
-/// A client sink: the write half of an accepted connection.
-type Sink = Box<dyn Write + Send>;
+/// A client attached to a batch: the write half of its connection plus
+/// the protocol version it negotiated, so every frame can be encoded in
+/// the client's dialect ([`Response::for_version`]).
+struct ClientSink {
+    stream: Box<dyn Write + Send>,
+    version: u32,
+}
 
 /// One coalesced run: the request, the clients attached to it, and the
 /// frames already emitted (for replay to late joiners).
 struct Batch {
     req: RunRequest,
+    enqueued_at: Instant,
     inner: Mutex<BatchInner>,
 }
 
 #[derive(Default)]
 struct BatchInner {
-    sinks: Vec<Sink>,
-    emitted: Vec<Vec<u8>>,
+    sinks: Vec<ClientSink>,
+    /// Emitted frames are kept as decoded [`Response`]s, not bytes:
+    /// replay re-encodes per joiner so v2 and v3 clients each get their
+    /// own dialect of the same stream.
+    emitted: Vec<Response>,
+    started_at: Option<Instant>,
     done: bool,
 }
 
@@ -125,15 +184,86 @@ fn encode_frame(resp: &Response) -> Vec<u8> {
     frame
 }
 
+/// Per-broadcast memo of `resp` encoded for each client dialect seen so
+/// far (at most one entry per supported protocol version).
+fn frame_for<'a>(
+    cache: &'a mut Vec<(u32, Vec<u8>)>,
+    resp: &Response,
+    version: u32,
+) -> &'a [u8] {
+    let idx = match cache.iter().position(|(v, _)| *v == version) {
+        Some(i) => i,
+        None => {
+            cache.push((version, encode_frame(&resp.for_version(version))));
+            cache.len() - 1
+        }
+    };
+    &cache[idx].1
+}
+
+/// Whether a sink write error means "client reads too slowly" (socket
+/// write timeout) rather than "client hung up".
+fn is_slow_client(kind: std::io::ErrorKind) -> bool {
+    matches!(kind, std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
 impl Batch {
-    /// Encodes `resp` once and broadcasts it to every attached sink,
-    /// recording it for replay. Dead sinks (client hung up) are dropped
-    /// silently.
-    fn broadcast(&self, resp: &Response) {
-        let frame = encode_frame(resp);
+    /// Broadcasts `resp` to every attached sink (encoded once per client
+    /// dialect), recording it for replay. Dead sinks (client hung up)
+    /// are dropped silently; sinks whose write times out are evicted and
+    /// counted in `evicted_slow_clients`.
+    fn broadcast(&self, resp: &Response, shared: &Shared) {
         let mut inner = self.inner.lock().unwrap();
-        inner.emitted.push(frame.clone());
-        inner.sinks.retain_mut(|s| s.write_all(&frame).and_then(|()| s.flush()).is_ok());
+        inner.emitted.push(resp.clone());
+        let mut cache: Vec<(u32, Vec<u8>)> = Vec::new();
+        inner.sinks.retain_mut(|s| {
+            let frame = frame_for(&mut cache, resp, s.version);
+            match s.stream.write_all(frame).and_then(|()| s.stream.flush()) {
+                Ok(()) => true,
+                Err(e) => {
+                    if is_slow_client(e.kind()) {
+                        shared.evicted_slow_clients.fetch_add(1, Ordering::Relaxed);
+                    }
+                    false
+                }
+            }
+        });
+    }
+
+    /// Delivers `resp` as this batch's terminal frame and seals it: the
+    /// frame joins the replay log, delivery is attempted to every sink,
+    /// `done` is set, and the sinks are dropped (the stream is
+    /// complete). Returns `None` when another path (worker vs watchdog
+    /// vs shutdown) already finished the batch, otherwise the number of
+    /// sinks delivery was attempted to.
+    fn finish(&self, resp: &Response, shared: &Shared, count_served: bool) -> Option<usize> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.done {
+            return None;
+        }
+        inner.emitted.push(resp.clone());
+        let subscribers = inner.sinks.len();
+        if count_served {
+            // Count *before* writing: the first successful write wakes a
+            // client, which may immediately query stats — the counter
+            // must already include this batch's subscribers by then.
+            // (Sinks that died earlier were already dropped by their
+            // failed broadcast, so this is the set delivery is attempted
+            // to.)
+            shared.served.fetch_add(subscribers as u64, Ordering::Relaxed);
+        }
+        let mut cache: Vec<(u32, Vec<u8>)> = Vec::new();
+        for s in &mut inner.sinks {
+            let frame = frame_for(&mut cache, resp, s.version);
+            if let Err(e) = s.stream.write_all(frame).and_then(|()| s.stream.flush()) {
+                if is_slow_client(e.kind()) {
+                    shared.evicted_slow_clients.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        inner.done = true;
+        inner.sinks.clear(); // hang up: the stream is complete
+        Some(subscribers)
     }
 }
 
@@ -150,7 +280,15 @@ struct Shared {
     cfg: ServerConfig,
     state: Mutex<SchedState>,
     work_ready: Condvar,
+    /// Set on `Shutdown`: no new runs are accepted (they get `Busy`).
     stop: AtomicBool,
+    /// Set when the accept loop may exit: immediately on a non-draining
+    /// shutdown, or once the drain completes (or its deadline passes).
+    drain_done: AtomicBool,
+    /// Tells the watchdog thread to exit, after the workers are joined.
+    watchdog_stop: AtomicBool,
+    /// When the draining shutdown began (for the drain deadline).
+    drain_started: Mutex<Option<Instant>>,
     /// Terminal frames delivered to run clients (one per client still
     /// attached at completion).
     served: AtomicU64,
@@ -158,6 +296,14 @@ struct Shared {
     batched: AtomicU64,
     /// Requests rejected with `Busy`.
     busy_rejections: AtomicU64,
+    /// Batches answered with `Expired` (queue, run, or drain deadline).
+    expired: AtomicU64,
+    /// Sinks evicted from a broadcast because their write timed out.
+    evicted_slow_clients: AtomicU64,
+    /// Runner invocations that panicked (contained; batch got `Error`).
+    worker_panics: AtomicU64,
+    /// Batches completed with `Done` after shutdown began.
+    drained_requests: AtomicU64,
 }
 
 impl Shared {
@@ -172,6 +318,13 @@ impl Shared {
             ("busy_rejections".to_string(), self.busy_rejections.load(Ordering::Relaxed)),
             ("queue_depth".to_string(), depth),
             ("in_flight".to_string(), in_flight),
+            ("expired".to_string(), self.expired.load(Ordering::Relaxed)),
+            (
+                "evicted_slow_clients".to_string(),
+                self.evicted_slow_clients.load(Ordering::Relaxed),
+            ),
+            ("worker_panics".to_string(), self.worker_panics.load(Ordering::Relaxed)),
+            ("drained_requests".to_string(), self.drained_requests.load(Ordering::Relaxed)),
         ];
         if let Some(extra) = &self.cfg.stats_extra {
             pairs.extend(extra());
@@ -215,7 +368,7 @@ enum Listener {
 /// let reply = client.request(&Request::Run(RunRequest::new("echo")), |_| {}).unwrap();
 /// assert_eq!(reply, Response::Done { status: 0, payload: "ran echo\n".to_string() });
 ///
-/// client.request(&Request::Shutdown, |_| {}).unwrap();
+/// client.request(&Request::Shutdown { drain: true }, |_| {}).unwrap();
 /// handle.join().unwrap().unwrap();
 /// ```
 pub struct Server {
@@ -304,7 +457,8 @@ impl Server {
     }
 
     /// Runs the accept loop on the calling thread until a
-    /// [`Request::Shutdown`] arrives, then drains the queue and returns.
+    /// [`Request::Shutdown`] arrives and (for `drain: true`) the queue
+    /// has drained, then returns.
     ///
     /// # Errors
     ///
@@ -320,6 +474,11 @@ impl Server {
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let endpoint = listener.self_endpoint();
+            std::thread::spawn(move || watchdog_loop(&shared, &endpoint))
+        };
         let mut handlers = Vec::new();
         loop {
             let accepted: std::io::Result<Box<dyn Conn>> = match &listener {
@@ -334,7 +493,7 @@ impl Server {
                 // exhausting fds) — dying here would orphan every
                 // queued batch. Back off briefly and keep accepting;
                 // the loop still exits promptly on shutdown.
-                Err(_) if shared.stop.load(Ordering::SeqCst) => break,
+                Err(_) if shared.drain_done.load(Ordering::SeqCst) => break,
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -346,14 +505,21 @@ impl Server {
                     continue;
                 }
                 Err(_) => {
-                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    std::thread::sleep(Duration::from_millis(100));
                     continue;
                 }
             };
-            if shared.stop.load(Ordering::SeqCst) {
-                break; // the shutdown handler's wake-up connection
+            if shared.drain_done.load(Ordering::SeqCst) {
+                break; // the shutdown/drain-completion wake-up connection
             }
             conn.set_io_timeout(shared.cfg.io_timeout);
+            // Fault injection wraps the whole connection, so the request
+            // read path and the response sink both see the plan's
+            // `serve.read.*` / `serve.write.*` points.
+            let conn: Box<dyn Conn> = match &shared.cfg.faults {
+                Some(plan) => Box::new(FaultyStream::new(conn, Arc::clone(plan))),
+                None => conn,
+            };
             // Reap finished handler threads so a long-lived daemon's
             // bookkeeping stays proportional to *live* connections, not
             // to every connection ever accepted.
@@ -371,6 +537,8 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        shared.watchdog_stop.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
         Ok(())
     }
 
@@ -390,9 +558,16 @@ impl Shared {
             state: Mutex::new(SchedState { queue: VecDeque::new(), index: HashMap::new() }),
             work_ready: Condvar::new(),
             stop: AtomicBool::new(false),
+            drain_done: AtomicBool::new(false),
+            watchdog_stop: AtomicBool::new(false),
+            drain_started: Mutex::new(None),
             served: AtomicU64::new(0),
             batched: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted_slow_clients: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            drained_requests: AtomicU64::new(0),
         })
     }
 }
@@ -437,35 +612,62 @@ impl SelfEndpoint {
 }
 
 /// A connection stream: readable for the request, then converted into a
-/// write-only [`Sink`].
+/// write-only sink.
 trait Conn: std::io::Read + Write + Send {
-    fn into_sink(self: Box<Self>) -> Sink;
+    fn into_sink(self: Box<Self>) -> Box<dyn Write + Send>;
 
     /// Bounds every read and write on the stream (see
     /// [`ServerConfig::io_timeout`]).
-    fn set_io_timeout(&self, timeout: std::time::Duration);
+    fn set_io_timeout(&self, timeout: Duration);
+
+    /// Tightens only the write bound (see
+    /// [`ServerConfig::slow_client_timeout`]), applied once the stream
+    /// becomes a broadcast sink.
+    fn set_write_deadline(&self, timeout: Duration);
 }
 
 impl Conn for TcpStream {
-    fn into_sink(self: Box<Self>) -> Sink {
+    fn into_sink(self: Box<Self>) -> Box<dyn Write + Send> {
         self
     }
 
-    fn set_io_timeout(&self, timeout: std::time::Duration) {
+    fn set_io_timeout(&self, timeout: Duration) {
         let _ = self.set_read_timeout(Some(timeout));
+        let _ = self.set_write_timeout(Some(timeout));
+    }
+
+    fn set_write_deadline(&self, timeout: Duration) {
         let _ = self.set_write_timeout(Some(timeout));
     }
 }
 
 #[cfg(unix)]
 impl Conn for UnixStream {
-    fn into_sink(self: Box<Self>) -> Sink {
+    fn into_sink(self: Box<Self>) -> Box<dyn Write + Send> {
         self
     }
 
-    fn set_io_timeout(&self, timeout: std::time::Duration) {
+    fn set_io_timeout(&self, timeout: Duration) {
         let _ = self.set_read_timeout(Some(timeout));
         let _ = self.set_write_timeout(Some(timeout));
+    }
+
+    fn set_write_deadline(&self, timeout: Duration) {
+        let _ = self.set_write_timeout(Some(timeout));
+    }
+}
+
+impl Conn for FaultyStream<Box<dyn Conn>> {
+    fn into_sink(self: Box<Self>) -> Box<dyn Write + Send> {
+        self // keeps injecting write faults as a sink
+    }
+
+    fn set_io_timeout(&self, timeout: Duration) {
+        self.get_ref().set_io_timeout(timeout);
+    }
+
+    fn set_write_deadline(&self, timeout: Duration) {
+        self.get_ref().set_write_deadline(timeout);
     }
 }
 
@@ -481,12 +683,13 @@ fn handle_connection(mut conn: Box<dyn Conn>, shared: &Shared, endpoint: &SelfEn
         Ok(v) => v,
         Err(_) => return, // not a protocol client; nothing to say
     };
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         reply(
             &mut *conn,
             &Response::Error {
                 message: format!(
-                    "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                    "protocol version mismatch: client {version}, server speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
                 ),
             },
         );
@@ -494,28 +697,67 @@ fn handle_connection(mut conn: Box<dyn Conn>, shared: &Shared, endpoint: &SelfEn
     }
     let request = match read_frame::<Request>(&mut conn) {
         Ok(r) => r,
-        Err(e) => {
+        // A malformed frame deserves a protocol-level answer; a
+        // transport-level failure (reset, EOF mid-frame) does not —
+        // the peer is gone or the stream is broken, and a terminal
+        // Error frame here would read as a non-retryable request
+        // failure to a client that merely hit a torn connection.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
             reply(&mut *conn, &Response::Error { message: format!("bad request frame: {e}") });
             return;
         }
+        Err(_) => return,
     };
     match request {
         Request::Ping => reply(&mut *conn, &Response::Pong { protocol: PROTOCOL_VERSION }),
         Request::Stats => reply(&mut *conn, &Response::Stats { pairs: shared.stats_pairs() }),
-        Request::Shutdown => {
+        Request::Shutdown { drain } => {
             reply(&mut *conn, &Response::Done { status: 0, payload: "shutting down".into() });
-            shared.stop.store(true, Ordering::SeqCst);
+            let already_stopping = shared.stop.swap(true, Ordering::SeqCst);
+            if drain {
+                if !already_stopping {
+                    *shared.drain_started.lock().unwrap() = Some(Instant::now());
+                }
+                // The watchdog flips `drain_done` once the queue and the
+                // in-flight index are empty (or the drain deadline
+                // passes).
+            } else {
+                // Abandon the queue: queued clients are answered now,
+                // running batches finish on their workers.
+                let abandoned: Vec<Arc<Batch>> = {
+                    let mut state = shared.state.lock().unwrap();
+                    let drained: Vec<Arc<Batch>> = state.queue.drain(..).collect();
+                    for b in &drained {
+                        if let Some(indexed) = state.index.get(&b.req) {
+                            if Arc::ptr_eq(indexed, b) {
+                                state.index.remove(&b.req);
+                            }
+                        }
+                    }
+                    drained
+                };
+                for b in abandoned {
+                    b.finish(
+                        &Response::Error { message: "server is shutting down".into() },
+                        shared,
+                        false,
+                    );
+                }
+                shared.drain_done.store(true, Ordering::SeqCst);
+            }
+            shared.work_ready.notify_all();
             endpoint.wake();
         }
-        Request::Run(req) => handle_run(conn, shared, req),
+        Request::Run(req) => handle_run(conn, shared, req, version),
     }
 }
 
-fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
-    let mut sink = conn.into_sink();
+fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest, version: u32) {
+    conn.set_write_deadline(shared.cfg.slow_client_timeout);
+    let mut sink = ClientSink { stream: conn.into_sink(), version };
     if !shared.experiments.iter().any(|e| e == &req.experiment) {
         reply(
-            &mut *sink,
+            &mut *sink.stream,
             &Response::Error { message: format!("unknown experiment {:?}", req.experiment) },
         );
         return;
@@ -527,8 +769,16 @@ fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
         // to exit.
         let mut state = shared.state.lock().unwrap();
         if shared.stop.load(Ordering::SeqCst) {
+            // Shutting down (possibly draining): refuse new work with
+            // the same terminal the full queue uses, so clients retry
+            // against the replacement daemon instead of erroring out.
+            let depth = state.queue.len() as u64;
             drop(state);
-            reply(&mut *sink, &Response::Error { message: "server is shutting down".into() });
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            reply(
+                &mut *sink.stream,
+                &Response::Busy { depth, capacity: shared.cfg.max_queue as u64 },
+            );
             return;
         }
         // Attach to an equal queued/running batch: replay its frames,
@@ -547,8 +797,9 @@ fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
                 continue;
             }
             let mut alive = true;
-            for frame in &inner.emitted {
-                if sink.write_all(frame).and_then(|()| sink.flush()).is_err() {
+            for resp in &inner.emitted {
+                let frame = encode_frame(&resp.for_version(sink.version));
+                if sink.stream.write_all(&frame).and_then(|()| sink.stream.flush()).is_err() {
                     alive = false;
                     break;
                 }
@@ -563,12 +814,16 @@ fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
             let depth = state.queue.len() as u64;
             drop(state);
             shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            reply(&mut *sink, &Response::Busy { depth, capacity: shared.cfg.max_queue as u64 });
+            reply(
+                &mut *sink.stream,
+                &Response::Busy { depth, capacity: shared.cfg.max_queue as u64 },
+            );
             return;
         }
         let position = state.queue.len() as u64;
         let batch = Arc::new(Batch {
             req: req.clone(),
+            enqueued_at: Instant::now(),
             inner: Mutex::new(BatchInner { sinks: vec![sink], ..Default::default() }),
         });
         // Record `Queued` before the batch becomes visible to workers,
@@ -576,7 +831,7 @@ fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
         // joiners). The write happens under the scheduler lock, but it
         // is one small frame into a freshly accepted socket's empty
         // send buffer — it cannot block on the peer.
-        batch.broadcast(&Response::Queued { position });
+        batch.broadcast(&Response::Queued { position }, shared);
         state.queue.push_back(Arc::clone(&batch));
         state.index.insert(req, Arc::clone(&batch));
         drop(state);
@@ -585,7 +840,7 @@ fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let batch = {
             let mut state = shared.state.lock().unwrap();
@@ -599,38 +854,51 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_ready.wait(state).unwrap();
             }
         };
+        batch.inner.lock().unwrap().started_at = Some(Instant::now());
         let emit: EmitFn = {
             let batch = Arc::clone(&batch);
-            Arc::new(move |resp: Response| batch.broadcast(&resp))
+            let shared = Arc::clone(shared);
+            Arc::new(move |resp: Response| batch.broadcast(&resp, &shared))
         };
-        let outcome = (shared.runner)(&batch.req, emit);
+        // Contain runner panics: the batch is answered with an `Error`
+        // frame (replayed to every joiner) and the worker thread
+        // survives to take the next batch. The `serve.worker.panic`
+        // fault point fires *inside* the guard, exercising exactly this
+        // path.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &shared.cfg.faults {
+                if plan.fires(points::WORKER_PANIC) {
+                    panic!("injected fault: worker panic");
+                }
+            }
+            (shared.runner)(&batch.req, emit)
+        }));
         let terminal = match outcome {
-            Ok(RunOutcome { status, payload }) => {
+            Ok(Ok(RunOutcome { status, payload })) => {
                 Response::Done { status: status as i64, payload }
             }
-            Err(message) => Response::Error { message },
+            Ok(Err(message)) => Response::Error { message },
+            Err(panic) => {
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Response::Error { message: format!("worker panicked: {msg}") }
+            }
         };
         // Terminal delivery needs only the batch's own lock: an
         // attacher that still finds the index entry afterwards locks
         // `inner`, sees `done`, and retries as a fresh request. Writing
         // to client sockets while holding the scheduler lock would let
         // one slow client stall every connection on the daemon.
-        let frame = encode_frame(&terminal);
+        let delivered = batch.finish(&terminal, shared, true);
+        if delivered.is_some()
+            && matches!(terminal, Response::Done { .. })
+            && shared.stop.load(Ordering::SeqCst)
         {
-            let mut inner = batch.inner.lock().unwrap();
-            inner.emitted.push(frame.clone());
-            // Count *before* writing: the first successful write wakes a
-            // client, which may immediately query stats — the counter
-            // must already include this batch's subscribers by then.
-            // (Sinks that died earlier were already dropped by their
-            // failed broadcast, so this is the set delivery is attempted
-            // to.)
-            shared.served.fetch_add(inner.sinks.len() as u64, Ordering::Relaxed);
-            for sink in &mut inner.sinks {
-                let _ = sink.write_all(&frame).and_then(|()| sink.flush());
-            }
-            inner.done = true;
-            inner.sinks.clear(); // hang up: the stream is complete
+            shared.drained_requests.fetch_add(1, Ordering::Relaxed);
         }
         // Only the index removal touches the scheduler lock.
         let mut state = shared.state.lock().unwrap();
@@ -638,6 +906,114 @@ fn worker_loop(shared: &Shared) {
             if Arc::ptr_eq(indexed, &batch) {
                 state.index.remove(&batch.req);
             }
+        }
+    }
+}
+
+/// Watchdog tick. Deadline precision is ± one tick; the budgets this
+/// enforces are tens of milliseconds and up.
+const WATCHDOG_TICK: Duration = Duration::from_millis(25);
+
+/// Enforces [`ServerConfig::queue_deadline`] /
+/// [`ServerConfig::run_deadline`] / [`ServerConfig::drain_deadline`] and
+/// detects drain completion. Runs until [`Server::serve`] is about to
+/// return.
+fn watchdog_loop(shared: &Shared, endpoint: &SelfEndpoint) {
+    loop {
+        std::thread::sleep(WATCHDOG_TICK);
+        if shared.watchdog_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        let draining = shared.stop.load(Ordering::SeqCst);
+        let drain_expired = draining
+            && shared
+                .drain_started
+                .lock()
+                .unwrap()
+                .is_some_and(|t| now.duration_since(t) > shared.cfg.drain_deadline);
+        let mut to_expire: Vec<(Arc<Batch>, Response)> = Vec::new();
+        {
+            let mut state = shared.state.lock().unwrap();
+            // Queue-phase budgets; a passed drain deadline expires
+            // whatever is still queued regardless of its age.
+            if shared.cfg.queue_deadline.is_some() || drain_expired {
+                let mut kept = VecDeque::new();
+                while let Some(b) = state.queue.pop_front() {
+                    let waited = now.duration_since(b.enqueued_at);
+                    let over_queue =
+                        shared.cfg.queue_deadline.is_some_and(|budget| waited > budget);
+                    if !(over_queue || drain_expired) {
+                        kept.push_back(b);
+                        continue;
+                    }
+                    let (phase, budget) = if over_queue {
+                        ("queue", shared.cfg.queue_deadline.unwrap())
+                    } else {
+                        ("drain", shared.cfg.drain_deadline)
+                    };
+                    if let Some(indexed) = state.index.get(&b.req) {
+                        if Arc::ptr_eq(indexed, &b) {
+                            state.index.remove(&b.req);
+                        }
+                    }
+                    to_expire.push((
+                        b,
+                        Response::Expired {
+                            phase: phase.into(),
+                            waited_ms: waited.as_millis() as u64,
+                            budget_ms: budget.as_millis() as u64,
+                        },
+                    ));
+                }
+                state.queue = kept;
+            }
+            // Run-phase budgets: release the clients and free the index
+            // slot; the runner itself keeps executing (threads are
+            // never killed) and its result is discarded.
+            if let Some(budget) = shared.cfg.run_deadline {
+                let over: Vec<(Arc<Batch>, Duration)> = state
+                    .index
+                    .values()
+                    .filter_map(|b| {
+                        let inner = b.inner.lock().unwrap();
+                        let started = inner.started_at?;
+                        let ran = now.duration_since(started);
+                        (!inner.done && ran > budget).then(|| (Arc::clone(b), ran))
+                    })
+                    .collect();
+                for (b, ran) in over {
+                    state.index.remove(&b.req);
+                    to_expire.push((
+                        b,
+                        Response::Expired {
+                            phase: "run".into(),
+                            waited_ms: ran.as_millis() as u64,
+                            budget_ms: budget.as_millis() as u64,
+                        },
+                    ));
+                }
+            }
+            // Drain completion: nothing queued, nothing in flight.
+            if draining
+                && !shared.drain_done.load(Ordering::SeqCst)
+                && to_expire.is_empty()
+                && state.queue.is_empty()
+                && state.index.is_empty()
+            {
+                shared.drain_done.store(true, Ordering::SeqCst);
+                endpoint.wake();
+            }
+        }
+        for (batch, resp) in to_expire {
+            if batch.finish(&resp, shared, false).is_some() {
+                shared.expired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if drain_expired && !shared.drain_done.load(Ordering::SeqCst) {
+            shared.drain_done.store(true, Ordering::SeqCst);
+            shared.work_ready.notify_all();
+            endpoint.wake();
         }
     }
 }

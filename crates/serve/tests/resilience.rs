@@ -1,0 +1,437 @@
+//! Integration tests of the failure model (`docs/DESIGN.md` §9): worker
+//! panic containment, queue/run/drain deadlines with `Expired`, the v2
+//! downgrade dialect, slow-client eviction, graceful vs immediate
+//! shutdown, and the client's retry/backoff/resume machinery.
+
+use mg_fault::{points, FaultPlan};
+use mg_serve::{
+    Client, EmitFn, Request, Response, RetryPolicy, RunOutcome, RunRequest, Server,
+    ServerConfig,
+};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// A runner that blocks on a gate for `fig6`, panics for `fig5`, and
+/// completes immediately for anything else.
+fn gated_panicky_server(cfg: ServerConfig) -> (Server, Arc<AtomicU64>, mpsc::Sender<()>) {
+    let executions = Arc::new(AtomicU64::new(0));
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let gate = Arc::new(std::sync::Mutex::new(release_rx));
+    let runner = {
+        let executions = Arc::clone(&executions);
+        Arc::new(move |req: &RunRequest, emit: EmitFn| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            emit(Response::Cell {
+                workload: "w0".into(),
+                label: "baseline".into(),
+                cycles: 10,
+                ops: 20,
+            });
+            match req.experiment.as_str() {
+                "fig6" => {
+                    gate.lock().unwrap().recv().map_err(|e| e.to_string())?;
+                }
+                "fig5" => panic!("boom in builder"),
+                _ => {}
+            }
+            Ok(RunOutcome { status: 0, payload: format!("payload for {}\n", req.experiment) })
+        })
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec!["fig6".into(), "fig5".into(), "fig8".into()],
+        runner,
+        cfg,
+    )
+    .expect("bind");
+    (server, executions, release_tx)
+}
+
+fn collect(client: &Client, req: &Request) -> (Vec<Response>, Response) {
+    let mut events = Vec::new();
+    let terminal = client.request(req, |e| events.push(e.clone())).expect("request");
+    (events, terminal)
+}
+
+fn stat(client: &Client, name: &str) -> u64 {
+    let Response::Stats { pairs } = client.request(&Request::Stats, |_| {}).expect("stats")
+    else {
+        panic!("expected stats");
+    };
+    pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or_else(|| {
+        panic!("counter {name:?} missing from {pairs:?}");
+    })
+}
+
+/// Spins until `stat(name) == want` (bounded), so scheduling-dependent
+/// assertions are deterministic.
+fn await_stat(client: &Client, name: &str, want: u64) {
+    for _ in 0..500 {
+        if stat(client, name) == want {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("counter {name:?} never reached {want}");
+}
+
+#[test]
+fn worker_panics_are_contained_and_replayed_to_every_joiner() {
+    let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let (server, _executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    // Occupy the single worker with the gated fig6, then pile two fig5
+    // clients onto one queued batch — both must see the panic Error.
+    let fig6 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig6"))))
+    };
+    await_stat(&client, "in_flight", 1);
+    let joiners: Vec<_> = (0..2)
+        .map(|_| {
+            let client = client.clone();
+            std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig5"))))
+        })
+        .collect();
+    await_stat(&client, "batched", 1);
+    release.send(()).unwrap(); // free the worker; it takes fig5 and panics
+
+    let streams: Vec<_> = joiners.into_iter().map(|j| j.join().unwrap()).collect();
+    for (events, terminal) in &streams {
+        assert!(
+            matches!(terminal, Response::Error { message }
+                if message.contains("worker panicked") && message.contains("boom in builder")),
+            "got {terminal:?}"
+        );
+        assert_eq!(events, &streams[0].0, "joiners replay the identical stream");
+    }
+    assert_eq!(stat(&client, "worker_panics"), 1);
+
+    // The worker thread survived the panic and serves the next request.
+    let (_, next) = collect(&client, &Request::Run(RunRequest::new("fig8")));
+    assert_eq!(next, Response::Done { status: 0, payload: "payload for fig8\n".into() });
+
+    fig6.join().unwrap();
+    collect(&client, &Request::Shutdown { drain: true });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn queued_requests_expire_under_the_queue_deadline() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_deadline: Some(Duration::from_millis(50)),
+        ..ServerConfig::default()
+    };
+    let (server, executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let fig6 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig6"))))
+    };
+    await_stat(&client, "in_flight", 1);
+    // fig8 waits behind the occupied worker past its queue budget.
+    let (events, terminal) = collect(&client, &Request::Run(RunRequest::new("fig8")));
+    assert!(matches!(events[0], Response::Queued { .. }));
+    match &terminal {
+        Response::Expired { phase, waited_ms, budget_ms } => {
+            assert_eq!(phase, "queue");
+            assert_eq!(*budget_ms, 50);
+            assert!(*waited_ms >= 50, "waited {waited_ms}ms");
+        }
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    assert_eq!(stat(&client, "expired"), 1);
+    assert_eq!(executions.load(Ordering::SeqCst), 1, "the expired batch never ran");
+
+    release.send(()).unwrap();
+    fig6.join().unwrap();
+    collect(&client, &Request::Shutdown { drain: true });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn running_requests_expire_under_the_run_deadline_without_killing_the_worker() {
+    let cfg = ServerConfig {
+        workers: 1,
+        run_deadline: Some(Duration::from_millis(50)),
+        ..ServerConfig::default()
+    };
+    let (server, _executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let (_events, terminal) = collect(&client, &Request::Run(RunRequest::new("fig6")));
+    match &terminal {
+        Response::Expired { phase, budget_ms, .. } => {
+            assert_eq!(phase, "run");
+            assert_eq!(*budget_ms, 50);
+        }
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    assert_eq!(stat(&client, "expired"), 1);
+
+    // The runner is still blocked on its gate (threads are never
+    // killed); releasing it lets the worker finish and take new work.
+    release.send(()).unwrap();
+    let (_, next) = collect(&client, &Request::Run(RunRequest::new("fig8")));
+    assert_eq!(next, Response::Done { status: 0, payload: "payload for fig8\n".into() });
+
+    collect(&client, &Request::Shutdown { drain: true });
+    handle.join().unwrap().unwrap();
+}
+
+/// A v2 client: same wire codec, but the server must downgrade
+/// `Expired` to an `Error` frame and accept the bare-tag `Shutdown`.
+#[test]
+fn v2_clients_negotiate_down_and_get_the_downgraded_dialect() {
+    let cfg = ServerConfig {
+        workers: 1,
+        run_deadline: Some(Duration::from_millis(50)),
+        ..ServerConfig::default()
+    };
+    let (server, _executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+
+    // Hand-rolled v2 connection: magic + version 2.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(mg_serve::CONNECT_MAGIC).unwrap();
+    stream.write_all(&2u32.to_le_bytes()).unwrap();
+    mg_isa::wire::write_frame(&mut stream, &Request::Run(RunRequest::new("fig6"))).unwrap();
+    let terminal = loop {
+        let resp: Response = mg_isa::wire::read_frame(&mut stream).unwrap();
+        if resp.is_terminal() {
+            break resp;
+        }
+    };
+    assert!(
+        matches!(&terminal, Response::Error { message }
+            if message.starts_with("expired: run deadline exceeded")),
+        "v2 gets the downgraded Error, got {terminal:?}"
+    );
+    release.send(()).unwrap();
+
+    // Bare-tag v2 Shutdown frame: magic + u32 len + the tag byte alone.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(mg_serve::CONNECT_MAGIC).unwrap();
+    stream.write_all(&2u32.to_le_bytes()).unwrap();
+    stream.write_all(mg_isa::wire::FRAME_MAGIC).unwrap();
+    stream.write_all(&1u32.to_le_bytes()).unwrap();
+    stream.write_all(&[3u8]).unwrap();
+    let ack: Response = mg_isa::wire::read_frame(&mut stream).unwrap();
+    assert!(matches!(ack, Response::Done { .. }), "got {ack:?}");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn graceful_drain_finishes_queued_work_and_busies_new_work() {
+    let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let (server, _executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let fig6 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig6"))))
+    };
+    await_stat(&client, "in_flight", 1);
+    let fig8 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig8"))))
+    };
+    await_stat(&client, "queue_depth", 1);
+
+    let (_, ack) = collect(&client, &Request::Shutdown { drain: true });
+    assert!(matches!(ack, Response::Done { .. }));
+    // Draining: new work is refused with Busy (retry elsewhere), queued
+    // work still completes.
+    let (_, refused) = collect(&client, &Request::Run(RunRequest::new("fig5")));
+    assert!(matches!(refused, Response::Busy { .. }), "got {refused:?}");
+
+    release.send(()).unwrap(); // fig6 completes
+    let (_, done6) = fig6.join().unwrap();
+    assert_eq!(done6, Response::Done { status: 0, payload: "payload for fig6\n".into() });
+    let (_, done8) = fig8.join().unwrap();
+    assert_eq!(done8, Response::Done { status: 0, payload: "payload for fig8\n".into() });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn immediate_shutdown_abandons_queued_work_with_an_error() {
+    let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+    let (server, _executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let fig6 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig6"))))
+    };
+    await_stat(&client, "in_flight", 1);
+    let fig8 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig8"))))
+    };
+    await_stat(&client, "queue_depth", 1);
+
+    let (_, ack) = collect(&client, &Request::Shutdown { drain: false });
+    assert!(matches!(ack, Response::Done { .. }));
+    // Queued fig8 is answered immediately; running fig6 still completes.
+    let (_, abandoned) = fig8.join().unwrap();
+    assert!(
+        matches!(&abandoned, Response::Error { message }
+            if message.contains("shutting down")),
+        "got {abandoned:?}"
+    );
+    release.send(()).unwrap();
+    let (_, done6) = fig6.join().unwrap();
+    assert_eq!(done6, Response::Done { status: 0, payload: "payload for fig6\n".into() });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn busy_replies_are_retried_under_the_retry_policy() {
+    let cfg = ServerConfig { workers: 1, max_queue: 1, ..ServerConfig::default() };
+    let (server, _executions, release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    // Occupy the worker and the single queue slot.
+    let fig6 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig6"))))
+    };
+    await_stat(&client, "in_flight", 1);
+    let fig8 = {
+        let client = client.clone();
+        std::thread::spawn(move || collect(&client, &Request::Run(RunRequest::new("fig8"))))
+    };
+    await_stat(&client, "queue_depth", 1);
+
+    // A distinct request bounces with Busy; the retrying client keeps
+    // at it until the gates open and then succeeds.
+    let policy =
+        RetryPolicy { attempts: 100, backoff_ms: 10, max_backoff_ms: 50, jitter_seed: 7 };
+    let retried = {
+        let client = client.clone();
+        std::thread::spawn(move || {
+            client.request_with_retry(&Request::Run(RunRequest::new("fig5")), &policy, |_| {})
+        })
+    };
+    // Let it bounce at least once before opening the gates.
+    for _ in 0..500 {
+        if stat(&client, "busy_rejections") >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(stat(&client, "busy_rejections") >= 1);
+    release.send(()).unwrap(); // fig6
+                               // fig5 panics by design; use it to also prove terminal Errors are
+                               // NOT retried: the retrying client must surface the panic Error.
+    let outcome = retried.join().unwrap().expect("transport ok");
+    assert!(
+        matches!(&outcome, Response::Error { message } if message.contains("worker panicked")),
+        "terminal Error is returned, not retried: {outcome:?}"
+    );
+
+    fig6.join().unwrap();
+    fig8.join().unwrap();
+    collect(&client, &Request::Shutdown { drain: false });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn torn_writes_are_retried_and_resumed_without_duplicate_frames() {
+    // The first server write tears mid-frame and the connection dies;
+    // the retried request replays and the client dedups by position.
+    let plan = Arc::new(FaultPlan::new(11).with_burst(points::SERVE_WRITE_TORN, 1000, 1));
+    let cfg = ServerConfig { workers: 1, faults: Some(plan), ..ServerConfig::default() };
+    let (server, executions, _release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    let policy =
+        RetryPolicy { attempts: 5, backoff_ms: 10, max_backoff_ms: 50, jitter_seed: 3 };
+    let mut events = Vec::new();
+    let terminal = client
+        .request_with_retry(&Request::Run(RunRequest::new("fig8")), &policy, |e| {
+            events.push(e.clone())
+        })
+        .expect("retry succeeds");
+    assert_eq!(terminal, Response::Done { status: 0, payload: "payload for fig8\n".into() });
+    // Exactly one Queued and one Cell despite the replayed stream.
+    assert_eq!(
+        events.iter().filter(|e| matches!(e, Response::Queued { .. })).count(),
+        1,
+        "dedup by position: {events:?}"
+    );
+    assert_eq!(events.iter().filter(|e| matches!(e, Response::Cell { .. })).count(), 1);
+    assert!(executions.load(Ordering::SeqCst) >= 1);
+
+    collect(&client, &Request::Shutdown { drain: true });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn stalled_clients_are_evicted_without_stalling_the_batch() {
+    let plan = Arc::new(FaultPlan::new(13).with_burst(points::SERVE_WRITE_STALL, 1000, 1));
+    let cfg = ServerConfig { workers: 1, faults: Some(plan), ..ServerConfig::default() };
+    let (server, _executions, _release) = gated_panicky_server(cfg);
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.spawn();
+    let client = Client::tcp(&addr);
+
+    // The injected WouldBlock on the first write evicts the client (it
+    // counts as "too slow"); the retried request succeeds cleanly.
+    let policy =
+        RetryPolicy { attempts: 5, backoff_ms: 10, max_backoff_ms: 50, jitter_seed: 5 };
+    let terminal = client
+        .request_with_retry(&Request::Run(RunRequest::new("fig8")), &policy, |_| {})
+        .expect("retry succeeds");
+    assert_eq!(terminal, Response::Done { status: 0, payload: "payload for fig8\n".into() });
+    assert_eq!(stat(&client, "evicted_slow_clients"), 1);
+
+    collect(&client, &Request::Shutdown { drain: true });
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn retry_backoff_is_deterministic_capped_and_jittered() {
+    let policy =
+        RetryPolicy { attempts: 5, backoff_ms: 100, max_backoff_ms: 400, jitter_seed: 42 };
+    let delays: Vec<_> = (0..6).map(|i| policy.delay(i)).collect();
+    let replay: Vec<_> = (0..6).map(|i| policy.delay(i)).collect();
+    assert_eq!(delays, replay, "pure function of (seed, attempt)");
+    for (i, d) in delays.iter().enumerate() {
+        let uncapped = 100u64 << i.min(20);
+        let capped = uncapped.min(400);
+        let ms = d.as_millis() as u64;
+        assert!(
+            ms >= capped / 2 && ms < capped,
+            "attempt {i}: {ms}ms outside [{}, {})",
+            capped / 2,
+            capped
+        );
+    }
+    let other = RetryPolicy { jitter_seed: 43, ..policy };
+    assert_ne!(
+        (0..6).map(|i| other.delay(i)).collect::<Vec<_>>(),
+        delays,
+        "different seed, different jitter"
+    );
+}

@@ -116,7 +116,7 @@ fn duplicate_requests_coalesce_onto_one_execution_with_identical_streams() {
     assert_eq!(get("batched"), 2, "two requests attached to the first batch");
     assert_eq!(get("served"), 4);
 
-    collect(&client, &Request::Shutdown);
+    collect(&client, &Request::Shutdown { drain: true });
     handle.join().unwrap().unwrap();
 }
 
@@ -190,7 +190,7 @@ fn full_queue_answers_busy_with_depth_and_capacity() {
 
     running.join().unwrap();
     queued.join().unwrap();
-    collect(&client, &Request::Shutdown);
+    collect(&client, &Request::Shutdown { drain: true });
     handle.join().unwrap().unwrap();
 }
 
@@ -219,7 +219,7 @@ fn unknown_experiments_and_stale_versions_are_rejected() {
         "got {resp:?}"
     );
 
-    collect(&client, &Request::Shutdown);
+    collect(&client, &Request::Shutdown { drain: true });
     handle.join().unwrap().unwrap();
 }
 
@@ -237,7 +237,7 @@ fn unix_socket_transport_round_trips() {
     assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
     let (_, terminal) = collect(&client, &Request::Run(RunRequest::new("fig6")));
     assert_eq!(terminal, Response::Done { status: 7, payload: "unix fig6\n".into() });
-    collect(&client, &Request::Shutdown);
+    collect(&client, &Request::Shutdown { drain: true });
     handle.join().unwrap().unwrap();
     let _ = std::fs::remove_file(&path);
 }
