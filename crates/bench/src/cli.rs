@@ -339,6 +339,9 @@ pub struct RunArgs {
     /// sweeps run at least `X` times faster than the scalar ones
     /// (`0` disables the gate; CI's perf-smoke job sets it).
     pub min_fused_speedup: f64,
+    /// `--lang PATH` (lang only): an `.mgl` source file compiled and
+    /// run alongside the built-in corpus.
+    pub lang: Option<String>,
     /// The `mg_api` session the run executes against: owner of the
     /// warm-prep pool, cache root, and extension registries. One-shot
     /// `mg run` uses a fresh per-process session; `mg serve` clones one
@@ -363,6 +366,7 @@ impl Default for RunArgs {
             baseline: None,
             max_regression: 3.0,
             min_fused_speedup: 0.0,
+            lang: None,
             // The binaries' historical default: persistent artifact
             // cache on (at the default root) unless --no-cache.
             session: Session::builder().cache(true).build(),
@@ -384,6 +388,7 @@ impl std::fmt::Debug for RunArgs {
             .field("baseline", &self.baseline)
             .field("max_regression", &self.max_regression)
             .field("min_fused_speedup", &self.min_fused_speedup)
+            .field("lang", &self.lang)
             .field("session", &self.session)
             .field("progress", &self.progress.is_some())
             .finish()
@@ -502,6 +507,14 @@ pub fn experiments() -> Vec<ExperimentSpec> {
             build: figures::iq_capacity,
         },
         ExperimentSpec {
+            name: "lang",
+            legacy_bin: "",
+            description:
+                "mg-lang corpus (plus --lang FILE.mgl) compiled, verified three ways, simulated",
+            paper_ref: "frontend",
+            build: crate::lang::lang_report,
+        },
+        ExperimentSpec {
             name: "perf",
             legacy_bin: "perf_report",
             description: "Times every sweep, writes BENCH_pipeline.json, gates on regressions",
@@ -512,8 +525,12 @@ pub fn experiments() -> Vec<ExperimentSpec> {
 }
 
 /// Looks up an experiment by registry name or legacy binary name.
+/// (Newer experiments have no legacy alias — their `legacy_bin` is
+/// empty and never matches.)
 pub fn experiment(name: &str) -> Option<ExperimentSpec> {
-    experiments().into_iter().find(|e| e.name == name || e.legacy_bin == name)
+    experiments()
+        .into_iter()
+        .find(|e| e.name == name || (!e.legacy_bin.is_empty() && e.legacy_bin == name))
 }
 
 /// Entry point of a deprecated per-figure binary: parses the binary's
@@ -571,7 +588,8 @@ USAGE:
                         [--input reference|alternative|tiny]
                         [--format text|json|csv|markdown]
                         [--out PATH] [--baseline PATH] [--max-regression X]
-                        [--min-fused-speedup X]
+                        [--min-fused-speedup X] [--lang FILE.mgl]
+    mg compile <file.mgl> [--input reference|alternative|tiny] [--format ...]
     mg list   [--format ...]
     mg report [--write|--check] [--quick] [--threads N] [--no-cache] [--format ...]
     mg cache  [stats|clear|dir] [--format ...]
@@ -584,7 +602,10 @@ USAGE:
               [--duration-cycles quick|full]
     mg help
 
-Run `mg list` for the experiment registry. `mg serve` starts a
+Run `mg list` for the experiment registry. `mg run lang` pushes the
+mg-lang regression corpus (plus `--lang FILE.mgl`) through compile /
+three-way verification / simulation; `mg compile` prints one compiled
+image (stats + disassembly). `mg serve` starts a
 long-running daemon sharing one warm prep pool across clients; `mg
 client run` returns byte-identical output to the same `mg run`
 invocation (see docs/PROTOCOL.md). The deprecated per-figure binaries
@@ -634,6 +655,7 @@ pub fn mg_main() -> i32 {
         "list" => cmd_list(&argv[1..]),
         "report" => cmd_report(&argv[1..]),
         "cache" => cmd_cache(&argv[1..]),
+        "compile" => crate::lang::cmd_compile(&argv[1..]),
         "serve" => crate::serve_cli::cmd_serve(&argv[1..]),
         "client" => crate::serve_cli::cmd_client(&argv[1..]),
         "chaos" => crate::chaos_cli::cmd_chaos(&argv[1..]),
@@ -727,6 +749,7 @@ fn parse_flags(
                     )))
                 })?;
             }
+            "--lang" => args.lang = Some(value("--lang")?),
             "--out" => args.out = value("--out")?,
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--max-regression" => {
@@ -783,7 +806,7 @@ fn cmd_list(argv: &[String]) -> i32 {
         t.row(vec![
             e.name.to_string(),
             e.paper_ref.to_string(),
-            e.legacy_bin.to_string(),
+            if e.legacy_bin.is_empty() { "-".to_string() } else { e.legacy_bin.to_string() },
             e.description.to_string(),
         ]);
     }
@@ -857,6 +880,7 @@ const REPORT_EXPERIMENTS: &[&str] = &[
     "robustness",
     "icache",
     "iq_capacity",
+    "lang",
 ];
 
 /// Marker opening the generated quickstart block in `README.md`.
@@ -980,8 +1004,9 @@ pub fn compose_readme_block() -> String {
          aliases** kept for one release; each is a shim over the same code\n\
          and prints byte-identical output:\n\n",
     );
-    let bin_width = specs.iter().map(|e| e.legacy_bin.len()).max().unwrap_or(0);
-    for e in &specs {
+    let aliased: Vec<_> = specs.iter().filter(|e| !e.legacy_bin.is_empty()).collect();
+    let bin_width = aliased.iter().map(|e| e.legacy_bin.len()).max().unwrap_or(0);
+    for e in &aliased {
         let pad = " ".repeat(bin_width - e.legacy_bin.len());
         let _ = writeln!(out, "* `{}`{pad} → `mg run {}`", e.legacy_bin, e.name);
     }
@@ -1243,12 +1268,16 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve() {
-        assert_eq!(experiments().len(), 9);
+        assert_eq!(experiments().len(), 10);
         for e in experiments() {
             assert!(experiment(e.name).is_some());
-            assert!(experiment(e.legacy_bin).is_some());
+            if !e.legacy_bin.is_empty() {
+                assert!(experiment(e.legacy_bin).is_some());
+            }
         }
         assert!(experiment("nonesuch").is_none());
+        // An empty name must not accidentally match an alias-less entry.
+        assert!(experiment("").is_none());
     }
 
     #[test]

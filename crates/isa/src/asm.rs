@@ -256,6 +256,29 @@ impl Asm {
             base_addr: self.base_addr,
         })
     }
+
+    /// Like [`Asm::finish`], but sets the program entry point to `entry`
+    /// (a label or absolute index) instead of instruction 0. This lets a
+    /// code generator lay out procedures in any order and still start
+    /// execution at `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if `entry` (or any referenced
+    /// label) was never defined, or [`AsmError::DuplicateLabel`] on a
+    /// doubly-defined label.
+    pub fn finish_at(self, entry: impl Into<Target>) -> Result<Program, AsmError> {
+        let entry = entry.into();
+        let mut p = self.finish()?;
+        p.entry = match entry {
+            Target::Abs(i) => i,
+            Target::Label(l) => match p.labels.get(&l) {
+                Some(&idx) => idx,
+                None => return Err(AsmError::UndefinedLabel(l)),
+            },
+        };
+        Ok(p)
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +323,24 @@ mod tests {
         let p = a.finish().unwrap();
         assert_eq!(p.len(), 3);
         assert_eq!(p.insts[1].to_string(), "addq r1,1,r2");
+    }
+
+    #[test]
+    fn finish_at_sets_entry() {
+        let mut a = Asm::new();
+        a.label("helper");
+        a.nop();
+        a.label("main");
+        a.halt();
+        let p = a.finish_at("main").unwrap();
+        assert_eq!(p.entry, 1);
+
+        let mut a = Asm::new();
+        a.halt();
+        assert_eq!(
+            a.finish_at("missing").unwrap_err(),
+            AsmError::UndefinedLabel("missing".into())
+        );
     }
 
     #[test]

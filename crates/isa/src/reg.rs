@@ -28,8 +28,8 @@ impl Reg {
     /// # Panics
     ///
     /// Panics if `index >= 32`.
-    pub fn new(index: u8) -> Reg {
-        assert!((index as usize) < NUM_REGS, "register index {index} out of range");
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < NUM_REGS, "register index out of range");
         Reg(index)
     }
 
@@ -59,7 +59,7 @@ impl Reg {
 /// # Panics
 ///
 /// Panics if `index >= 32`.
-pub fn reg(index: u8) -> Reg {
+pub const fn reg(index: u8) -> Reg {
     Reg::new(index)
 }
 

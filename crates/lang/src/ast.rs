@@ -1,0 +1,313 @@
+//! Abstract syntax for `.mgl` programs, plus the pretty-printer.
+//!
+//! The language is deliberately small: every value is a 64-bit integer,
+//! arrays are fixed-size power-of-two globals, and procedures take no
+//! parameters and return nothing (they communicate through globals and
+//! arrays). See `DESIGN.md` §10 for the grammar sketch.
+//!
+//! The pretty-printer ([`Module::to_source`]) fully parenthesizes
+//! expressions, and [`crate::parser::parse`] folds unary minus applied to
+//! a literal into the literal, so `parse(m.to_source()) == m` holds for
+//! every module the parser or generator can produce.
+
+use std::fmt;
+
+/// A whole program: globals, arrays, and procedures (one must be `main`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    /// Scalar globals, in declaration order.
+    pub globals: Vec<Global>,
+    /// Array declarations, in declaration order.
+    pub arrays: Vec<ArrayDecl>,
+    /// Procedures, in declaration order.
+    pub procs: Vec<Proc>,
+}
+
+/// A scalar global variable with a constant initializer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Initial value.
+    pub init: i64,
+}
+
+/// A fixed-size global array; `len` must be a power of two. Indices wrap
+/// modulo `len` (bitwise AND with `len - 1`), so every access is in
+/// bounds by construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name (its own namespace; may collide with a scalar name).
+    pub name: String,
+    /// Element count; a power of two in `1..=65536`.
+    pub len: usize,
+    /// Leading initial values (rest are zero). At most `len` entries.
+    pub init: Vec<i64>,
+}
+
+/// A procedure: no parameters, no return value, a statement body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proc {
+    /// Procedure name; `main` is the entry point.
+    pub name: String,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let x = e;` — declares a local in the current lexical scope.
+    Let {
+        /// Local name (may shadow an outer local or a global).
+        name: String,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `x = e;` — assigns the innermost visible local or a global.
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// `a[i] = e;` — stores into an array (index wraps modulo length).
+    Store {
+        /// Array name.
+        arr: String,
+        /// Index expression.
+        index: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// `if (c) { … } else { … }` (the `else` arm may be empty).
+    If {
+        /// Condition; nonzero means true.
+        cond: Expr,
+        /// Then-arm.
+        then_body: Vec<Stmt>,
+        /// Else-arm (empty when no `else` was written).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { … }`.
+    While {
+        /// Loop condition; nonzero means continue.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `call p;` — invokes a procedure.
+    Call {
+        /// Callee name.
+        proc: String,
+    },
+    /// `out(e);` — appends `e` to the output stream and folds it into
+    /// the program checksum.
+    Out {
+        /// Value to emit.
+        value: Expr,
+    },
+}
+
+/// An expression. All arithmetic is wrapping 64-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i64),
+    /// Variable reference (innermost local, else global).
+    Var(String),
+    /// `a[i]` — array read (index wraps modulo length).
+    Index {
+        /// Array name.
+        arr: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// `__seed` — the workload input seed, as an `i64`.
+    Seed,
+    /// `__scale` — the workload input scale, as an `i64`.
+    Scale,
+    /// A unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: Box<Expr>,
+    },
+    /// A binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e` — wrapping negation.
+    Neg,
+    /// `~e` — bitwise complement.
+    BitNot,
+    /// `!e` — logical not: 1 if `e == 0`, else 0.
+    Not,
+}
+
+/// Binary operators. Comparisons yield 0/1; `&&`/`||` short-circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 64 bits).
+    Mul,
+    /// Truncated signed division; `x / 0 == 0`, `MIN / -1 == MIN`.
+    Div,
+    /// Signed remainder; `x % 0 == x`, `MIN % -1 == 0`.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift; the count is masked to 6 bits.
+    Shl,
+    /// Arithmetic right shift; the count is masked to 6 bits.
+    Shr,
+    /// Equality (0/1).
+    Eq,
+    /// Inequality (0/1).
+    Ne,
+    /// Signed less-than (0/1).
+    Lt,
+    /// Signed less-or-equal (0/1).
+    Le,
+    /// Signed greater-than (0/1).
+    Gt,
+    /// Signed greater-or-equal (0/1).
+    Ge,
+    /// Short-circuit logical AND (0/1).
+    LAnd,
+    /// Short-circuit logical OR (0/1).
+    LOr,
+}
+
+impl BinOp {
+    /// Source-level spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::LAnd => "&&",
+            BinOp::LOr => "||",
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Var(n) => f.write_str(n),
+            Expr::Index { arr, index } => write!(f, "{arr}[{index}]"),
+            Expr::Seed => f.write_str("__seed"),
+            Expr::Scale => f.write_str("__scale"),
+            Expr::Un { op, a } => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::BitNot => "~",
+                    UnOp::Not => "!",
+                };
+                write!(f, "({sym}{a})")
+            }
+            Expr::Bin { op, a, b } => write!(f, "({a} {} {b})", op.symbol()),
+        }
+    }
+}
+
+fn write_body(f: &mut fmt::Formatter<'_>, body: &[Stmt], indent: usize) -> fmt::Result {
+    for s in body {
+        s.write(f, indent)?;
+    }
+    Ok(())
+}
+
+impl Stmt {
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "    ".repeat(indent);
+        match self {
+            Stmt::Let { name, value } => writeln!(f, "{pad}let {name} = {value};"),
+            Stmt::Assign { name, value } => writeln!(f, "{pad}{name} = {value};"),
+            Stmt::Store { arr, index, value } => {
+                writeln!(f, "{pad}{arr}[{index}] = {value};")
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                writeln!(f, "{pad}if ({cond}) {{")?;
+                write_body(f, then_body, indent + 1)?;
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    write_body(f, else_body, indent + 1)?;
+                    writeln!(f, "{pad}}}")
+                }
+            }
+            Stmt::While { cond, body } => {
+                writeln!(f, "{pad}while ({cond}) {{")?;
+                write_body(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Call { proc } => writeln!(f, "{pad}call {proc};"),
+            Stmt::Out { value } => writeln!(f, "{pad}out({value});"),
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.globals {
+            writeln!(f, "var {} = {};", g.name, g.init)?;
+        }
+        for a in &self.arrays {
+            if a.init.is_empty() {
+                writeln!(f, "arr {}[{}];", a.name, a.len)?;
+            } else {
+                let vals: Vec<String> = a.init.iter().map(|v| v.to_string()).collect();
+                writeln!(f, "arr {}[{}] = {{ {} }};", a.name, a.len, vals.join(", "))?;
+            }
+        }
+        for p in &self.procs {
+            writeln!(f, "proc {} {{", p.name)?;
+            write_body(f, &p.body, 1)?;
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Module {
+    /// Renders the module back to `.mgl` source. Round-trips through
+    /// [`crate::parser::parse`] to an identical AST.
+    pub fn to_source(&self) -> String {
+        self.to_string()
+    }
+}

@@ -1,0 +1,487 @@
+//! IR → toy-ISA code generation.
+//!
+//! # Memory map (compiled programs)
+//!
+//! | region | address | contents |
+//! |---|---|---|
+//! | [`RESULT_ADDR`] | `0x8000` | final checksum (same slot the registry kernels use) |
+//! | [`OUT_COUNT_ADDR`] | `0x8008` | number of `out` values emitted |
+//! | [`OUT_BASE`] | `0x1_0000` | the `out` stream, one `u64` per value |
+//! | [`SPILL_BASE`] | `0x1_8000` | spill slots + per-procedure return-address slots |
+//! | [`GLOBALS_BASE`] | `0x1_c000` | scalar globals, declaration order |
+//! | [`ARRAYS_BASE`] | `0x20_0000` | arrays, packed in declaration order |
+//!
+//! # Register conventions
+//!
+//! `r1..r15` are the allocatable pool (see
+//! [`RegallocConfig`]). `r16` holds the
+//! running checksum, `r17` the output-stream cursor, `r20` the
+//! spill-area base, `r21`/`r22` carry `__divmod` arguments and results,
+//! `r23`–`r25` and `r29`/`r30` are `__divmod` internals, `r26` is the
+//! call return-address register, `r27`/`r29` are codegen scratch, `r28`
+//! is the `__divmod` return address, and `r31` is the zero register.
+//! Calls clobber the whole pool (no save/restore convention); the
+//! allocator spills anything live across one.
+//!
+//! Procedures are laid out first and `main` last, so the image entry
+//! point is a nonzero instruction index resolved via
+//! [`Asm::finish_at`].
+
+use crate::ast::Module;
+use crate::ir::{lower, BinIr, IrInst, IrModule, Term, UnIr, VReg};
+use crate::regalloc::{allocate, RegallocConfig};
+use crate::LangError;
+use mg_isa::{reg, Asm, Memory, Program, Reg};
+use mg_workloads::Input;
+use std::collections::BTreeMap;
+
+/// Where the final checksum is stored (matches the registry kernels).
+pub const RESULT_ADDR: u64 = 0x8000;
+/// Where the emitted-output count is stored.
+pub const OUT_COUNT_ADDR: u64 = 0x8008;
+/// Base of the output stream (one `u64` per `out`).
+pub const OUT_BASE: u64 = 0x1_0000;
+/// Base of the spill area (spill slots and return-address slots).
+pub const SPILL_BASE: u64 = 0x1_8000;
+/// Base of scalar global storage.
+pub const GLOBALS_BASE: u64 = 0x1_c000;
+/// Base of array storage.
+pub const ARRAYS_BASE: u64 = 0x20_0000;
+/// Capacity of the spill area, in 8-byte slots.
+pub const MAX_SPILL_SLOTS: usize = 2048;
+
+/// Checksum multiplier (the FNV-1a 64-bit prime).
+pub const CHECKSUM_PRIME: i64 = 0x100_0000_01b3;
+/// Checksum initial value (the FNV-1a 64-bit offset basis).
+pub const CHECKSUM_INIT: i64 = 0xcbf2_9ce4_8422_2325_u64 as i64;
+
+const R_ACC: Reg = reg(16);
+const R_OUT: Reg = reg(17);
+const R_SPILL: Reg = reg(20);
+const R_DIV_A: Reg = reg(21);
+const R_DIV_B: Reg = reg(22);
+const R_DIV_Q: Reg = reg(23);
+const R_DIV_R: Reg = reg(24);
+const R_DIV_I: Reg = reg(25);
+const R_RA: Reg = reg(26);
+const R_T1: Reg = reg(27);
+const R_DIV_RA: Reg = reg(28);
+const R_T2: Reg = reg(29);
+const R_DIV_SB: Reg = reg(30);
+
+/// Compilation statistics (surfaced by `mg compile`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileStats {
+    /// Instructions in the final image.
+    pub insts: usize,
+    /// Virtual registers across all procedures (after spill rewriting).
+    pub vregs: u32,
+    /// Spilled virtual registers across all procedures.
+    pub spills: usize,
+    /// Procedure count (including `main`).
+    pub procs: usize,
+    /// Whether the shared `__divmod` routine was emitted.
+    pub uses_divmod: bool,
+}
+
+/// A compiled `.mgl` program: the image plus its initial data.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The program image; `entry` points at `main`.
+    pub program: Program,
+    /// Initial memory cells (globals and array initializers).
+    pub mem_init: Vec<(u64, i64)>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+impl Compiled {
+    /// Builds the initial data memory for a run.
+    pub fn memory(&self) -> Memory {
+        let mut mem = Memory::new();
+        for &(addr, v) in &self.mem_init {
+            mem.write_u64(addr, v as u64);
+        }
+        mem
+    }
+}
+
+/// Architectural observables read back from an executed memory image:
+/// everything a program can communicate, per the memory map above.
+/// Deliberately excludes the spill region — return-address slots hold
+/// instruction indices, which legitimately shift when an image is
+/// rewritten in the mini-graph rewriter's compressed style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// The final checksum word at [`RESULT_ADDR`].
+    pub checksum: i64,
+    /// The `out` stream, in emission order.
+    pub outputs: Vec<i64>,
+    /// Final value of every global, declaration order.
+    pub globals: Vec<i64>,
+    /// Final contents of every array, declaration order.
+    pub arrays: Vec<Vec<i64>>,
+}
+
+/// Reads the architectural observables of `module` out of an executed
+/// memory image.
+pub fn observe(module: &Module, mem: &Memory) -> Observation {
+    let checksum = mem.read_u64(RESULT_ADDR) as i64;
+    let count = mem.read_u64(OUT_COUNT_ADDR) as usize;
+    let outputs = (0..count).map(|i| mem.read_u64(OUT_BASE + 8 * i as u64) as i64).collect();
+    let globals = (0..module.globals.len())
+        .map(|i| mem.read_u64(GLOBALS_BASE + 8 * i as u64) as i64)
+        .collect();
+    let mut arrays = Vec::new();
+    let mut base = ARRAYS_BASE;
+    for a in &module.arrays {
+        arrays.push((0..a.len).map(|i| mem.read_u64(base + 8 * i as u64) as i64).collect());
+        base += 8 * a.len as u64;
+    }
+    Observation { checksum, outputs, globals, arrays }
+}
+
+/// Compiles a semantically-checked module for `input`.
+///
+/// # Errors
+///
+/// Returns [`LangError::Codegen`] if the program needs more spill slots
+/// than [`MAX_SPILL_SLOTS`] or more array storage than the memory map
+/// provides.
+pub fn compile(m: &Module, input: &Input, cfg: &RegallocConfig) -> Result<Compiled, LangError> {
+    let mut ir = lower(m, input);
+    compile_ir(m, &mut ir, cfg)
+}
+
+fn compile_ir(
+    m: &Module,
+    ir: &mut IrModule,
+    cfg: &RegallocConfig,
+) -> Result<Compiled, LangError> {
+    // Array placement: packed from ARRAYS_BASE in declaration order.
+    let mut array_base = Vec::with_capacity(ir.array_lens.len());
+    let mut next = ARRAYS_BASE;
+    for &len in &ir.array_lens {
+        array_base.push(next);
+        next += 8 * len as u64;
+    }
+
+    // Allocate registers per procedure, then lay out the spill area:
+    // one return-address slot per non-main procedure plus each
+    // procedure's private spill range. No recursion (sema), so one
+    // static activation per procedure suffices.
+    let allocs: Vec<_> = ir.procs.iter_mut().map(|p| allocate(p, cfg)).collect();
+    let mut ra_slot = vec![usize::MAX; ir.procs.len()];
+    let mut spill_base = vec![0usize; ir.procs.len()];
+    let mut next_slot = 0usize;
+    for (i, a) in allocs.iter().enumerate() {
+        if i != ir.main {
+            ra_slot[i] = next_slot;
+            next_slot += 1;
+        }
+        spill_base[i] = next_slot;
+        next_slot += a.spill_slots;
+    }
+    if next_slot > MAX_SPILL_SLOTS {
+        return Err(LangError::Codegen(format!(
+            "needs {next_slot} spill slots; the spill area holds {MAX_SPILL_SLOTS}"
+        )));
+    }
+
+    let mut asm = Asm::new();
+    // Non-main procedures first, `main` last: the entry point is a
+    // nonzero index, resolved below via `finish_at`.
+    let order: Vec<usize> =
+        (0..ir.procs.len()).filter(|&i| i != ir.main).chain([ir.main]).collect();
+    for &pi in &order {
+        emit_proc(
+            &mut asm,
+            ir,
+            pi,
+            &allocs[pi].colors,
+            &array_base,
+            ra_slot[pi],
+            spill_base[pi],
+        );
+    }
+    if ir.uses_divmod {
+        emit_divmod(&mut asm);
+    }
+
+    let program = asm
+        .finish_at(format!("fn${}", ir.procs[ir.main].name))
+        .map_err(|e| LangError::Codegen(format!("assembly failed: {e}")))?;
+
+    let mut mem_init = Vec::new();
+    for (i, g) in m.globals.iter().enumerate() {
+        if g.init != 0 {
+            mem_init.push((GLOBALS_BASE + 8 * i as u64, g.init));
+        }
+    }
+    for (ai, a) in m.arrays.iter().enumerate() {
+        for (i, &v) in a.init.iter().enumerate() {
+            if v != 0 {
+                mem_init.push((array_base[ai] + 8 * i as u64, v));
+            }
+        }
+    }
+
+    let stats = CompileStats {
+        insts: program.insts.len(),
+        vregs: ir.procs.iter().map(|p| p.num_vregs).sum(),
+        spills: allocs.iter().map(|a| a.spilled).sum(),
+        procs: ir.procs.len(),
+        uses_divmod: ir.uses_divmod,
+    };
+    Ok(Compiled { program, mem_init, stats })
+}
+
+fn emit_proc(
+    asm: &mut Asm,
+    ir: &IrModule,
+    pi: usize,
+    colors: &BTreeMap<VReg, usize>,
+    array_base: &[u64],
+    ra_slot: usize,
+    spill_base: usize,
+) {
+    let p = &ir.procs[pi];
+    let is_main = pi == ir.main;
+    let r = |v: VReg| -> Reg { reg(1 + colors[&v] as u8) };
+    let blabel = |b: usize| format!("{}${}", p.name, b);
+
+    asm.label(&format!("fn${}", p.name));
+    if is_main {
+        asm.li(R_ACC, CHECKSUM_INIT);
+        asm.li(R_OUT, OUT_BASE as i64);
+        asm.li(R_SPILL, SPILL_BASE as i64);
+    } else {
+        // Save the return address: the body may call, clobbering r26.
+        asm.stq(R_RA, 8 * ra_slot as i64, R_SPILL);
+    }
+
+    for (bi, b) in p.blocks.iter().enumerate() {
+        asm.label(&blabel(bi));
+        for inst in &b.insts {
+            emit_inst(asm, ir, inst, &r, array_base, spill_base);
+        }
+        match b.term {
+            Term::Jump(t) => {
+                if t != bi + 1 {
+                    asm.br(blabel(t));
+                }
+            }
+            Term::Branch { cond, t, f } => {
+                asm.bne(r(cond), blabel(t));
+                if f != bi + 1 {
+                    asm.br(blabel(f));
+                }
+            }
+            Term::Ret => {
+                if is_main {
+                    // out count = (cursor - OUT_BASE) / 8, then the
+                    // checksum, then halt.
+                    asm.subq(R_OUT, OUT_BASE as i64, R_T1);
+                    asm.srl(R_T1, 3, R_T1);
+                    asm.stq(R_T1, OUT_COUNT_ADDR as i64, Reg::ZERO);
+                    asm.stq(R_ACC, RESULT_ADDR as i64, Reg::ZERO);
+                    asm.halt();
+                } else {
+                    asm.ldq(R_RA, 8 * ra_slot as i64, R_SPILL);
+                    asm.ret(R_RA);
+                }
+            }
+        }
+    }
+}
+
+fn emit_inst(
+    asm: &mut Asm,
+    ir: &IrModule,
+    inst: &IrInst,
+    r: &dyn Fn(VReg) -> Reg,
+    array_base: &[u64],
+    spill_base: usize,
+) {
+    match *inst {
+        IrInst::Const { d, value } => {
+            asm.li(r(d), value);
+        }
+        IrInst::Un { op, d, a } => {
+            match op {
+                UnIr::Neg => asm.subq(Reg::ZERO, r(a), r(d)),
+                UnIr::BitNot => asm.ornot(Reg::ZERO, r(a), r(d)),
+                UnIr::IsZero => asm.cmpeq(r(a), 0, r(d)),
+            };
+        }
+        IrInst::Bin { op, d, a, b } => {
+            let (ra, rb, rd) = (r(a), r(b), r(d));
+            match op {
+                BinIr::Add => asm.addq(ra, rb, rd),
+                BinIr::Sub => asm.subq(ra, rb, rd),
+                BinIr::Mul => asm.mulq(ra, rb, rd),
+                BinIr::And => asm.and(ra, rb, rd),
+                BinIr::Or => asm.bis(ra, rb, rd),
+                BinIr::Xor => asm.xor(ra, rb, rd),
+                BinIr::Shl => asm.sll(ra, rb, rd),
+                BinIr::Shr => asm.sra(ra, rb, rd),
+                BinIr::CmpEq => asm.cmpeq(ra, rb, rd),
+                BinIr::CmpLt => asm.cmplt(ra, rb, rd),
+                BinIr::CmpLe => asm.cmple(ra, rb, rd),
+                BinIr::Div | BinIr::Rem => {
+                    asm.mov(ra, R_DIV_A);
+                    asm.mov(rb, R_DIV_B);
+                    asm.bsr(R_DIV_RA, "$divmod");
+                    asm.mov(if op == BinIr::Div { R_DIV_A } else { R_DIV_B }, rd)
+                }
+            };
+        }
+        IrInst::Copy { d, a } => {
+            if r(d) != r(a) {
+                asm.mov(r(a), r(d));
+            }
+        }
+        IrInst::LoadGlobal { d, idx } => {
+            asm.ldq(r(d), (GLOBALS_BASE + 8 * idx as u64) as i64, Reg::ZERO);
+        }
+        IrInst::StoreGlobal { idx, a } => {
+            asm.stq(r(a), (GLOBALS_BASE + 8 * idx as u64) as i64, Reg::ZERO);
+        }
+        IrInst::LoadArr { d, arr, idx } => {
+            let mask = ir.array_lens[arr] as i64 - 1;
+            asm.and(r(idx), mask, R_T1);
+            asm.s8addq(R_T1, array_base[arr] as i64, R_T1);
+            asm.ldq(r(d), 0, R_T1);
+        }
+        IrInst::StoreArr { arr, idx, a } => {
+            let mask = ir.array_lens[arr] as i64 - 1;
+            asm.and(r(idx), mask, R_T1);
+            asm.s8addq(R_T1, array_base[arr] as i64, R_T1);
+            asm.stq(r(a), 0, R_T1);
+        }
+        IrInst::Call { proc } => {
+            asm.bsr(R_RA, format!("fn${}", ir.procs[proc].name));
+        }
+        IrInst::Out { a } => {
+            asm.stq(r(a), 0, R_OUT);
+            asm.addq(R_OUT, 8, R_OUT);
+            asm.mulq(R_ACC, CHECKSUM_PRIME, R_ACC);
+            asm.xor(R_ACC, r(a), R_ACC);
+        }
+        IrInst::LoadSpill { d, slot } => {
+            asm.ldq(r(d), 8 * (spill_base + slot) as i64, R_SPILL);
+        }
+        IrInst::StoreSpill { slot, a } => {
+            asm.stq(r(a), 8 * (spill_base + slot) as i64, R_SPILL);
+        }
+    }
+}
+
+/// The shared signed divide/remainder routine. Arguments in `r21`
+/// (dividend) and `r22` (divisor); returns quotient in `r21`, remainder
+/// in `r22`; return address in `r28`. Implements restoring division on
+/// magnitudes with truncated-division sign rules, matching
+/// [`crate::interp::sdiv`]/[`crate::interp::srem`] exactly — including
+/// `x / 0 == 0`, `x % 0 == x`, and `MIN / -1 == MIN`. Clobbers only
+/// reserved registers, so allocatable values survive the call.
+fn emit_divmod(asm: &mut Asm) {
+    asm.label("$divmod");
+    asm.bne(R_DIV_B, "$divmod_nz");
+    // Divide by zero: q = 0, rem = a.
+    asm.mov(R_DIV_A, R_DIV_B);
+    asm.li(R_DIV_A, 0);
+    asm.ret(R_DIV_RA);
+    asm.label("$divmod_nz");
+    // Sign flags, then magnitudes. abs(MIN) wraps to MIN, whose bit
+    // pattern is exactly the unsigned magnitude 2^63 — correct here.
+    asm.cmplt(R_DIV_A, Reg::ZERO, R_T2);
+    asm.cmplt(R_DIV_B, Reg::ZERO, R_DIV_SB);
+    asm.beq(R_T2, "$divmod_apos");
+    asm.subq(Reg::ZERO, R_DIV_A, R_DIV_A);
+    asm.label("$divmod_apos");
+    asm.beq(R_DIV_SB, "$divmod_bpos");
+    asm.subq(Reg::ZERO, R_DIV_B, R_DIV_B);
+    asm.label("$divmod_bpos");
+    // Restoring division, 64 iterations, bit 63 down to 0.
+    asm.li(R_DIV_Q, 0);
+    asm.li(R_DIV_R, 0);
+    asm.li(R_DIV_I, 63);
+    asm.label("$divmod_loop");
+    asm.sll(R_DIV_R, 1, R_DIV_R);
+    asm.srl(R_DIV_A, R_DIV_I, R_T1);
+    asm.and(R_T1, 1, R_T1);
+    asm.bis(R_DIV_R, R_T1, R_DIV_R);
+    asm.cmpule(R_DIV_B, R_DIV_R, R_T1);
+    asm.beq(R_T1, "$divmod_skip");
+    asm.subq(R_DIV_R, R_DIV_B, R_DIV_R);
+    asm.li(R_T1, 1);
+    asm.sll(R_T1, R_DIV_I, R_T1);
+    asm.bis(R_DIV_Q, R_T1, R_DIV_Q);
+    asm.label("$divmod_skip");
+    asm.subq(R_DIV_I, 1, R_DIV_I);
+    asm.bge(R_DIV_I, "$divmod_loop");
+    // Signs: quotient negates when signs differ, remainder follows the
+    // dividend (truncated division).
+    asm.xor(R_T2, R_DIV_SB, R_T1);
+    asm.beq(R_T1, "$divmod_qpos");
+    asm.subq(Reg::ZERO, R_DIV_Q, R_DIV_Q);
+    asm.label("$divmod_qpos");
+    asm.beq(R_T2, "$divmod_rpos");
+    asm.subq(Reg::ZERO, R_DIV_R, R_DIV_R);
+    asm.label("$divmod_rpos");
+    asm.mov(R_DIV_Q, R_DIV_A);
+    asm.mov(R_DIV_R, R_DIV_B);
+    asm.ret(R_DIV_RA);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use mg_isa::exec::{run_to_halt, CpuState};
+
+    fn run_src(src: &str, input: &Input) -> (Vec<i64>, i64) {
+        let m = parse(src).unwrap();
+        crate::sema::check(&m).unwrap();
+        let c = compile(&m, input, &RegallocConfig::default()).unwrap();
+        let mut cpu = CpuState::new(c.program.entry);
+        let mut mem = c.memory();
+        run_to_halt(&c.program, &mut cpu, &mut mem, None, 10_000_000).unwrap();
+        let n = mem.read_u64(OUT_COUNT_ADDR) as usize;
+        let outs =
+            (0..n).map(|i| mem.read_u64(OUT_BASE + 8 * i as u64) as i64).collect::<Vec<_>>();
+        (outs, mem.read_u64(RESULT_ADDR) as i64)
+    }
+
+    #[test]
+    fn compiled_matches_interpreter() {
+        let src = "var g = 5; arr t[8] = { 1, 2, 3 };\
+                   proc bump { g = g + t[2]; }\
+                   proc main { call bump; let i = 0; while (i < 4) { out(g * i); i = i + 1; } }";
+        let m = parse(src).unwrap();
+        crate::sema::check(&m).unwrap();
+        let input = Input::tiny();
+        let want = crate::interp::run(&m, &input, 1_000_000).unwrap();
+        let (outs, sum) = run_src(src, &input);
+        assert_eq!(outs, want.outputs);
+        assert_eq!(sum, want.checksum);
+    }
+
+    #[test]
+    fn divmod_routine_edges() {
+        let src = "var m = -9223372036854775808;\
+                   proc main { out(5 / 0); out(5 % 0); out(m / -1); out(m % -1);\
+                               out(-7 / 2); out(-7 % 2); out(7 / -2); out(7 % -2); }";
+        let (outs, _) = run_src(src, &Input::tiny());
+        assert_eq!(outs, vec![0, 5, i64::MIN, 0, -3, -1, -3, 1]);
+    }
+
+    #[test]
+    fn entry_points_at_main() {
+        let src = "proc helper { } proc main { out(1); }";
+        let m = parse(src).unwrap();
+        crate::sema::check(&m).unwrap();
+        let c = compile(&m, &Input::tiny(), &RegallocConfig::default()).unwrap();
+        assert_ne!(c.program.entry, 0, "main is laid out after helper");
+    }
+}

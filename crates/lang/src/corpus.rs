@@ -1,0 +1,49 @@
+//! The built-in regression corpus.
+//!
+//! Each entry is a small hand-written `.mgl` program stressing one corner
+//! of the compiler: register pressure, loop shapes, dead code, division
+//! edge cases, array traversal, seeded data movement, call-crossing
+//! lifetimes, and scope shadowing. The sources live under
+//! `tests/corpus/*.mgl` and are embedded at build time so the corpus is
+//! available to the library, the test suites, and the CLI without any
+//! filesystem discovery.
+
+/// Every corpus program as `(name, source)`, in a fixed canonical order.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("spill", include_str!("../tests/corpus/spill.mgl")),
+        ("loops", include_str!("../tests/corpus/loops.mgl")),
+        ("deadcode", include_str!("../tests/corpus/deadcode.mgl")),
+        ("divmod", include_str!("../tests/corpus/divmod.mgl")),
+        ("sieve", include_str!("../tests/corpus/sieve.mgl")),
+        ("sort", include_str!("../tests/corpus/sort.mgl")),
+        ("calls", include_str!("../tests/corpus/calls.mgl")),
+        ("nesting", include_str!("../tests/corpus/nesting.mgl")),
+    ]
+}
+
+/// Look up a single corpus program by name.
+pub fn get(name: &str) -> Option<&'static str> {
+    all().into_iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_checks() {
+        for (name, src) in all() {
+            let m = crate::parser::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            crate::sema::check(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_names_unique() {
+        let names: std::collections::BTreeSet<_> = all().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), all().len());
+        assert!(get("sieve").is_some());
+        assert!(get("nope").is_none());
+    }
+}

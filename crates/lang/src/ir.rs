@@ -1,0 +1,561 @@
+//! A small non-SSA register IR and the AST → IR lowering.
+//!
+//! Each procedure becomes a control-flow graph of basic blocks over
+//! virtual registers ([`VReg`]). Scalar globals live in memory (loaded
+//! into a fresh vreg per use, stored per def), so only locals and
+//! expression temporaries compete for machine registers. Short-circuit
+//! `&&`/`||` lower to control flow here, so later stages never see them.
+//!
+//! Lowering is parameterized by the workload [`Input`]: `__seed` and
+//! `__scale` become constants, which makes every compiled image a pure
+//! function of (source, input) — exactly what the content-hashed
+//! workload identity in [`crate::source`] needs.
+
+use crate::ast::{BinOp, Expr, Module, Stmt, UnOp};
+use mg_workloads::Input;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A virtual register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Unary IR operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnIr {
+    /// `d = 0 - a` (wrapping).
+    Neg,
+    /// `d = !a` (bitwise complement).
+    BitNot,
+    /// `d = (a == 0) as i64`.
+    IsZero,
+}
+
+/// Binary IR operations. `Gt`/`Ge`/`Ne` from the AST are normalized
+/// away during lowering (operand swap / `IsZero` of `CmpEq`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinIr {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Truncated signed divide (`x / 0 == 0`).
+    Div,
+    /// Signed remainder (`x % 0 == x`).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift (count masked to 6 bits).
+    Shl,
+    /// Arithmetic right shift (count masked to 6 bits).
+    Shr,
+    /// Equality, 0/1.
+    CmpEq,
+    /// Signed less-than, 0/1.
+    CmpLt,
+    /// Signed less-or-equal, 0/1.
+    CmpLe,
+}
+
+/// One IR instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrInst {
+    /// `d = value`.
+    Const {
+        /// Destination.
+        d: VReg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `d = op a`.
+    Un {
+        /// Operation.
+        op: UnIr,
+        /// Destination.
+        d: VReg,
+        /// Operand.
+        a: VReg,
+    },
+    /// `d = a op b`.
+    Bin {
+        /// Operation.
+        op: BinIr,
+        /// Destination.
+        d: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `d = a`.
+    Copy {
+        /// Destination.
+        d: VReg,
+        /// Source.
+        a: VReg,
+    },
+    /// `d = globals[idx]` (memory load).
+    LoadGlobal {
+        /// Destination.
+        d: VReg,
+        /// Global index (declaration order).
+        idx: usize,
+    },
+    /// `globals[idx] = a` (memory store).
+    StoreGlobal {
+        /// Global index (declaration order).
+        idx: usize,
+        /// Value.
+        a: VReg,
+    },
+    /// `d = arrays[arr][idx mod len]` (memory load; index wraps).
+    LoadArr {
+        /// Destination.
+        d: VReg,
+        /// Array index (declaration order).
+        arr: usize,
+        /// Element index vreg.
+        idx: VReg,
+    },
+    /// `arrays[arr][idx mod len] = a` (memory store; index wraps).
+    StoreArr {
+        /// Array index (declaration order).
+        arr: usize,
+        /// Element index vreg.
+        idx: VReg,
+        /// Value.
+        a: VReg,
+    },
+    /// Invoke procedure `proc`. Clobbers every allocatable machine
+    /// register, so any vreg live across this must live in a spill slot.
+    Call {
+        /// Callee procedure index.
+        proc: usize,
+    },
+    /// Emit `a` to the output stream and fold it into the checksum.
+    Out {
+        /// Value.
+        a: VReg,
+    },
+    /// `d = spill[slot]` — inserted by the register allocator.
+    LoadSpill {
+        /// Destination.
+        d: VReg,
+        /// Procedure-local spill slot.
+        slot: usize,
+    },
+    /// `spill[slot] = a` — inserted by the register allocator.
+    StoreSpill {
+        /// Procedure-local spill slot.
+        slot: usize,
+        /// Value.
+        a: VReg,
+    },
+}
+
+/// A block terminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// Unconditional jump to a block index.
+    Jump(usize),
+    /// Branch: to `t` if `cond != 0`, else to `f`.
+    Branch {
+        /// Condition vreg.
+        cond: VReg,
+        /// Taken successor.
+        t: usize,
+        /// Fall-through successor.
+        f: usize,
+    },
+    /// Return from the procedure (or halt, for `main`).
+    Ret,
+}
+
+impl Term {
+    /// Successor block indices.
+    pub fn succs(&self) -> Vec<usize> {
+        match *self {
+            Term::Jump(t) => vec![t],
+            Term::Branch { t, f, .. } => vec![t, f],
+            Term::Ret => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrBlock {
+    /// Instructions, in order.
+    pub insts: Vec<IrInst>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// A procedure in IR form. Block 0 is the entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrProc {
+    /// Procedure name.
+    pub name: String,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<IrBlock>,
+    /// Number of virtual registers in use (ids `0..num_vregs`).
+    pub num_vregs: u32,
+}
+
+/// A lowered module.
+#[derive(Clone, Debug)]
+pub struct IrModule {
+    /// Procedures; `main` is at index [`IrModule::main`].
+    pub procs: Vec<IrProc>,
+    /// Index of `main` in [`IrModule::procs`].
+    pub main: usize,
+    /// Array lengths, in declaration order (for codegen masking).
+    pub array_lens: Vec<usize>,
+    /// Whether any `Div`/`Rem` survives lowering (codegen emits the
+    /// shared `__divmod` routine only if so).
+    pub uses_divmod: bool,
+}
+
+struct Lowerer<'m> {
+    globals: BTreeMap<&'m str, usize>,
+    arrays: BTreeMap<&'m str, usize>,
+    procs: BTreeMap<&'m str, usize>,
+    input: Input,
+    blocks: Vec<IrBlock>,
+    cur: usize,
+    next_vreg: u32,
+    /// Innermost-first scope stack mapping source names to vregs.
+    scopes: Vec<BTreeMap<String, VReg>>,
+    uses_divmod: bool,
+}
+
+/// Lowers a semantically-checked module (see [`crate::sema::check`])
+/// to IR, with `__seed`/`__scale` resolved against `input`.
+pub fn lower(m: &Module, input: &Input) -> IrModule {
+    let globals: BTreeMap<&str, usize> =
+        m.globals.iter().enumerate().map(|(i, g)| (g.name.as_str(), i)).collect();
+    let arrays: BTreeMap<&str, usize> =
+        m.arrays.iter().enumerate().map(|(i, a)| (a.name.as_str(), i)).collect();
+    let procs: BTreeMap<&str, usize> =
+        m.procs.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+    let main = procs["main"];
+    let mut uses_divmod = false;
+    let lowered = m
+        .procs
+        .iter()
+        .map(|p| {
+            let mut lw = Lowerer {
+                globals: globals.clone(),
+                arrays: arrays.clone(),
+                procs: procs.clone(),
+                input: *input,
+                blocks: vec![IrBlock { insts: Vec::new(), term: Term::Ret }],
+                cur: 0,
+                next_vreg: 0,
+                scopes: vec![BTreeMap::new()],
+                uses_divmod: false,
+            };
+            lw.body(&p.body);
+            lw.blocks[lw.cur].term = Term::Ret;
+            uses_divmod |= lw.uses_divmod;
+            IrProc { name: p.name.clone(), blocks: lw.blocks, num_vregs: lw.next_vreg }
+        })
+        .collect();
+    IrModule {
+        procs: lowered,
+        main,
+        array_lens: m.arrays.iter().map(|a| a.len).collect(),
+        uses_divmod,
+    }
+}
+
+impl<'m> Lowerer<'m> {
+    fn fresh(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    fn emit(&mut self, inst: IrInst) {
+        self.blocks[self.cur].insts.push(inst);
+    }
+
+    /// Appends a new open block and returns its index.
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(IrBlock { insts: Vec::new(), term: Term::Ret });
+        self.blocks.len() - 1
+    }
+
+    fn set_term(&mut self, b: usize, term: Term) {
+        self.blocks[b].term = term;
+    }
+
+    fn lookup(&self, name: &str) -> Option<VReg> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn body(&mut self, body: &'m [Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &'m Stmt) {
+        match s {
+            Stmt::Let { name, value } => {
+                let v = self.expr(value);
+                // Bind to a dedicated vreg (not the expression temp) so
+                // later assignments through shadowing scopes stay simple.
+                let slot = self.fresh();
+                self.emit(IrInst::Copy { d: slot, a: v });
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(name.clone(), slot);
+            }
+            Stmt::Assign { name, value } => {
+                let v = self.expr(value);
+                match self.lookup(name) {
+                    Some(slot) => self.emit(IrInst::Copy { d: slot, a: v }),
+                    None => {
+                        let idx = self.globals[name.as_str()];
+                        self.emit(IrInst::StoreGlobal { idx, a: v });
+                    }
+                }
+            }
+            Stmt::Store { arr, index, value } => {
+                let idx = self.expr(index);
+                let val = self.expr(value);
+                let a = self.arrays[arr.as_str()];
+                self.emit(IrInst::StoreArr { arr: a, idx, a: val });
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let c = self.expr(cond);
+                let head = self.cur;
+                let then_b = self.new_block();
+                self.cur = then_b;
+                self.scopes.push(BTreeMap::new());
+                self.body(then_body);
+                self.scopes.pop();
+                let then_end = self.cur;
+                let else_b = self.new_block();
+                self.cur = else_b;
+                self.scopes.push(BTreeMap::new());
+                self.body(else_body);
+                self.scopes.pop();
+                let else_end = self.cur;
+                let join = self.new_block();
+                self.set_term(head, Term::Branch { cond: c, t: then_b, f: else_b });
+                self.set_term(then_end, Term::Jump(join));
+                self.set_term(else_end, Term::Jump(join));
+                self.cur = join;
+            }
+            Stmt::While { cond, body } => {
+                let pre = self.cur;
+                let head = self.new_block();
+                self.set_term(pre, Term::Jump(head));
+                self.cur = head;
+                let c = self.expr(cond);
+                let cond_end = self.cur;
+                let body_b = self.new_block();
+                self.cur = body_b;
+                self.scopes.push(BTreeMap::new());
+                self.body(body);
+                self.scopes.pop();
+                let body_end = self.cur;
+                let exit = self.new_block();
+                self.set_term(cond_end, Term::Branch { cond: c, t: body_b, f: exit });
+                self.set_term(body_end, Term::Jump(head));
+                self.cur = exit;
+            }
+            Stmt::Call { proc } => {
+                let p = self.procs[proc.as_str()];
+                self.emit(IrInst::Call { proc: p });
+            }
+            Stmt::Out { value } => {
+                let v = self.expr(value);
+                self.emit(IrInst::Out { a: v });
+            }
+        }
+    }
+
+    /// Lowers an expression, returning the vreg holding its value.
+    fn expr(&mut self, e: &Expr) -> VReg {
+        match e {
+            Expr::Lit(v) => {
+                let d = self.fresh();
+                self.emit(IrInst::Const { d, value: *v });
+                d
+            }
+            Expr::Seed => {
+                let d = self.fresh();
+                self.emit(IrInst::Const { d, value: self.input.seed as i64 });
+                d
+            }
+            Expr::Scale => {
+                let d = self.fresh();
+                self.emit(IrInst::Const { d, value: self.input.scale as i64 });
+                d
+            }
+            Expr::Var(name) => match self.lookup(name) {
+                Some(v) => v,
+                None => {
+                    let idx = self.globals[name.as_str()];
+                    let d = self.fresh();
+                    self.emit(IrInst::LoadGlobal { d, idx });
+                    d
+                }
+            },
+            Expr::Index { arr, index } => {
+                let idx = self.expr(index);
+                let a = self.arrays[arr.as_str()];
+                let d = self.fresh();
+                self.emit(IrInst::LoadArr { d, arr: a, idx });
+                d
+            }
+            Expr::Un { op, a } => {
+                let av = self.expr(a);
+                let d = self.fresh();
+                let op = match op {
+                    UnOp::Neg => UnIr::Neg,
+                    UnOp::BitNot => UnIr::BitNot,
+                    UnOp::Not => UnIr::IsZero,
+                };
+                self.emit(IrInst::Un { op, d, a: av });
+                d
+            }
+            Expr::Bin { op: BinOp::LAnd, a, b } => self.short_circuit(a, b, true),
+            Expr::Bin { op: BinOp::LOr, a, b } => self.short_circuit(a, b, false),
+            Expr::Bin { op, a, b } => {
+                let (op, swap) = match op {
+                    BinOp::Add => (BinIr::Add, false),
+                    BinOp::Sub => (BinIr::Sub, false),
+                    BinOp::Mul => (BinIr::Mul, false),
+                    BinOp::Div => (BinIr::Div, false),
+                    BinOp::Rem => (BinIr::Rem, false),
+                    BinOp::And => (BinIr::And, false),
+                    BinOp::Or => (BinIr::Or, false),
+                    BinOp::Xor => (BinIr::Xor, false),
+                    BinOp::Shl => (BinIr::Shl, false),
+                    BinOp::Shr => (BinIr::Shr, false),
+                    BinOp::Eq => (BinIr::CmpEq, false),
+                    BinOp::Lt => (BinIr::CmpLt, false),
+                    BinOp::Le => (BinIr::CmpLe, false),
+                    BinOp::Gt => (BinIr::CmpLt, true),
+                    BinOp::Ge => (BinIr::CmpLe, true),
+                    BinOp::Ne => {
+                        let av = self.expr(a);
+                        let bv = self.expr(b);
+                        let eq = self.fresh();
+                        self.emit(IrInst::Bin { op: BinIr::CmpEq, d: eq, a: av, b: bv });
+                        let d = self.fresh();
+                        self.emit(IrInst::Un { op: UnIr::IsZero, d, a: eq });
+                        return d;
+                    }
+                    BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
+                };
+                if matches!(op, BinIr::Div | BinIr::Rem) {
+                    self.uses_divmod = true;
+                }
+                let av = self.expr(a);
+                let bv = self.expr(b);
+                let d = self.fresh();
+                let (x, y) = if swap { (bv, av) } else { (av, bv) };
+                self.emit(IrInst::Bin { op, d, a: x, b: y });
+                d
+            }
+        }
+    }
+
+    /// Short-circuit `a && b` (`and == true`) or `a || b`: the result
+    /// vreg is written on every path, then control joins.
+    fn short_circuit(&mut self, a: &Expr, b: &Expr, and: bool) -> VReg {
+        let d = self.fresh();
+        let av = self.expr(a);
+        let head = self.cur;
+        let eval_b = self.new_block();
+        self.cur = eval_b;
+        let bv = self.expr(b);
+        // Normalize b to 0/1: d = !!b.
+        let nz = self.fresh();
+        self.emit(IrInst::Un { op: UnIr::IsZero, d: nz, a: bv });
+        self.emit(IrInst::Un { op: UnIr::IsZero, d, a: nz });
+        let eval_b_end = self.cur;
+        let skip = self.new_block();
+        self.cur = skip;
+        self.emit(IrInst::Const { d, value: if and { 0 } else { 1 } });
+        let join = self.new_block();
+        let (t, f) = if and { (eval_b, skip) } else { (skip, eval_b) };
+        self.set_term(head, Term::Branch { cond: av, t, f });
+        self.set_term(eval_b_end, Term::Jump(join));
+        self.set_term(skip, Term::Jump(join));
+        self.cur = join;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> IrModule {
+        let m = parse(src).unwrap();
+        crate::sema::check(&m).unwrap();
+        lower(&m, &Input::tiny())
+    }
+
+    #[test]
+    fn straight_line_shapes() {
+        let ir = lower_src("var g = 1; proc main { g = g + 2; out(g); }");
+        let main = &ir.procs[ir.main];
+        assert_eq!(main.blocks.len(), 1);
+        assert!(matches!(main.blocks[0].term, Term::Ret));
+        assert!(main.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, IrInst::StoreGlobal { idx: 0, .. })));
+        assert!(!ir.uses_divmod);
+    }
+
+    #[test]
+    fn while_builds_a_loop() {
+        let ir = lower_src("proc main { let i = 0; while (i < 3) { i = i + 1; } out(i); }");
+        let main = &ir.procs[ir.main];
+        // pre, head, body, exit — and the loop edge goes back to head.
+        assert!(main.blocks.len() >= 4);
+        let back_edges = main
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| b.term.succs().iter().any(|&s| s <= *i))
+            .count();
+        assert!(back_edges >= 1, "loop produces a back edge");
+    }
+
+    #[test]
+    fn divmod_flag_and_short_circuit() {
+        let ir = lower_src("proc main { out(7 / 2); }");
+        assert!(ir.uses_divmod);
+        let ir = lower_src("proc main { out(1 && 2); }");
+        assert!(!ir.uses_divmod);
+        let main = &ir.procs[ir.main];
+        assert!(
+            main.blocks.len() >= 4,
+            "short-circuit lowers to control flow, got {}",
+            main.blocks.len()
+        );
+    }
+}

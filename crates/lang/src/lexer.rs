@@ -1,0 +1,158 @@
+//! Hand-written lexer for `.mgl` source.
+//!
+//! Produces a flat token stream with line numbers for diagnostics.
+//! Integer literals may be decimal or `0x`-hex; both are parsed as `u64`
+//! and reinterpreted as `i64` (so the full bit-pattern range is
+//! writable, e.g. `0xffffffffffffffff` is `-1`). Line comments start
+//! with `//`.
+
+use crate::LangError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword-free name.
+    Ident(String),
+    /// Integer literal (bit pattern; see module docs).
+    Int(i64),
+    /// A keyword: `var`, `arr`, `proc`, `let`, `if`, `else`, `while`,
+    /// `call`, or `out`.
+    Kw(&'static str),
+    /// Punctuation or operator, spelled exactly as in source
+    /// (`"("`, `"&&"`, `"<<"`, …).
+    Punct(&'static str),
+}
+
+/// A token with the 1-based source line it started on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const KEYWORDS: [&str; 9] = ["var", "arr", "proc", "let", "if", "else", "while", "call", "out"];
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns [`LangError::Parse`] on an unknown character or a malformed
+/// or out-of-range integer literal.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LangError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |line: u32, msg: String| LangError::Parse { line, msg };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (digits, radix) = if c == b'0' && i + 1 < b.len() && b[i + 1] == b'x' {
+                    i += 2;
+                    let ds = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    (&src[ds..i], 16)
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    (&src[start..i], 10)
+                };
+                let v = u64::from_str_radix(digits, radix).map_err(|_| {
+                    err(line, format!("bad integer literal `{}`", &src[start..i]))
+                })?;
+                out.push(SpannedTok { tok: Tok::Int(v as i64), line });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match KEYWORDS.iter().find(|&&k| k == word) {
+                    Some(&k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_string()),
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            _ => {
+                if !c.is_ascii() {
+                    return Err(err(line, format!("unexpected byte 0x{c:02x}")));
+                }
+                // Longest-match punctuation: two-character operators first.
+                let two =
+                    if i + 1 < b.len() && b[i + 1].is_ascii() { &src[i..i + 2] } else { "" };
+                let p2 = ["||", "&&", "==", "!=", "<=", ">=", "<<", ">>"]
+                    .iter()
+                    .find(|&&p| p == two)
+                    .copied();
+                if let Some(p) = p2 {
+                    out.push(SpannedTok { tok: Tok::Punct(p), line });
+                    i += 2;
+                    continue;
+                }
+                let one = &src[i..i + 1];
+                let p1 = [
+                    "(", ")", "{", "}", "[", "]", ";", ",", "=", "|", "^", "&", "<", ">", "+",
+                    "-", "*", "/", "%", "~", "!",
+                ]
+                .iter()
+                .find(|&&p| p == one)
+                .copied();
+                match p1 {
+                    Some(p) => {
+                        out.push(SpannedTok { tok: Tok::Punct(p), line });
+                        i += 1;
+                    }
+                    None => {
+                        return Err(err(line, format!("unexpected character `{}`", c as char)))
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_and_lines() {
+        let toks = lex("var x = 0x10; // comment\nx = x << 2;").unwrap();
+        assert_eq!(toks[0].tok, Tok::Kw("var"));
+        assert_eq!(toks[3].tok, Tok::Int(16));
+        assert_eq!(toks[5].line, 2, "second statement is on line 2");
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct("<<")));
+    }
+
+    #[test]
+    fn full_range_literals() {
+        let toks = lex("18446744073709551615 0xffffffffffffffff").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(-1));
+        assert_eq!(toks[1].tok, Tok::Int(-1));
+        assert!(lex("99999999999999999999999").is_err(), "overflow is rejected");
+    }
+
+    #[test]
+    fn unknown_character() {
+        assert!(matches!(lex("var x = @;"), Err(LangError::Parse { line: 1, .. })));
+    }
+}

@@ -1,0 +1,99 @@
+//! mg-lang: a tiny imperative language compiled to the mg simulator ISA.
+//!
+//! The language has 64-bit integers, fixed-size power-of-two arrays,
+//! arithmetic/logic/comparison operators, `if`/`while` control flow, and
+//! flat (non-recursive) procedures. A program communicates results by
+//! writing an output stream and a running checksum to a fixed memory
+//! location, so a compiled image can be compared bit-for-bit against the
+//! reference interpreter and against the simulator's mini-graph rewriting
+//! pipeline.
+//!
+//! The crate is organised as a conventional compiler pipeline:
+//!
+//! | stage | module | output |
+//! |---|---|---|
+//! | lexing | [`lexer`] | token stream |
+//! | parsing | [`parser`] | [`ast::Module`] |
+//! | checking | [`sema`] | validated AST |
+//! | lowering | [`ir`] | virtual-register CFG |
+//! | liveness | [`liveness`] | live sets + interference graph |
+//! | allocation | [`regalloc`] | colors + spill slots |
+//! | emission | [`codegen`] | [`mg_isa::Program`] image |
+//!
+//! Alongside the compiler sit a reference AST interpreter ([`interp`])
+//! that defines the architectural semantics, a deterministic seeded
+//! program generator ([`gen`]) for differential testing, a hand-written
+//! regression corpus ([`corpus`]), and a [`mg_api::WorkloadSource`]
+//! adapter ([`source`]) that registers compiled programs with the engine
+//! under content-hashed stable identities.
+//!
+//! ```
+//! use mg_api::Input;
+//!
+//! let src = "var g = 0; proc main { g = 6 * 7; out(g); }";
+//! let compiled = mg_lang::compile_source(src, &Input::reference()).unwrap();
+//! assert!(compiled.stats.insts > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt;
+
+pub mod ast;
+pub mod codegen;
+pub mod corpus;
+pub mod gen;
+pub mod interp;
+pub mod ir;
+pub mod lexer;
+pub mod liveness;
+pub mod parser;
+pub mod regalloc;
+pub mod sema;
+pub mod source;
+
+pub use codegen::{compile, CompileStats, Compiled};
+pub use interp::{run as interpret, InterpResult};
+pub use regalloc::RegallocConfig;
+pub use source::LangWorkload;
+
+/// Errors from any stage of the mg-lang pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexing or parsing failed at the given 1-based source line.
+    Parse {
+        /// 1-based line number of the offending token.
+        line: u32,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// The program parsed but failed semantic checking.
+    Sema(String),
+    /// The reference interpreter rejected the program at runtime
+    /// (for example by exceeding its step or output budget).
+    Interp(String),
+    /// Code generation failed (for example spill-slot exhaustion).
+    Codegen(String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            LangError::Sema(msg) => write!(f, "semantic error: {msg}"),
+            LangError::Interp(msg) => write!(f, "interpreter error: {msg}"),
+            LangError::Codegen(msg) => write!(f, "codegen error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parse, check, and compile `src` in one call with the default register
+/// configuration.
+pub fn compile_source(src: &str, input: &mg_api::Input) -> Result<Compiled, LangError> {
+    let module = parser::parse(src)?;
+    sema::check(&module)?;
+    codegen::compile(&module, input, &RegallocConfig::default())
+}

@@ -1,0 +1,234 @@
+//! Use/def and live-variable analysis over the IR, plus interference
+//! graph construction.
+//!
+//! Classic backward dataflow to a fixpoint:
+//! `live_out[b] = ∪ live_in[succ]`,
+//! `live_in[b] = use[b] ∪ (live_out[b] − def[b])`.
+//! Everything iterates in deterministic (`BTree`) order so allocation —
+//! and therefore the emitted image — is bit-stable across runs.
+
+use crate::ir::{IrInst, IrProc, Term, VReg};
+use std::collections::BTreeSet;
+
+/// Virtual registers read by `inst`, pushed into `out`.
+pub fn uses(inst: &IrInst, out: &mut Vec<VReg>) {
+    match *inst {
+        IrInst::Const { .. } | IrInst::LoadGlobal { .. } | IrInst::LoadSpill { .. } => {}
+        IrInst::Un { a, .. } | IrInst::Copy { a, .. } => out.push(a),
+        IrInst::Bin { a, b, .. } => {
+            out.push(a);
+            out.push(b);
+        }
+        IrInst::StoreGlobal { a, .. } | IrInst::Out { a } | IrInst::StoreSpill { a, .. } => {
+            out.push(a)
+        }
+        IrInst::LoadArr { idx, .. } => out.push(idx),
+        IrInst::StoreArr { idx, a, .. } => {
+            out.push(idx);
+            out.push(a);
+        }
+        IrInst::Call { .. } => {}
+    }
+}
+
+/// The virtual register written by `inst`, if any.
+pub fn def(inst: &IrInst) -> Option<VReg> {
+    match *inst {
+        IrInst::Const { d, .. }
+        | IrInst::Un { d, .. }
+        | IrInst::Bin { d, .. }
+        | IrInst::Copy { d, .. }
+        | IrInst::LoadGlobal { d, .. }
+        | IrInst::LoadArr { d, .. }
+        | IrInst::LoadSpill { d, .. } => Some(d),
+        IrInst::StoreGlobal { .. }
+        | IrInst::StoreArr { .. }
+        | IrInst::Call { .. }
+        | IrInst::Out { .. }
+        | IrInst::StoreSpill { .. } => None,
+    }
+}
+
+/// Per-block live-variable sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Live-in set per block.
+    pub live_in: Vec<BTreeSet<VReg>>,
+    /// Live-out set per block.
+    pub live_out: Vec<BTreeSet<VReg>>,
+}
+
+/// Computes per-block liveness for `proc`.
+pub fn analyze(proc: &IrProc) -> Liveness {
+    let n = proc.blocks.len();
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    let mut gen = vec![BTreeSet::new(); n];
+    let mut kill = vec![BTreeSet::new(); n];
+    let mut scratch = Vec::new();
+    for (i, b) in proc.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            scratch.clear();
+            uses(inst, &mut scratch);
+            for &u in &scratch {
+                if !kill[i].contains(&u) {
+                    gen[i].insert(u);
+                }
+            }
+            if let Some(d) = def(inst) {
+                kill[i].insert(d);
+            }
+        }
+        if let Term::Branch { cond, .. } = b.term {
+            if !kill[i].contains(&cond) {
+                gen[i].insert(cond);
+            }
+        }
+    }
+
+    let mut live_in = vec![BTreeSet::new(); n];
+    let mut live_out = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut out = BTreeSet::new();
+            for s in proc.blocks[i].term.succs() {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn = gen[i].clone();
+            inn.extend(out.difference(&kill[i]).copied());
+            if out != live_out[i] || inn != live_in[i] {
+                changed = true;
+                live_out[i] = out;
+                live_in[i] = inn;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// The interference graph plus the set of vregs live across a call.
+#[derive(Clone, Debug, Default)]
+pub struct Interference {
+    /// Adjacency: for each vreg, the vregs it interferes with.
+    pub edges: std::collections::BTreeMap<VReg, BTreeSet<VReg>>,
+    /// Vregs live across at least one [`IrInst::Call`] site. These must
+    /// not live in machine registers (calls clobber the whole
+    /// allocatable file), so the allocator spills them first.
+    pub live_across_call: BTreeSet<VReg>,
+}
+
+impl Interference {
+    fn touch(&mut self, v: VReg) {
+        self.edges.entry(v).or_default();
+    }
+
+    fn add_edge(&mut self, a: VReg, b: VReg) {
+        if a != b {
+            self.edges.entry(a).or_default().insert(b);
+            self.edges.entry(b).or_default().insert(a);
+        }
+    }
+
+    /// Degree of `v` (0 for unknown vregs).
+    pub fn degree(&self, v: VReg) -> usize {
+        self.edges.get(&v).map_or(0, |s| s.len())
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: VReg, b: VReg) -> bool {
+        self.edges.get(&a).is_some_and(|s| s.contains(&b))
+    }
+}
+
+/// Builds the interference graph for `proc`, walking each block
+/// backward from its live-out set.
+pub fn interference(proc: &IrProc, live: &Liveness) -> Interference {
+    let mut g = Interference::default();
+    let mut scratch = Vec::new();
+    for (i, b) in proc.blocks.iter().enumerate() {
+        let mut live_now = live.live_out[i].clone();
+        if let Term::Branch { cond, .. } = b.term {
+            live_now.insert(cond);
+        }
+        for inst in b.insts.iter().rev() {
+            if let Some(d) = def(inst) {
+                g.touch(d);
+                for &l in &live_now {
+                    g.add_edge(d, l);
+                }
+                live_now.remove(&d);
+            }
+            if matches!(inst, IrInst::Call { .. }) {
+                g.live_across_call.extend(live_now.iter().copied());
+            }
+            scratch.clear();
+            uses(inst, &mut scratch);
+            for &u in &scratch {
+                g.touch(u);
+                live_now.insert(u);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrBlock;
+
+    fn v(i: u32) -> VReg {
+        VReg(i)
+    }
+
+    #[test]
+    fn diamond_liveness() {
+        // b0: v0 = 1; branch v0 -> b1 / b2
+        // b1: v1 = v0   -> b3
+        // b2: v2 = v0   -> b3
+        // b3: out v0; ret
+        let proc = IrProc {
+            name: "t".into(),
+            blocks: vec![
+                IrBlock {
+                    insts: vec![IrInst::Const { d: v(0), value: 1 }],
+                    term: Term::Branch { cond: v(0), t: 1, f: 2 },
+                },
+                IrBlock { insts: vec![IrInst::Copy { d: v(1), a: v(0) }], term: Term::Jump(3) },
+                IrBlock { insts: vec![IrInst::Copy { d: v(2), a: v(0) }], term: Term::Jump(3) },
+                IrBlock { insts: vec![IrInst::Out { a: v(0) }], term: Term::Ret },
+            ],
+            num_vregs: 3,
+        };
+        let live = analyze(&proc);
+        assert!(live.live_out[0].contains(&v(0)), "v0 flows through the diamond");
+        assert!(live.live_in[3].contains(&v(0)));
+        assert!(!live.live_out[3].contains(&v(0)), "dead after final use");
+        assert!(live.live_in[0].is_empty(), "entry needs nothing");
+    }
+
+    #[test]
+    fn loop_liveness_reaches_fixpoint() {
+        // b0: v0 = 10 -> b1
+        // b1: v1 = v0 (use across back edge); branch v1 -> b1 / b2
+        // b2: ret
+        let proc = IrProc {
+            name: "t".into(),
+            blocks: vec![
+                IrBlock {
+                    insts: vec![IrInst::Const { d: v(0), value: 10 }],
+                    term: Term::Jump(1),
+                },
+                IrBlock {
+                    insts: vec![IrInst::Copy { d: v(1), a: v(0) }],
+                    term: Term::Branch { cond: v(1), t: 1, f: 2 },
+                },
+                IrBlock { insts: vec![], term: Term::Ret },
+            ],
+            num_vregs: 2,
+        };
+        let live = analyze(&proc);
+        assert!(live.live_out[1].contains(&v(0)), "back edge keeps v0 live around the loop");
+    }
+}

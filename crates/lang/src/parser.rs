@@ -1,0 +1,360 @@
+//! Recursive-descent parser for `.mgl` source.
+//!
+//! Grammar (see `DESIGN.md` §10 for the full sketch):
+//!
+//! ```text
+//! module  := (global | array | proc)*
+//! global  := "var" IDENT "=" INT ";"
+//! array   := "arr" IDENT "[" INT "]" ("=" "{" INT ("," INT)* "}")? ";"
+//! proc    := "proc" IDENT "{" stmt* "}"
+//! stmt    := "let" IDENT "=" expr ";"
+//!          | IDENT "=" expr ";"
+//!          | IDENT "[" expr "]" "=" expr ";"
+//!          | "if" "(" expr ")" block ("else" block)?
+//!          | "while" "(" expr ")" block
+//!          | "call" IDENT ";"
+//!          | "out" "(" expr ")" ";"
+//! ```
+//!
+//! Expression precedence, loosest first: `||`, `&&`, comparisons, `|`,
+//! `^`, `&`, shifts, additive, multiplicative, unary, primary.
+//! Unary minus on a literal folds into the literal, so the
+//! pretty-printer/parser round-trip is exact.
+
+use crate::ast::{ArrayDecl, BinOp, Expr, Global, Module, Proc, Stmt, UnOp};
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::LangError;
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+/// Parses `.mgl` source into an unchecked [`Module`] AST.
+///
+/// # Errors
+///
+/// Returns [`LangError::Parse`] with a 1-based line number on any
+/// lexical or syntactic error. Semantic checks (name resolution,
+/// recursion, array sizes) live in [`crate::sema::check`].
+pub fn parse(src: &str) -> Result<Module, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut m = Module { globals: Vec::new(), arrays: Vec::new(), procs: Vec::new() };
+    while !p.at_end() {
+        if p.eat_kw("var") {
+            let name = p.ident()?;
+            p.expect("=")?;
+            let init = p.int_literal()?;
+            p.expect(";")?;
+            m.globals.push(Global { name, init });
+        } else if p.eat_kw("arr") {
+            let name = p.ident()?;
+            p.expect("[")?;
+            let len = p.int_literal()?;
+            p.expect("]")?;
+            let mut init = Vec::new();
+            if p.eat("=") {
+                p.expect("{")?;
+                loop {
+                    init.push(p.int_literal()?);
+                    if !p.eat(",") {
+                        break;
+                    }
+                }
+                p.expect("}")?;
+            }
+            if len < 0 {
+                return Err(p.err(format!("array `{name}` has negative length")));
+            }
+            m.arrays.push(ArrayDecl { name, len: len as usize, init });
+            p.expect(";")?;
+        } else if p.eat_kw("proc") {
+            let name = p.ident()?;
+            p.expect("{")?;
+            let body = p.block_body()?;
+            m.procs.push(Proc { name, body });
+        } else {
+            return Err(p.err("expected `var`, `arr`, or `proc`".to_string()));
+        }
+    }
+    Ok(m)
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(1, |t| t.line)
+    }
+
+    fn err(&self, msg: String) -> LangError {
+        let got = match self.toks.get(self.pos) {
+            Some(t) => format!("{:?}", t.tok),
+            None => "end of input".to_string(),
+        };
+        LangError::Parse { line: self.line(), msg: format!("{msg} (found {got})") }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(w)) if *w == k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<(), LangError> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => match self.bump() {
+                Some(Tok::Ident(n)) => Ok(n),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err("expected identifier".to_string())),
+        }
+    }
+
+    /// A literal in declaration position: an integer, optionally negated.
+    fn int_literal(&mut self) -> Result<i64, LangError> {
+        let neg = self.eat("-");
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(if neg { v.wrapping_neg() } else { v }),
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected integer literal".to_string()))
+            }
+        }
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, LangError> {
+        let mut body = Vec::new();
+        while !self.eat("}") {
+            if self.at_end() {
+                return Err(self.err("unterminated block".to_string()));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect("{")?;
+        self.block_body()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect("=")?;
+            let value = self.expr()?;
+            self.expect(";")?;
+            return Ok(Stmt::Let { name, value });
+        }
+        if self.eat_kw("if") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_kw("else") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::If { cond, then_body, else_body });
+        }
+        if self.eat_kw("while") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("call") {
+            let proc = self.ident()?;
+            self.expect(";")?;
+            return Ok(Stmt::Call { proc });
+        }
+        if self.eat_kw("out") {
+            self.expect("(")?;
+            let value = self.expr()?;
+            self.expect(")")?;
+            self.expect(";")?;
+            return Ok(Stmt::Out { value });
+        }
+        let name = self.ident()?;
+        if self.eat("[") {
+            let index = self.expr()?;
+            self.expect("]")?;
+            self.expect("=")?;
+            let value = self.expr()?;
+            self.expect(";")?;
+            return Ok(Stmt::Store { arr: name, index, value });
+        }
+        self.expect("=")?;
+        let value = self.expr()?;
+        self.expect(";")?;
+        Ok(Stmt::Assign { name, value })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary(0)
+    }
+
+    /// Precedence levels, loosest first.
+    fn level_ops(level: usize) -> &'static [(&'static str, BinOp)] {
+        const LEVELS: [&[(&str, BinOp)]; 9] = [
+            &[("||", BinOp::LOr)],
+            &[("&&", BinOp::LAnd)],
+            &[
+                ("==", BinOp::Eq),
+                ("!=", BinOp::Ne),
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        LEVELS[level]
+    }
+
+    fn binary(&mut self, level: usize) -> Result<Expr, LangError> {
+        if level == 9 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        'outer: loop {
+            for &(sym, op) in Self::level_ops(level) {
+                if self.eat(sym) {
+                    let rhs = self.binary(level + 1)?;
+                    lhs = Expr::Bin { op, a: Box::new(lhs), b: Box::new(rhs) };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.eat("-") {
+            let a = self.unary()?;
+            // Fold so `-5` and the pretty-printed form of `Lit(-5)`
+            // parse to the same AST.
+            return Ok(match a {
+                Expr::Lit(v) => Expr::Lit(v.wrapping_neg()),
+                other => Expr::Un { op: UnOp::Neg, a: Box::new(other) },
+            });
+        }
+        if self.eat("~") {
+            let a = self.unary()?;
+            return Ok(Expr::Un { op: UnOp::BitNot, a: Box::new(a) });
+        }
+        if self.eat("!") {
+            let a = self.unary()?;
+            return Ok(Expr::Un { op: UnOp::Not, a: Box::new(a) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        if self.eat("(") {
+            let e = self.expr()?;
+            self.expect(")")?;
+            return Ok(e);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(v))
+            }
+            Some(Tok::Ident(n)) => {
+                self.pos += 1;
+                if n == "__seed" {
+                    return Ok(Expr::Seed);
+                }
+                if n == "__scale" {
+                    return Ok(Expr::Scale);
+                }
+                if self.eat("[") {
+                    let index = self.expr()?;
+                    self.expect("]")?;
+                    return Ok(Expr::Index { arr: n, index: Box::new(index) });
+                }
+                Ok(Expr::Var(n))
+            }
+            _ => Err(self.err("expected expression".to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        let m = parse("proc main { let x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Let { value, .. } = &m.procs[0].body[0] else { panic!() };
+        assert_eq!(value.to_string(), "(1 + (2 * 3))");
+
+        let m = parse("proc main { let x = 1 < 2 && 3 < 4; }").unwrap();
+        let Stmt::Let { value, .. } = &m.procs[0].body[0] else { panic!() };
+        assert_eq!(value.to_string(), "((1 < 2) && (3 < 4))");
+    }
+
+    #[test]
+    fn negative_literal_folding() {
+        let m = parse("proc main { let x = -5; let y = -(5 + 1); }").unwrap();
+        let Stmt::Let { value, .. } = &m.procs[0].body[0] else { panic!() };
+        assert_eq!(*value, Expr::Lit(-5));
+        let Stmt::Let { value, .. } = &m.procs[0].body[1] else { panic!() };
+        assert!(matches!(value, Expr::Un { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn declarations_round_trip() {
+        let src =
+            "var g = -3;\narr t[8] = { 1, 2, 3 };\nproc main {\n    out((g + t[0]));\n}\n";
+        let m = parse(src).unwrap();
+        assert_eq!(m.to_source(), src);
+        assert_eq!(parse(&m.to_source()).unwrap(), m);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse("proc main {\n let = 3;\n}").unwrap_err();
+        let LangError::Parse { line, .. } = e else { panic!() };
+        assert_eq!(line, 2);
+    }
+}

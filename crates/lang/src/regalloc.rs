@@ -1,0 +1,295 @@
+//! Chaitin-style graph-coloring register allocation with spilling.
+//!
+//! The allocator colors each procedure's interference graph with `K`
+//! colors (the allocatable machine registers). When simplification gets
+//! stuck, the highest-degree spillable vreg is spilled — every def gains
+//! a [`IrInst::StoreSpill`], every use a [`IrInst::LoadSpill`] through a
+//! fresh short-lived temporary — and allocation restarts. Vregs live
+//! across a [`IrInst::Call`] are spilled eagerly: calls clobber the
+//! entire allocatable file (there is no save/restore convention), so
+//! register residence across a call is never correct.
+//!
+//! Spill temporaries are marked unspillable; their live ranges span at
+//! most one instruction, so with `K ≥ 3` (two operands and a result)
+//! allocation always terminates.
+
+use crate::ir::{IrInst, IrProc, VReg};
+use crate::liveness::{analyze, def, interference, uses, Interference};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Allocator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RegallocConfig {
+    /// Number of allocatable machine registers (`K`). The default, 15,
+    /// matches the codegen pool `r1..r15`. Must be at least 3.
+    pub num_regs: usize,
+}
+
+impl Default for RegallocConfig {
+    fn default() -> RegallocConfig {
+        RegallocConfig { num_regs: 15 }
+    }
+}
+
+/// The result of allocating one procedure.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Color (`0..num_regs`) per surviving vreg.
+    pub colors: BTreeMap<VReg, usize>,
+    /// Number of procedure-local spill slots used.
+    pub spill_slots: usize,
+    /// How many original vregs were spilled (diagnostics).
+    pub spilled: usize,
+}
+
+/// Iteration cap: each round either colors successfully or spills at
+/// least one vreg, and the vreg count only grows with short-lived
+/// unspillable temps, so this is never reached in practice.
+const MAX_ROUNDS: usize = 64;
+
+/// Allocates registers for `proc`, rewriting it in place with spill
+/// code as needed.
+///
+/// # Panics
+///
+/// Panics if `cfg.num_regs < 3` or if allocation fails to converge
+/// (impossible for IR produced by [`crate::ir::lower`]).
+pub fn allocate(proc: &mut IrProc, cfg: &RegallocConfig) -> Allocation {
+    assert!(cfg.num_regs >= 3, "need at least 3 allocatable registers");
+    let k = cfg.num_regs;
+    let mut no_spill: BTreeSet<VReg> = BTreeSet::new();
+    let mut slots: BTreeMap<VReg, usize> = BTreeMap::new();
+
+    for _ in 0..MAX_ROUNDS {
+        let live = analyze(proc);
+        let g = interference(proc, &live);
+
+        // Calls clobber every allocatable register: anything live across
+        // one goes to memory, all at once, before trying to color.
+        let must: Vec<VReg> =
+            g.live_across_call.iter().filter(|v| !slots.contains_key(v)).copied().collect();
+        if !must.is_empty() {
+            for v in must {
+                assert!(!no_spill.contains(&v), "spill temp live across a call");
+                spill(proc, v, &mut slots, &mut no_spill);
+            }
+            continue;
+        }
+
+        match try_color(&g, k) {
+            Ok(colors) => {
+                return Allocation { colors, spill_slots: slots.len(), spilled: slots.len() }
+            }
+            Err(stuck) => {
+                // Spill the highest-degree spillable node (ties: lowest
+                // id, for determinism) and retry.
+                let victim = stuck
+                    .iter()
+                    .filter(|v| !no_spill.contains(v))
+                    .max_by_key(|&&v| (g.degree(v), std::cmp::Reverse(v.0)))
+                    .copied()
+                    .expect("a spillable node always exists when stuck");
+                spill(proc, victim, &mut slots, &mut no_spill);
+            }
+        }
+    }
+    panic!("register allocation did not converge in {MAX_ROUNDS} rounds");
+}
+
+/// Attempts to color `g` with `k` colors; on failure returns the set of
+/// nodes remaining when simplification got stuck.
+fn try_color(g: &Interference, k: usize) -> Result<BTreeMap<VReg, usize>, BTreeSet<VReg>> {
+    let mut degree: BTreeMap<VReg, usize> =
+        g.edges.iter().map(|(&v, s)| (v, s.len())).collect();
+    let mut remaining: BTreeSet<VReg> = degree.keys().copied().collect();
+    let mut stack = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let pick = remaining.iter().find(|&&v| degree[&v] < k).copied();
+        match pick {
+            Some(v) => {
+                remaining.remove(&v);
+                stack.push(v);
+                for n in &g.edges[&v] {
+                    if let Some(d) = degree.get_mut(n) {
+                        *d = d.saturating_sub(1);
+                    }
+                }
+            }
+            None => return Err(remaining),
+        }
+    }
+    let mut colors = BTreeMap::new();
+    while let Some(v) = stack.pop() {
+        let taken: BTreeSet<usize> =
+            g.edges[&v].iter().filter_map(|n| colors.get(n).copied()).collect();
+        let c = (0..k).find(|c| !taken.contains(c)).expect("simplify guarantees a color");
+        colors.insert(v, c);
+    }
+    Ok(colors)
+}
+
+/// Rewrites `proc` so `v` lives in a spill slot: defs store through it,
+/// uses reload into fresh unspillable temps.
+fn spill(
+    proc: &mut IrProc,
+    v: VReg,
+    slots: &mut BTreeMap<VReg, usize>,
+    no_spill: &mut BTreeSet<VReg>,
+) {
+    let slot = slots.len();
+    slots.insert(v, slot);
+    let mut scratch = Vec::new();
+    for b in &mut proc.blocks {
+        let old = std::mem::take(&mut b.insts);
+        let mut out = Vec::with_capacity(old.len() + 4);
+        for mut inst in old {
+            scratch.clear();
+            uses(&inst, &mut scratch);
+            if scratch.contains(&v) {
+                let t = VReg(proc.num_vregs);
+                proc.num_vregs += 1;
+                no_spill.insert(t);
+                out.push(IrInst::LoadSpill { d: t, slot });
+                rename_uses(&mut inst, v, t);
+            }
+            let defines = def(&inst) == Some(v);
+            out.push(inst);
+            if defines {
+                out.push(IrInst::StoreSpill { slot, a: v });
+            }
+        }
+        b.insts = out;
+        // A branch condition is a use too: reload before the terminator.
+        if let crate::ir::Term::Branch { cond, t, f } = b.term {
+            if cond == v {
+                let tmp = VReg(proc.num_vregs);
+                proc.num_vregs += 1;
+                no_spill.insert(tmp);
+                b.insts.push(IrInst::LoadSpill { d: tmp, slot });
+                b.term = crate::ir::Term::Branch { cond: tmp, t, f };
+            }
+        }
+    }
+}
+
+fn rename_uses(inst: &mut IrInst, from: VReg, to: VReg) {
+    let r = |x: &mut VReg| {
+        if *x == from {
+            *x = to;
+        }
+    };
+    match inst {
+        IrInst::Const { .. }
+        | IrInst::LoadGlobal { .. }
+        | IrInst::LoadSpill { .. }
+        | IrInst::Call { .. } => {}
+        IrInst::Un { a, .. } | IrInst::Copy { a, .. } => r(a),
+        IrInst::Bin { a, b, .. } => {
+            r(a);
+            r(b);
+        }
+        IrInst::StoreGlobal { a, .. } | IrInst::Out { a } | IrInst::StoreSpill { a, .. } => {
+            r(a)
+        }
+        IrInst::LoadArr { idx, .. } => r(idx),
+        IrInst::StoreArr { idx, a, .. } => {
+            r(idx);
+            r(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrBlock, Term};
+
+    fn v(i: u32) -> VReg {
+        VReg(i)
+    }
+
+    /// Verifies a coloring against a freshly built interference graph.
+    fn assert_valid(proc: &IrProc, alloc: &Allocation, k: usize) {
+        let live = analyze(proc);
+        let g = interference(proc, &live);
+        for (&a, ns) in &g.edges {
+            assert!(alloc.colors[&a] < k);
+            for &b in ns {
+                assert_ne!(alloc.colors[&a], alloc.colors[&b], "{a} and {b} interfere");
+            }
+        }
+        assert!(g.live_across_call.is_empty(), "nothing may stay live across a call");
+    }
+
+    #[test]
+    fn spill_under_pressure() {
+        // 8 simultaneously-live constants, summed at the end, with
+        // only 3 registers: spilling is unavoidable.
+        let n = 8u32;
+        let mut insts: Vec<IrInst> =
+            (0..n).map(|i| IrInst::Const { d: v(i), value: i as i64 }).collect();
+        let mut acc = n;
+        insts.push(IrInst::Copy { d: v(acc), a: v(0) });
+        for i in 1..n {
+            let next = acc + 1;
+            insts.push(IrInst::Bin {
+                op: crate::ir::BinIr::Add,
+                d: v(next),
+                a: v(acc),
+                b: v(i),
+            });
+            acc = next;
+        }
+        insts.push(IrInst::Out { a: v(acc) });
+        let mut proc = IrProc {
+            name: "t".into(),
+            blocks: vec![IrBlock { insts, term: Term::Ret }],
+            num_vregs: acc + 1,
+        };
+        let alloc = allocate(&mut proc, &RegallocConfig { num_regs: 3 });
+        assert!(alloc.spilled > 0, "pressure forces spills");
+        assert_valid(&proc, &alloc, 3);
+    }
+
+    #[test]
+    fn call_crossing_values_are_spilled() {
+        let mut proc = IrProc {
+            name: "t".into(),
+            blocks: vec![IrBlock {
+                insts: vec![
+                    IrInst::Const { d: v(0), value: 7 },
+                    IrInst::Call { proc: 1 },
+                    IrInst::Out { a: v(0) },
+                ],
+                term: Term::Ret,
+            }],
+            num_vregs: 1,
+        };
+        let alloc = allocate(&mut proc, &RegallocConfig::default());
+        assert_eq!(alloc.spilled, 1, "v0 crosses the call");
+        assert!(
+            proc.blocks[0].insts.iter().any(|i| matches!(i, IrInst::StoreSpill { .. })),
+            "def stores to the slot"
+        );
+        assert_valid(&proc, &alloc, 15);
+    }
+
+    #[test]
+    fn no_pressure_no_spill() {
+        let mut proc = IrProc {
+            name: "t".into(),
+            blocks: vec![IrBlock {
+                insts: vec![
+                    IrInst::Const { d: v(0), value: 1 },
+                    IrInst::Un { op: crate::ir::UnIr::Neg, d: v(1), a: v(0) },
+                    IrInst::Out { a: v(1) },
+                ],
+                term: Term::Ret,
+            }],
+            num_vregs: 2,
+        };
+        let alloc = allocate(&mut proc, &RegallocConfig::default());
+        assert_eq!(alloc.spilled, 0);
+        assert_valid(&proc, &alloc, 15);
+    }
+}

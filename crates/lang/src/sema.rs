@@ -1,0 +1,276 @@
+//! Semantic checks over the parsed AST.
+//!
+//! Everything the later stages assume is validated here, so lowering,
+//! the interpreter, and codegen can use plain panics for "impossible"
+//! shapes:
+//!
+//! * exactly one `main`, and every `call` target exists;
+//! * the call graph is acyclic (no recursion — there is no stack);
+//! * global, array, and procedure names are unique within their
+//!   namespaces (scalars and arrays are separate namespaces);
+//! * array lengths are powers of two in `1..=65536`, with at most
+//!   `len` initializers;
+//! * every variable reference resolves to a visible `let` local or a
+//!   global, and `let` never redeclares a name already visible in the
+//!   same scope (shadowing across scopes is allowed);
+//! * the reserved `__seed`/`__scale` names are never declared.
+
+use crate::ast::{Expr, Module, Proc, Stmt};
+use crate::LangError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Largest permitted array length (elements).
+pub const MAX_ARRAY_LEN: usize = 65536;
+
+fn err(msg: String) -> LangError {
+    LangError::Sema(msg)
+}
+
+struct Checker<'m> {
+    globals: BTreeSet<&'m str>,
+    arrays: BTreeMap<&'m str, usize>,
+    procs: BTreeMap<&'m str, usize>,
+}
+
+/// Checks `m`; on success the module is safe for [`crate::ir::lower`],
+/// [`crate::interp::run`], and [`crate::codegen`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Sema`] describing the first violation found.
+pub fn check(m: &Module) -> Result<(), LangError> {
+    let mut globals = BTreeSet::new();
+    for g in &m.globals {
+        reserved(&g.name)?;
+        if !globals.insert(g.name.as_str()) {
+            return Err(err(format!("duplicate global `{}`", g.name)));
+        }
+    }
+    let mut arrays = BTreeMap::new();
+    for a in &m.arrays {
+        reserved(&a.name)?;
+        if arrays.insert(a.name.as_str(), a.len).is_some() {
+            return Err(err(format!("duplicate array `{}`", a.name)));
+        }
+        if a.len == 0 || a.len > MAX_ARRAY_LEN || !a.len.is_power_of_two() {
+            return Err(err(format!(
+                "array `{}` length {} is not a power of two in 1..={MAX_ARRAY_LEN}",
+                a.name, a.len
+            )));
+        }
+        if a.init.len() > a.len {
+            return Err(err(format!(
+                "array `{}` has {} initializers for {} elements",
+                a.name,
+                a.init.len(),
+                a.len
+            )));
+        }
+    }
+    let mut procs = BTreeMap::new();
+    for (i, p) in m.procs.iter().enumerate() {
+        reserved(&p.name)?;
+        if procs.insert(p.name.as_str(), i).is_some() {
+            return Err(err(format!("duplicate procedure `{}`", p.name)));
+        }
+    }
+    if !procs.contains_key("main") {
+        return Err(err("no `main` procedure".to_string()));
+    }
+
+    let ck = Checker { globals, arrays, procs };
+    for p in &m.procs {
+        let mut scopes: Vec<BTreeSet<&str>> = vec![BTreeSet::new()];
+        ck.body(p, &p.body, &mut scopes)?;
+    }
+
+    // Reject recursion: depth-first search for a cycle in the call graph.
+    let n = m.procs.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    for start in 0..n {
+        dfs(m, &ck, start, &mut state)?;
+    }
+    Ok(())
+}
+
+fn dfs(m: &Module, ck: &Checker<'_>, i: usize, state: &mut [u8]) -> Result<(), LangError> {
+    if state[i] == 2 {
+        return Ok(());
+    }
+    if state[i] == 1 {
+        return Err(err(format!("recursive call cycle through `{}`", m.procs[i].name)));
+    }
+    state[i] = 1;
+    for callee in callees(&m.procs[i].body) {
+        let j = ck.procs[callee.as_str()];
+        dfs(m, ck, j, state)?;
+    }
+    state[i] = 2;
+    Ok(())
+}
+
+fn callees(body: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Call { proc } => out.push(proc.clone()),
+            Stmt::If { then_body, else_body, .. } => {
+                out.extend(callees(then_body));
+                out.extend(callees(else_body));
+            }
+            Stmt::While { body, .. } => out.extend(callees(body)),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn reserved(name: &str) -> Result<(), LangError> {
+    if name.starts_with("__") {
+        return Err(err(format!("`{name}`: names starting with `__` are reserved")));
+    }
+    Ok(())
+}
+
+impl<'m> Checker<'m> {
+    fn visible(&self, scopes: &[BTreeSet<&str>], name: &str) -> bool {
+        scopes.iter().any(|s| s.contains(name)) || self.globals.contains(name)
+    }
+
+    fn body(
+        &self,
+        p: &'m Proc,
+        body: &'m [Stmt],
+        scopes: &mut Vec<BTreeSet<&'m str>>,
+    ) -> Result<(), LangError> {
+        let at = |msg: String| err(format!("in `{}`: {msg}", p.name));
+        for s in body {
+            match s {
+                Stmt::Let { name, value } => {
+                    reserved(name)?;
+                    self.expr(p, value, scopes)?;
+                    if self.arrays.contains_key(name.as_str()) {
+                        return Err(at(format!("`{name}` is already an array name")));
+                    }
+                    let top = scopes.last_mut().expect("scope stack is never empty");
+                    if !top.insert(name.as_str()) {
+                        return Err(at(format!("`{name}` redeclared in the same scope")));
+                    }
+                }
+                Stmt::Assign { name, value } => {
+                    self.expr(p, value, scopes)?;
+                    if !self.visible(scopes, name) {
+                        return Err(at(format!("assignment to undeclared `{name}`")));
+                    }
+                }
+                Stmt::Store { arr, index, value } => {
+                    self.expr(p, index, scopes)?;
+                    self.expr(p, value, scopes)?;
+                    if !self.arrays.contains_key(arr.as_str()) {
+                        return Err(at(format!("store to unknown array `{arr}`")));
+                    }
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    self.expr(p, cond, scopes)?;
+                    scopes.push(BTreeSet::new());
+                    self.body(p, then_body, scopes)?;
+                    scopes.pop();
+                    scopes.push(BTreeSet::new());
+                    self.body(p, else_body, scopes)?;
+                    scopes.pop();
+                }
+                Stmt::While { cond, body } => {
+                    self.expr(p, cond, scopes)?;
+                    scopes.push(BTreeSet::new());
+                    self.body(p, body, scopes)?;
+                    scopes.pop();
+                }
+                Stmt::Call { proc } => {
+                    if !self.procs.contains_key(proc.as_str()) {
+                        return Err(at(format!("call to unknown procedure `{proc}`")));
+                    }
+                }
+                Stmt::Out { value } => self.expr(p, value, scopes)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&self, p: &Proc, e: &Expr, scopes: &[BTreeSet<&str>]) -> Result<(), LangError> {
+        match e {
+            Expr::Lit(_) | Expr::Seed | Expr::Scale => Ok(()),
+            Expr::Var(name) => {
+                if self.visible(scopes, name) {
+                    Ok(())
+                } else {
+                    Err(err(format!("in `{}`: unknown variable `{name}`", p.name)))
+                }
+            }
+            Expr::Index { arr, index } => {
+                if !self.arrays.contains_key(arr.as_str()) {
+                    return Err(err(format!("in `{}`: unknown array `{arr}`", p.name)));
+                }
+                self.expr(p, index, scopes)
+            }
+            Expr::Un { a, .. } => self.expr(p, a, scopes),
+            Expr::Bin { a, b, .. } => {
+                self.expr(p, a, scopes)?;
+                self.expr(p, b, scopes)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), LangError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        check_src(
+            "var g = 1; arr t[8]; proc f { g = g + 1; } proc main { call f; out(t[g]); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_recursion_and_unknowns() {
+        assert!(check_src("proc main { call main; }").is_err(), "self-recursion");
+        assert!(
+            check_src("proc a { call b; } proc b { call a; } proc main { call a; }").is_err(),
+            "mutual recursion"
+        );
+        assert!(check_src("proc main { x = 1; }").is_err(), "undeclared assignment");
+        assert!(check_src("proc main { out(q); }").is_err(), "unknown variable");
+        assert!(check_src("proc f { }").is_err(), "missing main");
+    }
+
+    #[test]
+    fn scoping_rules() {
+        check_src("var x = 1; proc main { let x = 2; if (x) { let x = 3; out(x); } }").unwrap();
+        assert!(
+            check_src("proc main { let x = 1; let x = 2; }").is_err(),
+            "same-scope redeclaration"
+        );
+        assert!(
+            check_src("proc main { if (1) { let y = 1; } out(y); }").is_err(),
+            "scope exit ends visibility"
+        );
+    }
+
+    #[test]
+    fn array_shape_rules() {
+        assert!(check_src("arr t[7]; proc main { }").is_err(), "non-power-of-two");
+        assert!(check_src("arr t[0]; proc main { }").is_err(), "zero length");
+        assert!(
+            check_src("arr t[2] = { 1, 2, 3 }; proc main { }").is_err(),
+            "too many initializers"
+        );
+        assert!(check_src("var __x = 1; proc main { }").is_err(), "reserved name");
+    }
+}

@@ -1,0 +1,123 @@
+//! [`WorkloadSource`] adapter: compiled `.mgl` programs as first-class
+//! session workloads.
+//!
+//! A [`LangWorkload`] owns parsed-and-checked source; each
+//! [`WorkloadSource::build`] call compiles it for the requested
+//! [`Input`] (cheap — these are small programs), so `__seed`/`__scale`
+//! fold to constants per input. Identity is content-hashed: the
+//! `stable_id` commits to the source text and the compiler revision, so
+//! editing a program or changing codegen can never alias a warm pool
+//! entry or a cached artifact. (The artifact cache also fingerprints
+//! built images, and the pool keys include the input, so per-input
+//! program variation is safe.)
+
+use crate::codegen::{compile, Compiled};
+use crate::regalloc::RegallocConfig;
+use crate::{parser, sema, LangError};
+use mg_api::{MgError, WorkloadSource};
+use mg_isa::{Memory, Program};
+use mg_workloads::{Input, Suite};
+
+/// Bump when compilation output changes for the same source (new
+/// codegen, different register conventions, …); it feeds the
+/// content-hashed [`WorkloadSource::stable_id`].
+pub const COMPILER_VERSION: u32 = 1;
+
+/// A named, compiled-on-demand `.mgl` workload.
+pub struct LangWorkload {
+    name: String,
+    module: crate::ast::Module,
+    hash: u64,
+}
+
+impl LangWorkload {
+    /// Parses and checks `src`, returning a registrable workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] for syntax or semantic errors.
+    pub fn from_source(name: impl Into<String>, src: &str) -> Result<LangWorkload, LangError> {
+        let module = parser::parse(src)?;
+        sema::check(&module)?;
+        Ok(LangWorkload { name: name.into(), module, hash: fnv64(src, COMPILER_VERSION) })
+    }
+
+    /// The parsed module (e.g. for interpreter runs alongside the sim).
+    pub fn module(&self) -> &crate::ast::Module {
+        &self.module
+    }
+
+    /// Compiles for `input`, returning the full [`Compiled`] artifact
+    /// (program, memory image, stats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Codegen`] on resource-limit violations.
+    pub fn compile(&self, input: &Input) -> Result<Compiled, LangError> {
+        compile(&self.module, input, &RegallocConfig::default())
+    }
+}
+
+impl WorkloadSource for LangWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::MiBench
+    }
+
+    fn stable_id(&self) -> String {
+        format!("mgl/{}@{:016x}", self.name, self.hash)
+    }
+
+    fn build(&self, input: &Input) -> Result<(Program, Memory), MgError> {
+        let c = self.compile(input).map_err(|e| MgError::parse(e.to_string()))?;
+        let mem = c.memory();
+        Ok((c.program, mem))
+    }
+}
+
+/// FNV-1a over the source text, extended with the compiler revision.
+fn fnv64(src: &str, version: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in src.bytes().chain(version.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_tracks_content() {
+        let a = LangWorkload::from_source("p", "proc main { out(1); }").unwrap();
+        let b = LangWorkload::from_source("p", "proc main { out(2); }").unwrap();
+        assert_ne!(a.stable_id(), b.stable_id(), "different source, different id");
+        let c = LangWorkload::from_source("p", "proc main { out(1); }").unwrap();
+        assert_eq!(a.stable_id(), c.stable_id(), "same source, same id");
+        assert!(a.stable_id().starts_with("mgl/p@"));
+    }
+
+    #[test]
+    fn builds_for_any_input() {
+        let w = LangWorkload::from_source("p", "proc main { out(__seed + __scale); }").unwrap();
+        let (p1, _) = w.build(&Input::reference()).unwrap();
+        let (p2, _) = w.build(&Input::tiny()).unwrap();
+        assert_eq!(p1.insts.len(), p2.insts.len());
+        assert_ne!(
+            format!("{:?}", p1.insts),
+            format!("{:?}", p2.insts),
+            "input folds into the image as constants"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        assert!(LangWorkload::from_source("p", "proc main {").is_err());
+        assert!(LangWorkload::from_source("p", "proc f { }").is_err(), "no main");
+    }
+}

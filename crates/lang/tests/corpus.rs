@@ -1,0 +1,87 @@
+//! Regression corpus: every hand-written `.mgl` program runs three ways
+//! on two inputs, and its checksum must match a golden value so silent
+//! semantic drift in the compiler or interpreter is caught even if all
+//! three executions drift together.
+
+mod util;
+
+use mg_api::Input;
+use mg_core::Policy;
+use mg_lang::{corpus, RegallocConfig};
+use util::ThreeWay;
+
+/// Golden checksums per (program, input preset).
+const GOLDEN: &[(&str, &str, i64)] = &[
+    ("spill", "reference", -5936954685543411059),
+    ("spill", "tiny", -2881297577959056063),
+    ("loops", "reference", 607686915639088301),
+    ("loops", "tiny", 589885822378352201),
+    ("deadcode", "reference", -5808590958014384182),
+    ("deadcode", "tiny", -5808590958014384182),
+    ("divmod", "reference", 3511342055086764856),
+    ("divmod", "tiny", -3406190271854334425),
+    ("sieve", "reference", -423718595914481666),
+    ("sieve", "tiny", -423718595914481666),
+    ("sort", "reference", 7919891716904739623),
+    ("sort", "tiny", 8824859958452398965),
+    ("calls", "reference", -2754297413399214709),
+    ("calls", "tiny", -2916177410878816027),
+    ("nesting", "reference", 6830957030270061361),
+    ("nesting", "tiny", 6830957030270061361),
+];
+
+fn input_named(name: &str) -> Input {
+    match name {
+        "reference" => Input::reference(),
+        "tiny" => Input::tiny(),
+        other => panic!("unknown input preset {other}"),
+    }
+}
+
+#[test]
+fn corpus_matches_goldens_three_ways() {
+    let cfg = RegallocConfig::default();
+    assert_eq!(
+        GOLDEN.len(),
+        2 * corpus::all().len(),
+        "golden table out of sync with the corpus"
+    );
+    let mut drifted = Vec::new();
+    for &(name, input_name, want) in GOLDEN {
+        let src = corpus::get(name).unwrap_or_else(|| panic!("no corpus program {name}"));
+        let label = format!("corpus/{name} ({input_name})");
+        let obs = match util::three_way(
+            &label,
+            src,
+            &input_named(input_name),
+            &cfg,
+            &Policy::integer_memory(),
+        ) {
+            ThreeWay::Agreed(obs) => obs,
+            ThreeWay::Skipped(why) => panic!("{label}: interpreter rejected it ({why})"),
+        };
+        println!("(\"{name}\", \"{input_name}\", {}),", obs.checksum);
+        if obs.checksum != want {
+            drifted.push(format!("{label}: checksum {} != golden {want}", obs.checksum));
+        }
+    }
+    assert!(drifted.is_empty(), "checksum drift:\n{}", drifted.join("\n"));
+}
+
+#[test]
+fn corpus_spill_program_actually_spills() {
+    let module = mg_lang::parser::parse(corpus::get("spill").unwrap()).unwrap();
+    mg_lang::sema::check(&module).unwrap();
+    let compiled =
+        mg_lang::compile(&module, &Input::reference(), &RegallocConfig::default()).unwrap();
+    assert!(compiled.stats.spills > 0, "the spill corpus program no longer forces spills");
+}
+
+#[test]
+fn corpus_calls_program_spills_across_calls() {
+    let module = mg_lang::parser::parse(corpus::get("calls").unwrap()).unwrap();
+    mg_lang::sema::check(&module).unwrap();
+    let compiled =
+        mg_lang::compile(&module, &Input::reference(), &RegallocConfig::default()).unwrap();
+    assert!(compiled.stats.spills > 0, "call-crossing values must spill");
+}

@@ -1,0 +1,157 @@
+//! Register-allocator correctness: liveness and interference on
+//! hand-built CFGs with known answers, plus forced-spill configurations
+//! that must still pass the full three-way differential property.
+
+mod util;
+
+use mg_api::Input;
+use mg_lang::ir::{BinIr, IrBlock, IrInst, IrProc, Term, VReg};
+use mg_lang::liveness::{analyze, interference};
+use mg_lang::regalloc::{allocate, RegallocConfig};
+use mg_lang::{corpus, gen};
+use util::ThreeWay;
+
+fn v(n: u32) -> VReg {
+    VReg(n)
+}
+
+/// A diamond: v0 and v1 defined at the top, v0 consumed on the left arm,
+/// v1 on the right, both merged at the join.
+fn diamond() -> IrProc {
+    IrProc {
+        name: "diamond".into(),
+        blocks: vec![
+            IrBlock {
+                insts: vec![
+                    IrInst::Const { d: v(0), value: 1 },
+                    IrInst::Const { d: v(1), value: 2 },
+                    IrInst::Const { d: v(4), value: 0 },
+                ],
+                term: Term::Branch { cond: v(4), t: 1, f: 2 },
+            },
+            IrBlock {
+                insts: vec![IrInst::Bin { op: BinIr::Add, d: v(2), a: v(0), b: v(0) }],
+                term: Term::Jump(3),
+            },
+            IrBlock {
+                insts: vec![IrInst::Bin { op: BinIr::Add, d: v(2), a: v(1), b: v(1) }],
+                term: Term::Jump(3),
+            },
+            IrBlock {
+                insts: vec![
+                    IrInst::Bin { op: BinIr::Add, d: v(3), a: v(2), b: v(0) },
+                    IrInst::Out { a: v(3) },
+                ],
+                term: Term::Ret,
+            },
+        ],
+        num_vregs: 5,
+    }
+}
+
+#[test]
+fn diamond_has_known_liveness_and_interference() {
+    let proc = diamond();
+    let live = analyze(&proc);
+
+    // v0 is needed at the join (block 3), so it is live into BOTH arms;
+    // v1 only into the right arm.
+    assert!(live.live_in[1].contains(&v(0)));
+    assert!(live.live_in[2].contains(&v(0)));
+    assert!(live.live_in[2].contains(&v(1)));
+    assert!(!live.live_in[1].contains(&v(1)));
+    // The join needs v2 and v0, nothing else.
+    assert_eq!(live.live_in[3], [v(0), v(2)].into_iter().collect());
+
+    let ig = interference(&proc, &live);
+    // v0 and v1 are simultaneously live at the top; v2 is live alongside
+    // v0 at the join; v1 and v2 are never live together on the left arm
+    // path, but ARE on the right arm (v2 defined while v0 live).
+    assert!(ig.interferes(v(0), v(1)));
+    assert!(ig.interferes(v(0), v(2)));
+    assert!(ig.live_across_call.is_empty());
+}
+
+#[test]
+fn diamond_colors_with_three_registers_without_spills() {
+    let mut proc = diamond();
+    let alloc = allocate(&mut proc, &RegallocConfig { num_regs: 3 });
+    assert_eq!(alloc.spilled, 0);
+    assert_eq!(alloc.spill_slots, 0);
+    // Interfering vregs must land on distinct machine registers.
+    let live = analyze(&proc);
+    let ig = interference(&proc, &live);
+    for (a, ns) in &ig.edges {
+        for b in ns {
+            assert_ne!(alloc.colors[a], alloc.colors[b], "{a} vs {b} share a color");
+        }
+    }
+}
+
+#[test]
+fn loop_keeps_induction_variable_live_on_backedge() {
+    // while (v0 != 0) { v0 = v0 - v1 }  — v0 and v1 must be live around
+    // the backedge, so both are live-in at the header and they interfere.
+    let proc = IrProc {
+        name: "loop".into(),
+        blocks: vec![
+            IrBlock {
+                insts: vec![
+                    IrInst::Const { d: v(0), value: 9 },
+                    IrInst::Const { d: v(1), value: 3 },
+                ],
+                term: Term::Jump(1),
+            },
+            IrBlock { insts: vec![], term: Term::Branch { cond: v(0), t: 2, f: 3 } },
+            IrBlock {
+                insts: vec![IrInst::Bin { op: BinIr::Sub, d: v(0), a: v(0), b: v(1) }],
+                term: Term::Jump(1),
+            },
+            IrBlock { insts: vec![IrInst::Out { a: v(0) }], term: Term::Ret },
+        ],
+        num_vregs: 2,
+    };
+    let live = analyze(&proc);
+    assert_eq!(live.live_in[1], [v(0), v(1)].into_iter().collect());
+    assert_eq!(live.live_in[2], [v(0), v(1)].into_iter().collect());
+    let ig = interference(&proc, &live);
+    assert!(ig.interferes(v(0), v(1)));
+}
+
+#[test]
+fn forced_spills_preserve_semantics_on_the_corpus() {
+    // Squeeze every corpus program through brutally small register files;
+    // the three-way differential property must still hold.
+    for num_regs in [3, 5] {
+        let cfg = RegallocConfig { num_regs };
+        for (name, src) in corpus::all() {
+            let label = format!("corpus/{name} with {num_regs} registers");
+            match util::three_way(
+                &label,
+                src,
+                &Input::tiny(),
+                &cfg,
+                &mg_core::Policy::integer_memory(),
+            ) {
+                ThreeWay::Agreed(_) => {}
+                ThreeWay::Skipped(why) => panic!("{label}: {why}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_spills_preserve_semantics_on_generated_programs() {
+    let cfg = RegallocConfig { num_regs: 4 };
+    let mut passed = 0;
+    let mut seed = 9000u64;
+    while passed < 12 {
+        let src = gen::generate(seed).to_source();
+        let label = format!("generated seed {seed} with 4 registers");
+        match util::three_way(&label, &src, &Input::tiny(), &cfg, &util::policy_for(seed)) {
+            ThreeWay::Agreed(_) => passed += 1,
+            ThreeWay::Skipped(_) => {}
+        }
+        seed += 1;
+    }
+}

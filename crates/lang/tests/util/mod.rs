@@ -1,0 +1,114 @@
+//! Shared harness for the mg-lang integration suites.
+//!
+//! [`three_way`] runs one source program three ways — reference AST
+//! interpreter, compiled image on the functional simulator, and compiled
+//! image after mini-graph extraction + rewriting (both styles) — and
+//! panics with the pretty-printed source if any observable disagrees.
+
+use mg_api::Input;
+use mg_core::{extract, rewrite, Policy, RewriteStyle};
+use mg_isa::{HandleCatalog, Memory, Program};
+use mg_lang::codegen::{observe, Observation};
+use mg_lang::{compile, interpret, parser, sema, RegallocConfig};
+use mg_profile::run_program;
+
+/// Step budget for the reference interpreter (AST nodes visited).
+pub const INTERP_STEPS: u64 = 20_000_000;
+/// Step budget for simulated executions (dynamic instructions).
+pub const SIM_STEPS: u64 = 200_000_000;
+
+/// Outcome of a [`three_way`] run.
+// Each integration-test binary compiles this module separately, and not
+// every suite reads the Agreed payload.
+#[allow(dead_code)]
+pub enum ThreeWay {
+    /// The reference interpreter rejected the program (step or output
+    /// budget); nothing to compare, the caller should skip this case.
+    Skipped(String),
+    /// All three executions agreed on these observables.
+    Agreed(Observation),
+}
+
+fn run_image(
+    name: &str,
+    src: &str,
+    what: &str,
+    prog: &Program,
+    mut mem: Memory,
+    catalog: Option<&HandleCatalog>,
+) -> ([u64; 32], Memory) {
+    let r = run_program(prog, &mut mem, catalog, SIM_STEPS)
+        .unwrap_or_else(|e| panic!("{name}: {what} did not halt: {e:?}\nsource:\n{src}"));
+    (r.cpu.regs, mem)
+}
+
+/// Compile `src` for `input`, execute it three ways, and require
+/// bit-identical observables everywhere. Observables are the memory
+/// image (checksum, output stream, globals, arrays) — final registers
+/// are deliberately NOT compared: the rewriter legally elides writes to
+/// registers that are dead after a mini-graph (e.g. the accumulator
+/// after its final store), and return-address registers hold
+/// instruction indices that shift under compression.
+pub fn three_way(
+    name: &str,
+    src: &str,
+    input: &Input,
+    cfg: &RegallocConfig,
+    policy: &Policy,
+) -> ThreeWay {
+    let module = parser::parse(src).unwrap_or_else(|e| panic!("{name}: {e}\nsource:\n{src}"));
+    sema::check(&module).unwrap_or_else(|e| panic!("{name}: {e}\nsource:\n{src}"));
+
+    let want = match interpret(&module, input, INTERP_STEPS) {
+        Ok(r) => r,
+        Err(e) => return ThreeWay::Skipped(e.to_string()),
+    };
+    let expected = Observation {
+        checksum: want.checksum,
+        outputs: want.outputs,
+        globals: want.globals,
+        arrays: want.arrays,
+    };
+
+    let compiled =
+        compile(&module, input, cfg).unwrap_or_else(|e| panic!("{name}: {e}\nsource:\n{src}"));
+    let (_base_regs, base_mem) =
+        run_image(name, src, "compiled image", &compiled.program, compiled.memory(), None);
+    let got = observe(&module, &base_mem);
+    assert_eq!(
+        expected, got,
+        "{name}: compiled image diverges from the interpreter\nsource:\n{src}"
+    );
+
+    let ex = extract(&compiled.program, &mut compiled.memory(), policy, SIM_STEPS)
+        .unwrap_or_else(|e| panic!("{name}: extraction failed: {e:?}\nsource:\n{src}"));
+    for style in [RewriteStyle::NopPadded, RewriteStyle::Compressed] {
+        let rw = rewrite(&compiled.program, &ex.selection, style);
+        let (_regs, mem) = run_image(
+            name,
+            src,
+            "rewritten image",
+            &rw.program,
+            compiled.memory(),
+            Some(&ex.selection.catalog),
+        );
+        let got = observe(&module, &mem);
+        assert_eq!(
+            expected, got,
+            "{name}: rewritten image ({style:?}) diverges\nsource:\n{src}"
+        );
+    }
+    ThreeWay::Agreed(expected)
+}
+
+/// The selection policy a differential case uses, keyed off its seed so
+/// both integer-only and integer+memory selection are exercised.
+// Unused from the corpus suite, which pins its policies explicitly.
+#[allow(dead_code)]
+pub fn policy_for(seed: u64) -> Policy {
+    if seed.is_multiple_of(2) {
+        Policy::integer()
+    } else {
+        Policy::integer_memory()
+    }
+}

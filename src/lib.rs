@@ -9,6 +9,7 @@ pub use mg_core as core;
 pub use mg_dise as dise;
 pub use mg_harness as harness;
 pub use mg_isa as isa;
+pub use mg_lang as lang;
 pub use mg_profile as profile;
 pub use mg_uarch as uarch;
 pub use mg_workloads as workloads;

@@ -105,6 +105,94 @@ fn final_state(
     (r.cpu.regs, observed)
 }
 
+/// Runs `prog` to halt from `mem` and returns the full-memory content
+/// hash — the complete architectural result. Final registers are not
+/// compared here: the rewriter legally elides writes to registers that
+/// are dead after a collapsed mini-graph.
+fn memory_hash(
+    prog: &Program,
+    mem: &Memory,
+    catalog: Option<&mini_graphs::isa::HandleCatalog>,
+) -> u64 {
+    let mut m = mem.clone();
+    run_program(prog, &mut m, catalog, 200_000_000).expect("halts");
+    m.content_hash()
+}
+
+/// Extracts, rewrites (both styles, both integer and integer+memory
+/// policies), and requires the rewritten images to reproduce the
+/// original memory image bit for bit.
+fn assert_rewrite_equivalent(label: &str, prog: &Program, mem: &Memory) {
+    let baseline = memory_hash(prog, mem, None);
+    for policy in [Policy::integer(), Policy::integer_memory()] {
+        let ex = extract(prog, &mut mem.clone(), &policy, 200_000_000)
+            .unwrap_or_else(|e| panic!("{label}: extraction failed: {e:?}"));
+        for style in [RewriteStyle::NopPadded, RewriteStyle::Compressed] {
+            let rw = rewrite(prog, &ex.selection, style);
+            let got = memory_hash(&rw.program, mem, Some(&ex.selection.catalog));
+            assert_eq!(
+                baseline, got,
+                "{label}: memory image diverged after rewrite ({style:?})"
+            );
+        }
+    }
+}
+
+/// Every workload in the registry is architecturally unchanged by
+/// mini-graph rewriting, in both styles, under both standard policies.
+#[test]
+fn all_registry_workloads_rewrite_equivalently() {
+    let input = mini_graphs::workloads::Input::tiny();
+    let workloads = mini_graphs::workloads::all();
+    assert!(!workloads.is_empty());
+    for wl in &workloads {
+        let (prog, mem) = wl.build(&input);
+        assert_rewrite_equivalent(&format!("workload {}", wl.name), &prog, &mem);
+    }
+}
+
+/// Every compiled mg-lang corpus program is architecturally unchanged by
+/// mini-graph rewriting — the same harness, driven by compiler output
+/// rather than hand-written kernels. Programs with procedure calls store
+/// return addresses (instruction indices) into their spill slots, and
+/// indices shift under compression, so this compares the language-level
+/// observables (checksum, output stream, globals, arrays) rather than a
+/// whole-memory hash.
+#[test]
+fn compiled_corpus_programs_rewrite_equivalently() {
+    use mini_graphs::lang::codegen::observe;
+
+    let input = mini_graphs::workloads::Input::tiny();
+    let corpus = mini_graphs::lang::corpus::all();
+    assert!(!corpus.is_empty());
+    for (name, src) in corpus {
+        let module = mini_graphs::lang::parser::parse(src).expect("corpus parses");
+        let compiled = mini_graphs::lang::compile_source(src, &input)
+            .unwrap_or_else(|e| panic!("corpus {name}: {e}"));
+        let prog = &compiled.program;
+
+        let mut mem = compiled.memory();
+        run_program(prog, &mut mem, None, 200_000_000).expect("halts");
+        let baseline = observe(&module, &mem);
+
+        for policy in [Policy::integer(), Policy::integer_memory()] {
+            let ex = extract(prog, &mut compiled.memory(), &policy, 200_000_000)
+                .unwrap_or_else(|e| panic!("corpus {name}: extraction failed: {e:?}"));
+            for style in [RewriteStyle::NopPadded, RewriteStyle::Compressed] {
+                let rw = rewrite(prog, &ex.selection, style);
+                let mut mem = compiled.memory();
+                run_program(&rw.program, &mut mem, Some(&ex.selection.catalog), 200_000_000)
+                    .expect("rewritten image halts");
+                assert_eq!(
+                    baseline,
+                    observe(&module, &mem),
+                    "corpus {name}: observables diverged after rewrite ({style:?}, {policy:?})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
