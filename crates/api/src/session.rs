@@ -34,6 +34,7 @@ pub struct SessionBuilder {
     threads: Option<usize>,
     trace_budget: Option<u64>,
     cache_dir: Option<PathBuf>,
+    cache_fallback_dir: Option<PathBuf>,
     pool: Option<Arc<PrepPool>>,
     sources: Vec<Arc<dyn WorkloadSource>>,
     policies: Vec<Arc<dyn SelectionPolicy>>,
@@ -48,6 +49,7 @@ impl SessionBuilder {
             threads: None,
             trace_budget: None,
             cache_dir: None,
+            cache_fallback_dir: None,
             pool: None,
             sources: Vec::new(),
             policies: Vec::new(),
@@ -104,6 +106,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Chains a shared read-through cache root behind the session's
+    /// primary root: a primary miss falls through to `dir` (and a hit
+    /// there repopulates the primary), stores land in both roots. This
+    /// is the `mg cluster` cache topology — each shard's session keeps a
+    /// private primary root in front of one shared root, so artifacts
+    /// computed by any shard are visible to all without write
+    /// contention on the hot path. No effect unless a primary root is
+    /// enabled via [`SessionBuilder::cache`] /
+    /// [`SessionBuilder::cache_dir`].
+    pub fn cache_fallback_dir(mut self, dir: impl Into<PathBuf>) -> SessionBuilder {
+        self.cache_fallback_dir = Some(dir.into());
+        self
+    }
+
     /// Shares an existing warm-prep pool instead of creating a fresh
     /// one (e.g. to share preps across several sessions).
     pub fn pool(mut self, pool: Arc<PrepPool>) -> SessionBuilder {
@@ -152,6 +168,7 @@ impl SessionBuilder {
             threads: self.threads,
             trace_budget: self.trace_budget,
             cache_dir: self.cache_dir,
+            cache_fallback_dir: self.cache_fallback_dir,
             pool,
             sources: Arc::new(self.sources),
             policies: Arc::new(self.policies),
@@ -168,6 +185,7 @@ pub struct Session {
     threads: Option<usize>,
     trace_budget: Option<u64>,
     cache_dir: Option<PathBuf>,
+    cache_fallback_dir: Option<PathBuf>,
     pool: Arc<PrepPool>,
     sources: Arc<Vec<Arc<dyn WorkloadSource>>>,
     policies: Arc<Vec<Arc<dyn SelectionPolicy>>>,
@@ -182,6 +200,7 @@ impl std::fmt::Debug for Session {
             .field("threads", &self.threads)
             .field("trace_budget", &self.trace_budget)
             .field("cache_dir", &self.cache_dir)
+            .field("cache_fallback_dir", &self.cache_fallback_dir)
             .field("pooled_preps", &self.pool.len())
             .field("workload_sources", &self.sources.len())
             .field("policies", &self.policies.len())
@@ -212,6 +231,12 @@ impl Session {
     /// The persistent artifact-cache root, if caching is enabled.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.cache_dir.as_deref()
+    }
+
+    /// The shared read-through cache root, if one is chained (see
+    /// [`SessionBuilder::cache_fallback_dir`]).
+    pub fn cache_fallback_dir(&self) -> Option<&Path> {
+        self.cache_fallback_dir.as_deref()
     }
 
     /// The session-wide quick-mode override, if any.
@@ -253,6 +278,9 @@ impl Session {
         }
         if let Some(dir) = &self.cache_dir {
             b = b.cache_dir(dir);
+        }
+        if let Some(dir) = &self.cache_fallback_dir {
+            b = b.cache_fallback_dir(dir);
         }
         if let Some(q) = self.quick {
             b = b.quick(q);

@@ -27,24 +27,18 @@
 
 use crate::cli::{self, Format, RunArgs};
 use crate::serve_cli;
+use crate::soak::{self, SoakJob, CLIENT_ATTEMPTS, SOAK_DEADLINE};
 use mg_api::Session;
 use mg_fault::{points, FaultPlan};
 use mg_serve::{Client, Request, Response, RetryPolicy, RunRequest, ServerConfig};
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Wall-clock bound on the whole soak: a client that has not reached a
-/// terminal outcome by then counts as hung and fails the run.
-const SOAK_DEADLINE: Duration = Duration::from_secs(300);
-
-/// Per-request attempt budget. Every injected I/O fault point is a
-/// capped burst (at most [`BURST_CAP`] fires each), so the total number
-/// of connection-killing events the plan can ever produce is below this
-/// budget — a client cannot deterministically run out of retries.
-const CLIENT_ATTEMPTS: u32 = 32;
-
-/// Cap on fires per injected I/O fault point (see [`CLIENT_ATTEMPTS`]).
+/// Cap on fires per injected I/O fault point. Every I/O point is a
+/// capped burst, so the total number of connection-killing events the
+/// plan can ever produce stays below the clients' transport retry
+/// budget ([`soak::CLIENT_ATTEMPTS`]) — a client cannot
+/// deterministically run out of retries.
 const BURST_CAP: u64 = 4;
 
 /// Which fault families `--faults` arms.
@@ -150,57 +144,22 @@ fn references(quick: bool) -> Vec<(Format, String)> {
     request_matrix(quick).into_iter().map(|(fmt, _)| (fmt, cli::render(&report, fmt))).collect()
 }
 
-/// One client's soak: walk the request matrix, retrying injected
-/// connection faults through [`Client::request_with_retry`] and
-/// injected worker panics through an outer loop (a worker panic is a
-/// *terminal* `Error` frame — correctly not retried by the transport
-/// policy — but the chaos harness knows it is transient).
-fn client_soak(
-    client: &Client,
-    policy: &RetryPolicy,
-    matrix: &[(Format, RunRequest)],
-    refs: &[(Format, String)],
-) -> Result<u64, String> {
-    let mut recovered = 0u64;
-    for (fmt, req) in matrix {
-        let want = &refs.iter().find(|(f, _)| f == fmt).expect("reference rendered").1;
-        let req = Request::Run(req.clone());
-        let mut done = false;
-        for _ in 0..8 {
-            match client.request_with_retry(&req, policy, |_| {}) {
-                Ok(Response::Done { status: 0, payload }) => {
-                    if payload == *want {
-                        done = true;
-                        break;
-                    }
-                    return Err(format!(
-                        "payload mismatch for {fmt:?}: served {} bytes, reference {} bytes",
-                        payload.len(),
-                        want.len()
-                    ));
-                }
-                Ok(Response::Done { status, .. }) => {
-                    return Err(format!("unexpected run status {status}"));
-                }
-                // An injected worker/prep panic surfaces as a terminal
-                // Error; the next identical request starts a fresh batch.
-                Ok(Response::Error { message })
-                    if message.contains("panicked") || message.contains("injected fault") =>
-                {
-                    if std::env::var_os("MG_CHAOS_DEBUG").is_some() {
-                        eprintln!("mg chaos[debug]: recovered terminal: {message}");
-                    }
-                    recovered += 1;
-                }
-                Ok(other) => return Err(format!("unexpected terminal frame {other:?}")),
-                Err(e) => return Err(format!("retry budget exhausted: {e}")),
+/// The matrix plus its references as [`SoakJob`]s for the shared
+/// harness ([`soak::client_soak`]): every client walks the same jobs,
+/// each carrying the byte-exact payload it must receive.
+fn soak_jobs(quick: bool) -> Vec<SoakJob> {
+    let refs = references(quick);
+    request_matrix(quick)
+        .into_iter()
+        .map(|(fmt, request)| {
+            let want = &refs.iter().find(|(f, _)| *f == fmt).expect("reference rendered").1;
+            SoakJob {
+                label: format!("{}/{fmt:?}", request.experiment),
+                request,
+                want: Some(Arc::new(want.clone())),
             }
-        }
-        if !done {
-            return Err("injected panics outlasted the outer retry budget".into());
-        }
-    }
-    Ok(recovered)
+        })
+        .collect()
 }
 
 /// `mg chaos`: run the seeded fault-injection soak (see the module
@@ -249,8 +208,7 @@ pub fn cmd_chaos(argv: &[String]) -> i32 {
     }
 
     eprintln!("mg chaos: computing fault-free references (fig7, tiny)");
-    let refs = references(quick);
-    let matrix = request_matrix(quick);
+    let jobs = soak_jobs(quick);
 
     // The daemon under test: loopback TCP, a throwaway cache root (so
     // cache-fault injection exercises real stores), and the plan armed
@@ -284,49 +242,33 @@ pub fn cmd_chaos(argv: &[String]) -> i32 {
     let handle = server.spawn();
     eprintln!("mg chaos: daemon on {addr}, seed {seed}, {clients} clients");
 
-    // --- the soak: N concurrent clients, a hang watchdog on the main
-    // thread (threads report through a channel; recv_timeout enforces
-    // the deadline without joining a potentially-hung thread) ---
-    let started = Instant::now();
-    let (tx, rx) = mpsc::channel::<(usize, Result<u64, String>)>();
-    for idx in 0..clients {
-        let tx = tx.clone();
-        let client = Client::tcp(addr.clone());
-        let matrix = matrix.clone();
-        let refs = refs.clone();
-        let policy = RetryPolicy {
-            attempts: CLIENT_ATTEMPTS,
-            backoff_ms: 10,
-            max_backoff_ms: 200,
-            jitter_seed: seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        };
-        std::thread::spawn(move || {
-            let result = client_soak(&client, &policy, &matrix, &refs);
-            let _ = tx.send((idx, result));
-        });
-    }
-    drop(tx);
+    // --- the soak: N concurrent clients under the shared harness's
+    // hang watchdog (`soak::drive`) ---
     let mut failures = 0usize;
     let mut recovered_panics = 0u64;
-    for _ in 0..clients {
-        let remaining = SOAK_DEADLINE.saturating_sub(started.elapsed());
-        match rx.recv_timeout(remaining) {
-            Ok((idx, Ok(recovered))) => {
-                recovered_panics += recovered;
-                eprintln!("mg chaos: client {idx} ok ({recovered} panics recovered)");
+    let driven = soak::drive(
+        clients,
+        SOAK_DEADLINE,
+        |idx| {
+            let client = Client::tcp(addr.clone());
+            let jobs = jobs.clone();
+            let policy = soak::retry_policy(seed, idx);
+            Box::new(move || soak::client_soak(&client, &policy, &jobs))
+        },
+        |idx, result| match result {
+            Ok(outcome) => {
+                recovered_panics += outcome.recovered;
+                eprintln!("mg chaos: client {idx} ok ({} panics recovered)", outcome.recovered);
             }
-            Ok((idx, Err(e))) => {
+            Err(e) => {
                 failures += 1;
                 eprintln!("mg chaos: client {idx} FAILED: {e}");
             }
-            Err(_) => {
-                eprintln!(
-                    "mg chaos: HANG — a client missed the {}s soak deadline",
-                    SOAK_DEADLINE.as_secs()
-                );
-                return 1;
-            }
-        }
+        },
+    );
+    if let Err(hang) = driven {
+        eprintln!("mg chaos: {hang}");
+        return 1;
     }
 
     // --- invariants visible from the outside: stats + graceful drain ---
@@ -340,7 +282,7 @@ pub fn cmd_chaos(argv: &[String]) -> i32 {
             return 1;
         }
     };
-    let stat = |name: &str| pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0);
+    let stat = |name: &str| soak::stat(&pairs, name);
     let prepared = stat("preps_prepared");
     if prepared > 6 {
         failures += 1;
@@ -351,22 +293,9 @@ pub fn cmd_chaos(argv: &[String]) -> i32 {
     }
 
     // Graceful drain; a torn shutdown ack is itself a fault to survive —
-    // retry until acknowledged or the endpoint is gone (= already down).
-    let mut drained = false;
-    for _ in 0..20 {
-        match stats_client.request(&Request::Shutdown { drain: true }, |_| {}) {
-            Ok(Response::Done { .. }) => {
-                drained = true;
-                break;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
-                drained = true;
-                break;
-            }
-            _ => std::thread::sleep(Duration::from_millis(50)),
-        }
-    }
-    if !drained {
+    // the harness retries until acknowledged or the endpoint is gone
+    // (= already down).
+    if !soak::drain_endpoint(&stats_client) {
         eprintln!("mg chaos: drain shutdown was never acknowledged");
         return 1;
     }
@@ -402,7 +331,7 @@ pub fn cmd_chaos(argv: &[String]) -> i32 {
     println!(
         "mg chaos: seed {seed}: all invariants held ({clients} clients, {} requests, \
          {recovered_panics} injected panics recovered)",
-        clients * matrix.len(),
+        clients * jobs.len(),
     );
     0
 }

@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Output format of every subcommand.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Format {
     /// Legacy plain text (byte-identical to the per-figure binaries).
     Text,
@@ -600,6 +600,10 @@ USAGE:
               [--addr HOST:PORT | --socket PATH] [--retry N] [--backoff-ms N]
     mg chaos  [--seed N] [--clients N] [--faults all|io|panic|cache|none]
               [--duration-cycles quick|full]
+    mg cluster [--addr HOST:PORT] [--shards N] [--workers N] [--max-queue N]
+    mg loadgen [--seed N] [--clients N] [--requests N] [--shards N]
+               [--kill-shard] [--duration-cycles quick|full]
+               [--out PATH | --no-out]
     mg help
 
 Run `mg list` for the experiment registry. `mg run lang` pushes the
@@ -608,7 +612,11 @@ three-way verification / simulation; `mg compile` prints one compiled
 image (stats + disassembly). `mg serve` starts a
 long-running daemon sharing one warm prep pool across clients; `mg
 client run` returns byte-identical output to the same `mg run`
-invocation (see docs/PROTOCOL.md). The deprecated per-figure binaries
+invocation (see docs/PROTOCOL.md). `mg cluster` runs N such daemons as
+shards behind one consistent-hash coordinator on the same wire
+protocol; `mg loadgen` soaks a fresh in-process cluster with seeded
+concurrent clients and writes the latency trajectory to
+BENCH_serve.json. The deprecated per-figure binaries
 (fig6_performance, ...) are aliases for `mg run <experiment> --format
 text` and print byte-identical output. Every subcommand is a thin
 shell over the embeddable `mg_api::Session` (see docs/API.md).
@@ -659,6 +667,8 @@ pub fn mg_main() -> i32 {
         "serve" => crate::serve_cli::cmd_serve(&argv[1..]),
         "client" => crate::serve_cli::cmd_client(&argv[1..]),
         "chaos" => crate::chaos_cli::cmd_chaos(&argv[1..]),
+        "cluster" => crate::cluster_cli::cmd_cluster(&argv[1..]),
+        "loadgen" => crate::loadgen_cli::cmd_loadgen(&argv[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             0
@@ -1032,6 +1042,21 @@ pub fn compose_readme_block() -> String {
          to the cache schema) is specified in\n\
          [`docs/PROTOCOL.md`](docs/PROTOCOL.md); the request lifecycle is\n\
          diagrammed in [`docs/ARCHITECTURE.md`](docs/ARCHITECTURE.md).\n\n\
+         To scale the daemon out, `mg cluster --shards 3` runs three such\n\
+         servers behind one coordinator speaking the same protocol\n\
+         (default endpoint `{cluster_addr}`): runs are routed to shards by\n\
+         their preparation key over a consistent-hash ring (so identical\n\
+         requests keep coalescing), idle shards steal queued batches from\n\
+         busy peers, per-shard cache roots read through to the shared\n\
+         root, and a dead shard's keys fail over to its ring successor.\n\
+         `mg loadgen --seed 7 --clients 100 --shards 3` soaks a fresh\n\
+         in-process cluster with seeded concurrent retrying clients\n\
+         (hot duplicates + cold uniques), byte-checks every payload\n\
+         against `mg run`, enforces cluster-wide exactly-once preparation\n\
+         and a graceful drain, and writes throughput + p50/p95/p99\n\
+         latency to [`BENCH_serve.json`](BENCH_serve.json); add\n\
+         `--kill-shard` to hard-kill one shard mid-soak and prove no\n\
+         accepted request is dropped.\n\n\
          ### Embedding — `mg_api::Session`\n\n\
          Everything above is a thin shell over the typed, embeddable\n\
          session API: `mg run`, the daemon's runner, and out-of-tree\n\
@@ -1045,6 +1070,7 @@ pub fn compose_readme_block() -> String {
          cargo run --release --example embed\n\
          ```\n",
         addr = crate::serve_cli::DEFAULT_ADDR,
+        cluster_addr = crate::cluster_cli::DEFAULT_ADDR,
     );
     let _ = writeln!(out, "{README_END}");
     out

@@ -1,0 +1,109 @@
+//! The `mg cluster` subcommand: N registry shards behind one
+//! consistent-hash coordinator.
+//!
+//! `mg cluster` is to `mg serve` what a fleet is to a daemon: it spawns
+//! `--shards` in-process registry servers (each the exact server
+//! `mg serve` runs, with its own worker pool and bounded queue), binds
+//! one front socket speaking the ordinary wire protocol, and routes
+//! each `Run` by its preparation key over the consistent-hash ring —
+//! identical requests keep landing on (and coalescing inside) the same
+//! shard, and idle shards steal queued batches from busy peers.
+//!
+//! Each shard persists preparation artifacts under its own root
+//! (`<cache>/cluster-shard<i>`) that reads through to the ordinary
+//! shared cache root, so a cell prepared anywhere is a byte-copy away
+//! everywhere and a restarted shard starts warm.
+//!
+//! `mg client --addr <front>` works unchanged; `mg client shutdown`
+//! drains the whole fleet. See `docs/ARCHITECTURE.md` for the request
+//! lifecycle and `mg loadgen` for the load generator that soaks this
+//! coordinator.
+
+use crate::serve_cli;
+use mg_api::Session;
+use mg_cluster::{Cluster, ClusterConfig, ShardFactory};
+use mg_harness::prep_cache::PrepCache;
+use mg_serve::ServerConfig;
+use std::sync::Arc;
+
+/// Default TCP endpoint of `mg cluster` (one port up from `mg serve`,
+/// so a daemon and a cluster can coexist on one host).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4572";
+
+/// `mg cluster`: run the shard coordinator until a client sends
+/// `shutdown`.
+pub fn cmd_cluster(argv: &[String]) -> i32 {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut shards = 3usize;
+    let mut shard_cfg = ServerConfig::default();
+    fn positive(flag: &str, v: String) -> Result<usize, String> {
+        v.parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("{flag} requires a positive integer"))
+    }
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        let parsed: Result<(), String> = (|| {
+            match a.as_str() {
+                "--addr" => addr = value("--addr")?,
+                "--shards" => shards = positive(a, value(a)?)?,
+                "--workers" => shard_cfg.workers = positive(a, value(a)?)?,
+                "--max-queue" => shard_cfg.max_queue = positive(a, value(a)?)?,
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("mg cluster: {e}");
+            return 2;
+        }
+    }
+
+    // Shard cache layout: a private root per shard reading through to
+    // the ordinary shared root, so warm artifacts flow between shards
+    // (and into the cache `mg run` uses) without double preparation.
+    let shared_root = PrepCache::default_root();
+    let factory: ShardFactory = {
+        let shared_root = shared_root.clone();
+        let shard_cfg = shard_cfg.clone();
+        Arc::new(move |shard| {
+            let session = Session::builder()
+                .cache_dir(shared_root.join(format!("cluster-shard{shard}")))
+                .cache_fallback_dir(&shared_root)
+                .build();
+            serve_cli::bind_registry_server_with(
+                "127.0.0.1:0",
+                false,
+                session,
+                shard_cfg.clone(),
+            )
+        })
+    };
+    let cfg = ClusterConfig { shards, ..ClusterConfig::default() };
+    let cluster = match Cluster::bind(addr.as_str(), factory, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mg cluster: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    let shown = cluster.local_addr().map(|a| a.to_string()).unwrap_or_else(|| addr.clone());
+    eprintln!(
+        "mg cluster: coordinator on {shown} ({shards} shards, {} workers each, queue bound \
+         {}); stop with `mg client shutdown`",
+        shard_cfg.workers, shard_cfg.max_queue
+    );
+    match cluster.serve() {
+        Ok(()) => {
+            eprintln!("mg cluster: shut down cleanly");
+            0
+        }
+        Err(e) => {
+            eprintln!("mg cluster: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The shared client-soak harness behind `mg chaos` and `mg loadgen`.
+//!
+//! Both subcommands drive a server (a single fault-injected daemon for
+//! chaos, a shard cluster for loadgen) with N concurrent retrying
+//! clients and demand the same invariants:
+//!
+//! * **No hang** — every client reaches a terminal outcome before the
+//!   soak deadline ([`drive`] enforces it with a channel watchdog, so
+//!   the harness never joins a potentially-hung thread).
+//! * **Byte-identity** — a job carrying an expected payload fails on
+//!   the first delivered byte that differs from the fault-free `mg run`
+//!   output for the same request.
+//! * **Bounded recovery** — transport faults retry inside
+//!   [`Client::request_with_retry`]; *terminal* errors the harness
+//!   knows to be transient (injected panics, a shard answering its
+//!   non-draining shutdown) retry through a small outer loop
+//!   ([`OUTER_ATTEMPTS`]) because a fresh identical request starts a
+//!   fresh batch.
+//! * **Exactly-once delivery** — replayed streams (a retried
+//!   connection, a failover successor re-emitting its prefix) must not
+//!   double-count progress: [`ReplayDedup`] admits each stream position
+//!   once, whatever mix of replays produced it.
+//!
+//! Everything here is deterministic given the caller's seed: retry
+//! jitter derives from [`retry_policy`]'s per-client seed mix and the
+//! request schedule is the caller's, so a failing soak replays.
+
+use mg_serve::{Client, Request, Response, RetryPolicy, RunRequest};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock bound on a whole soak: a client that has not reached a
+/// terminal outcome by then counts as hung and fails the run.
+pub const SOAK_DEADLINE: Duration = Duration::from_secs(300);
+
+/// Per-request transport attempt budget. Chosen above the worst
+/// deterministic fault schedule `mg chaos` can arm (every I/O point is
+/// a capped burst), so a client cannot deterministically run out of
+/// retries.
+pub const CLIENT_ATTEMPTS: u32 = 32;
+
+/// Outer retries per job around *terminal* transient errors (injected
+/// panics, shard shutdown answers) — each identical re-request starts a
+/// fresh batch server-side.
+pub const OUTER_ATTEMPTS: usize = 8;
+
+/// The retry policy every soak client runs under: capped exponential
+/// backoff with jitter seeded per client, so concurrent clients spread
+/// out deterministically.
+pub fn retry_policy(seed: u64, client: usize) -> RetryPolicy {
+    RetryPolicy {
+        attempts: CLIENT_ATTEMPTS,
+        backoff_ms: 10,
+        max_backoff_ms: 200,
+        jitter_seed: seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    }
+}
+
+/// Whether a *terminal* `Error` frame is a transient condition the soak
+/// recovers from by re-requesting: an injected worker/prep panic
+/// (`mg chaos`), or work answered by a shard's non-draining shutdown
+/// before the coordinator routes the retry around it (`mg loadgen
+/// --kill-shard`). Anything else is a real failure and fails the job.
+pub fn transient_terminal(message: &str) -> bool {
+    message.contains("panicked")
+        || message.contains("injected fault")
+        || message.contains("shutting down")
+}
+
+/// One request a soak client issues, with the payload it must receive.
+#[derive(Clone)]
+pub struct SoakJob {
+    /// Display label for failure messages (e.g. `"fig7/json"`).
+    pub label: String,
+    /// The run request.
+    pub request: RunRequest,
+    /// Expected `Done` payload — the fault-free `mg run` stdout for the
+    /// same arguments. `None` accepts any successful payload (used by
+    /// schedule probes, never by the shipped soaks).
+    pub want: Option<Arc<String>>,
+}
+
+/// What one client's walk produced.
+#[derive(Clone, Debug, Default)]
+pub struct ClientOutcome {
+    /// Transient terminal errors recovered by the outer retry loop.
+    pub recovered: u64,
+    /// Client-observed wall latency per job, in schedule order —
+    /// including every retry the job needed.
+    pub latencies: Vec<Duration>,
+    /// Progress frames delivered exactly once across all replays
+    /// (deduplicated by [`ReplayDedup`]).
+    pub progress_frames: u64,
+}
+
+/// Exactly-once admission for replayed response streams.
+///
+/// A batch replays its already-emitted frames to a (re)attaching
+/// client, and a failover successor re-emits the prefix the client
+/// already has; either way the same stream *position* can arrive more
+/// than once. The filter tracks a high-water mark: [`ReplayDedup::admit`]
+/// returns `true` only the first time a position is reached, and
+/// [`ReplayDedup::rewind`] restarts the position (not the mark) at each
+/// replay. Unit-tested below; the soak counts progress through it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayDedup {
+    delivered: usize,
+    position: usize,
+}
+
+impl ReplayDedup {
+    /// A fresh filter (nothing delivered).
+    pub fn new() -> ReplayDedup {
+        ReplayDedup::default()
+    }
+
+    /// Start of a replay: the stream restarts from position zero, but
+    /// everything up to the high-water mark was already delivered.
+    pub fn rewind(&mut self) {
+        self.position = 0;
+    }
+
+    /// Accounts one incoming non-terminal frame; `true` iff this
+    /// position has not been delivered before.
+    pub fn admit(&mut self) -> bool {
+        self.position += 1;
+        if self.position > self.delivered {
+            self.delivered = self.position;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Positions delivered so far (the high-water mark).
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+}
+
+/// One client's soak: walk `jobs` in order, retrying transport faults
+/// through [`Client::request_with_retry`] and transient terminal errors
+/// through the outer loop. Fails fast on a payload mismatch, an
+/// unexpected terminal frame, or an exhausted retry budget.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn client_soak(
+    client: &Client,
+    policy: &RetryPolicy,
+    jobs: &[SoakJob],
+) -> Result<ClientOutcome, String> {
+    let mut outcome = ClientOutcome::default();
+    for job in jobs {
+        let req = Request::Run(job.request.clone());
+        let started = Instant::now();
+        let mut dedup = ReplayDedup::new();
+        let mut done = false;
+        for _ in 0..OUTER_ATTEMPTS {
+            dedup.rewind();
+            let mut fresh = 0u64;
+            let reply = client.request_with_retry(&req, policy, |e| {
+                if !e.is_terminal() && dedup.admit() {
+                    fresh += 1;
+                }
+            });
+            match reply {
+                Ok(Response::Done { status: 0, payload }) => {
+                    outcome.progress_frames += fresh;
+                    if let Some(want) = &job.want {
+                        if payload != **want {
+                            return Err(format!(
+                                "payload mismatch for {}: served {} bytes, reference {} bytes",
+                                job.label,
+                                payload.len(),
+                                want.len()
+                            ));
+                        }
+                    }
+                    done = true;
+                    break;
+                }
+                Ok(Response::Done { status, .. }) => {
+                    return Err(format!("unexpected run status {status} for {}", job.label));
+                }
+                // An injected worker/prep panic (or a killed shard's
+                // shutdown answer) surfaces as a terminal Error; the
+                // next identical request starts a fresh batch.
+                Ok(Response::Error { message }) if transient_terminal(&message) => {
+                    if std::env::var_os("MG_CHAOS_DEBUG").is_some() {
+                        eprintln!("mg soak[debug]: recovered terminal: {message}");
+                    }
+                    outcome.recovered += 1;
+                }
+                Ok(other) => {
+                    return Err(format!(
+                        "unexpected terminal frame {other:?} for {}",
+                        job.label
+                    ));
+                }
+                Err(e) => return Err(format!("retry budget exhausted: {e}")),
+            }
+        }
+        if !done {
+            return Err("injected panics outlasted the outer retry budget".into());
+        }
+        outcome.latencies.push(started.elapsed());
+    }
+    Ok(outcome)
+}
+
+/// What [`drive`] collects: each client's `(index, soak result)` in
+/// completion order.
+pub type DrivenResults = Vec<(usize, Result<ClientOutcome, String>)>;
+
+/// Runs `clients` soak threads concurrently under `deadline`, invoking
+/// `on_result` as each finishes (in completion order) and returning
+/// every `(client index, result)`. Threads report through a channel and
+/// the main thread enforces the deadline with `recv_timeout`, so a hung
+/// client is reported — never joined.
+///
+/// # Errors
+///
+/// A hang: some client missed the deadline.
+pub fn drive(
+    clients: usize,
+    deadline: Duration,
+    mut make: impl FnMut(usize) -> Box<dyn FnOnce() -> Result<ClientOutcome, String> + Send>,
+    mut on_result: impl FnMut(usize, &Result<ClientOutcome, String>),
+) -> Result<DrivenResults, String> {
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<(usize, Result<ClientOutcome, String>)>();
+    for idx in 0..clients {
+        let tx = tx.clone();
+        let work = make(idx);
+        std::thread::spawn(move || {
+            let _ = tx.send((idx, work()));
+        });
+    }
+    drop(tx);
+    let mut results = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let remaining = deadline.saturating_sub(started.elapsed());
+        match rx.recv_timeout(remaining) {
+            Ok((idx, result)) => {
+                on_result(idx, &result);
+                results.push((idx, result));
+            }
+            Err(_) => {
+                return Err(format!(
+                    "HANG — a client missed the {}s soak deadline",
+                    deadline.as_secs()
+                ));
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Looks up one counter in a `Stats` pair list (0 when absent —
+/// consumers must ignore unknown names, and tolerate missing ones).
+pub fn stat(pairs: &[(String, u64)], name: &str) -> u64 {
+    pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+/// Requests a graceful drain shutdown, retrying a torn ack: a refused
+/// connection means the endpoint is already down, which also counts as
+/// drained. `false` when the ack never arrives.
+pub fn drain_endpoint(client: &Client) -> bool {
+    for _ in 0..20 {
+        match client.request(&Request::Shutdown { drain: true }, |_| {}) {
+            Ok(Response::Done { .. }) => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => return true,
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exactly-once contract: however a stream is replayed, each
+    /// position is admitted exactly once.
+    #[test]
+    fn replay_dedup_admits_each_position_exactly_once() {
+        let mut dedup = ReplayDedup::new();
+        // First attempt delivers three frames, all fresh.
+        assert!(dedup.admit());
+        assert!(dedup.admit());
+        assert!(dedup.admit());
+        assert_eq!(dedup.delivered(), 3);
+        // The connection dies; the retry replays the prefix (positions
+        // 1..=3 again) and then extends the stream by two.
+        dedup.rewind();
+        assert!(!dedup.admit());
+        assert!(!dedup.admit());
+        assert!(!dedup.admit());
+        assert!(dedup.admit());
+        assert!(dedup.admit());
+        assert_eq!(dedup.delivered(), 5);
+        // A second full replay (e.g. a failover successor) is entirely
+        // suppressed until it passes the high-water mark.
+        dedup.rewind();
+        assert_eq!((0..5).filter(|_| dedup.admit()).count(), 0);
+        assert!(dedup.admit(), "position 6 is new");
+        assert_eq!(dedup.delivered(), 6);
+    }
+
+    #[test]
+    fn transient_terminals_cover_panics_faults_and_shutdown_answers() {
+        assert!(transient_terminal("exec: experiment \"fig7\" failed: worker panicked"));
+        assert!(transient_terminal("injected fault at serve.write.torn"));
+        assert!(transient_terminal("server is shutting down"));
+        assert!(!transient_terminal("invalid-spec: unknown experiment \"fig99\""));
+        assert!(!transient_terminal("no live shard could complete the request"));
+    }
+
+    #[test]
+    fn retry_policies_share_the_budget_but_jitter_apart() {
+        let a = retry_policy(7, 0);
+        let b = retry_policy(7, 1);
+        assert_eq!(a.attempts, CLIENT_ATTEMPTS);
+        assert_eq!(a.attempts, b.attempts);
+        assert_ne!(a.jitter_seed, b.jitter_seed, "per-client jitter seeds differ");
+        assert_eq!(a.jitter_seed, retry_policy(7, 0).jitter_seed, "and are deterministic");
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end contract of `mg loadgen` (the serve.rs differential,
+//! extended to the cluster):
+//!
+//! 1. the seeded schedule is an exact replay — same seed, same request
+//!    multiset, bit for bit;
+//! 2. against a **single shard** the cluster degenerates into one
+//!    daemon, and every payload the load generator receives is
+//!    byte-identical to the sequential `mg run` output for the same
+//!    arguments (`run_loadgen` fails on the first differing byte, so a
+//!    clean `Ok` *is* the differential) with cluster-wide exactly-once
+//!    preparation and no reroutes, deaths, or steals to account for;
+//! 3. with a shard hard-killed mid-soak (`kill_shard`), every accepted
+//!    request still completes byte-identically — zero dropped requests.
+//!
+//! Everything runs in-process over loopback TCP on the tiny input in
+//! quick mode, mirroring `crates/bench/tests/serve.rs`.
+
+use mg_bench::loadgen_cli::{run_loadgen, schedule, LoadgenOpts};
+
+#[test]
+fn schedule_replays_exactly_per_seed() {
+    let a = schedule(7, 100, 4);
+    let b = schedule(7, 100, 4);
+    assert_eq!(a, b, "a seed is an exact replay");
+    assert_eq!(a.len(), 100);
+    assert!(a.iter().all(|row| row.len() == 4));
+    assert_ne!(a, schedule(8, 100, 4), "seeds draw different mixes");
+    // Clients draw independent slots: not every row is the same row
+    // (hot duplicates coalesce *across* clients, not by accident of a
+    // degenerate schedule).
+    assert!(a.iter().any(|row| row != &a[0]), "rows differ across clients");
+}
+
+#[test]
+fn single_shard_loadgen_matches_sequential_mg_run_byte_for_byte() {
+    let opts = LoadgenOpts {
+        seed: 7,
+        clients: 4,
+        requests: 3,
+        shards: 1,
+        quick: true,
+        kill_shard: false,
+        out: None,
+    };
+    let report = run_loadgen(&opts).expect("every payload byte-identical to `mg run`");
+    assert_eq!(report.soak.requests, 4 * 3, "every scheduled request completed");
+    assert!(report.soak.lat.p50_ms > 0.0);
+    assert!(report.soak.lat.p50_ms <= report.soak.lat.p99_ms);
+    assert_eq!(report.prep_delta, 0, "the warm verification wave re-prepared nothing");
+    assert!(report.stat("routed") >= 4 * 3, "soak + verify runs all routed");
+    assert_eq!(report.stat("reroutes"), 0, "one shard, nowhere to fail over");
+    assert_eq!(report.stat("shard_deaths"), 0);
+    assert_eq!(report.stat("steals"), 0, "one shard, no peers to steal from");
+}
+
+#[test]
+fn killed_shard_drops_no_accepted_request() {
+    let opts = LoadgenOpts {
+        seed: 7,
+        clients: 4,
+        requests: 3,
+        shards: 3,
+        quick: true,
+        kill_shard: true,
+        out: None,
+    };
+    // `run_loadgen` fails a client on the first dropped request, hung
+    // stream, or payload mismatch — surviving the armed shard kill with
+    // `Ok` is the resilience contract.
+    let report = run_loadgen(&opts).expect("all requests completed despite the shard kill");
+    assert_eq!(report.soak.requests, 4 * 3);
+    assert_eq!(report.stat("shard_deaths"), 1, "the burst kills exactly one shard");
+    assert!(report.stat("reroutes") > 0, "the dead shard's keys failed over");
+}

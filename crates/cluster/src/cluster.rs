@@ -1,0 +1,608 @@
+//! The shard coordinator: N in-process mg-serve shards behind one
+//! routing listener.
+//!
+//! A [`Cluster`] owns a front TCP listener plus `N` shard servers, each
+//! built by an injected [`ShardFactory`] (so this crate knows nothing
+//! about experiments — `mg cluster` wires in registry-backed servers,
+//! tests wire in stubs). The coordinator speaks the ordinary mg-serve
+//! wire protocol on the front socket:
+//!
+//! * `Ping` and `Stats` are answered locally (`Stats` aggregates every
+//!   shard's counters under a `shard<i>.` prefix, then appends the
+//!   cluster's own `routed` / `reroutes` / `shard_deaths` / `steals`).
+//! * `Run` requests are routed by **prep key** — the subset of
+//!   [`RunRequest`] fields that determine preparation work (experiment,
+//!   input, quick) — over a consistent-hash [`Ring`], so equal requests
+//!   keep coalescing on one shard and near-equal ones share its warm
+//!   preps. The connection is then proxied frame-by-frame: the
+//!   coordinator decodes each shard response, counts the non-terminal
+//!   frames it has already forwarded, and re-encodes for the client's
+//!   negotiated protocol dialect.
+//! * `Shutdown` drains (or abandons) every shard, joins them, and stops
+//!   the coordinator.
+//!
+//! **Failover.** When a shard connection dies mid-stream — most often
+//! because the deterministic `cluster.shard.panic` fault point hard-
+//! killed the shard — the coordinator reroutes the request to the ring
+//! successor and replays it there, skipping as many non-terminal frames
+//! as it already forwarded, so the client sees each progress frame once
+//! and exactly one terminal frame per connection.
+//!
+//! **Work stealing.** Every shard's idle workers are wired (via
+//! [`Server::set_steal_source`]) to scan the other shards' queues,
+//! most-loaded first, and execute a stolen batch in place with the
+//! owning shard's runner and counters — capacity amplification across
+//! shards, in the same spirit as the paper's amplification within a
+//! core.
+
+use crate::ring::Ring;
+use mg_fault::{points, FaultPlan};
+use mg_isa::wire::{read_frame, write_frame};
+use mg_serve::{
+    read_hello, Client, Request, Response, RunRequest, Server, StolenBatch,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// Builds one shard server. Called with the shard index at cluster
+/// start and again on [`ClusterController::restart_shard`]; each call
+/// must return a freshly bound TCP [`Server`] (typically on
+/// `127.0.0.1:0` with a shard-private cache root in front of a shared
+/// read-through root).
+pub type ShardFactory = Arc<dyn Fn(usize) -> std::io::Result<Server> + Send + Sync>;
+
+/// Cluster tuning knobs.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Shard count (ring members).
+    pub shards: usize,
+    /// Per-connection socket I/O timeout on the front listener.
+    pub client_io_timeout: Duration,
+    /// Read bound on coordinator→shard proxy connections; must exceed
+    /// the longest experiment run, or the coordinator misreads a slow
+    /// run as a dead shard.
+    pub shard_io_timeout: Duration,
+    /// Deterministic fault schedule: the routing path consults
+    /// `cluster.shard.panic` once per routed run and, when it fires,
+    /// hard-kills the target shard before routing around it.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            shards: 3,
+            client_io_timeout: Duration::from_secs(30),
+            shard_io_timeout: Duration::from_secs(600),
+            faults: None,
+        }
+    }
+}
+
+/// One shard's live state. `alive` gates routing only: a draining or
+/// dead shard keeps its handle (stats stay readable) and its join
+/// handle (the next restart or the cluster shutdown reaps it).
+struct ShardSlot {
+    addr: Mutex<Option<SocketAddr>>,
+    handle: Mutex<Option<mg_serve::ShardHandle>>,
+    join: Mutex<Option<std::thread::JoinHandle<std::io::Result<()>>>>,
+    alive: AtomicBool,
+}
+
+struct Inner {
+    factory: ShardFactory,
+    cfg: ClusterConfig,
+    ring: Ring,
+    shards: Vec<ShardSlot>,
+    /// Set by a front `Shutdown`; the accept loop exits and tears the
+    /// shards down.
+    stop: AtomicBool,
+    /// Whether the teardown drains shard queues (`Shutdown { drain }`).
+    drain_on_stop: AtomicBool,
+    /// Run requests accepted and routed (before any reroutes).
+    routed: AtomicU64,
+    /// Routed runs served off their primary shard: the ring owner was
+    /// dead (or died mid-stream) and the run fell over to a successor.
+    /// Counted once per run, however many successors it walked.
+    reroutes: AtomicU64,
+    /// Shards hard-killed (fault injection or explicit kill).
+    shard_deaths: AtomicU64,
+}
+
+impl Inner {
+    fn slot(&self, shard: usize) -> &ShardSlot {
+        &self.shards[shard]
+    }
+
+    /// Aggregated stats: cluster counters first, then every shard's own
+    /// pairs under a `shard<i>.` prefix plus its liveness bit.
+    fn stats_pairs(&self) -> Vec<(String, u64)> {
+        let mut pairs = vec![
+            ("shards".to_string(), self.shards.len() as u64),
+            ("routed".to_string(), self.routed.load(Ordering::Relaxed)),
+            ("reroutes".to_string(), self.reroutes.load(Ordering::Relaxed)),
+            ("shard_deaths".to_string(), self.shard_deaths.load(Ordering::Relaxed)),
+        ];
+        let mut steals = 0;
+        for (i, slot) in self.shards.iter().enumerate() {
+            pairs.push((format!("shard{i}.alive"), slot.alive.load(Ordering::SeqCst) as u64));
+            let handle = slot.handle.lock().unwrap().clone();
+            if let Some(handle) = handle {
+                for (name, value) in handle.stats_pairs() {
+                    if name == "steals" {
+                        steals += value;
+                    }
+                    pairs.push((format!("shard{i}.{name}"), value));
+                }
+            }
+        }
+        pairs.push(("steals".to_string(), steals));
+        pairs
+    }
+
+    /// Hard-kills `shard` (non-draining shutdown): queued clients get a
+    /// terminal `Error` from the shard itself — answered, never hung —
+    /// and their retries reroute to the ring successor. Returns whether
+    /// this call performed the kill.
+    fn kill_shard(&self, shard: usize) -> bool {
+        let slot = self.slot(shard);
+        if !slot.alive.swap(false, Ordering::SeqCst) {
+            return false;
+        }
+        self.shard_deaths.fetch_add(1, Ordering::Relaxed);
+        let addr = *slot.addr.lock().unwrap();
+        if let Some(addr) = addr {
+            let _ = Client::tcp(addr.to_string())
+                .request(&Request::Shutdown { drain: false }, |_| {});
+        }
+        // The join handle is deliberately left for restart/teardown:
+        // the routing path must not block on the shard's exit.
+        true
+    }
+}
+
+/// (Re)builds shard `shard` from the factory, wires its idle workers to
+/// steal from the other shards, and spawns its serve loop.
+fn start_shard(inner: &Arc<Inner>, shard: usize) -> std::io::Result<()> {
+    let server = (inner.factory)(shard)?;
+    let addr = server.local_addr().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "shard servers must bind TCP")
+    })?;
+    let weak: Weak<Inner> = Arc::downgrade(inner);
+    server.set_steal_source(Arc::new(move || -> Option<StolenBatch> {
+        let inner = weak.upgrade()?;
+        // Most-loaded first; steal only from live peers — a draining
+        // shard finishes its own queue, and a dead one was already
+        // emptied by its non-draining shutdown.
+        let mut best: Option<(usize, mg_serve::ShardHandle)> = None;
+        for (j, slot) in inner.shards.iter().enumerate() {
+            if j == shard || !slot.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let handle = slot.handle.lock().unwrap().clone();
+            if let Some(handle) = handle {
+                let depth = handle.queue_depth();
+                if depth > 0 && best.as_ref().is_none_or(|(d, _)| depth > *d) {
+                    best = Some((depth, handle));
+                }
+            }
+        }
+        best.and_then(|(_, handle)| handle.steal())
+    }));
+    let slot = inner.slot(shard);
+    *slot.addr.lock().unwrap() = Some(addr);
+    *slot.handle.lock().unwrap() = Some(server.shard_handle());
+    slot.alive.store(true, Ordering::SeqCst);
+    *slot.join.lock().unwrap() = Some(server.spawn());
+    Ok(())
+}
+
+/// The routing key: the [`RunRequest`] fields that determine
+/// *preparation* work. Requests differing only in output format or
+/// simulation knobs still share a shard — and therefore its warm preps
+/// and cache root — while fully equal requests coalesce there.
+/// (Public so load generators and tests can predict placement with
+/// `Ring::route(&route_key(req))`.)
+pub fn route_key(req: &RunRequest) -> Vec<u8> {
+    let mut key = Vec::with_capacity(req.experiment.len() + req.input.len() + 4);
+    key.extend_from_slice(req.experiment.as_bytes());
+    key.push(0);
+    key.extend_from_slice(req.input.as_bytes());
+    key.push(0);
+    key.push(match req.quick {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+    key
+}
+
+/// A bound (but not yet serving) shard cluster. See the [module
+/// docs](self).
+pub struct Cluster {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// An in-process handle on a running (or bound) [`Cluster`] for
+/// lifecycle operations and stats — what `mg loadgen --kill-shard` and
+/// the resilience tests drive without opening sockets.
+#[derive(Clone)]
+pub struct ClusterController {
+    inner: Arc<Inner>,
+}
+
+impl ClusterController {
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Whether `shard` currently accepts routed work.
+    pub fn alive(&self, shard: usize) -> bool {
+        self.inner.slot(shard).alive.load(Ordering::SeqCst)
+    }
+
+    /// The aggregated cluster stats, identical to a front-socket
+    /// `Stats` request.
+    pub fn stats_pairs(&self) -> Vec<(String, u64)> {
+        self.inner.stats_pairs()
+    }
+
+    /// One aggregated counter by name (convenience over
+    /// [`ClusterController::stats_pairs`]).
+    pub fn stat(&self, name: &str) -> Option<u64> {
+        self.inner.stats_pairs().into_iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Hard-kills `shard` (see the module docs failover contract).
+    /// Returns `false` when the shard was already down.
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        self.inner.kill_shard(shard)
+    }
+
+    /// Gracefully drains `shard`: new work routes around it immediately,
+    /// its queued batches finish under the shard's drain deadline, and
+    /// the call returns once its serve loop has exited. Nothing accepted
+    /// is dropped.
+    ///
+    /// # Errors
+    ///
+    /// The shard thread's exit error, if its serve loop failed.
+    pub fn drain_shard(&self, shard: usize) -> std::io::Result<()> {
+        let slot = self.inner.slot(shard);
+        slot.alive.store(false, Ordering::SeqCst);
+        let addr = *slot.addr.lock().unwrap();
+        if let Some(addr) = addr {
+            let _ = Client::tcp(addr.to_string())
+                .request(&Request::Shutdown { drain: true }, |_| {});
+        }
+        let join = slot.join.lock().unwrap().take();
+        match join {
+            Some(join) => join
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("shard serve thread panicked"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Restarts a killed or drained shard via the factory; it rejoins
+    /// routing at its old ring position, so roughly its old key share
+    /// comes back to it.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` when the shard is still alive, plus any factory
+    /// error.
+    pub fn restart_shard(&self, shard: usize) -> std::io::Result<()> {
+        let slot = self.inner.slot(shard);
+        if slot.alive.load(Ordering::SeqCst) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("shard {shard} is still running"),
+            ));
+        }
+        // Reap the previous incarnation first (kill_shard leaves the
+        // join handle in place so the routing path never blocks).
+        let join = slot.join.lock().unwrap().take();
+        if let Some(join) = join {
+            let _ = join.join();
+        }
+        start_shard(&self.inner, shard)
+    }
+}
+
+impl Cluster {
+    /// Binds the front listener on `addr` and starts every shard via
+    /// `factory` (steal sources wired, serve loops spawned). The
+    /// coordinator itself starts accepting on [`Cluster::serve`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding the front listener or from the
+    /// factory, plus `InvalidInput` for a factory returning a
+    /// non-TCP server.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        factory: ShardFactory,
+        cfg: ClusterConfig,
+    ) -> std::io::Result<Cluster> {
+        let listener = TcpListener::bind(addr)?;
+        let shards = cfg.shards.max(1);
+        let inner = Arc::new(Inner {
+            factory,
+            ring: Ring::new(shards),
+            cfg,
+            shards: (0..shards)
+                .map(|_| ShardSlot {
+                    addr: Mutex::new(None),
+                    handle: Mutex::new(None),
+                    join: Mutex::new(None),
+                    alive: AtomicBool::new(false),
+                })
+                .collect(),
+            stop: AtomicBool::new(false),
+            drain_on_stop: AtomicBool::new(true),
+            routed: AtomicU64::new(0),
+            reroutes: AtomicU64::new(0),
+            shard_deaths: AtomicU64::new(0),
+        });
+        for shard in 0..shards {
+            start_shard(&inner, shard)?;
+        }
+        Ok(Cluster { listener, inner })
+    }
+
+    /// The front listener's address (use with port `0` to discover the
+    /// assigned port).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.local_addr().ok()
+    }
+
+    /// A lifecycle/stats handle, usable before and while the cluster
+    /// serves.
+    pub fn controller(&self) -> ClusterController {
+        ClusterController { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Runs the coordinator accept loop on the calling thread until a
+    /// front `Shutdown` arrives, then tears the shards down (draining
+    /// them for `Shutdown { drain: true }`) and returns.
+    ///
+    /// # Errors
+    ///
+    /// The first shard serve-loop error observed during teardown, if
+    /// any (per-connection proxy errors are handled in place).
+    pub fn serve(self) -> std::io::Result<()> {
+        let Cluster { listener, inner } = self;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            let conn = match listener.accept() {
+                Ok((conn, _)) => conn,
+                Err(_) if inner.stop.load(Ordering::SeqCst) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue;
+                }
+            };
+            if inner.stop.load(Ordering::SeqCst) {
+                break; // the shutdown wake-up connection
+            }
+            let _ = conn.set_read_timeout(Some(inner.cfg.client_io_timeout));
+            let _ = conn.set_write_timeout(Some(inner.cfg.client_io_timeout));
+            handlers.retain(|h| !h.is_finished());
+            let inner = Arc::clone(&inner);
+            handlers.push(std::thread::spawn(move || handle_connection(conn, &inner)));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        // Tear down: stop routing everywhere, then shut every live
+        // shard down (all signalled before any join, so drains overlap).
+        let drain = inner.drain_on_stop.load(Ordering::SeqCst);
+        for slot in &inner.shards {
+            if slot.alive.swap(false, Ordering::SeqCst) {
+                let addr = *slot.addr.lock().unwrap();
+                if let Some(addr) = addr {
+                    let _ = Client::tcp(addr.to_string())
+                        .request(&Request::Shutdown { drain }, |_| {});
+                }
+            }
+        }
+        let mut first_err = None;
+        for slot in &inner.shards {
+            let join = slot.join.lock().unwrap().take();
+            if let Some(join) = join {
+                let result = join.join().unwrap_or_else(|_| {
+                    Err(std::io::Error::other("shard serve thread panicked"))
+                });
+                if let (Err(e), None) = (result, &first_err) {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Spawns [`Cluster::serve`] on a background thread.
+    pub fn spawn(self) -> std::thread::JoinHandle<std::io::Result<()>> {
+        std::thread::spawn(move || self.serve())
+    }
+}
+
+/// Best-effort single-frame reply in the client's dialect.
+fn reply(stream: &mut TcpStream, resp: &Response, version: u32) {
+    let _ = write_frame(stream, resp.for_version(version).as_ref());
+    let _ = std::io::Write::flush(stream);
+}
+
+fn handle_connection(mut conn: TcpStream, inner: &Arc<Inner>) {
+    let version = match read_hello(&mut conn) {
+        Ok(v) => v,
+        Err(_) => return, // not a protocol client; nothing to say
+    };
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        reply(
+            &mut conn,
+            &Response::Error {
+                message: format!(
+                    "protocol version mismatch: client {version}, cluster speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
+                ),
+            },
+            PROTOCOL_VERSION,
+        );
+        return;
+    }
+    let request = match read_frame::<Request>(&mut conn) {
+        Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            reply(
+                &mut conn,
+                &Response::Error { message: format!("bad request frame: {e}") },
+                version,
+            );
+            return;
+        }
+        Err(_) => return,
+    };
+    match request {
+        Request::Ping => {
+            reply(&mut conn, &Response::Pong { protocol: PROTOCOL_VERSION }, version);
+        }
+        Request::Stats => {
+            reply(&mut conn, &Response::Stats { pairs: inner.stats_pairs() }, version);
+        }
+        Request::Shutdown { drain } => {
+            reply(
+                &mut conn,
+                &Response::Done { status: 0, payload: "shutting down".into() },
+                version,
+            );
+            inner.drain_on_stop.store(drain, Ordering::SeqCst);
+            inner.stop.store(true, Ordering::SeqCst);
+            // Wake the blocked accept so the loop observes the flag.
+            if let Ok(addr) = conn.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+        Request::Run(req) => proxy_run(conn, inner, req, version),
+    }
+}
+
+/// Outcome of relaying one request to one shard.
+enum Relay {
+    /// Terminal frame delivered to the client.
+    Done,
+    /// The client side failed; nothing left to deliver anywhere.
+    ClientGone,
+    /// The shard side failed before a terminal frame; try a successor.
+    ShardFailed,
+}
+
+fn proxy_run(mut conn: TcpStream, inner: &Arc<Inner>, req: RunRequest, version: u32) {
+    inner.routed.fetch_add(1, Ordering::Relaxed);
+    let order = inner.ring.successors(&route_key(&req));
+    // The shard-death injection point: fires at most once per routed
+    // run, killing the shard the ring is about to pick — the reroute
+    // path below must absorb it.
+    if let Some(plan) = &inner.cfg.faults {
+        if plan.fires(points::SHARD_PANIC) {
+            if let Some(&target) =
+                order.iter().find(|&&s| inner.slot(s).alive.load(Ordering::SeqCst))
+            {
+                inner.kill_shard(target);
+            }
+        }
+    }
+    // Non-terminal frames already forwarded to the client; a failover
+    // replays the request on the successor and skips this many, so the
+    // client's stream stays exactly-once per frame position.
+    let mut forwarded = 0usize;
+    let mut attempts = 0usize;
+    let mut rerouted = false;
+    while attempts < order.len() {
+        let Some(&shard) = order.iter().find(|&&s| inner.slot(s).alive.load(Ordering::SeqCst))
+        else {
+            break;
+        };
+        // A run lands off its ring owner exactly when the owner is dead
+        // or already failed this run mid-stream; count that once per
+        // run so the counter is exact under tests and load generators.
+        if shard != order[0] && !rerouted {
+            rerouted = true;
+            inner.reroutes.fetch_add(1, Ordering::Relaxed);
+        }
+        match relay(&mut conn, inner, shard, &req, version, &mut forwarded) {
+            Relay::Done | Relay::ClientGone => return,
+            Relay::ShardFailed => {
+                attempts += 1;
+                // A shard whose transport failed mid-stream is gone (or
+                // wedged); stop routing to it. Re-entering the loop
+                // picks the next live successor.
+                inner.slot(shard).alive.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+    reply(
+        &mut conn,
+        &Response::Error { message: "no live shard could complete the request".into() },
+        version,
+    );
+}
+
+fn relay(
+    client: &mut TcpStream,
+    inner: &Arc<Inner>,
+    shard: usize,
+    req: &RunRequest,
+    version: u32,
+    forwarded: &mut usize,
+) -> Relay {
+    let Some(addr) = *inner.slot(shard).addr.lock().unwrap() else {
+        return Relay::ShardFailed;
+    };
+    let mut upstream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => return Relay::ShardFailed,
+    };
+    let _ = upstream.set_read_timeout(Some(inner.cfg.shard_io_timeout));
+    let _ = upstream.set_write_timeout(Some(inner.cfg.shard_io_timeout));
+    // The coordinator speaks the *current* protocol to shards and
+    // re-encodes each frame in the client's dialect on the way out.
+    if mg_serve::send_hello(&mut upstream).is_err() {
+        return Relay::ShardFailed;
+    }
+    if write_frame(&mut upstream, &Request::Run(req.clone())).is_err() {
+        return Relay::ShardFailed;
+    }
+    let mut skip = *forwarded;
+    loop {
+        let resp = match read_frame::<Response>(&mut upstream) {
+            Ok(r) => r,
+            Err(_) => return Relay::ShardFailed,
+        };
+        let terminal = resp.is_terminal();
+        if !terminal && skip > 0 {
+            skip -= 1; // replayed progress the client already has
+            continue;
+        }
+        if write_frame(client, resp.for_version(version).as_ref())
+            .and_then(|()| std::io::Write::flush(client))
+            .is_err()
+        {
+            return Relay::ClientGone;
+        }
+        if terminal {
+            return Relay::Done;
+        }
+        *forwarded += 1;
+    }
+}

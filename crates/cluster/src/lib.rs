@@ -1,0 +1,33 @@
+//! Sharded experiment serving: N mg-serve shards behind one
+//! consistent-hash coordinator.
+//!
+//! `mg serve` (the [`mg_serve`] crate) is one process: one bounded
+//! queue, one worker pool, one cache root. This crate scales that
+//! design out the same way the paper's mini-graphs scale a pipeline —
+//! by amplifying capacity without changing the interface:
+//!
+//! * **[`Ring`]** — the consistent-hash ring (virtual nodes) that maps
+//!   a run request's prep key to a shard, keeping equal requests
+//!   coalescing on one shard and membership changes cheap (about `1/N`
+//!   of keys move when a shard joins or leaves).
+//! * **[`Cluster`]** — the coordinator: spawns the shards from an
+//!   injected [`ShardFactory`], proxies routed `Run` connections
+//!   frame-by-frame with failover to ring successors, aggregates
+//!   `Stats`, wires every shard's idle workers to steal from the
+//!   others' queues, and drains the whole fleet on `Shutdown`.
+//! * **[`ClusterController`]** — in-process lifecycle: kill, drain,
+//!   and restart individual shards; read aggregated counters.
+//!
+//! The front socket speaks the ordinary mg-serve wire protocol, so
+//! `mg client`, `mg loadgen`, and every existing tool work unchanged
+//! against a cluster — pointing at the coordinator instead of a single
+//! daemon is the only difference clients see.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cluster;
+pub mod ring;
+
+pub use cluster::{route_key, Cluster, ClusterConfig, ClusterController, ShardFactory};
+pub use ring::{Ring, VNODES};

@@ -1,0 +1,131 @@
+//! The consistent-hash ring the coordinator routes run requests with.
+//!
+//! Each shard contributes [`VNODES`] pseudo-random points on a `u64`
+//! ring; a key routes to the shard owning the first point at or after
+//! the key's own hash (wrapping). Two properties matter here:
+//!
+//! * **Stability under membership change.** Adding or removing one
+//!   shard moves only the keys in the arcs its points own — about
+//!   `1/N` of the key space — so a shard death does not reshuffle the
+//!   whole cluster's coalescing and warm-prep locality, only the dead
+//!   shard's share.
+//! * **Spread.** With enough virtual nodes per shard the arc lengths
+//!   even out, so shards receive comparable key shares without any
+//!   central balancing state.
+//!
+//! Everything is a pure function of the shard count and the key bytes:
+//! no RNG, no clock — the same request routes to the same shard in
+//! every process, which is what keeps cross-client coalescing working
+//! behind the coordinator.
+
+use mg_isa::wire::fnv1a;
+
+/// Virtual nodes (ring points) per shard. 128 keeps the worst observed
+/// shard share within a few tens of percent of ideal while the ring
+/// stays small enough to rebuild on every membership change.
+pub const VNODES: usize = 128;
+
+/// One xorshift64* mixing step, applied on top of FNV-1a so that the
+/// short, similar byte strings of ring points (`shard:replica`) and
+/// request keys land uniformly on the ring.
+fn mix(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Ring position of a byte-string key.
+fn position(key: &[u8]) -> u64 {
+    mix(fnv1a(key))
+}
+
+/// A consistent-hash ring over shards `0..n` (see the [module
+/// docs](self)).
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// A ring over `shards` shards (ids `0..shards`), [`VNODES`] points
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `shards == 0` — an empty ring can route nothing.
+    pub fn new(shards: usize) -> Ring {
+        assert!(shards > 0, "a ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for replica in 0..VNODES {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(replica as u64).to_le_bytes());
+                points.push((position(&key), shard));
+            }
+        }
+        // Ties (two shards hashing to one point) resolve by shard id so
+        // the ring is identical regardless of insertion order.
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    /// The shard count the ring was built over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the first ring point at or after the
+    /// key's position, wrapping past the top.
+    pub fn route(&self, key: &[u8]) -> usize {
+        self.successors(key)[0]
+    }
+
+    /// Every shard in ring order starting from the owner of `key`, each
+    /// listed once. The routing path walks this list: the first entry is
+    /// the primary, the rest are the successors a dead or draining
+    /// primary fails over to.
+    pub fn successors(&self, key: &[u8]) -> Vec<usize> {
+        let pos = position(key);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        let mut order = Vec::with_capacity(self.shards);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let ring = Ring::new(3);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            let shard = ring.route(key.as_bytes());
+            assert!(shard < 3);
+            assert_eq!(shard, Ring::new(3).route(key.as_bytes()), "stable across builds");
+        }
+    }
+
+    #[test]
+    fn successors_cover_every_shard_once() {
+        let ring = Ring::new(5);
+        let mut order = ring.successors(b"some-key");
+        assert_eq!(order[0], ring.route(b"some-key"));
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the consistent-hash ring over a fixed key corpus:
+//! spread (every shard receives a comparable share) and stability
+//! (adding or removing one shard remaps only about `1/N` of the keys,
+//! and every remapped key moves to or from the membership-changed
+//! shard — never between two surviving shards).
+//!
+//! Pure unit-level properties — no sockets, no servers. The corpus and
+//! the ring are both deterministic, so the asserted bounds are exact
+//! replays, not statistical gambles.
+
+use mg_cluster::{Ring, VNODES};
+
+/// A fixed corpus shaped like real route keys (short, similar strings).
+fn corpus() -> Vec<Vec<u8>> {
+    (0..3000).map(|i| format!("corpus-key-{i}").into_bytes()).collect()
+}
+
+fn shares(ring: &Ring, keys: &[Vec<u8>]) -> Vec<usize> {
+    let mut counts = vec![0usize; ring.shards()];
+    for key in keys {
+        counts[ring.route(key)] += 1;
+    }
+    counts
+}
+
+#[test]
+fn key_shares_spread_within_tolerance_of_ideal() {
+    let keys = corpus();
+    for shards in [2usize, 3, 4, 8] {
+        let counts = shares(&Ring::new(shards), &keys);
+        let ideal = keys.len() / shards;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count >= ideal / 2 && count <= ideal * 3 / 2,
+                "shard {shard}/{shards} owns {count} keys, ideal {ideal} \
+                 ({VNODES} vnodes should keep shares within ~50%)"
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_a_shard_moves_only_its_own_share_of_keys() {
+    let keys = corpus();
+    let before = Ring::new(4);
+    let after = Ring::new(5);
+    let moved: Vec<_> = keys.iter().filter(|k| before.route(k) != after.route(k)).collect();
+    // Every remapped key lands on the new shard: surviving shards never
+    // trade keys among themselves on a membership change.
+    for key in &moved {
+        assert_eq!(
+            after.route(key),
+            4,
+            "key {:?} moved between surviving shards",
+            String::from_utf8_lossy(key)
+        );
+    }
+    // And the remapped fraction is about 1/5 — nonzero (the new shard
+    // takes real work) and well below a full reshuffle.
+    let expected = keys.len() / 5;
+    assert!(
+        moved.len() >= expected / 4 && moved.len() <= expected * 2,
+        "{} of {} keys moved; expected about {expected}",
+        moved.len(),
+        keys.len()
+    );
+}
+
+#[test]
+fn removing_a_shard_reassigns_only_its_keys() {
+    let keys = corpus();
+    let before = Ring::new(5);
+    let after = Ring::new(4);
+    for key in &keys {
+        if before.route(key) != after.route(key) {
+            // Only keys the departing shard owned may move...
+            assert_eq!(
+                before.route(key),
+                4,
+                "key {:?} moved although its shard survived",
+                String::from_utf8_lossy(key)
+            );
+        } else {
+            assert!(after.route(key) < 4, "a surviving key routes in range");
+        }
+    }
+    // ...and all of its keys do move (shard 4 no longer exists).
+    let orphaned = keys.iter().filter(|k| before.route(k) == 4).count();
+    let moved = keys.iter().filter(|k| before.route(k) != after.route(k)).count();
+    assert_eq!(moved, orphaned, "exactly the departed shard's keys remap");
+    assert!(orphaned > 0, "the corpus exercises the departed shard");
+}
+
+#[test]
+fn failover_order_is_stable_and_starts_at_the_primary() {
+    let ring = Ring::new(4);
+    for key in corpus().iter().take(200) {
+        let order = ring.successors(key);
+        assert_eq!(order[0], ring.route(key));
+        assert_eq!(order.len(), 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "each shard appears exactly once");
+        assert_eq!(order, ring.successors(key), "stable across calls");
+    }
+}

@@ -81,9 +81,15 @@ pub mod points {
     /// flipped); the next load must be a miss, never a panic or a wrong
     /// artifact.
     pub const CACHE_CORRUPT: &str = "harness.cache.corrupt";
+    /// A whole shard dies: the cluster router consults this point once
+    /// per routed run and, when it fires, hard-kills the target shard
+    /// (non-draining shutdown) before routing around it. Clients whose
+    /// requests were queued on the dead shard get a terminal `Error` and
+    /// retry; the router reroutes the retries to the ring successor.
+    pub const SHARD_PANIC: &str = "cluster.shard.panic";
 
     /// Every injection point, in documentation order.
-    pub const ALL: [&str; 10] = [
+    pub const ALL: [&str; 11] = [
         SERVE_READ_INTERRUPT,
         SERVE_READ_DELAY,
         SERVE_READ_RESET,
@@ -94,6 +100,7 @@ pub mod points {
         PREP_PANIC,
         CACHE_WRITE_FAIL,
         CACHE_CORRUPT,
+        SHARD_PANIC,
     ];
 }
 

@@ -192,6 +192,7 @@ pub struct EngineBuilder {
     fuse: bool,
     trace_budget: Option<u64>,
     cache_dir: Option<PathBuf>,
+    cache_fallback_dir: Option<PathBuf>,
     pool: Option<Arc<PrepPool>>,
     observer: Option<CellObserver>,
     fault_plan: Option<Arc<mg_fault::FaultPlan>>,
@@ -208,6 +209,7 @@ impl EngineBuilder {
             fuse: fuse_default(),
             trace_budget: None,
             cache_dir: None,
+            cache_fallback_dir: None,
             pool: None,
             observer: None,
             fault_plan: None,
@@ -366,6 +368,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Chains a shared read-through root behind the primary cache (see
+    /// [`PrepCache::with_fallback`]): loads fall through to `dir` on a
+    /// primary miss (and repopulate the primary), stores land in both.
+    /// No effect unless a primary root is set via
+    /// [`EngineBuilder::cache`] / [`EngineBuilder::cache_dir`].
+    pub fn cache_fallback_dir(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.cache_fallback_dir = Some(dir.into());
+        self
+    }
+
     /// Shares warm preps through `pool` (see [`PrepPool`]): registered
     /// workloads whose (input, trace budget, cache root) match an entry
     /// already prepared — by this engine or any other holding the same
@@ -423,6 +435,7 @@ impl EngineBuilder {
             fuse,
             trace_budget,
             cache_dir,
+            cache_fallback_dir,
             pool,
             observer,
             fault_plan,
@@ -434,6 +447,9 @@ impl EngineBuilder {
         let cache = match cache_dir {
             Some(dir) if !PrepCache::disabled_by_env() => {
                 let mut cache = PrepCache::new(dir);
+                if let Some(shared) = cache_fallback_dir {
+                    cache = cache.with_fallback(shared);
+                }
                 if let Some(plan) = fault_plan {
                     cache = cache.with_fault_plan(plan);
                 }

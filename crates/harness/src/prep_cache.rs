@@ -123,6 +123,10 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct PrepCache {
     root: PathBuf,
+    /// Read-through second level (see [`PrepCache::with_fallback`]):
+    /// a primary miss falls through here, and a fallback hit is copied
+    /// back into the primary root. `None` in the single-root case.
+    fallback: Option<Box<PrepCache>>,
     /// Deterministic fault schedule for the write path (see
     /// [`PrepCache::with_fault_plan`]); `None` in production.
     fault_plan: Option<std::sync::Arc<mg_fault::FaultPlan>>,
@@ -135,7 +139,26 @@ impl PrepCache {
     /// Opens (lazily — no I/O happens until the first store) a cache
     /// rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> PrepCache {
-        PrepCache { root: root.into(), fault_plan: None }
+        PrepCache { root: root.into(), fallback: None, fault_plan: None }
+    }
+
+    /// Chains a shared read-through root behind this cache: a load that
+    /// misses the primary root is retried against `root`, and a hit
+    /// there is copied (byte-identical, temp file + rename) into the
+    /// primary root before it is returned; stores land in **both**
+    /// roots. This is the cluster's cache topology — each shard owns a
+    /// private primary root (so shard-local churn stays local) in front
+    /// of one shared root that accumulates every shard's artifacts, and
+    /// a workload re-routed to a fresh shard finds its preparation
+    /// already paid for.
+    pub fn with_fallback(mut self, root: impl Into<PathBuf>) -> PrepCache {
+        self.fallback = Some(Box::new(PrepCache::new(root)));
+        self
+    }
+
+    /// The shared read-through root, if one is chained.
+    pub fn fallback_root(&self) -> Option<&Path> {
+        self.fallback.as_deref().map(PrepCache::root)
     }
 
     /// Installs a deterministic fault plan: stores consult
@@ -181,10 +204,28 @@ impl PrepCache {
         self.dir().join(format!("{}-{:016x}.bin", kind.prefix(), wire::fnv1a(key)))
     }
 
-    /// Loads and payload-decodes an artifact, verifying the whole-file
-    /// checksum, the magic, the kind, and the full key. Any mismatch or
-    /// error is a miss.
+    /// Loads an artifact: the primary root first, then the read-through
+    /// fallback (whose hit repopulates the primary root byte-for-byte).
     fn load<T: Wire>(&self, kind: Kind, key: &[u8]) -> Option<T> {
+        if let Some(v) = self.load_local(kind, key) {
+            return Some(v);
+        }
+        let fb = self.fallback.as_ref()?;
+        let v = fb.load_local(kind, key)?;
+        // Copy the fallback's file (already checksum-verified by the
+        // load above) into the primary root so the next lookup stays
+        // local. Best effort: a failed copy just means another
+        // fall-through later.
+        if let Ok(bytes) = std::fs::read(fb.file_path(kind, key)) {
+            self.write_bytes(kind, key, &bytes);
+        }
+        Some(v)
+    }
+
+    /// Loads and payload-decodes an artifact from this root only,
+    /// verifying the whole-file checksum, the magic, the kind, and the
+    /// full key. Any mismatch or error is a miss.
+    fn load_local<T: Wire>(&self, kind: Kind, key: &[u8]) -> Option<T> {
         let bytes = std::fs::read(self.file_path(kind, key)).ok()?;
         // Checksum first: nothing downstream (including the payload
         // decoder, which cannot range-check cross-references) ever
@@ -242,20 +283,14 @@ impl PrepCache {
         let mut bytes = w.into_bytes();
         let sum = wire::fnv1a(&bytes);
         bytes.extend_from_slice(&sum.to_le_bytes());
-        let dir = self.dir();
-        if std::fs::create_dir_all(&dir).is_err() {
-            return;
+        self.write_bytes(kind, key, &bytes);
+        if let Some(fb) = &self.fallback {
+            // Stores populate both levels; the fault plan (injected
+            // corruption below) stays scoped to the primary root, so a
+            // corrupted shard root degrades to a shared-root hit.
+            fb.write_bytes(kind, key, &bytes);
         }
-        let tmp = dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
         let path = self.file_path(kind, key);
-        if std::fs::write(&tmp, bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
-        }
-        let _ = std::fs::remove_file(&tmp); // no-op after a successful rename
         if let Some(plan) = &self.fault_plan {
             if plan.fires(mg_fault::points::CACHE_CORRUPT) {
                 // Post-write corruption: flip one byte in place, at a
@@ -329,6 +364,26 @@ impl PrepCache {
         img.trace.put(&mut w);
         img.catalog.put(&mut w);
         self.store_raw(Kind::Image, &image_key(fingerprint, policy, style, budget), w);
+    }
+
+    /// Lands an already-encoded cache file (checksum trailer included)
+    /// under this root via the temp-file + rename discipline. Failures
+    /// are ignored, as everywhere on the store path.
+    fn write_bytes(&self, kind: Kind, key: &[u8], bytes: &[u8]) {
+        let dir = self.dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let path = self.file_path(kind, key);
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+        let _ = std::fs::remove_file(&tmp); // no-op after a successful rename
     }
 
     /// Like [`PrepCache::store`] but for a pre-encoded payload.
@@ -524,6 +579,41 @@ mod tests {
         std::fs::write(&path, b"not a cache file").unwrap();
         assert!(c.load_selection(9, &policy).is_none(), "foreign file is a miss");
         c.clear().unwrap();
+    }
+
+    #[test]
+    fn fallback_reads_through_and_repopulates_the_primary() {
+        let base =
+            std::env::temp_dir().join(format!("mg-cache-test-fallback-{}", std::process::id()));
+        let primary_root = base.join("shard0");
+        let shared_root = base.join("shared");
+        let _ = std::fs::remove_dir_all(&base);
+        let sel = sample_selection();
+        let policy = Policy::default();
+
+        // Seed only the shared root (another shard's store).
+        PrepCache::new(&shared_root).store_selection(7, &policy, &sel);
+
+        let c = PrepCache::new(&primary_root).with_fallback(&shared_root);
+        assert_eq!(c.fallback_root(), Some(shared_root.as_path()));
+        let hit = c.load_selection(7, &policy).expect("read-through hit");
+        assert_eq!(wire::to_bytes(&hit), wire::to_bytes(&sel), "bit-identical");
+        // The fall-through repopulated the primary root byte-for-byte.
+        let local = c.file_path(Kind::Selection, &selection_key(7, &policy));
+        let shared_file =
+            PrepCache::new(&shared_root).file_path(Kind::Selection, &selection_key(7, &policy));
+        assert_eq!(
+            std::fs::read(&local).expect("primary populated").as_slice(),
+            std::fs::read(&shared_file).unwrap().as_slice(),
+        );
+
+        // A fresh store lands in both roots.
+        c.store_selection(8, &policy, &sel);
+        assert!(
+            PrepCache::new(&shared_root).load_selection(8, &policy).is_some(),
+            "store populated the shared root too"
+        );
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -39,4 +39,7 @@ pub use protocol::{
     read_hello, send_hello, Request, Response, RunRequest, CONNECT_MAGIC, MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
 };
-pub use server::{EmitFn, RunOutcome, Runner, Server, ServerConfig, StatsExtra};
+pub use server::{
+    EmitFn, RunOutcome, Runner, Server, ServerConfig, ShardHandle, StatsExtra, StealSource,
+    StolenBatch,
+};

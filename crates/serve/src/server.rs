@@ -84,6 +84,11 @@ pub type Runner = Arc<dyn Fn(&RunRequest, EmitFn) -> Result<RunOutcome, String> 
 /// (e.g. the CLI's warm-prep-pool counters).
 pub type StatsExtra = Arc<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
 
+/// Callback an idle worker consults for work from *other* servers (see
+/// [`Server::set_steal_source`]). Returns the next batch worth stealing,
+/// or `None` when every peer queue is empty.
+pub type StealSource = Arc<dyn Fn() -> Option<StolenBatch> + Send + Sync>;
+
 /// Server tuning knobs.
 #[derive(Clone)]
 pub struct ServerConfig {
@@ -304,6 +309,12 @@ struct Shared {
     worker_panics: AtomicU64,
     /// Batches completed with `Done` after shutdown began.
     drained_requests: AtomicU64,
+    /// Batches this server's workers stole from peer queues (see
+    /// [`Server::set_steal_source`]).
+    steals: AtomicU64,
+    /// Installed by [`Server::set_steal_source`]; idle workers consult
+    /// it between timed waits on `work_ready`.
+    steal_source: Mutex<Option<StealSource>>,
 }
 
 impl Shared {
@@ -325,6 +336,7 @@ impl Shared {
             ),
             ("worker_panics".to_string(), self.worker_panics.load(Ordering::Relaxed)),
             ("drained_requests".to_string(), self.drained_requests.load(Ordering::Relaxed)),
+            ("steals".to_string(), self.steals.load(Ordering::Relaxed)),
         ];
         if let Some(extra) = &self.cfg.stats_extra {
             pairs.extend(extra());
@@ -547,6 +559,23 @@ impl Server {
     pub fn spawn(self) -> std::thread::JoinHandle<std::io::Result<()>> {
         std::thread::spawn(move || self.serve())
     }
+
+    /// A [`ShardHandle`] on this server's scheduler, for peers to
+    /// inspect and steal from.
+    pub fn shard_handle(&self) -> ShardHandle {
+        ShardHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Installs the steal source this server's idle workers consult: a
+    /// worker finding its own queue empty calls `source` and, when it
+    /// returns a [`StolenBatch`], executes it in place (with the owning
+    /// server's runner and counters) instead of sleeping. Workers
+    /// without a source block on their queue as before; with one they
+    /// poll it between short timed waits. Call before [`Server::serve`]
+    /// / [`Server::spawn`].
+    pub fn set_steal_source(&self, source: StealSource) {
+        *self.shared.steal_source.lock().unwrap() = Some(source);
+    }
 }
 
 impl Shared {
@@ -568,7 +597,52 @@ impl Shared {
             evicted_slow_clients: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             drained_requests: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_source: Mutex::new(None),
         })
+    }
+}
+
+/// A batch popped from one server's queue for execution on another
+/// server's worker (see [`ShardHandle::steal`]). Opaque: it carries the
+/// batch *and* the owning server's state, so the thief runs it with the
+/// owner's runner and settles the owner's counters and request index —
+/// attached clients cannot tell their batch was stolen.
+pub struct StolenBatch {
+    owner: Arc<Shared>,
+    batch: Arc<Batch>,
+}
+
+/// A cheap handle on a running [`Server`]'s scheduler, for cross-server
+/// coordination (the `mg-cluster` work-stealing layer). Obtained from
+/// [`Server::shard_handle`]; stays valid after the server shuts down
+/// (every operation then just observes an empty queue).
+#[derive(Clone)]
+pub struct ShardHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShardHandle {
+    /// Batches queued (not yet running) right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Pops the most recently queued batch for execution elsewhere, or
+    /// `None` when the queue is empty. LIFO on purpose: the oldest
+    /// batches are what the owner's own workers pop next, so stealing
+    /// from the back minimises contention with them. The batch stays in
+    /// the owner's request index until its terminal frame — late
+    /// duplicates keep attaching to it while it runs on the thief.
+    pub fn steal(&self) -> Option<StolenBatch> {
+        let batch = self.shared.state.lock().unwrap().queue.pop_back()?;
+        Some(StolenBatch { owner: Arc::clone(&self.shared), batch })
+    }
+
+    /// The server's live counter pairs, identical to what a
+    /// [`Request::Stats`] connection would see.
+    pub fn stats_pairs(&self) -> Vec<(String, u64)> {
+        self.shared.stats_pairs()
     }
 }
 
@@ -840,72 +914,102 @@ fn handle_run(conn: Box<dyn Conn>, shared: &Shared, req: RunRequest, version: u3
     }
 }
 
+/// How long a worker with an installed steal source sleeps between
+/// consulting it when both its own queue and every peer queue are empty.
+const STEAL_POLL: Duration = Duration::from_millis(10);
+
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let batch = {
+        let (owner, batch) = 'acquire: {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if let Some(batch) = state.queue.pop_front() {
-                    break batch;
+                    break 'acquire (Arc::clone(shared), batch);
                 }
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                state = shared.work_ready.wait(state).unwrap();
-            }
-        };
-        batch.inner.lock().unwrap().started_at = Some(Instant::now());
-        let emit: EmitFn = {
-            let batch = Arc::clone(&batch);
-            let shared = Arc::clone(shared);
-            Arc::new(move |resp: Response| batch.broadcast(&resp, &shared))
-        };
-        // Contain runner panics: the batch is answered with an `Error`
-        // frame (replayed to every joiner) and the worker thread
-        // survives to take the next batch. The `serve.worker.panic`
-        // fault point fires *inside* the guard, exercising exactly this
-        // path.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(plan) = &shared.cfg.faults {
-                if plan.fires(points::WORKER_PANIC) {
-                    panic!("injected fault: worker panic");
+                let source = shared.steal_source.lock().unwrap().clone();
+                match source {
+                    Some(src) => {
+                        // The source locks *other* servers' schedulers;
+                        // holding our own here while a peer's thief
+                        // holds theirs and locks ours would deadlock.
+                        drop(state);
+                        if let Some(StolenBatch { owner, batch }) = src() {
+                            shared.steals.fetch_add(1, Ordering::Relaxed);
+                            break 'acquire (owner, batch);
+                        }
+                        state = shared.state.lock().unwrap();
+                        // Timed wait: peer queues fill without signalling
+                        // our condvar, so re-poll the source periodically.
+                        state = shared.work_ready.wait_timeout(state, STEAL_POLL).unwrap().0;
+                    }
+                    None => state = shared.work_ready.wait(state).unwrap(),
                 }
             }
-            (shared.runner)(&batch.req, emit)
-        }));
-        let terminal = match outcome {
-            Ok(Ok(RunOutcome { status, payload })) => {
-                Response::Done { status: status as i64, payload }
-            }
-            Ok(Err(message)) => Response::Error { message },
-            Err(panic) => {
-                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                Response::Error { message: format!("worker panicked: {msg}") }
-            }
         };
-        // Terminal delivery needs only the batch's own lock: an
-        // attacher that still finds the index entry afterwards locks
-        // `inner`, sees `done`, and retries as a fresh request. Writing
-        // to client sockets while holding the scheduler lock would let
-        // one slow client stall every connection on the daemon.
-        let delivered = batch.finish(&terminal, shared, true);
-        if delivered.is_some()
-            && matches!(terminal, Response::Done { .. })
-            && shared.stop.load(Ordering::SeqCst)
-        {
-            shared.drained_requests.fetch_add(1, Ordering::Relaxed);
-        }
-        // Only the index removal touches the scheduler lock.
-        let mut state = shared.state.lock().unwrap();
-        if let Some(indexed) = state.index.get(&batch.req) {
-            if Arc::ptr_eq(indexed, &batch) {
-                state.index.remove(&batch.req);
+        run_batch(&owner, &batch);
+    }
+}
+
+/// Executes one batch to its terminal frame against `owner` — the
+/// server the batch was accepted by, which is *not* the popping worker's
+/// server when the batch was stolen. Every side effect (runner, fault
+/// point, counters, index cleanup) lands on the owner, so stealing is
+/// invisible to clients and to the owner's stats invariants.
+fn run_batch(owner: &Arc<Shared>, batch: &Arc<Batch>) {
+    batch.inner.lock().unwrap().started_at = Some(Instant::now());
+    let emit: EmitFn = {
+        let batch = Arc::clone(batch);
+        let owner = Arc::clone(owner);
+        Arc::new(move |resp: Response| batch.broadcast(&resp, &owner))
+    };
+    // Contain runner panics: the batch is answered with an `Error`
+    // frame (replayed to every joiner) and the worker thread
+    // survives to take the next batch. The `serve.worker.panic`
+    // fault point fires *inside* the guard, exercising exactly this
+    // path.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = &owner.cfg.faults {
+            if plan.fires(points::WORKER_PANIC) {
+                panic!("injected fault: worker panic");
             }
+        }
+        (owner.runner)(&batch.req, emit)
+    }));
+    let terminal = match outcome {
+        Ok(Ok(RunOutcome { status, payload })) => {
+            Response::Done { status: status as i64, payload }
+        }
+        Ok(Err(message)) => Response::Error { message },
+        Err(panic) => {
+            owner.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Response::Error { message: format!("worker panicked: {msg}") }
+        }
+    };
+    // Terminal delivery needs only the batch's own lock: an
+    // attacher that still finds the index entry afterwards locks
+    // `inner`, sees `done`, and retries as a fresh request. Writing
+    // to client sockets while holding the scheduler lock would let
+    // one slow client stall every connection on the daemon.
+    let delivered = batch.finish(&terminal, owner, true);
+    if delivered.is_some()
+        && matches!(terminal, Response::Done { .. })
+        && owner.stop.load(Ordering::SeqCst)
+    {
+        owner.drained_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    // Only the index removal touches the scheduler lock.
+    let mut state = owner.state.lock().unwrap();
+    if let Some(indexed) = state.index.get(&batch.req) {
+        if Arc::ptr_eq(indexed, batch) {
+            state.index.remove(&batch.req);
         }
     }
 }
