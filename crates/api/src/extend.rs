@@ -8,9 +8,10 @@
 //! methods).
 
 use crate::error::MgError;
-use mg_core::Policy;
+use mg_core::{GreedySelector, Policy, Selector};
 use mg_isa::{Memory, Program};
 use mg_workloads::{Input, Suite};
+use std::sync::Arc;
 
 /// An out-of-tree workload: a named, suite-classified program builder
 /// the session can prepare and run exactly like a registry kernel.
@@ -59,6 +60,17 @@ pub trait SelectionPolicy: Send + Sync {
 
     /// The concrete policy configuration the name denotes.
     fn policy(&self) -> Policy;
+
+    /// The selection *algorithm* the preset runs under its policy.
+    /// Defaults to the paper's greedy selector; presets built from
+    /// `mg_policy` selectors (tree tiling, loop-weighted greedy, exact
+    /// DP) override this — see [`SelectorPolicy`] and `docs/API.md`.
+    /// A non-default selector's artifacts are cached under its
+    /// [`Selector::id`], so overriding never collides with cached
+    /// greedy artifacts.
+    fn selector(&self) -> Arc<dyn Selector> {
+        Arc::new(GreedySelector)
+    }
 }
 
 /// A [`SelectionPolicy`] built from a name and a [`Policy`] value — the
@@ -82,5 +94,40 @@ impl SelectionPolicy for NamedPolicy {
 
     fn policy(&self) -> Policy {
         self.policy.clone()
+    }
+}
+
+/// A [`SelectionPolicy`] pairing a policy configuration with a
+/// non-default selection algorithm — the bridge between `mg_policy`
+/// selectors and session policy names.
+pub struct SelectorPolicy {
+    name: String,
+    policy: Policy,
+    selector: Arc<dyn Selector>,
+}
+
+impl SelectorPolicy {
+    /// Creates a preset mapping `name` to `policy` selected by
+    /// `selector`.
+    pub fn new(
+        name: impl Into<String>,
+        policy: Policy,
+        selector: Arc<dyn Selector>,
+    ) -> SelectorPolicy {
+        SelectorPolicy { name: name.into(), policy, selector }
+    }
+}
+
+impl SelectionPolicy for SelectorPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn policy(&self) -> Policy {
+        self.policy.clone()
+    }
+
+    fn selector(&self) -> Arc<dyn Selector> {
+        Arc::clone(&self.selector)
     }
 }

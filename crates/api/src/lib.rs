@@ -57,7 +57,7 @@ pub mod session;
 pub mod spec;
 
 pub use error::{MgError, MgErrorKind, SourceError};
-pub use extend::{NamedPolicy, SelectionPolicy, WorkloadSource};
+pub use extend::{NamedPolicy, SelectionPolicy, SelectorPolicy, WorkloadSource};
 pub use session::{Session, SessionBuilder};
 pub use spec::{
     CellResult, CellSpec, ImageSpec, InputSelector, PolicySelector, RowOutcome, RunObserver,
@@ -66,7 +66,7 @@ pub use spec::{
 
 // The foreign types a spec is built from, re-exported so an embedder
 // can drive a session without naming the underlying crates.
-pub use mg_core::{Policy, RewriteStyle};
+pub use mg_core::{GreedySelector, Policy, RewriteStyle, SelectInputs, Selector};
 pub use mg_harness::PrepPool;
 pub use mg_uarch::{SimConfig, SimStats};
 pub use mg_workloads::{Input, Suite};

@@ -359,6 +359,35 @@ impl Session {
         Ok(policy)
     }
 
+    /// Resolves the selection *algorithm* a policy selector denotes:
+    /// built-in preset names and explicit policies run the paper's
+    /// greedy selector; a session-registered [`SelectionPolicy`] name
+    /// runs whatever its [`SelectionPolicy::selector`] returns (greedy
+    /// unless overridden — see
+    /// [`SelectorPolicy`](crate::extend::SelectorPolicy)).
+    ///
+    /// Infallible by design: an unknown name means "no registration
+    /// overrides the default", and name validity itself is
+    /// [`Session::resolve_policy`]'s job.
+    pub fn resolve_selector(
+        &self,
+        selector: &PolicySelector,
+    ) -> std::sync::Arc<dyn mg_core::Selector> {
+        if let PolicySelector::Named(name) = selector {
+            // Mirror resolve_policy's precedence: built-in names never
+            // fall through to registrations.
+            let builtin =
+                matches!(name.as_str(), "default" | "integer" | "integer_memory" | "intmem");
+            if !builtin {
+                if let Some(p) = self.policies.iter().rev().find(|p| p.name() == name.as_str())
+                {
+                    return p.selector();
+                }
+            }
+        }
+        std::sync::Arc::new(mg_core::GreedySelector)
+    }
+
     /// Runs a spec and returns the deterministic matrix.
     ///
     /// # Errors

@@ -515,6 +515,14 @@ pub fn experiments() -> Vec<ExperimentSpec> {
             build: crate::lang::lang_report,
         },
         ExperimentSpec {
+            name: "policy_lab",
+            legacy_bin: "",
+            description:
+                "Selection-policy lab: greedy vs weighted/tiling/exact-DP with optimality gaps",
+            paper_ref: "§4.2 extension",
+            build: crate::policy_lab::policy_lab,
+        },
+        ExperimentSpec {
             name: "perf",
             legacy_bin: "perf_report",
             description: "Times every sweep, writes BENCH_pipeline.json, gates on regressions",
@@ -891,6 +899,7 @@ const REPORT_EXPERIMENTS: &[&str] = &[
     "icache",
     "iq_capacity",
     "lang",
+    "policy_lab",
 ];
 
 /// Marker opening the generated quickstart block in `README.md`.
@@ -1294,7 +1303,7 @@ mod tests {
 
     #[test]
     fn registry_names_and_aliases_resolve() {
-        assert_eq!(experiments().len(), 10);
+        assert_eq!(experiments().len(), 11);
         for e in experiments() {
             assert!(experiment(e.name).is_some());
             if !e.legacy_bin.is_empty() {

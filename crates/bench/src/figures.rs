@@ -427,6 +427,9 @@ struct Measurement {
     sim_ops: u64,
     /// Fused-over-scalar throughput ratio (the `fused_speedup` row only).
     speedup: Option<f64>,
+    /// Pure selector wall-clock (the per-policy `select_<family>` rows
+    /// only; see [`perf_selection_policies`]).
+    selection_ms: Option<f64>,
 }
 
 impl Measurement {
@@ -461,6 +464,9 @@ impl Measurement {
         let _ = write!(row, ", \"mops_per_s\": {:.2}", rate(self.sim_ops));
         if let Some(x) = self.speedup {
             let _ = write!(row, ", \"speedup\": {x:.2}");
+        }
+        if let Some(x) = self.selection_ms {
+            let _ = write!(row, ", \"selection_time_ms\": {x:.2}");
         }
         row.push('}');
         row
@@ -505,7 +511,15 @@ fn perf_sim_experiment(
     let stats = matrix.rows.iter().flat_map(|r| r.stats.iter());
     let (sim_cycles, sim_ops) = stats.fold((0, 0), |(c, o), s| (c + s.cycles, o + s.ops));
     eprintln!("{name:14} prep {prep_ms:8.1} ms  run {run_ms:8.1} ms  {sim_cycles:>10} cycles");
-    Measurement { name, prep_ms, run_ms, sim_cycles, sim_ops, speedup: None }
+    Measurement {
+        name,
+        prep_ms,
+        run_ms,
+        sim_cycles,
+        sim_ops,
+        speedup: None,
+        selection_ms: None,
+    }
 }
 
 /// A synthetic selection workload far past the real candidate pools: many
@@ -556,7 +570,48 @@ fn perf_select_stress(quick: bool) -> Measurement {
         sim_cycles: 0,
         sim_ops: sel.chosen.len() as u64,
         speedup: None,
+        selection_ms: Some(run_ms),
     }
+}
+
+/// Times each selection-policy family (see [`mg_policy::all_selectors`])
+/// over every registry prep under the integer-memory policy: pure
+/// selector wall-clock, no simulation. Each row's JSON carries an
+/// explicit `selection_time_ms` field next to the generic timings, so
+/// the committed trajectory tracks selector cost per family.
+fn perf_selection_policies(args: &RunArgs, quick: bool) -> Vec<Measurement> {
+    let (engine, _prep_ms) = perf_engine(args, quick, None, false);
+    let policy = Policy::integer_memory();
+    mg_policy::all_selectors()
+        .iter()
+        .map(|s| {
+            let t = Instant::now();
+            let chosen: u64 = engine
+                .map(|p| p.select_with(s.as_ref(), &policy).chosen.len() as u64)
+                .iter()
+                .sum();
+            let run_ms = t.elapsed().as_secs_f64() * 1e3;
+            let name: &'static str = match s.id() {
+                "greedy" => "select_greedy",
+                "weighted" => "select_weighted",
+                "tiling" => "select_tiling",
+                "dp" => "select_dp",
+                _ => "select_other",
+            };
+            eprintln!(
+                "{name:14} prep      0.0 ms  run {run_ms:8.1} ms  {chosen} instances chosen"
+            );
+            Measurement {
+                name,
+                prep_ms: 0.0,
+                run_ms,
+                sim_cycles: 0,
+                sim_ops: chosen,
+                speedup: None,
+                selection_ms: Some(run_ms),
+            }
+        })
+        .collect()
 }
 
 fn perf_fig5_experiment(args: &RunArgs, quick: bool) -> Measurement {
@@ -574,6 +629,7 @@ fn perf_fig5_experiment(args: &RunArgs, quick: bool) -> Measurement {
         sim_cycles: 0,
         sim_ops: selected,
         speedup: None,
+        selection_ms: None,
     }
 }
 
@@ -615,6 +671,7 @@ fn perf_artifact_sweep(
         sim_cycles: 0,
         sim_ops: selected + artifact_ops,
         speedup: None,
+        selection_ms: None,
     }
 }
 
@@ -673,6 +730,7 @@ pub fn perf(args: &RunArgs) -> Report {
         perf_sim_experiment("iq_capacity", args, quick, None, &iq_capacity_runs(), false),
         perf_select_stress(quick),
     ];
+    measurements.extend(perf_selection_policies(args, quick));
 
     // Fused trajectory: both fig8 sweeps — the widest config sweeps in
     // the registry — as one fused run, plus the fused-over-scalar
@@ -698,6 +756,7 @@ pub fn perf(args: &RunArgs) -> Report {
         sim_cycles: fused_cycles,
         sim_ops: fused_ops,
         speedup: Some(fused_speedup),
+        selection_ms: None,
     });
 
     // Cold/warm artifact-cache trajectory points: a dedicated cache root,

@@ -58,7 +58,7 @@ fn load_programs(args: &RunArgs) -> Result<Vec<Arc<LangWorkload>>, (String, i32)
 /// the same adaptation `mg_api` applies to session-registered sources.
 /// Engine-visible names get an `mgl.` prefix so served pool stats and
 /// report rows are unambiguous next to registry kernels.
-fn to_extra(wl: &Arc<LangWorkload>) -> ExtraSource {
+pub(crate) fn to_extra(wl: &Arc<LangWorkload>) -> ExtraSource {
     let owned = Arc::clone(wl);
     ExtraSource {
         name: format!("mgl.{}", wl.name()),
@@ -68,6 +68,22 @@ fn to_extra(wl: &Arc<LangWorkload>) -> ExtraSource {
             owned.build(input).map_err(|e| Box::new(e) as BuildError)
         }),
     }
+}
+
+/// The built-in corpus as engine-ready extra sources (`mgl.<name>`
+/// identities) — shared with the `policy_lab` experiment, which runs
+/// the compiled corpus through every selection policy alongside the
+/// registry kernels.
+pub(crate) fn corpus_extras() -> Vec<ExtraSource> {
+    corpus::all()
+        .into_iter()
+        .map(|(name, src)| {
+            let wl = Arc::new(
+                LangWorkload::from_source(name, src).expect("corpus programs compile"),
+            );
+            to_extra(&wl)
+        })
+        .collect()
 }
 
 /// One program's three-way verification outcome (all cells `ok` on a

@@ -54,6 +54,7 @@ pub mod minigraph;
 pub mod policy;
 pub mod rewrite;
 pub mod select;
+pub mod selector;
 pub mod wire;
 
 pub use dataflow::BlockDataflow;
@@ -63,7 +64,8 @@ pub use mgt::{build_schedule, FuReq, MgSchedule, MgSlot, MgTable, MgtConfig};
 pub use minigraph::{analyze, choose_anchor, Illegal, MiniGraph};
 pub use policy::Policy;
 pub use rewrite::{rewrite, RewriteStyle, Rewritten};
-pub use select::{select, select_domain, ChosenInstance, Selection};
+pub use select::{select, select_domain, select_with_benefits, ChosenInstance, Selection};
+pub use selector::{GreedySelector, SelectInputs, Selector, GREEDY_SELECTOR_ID};
 
 use mg_isa::exec::ExecError;
 use mg_isa::{Memory, Program};

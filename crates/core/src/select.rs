@@ -51,6 +51,26 @@ pub struct ChosenInstance {
 }
 
 /// The outcome of selection for one program.
+///
+/// # Invariants
+///
+/// Every selection algorithm in the tree ([`select`], [`select_domain`],
+/// [`select_with_benefits`], and the `mg-policy` selectors behind the
+/// [`Selector`](crate::selector::Selector) trait) upholds the same output
+/// contract, which the rewriter and the MGT packer rely on:
+///
+/// * **Admissibility** — every chosen instance was approved by the
+///   selecting policy's [`Policy::admits`]; no selector may smuggle in a
+///   candidate the policy filtered out.
+/// * **Instance disjointness** — the `members` sets of the chosen
+///   instances are pairwise disjoint: each static instruction belongs to
+///   at most one selected mini-graph (atomicity, paper §3.1).
+/// * **Catalog consistency** — `catalog.len() <= policy.capacity`, and
+///   every `mgid` indexes a catalog entry equal to its instance's
+///   template.
+///
+/// `tests/policy_properties.rs` asserts all three properties across every
+/// selection family on generated programs.
 #[derive(Clone, Debug, Default)]
 pub struct Selection {
     /// Selected instances (non-overlapping).
@@ -278,7 +298,33 @@ fn group_by_template<'a>(
 }
 
 /// Selects mini-graphs for one program from `candidates` under `policy`.
+///
+/// Only `policy.admits()`-approved candidates are considered, and the
+/// returned selection's instances are member-disjoint (see the
+/// [`Selection`] invariants).
 pub fn select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
+    select_with_benefits(candidates, policy, MiniGraph::benefit)
+}
+
+/// [`select`] with a caller-supplied benefit function: the greedy rank of
+/// each candidate uses `benefit_of(c)` instead of the paper's `(n-1)·f`
+/// [`MiniGraph::benefit`].
+///
+/// This is the entry point for *weighted* selection policies (e.g. the
+/// loop-depth-scaled weights of `mg-policy::weighted`): the greedy
+/// mechanics — template grouping, incremental invalidation, the
+/// swap-filled tie-break — are identical, only the ranking weight changes.
+/// With `MiniGraph::benefit` as the weight this is exactly [`select`], bit
+/// for bit. Candidates whose weight is 0 are never picked (a zero-benefit
+/// group ends selection), and the returned [`Selection`] still reports
+/// coverage in true `(n-1)·f` terms regardless of the weights used to
+/// rank. The [`Selection`] invariants (admissibility, disjointness,
+/// catalog consistency) hold for any weight function.
+pub fn select_with_benefits(
+    candidates: &[MiniGraph],
+    policy: &Policy,
+    benefit_of: impl Fn(&MiniGraph) -> u64,
+) -> Selection {
     let instances: Vec<&MiniGraph> = candidates.iter().filter(|c| policy.admits(c)).collect();
     let (group_of, rep) = group_by_template(instances.iter().map(|c| &c.template));
     let universe =
@@ -286,7 +332,7 @@ pub fn select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
     let mut picker = GreedyPicker::new(
         rep.len(),
         universe,
-        instances.iter().map(|c| (c.members.as_slice(), 0, c.benefit())),
+        instances.iter().map(|c| (c.members.as_slice(), 0, benefit_of(c))),
         &group_of,
     );
 
@@ -307,6 +353,14 @@ pub fn select(candidates: &[MiniGraph], policy: &Policy) -> Selection {
 /// (paper Figure 5 bottom): templates are pooled across programs, benefits
 /// summed, and capacity shared; per-program selections are returned in
 /// input order alongside the shared catalog.
+///
+/// The [`Selection`] invariants hold per program: each program's returned
+/// selection contains only `policy.admits()`-approved candidates from
+/// *that program's* pool, and its instances are member-disjoint within
+/// the program (two programs may of course select the same instruction
+/// index — member spaces are per-program, offset internally so one taken
+/// bitset covers all of them without aliasing). The shared catalog obeys
+/// `catalog.len() <= policy.capacity` across the whole domain.
 pub fn select_domain(
     per_program_candidates: &[Vec<MiniGraph>],
     policy: &Policy,

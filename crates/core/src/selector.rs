@@ -1,0 +1,104 @@
+//! The object-safe selection-algorithm extension point.
+//!
+//! The paper's greedy selector ([`select`]) was the
+//! only selection family in the tree; the `mg-policy` crate adds
+//! loop-weighted, tree-tiling, and exact-DP alternatives. [`Selector`] is
+//! the seam they all plug into: the experiment harness prepares a
+//! workload once (profile + candidate enumeration) and then asks any
+//! number of selectors for a [`Selection`] over the same
+//! [`SelectInputs`], memoizing and disk-caching each result under the
+//! selector's [`id`](Selector::id).
+//!
+//! Every implementation must uphold the [`Selection`] output invariants
+//! (admissibility, instance disjointness, catalog consistency) — see the
+//! `Selection` docs; `tests/policy_properties.rs` checks them for every
+//! in-tree selector.
+
+use crate::minigraph::MiniGraph;
+use crate::policy::Policy;
+use crate::select::{select, Selection};
+use mg_profile::{BlockProfile, Cfg};
+
+/// Everything a selection algorithm may consult: the candidate pool plus
+/// the program's control-flow and profile context (for analyses such as
+/// loop nesting). Borrowed from the harness's prepared workload state.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectInputs<'a> {
+    /// All legal mini-graph candidates (pre policy filtering; selectors
+    /// must apply [`Policy::admits`] themselves, exactly like
+    /// [`select`]).
+    pub candidates: &'a [MiniGraph],
+    /// The program's basic blocks and static successor edges.
+    pub cfg: &'a Cfg,
+    /// Basic-block execution frequencies from the profiling run.
+    pub prof: &'a BlockProfile,
+}
+
+/// An object-safe selection algorithm.
+///
+/// Implementations are registered through `mg_api::SelectionPolicy`
+/// (whose defaulted `selector()` method returns the greedy default) and
+/// keyed everywhere — in-process memos, the persistent artifact cache,
+/// experiment rows — by [`id`](Selector::id).
+pub trait Selector: Send + Sync {
+    /// Stable identifier of the algorithm (e.g. `"greedy"`,
+    /// `"weighted"`). Part of the artifact-cache key for every
+    /// non-greedy selector, so changing an id orphans (never corrupts)
+    /// cached artifacts. Must be non-empty; `"greedy"` is reserved for
+    /// the paper's algorithm, whose cache keys predate this trait.
+    fn id(&self) -> &str;
+
+    /// Produces a selection over `inputs` under `policy`, upholding the
+    /// [`Selection`] invariants.
+    fn select(&self, inputs: &SelectInputs<'_>, policy: &Policy) -> Selection;
+}
+
+/// The paper's greedy selector (id `"greedy"`): coverage-ranked
+/// incremental greedy, exactly [`select`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedySelector;
+
+/// The reserved [`Selector::id`] of [`GreedySelector`]. Artifacts keyed
+/// under this id use the legacy (pre-`Selector`) cache-key encoding, so
+/// greedy artifacts cached by older builds stay valid.
+pub const GREEDY_SELECTOR_ID: &str = "greedy";
+
+impl Selector for GreedySelector {
+    fn id(&self) -> &str {
+        GREEDY_SELECTOR_ID
+    }
+
+    fn select(&self, inputs: &SelectInputs<'_>, policy: &Policy) -> Selection {
+        select(inputs.candidates, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract;
+    use mg_isa::{reg, Asm, Memory};
+
+    #[test]
+    fn greedy_selector_matches_select() {
+        let mut a = Asm::new();
+        a.li(reg(18), 0);
+        a.li(reg(5), 20);
+        a.label("top");
+        a.addl(reg(18), 2, reg(18));
+        a.cmplt(reg(18), reg(5), reg(7));
+        a.bne(reg(7), "top");
+        a.halt();
+        let prog = a.finish().unwrap();
+        let policy = Policy::default();
+        let ex = extract(&prog, &mut Memory::new(), &policy, 100_000).unwrap();
+        let cfg = mg_profile::build_cfg(&prog);
+        let prof =
+            mg_profile::profile_program(&prog, &mut Memory::new(), None, 100_000).unwrap();
+        let inputs = SelectInputs { candidates: &ex.candidates, cfg: &cfg, prof: &prof };
+        let got = GreedySelector.select(&inputs, &policy);
+        assert_eq!(got.chosen.len(), ex.selection.chosen.len());
+        assert_eq!(got.saved_slots(), ex.selection.saved_slots());
+        assert_eq!(GreedySelector.id(), GREEDY_SELECTOR_ID);
+    }
+}

@@ -18,7 +18,8 @@
 use crate::error::{BuildError, HarnessError};
 use crate::prep_cache::{self, PrepCache};
 use mg_core::{
-    enumerate_candidates, rewrite, select, MiniGraph, Policy, RewriteStyle, Selection,
+    enumerate_candidates, rewrite, GreedySelector, MiniGraph, Policy, RewriteStyle,
+    SelectInputs, Selection, Selector,
 };
 use mg_isa::{HandleCatalog, Memory, Program};
 use mg_profile::{build_cfg, profile_program, record_trace, BlockProfile, Cfg, Trace};
@@ -111,8 +112,11 @@ pub struct Prep {
     fingerprint: u64,
     /// Optional persistent artifact cache shared with other preps.
     cache: Option<Arc<PrepCache>>,
-    // Memoized downstream artifacts (see module docs).
-    selections: Mutex<HashMap<Policy, Arc<Selection>>>,
+    // Memoized downstream artifacts (see module docs). Selections and
+    // images carry a selector-id dimension so alternative selection
+    // algorithms (see `mg_policy`) memoize alongside — never instead
+    // of — the default greedy artifacts.
+    selections: Mutex<HashMap<(String, Policy), Arc<Selection>>>,
     base_trace: OnceLock<Arc<Trace>>,
     /// Serializes fallible base-trace initialization: recording is the
     /// most expensive per-prep artifact and many matrix cells need it,
@@ -126,19 +130,22 @@ pub struct Prep {
     images: Mutex<ImageCache>,
 }
 
+/// Key of a memoized rewritten image: selector id, policy, style.
+type ImageKey = (String, Policy, RewriteStyle);
+
 /// Bounded FIFO cache of rewritten images (see [`IMAGE_CACHE_CAP`]).
 #[derive(Default)]
 struct ImageCache {
-    map: HashMap<(Policy, RewriteStyle), Arc<MgImage>>,
-    order: VecDeque<(Policy, RewriteStyle)>,
+    map: HashMap<ImageKey, Arc<MgImage>>,
+    order: VecDeque<ImageKey>,
 }
 
 impl ImageCache {
-    fn get(&self, key: &(Policy, RewriteStyle)) -> Option<Arc<MgImage>> {
+    fn get(&self, key: &ImageKey) -> Option<Arc<MgImage>> {
         self.map.get(key).cloned()
     }
 
-    fn insert(&mut self, key: (Policy, RewriteStyle), img: Arc<MgImage>) -> Arc<MgImage> {
+    fn insert(&mut self, key: ImageKey, img: Arc<MgImage>) -> Arc<MgImage> {
         if let Some(existing) = self.map.get(&key) {
             return Arc::clone(existing); // first writer wins
         }
@@ -346,27 +353,46 @@ impl Prep {
         Ok(mem)
     }
 
-    /// Selects mini-graphs under `policy`, memoized per policy (and, with
-    /// a [`PrepCache`] attached, persisted across processes).
+    /// The selection inputs this prep exposes to a [`Selector`]: its
+    /// candidate pool, CFG, and block profile.
+    pub fn select_inputs(&self) -> SelectInputs<'_> {
+        SelectInputs { candidates: &self.candidates, cfg: &self.cfg, prof: &self.prof }
+    }
+
+    /// Selects mini-graphs under `policy` with the default greedy
+    /// selector, memoized per policy (and, with a [`PrepCache`] attached,
+    /// persisted across processes).
     pub fn select(&self, policy: &Policy) -> Arc<Selection> {
-        if let Some(sel) = self.selections.lock().unwrap().get(policy) {
+        self.select_with(&GreedySelector, policy)
+    }
+
+    /// Selects mini-graphs under `(selector, policy)`, memoized per pair
+    /// (and, with a [`PrepCache`] attached, persisted across processes).
+    /// The greedy selector's artifacts are keyed exactly as before the
+    /// selector dimension existed, so alternative selectors never poison
+    /// — or collide with — cached greedy selections.
+    pub fn select_with(&self, selector: &dyn Selector, policy: &Policy) -> Arc<Selection> {
+        let memo_key = (selector.id().to_string(), policy.clone());
+        if let Some(sel) = self.selections.lock().unwrap().get(&memo_key) {
             return Arc::clone(sel);
         }
         // Computed outside the lock: selection over a large candidate pool
         // is the expensive part and must not serialize other policies.
-        let sel = if let Some(hit) =
-            self.cache.as_deref().and_then(|c| c.load_selection(self.fingerprint, policy))
+        let sel = if let Some(hit) = self
+            .cache
+            .as_deref()
+            .and_then(|c| c.load_selection_with(self.fingerprint, selector.id(), policy))
         {
             Arc::new(hit)
         } else {
-            let sel = Arc::new(select(&self.candidates, policy));
+            let sel = Arc::new(selector.select(&self.select_inputs(), policy));
             if let Some(c) = self.cache.as_deref() {
-                c.store_selection(self.fingerprint, policy, &sel);
+                c.store_selection_with(self.fingerprint, selector.id(), policy, &sel);
             }
             sel
         };
         let mut cache = self.selections.lock().unwrap();
-        Arc::clone(cache.entry(policy.clone()).or_insert(sel))
+        Arc::clone(cache.entry(memo_key).or_insert(sel))
     }
 
     /// The baseline dynamic trace (fresh memory, same input), memoized
@@ -437,21 +463,43 @@ impl Prep {
         policy: &Policy,
         style: RewriteStyle,
     ) -> Result<Arc<MgImage>, HarnessError> {
-        let key = (policy.clone(), style);
+        self.try_image_with(&GreedySelector, policy, style)
+    }
+
+    /// The rewritten image for `(selector, policy, style)`, memoized and
+    /// persisted like [`Prep::try_image`] (which is the
+    /// [`GreedySelector`] instance of this method, with byte-identical
+    /// cache keys).
+    ///
+    /// # Errors
+    ///
+    /// As [`Prep::try_image`].
+    pub fn try_image_with(
+        &self,
+        selector: &dyn Selector,
+        policy: &Policy,
+        style: RewriteStyle,
+    ) -> Result<Arc<MgImage>, HarnessError> {
+        let key = (selector.id().to_string(), policy.clone(), style);
         if let Some(img) = self.images.lock().unwrap().get(&key) {
             return Ok(img);
         }
-        let img = if let Some(hit) = self
-            .cache
-            .as_deref()
-            .and_then(|c| c.load_image(self.fingerprint, policy, style, self.trace_budget))
-        {
+        let img = if let Some(hit) = self.cache.as_deref().and_then(|c| {
+            c.load_image_with(self.fingerprint, selector.id(), policy, style, self.trace_budget)
+        }) {
             Arc::new(hit)
         } else {
-            let selection = self.select(policy);
+            let selection = self.select_with(selector, policy);
             let img = Arc::new(self.try_build_image(&selection, style)?);
             if let Some(c) = self.cache.as_deref() {
-                c.store_image(self.fingerprint, policy, style, self.trace_budget, &img);
+                c.store_image_with(
+                    self.fingerprint,
+                    selector.id(),
+                    policy,
+                    style,
+                    self.trace_budget,
+                    &img,
+                );
             }
             img
         };
@@ -547,7 +595,25 @@ impl Prep {
         style: RewriteStyle,
         cfgs: &[SimConfig],
     ) -> Result<Vec<SimStats>, HarnessError> {
-        let img = self.try_image(policy, style)?;
+        self.try_run_selector_sweep(&GreedySelector, policy, style, cfgs)
+    }
+
+    /// Simulates the rewritten image of `(selector, policy)` under every
+    /// configuration of `cfgs` with the fused executor (see
+    /// [`crate::fused`]) — the selector-generalized
+    /// [`Prep::try_run_policy_sweep`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Prep::try_image_with`].
+    pub fn try_run_selector_sweep(
+        &self,
+        selector: &dyn Selector,
+        policy: &Policy,
+        style: RewriteStyle,
+        cfgs: &[SimConfig],
+    ) -> Result<Vec<SimStats>, HarnessError> {
+        let img = self.try_image_with(selector, policy, style)?;
         Ok(crate::fused::run_fused(
             &img.program,
             &img.trace,

@@ -26,7 +26,13 @@
 //!
 //! to which each artifact appends its own coordinates: the wire-encoded
 //! [`Policy`] (selections), plus the [`RewriteStyle`] and the trace budget
-//! (images and traces). The fingerprint deliberately hashes the *program
+//! (images and traces). Artifacts produced by a non-default
+//! [`Selector`](mg_core::Selector) additionally append the selector id —
+//! appended *only* when the id differs from
+//! [`GREEDY_SELECTOR_ID`](mg_core::GREEDY_SELECTOR_ID), so greedy keys
+//! are byte-identical to the pre-selector layout and new selection
+//! policies can never poison (or be poisoned by) cached greedy
+//! artifacts. The fingerprint deliberately hashes the *program
 //! image* rather than trusting names: editing a kernel invalidates its
 //! artifacts immediately, while memory-image (data generation) changes are
 //! covered by the registry version, whose bump is forced by the committed
@@ -309,14 +315,37 @@ impl PrepCache {
         }
     }
 
-    /// Looks up a cached selection.
+    /// Looks up a cached (greedy) selection.
     pub fn load_selection(&self, fingerprint: u64, policy: &Policy) -> Option<Selection> {
-        self.load(Kind::Selection, &selection_key(fingerprint, policy))
+        self.load_selection_with(fingerprint, mg_core::GREEDY_SELECTOR_ID, policy)
     }
 
-    /// Persists a selection.
+    /// Persists a (greedy) selection.
     pub fn store_selection(&self, fingerprint: u64, policy: &Policy, sel: &Selection) {
-        self.store(Kind::Selection, &selection_key(fingerprint, policy), sel);
+        self.store_selection_with(fingerprint, mg_core::GREEDY_SELECTOR_ID, policy, sel);
+    }
+
+    /// Looks up a cached selection produced by the selector named
+    /// `selector_id` (see the module docs: the greedy id keys exactly
+    /// like the id-less legacy layout).
+    pub fn load_selection_with(
+        &self,
+        fingerprint: u64,
+        selector_id: &str,
+        policy: &Policy,
+    ) -> Option<Selection> {
+        self.load(Kind::Selection, &selection_key(fingerprint, selector_id, policy))
+    }
+
+    /// Persists a selection produced by the selector named `selector_id`.
+    pub fn store_selection_with(
+        &self,
+        fingerprint: u64,
+        selector_id: &str,
+        policy: &Policy,
+        sel: &Selection,
+    ) {
+        self.store(Kind::Selection, &selection_key(fingerprint, selector_id, policy), sel);
     }
 
     /// Looks up a cached baseline trace (prefix) recorded under `budget`.
@@ -333,7 +362,8 @@ impl PrepCache {
         self.store(Kind::Trace, &trace_key(fingerprint, budget), trace);
     }
 
-    /// Looks up a cached rewritten image (program + trace + catalog).
+    /// Looks up a cached rewritten image (program + trace + catalog)
+    /// produced by the greedy selector.
     pub fn load_image(
         &self,
         fingerprint: u64,
@@ -341,16 +371,50 @@ impl PrepCache {
         style: RewriteStyle,
         budget: u64,
     ) -> Option<MgImage> {
-        let (program, (trace, catalog)) =
-            self.load(Kind::Image, &image_key(fingerprint, policy, style, budget))?;
-        Some(MgImage::new(program, trace, catalog))
+        self.load_image_with(fingerprint, mg_core::GREEDY_SELECTOR_ID, policy, style, budget)
     }
 
-    /// Persists a rewritten image, unless its trace exceeds
+    /// Persists a (greedy) rewritten image, unless its trace exceeds
     /// [`TRACE_STORE_CAP_OPS`].
     pub fn store_image(
         &self,
         fingerprint: u64,
+        policy: &Policy,
+        style: RewriteStyle,
+        budget: u64,
+        img: &MgImage,
+    ) {
+        self.store_image_with(
+            fingerprint,
+            mg_core::GREEDY_SELECTOR_ID,
+            policy,
+            style,
+            budget,
+            img,
+        );
+    }
+
+    /// Looks up a cached rewritten image produced by the selector named
+    /// `selector_id`.
+    pub fn load_image_with(
+        &self,
+        fingerprint: u64,
+        selector_id: &str,
+        policy: &Policy,
+        style: RewriteStyle,
+        budget: u64,
+    ) -> Option<MgImage> {
+        let (program, (trace, catalog)) = self
+            .load(Kind::Image, &image_key(fingerprint, selector_id, policy, style, budget))?;
+        Some(MgImage::new(program, trace, catalog))
+    }
+
+    /// Persists a rewritten image produced by the selector named
+    /// `selector_id`, unless its trace exceeds [`TRACE_STORE_CAP_OPS`].
+    pub fn store_image_with(
+        &self,
+        fingerprint: u64,
+        selector_id: &str,
         policy: &Policy,
         style: RewriteStyle,
         budget: u64,
@@ -363,7 +427,11 @@ impl PrepCache {
         img.program.put(&mut w);
         img.trace.put(&mut w);
         img.catalog.put(&mut w);
-        self.store_raw(Kind::Image, &image_key(fingerprint, policy, style, budget), w);
+        self.store_raw(
+            Kind::Image,
+            &image_key(fingerprint, selector_id, policy, style, budget),
+            w,
+        );
     }
 
     /// Lands an already-encoded cache file (checksum trailer included)
@@ -465,10 +533,17 @@ impl PrepCache {
     }
 }
 
-fn selection_key(fingerprint: u64, policy: &Policy) -> Vec<u8> {
+fn selection_key(fingerprint: u64, selector_id: &str, policy: &Policy) -> Vec<u8> {
     let mut w = Writer::new();
     w.u64(fingerprint);
     policy.put(&mut w);
+    // The selector id is appended only for non-default selectors: greedy
+    // keys must stay byte-identical to the pre-selector layout so the
+    // selector dimension cannot invalidate — or be served from — any
+    // previously cached greedy artifact.
+    if selector_id != mg_core::GREEDY_SELECTOR_ID {
+        w.str(selector_id);
+    }
     w.into_bytes()
 }
 
@@ -479,7 +554,13 @@ fn trace_key(fingerprint: u64, budget: u64) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn image_key(fingerprint: u64, policy: &Policy, style: RewriteStyle, budget: u64) -> Vec<u8> {
+fn image_key(
+    fingerprint: u64,
+    selector_id: &str,
+    policy: &Policy,
+    style: RewriteStyle,
+    budget: u64,
+) -> Vec<u8> {
     let mut w = Writer::new();
     w.u64(fingerprint);
     policy.put(&mut w);
@@ -488,6 +569,11 @@ fn image_key(fingerprint: u64, policy: &Policy, style: RewriteStyle, budget: u64
         RewriteStyle::Compressed => 1,
     });
     w.u64(budget);
+    // Trailing for the same reason as in `selection_key`: greedy image
+    // keys are byte-identical to the pre-selector layout.
+    if selector_id != mg_core::GREEDY_SELECTOR_ID {
+        w.str(selector_id);
+    }
     w.into_bytes()
 }
 
@@ -571,7 +657,10 @@ mod tests {
         let c = tmp_cache("corrupt");
         let policy = Policy::default();
         c.store_selection(9, &policy, &sample_selection());
-        let path = c.file_path(Kind::Selection, &selection_key(9, &policy));
+        let path = c.file_path(
+            Kind::Selection,
+            &selection_key(9, mg_core::GREEDY_SELECTOR_ID, &policy),
+        );
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.truncate(bytes.len() / 2);
         std::fs::write(&path, bytes).unwrap();
@@ -599,9 +688,9 @@ mod tests {
         let hit = c.load_selection(7, &policy).expect("read-through hit");
         assert_eq!(wire::to_bytes(&hit), wire::to_bytes(&sel), "bit-identical");
         // The fall-through repopulated the primary root byte-for-byte.
-        let local = c.file_path(Kind::Selection, &selection_key(7, &policy));
-        let shared_file =
-            PrepCache::new(&shared_root).file_path(Kind::Selection, &selection_key(7, &policy));
+        let key = selection_key(7, mg_core::GREEDY_SELECTOR_ID, &policy);
+        let local = c.file_path(Kind::Selection, &key);
+        let shared_file = PrepCache::new(&shared_root).file_path(Kind::Selection, &key);
         assert_eq!(
             std::fs::read(&local).expect("primary populated").as_slice(),
             std::fs::read(&shared_file).unwrap().as_slice(),
@@ -614,6 +703,47 @@ mod tests {
             "store populated the shared root too"
         );
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn selector_ids_isolate_but_greedy_keys_match_the_legacy_layout() {
+        let policy = Policy::default();
+        // The greedy id must key byte-identically to the pre-selector
+        // layout (fingerprint + policy, nothing appended): an id-free
+        // legacy key and a greedy-id key are the same bytes.
+        let legacy = {
+            let mut w = Writer::new();
+            w.u64(11);
+            policy.put(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(
+            selection_key(11, mg_core::GREEDY_SELECTOR_ID, &policy),
+            legacy,
+            "greedy selection keys are the legacy layout"
+        );
+        assert_ne!(
+            selection_key(11, "tiling", &policy),
+            legacy,
+            "non-greedy selector ids isolate"
+        );
+
+        // End-to-end: a greedy store is visible through both entry
+        // points, and a non-greedy store lives under its own key.
+        let c = tmp_cache("selector-ids");
+        let sel = sample_selection();
+        c.store_selection(11, &policy, &sel);
+        assert!(c.load_selection_with(11, mg_core::GREEDY_SELECTOR_ID, &policy).is_some());
+        assert!(c.load_selection_with(11, "tiling", &policy).is_none(), "id isolates");
+        let empty = Selection::default();
+        c.store_selection_with(11, "tiling", &policy, &empty);
+        let greedy_back = c.load_selection(11, &policy).expect("greedy artifact intact");
+        assert_eq!(
+            wire::to_bytes(&greedy_back),
+            wire::to_bytes(&sel),
+            "storing a non-greedy selection must not poison the greedy artifact"
+        );
+        c.clear().unwrap();
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Loop-aware profile-weighted greedy selection.
+//!
+//! The paper's greedy selector already ranks by dynamic benefit
+//! `(n-1)·f`, where `f` comes from the basic-block frequency profile.
+//! That rank is *flat* across program structure: a candidate in a deeply
+//! nested loop and one in straight-line code with the same measured
+//! benefit are interchangeable, and ties between them are broken by
+//! working-list position — an accident of candidate order. On short
+//! profiling runs (quick mode, truncated traces) measured frequencies
+//! under-represent loop bodies, so flat ranking can burn MGT capacity on
+//! cold code.
+//!
+//! The weighted selector scales each candidate's rank by its block's
+//! natural-loop nesting depth:
+//!
+//! ```text
+//! weight(c) = benefit(c) · (1 + loopdepth(block(anchor(c))))
+//! ```
+//!
+//! with depth from [`LoopNest`] over the CFG's dominator tree — a purely
+//! static amplifier on top of the dynamic profile (the
+//! BandMap-style "weight the hot regions" shape, arXiv:2310.06613).
+//! Selection mechanics are otherwise identical to greedy —
+//! [`select_with_benefits`] reuses the same incremental picker — and
+//! reported coverage is still true `(n-1)·f`, so weighted and greedy
+//! selections are directly comparable.
+
+use mg_core::selector::{SelectInputs, Selector};
+use mg_core::{select_with_benefits, MiniGraph, Policy, Selection};
+use mg_profile::{Cfg, Dominators, LoopNest};
+
+/// Greedy selection with loop-depth-scaled ranking weights.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeightedGreedySelector;
+
+/// Computes the weight function of the weighted selector: a closure
+/// mapping each candidate to `benefit · (1 + loopdepth)` over `cfg`'s
+/// loop nest. Exposed so embedders can compose the same weighting with
+/// their own policies (see `docs/API.md`).
+pub fn loop_depth_weights(cfg: &Cfg) -> impl Fn(&MiniGraph) -> u64 + '_ {
+    let dom = Dominators::compute(cfg);
+    let nest = LoopNest::compute(cfg, &dom);
+    move |c: &MiniGraph| {
+        let depth = cfg.block_index_of(c.anchor).map(|b| nest.depth(b)).unwrap_or(0);
+        c.benefit().saturating_mul(1 + depth as u64)
+    }
+}
+
+impl Selector for WeightedGreedySelector {
+    fn id(&self) -> &str {
+        "weighted"
+    }
+
+    fn select(&self, inputs: &SelectInputs<'_>, policy: &Policy) -> Selection {
+        let weight = loop_depth_weights(inputs.cfg);
+        select_with_benefits(inputs.candidates, policy, weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::{enumerate_candidates, select};
+    use mg_isa::{reg, Asm, Memory};
+    use mg_profile::{build_cfg, profile_program};
+
+    #[test]
+    fn weighting_prefers_the_nested_loop_on_ties() {
+        // Two identical-benefit idioms: one in a nested loop, one in the
+        // outer straight-line region. With capacity 1, flat greedy picks
+        // whichever group forms first; the weighted selector must pick
+        // the nested one.
+        let mut a = Asm::new();
+        a.li(reg(1), 10); // outer trip count
+        a.label("outer");
+        // Outer-body idiom: add/xor pair, runs 10 times.
+        a.addq(reg(9), 3, reg(9));
+        a.xor(reg(9), 5, reg(9));
+        a.li(reg(2), 1); // inner trip count: inner idiom also runs 10 times
+        a.label("inner");
+        // Inner-loop idiom: distinct immediates so the template differs.
+        a.addq(reg(10), 4, reg(10));
+        a.xor(reg(10), 6, reg(10));
+        a.subq(reg(2), 1, reg(2));
+        a.bne(reg(2), "inner");
+        a.subq(reg(1), 1, reg(1));
+        a.bne(reg(1), "outer");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let prof = profile_program(&p, &mut Memory::new(), None, 1_000_000).unwrap();
+        let cands = enumerate_candidates(&p, &cfg, &prof, 4);
+        let policy = Policy::integer().with_capacity(1);
+        let inputs = SelectInputs { candidates: &cands, cfg: &cfg, prof: &prof };
+        let sel = WeightedGreedySelector.select(&inputs, &policy);
+        assert!(!sel.chosen.is_empty(), "weighted selection found an idiom");
+        let inner_start = p.labels["inner"];
+        let picked_inner =
+            sel.chosen.iter().any(|c| c.graph.members.iter().all(|&m| m >= inner_start));
+        assert!(
+            picked_inner,
+            "loop-depth weighting must favour the doubly nested idiom: {:?}",
+            sel.chosen.iter().map(|c| c.graph.members.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn flat_program_weighted_equals_greedy() {
+        // No loops: depths are all 0 or uniform, so weighted == greedy
+        // exactly (weight = benefit · 1).
+        let mut a = Asm::new();
+        a.li(reg(1), 7);
+        a.addq(reg(1), 3, reg(2));
+        a.sll(reg(2), 2, reg(2));
+        a.stq(reg(2), 0, reg(28));
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let prof = profile_program(&p, &mut Memory::new(), None, 1_000).unwrap();
+        let cands = enumerate_candidates(&p, &cfg, &prof, 4);
+        let policy = Policy::integer();
+        let inputs = SelectInputs { candidates: &cands, cfg: &cfg, prof: &prof };
+        let w = WeightedGreedySelector.select(&inputs, &policy);
+        let g = select(&cands, &policy);
+        assert_eq!(w.saved_slots(), g.saved_slots());
+        assert_eq!(w.chosen.len(), g.chosen.len());
+    }
+}

@@ -32,15 +32,22 @@ impl BasicBlock {
     }
 }
 
-/// The control-flow graph of a program, reduced to its basic-block
-/// partition (successor edges are not needed by the extraction algorithm,
-/// which only requires block boundaries and frequencies).
+/// The control-flow graph of a program: its basic-block partition plus
+/// static successor edges. Extraction itself only needs block boundaries
+/// and frequencies; the successor edges feed the dominator/loop analyses
+/// in [`crate::dominators`] and [`crate::loops`] (which in turn drive the
+/// loop-aware selection policies).
 #[derive(Clone, Debug, Default)]
 pub struct Cfg {
     /// Blocks ordered by start index; they partition `0..program.len()`.
     pub blocks: Vec<BasicBlock>,
     /// Map from instruction index to the index of its containing block.
     block_of: Vec<u32>,
+    /// Static successor block indices per block (deduplicated, ascending).
+    /// Indirect jumps contribute no edges — see [`build_cfg`].
+    succ: Vec<Vec<u32>>,
+    /// Index of the block containing the program entry instruction.
+    entry: u32,
 }
 
 impl Cfg {
@@ -59,6 +66,19 @@ impl Cfg {
     pub fn block_index_of(&self, inst_index: usize) -> Option<usize> {
         self.block_of.get(inst_index).map(|&b| b as usize)
     }
+
+    /// Static successor block indices of block `index` (deduplicated,
+    /// ascending). Blocks ending in an indirect jump have no static
+    /// successors; their dynamic targets are invisible to this graph.
+    pub fn successors(&self, index: usize) -> &[u32] {
+        self.succ.get(index).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The index of the block containing the program entry instruction
+    /// (0 for an empty CFG).
+    pub fn entry_block(&self) -> usize {
+        self.entry as usize
+    }
 }
 
 /// Whether an instruction terminates a basic block.
@@ -72,7 +92,7 @@ fn ends_block(prog: &Program, idx: usize) -> bool {
     }
 }
 
-/// Builds the basic-block partition of `prog`.
+/// Builds the basic-block partition of `prog`, with successor edges.
 ///
 /// Leaders are: the entry instruction, every direct branch target, and
 /// every instruction following a control transfer (or halt). Indirect jump
@@ -80,6 +100,14 @@ fn ends_block(prog: &Program, idx: usize) -> bool {
 /// leader, and in the workloads used here indirect-call/return targets
 /// always coincide with label boundaries that are also reached by direct
 /// references.
+///
+/// Successor edges are the statically evident ones: the taken target of a
+/// direct (or handle-embedded) branch, and the fall-through edge of every
+/// block not ending in an unconditional transfer. Blocks ending in an
+/// indirect jump get **no** successor edges — the analyses built on this
+/// graph ([`crate::dominators`], [`crate::loops`]) treat blocks reachable
+/// only through indirect control as unreachable, which under-approximates
+/// loop nesting (depth 0) instead of fabricating spurious loops.
 pub fn build_cfg(prog: &Program) -> Cfg {
     let n = prog.insts.len();
     if n == 0 {
@@ -123,7 +151,34 @@ pub fn build_cfg(prog: &Program) -> Cfg {
             start = i + 1;
         }
     }
-    Cfg { blocks, block_of }
+
+    let mut succ: Vec<Vec<u32>> = Vec::with_capacity(blocks.len());
+    for b in &blocks {
+        let term = b.end - 1;
+        let inst = &prog.insts[term];
+        let mut out = Vec::new();
+        let class = inst.op.class();
+        let taken = match class {
+            OpClass::Handle => inst.handle_branch_target(),
+            _ => inst.static_target(),
+        };
+        if let Some(t) = taken {
+            if t < n {
+                out.push(block_of[t]);
+            }
+        }
+        let falls_through =
+            !matches!(class, OpClass::UncondBranch | OpClass::Jump | OpClass::Halt);
+        if falls_through && b.end < n {
+            out.push(block_of[b.end]);
+        }
+        out.sort_unstable();
+        out.dedup();
+        succ.push(out);
+    }
+
+    let entry = block_of[prog.entry.min(n - 1)];
+    Cfg { blocks, block_of, succ, entry }
 }
 
 #[cfg(test)]
@@ -181,6 +236,21 @@ mod tests {
         let p = Program::default();
         let cfg = build_cfg(&p);
         assert!(cfg.blocks.is_empty());
+    }
+
+    #[test]
+    fn successor_edges_cover_branch_and_fallthrough() {
+        let p = loop_program();
+        let cfg = build_cfg(&p);
+        // Block 0 (li) falls through to the loop body.
+        assert_eq!(cfg.successors(0), &[1]);
+        // Block 1 (subq; bne top) branches back to itself or falls to halt.
+        assert_eq!(cfg.successors(1), &[1, 2]);
+        // Block 2 (halt) has no successors.
+        assert!(cfg.successors(2).is_empty());
+        assert_eq!(cfg.entry_block(), 0);
+        // Out of range is empty, not a panic.
+        assert!(cfg.successors(99).is_empty());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Dominator-tree construction over a [`Cfg`].
+//!
+//! Implements the iterative algorithm of Cooper, Harvey & Kennedy ("A
+//! Simple, Fast Dominance Algorithm"): immediate dominators are computed
+//! by intersecting predecessor dominators over a reverse-postorder walk
+//! until a fixed point. The CFG sizes here (workload kernels, compiled
+//! `mgl.*` programs) are tens of blocks, so the simple algorithm's
+//! near-linear behaviour is more than enough.
+//!
+//! Blocks not reachable from the entry block over *static* successor
+//! edges ([`Cfg::successors`] — indirect jumps contribute none) have no
+//! dominator information; [`Dominators::is_reachable`] reports them and
+//! every query on them answers conservatively (`idom` = `None`,
+//! `dominates` = `false`).
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of a [`Cfg`], rooted at its entry block.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// Immediate dominator per block; `idom[entry] == entry`, and
+    /// `u32::MAX` marks a block unreachable from the entry.
+    idom: Vec<u32>,
+    /// Reverse-postorder sequence of reachable blocks.
+    rpo: Vec<u32>,
+    /// Position of each block in `rpo` (`u32::MAX` if unreachable).
+    rpo_pos: Vec<u32>,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl Dominators {
+    /// Computes the dominator tree of `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks.len();
+        if n == 0 {
+            return Dominators { idom: Vec::new(), rpo: Vec::new(), rpo_pos: Vec::new() };
+        }
+        let entry = cfg.entry_block() as u32;
+
+        // Depth-first postorder from the entry, then reverse it.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut postorder: Vec<u32> = Vec::with_capacity(n);
+        let mut stack: Vec<(u32, usize)> = vec![(entry, 0)];
+        state[entry as usize] = 1;
+        while let Some((b, next)) = stack.last_mut() {
+            let b = *b;
+            let succs = cfg.successors(b as usize);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s as usize] == 0 {
+                    state[s as usize] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b as usize] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<u32> = postorder.iter().rev().copied().collect();
+        let mut rpo_pos = vec![UNREACHABLE; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b as usize] = i as u32;
+        }
+
+        // Predecessor lists restricted to reachable blocks.
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &b in &rpo {
+            for &s in cfg.successors(b as usize) {
+                if rpo_pos[s as usize] != UNREACHABLE {
+                    preds[s as usize].push(b);
+                }
+            }
+        }
+
+        // Cooper-Harvey-Kennedy fixed point.
+        let mut idom = vec![UNREACHABLE; n];
+        idom[entry as usize] = entry;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = UNREACHABLE;
+                for &p in &preds[b as usize] {
+                    if idom[p as usize] == UNREACHABLE {
+                        continue; // not yet processed this round
+                    }
+                    new_idom = if new_idom == UNREACHABLE {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_pos, &rpo, new_idom, p)
+                    };
+                }
+                if new_idom != UNREACHABLE && idom[b as usize] != new_idom {
+                    idom[b as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Dominators { idom, rpo, rpo_pos }
+    }
+
+    /// Whether `block` is reachable from the entry over static edges.
+    pub fn is_reachable(&self, block: usize) -> bool {
+        self.rpo_pos.get(block).is_some_and(|&p| p != UNREACHABLE)
+    }
+
+    /// The immediate dominator of `block`; `None` for the entry block and
+    /// for unreachable blocks.
+    pub fn idom(&self, block: usize) -> Option<usize> {
+        let d = *self.idom.get(block)?;
+        if d == UNREACHABLE || d as usize == block {
+            None
+        } else {
+            Some(d as usize)
+        }
+    }
+
+    /// Whether block `a` dominates block `b` (reflexively). Unreachable
+    /// blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// The reachable blocks in reverse postorder (entry first).
+    pub fn reverse_postorder(&self) -> &[u32] {
+        &self.rpo
+    }
+}
+
+/// Walks two dominator-tree paths up to their common ancestor, comparing
+/// by reverse-postorder position (the CHK `intersect` primitive).
+fn intersect(idom: &[u32], rpo_pos: &[u32], rpo: &[u32], a: u32, b: u32) -> u32 {
+    let (mut fa, mut fb) = (rpo_pos[a as usize], rpo_pos[b as usize]);
+    while fa != fb {
+        while fa > fb {
+            fa = rpo_pos[idom[rpo[fa as usize] as usize] as usize];
+        }
+        while fb > fa {
+            fb = rpo_pos[idom[rpo[fb as usize] as usize] as usize];
+        }
+    }
+    rpo[fa as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use mg_isa::{reg, Asm};
+
+    #[test]
+    fn diamond_dominance() {
+        // 0: entry branches over 1 to 2; both join at 3.
+        let mut a = Asm::new();
+        a.li(reg(1), 1); // block 0
+        a.bne(reg(1), "right");
+        a.addq(reg(2), 1, reg(2)); // block 1 (left)
+        a.br("join");
+        a.label("right");
+        a.addq(reg(3), 1, reg(3)); // block 2 (right)
+        a.label("join");
+        a.halt(); // block 3
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        assert_eq!(cfg.blocks.len(), 4);
+        let dom = Dominators::compute(&cfg);
+        // Entry dominates everything; neither arm dominates the join.
+        for b in 0..4 {
+            assert!(dom.dominates(0, b), "entry must dominate block {b}");
+        }
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert_eq!(dom.idom(3), Some(0));
+        assert_eq!(dom.idom(0), None);
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut a = Asm::new();
+        a.li(reg(1), 4); // block 0
+        a.label("top");
+        a.subq(reg(1), 1, reg(1)); // block 1
+        a.bne(reg(1), "top");
+        a.halt(); // block 2
+        let p = a.finish().unwrap();
+        let dom = Dominators::compute(&build_cfg(&p));
+        assert!(dom.dominates(1, 1));
+        assert!(dom.dominates(0, 2));
+        assert_eq!(dom.idom(2), Some(1));
+    }
+
+    #[test]
+    fn empty_cfg_is_fine() {
+        let dom = Dominators::compute(&Cfg::default());
+        assert!(!dom.is_reachable(0));
+        assert!(dom.reverse_postorder().is_empty());
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`Trace`] — a dynamic instruction trace (memory addresses, branch
 //!   outcomes) that drives the cycle-level timing model in `mg-uarch`;
 //!   traces are handle-aware, so the *rewritten* program can be traced with
-//!   its [`HandleCatalog`](mg_isa::HandleCatalog).
+//!   its [`HandleCatalog`](mg_isa::HandleCatalog);
+//! * [`Dominators`] / [`LoopNest`] — dominator-tree and natural-loop
+//!   nesting analyses over the static successor edges of a [`Cfg`], the
+//!   substrate for loop-aware selection policies (`mg-policy`).
 //!
 //! # Example
 //!
@@ -41,11 +44,15 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 pub mod cfg;
+pub mod dominators;
 pub mod func_sim;
+pub mod loops;
 pub mod profile;
 pub mod trace;
 
 pub use cfg::{build_cfg, BasicBlock, Cfg};
+pub use dominators::Dominators;
 pub use func_sim::{run_program, FuncResult};
+pub use loops::LoopNest;
 pub use profile::{profile_program, BlockProfile};
 pub use trace::{record_trace, DynOp, Trace};

@@ -1,0 +1,155 @@
+//! Natural-loop detection and nesting depth over a [`Cfg`].
+//!
+//! A back edge is an edge `t -> h` whose target `h` dominates its source
+//! `t` ([`Dominators::dominates`]); the natural loop of that edge is `h`
+//! plus every block that reaches `t` without passing through `h`. Loops
+//! sharing a header are merged (the classic normalization), and a block's
+//! **nesting depth** is the number of distinct loop headers whose loop
+//! contains it — 0 outside any loop, 1 in a top-level loop body, and so
+//! on. The loop-aware selection policy weights mini-graph candidates by
+//! this depth (`mg-policy::weighted`).
+
+use crate::cfg::Cfg;
+use crate::dominators::Dominators;
+
+/// Loop-nesting structure of a [`Cfg`].
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    /// Nesting depth per block (0 = not in any natural loop).
+    depth: Vec<u32>,
+    /// Block indices of the detected loop headers, ascending.
+    headers: Vec<u32>,
+}
+
+impl LoopNest {
+    /// Detects natural loops of `cfg` using its dominator tree.
+    pub fn compute(cfg: &Cfg, dom: &Dominators) -> LoopNest {
+        let n = cfg.blocks.len();
+        let mut depth = vec![0u32; n];
+        let mut headers: Vec<u32> = Vec::new();
+
+        // Predecessor lists for the backward "reaches tail" walk.
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for &s in cfg.successors(b) {
+                preds[s as usize].push(b as u32);
+            }
+        }
+
+        // Collect back edges, grouped by header so loops sharing a header
+        // count as one loop for nesting purposes.
+        let mut tails_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for t in 0..n {
+            for &h in cfg.successors(t) {
+                if dom.dominates(h as usize, t) {
+                    tails_of[h as usize].push(t as u32);
+                }
+            }
+        }
+
+        for h in 0..n {
+            if tails_of[h].is_empty() {
+                continue;
+            }
+            headers.push(h as u32);
+            // Natural loop body: backward flood from every tail until the
+            // header, which is excluded from the walk.
+            let mut in_loop = vec![false; n];
+            in_loop[h] = true;
+            let mut work: Vec<u32> = Vec::new();
+            for &t in &tails_of[h] {
+                if !in_loop[t as usize] {
+                    in_loop[t as usize] = true;
+                    work.push(t);
+                }
+            }
+            while let Some(b) = work.pop() {
+                for &p in &preds[b as usize] {
+                    if !in_loop[p as usize] {
+                        in_loop[p as usize] = true;
+                        work.push(p);
+                    }
+                }
+            }
+            for (b, inside) in in_loop.iter().enumerate() {
+                if *inside {
+                    depth[b] += 1;
+                }
+            }
+        }
+
+        LoopNest { depth, headers }
+    }
+
+    /// Loop-nesting depth of `block` (0 when outside every loop or out of
+    /// range).
+    pub fn depth(&self, block: usize) -> u32 {
+        self.depth.get(block).copied().unwrap_or(0)
+    }
+
+    /// Block indices of the detected natural-loop headers, ascending.
+    pub fn headers(&self) -> &[u32] {
+        &self.headers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use mg_isa::{reg, Asm};
+
+    #[test]
+    fn single_loop_depth_one() {
+        let mut a = Asm::new();
+        a.li(reg(1), 4); // block 0
+        a.label("top");
+        a.subq(reg(1), 1, reg(1)); // block 1
+        a.bne(reg(1), "top");
+        a.halt(); // block 2
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let dom = Dominators::compute(&cfg);
+        let nest = LoopNest::compute(&cfg, &dom);
+        assert_eq!(nest.depth(0), 0);
+        assert_eq!(nest.depth(1), 1);
+        assert_eq!(nest.depth(2), 0);
+        assert_eq!(nest.headers(), &[1]);
+    }
+
+    #[test]
+    fn nested_loops_stack_depth() {
+        // outer loop over r1, inner loop over r2.
+        let mut a = Asm::new();
+        a.li(reg(1), 3); // block: preheader
+        a.label("outer");
+        a.li(reg(2), 2); // outer body, sets up inner trip count
+        a.label("inner");
+        a.subq(reg(2), 1, reg(2));
+        a.bne(reg(2), "inner");
+        a.subq(reg(1), 1, reg(1)); // after inner
+        a.bne(reg(1), "outer");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let dom = Dominators::compute(&cfg);
+        let nest = LoopNest::compute(&cfg, &dom);
+        let inner_block = cfg.block_index_of(p.labels["inner"]).unwrap();
+        let outer_block = cfg.block_index_of(p.labels["outer"]).unwrap();
+        assert_eq!(nest.depth(inner_block), 2, "inner body is doubly nested");
+        assert_eq!(nest.depth(outer_block), 1, "outer body is singly nested");
+        assert_eq!(nest.headers().len(), 2);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut a = Asm::new();
+        a.li(reg(1), 1);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = build_cfg(&p);
+        let nest = LoopNest::compute(&cfg, &Dominators::compute(&cfg));
+        assert!(nest.headers().is_empty());
+        assert_eq!(nest.depth(0), 0);
+    }
+}

@@ -10,6 +10,7 @@ pub use mg_dise as dise;
 pub use mg_harness as harness;
 pub use mg_isa as isa;
 pub use mg_lang as lang;
+pub use mg_policy as policy;
 pub use mg_profile as profile;
 pub use mg_uarch as uarch;
 pub use mg_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Differential obligations for the selection-policy lab:
+//!
+//! 1. the exact-DP baseline never scores below greedy — on certified
+//!    blocks its objective is a per-block optimum, so greedy's gap is
+//!    non-negative and DP's own gap is exactly zero, for every registry
+//!    workload;
+//! 2. every selector family's rewritten image is architecturally
+//!    equivalent to the original program, in both rewrite styles
+//!    (the `rewrite_equivalence.rs` obligation, extended to the new
+//!    families).
+
+use mini_graphs::core::{enumerate_candidates, rewrite, Policy, RewriteStyle, SelectInputs};
+use mini_graphs::harness::ENUMERATION_SIZE;
+use mini_graphs::isa::Memory;
+use mini_graphs::policy::{all_selectors, DpCertifier};
+use mini_graphs::profile::{build_cfg, profile_program, run_program};
+
+/// Runs `prog` to halt from `mem` and returns the full-memory content
+/// hash — the complete architectural result (registers are not compared:
+/// the rewriter legally elides dead register writes).
+fn memory_hash(
+    prog: &mini_graphs::isa::Program,
+    mem: &Memory,
+    catalog: Option<&mini_graphs::isa::HandleCatalog>,
+) -> u64 {
+    let mut m = mem.clone();
+    run_program(prog, &mut m, catalog, 200_000_000).expect("halts");
+    m.content_hash()
+}
+
+/// The DP gauge certifies greedy from below and itself from above: for
+/// every registry workload, greedy's objective never exceeds the exact
+/// per-block optimum, and the DP selector achieves that optimum (gap 0)
+/// on every certified block.
+#[test]
+fn dp_objective_dominates_greedy_on_every_registry_workload() {
+    let input = mini_graphs::workloads::Input::tiny();
+    let policy = Policy::integer_memory();
+    let selectors = all_selectors();
+    let greedy = selectors.iter().find(|s| s.id() == "greedy").expect("greedy registered");
+    let dp = selectors.iter().find(|s| s.id() == "dp").expect("dp registered");
+
+    let mut certified_anywhere = false;
+    for wl in &mini_graphs::workloads::all() {
+        let (prog, mut mem) = wl.build(&input);
+        let cfg = build_cfg(&prog);
+        let prof = profile_program(&prog, &mut mem, None, 200_000_000).expect("workload halts");
+        let candidates = enumerate_candidates(&prog, &cfg, &prof, ENUMERATION_SIZE);
+        let inputs = SelectInputs { candidates: &candidates, cfg: &cfg, prof: &prof };
+        let certifier = DpCertifier::new(&inputs, &policy);
+        certified_anywhere |= certifier.certified_blocks() > 0;
+
+        let g = certifier.evaluate(&greedy.select(&inputs, &policy), &cfg);
+        assert!(
+            g.dp_objective >= g.family_objective,
+            "{}: greedy objective {} exceeds the certified optimum {}",
+            wl.name,
+            g.family_objective,
+            g.dp_objective
+        );
+
+        let d = certifier.evaluate(&dp.select(&inputs, &policy), &cfg);
+        assert_eq!(d.gap(), 0, "{}: the DP selector left a gap against its own bound", wl.name);
+        assert_eq!(d.certified_blocks, g.certified_blocks);
+    }
+    assert!(certified_anywhere, "the DP gauge certified no block at all");
+}
+
+/// Every selector family — not just the paper's greedy — produces
+/// selections whose rewritten images reproduce the original memory
+/// image bit for bit, in both rewrite styles.
+#[test]
+fn rewritten_images_are_equivalent_under_every_selector() {
+    let input = mini_graphs::workloads::Input::tiny();
+    let policy = Policy::integer_memory();
+    let selectors = all_selectors();
+    for wl in &mini_graphs::workloads::all() {
+        let (prog, mem) = wl.build(&input);
+        let baseline = memory_hash(&prog, &mem, None);
+        let cfg = build_cfg(&prog);
+        let prof = profile_program(&prog, &mut mem.clone(), None, 200_000_000)
+            .expect("workload halts");
+        let candidates = enumerate_candidates(&prog, &cfg, &prof, ENUMERATION_SIZE);
+        let inputs = SelectInputs { candidates: &candidates, cfg: &cfg, prof: &prof };
+        for s in &selectors {
+            let sel = s.select(&inputs, &policy);
+            for style in [RewriteStyle::NopPadded, RewriteStyle::Compressed] {
+                let rw = rewrite(&prog, &sel, style);
+                let got = memory_hash(&rw.program, &mem, Some(&sel.catalog));
+                assert_eq!(
+                    baseline,
+                    got,
+                    "{}: memory image diverged under {} ({style:?})",
+                    wl.name,
+                    s.id()
+                );
+            }
+        }
+    }
+}

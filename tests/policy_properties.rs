@@ -1,0 +1,158 @@
+//! Shared selection-policy invariants (see `core/select.rs` docs):
+//! every selector in the lab — greedy, loop-weighted greedy, tree
+//! tiling, exact DP — must produce a [`Selection`] that is
+//!
+//! 1. **admissible**: every chosen instance passes `policy.admits`,
+//! 2. **instance-disjoint**: no instruction belongs to two chosen
+//!    mini-graphs,
+//! 3. **catalog-consistent**: at most `policy.capacity` templates, and
+//!    every chosen instance's `mgid` resolves to its own template.
+//!
+//! The generator is the same random program family as
+//! `rewrite_equivalence.rs`; the invariants are checked for every
+//! selector over the same inputs, so a new policy family cannot merge
+//! without inheriting the obligations.
+
+use mini_graphs::core::{enumerate_candidates, Policy, SelectInputs, Selection};
+use mini_graphs::isa::{reg, Asm, Memory, Opcode, Program};
+use mini_graphs::policy::all_selectors;
+use mini_graphs::profile::{build_cfg, profile_program};
+use proptest::prelude::*;
+
+/// A random ALU operation for the generator.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Alu(Opcode, u8, u8, u8),
+    AluImm(Opcode, u8, i8, u8),
+    Load(u8, u8),
+    Store(u8, u8),
+}
+
+fn alu_op() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Addq,
+        Opcode::Subq,
+        Opcode::And,
+        Opcode::Bis,
+        Opcode::Xor,
+        Opcode::S4addq,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Cmplt,
+        Opcode::Cmpeq,
+    ])
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        4 => (alu_op(), 1u8..12, 1u8..12, 1u8..12).prop_map(|(o, a, b, c)| GenOp::Alu(o, a, b, c)),
+        4 => (alu_op(), 1u8..12, any::<i8>(), 1u8..12)
+            .prop_map(|(o, a, i, c)| GenOp::AluImm(o, a, i, c)),
+        1 => (1u8..12, 0u8..8).prop_map(|(c, s)| GenOp::Load(c, s)),
+        1 => (1u8..12, 0u8..8).prop_map(|(d, s)| GenOp::Store(d, s)),
+    ]
+}
+
+/// A looped program over the generated body (same shape as the rewrite
+/// equivalence generator: observable epilogue, data-dependent values).
+fn build_program(ops: &[GenOp], iters: i64) -> Program {
+    let mut a = Asm::new();
+    for i in 1..12u8 {
+        a.li(reg(i), (i as i64) * 1047 + 13);
+    }
+    a.li(reg(20), 0x5000);
+    a.li(reg(30), iters);
+    a.label("top");
+    for op in ops {
+        match *op {
+            GenOp::Alu(o, x, y, z) => {
+                a.push(mini_graphs::isa::Inst::op3(o, reg(x), reg(y), reg(z)));
+            }
+            GenOp::AluImm(o, x, i, z) => {
+                a.push(mini_graphs::isa::Inst::op3(o, reg(x), i as i64, reg(z)));
+            }
+            GenOp::Load(c, s) => {
+                a.ldq(reg(c), (s as i64) * 8, reg(20));
+            }
+            GenOp::Store(d, s) => {
+                a.stq(reg(d), (s as i64) * 8, reg(20));
+            }
+        }
+    }
+    a.subq(reg(30), 1, reg(30));
+    a.bne(reg(30), "top");
+    a.halt();
+    a.finish().expect("generated program assembles")
+}
+
+/// Asserts the three shared invariants for one selection.
+fn assert_selection_invariants(label: &str, sel: &Selection, policy: &Policy) {
+    assert!(
+        sel.catalog.len() <= policy.capacity,
+        "{label}: catalog {} exceeds capacity {}",
+        sel.catalog.len(),
+        policy.capacity
+    );
+    let mut seen = std::collections::HashSet::new();
+    for c in &sel.chosen {
+        assert!(policy.admits(&c.graph), "{label}: inadmissible instance chosen");
+        for &m in &c.graph.members {
+            assert!(seen.insert(m), "{label}: instruction {m} in two mini-graphs");
+        }
+        let template = sel
+            .catalog
+            .get(c.mgid)
+            .unwrap_or_else(|| panic!("{label}: mgid {} outside the catalog", c.mgid));
+        assert_eq!(
+            template, &c.graph.template,
+            "{label}: chosen instance's mgid maps to a different template"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every selector family upholds the `Selection` invariants on
+    /// random programs, across policies and capacities.
+    #[test]
+    fn every_selector_upholds_the_selection_invariants(
+        ops in prop::collection::vec(gen_op(), 4..24),
+        capacity in 1usize..8,
+        memory in prop::bool::ANY,
+    ) {
+        let prog = build_program(&ops, 5);
+        let cfg = build_cfg(&prog);
+        let prof = profile_program(&prog, &mut Memory::new(), None, 1_000_000)
+            .expect("generated program halts");
+        let candidates = enumerate_candidates(&prog, &cfg, &prof, 8);
+        let base = if memory { Policy::integer_memory() } else { Policy::integer() };
+        let policy = base.with_capacity(capacity);
+        let inputs = SelectInputs { candidates: &candidates, cfg: &cfg, prof: &prof };
+        for s in all_selectors() {
+            let sel = s.select(&inputs, &policy);
+            assert_selection_invariants(s.id(), &sel, &policy);
+        }
+    }
+}
+
+/// The invariants also hold for every registry workload (real kernels,
+/// real profiles) under the standard policies.
+#[test]
+fn every_selector_upholds_the_invariants_on_registry_workloads() {
+    let input = mini_graphs::workloads::Input::tiny();
+    for wl in &mini_graphs::workloads::all() {
+        let (prog, mut mem) = wl.build(&input);
+        let cfg = build_cfg(&prog);
+        let prof = profile_program(&prog, &mut mem, None, 200_000_000)
+            .expect("registry workload halts");
+        let candidates = enumerate_candidates(&prog, &cfg, &prof, 8);
+        let inputs = SelectInputs { candidates: &candidates, cfg: &cfg, prof: &prof };
+        for policy in [Policy::integer(), Policy::integer_memory()] {
+            for s in all_selectors() {
+                let sel = s.select(&inputs, &policy);
+                assert_selection_invariants(&format!("{}/{}", wl.name, s.id()), &sel, &policy);
+            }
+        }
+    }
+}
